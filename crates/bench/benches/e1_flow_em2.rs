@@ -1,0 +1,38 @@
+//! E1 / Figure 1 — pure EM² simulation throughput on the flow
+//! microbenchmarks (ping-pong: the maximal-migration-rate case;
+//! hotspot: the eviction-pressure case).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em2_bench::workloads::{self, Scale};
+use em2_core::machine::MachineConfig;
+use em2_core::sim::run_em2;
+use em2_trace::gen::micro;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_flow_em2");
+    g.sample_size(10);
+
+    let pingpong = workloads::pingpong(Scale::Quick);
+    let pp_placement = workloads::first_touch(&pingpong, Scale::Quick);
+    g.bench_function("pingpong_em2", |b| {
+        b.iter(|| {
+            let r = run_em2(MachineConfig::with_cores(16), &pingpong, &pp_placement);
+            std::hint::black_box(r.flow.migrations)
+        })
+    });
+
+    let hotspot = micro::hotspot(16, 16, 1_000, 0.6, 7);
+    let hs_placement = workloads::first_touch(&hotspot, Scale::Quick);
+    g.bench_function("hotspot_em2_evictions", |b| {
+        b.iter(|| {
+            let mut cfg = MachineConfig::with_cores(16);
+            cfg.guest_contexts = 1;
+            let r = run_em2(cfg, &hotspot, &hs_placement);
+            std::hint::black_box(r.flow.evictions)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E2 / Figure 2 — generating the OCEAN workload and computing its
+//! non-native run-length histogram under first-touch placement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em2_bench::workloads::{self, Scale};
+use em2_placement::run_length_analysis;
+use em2_trace::gen::ocean::OceanConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_ocean_runlength");
+    g.sample_size(10);
+
+    g.bench_function("generate_ocean_quick", |b| {
+        b.iter(|| {
+            let w = OceanConfig {
+                interior: 128,
+                threads: 16,
+                cores: 16,
+                iterations: 2,
+                ..OceanConfig::default()
+            }
+            .generate();
+            std::hint::black_box(w.total_accesses())
+        })
+    });
+
+    let w = workloads::ocean(Scale::Quick);
+    let p = workloads::first_touch(&w, Scale::Quick);
+    g.bench_function("runlength_analysis", |b| {
+        b.iter(|| {
+            let a = run_length_analysis(&w, &p, 60);
+            std::hint::black_box(a.single_access_fraction())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

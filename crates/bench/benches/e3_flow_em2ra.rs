@@ -1,0 +1,40 @@
+//! E3 / Figure 3 — EM²-RA simulation throughput with each decision
+//! scheme family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em2_bench::workloads::{self, Scale};
+use em2_core::decision::{AlwaysRemote, DistanceThreshold, HistoryPredictor};
+use em2_core::machine::MachineConfig;
+use em2_core::sim::run_em2ra;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_flow_em2ra");
+    g.sample_size(10);
+
+    let w = workloads::uniform(Scale::Quick);
+    let p = workloads::first_touch(&w, Scale::Quick);
+    let cfg = MachineConfig::with_cores(16);
+
+    g.bench_function("always_remote", |b| {
+        b.iter(|| {
+            let r = run_em2ra(cfg.clone(), &w, &p, Box::new(AlwaysRemote));
+            std::hint::black_box(r.flow.remote_reads)
+        })
+    });
+    g.bench_function("distance_threshold", |b| {
+        b.iter(|| {
+            let r = run_em2ra(cfg.clone(), &w, &p, Box::new(DistanceThreshold { max_hops: 2 }));
+            std::hint::black_box(r.cycles)
+        })
+    });
+    g.bench_function("history_predictor", |b| {
+        b.iter(|| {
+            let r = run_em2ra(cfg.clone(), &w, &p, Box::new(HistoryPredictor::new(1.0, 0.5)));
+            std::hint::black_box(r.cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E4 / §3 — the optimal-decision dynamic program on real workload
+//! traces, and the O(N) scheme evaluator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em2_bench::workloads::{self, Scale};
+use em2_model::CostModel;
+use em2_optimal::{migrate_ra, Choice, CostTrace};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_optimal_dp");
+    g.sample_size(10);
+
+    let w = workloads::ocean(Scale::Quick);
+    let p = workloads::first_touch(&w, Scale::Quick);
+    let cost = CostModel::builder().cores(16).build();
+    let traces = CostTrace::from_workload(&w, &p);
+    // Bench on the single longest thread trace.
+    let t = traces
+        .iter()
+        .max_by_key(|t| t.len())
+        .expect("non-empty workload")
+        .clone();
+
+    g.bench_function("optimal_one_thread", |b| {
+        b.iter(|| std::hint::black_box(migrate_ra::optimal(&t, &cost).cost))
+    });
+    g.bench_function("evaluate_one_thread", |b| {
+        b.iter(|| {
+            std::hint::black_box(migrate_ra::evaluate(&t, &cost, |_, _, _, _| Choice::Remote))
+        })
+    });
+    g.bench_function("workload_optimal_all_threads", |b| {
+        b.iter(|| std::hint::black_box(migrate_ra::workload_optimal(&w, &p, &cost).0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E5 / §3 — DP runtime scaling in trace length N and core count P:
+//! the O(N·P) transcription vs the O(N·P²) relaxation vs the O(N)
+//! evaluator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em2_model::{AccessKind, CoreId, CostModel, DetRng};
+use em2_optimal::{migrate_ra, Choice, CostTrace};
+
+fn random_trace(n: usize, p: usize, seed: u64) -> CostTrace {
+    let mut rng = DetRng::new(seed);
+    CostTrace {
+        start: CoreId(0),
+        accesses: (0..n)
+            .map(|_| {
+                (
+                    CoreId::from(rng.below(p as u64) as usize),
+                    AccessKind::Read,
+                )
+            })
+            .collect(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_dp_scaling");
+    g.sample_size(10);
+
+    for &p in &[16usize, 64] {
+        let cost = CostModel::builder().cores(p).build();
+        let t = random_trace(2_000, p, 0xE5);
+        g.bench_with_input(BenchmarkId::new("optimal_NP", p), &p, |b, _| {
+            b.iter(|| std::hint::black_box(migrate_ra::optimal(&t, &cost).cost))
+        });
+        g.bench_with_input(BenchmarkId::new("general_NP2", p), &p, |b, _| {
+            b.iter(|| std::hint::black_box(migrate_ra::optimal_general(&t, &cost)))
+        });
+        g.bench_with_input(BenchmarkId::new("evaluate_N", p), &p, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(migrate_ra::evaluate(&t, &cost, |_, _, _, _| {
+                    Choice::Migrate
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

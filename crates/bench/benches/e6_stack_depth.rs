@@ -1,0 +1,68 @@
+//! E6 / §4 — stack-machine execution, visit extraction, and the
+//! optimal-depth DP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em2_model::{CoreId, CostModel};
+use em2_optimal::stack_depth::{self, DepthChoice};
+use em2_placement::Striped;
+use em2_stack::{extract_visits, program, SparseMemory, StackMachine};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_stack_depth");
+    g.sample_size(10);
+
+    let n = 1024u32;
+    let k = program::dot_product(0x0000, 0x4_0100, n, 0x8_0000);
+    let placement = Striped::new(16, 256);
+
+    g.bench_function("interpret_and_extract_visits", |b| {
+        b.iter(|| {
+            let mut mem = SparseMemory::new();
+            mem.load_words(0x0000, &vec![1u32; n as usize]);
+            mem.load_words(0x4_0100, &vec![2u32; n as usize]);
+            let vt = extract_visits(
+                StackMachine::new(k.program.clone()),
+                &mut mem,
+                &placement,
+                CoreId(0),
+                50_000_000,
+            )
+            .unwrap();
+            std::hint::black_box(vt.visits.len())
+        })
+    });
+
+    // Pre-extract once for the DP benches.
+    let mut mem = SparseMemory::new();
+    mem.load_words(0x0000, &vec![1u32; n as usize]);
+    mem.load_words(0x4_0100, &vec![2u32; n as usize]);
+    let vt = extract_visits(
+        StackMachine::new(k.program.clone()),
+        &mut mem,
+        &placement,
+        CoreId(0),
+        50_000_000,
+    )
+    .unwrap();
+    let cost = CostModel::builder().cores(16).build();
+    let params = DepthChoice::default();
+
+    g.bench_function("stack_optimal_dp", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                stack_depth::stack_optimal(vt.start, &vt.visits, &params, &cost).cost,
+            )
+        })
+    });
+    g.bench_function("fixed_depth_eval", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                stack_depth::evaluate_fixed_depth(vt.start, &vt.visits, 4, &params, &cost).0,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E7 / §2 — simulation throughput of the three machines on the same
+//! workload: pure EM², EM²-RA, and directory-MSI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em2_bench::workloads::{self, Scale};
+use em2_coherence::{run_msi, MsiConfig};
+use em2_core::decision::HistoryPredictor;
+use em2_core::machine::MachineConfig;
+use em2_core::sim::{run_em2, run_em2ra};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_cc_vs_em2");
+    g.sample_size(10);
+
+    let w = workloads::fft(Scale::Quick);
+    let p = workloads::first_touch(&w, Scale::Quick);
+
+    g.bench_function("em2", |b| {
+        b.iter(|| {
+            let r = run_em2(MachineConfig::with_cores(16), &w, &p);
+            std::hint::black_box(r.traffic.total())
+        })
+    });
+    g.bench_function("em2ra_history", |b| {
+        b.iter(|| {
+            let r = run_em2ra(
+                MachineConfig::with_cores(16),
+                &w,
+                &p,
+                Box::new(HistoryPredictor::new(1.0, 0.5)),
+            );
+            std::hint::black_box(r.traffic.total())
+        })
+    });
+    g.bench_function("directory_msi", |b| {
+        b.iter(|| {
+            let r = run_msi(MsiConfig::with_cores(16), &w, &p);
+            std::hint::black_box(r.total_flit_hops())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

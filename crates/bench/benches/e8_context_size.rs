@@ -1,0 +1,37 @@
+//! E8 / §5 — EM² simulation at small vs large migrated context sizes
+//! (the knob both §3 and §4 exist to shrink).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em2_bench::workloads::{self, Scale};
+use em2_core::machine::MachineConfig;
+use em2_core::sim::run_em2;
+use em2_model::CostModel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_context_size");
+    g.sample_size(10);
+
+    let w = workloads::pingpong(Scale::Quick);
+    let p = workloads::first_touch(&w, Scale::Quick);
+
+    for &bits in &[256u64, 1120, 4096] {
+        g.bench_with_input(BenchmarkId::new("em2_context_bits", bits), &bits, |b, &bits| {
+            let cfg = MachineConfig {
+                cost: CostModel::builder()
+                    .cores(16)
+                    .context_bits(bits)
+                    .link_width_bits(32)
+                    .build(),
+                ..MachineConfig::with_cores(16)
+            };
+            b.iter(|| {
+                let r = run_em2(cfg.clone(), &w, &p);
+                std::hint::black_box(r.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E9 — cycle-level NoC throughput: uncontended packets, a mixed-class
+//! storm across all six virtual channels, and raw cycle stepping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em2_model::Mesh;
+use em2_noc::{CycleNoc, NocConfig, VirtualChannel};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_noc_cycle");
+    g.sample_size(10);
+
+    let mesh = Mesh::new(4, 4);
+
+    g.bench_function("single_packet_corner_to_corner", |b| {
+        b.iter(|| {
+            let mut noc = CycleNoc::new(NocConfig {
+                mesh,
+                ..NocConfig::default()
+            });
+            noc.inject(mesh.at(0, 0), mesh.at(3, 3), VirtualChannel::Migration, 1120);
+            let cycles = noc.run_until_idle(10_000).unwrap();
+            std::hint::black_box(cycles)
+        })
+    });
+
+    g.bench_function("six_class_storm", |b| {
+        b.iter(|| {
+            let mut noc = CycleNoc::new(NocConfig {
+                mesh,
+                ..NocConfig::default()
+            });
+            for s in mesh.iter() {
+                for d in mesh.iter() {
+                    if s != d {
+                        for vc in VirtualChannel::ALL {
+                            noc.inject(s, d, vc, 256);
+                        }
+                    }
+                }
+            }
+            let cycles = noc.run_until_idle(10_000_000).expect("deadlock");
+            std::hint::black_box(cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Experiment runner: regenerates every figure/table of the paper.
+//!
+//! ```text
+//! experiments [all|e1|e2|...|e9] [--quick] [--chart]
+//! ```
+//!
+//! `--quick` runs the 16-core CI scale instead of the paper's 64-core
+//! scale; `--chart` additionally renders the Figure-2 histogram as an
+//! ASCII bar chart.
+
+use em2_bench::experiments as ex;
+use em2_bench::workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let chart = args.iter().any(|a| a == "--chart");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let run_all = which.is_empty() || which.contains(&"all");
+
+    let wants = |id: &str| run_all || which.contains(&id);
+
+    println!(
+        "EM2 reproduction experiments — scale: {:?} ({} cores)\n",
+        scale,
+        scale.cores()
+    );
+
+    if wants("e1") {
+        println!("{}\n", ex::e1_flow_em2(scale));
+    }
+    if wants("e2") {
+        let (t, hist) = ex::e2_ocean_runlengths(scale);
+        println!("{t}");
+        if chart {
+            println!("{}", hist.ascii_chart_weighted(1, 40, 50));
+        }
+        println!();
+    }
+    if wants("e3") {
+        println!("{}\n", ex::e3_flow_em2ra(scale));
+    }
+    if wants("e4") {
+        println!("{}\n", ex::e4_optimal_vs_schemes(scale));
+    }
+    if wants("e5") {
+        println!("{}\n", ex::e5_dp_scaling(scale));
+    }
+    if wants("e6") {
+        println!("{}\n", ex::e6_stack_depth(scale));
+    }
+    if wants("e7") {
+        println!("{}\n", ex::e7_cc_vs_em2(scale));
+    }
+    if wants("e8") {
+        println!("{}\n", ex::e8_context_size(scale));
+    }
+    if wants("e9") {
+        println!("{}\n", ex::e9_noc_validation(scale));
+    }
+}

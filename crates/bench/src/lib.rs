@@ -1,0 +1,28 @@
+//! # em2-bench
+//!
+//! Experiment harness regenerating every figure and model claim of the
+//! paper (see DESIGN.md §5 for the experiment index):
+//!
+//! | id | paper artifact | function |
+//! |----|----------------|----------|
+//! | E1 | Figure 1 (EM² access flow) | [`experiments::e1_flow_em2`] |
+//! | E2 | Figure 2 (OCEAN run lengths) | [`experiments::e2_ocean_runlengths`] |
+//! | E3 | Figure 3 (EM²-RA access flow) | [`experiments::e3_flow_em2ra`] |
+//! | E4 | §3 optimal-vs-schemes | [`experiments::e4_optimal_vs_schemes`] |
+//! | E5 | §3 complexity claims | [`experiments::e5_dp_scaling`] |
+//! | E6 | §4 stack depths | [`experiments::e6_stack_depth`] |
+//! | E7 | §2 EM² vs directory CC | [`experiments::e7_cc_vs_em2`] |
+//! | E8 | §5 context-size sensitivity | [`experiments::e8_context_size`] |
+//! | E9 | §2/§3 deadlock freedom & NoC validation | [`experiments::e9_noc_validation`] |
+//!
+//! The `experiments` binary prints these as aligned text tables; the
+//! criterion benches in `benches/` time the underlying kernels.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use table::Table;

@@ -1,0 +1,117 @@
+//! Cache geometry configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one set-associative cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Create a config, validating the geometry.
+    ///
+    /// # Panics
+    /// Panics if sizes are not powers of two or don't divide evenly.
+    pub fn new(size_bytes: u64, ways: u32, line_bytes: u64) -> Self {
+        let c = CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+        };
+        c.validate();
+        c
+    }
+
+    /// The paper's Figure-2 L1: 16 KB, 4-way, 64-byte lines.
+    pub fn l1_16k() -> Self {
+        CacheConfig::new(16 * 1024, 4, 64)
+    }
+
+    /// The paper's Figure-2 L2: 64 KB, 8-way, 64-byte lines.
+    pub fn l2_64k() -> Self {
+        CacheConfig::new(64 * 1024, 8, 64)
+    }
+
+    fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size power of two");
+        assert!(self.ways >= 1, "at least one way");
+        assert!(self.size_bytes >= self.line_bytes * self.ways as u64);
+        assert_eq!(
+            self.size_bytes % (self.line_bytes * self.ways as u64),
+            0,
+            "capacity must divide into sets"
+        );
+        assert!(
+            self.sets().is_power_of_two(),
+            "set count must be a power of two for index hashing"
+        );
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub const fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.ways as u64)
+    }
+
+    /// Total number of lines the cache can hold.
+    #[inline]
+    pub const fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Set index of a line address.
+    #[inline]
+    pub const fn set_of(&self, line: u64) -> u64 {
+        line & (self.sets() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs() {
+        let l1 = CacheConfig::l1_16k();
+        assert_eq!(l1.sets(), 64);
+        assert_eq!(l1.lines(), 256);
+        let l2 = CacheConfig::l2_64k();
+        assert_eq!(l2.sets(), 128);
+        assert_eq!(l2.lines(), 1024);
+    }
+
+    #[test]
+    fn set_of_masks_low_bits() {
+        let c = CacheConfig::new(1024, 2, 64); // 8 sets
+        assert_eq!(c.set_of(0), 0);
+        assert_eq!(c.set_of(7), 7);
+        assert_eq!(c.set_of(8), 0);
+        assert_eq!(c.set_of(13), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_line() {
+        CacheConfig::new(1024, 2, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide into sets")]
+    fn rejects_nondividing_capacity() {
+        CacheConfig::new(1000, 2, 64);
+    }
+
+    #[test]
+    fn direct_mapped_and_fully_assoc() {
+        let dm = CacheConfig::new(512, 1, 64);
+        assert_eq!(dm.sets(), 8);
+        let fa = CacheConfig::new(512, 8, 64);
+        assert_eq!(fa.sets(), 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Replacement policies for set-associative caches.
+//!
+//! A policy tracks access recency/order per set and nominates a victim
+//! way on fill. The cache core calls [`ReplacementPolicy::on_access`]
+//! for every hit/fill and [`ReplacementPolicy::victim`] when a set is
+//! full.
+
+use em2_model::DetRng;
+
+/// Per-set replacement state machine.
+pub trait ReplacementPolicy: Send {
+    /// Note an access (hit or fill) to `way` of `set`.
+    fn on_access(&mut self, set: u64, way: u32);
+
+    /// Choose the way to evict from a full `set` (does not update
+    /// recency state; the subsequent fill will call `on_access`).
+    fn victim(&mut self, set: u64) -> u32;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Least-recently-used, tracked with per-way timestamps (exact LRU).
+pub struct Lru {
+    ways: u32,
+    clock: u64,
+    stamps: Vec<u64>,
+}
+
+impl Lru {
+    /// LRU state for `sets × ways` lines.
+    pub fn new(sets: u64, ways: u32) -> Self {
+        Lru {
+            ways,
+            clock: 0,
+            stamps: vec![0; (sets * ways as u64) as usize],
+        }
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn on_access(&mut self, set: u64, way: u32) {
+        self.clock += 1;
+        self.stamps[(set * self.ways as u64 + way as u64) as usize] = self.clock;
+    }
+
+    fn victim(&mut self, set: u64) -> u32 {
+        let base = (set * self.ways as u64) as usize;
+        let slice = &self.stamps[base..base + self.ways as usize];
+        let (way, _) = slice
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &s)| s)
+            .expect("at least one way");
+        way as u32
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+/// First-in-first-out: evicts in fill order, ignoring hits.
+pub struct Fifo {
+    ways: u32,
+    next: Vec<u32>,
+}
+
+impl Fifo {
+    /// FIFO state for `sets` sets of `ways` ways.
+    pub fn new(sets: u64, ways: u32) -> Self {
+        Fifo {
+            ways,
+            next: vec![0; sets as usize],
+        }
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn on_access(&mut self, _set: u64, _way: u32) {}
+
+    fn victim(&mut self, set: u64) -> u32 {
+        let v = self.next[set as usize];
+        self.next[set as usize] = (v + 1) % self.ways;
+        v
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Uniform random replacement (deterministic given the seed).
+pub struct RandomRepl {
+    ways: u32,
+    rng: DetRng,
+}
+
+impl RandomRepl {
+    /// Random replacement over `ways` ways, seeded deterministically.
+    pub fn new(ways: u32, seed: u64) -> Self {
+        RandomRepl {
+            ways,
+            rng: DetRng::new(seed),
+        }
+    }
+}
+
+impl ReplacementPolicy for RandomRepl {
+    fn on_access(&mut self, _set: u64, _way: u32) {}
+
+    fn victim(&mut self, _set: u64) -> u32 {
+        self.rng.below(self.ways as u64) as u32
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Tree pseudo-LRU: one bit per internal node of a binary tree over the
+/// ways — the hardware-practical approximation real L1s use.
+/// Requires power-of-two associativity.
+pub struct TreePlru {
+    ways: u32,
+    // Per set: ways-1 tree bits packed little-endian in a u64.
+    bits: Vec<u64>,
+}
+
+impl TreePlru {
+    /// PLRU state; `ways` must be a power of two ≤ 64.
+    pub fn new(sets: u64, ways: u32) -> Self {
+        assert!(ways.is_power_of_two() && ways <= 64, "plru needs 2^k ways");
+        TreePlru {
+            ways,
+            bits: vec![0; sets as usize],
+        }
+    }
+
+    fn levels(&self) -> u32 {
+        self.ways.trailing_zeros()
+    }
+}
+
+impl ReplacementPolicy for TreePlru {
+    fn on_access(&mut self, set: u64, way: u32) {
+        // Walk root→leaf; point each node *away* from the accessed way.
+        let levels = self.levels();
+        let bits = &mut self.bits[set as usize];
+        let mut node = 0u32; // index within level-order tree, 0-based
+        for level in 0..levels {
+            let shift = levels - 1 - level;
+            let dir = (way >> shift) & 1;
+            if dir == 1 {
+                *bits &= !(1u64 << node);
+            } else {
+                *bits |= 1u64 << node;
+            }
+            node = 2 * node + 1 + dir;
+        }
+    }
+
+    fn victim(&mut self, set: u64) -> u32 {
+        // Follow the pointed-to direction from the root.
+        let bits = self.bits[set as usize];
+        let mut node = 0u32;
+        let mut way = 0u32;
+        for _ in 0..self.levels() {
+            let dir = ((bits >> node) & 1) as u32;
+            way = (way << 1) | dir;
+            node = 2 * node + 1 + dir;
+        }
+        way
+    }
+
+    fn name(&self) -> &'static str {
+        "tree-plru"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = Lru::new(1, 4);
+        for w in 0..4 {
+            p.on_access(0, w);
+        }
+        p.on_access(0, 0); // 0 becomes most recent
+        assert_eq!(p.victim(0), 1);
+        p.on_access(0, 1);
+        assert_eq!(p.victim(0), 2);
+    }
+
+    #[test]
+    fn lru_sets_are_independent() {
+        let mut p = Lru::new(2, 2);
+        p.on_access(0, 0);
+        p.on_access(0, 1);
+        p.on_access(1, 1);
+        p.on_access(1, 0);
+        assert_eq!(p.victim(0), 0);
+        assert_eq!(p.victim(1), 1);
+    }
+
+    #[test]
+    fn fifo_cycles() {
+        let mut p = Fifo::new(1, 3);
+        assert_eq!(p.victim(0), 0);
+        assert_eq!(p.victim(0), 1);
+        assert_eq!(p.victim(0), 2);
+        assert_eq!(p.victim(0), 0);
+        // hits don't disturb FIFO order
+        p.on_access(0, 1);
+        assert_eq!(p.victim(0), 1);
+    }
+
+    #[test]
+    fn random_is_in_range_and_deterministic() {
+        let mut a = RandomRepl::new(4, 9);
+        let mut b = RandomRepl::new(4, 9);
+        for _ in 0..100 {
+            let va = a.victim(0);
+            assert!(va < 4);
+            assert_eq!(va, b.victim(0));
+        }
+    }
+
+    #[test]
+    fn plru_victim_avoids_recent() {
+        let mut p = TreePlru::new(1, 4);
+        // Touch everything, then re-touch way 2: victim must not be 2.
+        for w in 0..4 {
+            p.on_access(0, w);
+        }
+        p.on_access(0, 2);
+        assert_ne!(p.victim(0), 2);
+    }
+
+    #[test]
+    fn plru_tracks_single_way_hot() {
+        let mut p = TreePlru::new(1, 8);
+        for _ in 0..16 {
+            p.on_access(0, 5);
+        }
+        assert_ne!(p.victim(0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn plru_rejects_non_pow2() {
+        TreePlru::new(1, 3);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Lru::new(1, 2).name(), "lru");
+        assert_eq!(Fifo::new(1, 2).name(), "fifo");
+        assert_eq!(RandomRepl::new(2, 0).name(), "random");
+        assert_eq!(TreePlru::new(1, 2).name(), "tree-plru");
+    }
+}

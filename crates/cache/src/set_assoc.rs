@@ -1,0 +1,265 @@
+//! The set-associative cache core.
+
+use crate::config::CacheConfig;
+use crate::replacement::{Lru, ReplacementPolicy};
+use em2_model::LineAddr;
+
+/// One way of one set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Way {
+    line: LineAddr,
+    dirty: bool,
+}
+
+/// Result of a cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was already present.
+    pub hit: bool,
+    /// A line evicted to make room, with its dirty bit
+    /// (`Some` only on misses into a full set).
+    pub evicted: Option<(LineAddr, bool)>,
+}
+
+/// A set-associative cache with pluggable replacement.
+///
+/// Tracks tags and dirty bits only (this is an architecture simulator:
+/// data values live in the memory model, not here).
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    policy: Box<dyn ReplacementPolicy>,
+    insertions: u64,
+}
+
+impl SetAssocCache {
+    /// A cache with exact-LRU replacement.
+    pub fn new_lru(config: CacheConfig) -> Self {
+        let policy = Box::new(Lru::new(config.sets(), config.ways));
+        SetAssocCache::with_policy(config, policy)
+    }
+
+    /// A cache with the given replacement policy.
+    pub fn with_policy(config: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+        SetAssocCache {
+            sets: (0..config.sets())
+                .map(|_| Vec::with_capacity(config.ways as usize))
+                .collect(),
+            config,
+            policy,
+            insertions: 0,
+        }
+    }
+
+    /// The cache geometry.
+    #[inline]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Access `line`; `write` marks it dirty. Fills on miss (allocate
+    /// on write, like a write-back write-allocate cache).
+    pub fn access(&mut self, line: LineAddr, write: bool) -> AccessResult {
+        let set_idx = self.config.set_of(line.0) as usize;
+        let ways = self.config.ways;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(pos) = set.iter().position(|w| w.line == line) {
+            set[pos].dirty |= write;
+            self.policy.on_access(set_idx as u64, pos as u32);
+            return AccessResult {
+                hit: true,
+                evicted: None,
+            };
+        }
+
+        // Miss: fill, evicting if the set is full.
+        let evicted = if set.len() == ways as usize {
+            let victim = self.policy.victim(set_idx as u64) as usize;
+            debug_assert!(victim < set.len());
+            let old = set[victim];
+            set[victim] = Way { line, dirty: write };
+            self.policy.on_access(set_idx as u64, victim as u32);
+            Some((old.line, old.dirty))
+        } else {
+            let way = set.len() as u32;
+            set.push(Way { line, dirty: write });
+            self.policy.on_access(set_idx as u64, way);
+            None
+        };
+        self.insertions += 1;
+        AccessResult {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Non-modifying presence check.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        let set = &self.sets[self.config.set_of(line.0) as usize];
+        set.iter().any(|w| w.line == line)
+    }
+
+    /// Remove `line` if present, returning its dirty bit.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let set_idx = self.config.set_of(line.0) as usize;
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|w| w.line == line)?;
+        let dirty = set[pos].dirty;
+        set.swap_remove(pos);
+        Some(dirty)
+    }
+
+    /// Clear a line's dirty bit (e.g. after a writeback triggered by a
+    /// coherence downgrade). Returns whether the line was present.
+    pub fn clean(&mut self, line: LineAddr) -> bool {
+        let set_idx = self.config.set_of(line.0) as usize;
+        if let Some(w) = self.sets[set_idx].iter_mut().find(|w| w.line == line) {
+            w.dirty = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Occupancy as a fraction of capacity.
+    pub fn occupancy_fraction(&self) -> f64 {
+        self.occupancy() as f64 / self.config.lines() as f64
+    }
+
+    /// Total line insertions (fills) so far.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Iterate over resident lines `(line, dirty)`.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, bool)> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|w| (w.line, w.dirty)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::Fifo;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets × 2 ways, 64-byte lines.
+        SetAssocCache::new_lru(CacheConfig::new(256, 2, 64))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        let l = LineAddr(4);
+        assert!(!c.access(l, false).hit);
+        assert!(c.access(l, false).hit);
+        assert!(c.probe(l));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn write_sets_dirty_and_eviction_reports_it() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (even line numbers).
+        c.access(LineAddr(0), true);
+        c.access(LineAddr(2), false);
+        let r = c.access(LineAddr(4), false); // evicts LRU = line 0 (dirty)
+        assert_eq!(r.evicted, Some((LineAddr(0), true)));
+    }
+
+    #[test]
+    fn read_then_write_marks_dirty() {
+        let mut c = tiny();
+        c.access(LineAddr(0), false);
+        c.access(LineAddr(0), true);
+        c.access(LineAddr(2), false);
+        let r = c.access(LineAddr(4), false);
+        assert_eq!(r.evicted, Some((LineAddr(0), true)));
+    }
+
+    #[test]
+    fn lru_order_respected() {
+        let mut c = tiny();
+        c.access(LineAddr(0), false);
+        c.access(LineAddr(2), false);
+        c.access(LineAddr(0), false); // 0 most recent
+        let r = c.access(LineAddr(4), false);
+        assert_eq!(r.evicted, Some((LineAddr(2), false)));
+        assert!(c.probe(LineAddr(0)));
+        assert!(!c.probe(LineAddr(2)));
+    }
+
+    #[test]
+    fn sets_do_not_interfere() {
+        let mut c = tiny();
+        // Odd lines map to set 1.
+        c.access(LineAddr(0), false);
+        c.access(LineAddr(1), false);
+        c.access(LineAddr(3), false);
+        c.access(LineAddr(5), false); // evicts within set 1 only
+        assert!(c.probe(LineAddr(0)), "set 0 must be untouched");
+    }
+
+    #[test]
+    fn invalidate_returns_dirty_bit() {
+        let mut c = tiny();
+        c.access(LineAddr(0), true);
+        c.access(LineAddr(1), false);
+        assert_eq!(c.invalidate(LineAddr(0)), Some(true));
+        assert_eq!(c.invalidate(LineAddr(1)), Some(false));
+        assert_eq!(c.invalidate(LineAddr(9)), None);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn clean_clears_dirty() {
+        let mut c = tiny();
+        c.access(LineAddr(0), true);
+        assert!(c.clean(LineAddr(0)));
+        c.access(LineAddr(2), false);
+        let r = c.access(LineAddr(4), false);
+        assert_eq!(r.evicted, Some((LineAddr(0), false)), "cleaned line evicts clean");
+        assert!(!c.clean(LineAddr(99)));
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = tiny();
+        for i in 0..100 {
+            c.access(LineAddr(i), i % 3 == 0);
+            assert!(c.occupancy() <= 4);
+        }
+        assert_eq!(c.occupancy(), 4);
+        assert!((c.occupancy_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(c.insertions(), 100);
+    }
+
+    #[test]
+    fn fifo_policy_plugs_in() {
+        let cfg = CacheConfig::new(128, 2, 64); // 1 set × 2 ways
+        let mut c = SetAssocCache::with_policy(cfg, Box::new(Fifo::new(1, 2)));
+        c.access(LineAddr(0), false);
+        c.access(LineAddr(1), false);
+        c.access(LineAddr(0), false); // hit; FIFO ignores recency
+        let r = c.access(LineAddr(2), false);
+        assert_eq!(r.evicted, Some((LineAddr(0), false)), "FIFO evicts first-in");
+    }
+
+    #[test]
+    fn iter_lists_contents() {
+        let mut c = tiny();
+        c.access(LineAddr(0), true);
+        c.access(LineAddr(1), false);
+        let mut v: Vec<_> = c.iter().collect();
+        v.sort();
+        assert_eq!(v, vec![(LineAddr(0), true), (LineAddr(1), false)]);
+    }
+}

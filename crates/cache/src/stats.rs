@@ -1,0 +1,124 @@
+//! Hit/miss accounting for cache hierarchies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Counters for a two-level hierarchy plus its memory interface.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 hits (after an L1 miss).
+    pub l2_hits: u64,
+    /// L2 misses (off-chip accesses).
+    pub l2_misses: u64,
+    /// Dirty lines written back from L1 into L2.
+    pub l1_writebacks: u64,
+    /// Dirty lines written back from L2 to memory.
+    pub l2_writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses seen at L1.
+    pub fn accesses(&self) -> u64 {
+        self.l1_hits + self.l1_misses
+    }
+
+    /// L1 miss rate in [0, 1].
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// L2 local miss rate (of L1 misses) in [0, 1].
+    pub fn l2_miss_rate(&self) -> f64 {
+        let refs = self.l2_hits + self.l2_misses;
+        if refs == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / refs as f64
+        }
+    }
+
+    /// Accesses that went off-chip per access (global miss rate).
+    pub fn global_miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Merge counters from another instance.
+    pub fn merge(&mut self, o: &CacheStats) {
+        self.l1_hits += o.l1_hits;
+        self.l1_misses += o.l1_misses;
+        self.l2_hits += o.l2_hits;
+        self.l2_misses += o.l2_misses;
+        self.l1_writebacks += o.l1_writebacks;
+        self.l2_writebacks += o.l2_writebacks;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1 {:.1}% miss, L2 {:.1}% miss (global {:.2}%), wb L1→L2 {} L2→mem {}",
+            100.0 * self.l1_miss_rate(),
+            100.0 * self.l2_miss_rate(),
+            100.0 * self.global_miss_rate(),
+            self.l1_writebacks,
+            self.l2_writebacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = CacheStats {
+            l1_hits: 90,
+            l1_misses: 10,
+            l2_hits: 8,
+            l2_misses: 2,
+            l1_writebacks: 1,
+            l2_writebacks: 0,
+        };
+        assert_eq!(s.accesses(), 100);
+        assert!((s.l1_miss_rate() - 0.1).abs() < 1e-12);
+        assert!((s.l2_miss_rate() - 0.2).abs() < 1e-12);
+        assert!((s.global_miss_rate() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.l1_miss_rate(), 0.0);
+        assert_eq!(s.l2_miss_rate(), 0.0);
+        assert_eq!(s.global_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = CacheStats {
+            l1_hits: 1,
+            l1_misses: 2,
+            l2_hits: 3,
+            l2_misses: 4,
+            l1_writebacks: 5,
+            l2_writebacks: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.l1_hits, 2);
+        assert_eq!(a.l2_writebacks, 12);
+    }
+}

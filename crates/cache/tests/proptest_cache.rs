@@ -1,0 +1,134 @@
+//! Property-based tests: the set-associative cache against a reference
+//! model, and hierarchy inclusion invariants.
+
+use em2_cache::{CacheConfig, CacheHierarchy, HierarchyConfig, SetAssocCache};
+use em2_model::{Addr, LineAddr};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference model: a map from line → dirty with exact-LRU order kept
+/// in a vector per set.
+struct RefCache {
+    sets: HashMap<u64, Vec<(u64, bool)>>, // set -> [(line, dirty)] LRU-first
+    cfg: CacheConfig,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> Self {
+        RefCache {
+            sets: HashMap::new(),
+            cfg,
+        }
+    }
+
+    fn access(&mut self, line: u64, write: bool) -> (bool, Option<(u64, bool)>) {
+        let set = self.sets.entry(self.cfg.set_of(line)).or_default();
+        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+            let (l, d) = set.remove(pos);
+            set.push((l, d || write));
+            return (true, None);
+        }
+        let evicted = if set.len() == self.cfg.ways as usize {
+            Some(set.remove(0))
+        } else {
+            None
+        };
+        set.push((line, write));
+        (false, evicted)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lru_cache_matches_reference(
+        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..400)
+    ) {
+        let cfg = CacheConfig::new(1024, 4, 64); // 4 sets × 4 ways
+        let mut dut = SetAssocCache::new_lru(cfg);
+        let mut reference = RefCache::new(cfg);
+        for (line, write) in ops {
+            let r = dut.access(LineAddr(line), write);
+            let (hit, evicted) = reference.access(line, write);
+            prop_assert_eq!(r.hit, hit, "hit mismatch on line {}", line);
+            prop_assert_eq!(
+                r.evicted.map(|(l, d)| (l.0, d)),
+                evicted,
+                "eviction mismatch on line {}", line
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity(
+        ops in prop::collection::vec((0u64..1024, any::<bool>()), 1..500)
+    ) {
+        let cfg = CacheConfig::new(512, 2, 64); // 4 sets × 2 ways = 8 lines
+        let mut c = SetAssocCache::new_lru(cfg);
+        for (line, write) in ops {
+            c.access(LineAddr(line), write);
+            prop_assert!(c.occupancy() <= 8);
+        }
+    }
+
+    #[test]
+    fn just_accessed_line_is_always_present(
+        ops in prop::collection::vec(0u64..256, 1..300)
+    ) {
+        let mut c = SetAssocCache::new_lru(CacheConfig::new(1024, 4, 64));
+        for line in ops {
+            c.access(LineAddr(line), false);
+            prop_assert!(c.probe(LineAddr(line)));
+        }
+    }
+
+    #[test]
+    fn hierarchy_maintains_inclusion(
+        ops in prop::collection::vec((0u64..128, any::<bool>()), 1..400)
+    ) {
+        let mut h = CacheHierarchy::new(HierarchyConfig {
+            l1: CacheConfig::new(256, 2, 64),
+            l2: CacheConfig::new(512, 2, 64),
+        });
+        for (line, write) in ops {
+            h.access(Addr(line * 64), write);
+            // Inclusion: every L1 line is also in L2.
+            for (l1_line, _) in h.l1().iter() {
+                prop_assert!(
+                    h.l2().probe(l1_line),
+                    "line {:?} in L1 but not L2", l1_line
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_data_is_never_silently_lost(
+        lines in prop::collection::vec(0u64..64, 1..200)
+    ) {
+        // Write each line once, then sweep a large clean footprint
+        // through; every dirty line must either still be on chip or
+        // have been written back (counted).
+        let mut h = CacheHierarchy::new(HierarchyConfig {
+            l1: CacheConfig::new(256, 2, 64),
+            l2: CacheConfig::new(512, 2, 64),
+        });
+        let mut dirty_written = 0u64;
+        for &l in &lines {
+            h.access(Addr(l * 64), true);
+            dirty_written += 1;
+        }
+        for l in 1000..1200u64 {
+            h.access(Addr(l * 64), false);
+        }
+        let still_dirty_on_chip = h.l2().iter().filter(|&(_, d)| d).count() as u64
+            + h.l1().iter().filter(|&(_, d)| d).count() as u64;
+        let written_back = h.stats().l2_writebacks;
+        prop_assert!(
+            written_back + still_dirty_on_chip >= 1.min(dirty_written),
+            "dirty lines vanished: wrote {}, wb {}, on-chip {}",
+            dirty_written, written_back, still_dirty_on_chip
+        );
+    }
+}

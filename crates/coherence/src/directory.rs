@@ -1,0 +1,249 @@
+//! The distributed directory: per-line MSI bookkeeping.
+
+use em2_model::{CoreId, LineAddr};
+use std::collections::HashMap;
+
+/// A set of sharer cores, stored as a bitmask (any core count).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SharerSet {
+    words: Vec<u64>,
+}
+
+impl SharerSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        SharerSet::default()
+    }
+
+    /// A set containing one core.
+    pub fn single(core: CoreId) -> Self {
+        let mut s = SharerSet::new();
+        s.insert(core);
+        s
+    }
+
+    /// Add a core.
+    pub fn insert(&mut self, core: CoreId) {
+        let (w, b) = (core.index() / 64, core.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << b;
+    }
+
+    /// Remove a core; returns whether it was present.
+    pub fn remove(&mut self, core: CoreId) -> bool {
+        let (w, b) = (core.index() / 64, core.index() % 64);
+        if w >= self.words.len() || self.words[w] & (1 << b) == 0 {
+            return false;
+        }
+        self.words[w] &= !(1 << b);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, core: CoreId) -> bool {
+        let (w, b) = (core.index() / 64, core.index() % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of sharers.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no sharers.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over member cores.
+    pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64)
+                .filter(move |b| bits & (1u64 << b) != 0)
+                .map(move |b| CoreId::from(w * 64 + b))
+        })
+    }
+}
+
+impl FromIterator<CoreId> for SharerSet {
+    fn from_iter<T: IntoIterator<Item = CoreId>>(iter: T) -> Self {
+        let mut s = SharerSet::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+/// Directory state of one line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirState {
+    /// Cached read-only by the given cores.
+    Shared(SharerSet),
+    /// Cached exclusively (possibly dirty) by one core.
+    Modified(CoreId),
+}
+
+/// The full (distributed) directory: one logical entry per line that
+/// has ever been cached. Which core *hosts* an entry is decided by the
+/// placement function, outside this structure.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: HashMap<LineAddr, DirState>,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Current state of a line (`None` = uncached / Invalid).
+    pub fn get(&self, line: LineAddr) -> Option<&DirState> {
+        self.entries.get(&line)
+    }
+
+    /// Set a line's state.
+    pub fn set(&mut self, line: LineAddr, state: DirState) {
+        self.entries.insert(line, state);
+    }
+
+    /// Drop a line's entry (back to Invalid).
+    pub fn clear(&mut self, line: LineAddr) {
+        self.entries.remove(&line);
+    }
+
+    /// Remove `core` from a line's sharer set / ownership (silent or
+    /// explicit eviction). Cleans up empty entries.
+    pub fn drop_copy(&mut self, line: LineAddr, core: CoreId) {
+        match self.entries.get_mut(&line) {
+            Some(DirState::Shared(s)) => {
+                s.remove(core);
+                if s.is_empty() {
+                    self.entries.remove(&line);
+                }
+            }
+            Some(DirState::Modified(owner)) if *owner == core => {
+                self.entries.remove(&line);
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of live entries.
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total cached copies across the machine (Σ sharers; M = 1).
+    pub fn total_copies(&self) -> usize {
+        self.entries
+            .values()
+            .map(|s| match s {
+                DirState::Shared(set) => set.len(),
+                DirState::Modified(_) => 1,
+            })
+            .sum()
+    }
+
+    /// Directory storage in bits for a full-map directory over `cores`
+    /// cores: each entry holds a presence bit per core + 2 state bits
+    /// (the sizing argument of \[6\] the paper cites).
+    pub fn storage_bits(&self, cores: usize) -> u64 {
+        self.entries.len() as u64 * (cores as u64 + 2)
+    }
+
+    /// Protocol invariant: a Modified line has exactly one copy; a
+    /// Shared line has ≥ 1 sharer. Returns violations (must be empty).
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for (line, st) in &self.entries {
+            if let DirState::Shared(s) = st {
+                if s.is_empty() {
+                    v.push(format!("{line:?} is Shared with no sharers"));
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharer_set_ops() {
+        let mut s = SharerSet::new();
+        assert!(s.is_empty());
+        s.insert(CoreId(3));
+        s.insert(CoreId(70)); // beyond one word
+        s.insert(CoreId(3)); // idempotent
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(CoreId(3)));
+        assert!(s.contains(CoreId(70)));
+        assert!(!s.contains(CoreId(4)));
+        assert!(s.remove(CoreId(3)));
+        assert!(!s.remove(CoreId(3)));
+        assert_eq!(s.len(), 1);
+        let members: Vec<CoreId> = s.iter().collect();
+        assert_eq!(members, vec![CoreId(70)]);
+    }
+
+    #[test]
+    fn from_iter_collects() {
+        let s: SharerSet = [CoreId(1), CoreId(2), CoreId(1)].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn directory_transitions() {
+        let mut d = Directory::new();
+        let l = LineAddr(5);
+        assert!(d.get(l).is_none());
+        d.set(l, DirState::Shared(SharerSet::single(CoreId(1))));
+        assert_eq!(d.entries(), 1);
+        d.set(l, DirState::Modified(CoreId(2)));
+        assert_eq!(d.total_copies(), 1);
+        d.clear(l);
+        assert!(d.get(l).is_none());
+    }
+
+    #[test]
+    fn drop_copy_cleans_up() {
+        let mut d = Directory::new();
+        let l = LineAddr(9);
+        let mut s = SharerSet::single(CoreId(1));
+        s.insert(CoreId(2));
+        d.set(l, DirState::Shared(s));
+        d.drop_copy(l, CoreId(1));
+        assert_eq!(d.total_copies(), 1);
+        d.drop_copy(l, CoreId(2));
+        assert!(d.get(l).is_none(), "empty entry must be removed");
+        // Dropping the owner of an M line invalidates it.
+        d.set(l, DirState::Modified(CoreId(3)));
+        d.drop_copy(l, CoreId(4)); // not the owner: no-op
+        assert!(d.get(l).is_some());
+        d.drop_copy(l, CoreId(3));
+        assert!(d.get(l).is_none());
+    }
+
+    #[test]
+    fn storage_bits_scale_with_cores() {
+        let mut d = Directory::new();
+        for i in 0..10 {
+            d.set(LineAddr(i), DirState::Modified(CoreId(0)));
+        }
+        assert_eq!(d.storage_bits(64), 10 * 66);
+        assert_eq!(d.storage_bits(1024), 10 * 1026);
+    }
+
+    #[test]
+    fn invariants_catch_empty_shared() {
+        let mut d = Directory::new();
+        d.set(LineAddr(1), DirState::Shared(SharerSet::new()));
+        assert_eq!(d.check_invariants().len(), 1);
+    }
+}

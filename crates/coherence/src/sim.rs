@@ -1,0 +1,511 @@
+//! Event-driven directory-MSI trace replay.
+//!
+//! Threads are pinned to their native cores (no migration — this is
+//! the conventional machine). Every access consults the local cache
+//! first; misses and upgrades go to the line's **home** directory (the
+//! same placement function EM² uses, so both machines distribute state
+//! identically), which invalidates sharers, forwards dirty copies, and
+//! sources data from memory. Timing uses the shared
+//! [`em2_model::CostModel`]; data messages carry whole cache lines —
+//! the granularity disadvantage against EM²'s word-sized remote
+//! accesses that the paper's traffic argument rests on.
+
+use crate::directory::{DirState, Directory, SharerSet};
+use crate::stats::CohReport;
+use em2_cache::CacheHierarchy;
+use em2_cache::HierarchyConfig;
+use em2_model::{AccessKind, Addr, CoreId, CostModel, LineAddr, Summary, ThreadId};
+use em2_placement::Placement;
+use em2_trace::Workload;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Local MSI state of a cached line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Local {
+    Shared,
+    Modified,
+}
+
+/// Configuration of the MSI baseline machine.
+#[derive(Clone, Debug)]
+pub struct MsiConfig {
+    /// Shared cost model (mesh, latencies, link width).
+    pub cost: CostModel,
+    /// Per-core cache geometry (same default as EM²).
+    pub caches: HierarchyConfig,
+    /// Control message payload bits (address + type).
+    pub ctrl_bits: u64,
+    /// Sampling period (in accesses) for the replication metric.
+    pub replication_sample: u64,
+}
+
+impl Default for MsiConfig {
+    fn default() -> Self {
+        MsiConfig {
+            cost: CostModel::default(),
+            caches: HierarchyConfig::default(),
+            ctrl_bits: 72,
+            replication_sample: 1024,
+        }
+    }
+}
+
+impl MsiConfig {
+    /// A config for `cores` cores.
+    pub fn with_cores(cores: usize) -> Self {
+        MsiConfig {
+            cost: CostModel::builder().cores(cores).build(),
+            ..MsiConfig::default()
+        }
+    }
+
+    fn data_bits(&self) -> u64 {
+        self.caches.l1.line_bytes * 8 + self.ctrl_bits
+    }
+}
+
+/// The protocol state machine (separate from the event-loop driver for
+/// testability).
+struct MachineState<'a> {
+    cfg: &'a MsiConfig,
+    dir: Directory,
+    caches: Vec<CacheHierarchy>,
+    local: Vec<HashMap<LineAddr, Local>>,
+    report: CohReport,
+    accesses_seen: u64,
+    /// Home of every line seen so far (for victim notifications).
+    homes: HashMap<LineAddr, CoreId>,
+}
+
+impl<'a> MachineState<'a> {
+    fn new(cfg: &'a MsiConfig, cores: usize, workload: &str) -> Self {
+        MachineState {
+            cfg,
+            dir: Directory::new(),
+            caches: (0..cores).map(|_| CacheHierarchy::new(cfg.caches)).collect(),
+            local: vec![HashMap::new(); cores],
+            report: CohReport {
+                workload: workload.to_string(),
+                cycles: 0,
+                read_hits: 0,
+                read_misses: 0,
+                write_hits: 0,
+                upgrades: 0,
+                write_misses: 0,
+                invalidations: 0,
+                forwards: 0,
+                writebacks: 0,
+                control_flit_hops: 0,
+                data_flit_hops: 0,
+                access_latency: Summary::new(),
+                caches: em2_cache::CacheStats::default(),
+                peak_replication: 0.0,
+                directory_bits: 0,
+                violations: Vec::new(),
+            },
+            accesses_seen: 0,
+            homes: HashMap::new(),
+        }
+    }
+
+    /// Send a control message; returns its latency and accounts its
+    /// traffic.
+    fn ctrl(&mut self, a: CoreId, b: CoreId) -> u64 {
+        let c = &self.cfg.cost;
+        self.report.control_flit_hops += c.hops(a, b) * c.flits(self.cfg.ctrl_bits);
+        c.one_way(a, b, self.cfg.ctrl_bits)
+    }
+
+    /// Send a whole-line data message.
+    fn data(&mut self, a: CoreId, b: CoreId) -> u64 {
+        let c = &self.cfg.cost;
+        let bits = self.cfg.data_bits();
+        self.report.data_flit_hops += c.hops(a, b) * c.flits(bits);
+        c.one_way(a, b, bits)
+    }
+
+    /// Invalidate every sharer of `line` except `except`; returns the
+    /// slowest invalidation round trip as seen from `home`.
+    fn invalidate_sharers(
+        &mut self,
+        home: CoreId,
+        line: LineAddr,
+        addr: Addr,
+        set: &SharerSet,
+        except: CoreId,
+    ) -> u64 {
+        let mut worst = 0;
+        let sharers: Vec<CoreId> = set.iter().filter(|&s| s != except).collect();
+        for s in sharers {
+            let there = self.ctrl(home, s);
+            let back = self.ctrl(s, home);
+            worst = worst.max(there + back);
+            self.report.invalidations += 1;
+            self.local[s.index()].remove(&line);
+            self.caches[s.index()].invalidate(addr);
+        }
+        worst
+    }
+
+    fn sample_replication(&mut self) {
+        let entries = self.dir.entries();
+        if entries > 0 {
+            let r = self.dir.total_copies() as f64 / entries as f64;
+            if r > self.report.peak_replication {
+                self.report.peak_replication = r;
+            }
+        }
+    }
+
+    /// Fill a line locally with the given state, handling the L2
+    /// victim (explicit replacement notice to its home, writeback when
+    /// modified).
+    fn fill(&mut self, c: CoreId, addr: Addr, write: bool, state: Local) {
+        let line = addr.line(self.cfg.caches.l1.line_bytes);
+        let out = self.caches[c.index()].access(addr, write);
+        self.local[c.index()].insert(line, state);
+        if let Some((victim, _)) = out.l2_victim {
+            if victim != line {
+                if let Some(was) = self.local[c.index()].remove(&victim) {
+                    let victim_home = *self.homes.get(&victim).unwrap_or(&c);
+                    if was == Local::Modified {
+                        self.report.writebacks += 1;
+                        let _ = self.data(c, victim_home);
+                    } else {
+                        let _ = self.ctrl(c, victim_home);
+                    }
+                    self.dir.drop_copy(victim, c);
+                }
+            }
+        }
+    }
+
+    /// Perform one access; returns its latency.
+    fn access(&mut self, c: CoreId, home: CoreId, addr: Addr, kind: AccessKind) -> u64 {
+        let line = addr.line(self.cfg.caches.l1.line_bytes);
+        self.homes.insert(line, home);
+        self.accesses_seen += 1;
+        if self.accesses_seen % self.cfg.replication_sample == 0 {
+            self.sample_replication();
+        }
+        let cost = self.cfg.cost;
+        let l2 = cost.l2_hit_latency;
+        let dram = cost.dram_latency;
+        let local_state = self.local[c.index()].get(&line).copied();
+
+        match (kind, local_state) {
+            // ---- hits ----
+            (AccessKind::Read, Some(_)) => {
+                self.report.read_hits += 1;
+                let out = self.caches[c.index()].access(addr, false);
+                out.latency(&cost)
+            }
+            (AccessKind::Write, Some(Local::Modified)) => {
+                self.report.write_hits += 1;
+                let out = self.caches[c.index()].access(addr, true);
+                out.latency(&cost)
+            }
+            // ---- upgrade: S → M ----
+            (AccessKind::Write, Some(Local::Shared)) => {
+                self.report.upgrades += 1;
+                let mut lat = cost.l1_hit_latency + self.ctrl(c, home) + l2;
+                if let Some(DirState::Shared(set)) = self.dir.get(line).cloned() {
+                    lat += self.invalidate_sharers(home, line, addr, &set, c);
+                }
+                lat += self.ctrl(home, c); // grant
+                self.dir.set(line, DirState::Modified(c));
+                self.local[c.index()].insert(line, Local::Modified);
+                let _ = self.caches[c.index()].access(addr, true);
+                lat
+            }
+            // ---- misses ----
+            (kind, None) => {
+                let write = kind.is_write();
+                if write {
+                    self.report.write_misses += 1;
+                } else {
+                    self.report.read_misses += 1;
+                }
+                // Local lookup (detects the miss) + request to the home
+                // + directory access.
+                let mut lat = cost.l1_hit_latency + l2 + self.ctrl(c, home) + l2;
+                match self.dir.get(line).cloned() {
+                    None => {
+                        lat += dram + self.data(home, c);
+                    }
+                    Some(DirState::Shared(set)) => {
+                        if write {
+                            lat += self.invalidate_sharers(home, line, addr, &set, c);
+                        }
+                        // Clean data: from the home's own cache if it
+                        // shares the line, otherwise from memory.
+                        if set.contains(home) && self.caches[home.index()].contains(addr) {
+                            lat += l2;
+                        } else {
+                            lat += dram;
+                        }
+                        lat += self.data(home, c);
+                    }
+                    Some(DirState::Modified(owner)) => {
+                        // Intervention: forward to the owner; it sends
+                        // the line to the requester.
+                        self.report.forwards += 1;
+                        lat += self.ctrl(home, owner) + l2 + self.data(owner, c);
+                        if write {
+                            self.local[owner.index()].remove(&line);
+                            self.caches[owner.index()].invalidate(addr);
+                        } else {
+                            // Downgrade M→S with writeback to memory.
+                            self.report.writebacks += 1;
+                            let _ = self.data(owner, home);
+                            self.local[owner.index()].insert(line, Local::Shared);
+                            self.caches[owner.index()].clean(addr);
+                        }
+                    }
+                }
+                // New directory state, then the local fill.
+                let new_state = if write {
+                    DirState::Modified(c)
+                } else {
+                    let mut set = match self.dir.get(line) {
+                        Some(DirState::Shared(s)) => s.clone(),
+                        Some(DirState::Modified(owner)) => SharerSet::single(*owner),
+                        None => SharerSet::new(),
+                    };
+                    set.insert(c);
+                    DirState::Shared(set)
+                };
+                self.dir.set(line, new_state);
+                self.fill(c, addr, write, if write { Local::Modified } else { Local::Shared });
+                lat
+            }
+        }
+    }
+}
+
+/// Run the MSI baseline over a workload.
+pub fn run_msi(cfg: MsiConfig, workload: &Workload, placement: &dyn Placement) -> CohReport {
+    let cores = cfg.cost.cores();
+    assert!(placement.cores() <= cores);
+
+    let mut m = MachineState::new(&cfg, cores, &workload.name);
+
+    // Barrier bookkeeping (same semantics as the EM² simulator).
+    let max_barriers = workload
+        .threads
+        .iter()
+        .map(|t| t.barriers.len())
+        .max()
+        .unwrap_or(0);
+    let expected: Vec<usize> = (0..max_barriers)
+        .map(|k| workload.threads.iter().filter(|t| t.barriers.len() > k).count())
+        .collect();
+    let mut arrived = vec![0usize; max_barriers];
+    let mut waiting: Vec<Vec<ThreadId>> = vec![Vec::new(); max_barriers];
+
+    #[derive(Clone, Copy)]
+    struct TState {
+        pos: usize,
+        next_barrier: usize,
+        done: bool,
+    }
+    let mut threads = vec![
+        TState {
+            pos: 0,
+            next_barrier: 0,
+            done: false,
+        };
+        workload.num_threads()
+    ];
+
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (i, t) in workload.threads.iter().enumerate() {
+        let t0 = t.records.first().map_or(0, |r| r.gap as u64);
+        seq += 1;
+        heap.push(Reverse((t0, seq, i as u32)));
+    }
+    let mut makespan = 0u64;
+
+    while let Some(Reverse((now, _, ti))) = heap.pop() {
+        let t_idx = ti as usize;
+        let trace = &workload.threads[t_idx];
+        makespan = makespan.max(now);
+
+        // Barriers.
+        let mut parked = false;
+        while threads[t_idx].next_barrier < trace.barriers.len()
+            && trace.barriers[threads[t_idx].next_barrier] == threads[t_idx].pos
+        {
+            let k = threads[t_idx].next_barrier;
+            threads[t_idx].next_barrier += 1;
+            arrived[k] += 1;
+            if arrived[k] == expected[k] {
+                for w in waiting[k].drain(..) {
+                    seq += 1;
+                    heap.push(Reverse((now, seq, w.0)));
+                }
+            } else {
+                waiting[k].push(ThreadId(ti));
+                parked = true;
+                break;
+            }
+        }
+        if parked {
+            continue;
+        }
+        if threads[t_idx].pos >= trace.records.len() {
+            threads[t_idx].done = true;
+            continue;
+        }
+
+        let rec = trace.records[threads[t_idx].pos];
+        let c = trace.native;
+        let home = placement.home_of(rec.addr);
+        let lat = m.access(c, home, rec.addr, rec.kind);
+        m.report.access_latency.record_u64(lat);
+
+        threads[t_idx].pos += 1;
+        let next_gap = trace
+            .records
+            .get(threads[t_idx].pos)
+            .map_or(0, |r| r.gap as u64);
+        seq += 1;
+        heap.push(Reverse((now + lat + next_gap, seq, ti)));
+    }
+
+    debug_assert!(threads.iter().all(|t| t.done), "barrier mismatch");
+
+    // Finalize.
+    m.report.cycles = makespan;
+    let mut agg = em2_cache::CacheStats::default();
+    for c in &m.caches {
+        agg.merge(c.stats());
+    }
+    m.report.caches = agg;
+    m.sample_replication();
+    m.report.directory_bits = m.dir.storage_bits(cores);
+    m.report.violations = m.dir.check_invariants();
+    // Cross-check: side tables and directory agree on copy counts.
+    let side_copies: usize = m.local.iter().map(|t| t.len()).sum();
+    if side_copies != m.dir.total_copies() {
+        m.report.violations.push(format!(
+            "directory tracks {} copies but caches hold {}",
+            m.dir.total_copies(),
+            side_copies
+        ));
+    }
+    m.report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em2_placement::{FirstTouch, Striped};
+    use em2_trace::gen::{micro, ocean::OceanConfig};
+
+    #[test]
+    fn private_workload_has_no_invalidations() {
+        let w = micro::private(4, 4, 100);
+        let p = FirstTouch::build(&w, 4, 64);
+        let r = run_msi(MsiConfig::with_cores(4), &w, &p);
+        assert_eq!(r.invalidations, 0);
+        assert_eq!(r.forwards, 0);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.total_accesses() as usize, w.total_accesses());
+    }
+
+    #[test]
+    fn pingpong_forces_invalidations_or_forwards() {
+        let w = micro::pingpong(1, 4, 20);
+        let p = FirstTouch::build(&w, 4, 64);
+        let r = run_msi(MsiConfig::with_cores(4), &w, &p);
+        assert!(
+            r.invalidations + r.forwards > 10,
+            "write sharing must ping the protocol: {r}"
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn read_sharing_replicates() {
+        // Every thread reads the same 8 lines: each line ends up with
+        // 4 cached copies — the replication the EM² capacity argument
+        // is about (EM² would hold exactly one copy of each).
+        let mut threads = Vec::new();
+        for t in 0..4u32 {
+            let mut tr =
+                em2_trace::ThreadTrace::new(em2_model::ThreadId(t), CoreId(t as u16));
+            for line in 0..8u64 {
+                tr.read(1, Addr(line * 64));
+            }
+            threads.push(tr);
+        }
+        let w = Workload::new("readshare", threads);
+        let p = Striped::new(4, 64);
+        let mut cfg = MsiConfig::with_cores(4);
+        cfg.replication_sample = 1; // sample every access
+        let r = run_msi(cfg, &w, &p);
+        assert!(r.peak_replication >= 3.5, "replication = {}", r.peak_replication);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn hotspot_replication_above_one() {
+        let w = micro::hotspot(4, 4, 300, 0.95, 3);
+        let p = FirstTouch::build(&w, 4, 64);
+        let r = run_msi(MsiConfig::with_cores(4), &w, &p);
+        assert!(r.peak_replication > 1.05, "replication = {}", r.peak_replication);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = micro::uniform(4, 4, 200, 64, 0.3, 5);
+        let p = Striped::new(4, 64);
+        let a = run_msi(MsiConfig::with_cores(4), &w, &p);
+        let b = run_msi(MsiConfig::with_cores(4), &w, &p);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.total_flit_hops(), b.total_flit_hops());
+    }
+
+    #[test]
+    fn ocean_runs_clean() {
+        let w = OceanConfig::small().generate();
+        let p = FirstTouch::build(&w, 4, 64);
+        let r = run_msi(MsiConfig::with_cores(4), &w, &p);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.total_accesses() as usize == w.total_accesses());
+        assert!(r.data_flit_hops > 0);
+    }
+
+    #[test]
+    fn write_hit_after_write_miss() {
+        // Second write to the same line must be an M hit.
+        let mut t0 = em2_trace::ThreadTrace::new(em2_model::ThreadId(0), CoreId(0));
+        t0.write(0, Addr(0x100));
+        t0.write(0, Addr(0x104));
+        let w = Workload::new("w", vec![t0]);
+        let p = Striped::new(2, 64);
+        let r = run_msi(MsiConfig::with_cores(4), &w, &p);
+        assert_eq!(r.write_misses, 1);
+        assert_eq!(r.write_hits, 1);
+    }
+
+    #[test]
+    fn reader_then_writer_invalidates_reader() {
+        // T0 reads a line homed at core 0; T1 then writes it.
+        let mut t0 = em2_trace::ThreadTrace::new(em2_model::ThreadId(0), CoreId(0));
+        let mut t1 = em2_trace::ThreadTrace::new(em2_model::ThreadId(1), CoreId(1));
+        t0.read(0, Addr(0x0));
+        t0.barrier();
+        t1.barrier();
+        t1.write(0, Addr(0x0));
+        let w = Workload::new("rw", vec![t0, t1]);
+        let p = Striped::new(2, 64);
+        let r = run_msi(MsiConfig::with_cores(4), &w, &p);
+        assert!(r.invalidations >= 1, "{r}");
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+}

@@ -1,0 +1,134 @@
+//! Coherence-run reporting.
+
+use em2_cache::CacheStats;
+use em2_model::Summary;
+
+/// Result of one directory-MSI simulation.
+#[derive(Clone, Debug)]
+pub struct CohReport {
+    /// Workload name.
+    pub workload: String,
+    /// Makespan in cycles.
+    pub cycles: u64,
+    /// Loads that hit a valid local copy.
+    pub read_hits: u64,
+    /// Loads serviced by the directory (memory or forwarding).
+    pub read_misses: u64,
+    /// Stores that hit in Modified state locally.
+    pub write_hits: u64,
+    /// Stores that needed an upgrade (S→M, invalidating sharers).
+    pub upgrades: u64,
+    /// Stores that missed entirely.
+    pub write_misses: u64,
+    /// Invalidation messages sent to sharers.
+    pub invalidations: u64,
+    /// Dirty-copy interventions (forward from the owner's cache).
+    pub forwards: u64,
+    /// Writebacks caused by evictions or downgrades.
+    pub writebacks: u64,
+    /// Control-message traffic in flit-hops.
+    pub control_flit_hops: u64,
+    /// Data-message (whole cache line) traffic in flit-hops.
+    pub data_flit_hops: u64,
+    /// Per-access end-to-end latency.
+    pub access_latency: Summary,
+    /// Aggregated cache stats over all cores.
+    pub caches: CacheStats,
+    /// Peak cached copies per distinct line (replication factor) —
+    /// measured as max over time of `total_copies / entries`.
+    pub peak_replication: f64,
+    /// Directory storage in bits at the end of the run.
+    pub directory_bits: u64,
+    /// Protocol invariant violations (must be empty).
+    pub violations: Vec<String>,
+}
+
+impl CohReport {
+    /// All accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.upgrades + self.write_misses
+    }
+
+    /// Total network traffic in flit-hops.
+    pub fn total_flit_hops(&self) -> u64 {
+        self.control_flit_hops + self.data_flit_hops
+    }
+
+    /// Average memory access latency.
+    pub fn amat(&self) -> f64 {
+        self.access_latency.mean().unwrap_or(0.0)
+    }
+
+    /// Miss ratio (any access needing the directory).
+    pub fn miss_fraction(&self) -> f64 {
+        let misses = self.read_misses + self.upgrades + self.write_misses;
+        if self.total_accesses() == 0 {
+            0.0
+        } else {
+            misses as f64 / self.total_accesses() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CohReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "[{} / directory-MSI] {} cycles, AMAT {:.2}",
+            self.workload,
+            self.cycles,
+            self.amat()
+        )?;
+        writeln!(
+            f,
+            "  {} accesses ({:.1}% miss), {} invalidations, {} forwards, {} writebacks",
+            self.total_accesses(),
+            100.0 * self.miss_fraction(),
+            self.invalidations,
+            self.forwards,
+            self.writebacks
+        )?;
+        write!(
+            f,
+            "  traffic: {} flit-hops (ctrl {}, data {}), peak replication {:.2}, dir {} bits",
+            self.total_flit_hops(),
+            self.control_flit_hops,
+            self.data_flit_hops,
+            self.peak_replication,
+            self.directory_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions() {
+        let r = CohReport {
+            workload: "t".into(),
+            cycles: 100,
+            read_hits: 60,
+            read_misses: 20,
+            write_hits: 10,
+            upgrades: 5,
+            write_misses: 5,
+            invalidations: 7,
+            forwards: 3,
+            writebacks: 2,
+            control_flit_hops: 10,
+            data_flit_hops: 90,
+            access_latency: Summary::new(),
+            caches: CacheStats::default(),
+            peak_replication: 1.5,
+            directory_bits: 660,
+            violations: vec![],
+        };
+        assert_eq!(r.total_accesses(), 100);
+        assert_eq!(r.total_flit_hops(), 100);
+        assert!((r.miss_fraction() - 0.3).abs() < 1e-12);
+        let s = r.to_string();
+        assert!(s.contains("directory-MSI"));
+    }
+}

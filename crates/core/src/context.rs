@@ -1,0 +1,289 @@
+//! Per-core execution contexts: native and guest slots.
+//!
+//! Paper §2: *"For deadlock-free migrations, each core has one native
+//! context for each of the threads that originated on that core in
+//! addition \[to\] the guest contexts for threads originally started on
+//! other cores: an evicted thread travels to its dedicated native
+//! context on a separate virtual network to avoid dependency loops and
+//! deadlock."*
+//!
+//! [`ContextPool`] models one core's context file: an unbounded set of
+//! reserved native slots (one per thread whose native core this is —
+//! they are dedicated hardware, never contended) plus `G` guest slots
+//! shared by visiting threads. An arriving guest that finds all guest
+//! slots full triggers an eviction of a resident guest toward its
+//! native core.
+
+use em2_model::{DetRng, ThreadId};
+
+/// Why a resident thread cannot be evicted right now.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GuestState {
+    /// Ready or computing: may be evicted.
+    Evictable,
+    /// Mid remote-access (its context must stay until the response
+    /// returns): may not be evicted.
+    Pinned,
+}
+
+/// One occupied guest slot.
+#[derive(Clone, Copy, Debug)]
+struct GuestSlot {
+    thread: ThreadId,
+    state: GuestState,
+    /// Last cycle the thread used the slot (for LRU victimization).
+    last_active: u64,
+}
+
+/// Victim selection for guest evictions.
+#[derive(Clone, Debug)]
+pub enum VictimPolicy {
+    /// Evict the least-recently-active evictable guest.
+    Lru,
+    /// Evict a uniformly random evictable guest (deterministic seed).
+    Random(DetRng),
+}
+
+/// The context file of one core.
+pub struct ContextPool {
+    /// Threads native to this core that are currently *present* (their
+    /// slots always exist; this tracks presence only, for accounting).
+    natives_present: Vec<ThreadId>,
+    guests: Vec<GuestSlot>,
+    guest_capacity: usize,
+    policy: VictimPolicy,
+    /// Peak simultaneous guest occupancy (reporting).
+    peak_guests: usize,
+    /// Total evictions triggered by arrivals at this core.
+    evictions: u64,
+}
+
+/// Result of trying to admit a guest thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// A free guest slot was taken.
+    Admitted,
+    /// Admitted by evicting the given thread (it must travel to its
+    /// native core on the eviction virtual network).
+    AdmittedEvicting(ThreadId),
+    /// All guest slots are pinned (mid remote-access); retry later.
+    Stalled,
+}
+
+impl ContextPool {
+    /// A pool with `guest_capacity` guest slots.
+    pub fn new(guest_capacity: usize, policy: VictimPolicy) -> Self {
+        assert!(guest_capacity >= 1, "EM² needs at least one guest context");
+        ContextPool {
+            natives_present: Vec::new(),
+            guests: Vec::with_capacity(guest_capacity),
+            guest_capacity,
+            policy,
+            peak_guests: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Admit `thread` into its dedicated native slot (always succeeds:
+    /// native contexts are reserved hardware).
+    pub fn admit_native(&mut self, thread: ThreadId) {
+        debug_assert!(
+            !self.natives_present.contains(&thread),
+            "{thread:?} already present in its native context"
+        );
+        self.natives_present.push(thread);
+    }
+
+    /// Remove a native thread (it migrated away or finished).
+    pub fn remove_native(&mut self, thread: ThreadId) {
+        if let Some(i) = self.natives_present.iter().position(|&t| t == thread) {
+            self.natives_present.swap_remove(i);
+        }
+    }
+
+    /// Admit `thread` as a guest at cycle `now`, evicting if necessary.
+    pub fn admit_guest(&mut self, thread: ThreadId, now: u64) -> Admission {
+        debug_assert!(
+            !self.guests.iter().any(|g| g.thread == thread),
+            "{thread:?} already a guest here"
+        );
+        if self.guests.len() < self.guest_capacity {
+            self.guests.push(GuestSlot {
+                thread,
+                state: GuestState::Evictable,
+                last_active: now,
+            });
+            self.peak_guests = self.peak_guests.max(self.guests.len());
+            return Admission::Admitted;
+        }
+        // Full: pick an evictable victim.
+        let candidates: Vec<usize> = self
+            .guests
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.state == GuestState::Evictable)
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return Admission::Stalled;
+        }
+        let victim_idx = match &mut self.policy {
+            VictimPolicy::Lru => candidates
+                .into_iter()
+                .min_by_key(|&i| self.guests[i].last_active)
+                .expect("non-empty"),
+            VictimPolicy::Random(rng) => {
+                candidates[rng.below(candidates.len() as u64) as usize]
+            }
+        };
+        let victim = self.guests[victim_idx].thread;
+        self.guests[victim_idx] = GuestSlot {
+            thread,
+            state: GuestState::Evictable,
+            last_active: now,
+        };
+        self.evictions += 1;
+        Admission::AdmittedEvicting(victim)
+    }
+
+    /// Remove a guest (it migrated away or finished).
+    pub fn remove_guest(&mut self, thread: ThreadId) {
+        if let Some(i) = self.guests.iter().position(|g| g.thread == thread) {
+            self.guests.swap_remove(i);
+        }
+    }
+
+    /// Mark a resident guest as pinned/unpinned (remote access in
+    /// flight keeps its context captive). No-op for natives.
+    pub fn set_guest_state(&mut self, thread: ThreadId, state: GuestState) {
+        if let Some(g) = self.guests.iter_mut().find(|g| g.thread == thread) {
+            g.state = state;
+        }
+    }
+
+    /// Bump a resident guest's activity clock. No-op for natives.
+    pub fn touch(&mut self, thread: ThreadId, now: u64) {
+        if let Some(g) = self.guests.iter_mut().find(|g| g.thread == thread) {
+            g.last_active = now;
+        }
+    }
+
+    /// Is the thread resident here (native or guest)?
+    pub fn is_resident(&self, thread: ThreadId) -> bool {
+        self.natives_present.contains(&thread) || self.guests.iter().any(|g| g.thread == thread)
+    }
+
+    /// Current guest occupancy.
+    pub fn guest_count(&self) -> usize {
+        self.guests.len()
+    }
+
+    /// Guest capacity.
+    pub fn guest_capacity(&self) -> usize {
+        self.guest_capacity
+    }
+
+    /// Peak guest occupancy seen.
+    pub fn peak_guests(&self) -> usize {
+        self.peak_guests
+    }
+
+    /// Evictions triggered at this core.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn natives_always_fit() {
+        let mut p = ContextPool::new(1, VictimPolicy::Lru);
+        for i in 0..10 {
+            p.admit_native(t(i));
+        }
+        for i in 0..10 {
+            assert!(p.is_resident(t(i)));
+        }
+        p.remove_native(t(3));
+        assert!(!p.is_resident(t(3)));
+    }
+
+    #[test]
+    fn guest_admission_until_full_then_evict_lru() {
+        let mut p = ContextPool::new(2, VictimPolicy::Lru);
+        assert_eq!(p.admit_guest(t(1), 10), Admission::Admitted);
+        assert_eq!(p.admit_guest(t(2), 20), Admission::Admitted);
+        // t1 is least recently active → evicted.
+        assert_eq!(p.admit_guest(t(3), 30), Admission::AdmittedEvicting(t(1)));
+        assert!(!p.is_resident(t(1)));
+        assert!(p.is_resident(t(2)) && p.is_resident(t(3)));
+        assert_eq!(p.evictions(), 1);
+        assert_eq!(p.peak_guests(), 2);
+    }
+
+    #[test]
+    fn touch_updates_lru_order() {
+        let mut p = ContextPool::new(2, VictimPolicy::Lru);
+        p.admit_guest(t(1), 10);
+        p.admit_guest(t(2), 20);
+        p.touch(t(1), 50); // now t2 is LRU
+        assert_eq!(p.admit_guest(t(3), 60), Admission::AdmittedEvicting(t(2)));
+    }
+
+    #[test]
+    fn pinned_guests_are_not_evicted() {
+        let mut p = ContextPool::new(2, VictimPolicy::Lru);
+        p.admit_guest(t(1), 10);
+        p.admit_guest(t(2), 20);
+        p.set_guest_state(t(1), GuestState::Pinned);
+        // t1 is LRU but pinned → t2 evicted instead.
+        assert_eq!(p.admit_guest(t(3), 30), Admission::AdmittedEvicting(t(2)));
+    }
+
+    #[test]
+    fn all_pinned_stalls() {
+        let mut p = ContextPool::new(1, VictimPolicy::Lru);
+        p.admit_guest(t(1), 10);
+        p.set_guest_state(t(1), GuestState::Pinned);
+        assert_eq!(p.admit_guest(t(2), 20), Admission::Stalled);
+        // Unpinning allows progress.
+        p.set_guest_state(t(1), GuestState::Evictable);
+        assert_eq!(p.admit_guest(t(2), 30), Admission::AdmittedEvicting(t(1)));
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_and_valid() {
+        let mut a = ContextPool::new(2, VictimPolicy::Random(DetRng::new(7)));
+        let mut b = ContextPool::new(2, VictimPolicy::Random(DetRng::new(7)));
+        for pool in [&mut a, &mut b] {
+            pool.admit_guest(t(1), 1);
+            pool.admit_guest(t(2), 2);
+        }
+        let va = a.admit_guest(t(3), 3);
+        let vb = b.admit_guest(t(3), 3);
+        assert_eq!(va, vb);
+        assert!(matches!(va, Admission::AdmittedEvicting(v) if v == t(1) || v == t(2)));
+    }
+
+    #[test]
+    fn remove_guest_frees_slot() {
+        let mut p = ContextPool::new(1, VictimPolicy::Lru);
+        p.admit_guest(t(1), 1);
+        p.remove_guest(t(1));
+        assert_eq!(p.guest_count(), 0);
+        assert_eq!(p.admit_guest(t(2), 2), Admission::Admitted);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one guest")]
+    fn zero_guest_capacity_rejected() {
+        ContextPool::new(0, VictimPolicy::Lru);
+    }
+}

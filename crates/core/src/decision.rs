@@ -1,0 +1,471 @@
+//! Migrate-vs-remote-access decision schemes (paper §3).
+//!
+//! *"Clearly, the migration-vs.-remote-access decision is crucial to
+//! EM²-RA performance"* — the paper introduces the analytical model
+//! (see `em2-optimal`) precisely to evaluate "hardware-implementable
+//! decision schemes". This module provides that scheme family:
+//!
+//! | scheme | hardware analogue |
+//! |--------|-------------------|
+//! | [`AlwaysMigrate`] | pure EM² (the baseline machine) |
+//! | [`AlwaysRemote`]  | pure remote-access coherence (cf. \[15\]) |
+//! | [`DistanceThreshold`] | migrate only to nearby homes |
+//! | [`CostBreakEven`] | static expected-run-length comparison |
+//! | [`HistoryPredictor`] | per-(thread, home) last-run-length predictor |
+//! | [`MarkovPredictor`] | run length conditioned on the previous run's bucket |
+//! | [`OracleSchedule`] | replay of the DP-optimal decision sequence |
+
+use em2_model::{AccessKind, CoreId, CostModel, ThreadId};
+
+/// The two ways to reach a remotely-homed word (Figure 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Move the execution context to the home core.
+    Migrate,
+    /// Round-trip remote cache access; the thread stays put.
+    Remote,
+}
+
+/// Everything a scheme may inspect when deciding one access.
+#[derive(Clone, Copy, Debug)]
+pub struct DecisionCtx<'a> {
+    /// The accessing thread.
+    pub thread: ThreadId,
+    /// Core the thread currently executes on.
+    pub current: CoreId,
+    /// Home core of the accessed address (≠ `current`).
+    pub home: CoreId,
+    /// The thread's native core.
+    pub native: CoreId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The shared cost model (distances, latencies).
+    pub cost: &'a CostModel,
+}
+
+/// A per-access migrate-vs-remote policy. Schemes may keep state and
+/// learn online from completed run lengths via
+/// [`DecisionScheme::observe_run`].
+pub trait DecisionScheme: Send {
+    /// Decide how to serve one non-local access.
+    fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision;
+
+    /// Feedback: a run of `len` consecutive accesses by `thread` to
+    /// memory homed at `home` just ended (native-core runs included —
+    /// they are what the migrate-*home* decision amortizes over).
+    /// Default: ignored.
+    fn observe_run(&mut self, thread: ThreadId, home: CoreId, len: u64) {
+        let _ = (thread, home, len);
+    }
+
+    /// Scheme name for reports.
+    fn name(&self) -> String;
+}
+
+/// Pure EM²: always migrate (paper §2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysMigrate;
+
+impl DecisionScheme for AlwaysMigrate {
+    fn decide(&mut self, _ctx: &DecisionCtx<'_>) -> Decision {
+        Decision::Migrate
+    }
+
+    fn name(&self) -> String {
+        "always-migrate".into()
+    }
+}
+
+/// Pure remote-access machine: never migrate. Every non-local access
+/// pays a round trip — the OS/library-coherence alternative the paper
+/// cites as \[15\] (Fensch & Cintra).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysRemote;
+
+impl DecisionScheme for AlwaysRemote {
+    fn decide(&mut self, _ctx: &DecisionCtx<'_>) -> Decision {
+        Decision::Remote
+    }
+
+    fn name(&self) -> String {
+        "always-remote".into()
+    }
+}
+
+/// Migrate when the home is within `max_hops`; otherwise remote access.
+/// Rationale: migration cost grows with distance (big context × hops),
+/// so long hauls amortize worse.
+#[derive(Clone, Copy, Debug)]
+pub struct DistanceThreshold {
+    /// Maximum hop distance at which the scheme still migrates.
+    pub max_hops: u64,
+}
+
+impl DecisionScheme for DistanceThreshold {
+    fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
+        if ctx.cost.hops(ctx.current, ctx.home) <= self.max_hops {
+            Decision::Migrate
+        } else {
+            Decision::Remote
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("distance<={}", self.max_hops)
+    }
+}
+
+/// Static break-even test: migrate when one migration costs less than
+/// `expected_run` remote accesses would. With `expected_run = 1` this
+/// approximates "migrate only if a migration is outright cheaper than
+/// a single round trip" (it rarely is, given the 1–2 Kbit context).
+#[derive(Clone, Copy, Debug)]
+pub struct CostBreakEven {
+    /// Assumed number of consecutive same-home accesses a migration
+    /// would amortize over.
+    pub expected_run: f64,
+}
+
+impl DecisionScheme for CostBreakEven {
+    fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
+        let mig = ctx.cost.migration_latency(ctx.current, ctx.home) as f64;
+        let ra = ctx.cost.remote_access_latency(ctx.current, ctx.home, ctx.kind) as f64;
+        if mig <= ra * self.expected_run {
+            Decision::Migrate
+        } else {
+            Decision::Remote
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("break-even(run={})", self.expected_run)
+    }
+}
+
+/// Last-value run-length predictor, keyed by (thread, home core):
+/// migrate when the *predicted* run length amortizes a migration.
+/// This is the kind of small-table scheme a core could implement in
+/// hardware — the paper's "fast core-local decision for every memory
+/// access".
+#[derive(Clone, Debug)]
+pub struct HistoryPredictor {
+    /// Predicted run length for unseen (thread, home) pairs.
+    pub initial_prediction: f64,
+    /// Exponential smoothing factor in (0, 1]; 1.0 = last value wins.
+    pub alpha: f64,
+    table: std::collections::HashMap<(ThreadId, CoreId), f64>,
+}
+
+impl HistoryPredictor {
+    /// A predictor starting from `initial_prediction` with smoothing
+    /// `alpha`.
+    pub fn new(initial_prediction: f64, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        HistoryPredictor {
+            initial_prediction,
+            alpha,
+            table: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Current prediction for a (thread, home) pair.
+    pub fn prediction(&self, thread: ThreadId, home: CoreId) -> f64 {
+        self.table
+            .get(&(thread, home))
+            .copied()
+            .unwrap_or(self.initial_prediction)
+    }
+}
+
+impl DecisionScheme for HistoryPredictor {
+    fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
+        let predicted = self.prediction(ctx.thread, ctx.home);
+        let mig = ctx.cost.migration_latency(ctx.current, ctx.home) as f64;
+        let ra = ctx.cost.remote_access_latency(ctx.current, ctx.home, ctx.kind) as f64;
+        if mig <= ra * predicted {
+            Decision::Migrate
+        } else {
+            Decision::Remote
+        }
+    }
+
+    fn observe_run(&mut self, thread: ThreadId, home: CoreId, len: u64) {
+        let e = self
+            .table
+            .entry((thread, home))
+            .or_insert(self.initial_prediction);
+        *e = (1.0 - self.alpha) * *e + self.alpha * len as f64;
+    }
+
+    fn name(&self) -> String {
+        format!("history(a={})", self.alpha)
+    }
+}
+
+/// Markov run-length predictor: a second-order scheme keyed by
+/// `(thread, home, bucket(previous run length))`.
+///
+/// E4 shows why the last-value [`HistoryPredictor`] fails on OCEAN:
+/// runs at the *same* home core alternate between Figure 2's two modes
+/// (stencil one-offs and block-width bursts), so a single per-home
+/// average mispredicts both. Conditioning the prediction on the
+/// *previous* run's length bucket separates the modes: after a 1-run
+/// the next run at that home is usually another 1; after an 8-run,
+/// usually another burst. Still a small hardware table (the paper's
+/// "fast core-local decision" requirement): ~5 buckets × homes.
+#[derive(Clone, Debug)]
+pub struct MarkovPredictor {
+    initial_prediction: f64,
+    alpha: f64,
+    /// (thread, home, prev-bucket) → EWMA of the following run length.
+    table: std::collections::HashMap<(ThreadId, CoreId, u8), f64>,
+    /// (thread, home) → previous run's bucket.
+    last_bucket: std::collections::HashMap<(ThreadId, CoreId), u8>,
+}
+
+impl MarkovPredictor {
+    /// A predictor with the given cold-start prediction and smoothing.
+    pub fn new(initial_prediction: f64, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        MarkovPredictor {
+            initial_prediction,
+            alpha,
+            table: std::collections::HashMap::new(),
+            last_bucket: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Log₂-ish run-length buckets: 1 / 2–3 / 4–7 / 8–15 / 16+.
+    pub fn bucket(len: u64) -> u8 {
+        match len {
+            0 | 1 => 0,
+            2..=3 => 1,
+            4..=7 => 2,
+            8..=15 => 3,
+            _ => 4,
+        }
+    }
+
+    /// Current prediction for the next run of `(thread, home)`.
+    pub fn prediction(&self, thread: ThreadId, home: CoreId) -> f64 {
+        let b = self
+            .last_bucket
+            .get(&(thread, home))
+            .copied()
+            .unwrap_or(0);
+        self.table
+            .get(&(thread, home, b))
+            .copied()
+            .unwrap_or(self.initial_prediction)
+    }
+}
+
+impl DecisionScheme for MarkovPredictor {
+    fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
+        let predicted = self.prediction(ctx.thread, ctx.home);
+        let mig = ctx.cost.migration_latency(ctx.current, ctx.home) as f64;
+        let ra = ctx.cost.remote_access_latency(ctx.current, ctx.home, ctx.kind) as f64;
+        if mig <= ra * predicted {
+            Decision::Migrate
+        } else {
+            Decision::Remote
+        }
+    }
+
+    fn observe_run(&mut self, thread: ThreadId, home: CoreId, len: u64) {
+        let prev = self
+            .last_bucket
+            .insert((thread, home), Self::bucket(len))
+            .unwrap_or(0);
+        let e = self
+            .table
+            .entry((thread, home, prev))
+            .or_insert(self.initial_prediction);
+        *e = (1.0 - self.alpha) * *e + self.alpha * len as f64;
+    }
+
+    fn name(&self) -> String {
+        format!("markov(a={})", self.alpha)
+    }
+}
+
+/// Replays a precomputed per-thread decision sequence — used to feed
+/// the DP-optimal schedule from `em2-optimal` back into the simulator
+/// (experiment E4's "how close is the bound" check).
+///
+/// The `k`-th non-local access of thread `t` takes
+/// `schedule[t][k]`; if a thread consumes more decisions than
+/// scheduled, the scheme falls back to `Migrate` (pure EM²).
+#[derive(Clone, Debug)]
+pub struct OracleSchedule {
+    schedule: Vec<Vec<Decision>>,
+    cursor: Vec<usize>,
+}
+
+impl OracleSchedule {
+    /// Wrap per-thread decision sequences.
+    pub fn new(schedule: Vec<Vec<Decision>>) -> Self {
+        let cursor = vec![0; schedule.len()];
+        OracleSchedule { schedule, cursor }
+    }
+
+    /// Decisions consumed so far by each thread.
+    pub fn consumed(&self) -> &[usize] {
+        &self.cursor
+    }
+}
+
+impl DecisionScheme for OracleSchedule {
+    fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
+        let t = ctx.thread.index();
+        if t >= self.schedule.len() {
+            return Decision::Migrate;
+        }
+        let k = self.cursor[t];
+        self.cursor[t] += 1;
+        self.schedule[t].get(k).copied().unwrap_or(Decision::Migrate)
+    }
+
+    fn name(&self) -> String {
+        "oracle-schedule".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(cost: &CostModel, cur: (u16, u16), home: (u16, u16)) -> DecisionCtx<'_> {
+        DecisionCtx {
+            thread: ThreadId(0),
+            current: cost.mesh.at(cur.0, cur.1),
+            home: cost.mesh.at(home.0, home.1),
+            native: cost.mesh.at(0, 0),
+            kind: AccessKind::Read,
+            cost,
+        }
+    }
+
+    #[test]
+    fn constant_schemes() {
+        let cm = CostModel::default();
+        let c = ctx(&cm, (0, 0), (5, 5));
+        assert_eq!(AlwaysMigrate.decide(&c), Decision::Migrate);
+        assert_eq!(AlwaysRemote.decide(&c), Decision::Remote);
+    }
+
+    #[test]
+    fn distance_threshold_splits_by_hops() {
+        let cm = CostModel::default();
+        let mut s = DistanceThreshold { max_hops: 3 };
+        assert_eq!(s.decide(&ctx(&cm, (0, 0), (1, 1))), Decision::Migrate); // 2 hops
+        assert_eq!(s.decide(&ctx(&cm, (0, 0), (2, 1))), Decision::Migrate); // 3 hops
+        assert_eq!(s.decide(&ctx(&cm, (0, 0), (4, 4))), Decision::Remote); // 8 hops
+    }
+
+    #[test]
+    fn break_even_depends_on_expected_run() {
+        let cm = CostModel::default();
+        let c = ctx(&cm, (0, 0), (3, 3));
+        // With a big expected run, migration amortizes.
+        assert_eq!(
+            CostBreakEven { expected_run: 100.0 }.decide(&c),
+            Decision::Migrate
+        );
+        // Run of ~0: nothing amortizes, remote wins.
+        assert_eq!(
+            CostBreakEven { expected_run: 0.01 }.decide(&c),
+            Decision::Remote
+        );
+    }
+
+    #[test]
+    fn history_predictor_learns() {
+        let cm = CostModel::default();
+        let mut s = HistoryPredictor::new(1.0, 1.0); // last value wins
+        let c = ctx(&cm, (0, 0), (3, 3));
+        // Initially predicts 1 access per visit → remote (context is
+        // ~1 Kbit, a migration can't beat one small round trip).
+        assert_eq!(s.decide(&c), Decision::Remote);
+        // After observing long runs at that home, it migrates.
+        s.observe_run(ThreadId(0), cm.mesh.at(3, 3), 50);
+        assert_eq!(s.decide(&c), Decision::Migrate);
+        assert_eq!(s.prediction(ThreadId(0), cm.mesh.at(3, 3)), 50.0);
+        // Other homes unaffected.
+        assert_eq!(s.prediction(ThreadId(0), cm.mesh.at(1, 1)), 1.0);
+    }
+
+    #[test]
+    fn history_predictor_smooths() {
+        let mut s = HistoryPredictor::new(0.0, 0.5);
+        s.observe_run(ThreadId(1), CoreId(2), 8);
+        assert_eq!(s.prediction(ThreadId(1), CoreId(2)), 4.0);
+        s.observe_run(ThreadId(1), CoreId(2), 8);
+        assert_eq!(s.prediction(ThreadId(1), CoreId(2)), 6.0);
+    }
+
+    #[test]
+    fn markov_buckets() {
+        assert_eq!(MarkovPredictor::bucket(1), 0);
+        assert_eq!(MarkovPredictor::bucket(2), 1);
+        assert_eq!(MarkovPredictor::bucket(3), 1);
+        assert_eq!(MarkovPredictor::bucket(7), 2);
+        assert_eq!(MarkovPredictor::bucket(8), 3);
+        assert_eq!(MarkovPredictor::bucket(100), 4);
+    }
+
+    #[test]
+    fn markov_separates_alternating_modes() {
+        // Ocean-like sequence at one home: 1,1,1,8,1,1,1,8,… — after
+        // learning, the prediction following a 1-run must differ from
+        // the prediction following an 8-run.
+        let mut s = MarkovPredictor::new(1.0, 0.5);
+        let (t, h) = (ThreadId(0), CoreId(3));
+        for _ in 0..20 {
+            s.observe_run(t, h, 1);
+            s.observe_run(t, h, 1);
+            s.observe_run(t, h, 1);
+            s.observe_run(t, h, 8);
+        }
+        // After the final 8-run (bucket 3), the table predicts what
+        // followed 8-runs historically: a 1.
+        let after_burst = s.prediction(t, h);
+        assert!(after_burst < 2.0, "after a burst comes a single: {after_burst}");
+        s.observe_run(t, h, 1);
+        s.observe_run(t, h, 1);
+        // Mid-singles: mostly 1s follow, but every 4th is an 8 — the
+        // conditional mean stays low but above 1.
+        let mid = s.prediction(t, h);
+        assert!(mid < 5.0, "{mid}");
+    }
+
+    #[test]
+    fn markov_learns_pure_bursts() {
+        let cm = CostModel::default();
+        let mut s = MarkovPredictor::new(1.0, 1.0);
+        let c = ctx(&cm, (0, 0), (3, 3));
+        assert_eq!(s.decide(&c), Decision::Remote, "cold start: remote");
+        for _ in 0..3 {
+            s.observe_run(ThreadId(0), cm.mesh.at(3, 3), 40);
+        }
+        assert_eq!(s.decide(&c), Decision::Migrate, "learned bursts: migrate");
+    }
+
+    #[test]
+    fn oracle_replays_and_falls_back() {
+        let cm = CostModel::default();
+        let mut s = OracleSchedule::new(vec![vec![Decision::Remote, Decision::Migrate]]);
+        let c = ctx(&cm, (0, 0), (1, 0));
+        assert_eq!(s.decide(&c), Decision::Remote);
+        assert_eq!(s.decide(&c), Decision::Migrate);
+        assert_eq!(s.decide(&c), Decision::Migrate, "fallback after schedule ends");
+        assert_eq!(s.consumed(), &[3]);
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert_eq!(AlwaysMigrate.name(), "always-migrate");
+        assert!(DistanceThreshold { max_hops: 2 }.name().contains('2'));
+        assert!(HistoryPredictor::new(1.0, 0.5).name().contains("0.5"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Machine configuration for the EM² simulator.
+
+use em2_cache::HierarchyConfig;
+use em2_model::CostModel;
+
+/// Guest-context victim selection, exposed at the config level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-active evictable guest.
+    Lru,
+    /// Evict a random evictable guest (seeded deterministically).
+    Random {
+        /// RNG seed for victim selection.
+        seed: u64,
+    },
+}
+
+/// Full configuration of an EM² (or EM²-RA) machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Network + memory cost model (also fixes the mesh/core count).
+    pub cost: CostModel,
+    /// Per-core L1/L2 geometry (the paper's 16 KB + 64 KB default).
+    pub caches: HierarchyConfig,
+    /// Guest execution contexts per core (besides reserved natives).
+    pub guest_contexts: usize,
+    /// Guest eviction victim policy.
+    pub eviction: EvictionPolicy,
+    /// Cycles an arriving migration waits before retrying when every
+    /// guest context is pinned by an in-flight remote access.
+    pub stall_retry: u64,
+    /// Run online invariant monitoring (see [`crate::monitor`]);
+    /// cheap, on by default.
+    pub monitor: bool,
+}
+
+impl Default for MachineConfig {
+    /// The paper's Figure-2 machine: 64 cores, 16 KB L1 + 64 KB L2,
+    /// 2 guest contexts, LRU victimization.
+    fn default() -> Self {
+        MachineConfig {
+            cost: CostModel::default(),
+            caches: HierarchyConfig::default(),
+            guest_contexts: 2,
+            eviction: EvictionPolicy::Lru,
+            stall_retry: 4,
+            monitor: true,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A config for `cores` cores with everything else defaulted.
+    pub fn with_cores(cores: usize) -> Self {
+        MachineConfig {
+            cost: CostModel::builder().cores(cores).build(),
+            ..MachineConfig::default()
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cost.cores()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MachineConfig::default();
+        assert_eq!(c.cores(), 64);
+        assert_eq!(c.caches.l1.size_bytes, 16 * 1024);
+        assert_eq!(c.caches.l2.size_bytes, 64 * 1024);
+        assert!(c.guest_contexts >= 1);
+        assert!(c.monitor);
+    }
+
+    #[test]
+    fn with_cores_resizes_mesh() {
+        assert_eq!(MachineConfig::with_cores(16).cores(), 16);
+        assert_eq!(MachineConfig::with_cores(256).cores(), 256);
+    }
+}

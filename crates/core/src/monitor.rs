@@ -1,0 +1,218 @@
+//! Online invariant monitoring.
+//!
+//! The paper's §2 correctness argument — each address is only ever
+//! accessed at its home core, so sequential consistency is trivial —
+//! is only as good as the machine's adherence to it. The monitor
+//! watches every simulated step and records violations of:
+//!
+//! * **access-at-home**: a memory access must execute at the home core
+//!   of its address;
+//! * **single residence**: a thread is resident at exactly one core at
+//!   any time (or in flight);
+//! * **guest capacity**: a core never holds more guests than it has
+//!   guest contexts;
+//! * **program order**: each thread's accesses complete in trace order
+//!   at non-decreasing times;
+//! * **home serialization**: accesses to a line are totally ordered at
+//!   its home (distinct completion order is recorded per line and must
+//!   be time-monotone) — this is the observable from which sequential
+//!   consistency follows.
+
+use em2_model::{Addr, CoreId, ThreadId};
+use std::collections::HashMap;
+
+/// Online invariant checker driven by the simulator.
+#[derive(Debug, Default)]
+pub struct Monitor {
+    /// Where each thread currently resides (`None` = in flight/done).
+    residence: HashMap<ThreadId, CoreId>,
+    /// Last access completion time per thread.
+    last_completion: HashMap<ThreadId, u64>,
+    /// Last completed access index per thread.
+    last_index: HashMap<ThreadId, usize>,
+    /// Last serialized access time per line's home (line id → time).
+    line_serial: HashMap<u64, u64>,
+    violations: Vec<String>,
+}
+
+impl Monitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        Monitor::default()
+    }
+
+    /// Record that a thread became resident at `core`.
+    pub fn on_arrive(&mut self, thread: ThreadId, core: CoreId) {
+        if let Some(prev) = self.residence.insert(thread, core) {
+            self.violations.push(format!(
+                "{thread:?} arrived at {core:?} while still resident at {prev:?}"
+            ));
+        }
+    }
+
+    /// Record that a thread left its core (migration or eviction).
+    pub fn on_depart(&mut self, thread: ThreadId, core: CoreId) {
+        match self.residence.remove(&thread) {
+            Some(c) if c == core => {}
+            Some(c) => self.violations.push(format!(
+                "{thread:?} departed {core:?} but was resident at {c:?}"
+            )),
+            None => self
+                .violations
+                .push(format!("{thread:?} departed {core:?} but was not resident")),
+        }
+    }
+
+    /// Record guest occupancy after a change.
+    pub fn on_guest_count(&mut self, core: CoreId, guests: usize, capacity: usize) {
+        if guests > capacity {
+            self.violations.push(format!(
+                "{core:?} holds {guests} guests but has only {capacity} contexts"
+            ));
+        }
+    }
+
+    /// Record a completed memory access.
+    ///
+    /// `at` is the core where the access executed, `home` the address's
+    /// home, `remote` whether it was served by a remote-access round
+    /// trip (in which case `at` is the *requesting* core and the data
+    /// was still touched at `home`). `serviced` is the cycle the home
+    /// cache processed the access (≤ `completed`, which additionally
+    /// includes the return path for remote accesses).
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_access(
+        &mut self,
+        thread: ThreadId,
+        index: usize,
+        addr: Addr,
+        line: u64,
+        at: CoreId,
+        home: CoreId,
+        remote: bool,
+        serviced: u64,
+        completed: u64,
+    ) {
+        if !remote && at != home {
+            self.violations.push(format!(
+                "{thread:?} accessed {addr:?} at {at:?} but its home is {home:?}"
+            ));
+        }
+        // Program order.
+        if let Some(&prev_idx) = self.last_index.get(&thread) {
+            if index != prev_idx + 1 {
+                self.violations.push(format!(
+                    "{thread:?} completed access #{index} after #{prev_idx} (order broken)"
+                ));
+            }
+        } else if index != 0 {
+            self.violations
+                .push(format!("{thread:?} first completed access is #{index}"));
+        }
+        self.last_index.insert(thread, index);
+        if let Some(&prev_t) = self.last_completion.get(&thread) {
+            if completed < prev_t {
+                self.violations.push(format!(
+                    "{thread:?} access #{index} completed at {completed} before previous at {prev_t}"
+                ));
+            }
+        }
+        self.last_completion.insert(thread, completed);
+        if serviced > completed {
+            self.violations.push(format!(
+                "{thread:?} access #{index} serviced at {serviced} after completing at {completed}"
+            ));
+        }
+        // Home serialization: the home cache touches each line in
+        // non-decreasing service order (single home ⇒ total order).
+        // A regression here means an access mutated a home cache out
+        // of simulated-time order.
+        let t = self.line_serial.entry(line).or_insert(0);
+        if serviced < *t {
+            self.violations.push(format!(
+                "line {line:#x} touched at {serviced} after being touched at {t} (serialization)"
+            ));
+        } else {
+            *t = serviced;
+        }
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Drain the violations into an owned list.
+    pub fn into_violations(self) -> Vec<String> {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let mut m = Monitor::new();
+        m.on_arrive(ThreadId(0), CoreId(0));
+        m.on_access(ThreadId(0), 0, Addr(0x40), 1, CoreId(0), CoreId(0), false, 10, 10);
+        m.on_access(ThreadId(0), 1, Addr(0x44), 1, CoreId(0), CoreId(0), false, 12, 12);
+        m.on_depart(ThreadId(0), CoreId(0));
+        m.on_arrive(ThreadId(0), CoreId(1));
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn detects_access_away_from_home() {
+        let mut m = Monitor::new();
+        m.on_access(ThreadId(0), 0, Addr(0x40), 1, CoreId(2), CoreId(3), false, 5, 5);
+        assert_eq!(m.violations().len(), 1);
+        assert!(m.violations()[0].contains("home"));
+    }
+
+    #[test]
+    fn remote_access_is_exempt_from_at_home() {
+        let mut m = Monitor::new();
+        m.on_access(ThreadId(0), 0, Addr(0x40), 1, CoreId(2), CoreId(3), true, 5, 5);
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn detects_double_residence() {
+        let mut m = Monitor::new();
+        m.on_arrive(ThreadId(0), CoreId(0));
+        m.on_arrive(ThreadId(0), CoreId(1));
+        assert!(m.violations()[0].contains("still resident"));
+    }
+
+    #[test]
+    fn detects_wrong_departure() {
+        let mut m = Monitor::new();
+        m.on_depart(ThreadId(9), CoreId(0));
+        assert!(m.violations()[0].contains("not resident"));
+    }
+
+    #[test]
+    fn detects_capacity_overflow() {
+        let mut m = Monitor::new();
+        m.on_guest_count(CoreId(1), 3, 2);
+        assert!(m.violations()[0].contains("contexts"));
+    }
+
+    #[test]
+    fn detects_program_order_violation() {
+        let mut m = Monitor::new();
+        m.on_access(ThreadId(0), 0, Addr(0), 0, CoreId(0), CoreId(0), false, 10, 10);
+        m.on_access(ThreadId(0), 2, Addr(4), 0, CoreId(0), CoreId(0), false, 11, 11);
+        assert!(m.violations().iter().any(|v| v.contains("order")));
+    }
+
+    #[test]
+    fn detects_time_regression() {
+        let mut m = Monitor::new();
+        m.on_access(ThreadId(0), 0, Addr(0), 0, CoreId(0), CoreId(0), false, 10, 10);
+        m.on_access(ThreadId(0), 1, Addr(4), 0, CoreId(0), CoreId(0), false, 5, 5);
+        assert!(m.violations().iter().any(|v| v.contains("before previous")));
+    }
+}

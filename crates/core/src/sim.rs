@@ -1,0 +1,928 @@
+//! The event-driven EM² / EM²-RA multicore simulator.
+//!
+//! Timing model (Graphite-style, see DESIGN.md §4): threads advance
+//! through their traces; network operations (migrations, evictions,
+//! remote accesses) take the closed-form latencies of
+//! [`em2_model::CostModel`]; local cache accesses take the hierarchy
+//! latencies; barriers synchronize threads exactly. Core pipeline
+//! contention between co-resident contexts and network link contention
+//! are not modeled — the same simplifications the paper's own
+//! analytical model makes (§3: "ignores local memory access delays,
+//! since the migration-vs-RA decision mainly affects network delays"),
+//! which keeps the DP bound from `em2-optimal` directly comparable.
+//!
+//! The simulator is fully deterministic: event ties are broken by
+//! insertion sequence, and all randomness (e.g. random eviction) flows
+//! from seeded generators.
+
+use crate::context::{Admission, ContextPool, GuestState, VictimPolicy};
+use crate::decision::{Decision, DecisionCtx, DecisionScheme};
+use crate::machine::{EvictionPolicy, MachineConfig};
+use crate::monitor::Monitor;
+use crate::stats::{FlowCounts, SimReport, TrafficBreakdown};
+use em2_cache::CacheHierarchy;
+use em2_model::{CoreId, DetRng, Histogram, Summary, ThreadId};
+use em2_placement::Placement;
+use em2_trace::Workload;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Bins for the Figure-2 run-length histogram.
+const RUN_BINS: u64 = 60;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    /// Resident, between operations.
+    Idle,
+    /// Resident, executing an access that completes at the given time.
+    Busy { until: u64 },
+    /// Resident, waiting for a remote access to return.
+    Remote { until: u64 },
+    /// Parked at a barrier.
+    Barrier { idx: usize, since: u64 },
+    /// Context in flight (migration or eviction); `resume` = schedule
+    /// a Ready on arrival.
+    Flight { arrive: u64, resume: bool },
+    /// Trace exhausted.
+    Done,
+}
+
+struct ThreadState {
+    native: CoreId,
+    core: CoreId,
+    pos: usize,
+    next_barrier: usize,
+    status: Status,
+    epoch: u64,
+    /// Issue time of the access currently in flight (migration or RA).
+    op_issue: u64,
+    /// Run-length tracking: current home run.
+    run_core: Option<CoreId>,
+    run_len: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EventKind {
+    /// Thread may proceed (issue next access / finish remote wait).
+    Ready,
+    /// Context arrives at `dst`; `eviction` marks native-bound travel.
+    Arrive { dst: CoreId, eviction: bool },
+    /// A remote-access request reaches the home cache (Figure 3's
+    /// "access memory" box executes *at the home*, in time order).
+    Service { home: CoreId },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Event {
+    time: u64,
+    seq: u64,
+    thread: ThreadId,
+    epoch: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulator. Construct, then [`Simulator::run`].
+pub struct Simulator<'a> {
+    cfg: MachineConfig,
+    workload: &'a Workload,
+    placement: &'a dyn Placement,
+    scheme: Box<dyn DecisionScheme>,
+}
+
+impl<'a> Simulator<'a> {
+    /// A simulator for `workload` under `placement` with the given
+    /// decision scheme (`AlwaysMigrate` = pure EM²).
+    pub fn new(
+        cfg: MachineConfig,
+        workload: &'a Workload,
+        placement: &'a dyn Placement,
+        scheme: Box<dyn DecisionScheme>,
+    ) -> Self {
+        assert!(
+            placement.cores() <= cfg.cores(),
+            "placement targets more cores than the machine has"
+        );
+        Simulator {
+            cfg,
+            workload,
+            placement,
+            scheme,
+        }
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(mut self) -> SimReport {
+        let n_threads = self.workload.num_threads();
+        let cores = self.cfg.cores();
+
+        let mut pools: Vec<ContextPool> = (0..cores)
+            .map(|i| {
+                let policy = match self.cfg.eviction {
+                    EvictionPolicy::Lru => VictimPolicy::Lru,
+                    EvictionPolicy::Random { seed } => {
+                        VictimPolicy::Random(DetRng::new(seed).fork(i as u64))
+                    }
+                };
+                ContextPool::new(self.cfg.guest_contexts, policy)
+            })
+            .collect();
+        let mut caches: Vec<CacheHierarchy> = (0..cores)
+            .map(|_| CacheHierarchy::new(self.cfg.caches))
+            .collect();
+        let mut monitor = self.cfg.monitor.then(Monitor::new);
+
+        let mut threads: Vec<ThreadState> = self
+            .workload
+            .threads
+            .iter()
+            .map(|t| ThreadState {
+                native: t.native,
+                core: t.native,
+                pos: 0,
+                next_barrier: 0,
+                status: Status::Idle,
+                epoch: 0,
+                op_issue: 0,
+                run_core: None,
+                run_len: 0,
+            })
+            .collect();
+
+        // Barrier bookkeeping: expected arrivals per barrier index.
+        let max_barriers = self
+            .workload
+            .threads
+            .iter()
+            .map(|t| t.barriers.len())
+            .max()
+            .unwrap_or(0);
+        let expected: Vec<usize> = (0..max_barriers)
+            .map(|k| {
+                self.workload
+                    .threads
+                    .iter()
+                    .filter(|t| t.barriers.len() > k)
+                    .count()
+            })
+            .collect();
+        let mut arrived = vec![0usize; max_barriers];
+        let mut waiting: Vec<Vec<ThreadId>> = vec![Vec::new(); max_barriers];
+
+        let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |events: &mut BinaryHeap<Reverse<Event>>,
+                        seq: &mut u64,
+                        time: u64,
+                        thread: ThreadId,
+                        epoch: u64,
+                        kind: EventKind| {
+            *seq += 1;
+            events.push(Reverse(Event {
+                time,
+                seq: *seq,
+                thread,
+                epoch,
+                kind,
+            }));
+        };
+
+        // Report accumulators.
+        let mut flow = FlowCounts::default();
+        let mut traffic = TrafficBreakdown::default();
+        let mut run_lengths = Histogram::new(RUN_BINS);
+        let mut access_latency = Summary::new();
+        let mut migration_latency = Summary::new();
+        let mut remote_latency = Summary::new();
+        let mut context_bits_sent = 0u64;
+        let mut network_cycles = 0u64;
+        let mut barrier_wait_cycles = 0u64;
+        let mut makespan = 0u64;
+
+        // Seed: every thread starts in its native context at cycle 0.
+        // Gaps are folded into Ready times, so a handler's `now` is the
+        // issue time of the access it processes: cache state mutates in
+        // simulated-time order (the monitor's serialization check).
+        for (i, ts) in threads.iter().enumerate() {
+            let tid = ThreadId(i as u32);
+            pools[ts.native.index()].admit_native(tid);
+            if let Some(m) = monitor.as_mut() {
+                m.on_arrive(tid, ts.native);
+            }
+            let t0 = self.workload.threads[i]
+                .records
+                .first()
+                .map_or(0, |r| r.gap as u64);
+            push(&mut events, &mut seq, t0, tid, 0, EventKind::Ready);
+        }
+
+        let cost = self.cfg.cost;
+        let ctx_bits = cost.context_bits;
+        let line_bytes = self.cfg.caches.l1.line_bytes;
+
+        while let Some(Reverse(ev)) = events.pop() {
+            let tid = ev.thread;
+            let t_idx = tid.index();
+            if ev.epoch != threads[t_idx].epoch {
+                continue; // cancelled by an eviction
+            }
+            let now = ev.time;
+            makespan = makespan.max(now);
+
+            match ev.kind {
+                EventKind::Arrive { dst, eviction } => {
+                    if dst == threads[t_idx].native {
+                        pools[dst.index()].admit_native(tid);
+                    } else {
+                        match pools[dst.index()].admit_guest(tid, now) {
+                            Admission::Admitted => {}
+                            Admission::AdmittedEvicting(victim) => {
+                                flow.evictions += 1;
+                                let v_idx = victim.index();
+                                let v_native = threads[v_idx].native;
+                                if let Some(m) = monitor.as_mut() {
+                                    m.on_depart(victim, dst);
+                                }
+                                // The victim drains its current access,
+                                // then travels on the eviction network.
+                                let depart = match threads[v_idx].status {
+                                    Status::Busy { until } => until.max(now),
+                                    _ => now,
+                                };
+                                let was_parked =
+                                    matches!(threads[v_idx].status, Status::Barrier { .. });
+                                if let Status::Barrier { since, idx } = threads[v_idx].status {
+                                    // Keep the barrier registration; it
+                                    // will resume via the resume flag.
+                                    let _ = (since, idx);
+                                }
+                                threads[v_idx].epoch += 1;
+                                let ev_lat =
+                                    cost.migration_latency_bits(dst, v_native, ctx_bits);
+                                context_bits_sent += ctx_bits;
+                                traffic.eviction_flit_hops +=
+                                    cost.migration_traffic_bits(dst, v_native, ctx_bits);
+                                threads[v_idx].status = Status::Flight {
+                                    arrive: depart + ev_lat,
+                                    resume: !was_parked,
+                                };
+                                threads[v_idx].core = v_native;
+                                let v_epoch = threads[v_idx].epoch;
+                                push(
+                                    &mut events,
+                                    &mut seq,
+                                    depart + ev_lat,
+                                    victim,
+                                    v_epoch,
+                                    EventKind::Arrive {
+                                        dst: v_native,
+                                        eviction: true,
+                                    },
+                                );
+                            }
+                            Admission::Stalled => {
+                                flow.stalled_arrivals += 1;
+                                push(
+                                    &mut events,
+                                    &mut seq,
+                                    now + self.cfg.stall_retry,
+                                    tid,
+                                    ev.epoch,
+                                    EventKind::Arrive { dst, eviction },
+                                );
+                                continue;
+                            }
+                        }
+                    }
+                    if let Some(m) = monitor.as_mut() {
+                        m.on_arrive(tid, dst);
+                        m.on_guest_count(
+                            dst,
+                            pools[dst.index()].guest_count(),
+                            pools[dst.index()].guest_capacity(),
+                        );
+                    }
+                    threads[t_idx].core = dst;
+                    let resume = match threads[t_idx].status {
+                        Status::Flight { resume, .. } => resume,
+                        _ => true,
+                    };
+                    threads[t_idx].status = if eviction {
+                        if resume {
+                            Status::Idle
+                        } else {
+                            // Still parked at its barrier.
+                            Status::Barrier {
+                                idx: threads[t_idx].next_barrier.saturating_sub(1),
+                                since: now,
+                            }
+                        }
+                    } else {
+                        Status::Idle
+                    };
+                    if eviction {
+                        if resume {
+                            push(&mut events, &mut seq, now, tid, ev.epoch, EventKind::Ready);
+                        }
+                        continue;
+                    }
+                    // Migration arrival: perform the access that caused it.
+                    let rec = self.workload.threads[t_idx].records[threads[t_idx].pos];
+                    let outcome = caches[dst.index()].access(rec.addr, rec.kind.is_write());
+                    let lat = outcome.latency(&cost);
+                    let complete = now + lat;
+                    let issue = threads[t_idx].op_issue;
+                    flow.migrations += 1;
+                    access_latency.record_u64(complete - issue);
+                    Self::track_run(
+                        &mut threads[t_idx],
+                        dst,
+                        &mut run_lengths,
+                        self.scheme.as_mut(),
+                        tid,
+                    );
+                    if let Some(m) = monitor.as_mut() {
+                        m.on_access(
+                            tid,
+                            threads[t_idx].pos,
+                            rec.addr,
+                            rec.addr.line(line_bytes).0,
+                            dst,
+                            dst,
+                            false,
+                            now,
+                            complete,
+                        );
+                    }
+                    threads[t_idx].pos += 1;
+                    threads[t_idx].status = Status::Busy { until: complete };
+                    pools[dst.index()].touch(tid, now);
+                    let next_gap = self.workload.threads[t_idx]
+                        .records
+                        .get(threads[t_idx].pos)
+                        .map_or(0, |r| r.gap as u64);
+                    push(
+                        &mut events,
+                        &mut seq,
+                        complete + next_gap,
+                        tid,
+                        ev.epoch,
+                        EventKind::Ready,
+                    );
+                }
+
+                EventKind::Service { home } => {
+                    // The remote request reaches the home cache: access
+                    // memory there, then send the response back.
+                    let rec = self.workload.threads[t_idx].records[threads[t_idx].pos];
+                    let outcome = caches[home.index()].access(rec.addr, rec.kind.is_write());
+                    let cache_lat = outcome.latency(&cost);
+                    let core = threads[t_idx].core;
+                    let resp_bits = match rec.kind {
+                        em2_model::AccessKind::Read => cost.ra_resp_read_bits,
+                        em2_model::AccessKind::Write => cost.ra_resp_ack_bits,
+                    };
+                    let complete =
+                        now + cache_lat + cost.one_way(home, core, resp_bits) + cost.ra_fixed;
+                    let issue = threads[t_idx].op_issue;
+                    match rec.kind {
+                        em2_model::AccessKind::Read => flow.remote_reads += 1,
+                        em2_model::AccessKind::Write => flow.remote_writes += 1,
+                    }
+                    remote_latency.record_u64(complete - issue);
+                    access_latency.record_u64(complete - issue);
+                    network_cycles += (complete - issue) - cache_lat;
+                    if let Some(m) = monitor.as_mut() {
+                        m.on_access(
+                            tid,
+                            threads[t_idx].pos,
+                            rec.addr,
+                            rec.addr.line(line_bytes).0,
+                            core,
+                            home,
+                            true,
+                            now,
+                            complete,
+                        );
+                    }
+                    threads[t_idx].pos += 1;
+                    threads[t_idx].status = Status::Remote { until: complete };
+                    let next_gap = self.workload.threads[t_idx]
+                        .records
+                        .get(threads[t_idx].pos)
+                        .map_or(0, |r| r.gap as u64);
+                    push(
+                        &mut events,
+                        &mut seq,
+                        complete + next_gap,
+                        tid,
+                        ev.epoch,
+                        EventKind::Ready,
+                    );
+                }
+
+                EventKind::Ready => {
+                    // A Ready may be the completion of a remote access.
+                    if let Status::Remote { until } = threads[t_idx].status {
+                        debug_assert!(now >= until);
+                        let core = threads[t_idx].core;
+                        if core != threads[t_idx].native {
+                            pools[core.index()].set_guest_state(tid, GuestState::Evictable);
+                        }
+                        threads[t_idx].status = Status::Idle;
+                    }
+                    threads[t_idx].status = match threads[t_idx].status {
+                        Status::Busy { .. } | Status::Idle | Status::Barrier { .. } => Status::Idle,
+                        s => s,
+                    };
+
+                    // Barrier processing.
+                    let trace = &self.workload.threads[t_idx];
+                    let mut parked = false;
+                    while threads[t_idx].next_barrier < trace.barriers.len()
+                        && trace.barriers[threads[t_idx].next_barrier] == threads[t_idx].pos
+                    {
+                        let k = threads[t_idx].next_barrier;
+                        threads[t_idx].next_barrier += 1;
+                        arrived[k] += 1;
+                        if arrived[k] == expected[k] {
+                            // Release everyone parked here.
+                            for w in waiting[k].drain(..) {
+                                let w_idx = w.index();
+                                match threads[w_idx].status {
+                                    Status::Flight { .. } => {
+                                        // Evicted while parked: resume on
+                                        // arrival instead.
+                                        if let Status::Flight { arrive, .. } =
+                                            threads[w_idx].status
+                                        {
+                                            threads[w_idx].status = Status::Flight {
+                                                arrive,
+                                                resume: true,
+                                            };
+                                        }
+                                    }
+                                    Status::Barrier { since, .. } => {
+                                        barrier_wait_cycles += now - since;
+                                        let w_epoch = threads[w_idx].epoch;
+                                        push(
+                                            &mut events,
+                                            &mut seq,
+                                            now,
+                                            w,
+                                            w_epoch,
+                                            EventKind::Ready,
+                                        );
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            // This thread continues through the loop.
+                        } else {
+                            waiting[k].push(tid);
+                            threads[t_idx].status = Status::Barrier { idx: k, since: now };
+                            parked = true;
+                            break;
+                        }
+                    }
+                    if parked {
+                        continue;
+                    }
+
+                    // Done?
+                    if threads[t_idx].pos >= trace.records.len() {
+                        if threads[t_idx].status != Status::Done {
+                            let core = threads[t_idx].core;
+                            if core == threads[t_idx].native {
+                                pools[core.index()].remove_native(tid);
+                            } else {
+                                pools[core.index()].remove_guest(tid);
+                            }
+                            if let Some(m) = monitor.as_mut() {
+                                m.on_depart(tid, core);
+                            }
+                            Self::flush_run(
+                                &mut threads[t_idx],
+                                &mut run_lengths,
+                                self.scheme.as_mut(),
+                                tid,
+                            );
+                            threads[t_idx].status = Status::Done;
+                        }
+                        continue;
+                    }
+
+                    // Issue the next access (gaps were folded into the
+                    // Ready time, so it issues exactly now).
+                    let rec = trace.records[threads[t_idx].pos];
+                    let issue = now;
+                    let core = threads[t_idx].core;
+                    let home = self.placement.home_of(rec.addr);
+
+                    if home == core {
+                        let outcome = caches[core.index()].access(rec.addr, rec.kind.is_write());
+                        let lat = outcome.latency(&cost);
+                        let complete = issue + lat;
+                        flow.local_accesses += 1;
+                        access_latency.record_u64(lat);
+                        Self::track_run(
+                            &mut threads[t_idx],
+                            home,
+                            &mut run_lengths,
+                            self.scheme.as_mut(),
+                            tid,
+                        );
+                        if let Some(m) = monitor.as_mut() {
+                            m.on_access(
+                                tid,
+                                threads[t_idx].pos,
+                                rec.addr,
+                                rec.addr.line(line_bytes).0,
+                                core,
+                                home,
+                                false,
+                                now,
+                                complete,
+                            );
+                        }
+                        threads[t_idx].pos += 1;
+                        threads[t_idx].status = Status::Busy { until: complete };
+                        pools[core.index()].touch(tid, now);
+                        let next_gap = trace
+                            .records
+                            .get(threads[t_idx].pos)
+                            .map_or(0, |r| r.gap as u64);
+                        push(
+                            &mut events,
+                            &mut seq,
+                            complete + next_gap,
+                            tid,
+                            ev.epoch,
+                            EventKind::Ready,
+                        );
+                        continue;
+                    }
+
+                    // Non-local: migrate or remote-access.
+                    let decision = self.scheme.decide(&DecisionCtx {
+                        thread: tid,
+                        current: core,
+                        home,
+                        native: threads[t_idx].native,
+                        kind: rec.kind,
+                        cost: &cost,
+                    });
+                    match decision {
+                        Decision::Migrate => {
+                            if core == threads[t_idx].native {
+                                pools[core.index()].remove_native(tid);
+                            } else {
+                                pools[core.index()].remove_guest(tid);
+                            }
+                            if let Some(m) = monitor.as_mut() {
+                                m.on_depart(tid, core);
+                            }
+                            let lat = cost.migration_latency_bits(core, home, ctx_bits);
+                            context_bits_sent += ctx_bits;
+                            traffic.migration_flit_hops +=
+                                cost.migration_traffic_bits(core, home, ctx_bits);
+                            migration_latency.record_u64(lat);
+                            network_cycles += lat;
+                            threads[t_idx].op_issue = issue;
+                            threads[t_idx].status = Status::Flight {
+                                arrive: issue + lat,
+                                resume: true,
+                            };
+                            push(
+                                &mut events,
+                                &mut seq,
+                                issue + lat,
+                                tid,
+                                ev.epoch,
+                                EventKind::Arrive {
+                                    dst: home,
+                                    eviction: false,
+                                },
+                            );
+                        }
+                        Decision::Remote => {
+                            // Send the request; the home cache is
+                            // accessed when it *arrives* (Service).
+                            let req_bits = match rec.kind {
+                                em2_model::AccessKind::Read => cost.ra_req_bits,
+                                em2_model::AccessKind::Write => {
+                                    cost.ra_req_bits + cost.ra_write_data_bits
+                                }
+                            };
+                            let resp_bits = match rec.kind {
+                                em2_model::AccessKind::Read => cost.ra_resp_read_bits,
+                                em2_model::AccessKind::Write => cost.ra_resp_ack_bits,
+                            };
+                            traffic.ra_req_flit_hops +=
+                                cost.hops(core, home) * cost.flits(req_bits);
+                            traffic.ra_resp_flit_hops +=
+                                cost.hops(core, home) * cost.flits(resp_bits);
+                            Self::track_run(
+                                &mut threads[t_idx],
+                                home,
+                                &mut run_lengths,
+                                self.scheme.as_mut(),
+                                tid,
+                            );
+                            if core != threads[t_idx].native {
+                                pools[core.index()].set_guest_state(tid, GuestState::Pinned);
+                            }
+                            pools[core.index()].touch(tid, now);
+                            threads[t_idx].op_issue = issue;
+                            threads[t_idx].status = Status::Remote { until: u64::MAX };
+                            push(
+                                &mut events,
+                                &mut seq,
+                                issue + cost.one_way(core, home, req_bits),
+                                tid,
+                                ev.epoch,
+                                EventKind::Service { home },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Aggregate caches & pools.
+        let mut cache_stats = em2_cache::CacheStats::default();
+        for c in &caches {
+            cache_stats.merge(c.stats());
+        }
+        let peak_guests = pools.iter().map(|p| p.peak_guests()).max().unwrap_or(0);
+
+        debug_assert!(
+            threads.iter().all(|t| t.status == Status::Done),
+            "all threads must finish (barrier mismatch?)"
+        );
+        let _ = n_threads;
+
+        SimReport {
+            workload: self.workload.name.clone(),
+            scheme: self.scheme.name(),
+            cycles: makespan,
+            flow,
+            run_lengths,
+            context_bits_sent,
+            traffic,
+            access_latency,
+            migration_latency,
+            remote_latency,
+            caches: cache_stats,
+            peak_guests,
+            network_cycles,
+            barrier_wait_cycles,
+            violations: monitor.map(Monitor::into_violations).unwrap_or_default(),
+        }
+    }
+
+    /// Advance the per-thread home-run tracker with an access at `home`.
+    fn track_run(
+        ts: &mut ThreadState,
+        home: CoreId,
+        hist: &mut Histogram,
+        scheme: &mut dyn DecisionScheme,
+        tid: ThreadId,
+    ) {
+        match ts.run_core {
+            Some(c) if c == home => ts.run_len += 1,
+            Some(c) => {
+                if c != ts.native {
+                    hist.record(ts.run_len);
+                }
+                // Feedback covers native runs too: the decision to
+                // migrate *home* amortizes over them, and a scheme
+                // that never learns their lengths strands threads
+                // remote-accessing their own data.
+                scheme.observe_run(tid, c, ts.run_len);
+                ts.run_core = Some(home);
+                ts.run_len = 1;
+            }
+            None => {
+                ts.run_core = Some(home);
+                ts.run_len = 1;
+            }
+        }
+    }
+
+    /// Flush the final run at thread completion.
+    fn flush_run(
+        ts: &mut ThreadState,
+        hist: &mut Histogram,
+        scheme: &mut dyn DecisionScheme,
+        tid: ThreadId,
+    ) {
+        if let Some(c) = ts.run_core.take() {
+            if ts.run_len > 0 {
+                if c != ts.native {
+                    hist.record(ts.run_len);
+                }
+                scheme.observe_run(tid, c, ts.run_len);
+            }
+            ts.run_len = 0;
+        }
+    }
+}
+
+/// Run pure EM² (always migrate) — the paper's baseline machine.
+pub fn run_em2(cfg: MachineConfig, workload: &Workload, placement: &dyn Placement) -> SimReport {
+    Simulator::new(
+        cfg,
+        workload,
+        placement,
+        Box::new(crate::decision::AlwaysMigrate),
+    )
+    .run()
+}
+
+/// Run EM²-RA with the given decision scheme (Figure 3's machine).
+pub fn run_em2ra(
+    cfg: MachineConfig,
+    workload: &Workload,
+    placement: &dyn Placement,
+    scheme: Box<dyn DecisionScheme>,
+) -> SimReport {
+    Simulator::new(cfg, workload, placement, scheme).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::{AlwaysMigrate, AlwaysRemote, DistanceThreshold};
+    use em2_placement::{run_length_analysis, FirstTouch, Striped};
+    use em2_trace::gen::{micro, ocean::OceanConfig};
+
+    fn cfg(cores: usize) -> MachineConfig {
+        MachineConfig::with_cores(cores)
+    }
+
+    #[test]
+    fn private_workload_never_migrates() {
+        let w = micro::private(4, 4, 200);
+        let p = FirstTouch::build(&w, 4, 64);
+        let r = run_em2(cfg(4), &w, &p);
+        assert_eq!(r.flow.migrations, 0);
+        assert_eq!(r.flow.evictions, 0);
+        assert_eq!(r.flow.local_accesses as usize, w.total_accesses());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn pingpong_migrates_under_em2() {
+        let w = micro::pingpong(1, 4, 20);
+        let p = FirstTouch::build(&w, 4, 64);
+        let r = run_em2(cfg(4), &w, &p);
+        // The odd thread must migrate to the even thread's core and
+        // back repeatedly.
+        assert!(r.flow.migrations >= 10, "report: {r}");
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn pingpong_with_always_remote_never_migrates() {
+        let w = micro::pingpong(1, 4, 20);
+        let p = FirstTouch::build(&w, 4, 64);
+        let r = run_em2ra(cfg(4), &w, &p, Box::new(AlwaysRemote));
+        assert_eq!(r.flow.migrations, 0);
+        assert!(r.flow.remote_reads + r.flow.remote_writes >= 20);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn run_length_histogram_matches_trace_analysis_under_em2() {
+        // The simulator's online run tracker must agree exactly with
+        // the pure trace-level analysis (they implement the same
+        // Figure-2 definition).
+        let w = OceanConfig::small().generate();
+        let p = FirstTouch::build(&w, 4, 64);
+        let analysis = run_length_analysis(&w, &p, RUN_BINS);
+        // Enough guest contexts that no eviction can occur (3 possible
+        // guests per core): the machine then performs *exactly* the
+        // home-change migrations the trace analysis predicts.
+        let mut c = cfg(4);
+        c.guest_contexts = 4;
+        let r = run_em2(c, &w, &p);
+        assert_eq!(r.run_lengths, analysis.histogram);
+        assert_eq!(r.flow.evictions, 0);
+        assert_eq!(r.flow.migrations, analysis.migrations_pure_em2);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn evictions_substitute_for_return_migrations() {
+        // With scarce guest contexts, every eviction that sends a
+        // thread home pre-empts the return migration the trace-level
+        // analysis predicts: migrations + evictions ≥ predicted, and
+        // migrations alone ≤ predicted.
+        let w = OceanConfig::small().generate();
+        let p = FirstTouch::build(&w, 4, 64);
+        let analysis = run_length_analysis(&w, &p, RUN_BINS);
+        let mut c = cfg(4);
+        c.guest_contexts = 1;
+        let r = run_em2(c, &w, &p);
+        assert!(r.flow.migrations <= analysis.migrations_pure_em2);
+        assert!(
+            r.flow.migrations + r.flow.evictions >= analysis.migrations_pure_em2,
+            "{} + {} < {}",
+            r.flow.migrations,
+            r.flow.evictions,
+            analysis.migrations_pure_em2
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let w = micro::uniform(4, 4, 300, 64, 0.3, 5);
+        let p = Striped::new(4, 64);
+        let a = run_em2(cfg(4), &w, &p);
+        let b = run_em2(cfg(4), &w, &p);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.flow, b.flow);
+        assert_eq!(a.run_lengths, b.run_lengths);
+        assert_eq!(a.context_bits_sent, b.context_bits_sent);
+    }
+
+    #[test]
+    fn evictions_occur_under_guest_pressure() {
+        // Many threads hammer one core's data with only 1 guest context.
+        let w = micro::hotspot(8, 8, 300, 0.9, 3);
+        let p = FirstTouch::build(&w, 8, 64);
+        let mut c = cfg(8);
+        c.guest_contexts = 1;
+        let r = run_em2(c, &w, &p);
+        assert!(r.flow.evictions > 0, "hotspot must force evictions: {r}");
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.peak_guests <= 1);
+    }
+
+    #[test]
+    fn em2ra_reduces_context_bits_on_singles_heavy_load() {
+        let w = micro::uniform(4, 4, 400, 256, 0.3, 11);
+        let p = Striped::new(4, 64);
+        let em2 = run_em2(cfg(4), &w, &p);
+        let ra = run_em2ra(cfg(4), &w, &p, Box::new(AlwaysRemote));
+        assert!(
+            ra.context_bits_sent < em2.context_bits_sent,
+            "remote access must ship fewer context bits: {} vs {}",
+            ra.context_bits_sent,
+            em2.context_bits_sent
+        );
+        assert!(ra.traffic.total() < em2.traffic.total());
+    }
+
+    #[test]
+    fn hybrid_scheme_splits_flows() {
+        let w = micro::uniform(4, 4, 300, 128, 0.3, 13);
+        let p = Striped::new(4, 64);
+        let r = run_em2ra(cfg(4), &w, &p, Box::new(DistanceThreshold { max_hops: 1 }));
+        assert!(r.flow.migrations > 0, "{r}");
+        assert!(r.flow.remote_reads + r.flow.remote_writes > 0, "{r}");
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn barriers_synchronize() {
+        let w = micro::producer_consumer(3, 4, 16, 3);
+        let p = FirstTouch::build(&w, 4, 64);
+        let r = run_em2(cfg(4), &w, &p);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.barrier_wait_cycles > 0, "someone must wait at a barrier");
+    }
+
+    #[test]
+    fn report_displays() {
+        let w = micro::pingpong(1, 4, 5);
+        let p = FirstTouch::build(&w, 4, 64);
+        let r = run_em2(cfg(4), &w, &p);
+        let s = format!("{r}");
+        assert!(s.contains("migrations"));
+        assert!(s.contains("flit-hops"));
+    }
+
+    #[test]
+    fn always_migrate_name_in_report() {
+        let w = micro::private(2, 4, 10);
+        let p = FirstTouch::build(&w, 4, 64);
+        let r = Simulator::new(cfg(4), &w, &p, Box::new(AlwaysMigrate)).run();
+        assert_eq!(r.scheme, "always-migrate");
+        assert_eq!(r.workload, "private");
+    }
+}

@@ -1,0 +1,342 @@
+//! Integer-valued histograms.
+//!
+//! Figure 2 of the paper is a histogram of *run lengths*: for every
+//! stretch of consecutive accesses a thread makes to memory homed at
+//! the same non-native core, the stretch's length is binned and the
+//! figure plots, per bin, the number of *accesses* contributed (i.e.,
+//! `length × occurrences`). [`Histogram`] supports both views:
+//! occurrence counts and value-weighted counts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A histogram over non-negative integer samples with unit-width bins
+/// `0..=max_bin` plus an overflow bin collecting everything larger.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    max_bin: u64,
+    /// counts[v] = number of samples with value v, for v in 0..=max_bin;
+    /// the final slot is the overflow bin.
+    counts: Vec<u64>,
+    /// Sum of all sample values (exact, including overflow samples).
+    total_value: u128,
+    /// Number of samples.
+    total_count: u64,
+    /// Largest sample seen.
+    max_seen: u64,
+}
+
+impl Histogram {
+    /// A histogram with unit bins `0..=max_bin` and an overflow bin.
+    pub fn new(max_bin: u64) -> Self {
+        Histogram {
+            max_bin,
+            counts: vec![0; max_bin as usize + 2],
+            total_value: 0,
+            total_count: 0,
+            max_seen: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` samples of the same value.
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = if value <= self.max_bin {
+            value as usize
+        } else {
+            self.counts.len() - 1
+        };
+        self.counts[idx] += n;
+        self.total_value += value as u128 * n as u128;
+        self.total_count += n;
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    /// Number of samples recorded with exactly this value
+    /// (values above `max_bin` land in the overflow bin).
+    #[inline]
+    pub fn count(&self, value: u64) -> u64 {
+        if value <= self.max_bin {
+            self.counts[value as usize]
+        } else {
+            0
+        }
+    }
+
+    /// Samples in the overflow bin (value > `max_bin`).
+    #[inline]
+    pub fn overflow(&self) -> u64 {
+        *self.counts.last().unwrap()
+    }
+
+    /// Total number of samples.
+    #[inline]
+    pub fn total_count(&self) -> u64 {
+        self.total_count
+    }
+
+    /// Exact sum of all sample values.
+    #[inline]
+    pub fn total_value(&self) -> u128 {
+        self.total_value
+    }
+
+    /// Largest sample value seen (0 if empty).
+    #[inline]
+    pub fn max_seen(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// Mean sample value (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.total_count > 0).then(|| self.total_value as f64 / self.total_count as f64)
+    }
+
+    /// The highest bin index (overflow excluded).
+    #[inline]
+    pub fn max_bin(&self) -> u64 {
+        self.max_bin
+    }
+
+    /// Iterate `(value, occurrence_count)` over the unit bins,
+    /// overflow excluded.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts[..=self.max_bin as usize]
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| (v as u64, c))
+    }
+
+    /// Iterate `(value, value × occurrence_count)` — the *weighted*
+    /// view Figure 2 plots ("# of accesses ... binned by run length").
+    /// Overflow excluded; use [`Histogram::overflow_weighted_lower_bound`]
+    /// for the tail.
+    pub fn iter_weighted(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.iter().map(|(v, c)| (v, v * c))
+    }
+
+    /// Lower bound on the weighted mass in the overflow bin
+    /// (each overflow sample counts at least `max_bin + 1`).
+    pub fn overflow_weighted_lower_bound(&self) -> u64 {
+        self.overflow() * (self.max_bin + 1)
+    }
+
+    /// Exact weighted mass of the whole histogram — equals
+    /// [`Histogram::total_value`]. Σ over weighted bins + the exact
+    /// overflow weight.
+    pub fn weighted_total(&self) -> u128 {
+        self.total_value
+    }
+
+    /// Fraction of the *weighted* mass at values `<= v` (0.0 if empty).
+    ///
+    /// For Figure 2: `weighted_fraction_le(1)` is the fraction of
+    /// non-native accesses that migrate away after a single reference —
+    /// the paper reports "about half".
+    pub fn weighted_fraction_le(&self, v: u64) -> f64 {
+        if self.total_value == 0 {
+            return 0.0;
+        }
+        let upto: u128 = self
+            .iter_weighted()
+            .take_while(|&(value, _)| value <= v)
+            .map(|(_, w)| w as u128)
+            .sum();
+        upto as f64 / self.total_value as f64
+    }
+
+    /// Smallest value `v` with cumulative occurrence count ≥ `q` of the
+    /// total (`q` in `[0,1]`). Overflow samples report `max_bin + 1`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total_count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.total_count as f64).ceil() as u64).max(1);
+        let mut cum = 0;
+        for (v, c) in self.iter() {
+            cum += c;
+            if cum >= target {
+                return Some(v);
+            }
+        }
+        Some(self.max_bin + 1)
+    }
+
+    /// Merge another histogram into this one.
+    ///
+    /// # Panics
+    /// Panics if bin layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.max_bin, other.max_bin, "histogram bin mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total_value += other.total_value;
+        self.total_count += other.total_count;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+
+    /// Render a fixed-width ASCII bar chart of the weighted view
+    /// (the Figure-2 presentation), listing bins `from..=to`.
+    pub fn ascii_chart_weighted(&self, from: u64, to: u64, width: usize) -> String {
+        let to = to.min(self.max_bin);
+        let peak = self
+            .iter_weighted()
+            .filter(|&(v, _)| v >= from && v <= to)
+            .map(|(_, w)| w)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let mut out = String::new();
+        for (v, w) in self.iter_weighted() {
+            if v < from || v > to {
+                continue;
+            }
+            let bar = (w as u128 * width as u128 / peak as u128) as usize;
+            out.push_str(&format!("{v:>4} | {:<width$} {w}\n", "#".repeat(bar)));
+        }
+        if self.overflow() > 0 {
+            out.push_str(&format!(
+                "  >{} | ({} samples in overflow)\n",
+                self.max_bin,
+                self.overflow()
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "histogram: n={}, mean={:.2}, max={}",
+            self.total_count,
+            self.mean().unwrap_or(0.0),
+            self.max_seen
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut h = Histogram::new(10);
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        h.record_n(10, 5);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(10), 5);
+        assert_eq!(h.total_count(), 8);
+        assert_eq!(h.total_value(), 3 + 3 + 50);
+    }
+
+    #[test]
+    fn overflow_is_separate() {
+        let mut h = Histogram::new(4);
+        h.record(5);
+        h.record(100);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(4), 0);
+        assert_eq!(h.max_seen(), 100);
+        assert_eq!(h.total_value(), 105);
+        assert_eq!(h.overflow_weighted_lower_bound(), 10);
+    }
+
+    #[test]
+    fn weighted_view_multiplies() {
+        let mut h = Histogram::new(8);
+        h.record_n(2, 3); // weight 6
+        h.record_n(4, 1); // weight 4
+        let weighted: Vec<(u64, u64)> = h.iter_weighted().filter(|&(_, w)| w > 0).collect();
+        assert_eq!(weighted, vec![(2, 6), (4, 4)]);
+        assert_eq!(h.weighted_total(), 10);
+    }
+
+    #[test]
+    fn weighted_fraction_le_figure2_style() {
+        // 50 runs of length 1, 10 runs of length 5: equal weighted mass.
+        let mut h = Histogram::new(60);
+        h.record_n(1, 50);
+        h.record_n(5, 10);
+        let f = h.weighted_fraction_le(1);
+        assert!((f - 0.5).abs() < 1e-9, "fraction = {f}");
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(100);
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(Histogram::new(4).quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Histogram::new(8);
+        let mut b = Histogram::new(8);
+        a.record_n(1, 2);
+        b.record_n(1, 3);
+        b.record(20);
+        a.merge(&b);
+        assert_eq!(a.count(1), 5);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total_count(), 6);
+        assert_eq!(a.max_seen(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin mismatch")]
+    fn merge_rejects_mismatched_bins() {
+        let mut a = Histogram::new(8);
+        let b = Histogram::new(9);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn mean_empty_is_none() {
+        assert_eq!(Histogram::new(4).mean(), None);
+        let mut h = Histogram::new(4);
+        h.record_n(2, 4);
+        assert_eq!(h.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn ascii_chart_contains_bins() {
+        let mut h = Histogram::new(10);
+        h.record_n(1, 10);
+        h.record_n(3, 2);
+        h.record(99);
+        let chart = h.ascii_chart_weighted(1, 10, 40);
+        assert!(chart.contains("   1 |"));
+        assert!(chart.contains("overflow"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = Histogram::new(16);
+        h.record_n(3, 7);
+        h.record(40);
+        let s = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&s).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the shared model types.
+
+use em2_model::{ceil_div, AccessKind, CoreId, CostModel, Histogram, Mesh, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ceil_div_is_exact(a in 0u64..1_000_000, b in 1u64..10_000) {
+        let q = ceil_div(a, b);
+        prop_assert!(q * b >= a);
+        prop_assert!(q == 0 || (q - 1) * b < a);
+    }
+
+    #[test]
+    fn mesh_hops_is_a_metric(w in 1u16..10, h in 1u16..10, seed in any::<u64>()) {
+        let mesh = Mesh::new(w, h);
+        let n = mesh.cores() as u64;
+        let pick = |s: u64| CoreId::from((s % n) as usize);
+        let (a, b, c) = (pick(seed), pick(seed / 7 + 1), pick(seed / 13 + 2));
+        // identity, symmetry, triangle inequality
+        prop_assert_eq!(mesh.hops(a, a), 0);
+        prop_assert_eq!(mesh.hops(a, b), mesh.hops(b, a));
+        prop_assert!(mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c));
+        prop_assert!(mesh.hops(a, b) <= mesh.diameter());
+    }
+
+    #[test]
+    fn xy_routes_are_minimal_and_valid(w in 2u16..8, h in 2u16..8, s in any::<u64>(), d in any::<u64>()) {
+        let mesh = Mesh::new(w, h);
+        let n = mesh.cores() as u64;
+        let src = CoreId::from((s % n) as usize);
+        let dst = CoreId::from((d % n) as usize);
+        let route = mesh.xy_route(src, dst);
+        prop_assert_eq!(route.len() as u64, mesh.hops(src, dst));
+        let mut prev = src;
+        for &step in &route {
+            prop_assert_eq!(mesh.hops(prev, step), 1);
+            prev = step;
+        }
+        if src != dst {
+            prop_assert_eq!(*route.last().unwrap(), dst);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_mass(values in prop::collection::vec(0u64..200, 0..300)) {
+        let mut h = Histogram::new(60);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total_count(), values.len() as u64);
+        prop_assert_eq!(h.total_value(), values.iter().map(|&v| v as u128).sum::<u128>());
+        // Bin counts + overflow == total.
+        let binned: u64 = h.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(binned + h.overflow(), h.total_count());
+        // Weighted fractions are monotone in the threshold.
+        let f1 = h.weighted_fraction_le(1);
+        let f10 = h.weighted_fraction_le(10);
+        let f60 = h.weighted_fraction_le(60);
+        prop_assert!(f1 <= f10 + 1e-12);
+        prop_assert!(f10 <= f60 + 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_is_addition(
+        xs in prop::collection::vec(0u64..100, 0..100),
+        ys in prop::collection::vec(0u64..100, 0..100),
+    ) {
+        let mut a = Histogram::new(40);
+        let mut b = Histogram::new(40);
+        let mut whole = Histogram::new(40);
+        for &v in &xs { a.record(v); whole.record(v); }
+        for &v in &ys { b.record(v); whole.record(v); }
+        a.merge(&b);
+        prop_assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = Summary::new();
+        for &x in &xs { whole.record(x); }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &xs[..split] { left.record(x); }
+        for &x in &xs[split..] { right.record(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        if !xs.is_empty() {
+            prop_assert!((left.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-6);
+            prop_assert!((left.variance().unwrap() - whole.variance().unwrap()).abs() < 1.0);
+            prop_assert_eq!(left.min(), whole.min());
+            prop_assert_eq!(left.max(), whole.max());
+        }
+    }
+
+    #[test]
+    fn cost_model_monotone_in_distance_and_size(
+        x1 in 0u16..8, y1 in 0u16..8, bits in 64u64..4096,
+    ) {
+        let cm = CostModel::default();
+        let origin = cm.mesh.at(0, 0);
+        let a = cm.mesh.at(x1, y1);
+        // Strictly further cores cost at least as much.
+        if x1 + 1 < 8 {
+            let b = cm.mesh.at(x1 + 1, y1);
+            prop_assert!(
+                cm.migration_latency_bits(origin, a, bits)
+                    <= cm.migration_latency_bits(origin, b, bits)
+            );
+            prop_assert!(
+                cm.remote_access_latency(origin, a, AccessKind::Read)
+                    <= cm.remote_access_latency(origin, b, AccessKind::Read)
+            );
+        }
+        // Bigger contexts never migrate faster.
+        prop_assert!(
+            cm.migration_latency_bits(origin, a, bits)
+                <= cm.migration_latency_bits(origin, a, bits * 2)
+        );
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>(), n in 1usize..100) {
+        let mut a = em2_model::DetRng::new(seed);
+        let mut b = em2_model::DetRng::new(seed);
+        for _ in 0..n {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let bound = 1 + (seed % 1000);
+        for _ in 0..n {
+            prop_assert!(a.below(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Packets and wormhole flits.
+
+use crate::vc::VirtualChannel;
+use em2_model::CoreId;
+
+/// Unique packet identifier within one [`crate::CycleNoc`] instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PacketId(pub u64);
+
+/// Position of a flit within its packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlitKind {
+    /// First flit (carries the route).
+    Head,
+    /// Middle flit.
+    Body,
+    /// Last flit (releases the wormhole path).
+    Tail,
+    /// Single-flit packet (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// True for `Head` and `HeadTail`.
+    #[inline]
+    pub const fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// True for `Tail` and `HeadTail`.
+    #[inline]
+    pub const fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// One flit in flight.
+#[derive(Clone, Copy, Debug)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Head/body/tail marker.
+    pub kind: FlitKind,
+    /// Final destination core (replicated in every flit so routers
+    /// need no per-packet lookup table).
+    pub dst: CoreId,
+    /// Traffic class.
+    pub vc: VirtualChannel,
+}
+
+/// Metadata for a packet, kept by the network while in flight and
+/// returned with its delivery.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketInfo {
+    /// Packet id.
+    pub id: PacketId,
+    /// Source core.
+    pub src: CoreId,
+    /// Destination core.
+    pub dst: CoreId,
+    /// Traffic class.
+    pub vc: VirtualChannel,
+    /// Payload size in bits (header excluded).
+    pub payload_bits: u64,
+    /// Number of flits the packet serializes into.
+    pub flits: u64,
+    /// Cycle the packet was injected.
+    pub injected_at: u64,
+}
+
+impl PacketInfo {
+    /// Flitize the packet: the sequence of flit kinds.
+    pub fn flit_kinds(&self) -> impl Iterator<Item = FlitKind> {
+        let n = self.flits;
+        (0..n).map(move |i| match (i, n) {
+            (0, 1) => FlitKind::HeadTail,
+            (0, _) => FlitKind::Head,
+            (i, n) if i + 1 == n => FlitKind::Tail,
+            _ => FlitKind::Body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(flits: u64) -> PacketInfo {
+        PacketInfo {
+            id: PacketId(1),
+            src: CoreId(0),
+            dst: CoreId(5),
+            vc: VirtualChannel::Migration,
+            payload_bits: 100,
+            flits,
+            injected_at: 0,
+        }
+    }
+
+    #[test]
+    fn single_flit_packet_is_headtail() {
+        let kinds: Vec<_> = info(1).flit_kinds().collect();
+        assert_eq!(kinds, vec![FlitKind::HeadTail]);
+        assert!(FlitKind::HeadTail.is_head() && FlitKind::HeadTail.is_tail());
+    }
+
+    #[test]
+    fn multi_flit_structure() {
+        let kinds: Vec<_> = info(4).flit_kinds().collect();
+        assert_eq!(
+            kinds,
+            vec![FlitKind::Head, FlitKind::Body, FlitKind::Body, FlitKind::Tail]
+        );
+        assert!(kinds[0].is_head() && !kinds[0].is_tail());
+        assert!(kinds[3].is_tail() && !kinds[3].is_head());
+    }
+
+    #[test]
+    fn two_flit_packet_has_no_body() {
+        let kinds: Vec<_> = info(2).flit_kinds().collect();
+        assert_eq!(kinds, vec![FlitKind::Head, FlitKind::Tail]);
+    }
+}

@@ -1,0 +1,113 @@
+//! The six virtual channels of the EM²-RA interconnect.
+
+use std::fmt;
+
+/// Traffic classes, each with its own virtual subnetwork.
+///
+/// The paper's deadlock-freedom argument (§2–§3, citing Cho et al.
+/// \[10\]) requires:
+///
+/// * migrations and **evictions** on separate virtual networks — an
+///   incoming migration may trigger an eviction, so eviction traffic
+///   must never wait behind migration traffic (`Migration` ≺
+///   `Eviction` in the dependency order, and evictions terminate at
+///   the always-available native context);
+/// * the **remote-access** subnetwork separate from both (a remote
+///   request allocates a response; responses sink unconditionally), so
+///   EM²-RA "requir\[es\] six virtual channels in total" once the
+///   baseline cache/coherence request–response pair is counted.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum VirtualChannel {
+    /// Thread migrations toward a home core (guest-bound).
+    Migration = 0,
+    /// Evicted threads travelling to their native context.
+    Eviction = 1,
+    /// Remote-cache-access requests (EM²-RA, Figure 3).
+    RemoteReq = 2,
+    /// Remote-cache-access responses (data or ack).
+    RemoteResp = 3,
+    /// Off-chip / coherence-protocol requests (baseline traffic).
+    CohReq = 4,
+    /// Off-chip / coherence-protocol responses.
+    CohResp = 5,
+}
+
+impl VirtualChannel {
+    /// Number of virtual channels (the paper's "six in total").
+    pub const COUNT: usize = 6;
+
+    /// All channels, in index order.
+    pub const ALL: [VirtualChannel; Self::COUNT] = [
+        VirtualChannel::Migration,
+        VirtualChannel::Eviction,
+        VirtualChannel::RemoteReq,
+        VirtualChannel::RemoteResp,
+        VirtualChannel::CohReq,
+        VirtualChannel::CohResp,
+    ];
+
+    /// Index of this channel in per-VC tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether this class is a *response/sink* class: packets on it are
+    /// always consumed on arrival without allocating further network
+    /// resources — the termination condition of the deadlock argument.
+    pub const fn is_sink_class(self) -> bool {
+        matches!(
+            self,
+            VirtualChannel::Eviction | VirtualChannel::RemoteResp | VirtualChannel::CohResp
+        )
+    }
+}
+
+impl fmt::Display for VirtualChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VirtualChannel::Migration => "mig",
+            VirtualChannel::Eviction => "evict",
+            VirtualChannel::RemoteReq => "ra-req",
+            VirtualChannel::RemoteResp => "ra-resp",
+            VirtualChannel::CohReq => "coh-req",
+            VirtualChannel::CohResp => "coh-resp",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_channels_as_in_the_paper() {
+        assert_eq!(VirtualChannel::COUNT, 6);
+        assert_eq!(VirtualChannel::ALL.len(), 6);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, vc) in VirtualChannel::ALL.iter().enumerate() {
+            assert_eq!(vc.index(), i);
+        }
+    }
+
+    #[test]
+    fn sink_classes() {
+        assert!(VirtualChannel::Eviction.is_sink_class());
+        assert!(VirtualChannel::RemoteResp.is_sink_class());
+        assert!(VirtualChannel::CohResp.is_sink_class());
+        assert!(!VirtualChannel::Migration.is_sink_class());
+        assert!(!VirtualChannel::RemoteReq.is_sink_class());
+        assert!(!VirtualChannel::CohReq.is_sink_class());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(VirtualChannel::Migration.to_string(), "mig");
+        assert_eq!(VirtualChannel::RemoteResp.to_string(), "ra-resp");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based NoC tests: arbitrary traffic patterns must drain
+//! without loss, duplication, or deadlock, and contention can only
+//! increase latency relative to the closed-form floor.
+
+use em2_model::{CoreId, CostModel, Mesh};
+use em2_noc::{CycleNoc, NocConfig, VirtualChannel};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn vc_from(i: u8) -> VirtualChannel {
+    VirtualChannel::ALL[i as usize % VirtualChannel::COUNT]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_traffic_drains_completely(
+        pkts in prop::collection::vec((0u8..16, 0u8..16, any::<u8>(), 32u64..2048), 1..120),
+        buf_depth in 1usize..6,
+    ) {
+        let mesh = Mesh::new(4, 4);
+        let mut noc = CycleNoc::new(NocConfig {
+            mesh,
+            buf_depth,
+            ..NocConfig::default()
+        });
+        let mut ids = HashSet::new();
+        for (s, d, vc, bits) in pkts {
+            let id = noc.inject(
+                CoreId(s as u16),
+                CoreId(d as u16),
+                vc_from(vc),
+                bits,
+            );
+            ids.insert(id);
+        }
+        prop_assert!(
+            noc.run_until_idle(5_000_000).is_some(),
+            "random traffic deadlocked"
+        );
+        let delivered: HashSet<_> = noc.take_deliveries().iter().map(|d| d.info.id).collect();
+        prop_assert_eq!(delivered, ids, "loss or duplication");
+    }
+
+    #[test]
+    fn latency_never_beats_the_closed_form(
+        pkts in prop::collection::vec((0u8..16, 0u8..16, 32u64..1024), 1..60),
+    ) {
+        // Under any contention, a packet's latency is at least the
+        // uncontended closed-form value.
+        let mesh = Mesh::new(4, 4);
+        let cm = CostModel::builder().mesh(mesh).hop_latency(1).build();
+        let mut noc = CycleNoc::new(NocConfig {
+            mesh,
+            ..NocConfig::default()
+        });
+        let mut floors = Vec::new();
+        for (s, d, bits) in pkts {
+            let src = CoreId(s as u16);
+            let dst = CoreId(d as u16);
+            let id = noc.inject(src, dst, VirtualChannel::Migration, bits);
+            floors.push((id, cm.one_way(src, dst, bits) + 2));
+        }
+        noc.run_until_idle(5_000_000).unwrap();
+        let deliveries = noc.take_deliveries();
+        for (id, floor) in floors {
+            let d = deliveries.iter().find(|d| d.info.id == id).unwrap();
+            prop_assert!(
+                d.latency() >= floor,
+                "packet {:?} latency {} below physical floor {}",
+                id, d.latency(), floor
+            );
+        }
+    }
+
+    #[test]
+    fn per_vc_counters_are_conserved(
+        pkts in prop::collection::vec((0u8..9, 0u8..9, any::<u8>(), 32u64..512), 1..60),
+    ) {
+        let mesh = Mesh::new(3, 3);
+        let mut noc = CycleNoc::new(NocConfig {
+            mesh,
+            ..NocConfig::default()
+        });
+        let mut per_vc = [0u64; VirtualChannel::COUNT];
+        for (s, d, vc, bits) in pkts {
+            let vc = vc_from(vc);
+            noc.inject(CoreId(s as u16), CoreId(d as u16), vc, bits);
+            per_vc[vc.index()] += 1;
+        }
+        noc.run_until_idle(5_000_000).unwrap();
+        for vc in VirtualChannel::ALL {
+            prop_assert_eq!(
+                noc.stats().per_vc_delivered[vc.index()],
+                per_vc[vc.index()],
+                "class {} lost packets", vc
+            );
+        }
+        let total: u64 = noc.stats().per_vc_delivered.iter().sum();
+        prop_assert_eq!(total, noc.stats().delivered);
+    }
+}

@@ -1,0 +1,421 @@
+//! The §4 variant: optimal per-migration **stack depth**.
+//!
+//! In the stack-machine EM², a migration does not carry a register
+//! file; it carries the top `d` entries of the expression/return
+//! stacks, and `d` is chosen per migration: *"Since the migrated depth
+//! can be different for every access, determining the best
+//! per-migration depth requires a decision algorithm. … we can use the
+//! same analytical model described for the EM²-RA case and a similar
+//! optimization formulation to compute the optimal stack depths."*
+//!
+//! The model works on **visits**: maximal runs of consecutive accesses
+//! homed at one core, annotated with the stack activity the program
+//! performs while there ([`StackVisit::demand`] words consumed from the
+//! carried stack, [`StackVisit::produce`] words of growth). Carrying
+//! too little (`d < demand`) underflows; carrying so much that the
+//! stack cache can't absorb the visit's growth
+//! (`d + produce > capacity`) overflows. Either way the thread
+//! "automatically migrate\[s\] back to its native core (where its stack
+//! memory is assigned)" and returns — a priced *bounce*.
+//!
+//! The DP chooses, per visit, between remote accesses (stay put) and a
+//! migration at each available depth, exactly like the migrate-vs-RA
+//! DP with a widened choice set.
+
+use em2_model::{AccessKind, CoreId, CostModel};
+
+/// "Infinity" that survives additions.
+const INF: u64 = u64::MAX / 4;
+
+/// Stack-machine context-size parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepthChoice {
+    /// Stack word width in bits.
+    pub word_bits: u64,
+    /// PC width in bits (always carried).
+    pub pc_bits: u64,
+    /// Fixed control state carried with every migration.
+    pub control_bits: u64,
+    /// Stack cache capacity in entries (per core).
+    pub capacity: u32,
+    /// Candidate depths a migration may carry (sorted ascending).
+    pub depths: Vec<u32>,
+}
+
+impl Default for DepthChoice {
+    /// 32-bit stack machine with a 16-entry stack cache and
+    /// power-of-two depth choices — compare with the ≈1.1 Kbit
+    /// register-machine context.
+    fn default() -> Self {
+        DepthChoice {
+            word_bits: 32,
+            pc_bits: 32,
+            control_bits: 16,
+            capacity: 16,
+            depths: vec![2, 4, 8, 16],
+        }
+    }
+}
+
+impl DepthChoice {
+    /// Migrated context bits when carrying `d` stack entries.
+    pub fn bits(&self, d: u32) -> u64 {
+        self.pc_bits + self.control_bits + d as u64 * self.word_bits
+    }
+}
+
+/// One visit: a run of consecutive accesses homed at one core, plus
+/// the stack activity while there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StackVisit {
+    /// Home core of every access in the visit.
+    pub home: CoreId,
+    /// Number of read accesses.
+    pub reads: u32,
+    /// Number of write accesses.
+    pub writes: u32,
+    /// Stack words the visit consumes from the carried portion
+    /// (underflow if the migration carried fewer).
+    pub demand: u32,
+    /// Net stack growth the visit produces (overflow if the carried
+    /// depth leaves less headroom than this).
+    pub produce: u32,
+}
+
+impl StackVisit {
+    /// Total accesses in the visit.
+    pub fn accesses(&self) -> u32 {
+        self.reads + self.writes
+    }
+}
+
+/// A decision for one visit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VisitDecision {
+    /// Already at the home core; free.
+    Local,
+    /// Serve every access of the visit with remote round trips.
+    Remote,
+    /// Migrate to the home carrying `depth` stack entries.
+    Migrate {
+        /// Carried depth in entries.
+        depth: u32,
+    },
+}
+
+/// Result of the stack-depth DP.
+#[derive(Clone, Debug)]
+pub struct StackOptimal {
+    /// Minimal total network cost.
+    pub cost: u64,
+    /// Optimal per-visit decisions.
+    pub decisions: Vec<VisitDecision>,
+    /// Total context bits shipped on the optimal path (including
+    /// bounces).
+    pub bits_shipped: u64,
+}
+
+/// Cost of serving a whole visit remotely from `at`.
+fn remote_visit_cost(at: CoreId, v: &StackVisit, cost: &CostModel) -> u64 {
+    v.reads as u64 * cost.remote_access_latency(at, v.home, AccessKind::Read)
+        + v.writes as u64 * cost.remote_access_latency(at, v.home, AccessKind::Write)
+}
+
+/// Cost and shipped bits of migrating into a visit carrying depth `d`,
+/// including any bounce to the native core.
+fn migrate_visit_cost(
+    at: CoreId,
+    native: CoreId,
+    v: &StackVisit,
+    d: u32,
+    p: &DepthChoice,
+    cost: &CostModel,
+) -> (u64, u64) {
+    let mut bits = p.bits(d);
+    let mut c = cost.migration_latency_bits(at, v.home, p.bits(d));
+    let underflow = d < v.demand;
+    let overflow = d.saturating_add(v.produce) > p.capacity;
+    if underflow || overflow {
+        // Automatic bounce: travel home with the current carry, refill/
+        // spill there (local stack memory), and come back with exactly
+        // what the visit needs.
+        let refill = v.demand.min(p.capacity);
+        let out = cost.migration_latency_bits(v.home, native, p.bits(d));
+        let back = cost.migration_latency_bits(native, v.home, p.bits(refill));
+        c += out + back;
+        bits += p.bits(d) + p.bits(refill);
+    }
+    (c, bits)
+}
+
+/// The stack-depth DP: `O(V · P · D)` over visits × cores × depths.
+pub fn stack_optimal(
+    start: CoreId,
+    visits: &[StackVisit],
+    params: &DepthChoice,
+    cost: &CostModel,
+) -> StackOptimal {
+    let p = cost.cores();
+    let n = visits.len();
+    let mut cur = vec![(INF, 0u64); p]; // (cost, bits)
+    cur[start.index()] = (0, 0);
+    let mut parent: Vec<Vec<(u16, VisitDecision)>> = Vec::with_capacity(n);
+
+    for v in visits {
+        let h = v.home.index();
+        let mut step = vec![(0u16, VisitDecision::Remote); p];
+        let mut next = vec![(INF, 0u64); p];
+        // Stay-and-remote for every non-home core.
+        for c in 0..p {
+            if c == h || cur[c].0 >= INF {
+                continue;
+            }
+            let rc = remote_visit_cost(CoreId::from(c), v, cost);
+            next[c] = (cur[c].0 + rc, cur[c].1);
+            step[c] = (c as u16, VisitDecision::Remote);
+        }
+        // Home column: stay (free) or migrate in at the best depth.
+        let mut best = (cur[h].0, cur[h].1, h, VisitDecision::Local);
+        for c in 0..p {
+            if c == h || cur[c].0 >= INF {
+                continue;
+            }
+            for &d in &params.depths {
+                let (mc, mb) = migrate_visit_cost(CoreId::from(c), start, v, d, params, cost);
+                let total = cur[c].0 + mc;
+                if total < best.0 {
+                    best = (total, cur[c].1 + mb, c, VisitDecision::Migrate { depth: d });
+                }
+            }
+        }
+        next[h] = (best.0, best.1);
+        step[h] = (best.2 as u16, best.3);
+        parent.push(step);
+        cur = next;
+    }
+
+    let (end, &(bcost, bbits)) = cur
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &(c, _))| c)
+        .expect("at least one core");
+    let mut decisions = vec![VisitDecision::Local; n];
+    let mut c = end;
+    for k in (0..n).rev() {
+        let (prev, d) = parent[k][c];
+        decisions[k] = d;
+        c = prev as usize;
+    }
+    StackOptimal {
+        cost: bcost,
+        decisions,
+        bits_shipped: bbits,
+    }
+}
+
+/// Evaluate a fixed policy: always migrate carrying `depth` entries
+/// (the hardware-simplest scheme). Returns (cost, bits shipped).
+pub fn evaluate_fixed_depth(
+    start: CoreId,
+    visits: &[StackVisit],
+    depth: u32,
+    params: &DepthChoice,
+    cost: &CostModel,
+) -> (u64, u64) {
+    let mut at = start;
+    let mut total = 0u64;
+    let mut bits = 0u64;
+    for v in visits {
+        if v.home == at {
+            continue;
+        }
+        let (mc, mb) = migrate_visit_cost(at, start, v, depth, params, cost);
+        total += mc;
+        bits += mb;
+        at = v.home;
+    }
+    (total, bits)
+}
+
+/// Evaluate the register-machine EM² on the same visit sequence:
+/// always migrate, always carrying the full register context.
+/// Returns (cost, bits shipped) — the E6 comparison baseline.
+pub fn evaluate_register_machine(
+    start: CoreId,
+    visits: &[StackVisit],
+    cost: &CostModel,
+) -> (u64, u64) {
+    let mut at = start;
+    let mut total = 0u64;
+    let mut bits = 0u64;
+    for v in visits {
+        if v.home == at {
+            continue;
+        }
+        total += cost.migration_latency(at, v.home);
+        bits += cost.context_bits;
+        at = v.home;
+    }
+    (total, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm() -> CostModel {
+        CostModel::builder().cores(16).build()
+    }
+
+    fn visit(home: u16, reads: u32, demand: u32, produce: u32) -> StackVisit {
+        StackVisit {
+            home: CoreId(home),
+            reads,
+            writes: 0,
+            demand,
+            produce,
+        }
+    }
+
+    #[test]
+    fn local_visits_are_free() {
+        let cost = cm();
+        let o = stack_optimal(
+            CoreId(0),
+            &[visit(0, 10, 4, 4), visit(0, 5, 2, 2)],
+            &DepthChoice::default(),
+            &cost,
+        );
+        assert_eq!(o.cost, 0);
+        assert_eq!(o.bits_shipped, 0);
+        assert!(o.decisions.iter().all(|d| *d == VisitDecision::Local));
+    }
+
+    #[test]
+    fn deep_demand_forces_bigger_carry() {
+        let cost = cm();
+        let p = DepthChoice::default();
+        // A long visit needing 8 words: carrying 2 would bounce.
+        let visits = [visit(1, 40, 8, 0)];
+        let o = stack_optimal(CoreId(0), &visits, &p, &cost);
+        match o.decisions[0] {
+            VisitDecision::Migrate { depth } => {
+                assert!(depth >= 8, "must carry at least the demand, got {depth}")
+            }
+            other => panic!("expected migration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shallow_visit_carries_little() {
+        let cost = cm();
+        let p = DepthChoice::default();
+        // Long visits with tiny stack needs: the optimum carries the
+        // smallest depth, shipping far fewer bits than a register file.
+        let visits: Vec<StackVisit> = (0..10)
+            .map(|i| visit(1 + (i % 3) as u16, 30, 2, 1))
+            .collect();
+        let o = stack_optimal(CoreId(0), &visits, &p, &cost);
+        let (reg_cost, reg_bits) = evaluate_register_machine(CoreId(0), &visits, &cost);
+        assert!(o.bits_shipped < reg_bits / 4, "{} vs {}", o.bits_shipped, reg_bits);
+        assert!(o.cost <= reg_cost);
+        for d in &o.decisions {
+            if let VisitDecision::Migrate { depth } = d {
+                assert_eq!(*depth, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn single_access_visit_prefers_remote() {
+        let cost = cm();
+        let p = DepthChoice::default();
+        let visits = [visit(5, 1, 1, 0)];
+        let o = stack_optimal(CoreId(0), &visits, &p, &cost);
+        assert_eq!(o.decisions[0], VisitDecision::Remote);
+    }
+
+    #[test]
+    fn overflow_risk_penalizes_deep_carry() {
+        let cost = cm();
+        let p = DepthChoice::default(); // capacity 16
+        // Visit produces 12 words: carrying 16 would overflow
+        // (16 + 12 > 16); carrying 4 is safe (4 + 12 = 16).
+        let visits = [visit(1, 40, 4, 12)];
+        let o = stack_optimal(CoreId(0), &visits, &p, &cost);
+        match o.decisions[0] {
+            VisitDecision::Migrate { depth } => assert!(depth == 4, "got {depth}"),
+            other => panic!("expected migration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimal_beats_every_fixed_depth() {
+        let cost = cm();
+        let p = DepthChoice::default();
+        let mut rng = em2_model::DetRng::new(3);
+        let visits: Vec<StackVisit> = (0..50)
+            .map(|_| StackVisit {
+                home: CoreId(rng.below(16) as u16),
+                reads: 1 + rng.below(20) as u32,
+                writes: rng.below(5) as u32,
+                // Keep demand ≤ 8 and produce ≤ 8 so depth 8 always
+                // fits (8 + 8 = capacity): always-migrate-at-depth-8
+                // is then in the DP's feasible set, as is the
+                // register machine's path (same moves, bigger bits).
+                demand: rng.below(9) as u32,
+                produce: rng.below(9) as u32,
+            })
+            .collect();
+        let o = stack_optimal(CoreId(0), &visits, &p, &cost);
+        for &d in &p.depths {
+            let (fc, _) = evaluate_fixed_depth(CoreId(0), &visits, d, &p, &cost);
+            assert!(o.cost <= fc, "fixed depth {d} ({fc}) beat optimal ({o:?})");
+        }
+        let (rc, _) = evaluate_register_machine(CoreId(0), &visits, &cost);
+        assert!(o.cost <= rc);
+    }
+
+    #[test]
+    fn register_machine_can_win_when_no_depth_fits() {
+        // A visit demanding 11 words while producing 7 admits no safe
+        // depth (need ≥ 11 but ≤ 16 − 7 = 9): the stack machine must
+        // bounce, and the register machine — which never bounces — can
+        // come out ahead. This is the §4 trade-off, not a bug.
+        let cost = cm();
+        let p = DepthChoice::default();
+        let visits = [StackVisit {
+            home: CoreId(1),
+            reads: 50,
+            writes: 0,
+            demand: 11,
+            produce: 7,
+        }];
+        let o = stack_optimal(CoreId(0), &visits, &p, &cost);
+        let (rc, _) = evaluate_register_machine(CoreId(0), &visits, &cost);
+        // The stack machine's best involves either a bounce or 50
+        // remote round trips; either costs more than one fat
+        // migration.
+        assert!(rc < o.cost);
+    }
+
+    #[test]
+    fn bits_formula() {
+        let p = DepthChoice::default();
+        assert_eq!(p.bits(0), 32 + 16);
+        assert_eq!(p.bits(4), 32 + 16 + 4 * 32);
+        // A full 16-entry carry is still far below the 1120-bit
+        // register context.
+        assert!(p.bits(16) < em2_model::ContextSpec::ATOM32.bits());
+    }
+
+    #[test]
+    fn bounce_costs_more_than_right_sizing() {
+        let cost = cm();
+        let p = DepthChoice::default();
+        let visits = [visit(1, 10, 8, 0)];
+        let (under, _) = evaluate_fixed_depth(CoreId(0), &visits, 2, &p, &cost);
+        let (right, _) = evaluate_fixed_depth(CoreId(0), &visits, 8, &p, &cost);
+        assert!(under > right, "bouncing ({under}) must exceed fitting ({right})");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based validation of the §3 and §4 dynamic programs.
+
+use em2_model::{AccessKind, CoreId, CostModel};
+use em2_optimal::{
+    brute_force, evaluate, optimal, optimal_general, stack_depth, Choice, CostTrace, StackVisit,
+};
+use proptest::prelude::*;
+
+fn trace_strategy(p: u16, max_len: usize) -> impl Strategy<Value = CostTrace> {
+    (
+        0..p,
+        prop::collection::vec((0..p, any::<bool>()), 0..max_len),
+    )
+        .prop_map(|(start, accs)| CostTrace {
+            start: CoreId(start),
+            accesses: accs
+                .into_iter()
+                .map(|(h, w)| {
+                    (
+                        CoreId(h),
+                        if w { AccessKind::Write } else { AccessKind::Read },
+                    )
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimal_matches_brute_force(t in trace_strategy(9, 12)) {
+        let cost = CostModel::builder().cores(9).build();
+        prop_assert_eq!(optimal(&t, &cost).cost, brute_force(&t, &cost));
+    }
+
+    #[test]
+    fn optimal_choices_replay_to_optimal_cost(t in trace_strategy(16, 60)) {
+        let cost = CostModel::builder().cores(16).build();
+        let o = optimal(&t, &cost);
+        let ds = o.nonlocal_decisions();
+        let mut k = 0usize;
+        let replay = evaluate(&t, &cost, |_, _, _, _| {
+            let d = ds[k];
+            k += 1;
+            d
+        });
+        prop_assert_eq!(replay, o.cost);
+        prop_assert_eq!(k, ds.len());
+    }
+
+    #[test]
+    fn optimal_lower_bounds_random_policies(
+        t in trace_strategy(16, 80),
+        coin in prop::collection::vec(any::<bool>(), 80),
+    ) {
+        let cost = CostModel::builder().cores(16).build();
+        let opt = optimal(&t, &cost).cost;
+        let mut k = 0usize;
+        let random_policy = evaluate(&t, &cost, |_, _, _, _| {
+            let d = if coin[k % coin.len()] { Choice::Migrate } else { Choice::Remote };
+            k += 1;
+            d
+        });
+        prop_assert!(opt <= random_policy);
+    }
+
+    #[test]
+    fn general_relaxation_never_exceeds_restricted(t in trace_strategy(9, 30)) {
+        let cost = CostModel::builder().cores(9).build();
+        prop_assert!(optimal_general(&t, &cost) <= optimal(&t, &cost).cost);
+    }
+
+    #[test]
+    fn migrations_plus_remotes_cover_all_nonlocal(t in trace_strategy(16, 60)) {
+        let cost = CostModel::builder().cores(16).build();
+        let o = optimal(&t, &cost);
+        // Count non-local accesses along the optimal location path.
+        let mut at = t.start;
+        let mut nonlocal = 0usize;
+        for (i, &(home, _)) in t.accesses.iter().enumerate() {
+            if home != at {
+                nonlocal += 1;
+            }
+            if o.choices[i] == Choice::Migrate {
+                at = home;
+            }
+        }
+        prop_assert_eq!(o.migrations() + o.remote_accesses(), nonlocal);
+    }
+
+    #[test]
+    fn stack_dp_lower_bounds_feasible_fixed_depths(
+        visits in prop::collection::vec(
+            (0u16..9, 1u32..20, 0u32..5, 0u32..8, 0u32..8),
+            0..40,
+        )
+    ) {
+        let cost = CostModel::builder().cores(9).build();
+        let params = stack_depth::DepthChoice::default();
+        let vs: Vec<StackVisit> = visits
+            .into_iter()
+            .map(|(h, r, w, d, p)| StackVisit {
+                home: CoreId(h),
+                reads: r,
+                writes: w,
+                demand: d,
+                produce: p,
+            })
+            .collect();
+        let o = stack_depth::stack_optimal(CoreId(0), &vs, &params, &cost);
+        for &depth in &params.depths {
+            let (fc, _) = stack_depth::evaluate_fixed_depth(CoreId(0), &vs, depth, &params, &cost);
+            prop_assert!(o.cost <= fc, "depth {} cost {} < optimal {}", depth, fc, o.cost);
+        }
+    }
+
+    #[test]
+    fn stack_dp_zero_cost_iff_all_local(
+        homes in prop::collection::vec(0u16..4, 1..20),
+    ) {
+        let cost = CostModel::builder().cores(4).build();
+        let params = stack_depth::DepthChoice::default();
+        let vs: Vec<StackVisit> = homes
+            .iter()
+            .map(|&h| StackVisit {
+                home: CoreId(h),
+                reads: 1,
+                writes: 0,
+                demand: 1,
+                produce: 0,
+            })
+            .collect();
+        let o = stack_depth::stack_optimal(CoreId(0), &vs, &params, &cost);
+        let all_local = homes.iter().all(|&h| h == 0);
+        prop_assert_eq!(o.cost == 0, all_local);
+    }
+}

@@ -1,0 +1,262 @@
+//! Trace-level placement analysis: the run-length statistics of
+//! Figure 2 and the pure-EM² migration count.
+//!
+//! A **run** is a maximal sequence of consecutive accesses by one
+//! thread whose addresses are all homed at the same core. Under EM²
+//! the thread physically executes at that core for the duration of the
+//! run and migrates at every run boundary, so the run-length
+//! distribution *is* the migration behaviour. Figure 2 plots, for runs
+//! at non-native cores, the number of accesses falling in runs of each
+//! length ("binned by the number of consequent accesses to the same
+//! core") and observes that about half of all non-native accesses sit
+//! in runs of length 1 — the motivation for the EM²-RA hybrid.
+
+use crate::policy::Placement;
+use em2_model::Histogram;
+use em2_trace::Workload;
+
+/// Figure 2's x-axis reaches just short of 60; keep one histogram bin
+/// per run length up to this value, with an overflow bin beyond.
+pub const FIGURE2_MAX_BIN: u64 = 60;
+
+/// Run-length and migration statistics of a workload under a placement.
+#[derive(Clone, Debug)]
+pub struct RunLengthAnalysis {
+    /// Occurrence counts of run lengths for runs at **non-native**
+    /// cores. Use [`Histogram::iter_weighted`] for the Figure-2 view.
+    pub histogram: Histogram,
+    /// All accesses in the workload.
+    pub total_accesses: u64,
+    /// Accesses homed at the accessing thread's native core.
+    pub native_accesses: u64,
+    /// Accesses homed elsewhere (the population of Figure 2).
+    pub non_native_accesses: u64,
+    /// Number of runs at non-native cores.
+    pub non_native_runs: u64,
+    /// Number of runs at the native core.
+    pub native_runs: u64,
+    /// Migrations a pure EM² machine performs on this workload: one
+    /// per run boundary (the first run is free only if it starts at
+    /// the thread's native core).
+    pub migrations_pure_em2: u64,
+}
+
+impl RunLengthAnalysis {
+    /// Fraction of non-native accesses that sit in runs of length 1 —
+    /// the headline number of Figure 2 (the paper reports ≈ 0.5).
+    pub fn single_access_fraction(&self) -> f64 {
+        self.histogram.weighted_fraction_le(1)
+    }
+
+    /// Mean non-native run length.
+    pub fn mean_run_length(&self) -> f64 {
+        self.histogram.mean().unwrap_or(0.0)
+    }
+
+    /// Fraction of all accesses that are non-native (the migration
+    /// pressure of the placement).
+    pub fn non_native_fraction(&self) -> f64 {
+        if self.total_accesses == 0 {
+            0.0
+        } else {
+            self.non_native_accesses as f64 / self.total_accesses as f64
+        }
+    }
+}
+
+/// Compute run-length statistics for `workload` under `placement`,
+/// binning run lengths up to `max_bin` (use [`FIGURE2_MAX_BIN`] to
+/// mirror the paper's plot).
+pub fn run_length_analysis(
+    workload: &Workload,
+    placement: &dyn Placement,
+    max_bin: u64,
+) -> RunLengthAnalysis {
+    let mut histogram = Histogram::new(max_bin);
+    let mut total_accesses = 0u64;
+    let mut native_accesses = 0u64;
+    let mut non_native_runs = 0u64;
+    let mut native_runs = 0u64;
+    let mut migrations = 0u64;
+
+    for t in &workload.threads {
+        let mut current_core = t.native;
+        let mut run_len: u64 = 0;
+        let mut run_is_first = true;
+        for r in &t.records {
+            total_accesses += 1;
+            let home = placement.home_of(r.addr);
+            if home == t.native {
+                native_accesses += 1;
+            }
+            if run_len > 0 && home == current_core {
+                run_len += 1;
+                continue;
+            }
+            // Close the previous run.
+            if run_len > 0 {
+                if current_core == t.native {
+                    native_runs += 1;
+                } else {
+                    histogram.record(run_len);
+                    non_native_runs += 1;
+                }
+            }
+            // A new run at a different core ⇒ a migration, except a
+            // first run that starts at the native core.
+            if !(run_is_first && home == t.native) {
+                migrations += 1;
+            }
+            run_is_first = false;
+            current_core = home;
+            run_len = 1;
+        }
+        if run_len > 0 {
+            if current_core == t.native {
+                native_runs += 1;
+            } else {
+                histogram.record(run_len);
+                non_native_runs += 1;
+            }
+        }
+    }
+
+    RunLengthAnalysis {
+        total_accesses,
+        native_accesses,
+        non_native_accesses: total_accesses - native_accesses,
+        non_native_runs,
+        native_runs,
+        migrations_pure_em2: migrations,
+        histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FirstTouch, Placement, Striped};
+    use em2_model::{Addr, CoreId, ThreadId};
+    use em2_trace::{ThreadTrace, Workload};
+
+    /// A placement fixed by an explicit table for hand-computed cases:
+    /// address `a` is homed at core `a / 0x100 % cores`.
+    struct ByBlock(usize);
+    impl Placement for ByBlock {
+        fn home_of(&self, addr: Addr) -> CoreId {
+            CoreId::from((addr.0 as usize / 0x100) % self.0)
+        }
+        fn name(&self) -> &'static str {
+            "by-block"
+        }
+        fn cores(&self) -> usize {
+            self.0
+        }
+    }
+
+    fn wl(seqs: Vec<(u16, Vec<u64>)>) -> Workload {
+        let threads = seqs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (native, addrs))| {
+                let mut t = ThreadTrace::new(ThreadId(i as u32), CoreId(native));
+                for a in addrs {
+                    t.read(0, Addr(a));
+                }
+                t
+            })
+            .collect();
+        Workload::new("hand", threads)
+    }
+
+    #[test]
+    fn hand_computed_runs() {
+        // Native core 0. Homes: 0x000→C0, 0x100→C1, 0x200→C2.
+        // Sequence of homes: 0 0 1 1 1 0 2 — runs: [0×2] [1×3] [0×1] [2×1]
+        let w = wl(vec![(0, vec![0x00, 0x08, 0x100, 0x108, 0x110, 0x10, 0x200])]);
+        let a = run_length_analysis(&w, &ByBlock(4), 60);
+        assert_eq!(a.total_accesses, 7);
+        assert_eq!(a.native_accesses, 3);
+        assert_eq!(a.non_native_accesses, 4);
+        assert_eq!(a.native_runs, 2);
+        assert_eq!(a.non_native_runs, 2);
+        assert_eq!(a.histogram.count(3), 1); // the [1×3] run
+        assert_eq!(a.histogram.count(1), 1); // the [2×1] run
+        // Migrations: 0→1, 1→0, 0→2 = 3 (first run starts native: free).
+        assert_eq!(a.migrations_pure_em2, 3);
+    }
+
+    #[test]
+    fn first_run_away_from_native_costs_a_migration() {
+        // Native core 0 but first access is homed at core 1.
+        let w = wl(vec![(0, vec![0x100, 0x108])]);
+        let a = run_length_analysis(&w, &ByBlock(4), 60);
+        assert_eq!(a.migrations_pure_em2, 1);
+        assert_eq!(a.non_native_runs, 1);
+        assert_eq!(a.histogram.count(2), 1);
+    }
+
+    #[test]
+    fn all_native_means_no_migrations() {
+        let w = wl(vec![(0, vec![0x00, 0x04, 0x08]), (1, vec![0x100, 0x104])]);
+        let a = run_length_analysis(&w, &ByBlock(4), 60);
+        assert_eq!(a.migrations_pure_em2, 0);
+        assert_eq!(a.non_native_accesses, 0);
+        assert_eq!(a.single_access_fraction(), 0.0);
+        assert_eq!(a.non_native_fraction(), 0.0);
+    }
+
+    #[test]
+    fn weighted_fraction_matches_hand_case() {
+        // Runs at non-native cores: lengths 1, 1, 2 → weighted: 1+1 at
+        // length 1 of total 4 → 0.5.
+        let w = wl(vec![(
+            0,
+            vec![0x100, 0x00, 0x200, 0x00, 0x300, 0x308],
+        )]);
+        let a = run_length_analysis(&w, &ByBlock(4), 60);
+        assert_eq!(a.non_native_runs, 3);
+        assert!((a.single_access_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(a.mean_run_length(), 4.0 / 3.0);
+    }
+
+    #[test]
+    fn histogram_weighted_totals_equal_non_native_accesses() {
+        let w = em2_trace::gen::ocean::OceanConfig::small().generate();
+        let p = FirstTouch::build(&w, 4, 64);
+        let a = run_length_analysis(&w, &p, 60);
+        assert_eq!(
+            a.histogram.weighted_total(),
+            a.non_native_accesses as u128,
+            "every non-native access is in exactly one non-native run"
+        );
+    }
+
+    #[test]
+    fn striped_placement_fragments_runs() {
+        // Striping a sequential sweep guarantees home changes at every
+        // line boundary: lots of short runs.
+        let mut t = ThreadTrace::new(ThreadId(0), CoreId(0));
+        for i in 0..256u64 {
+            t.read(0, Addr(i * 8));
+        }
+        let w = Workload::new("sweep", vec![t]);
+        let a = run_length_analysis(&w, &Striped::new(4, 64), 60);
+        // 256 accesses over 32 lines; each line = run of 8; 3/4 of the
+        // lines are non-native.
+        assert_eq!(a.non_native_runs, 24);
+        assert_eq!(a.histogram.count(8), 24);
+        // 31 line switches = 31 home changes; the first run is at the
+        // native core (line 0 → core 0) and is free.
+        assert_eq!(a.migrations_pure_em2, 31);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = wl(vec![(0, vec![])]);
+        let a = run_length_analysis(&w, &ByBlock(2), 60);
+        assert_eq!(a.total_accesses, 0);
+        assert_eq!(a.migrations_pure_em2, 0);
+        assert_eq!(a.mean_run_length(), 0.0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Placement policies: address → home core.
+
+use em2_trace::Workload;
+use em2_model::{Addr, CoreId};
+use std::collections::HashMap;
+
+/// A data placement: the total function from addresses to home cores.
+///
+/// Implementations must be pure (same input, same answer) — the EM²
+/// machine, the DP model, and the coherence baseline all consult the
+/// placement independently and must agree.
+pub trait Placement: Send + Sync {
+    /// The home core of an address.
+    fn home_of(&self, addr: Addr) -> CoreId;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of cores addresses are distributed over.
+    fn cores(&self) -> usize;
+}
+
+/// Cache lines striped round-robin over cores — the placement-agnostic
+/// default of shared-cache NUCA designs.
+#[derive(Clone, Debug)]
+pub struct Striped {
+    cores: usize,
+    line_bytes: u64,
+}
+
+impl Striped {
+    /// Stripe `line_bytes`-sized lines over `cores` cores.
+    pub fn new(cores: usize, line_bytes: u64) -> Self {
+        assert!(cores > 0 && line_bytes.is_power_of_two());
+        Striped { cores, line_bytes }
+    }
+}
+
+impl Placement for Striped {
+    fn home_of(&self, addr: Addr) -> CoreId {
+        CoreId::from(((addr.0 / self.line_bytes) % self.cores as u64) as usize)
+    }
+
+    fn name(&self) -> &'static str {
+        "striped"
+    }
+
+    fn cores(&self) -> usize {
+        self.cores
+    }
+}
+
+/// Pages assigned round-robin over cores — coarser than [`Striped`],
+/// so a thread streaming a buffer sees runs of `page/line` accesses
+/// per home.
+#[derive(Clone, Debug)]
+pub struct PageRoundRobin {
+    cores: usize,
+    page_bytes: u64,
+}
+
+impl PageRoundRobin {
+    /// Round-robin `page_bytes`-sized pages over `cores` cores.
+    pub fn new(cores: usize, page_bytes: u64) -> Self {
+        assert!(cores > 0 && page_bytes.is_power_of_two());
+        PageRoundRobin { cores, page_bytes }
+    }
+}
+
+impl Placement for PageRoundRobin {
+    fn home_of(&self, addr: Addr) -> CoreId {
+        CoreId::from(((addr.0 / self.page_bytes) % self.cores as u64) as usize)
+    }
+
+    fn name(&self) -> &'static str {
+        "page-rr"
+    }
+
+    fn cores(&self) -> usize {
+        self.cores
+    }
+}
+
+/// The address space `[base, base + span)` is carved into `cores`
+/// equal contiguous blocks, one per core; addresses outside the span
+/// fall back to striping.
+#[derive(Clone, Debug)]
+pub struct BlockOwner {
+    cores: usize,
+    base: u64,
+    block_bytes: u64,
+    fallback: Striped,
+}
+
+impl BlockOwner {
+    /// Carve `[base, base+span)` into one block per core.
+    pub fn new(cores: usize, base: u64, span: u64, line_bytes: u64) -> Self {
+        assert!(cores > 0 && span > 0);
+        BlockOwner {
+            cores,
+            base,
+            block_bytes: span.div_ceil(cores as u64),
+            fallback: Striped::new(cores, line_bytes),
+        }
+    }
+}
+
+impl Placement for BlockOwner {
+    fn home_of(&self, addr: Addr) -> CoreId {
+        if addr.0 < self.base {
+            return self.fallback.home_of(addr);
+        }
+        let block = (addr.0 - self.base) / self.block_bytes;
+        if block >= self.cores as u64 {
+            self.fallback.home_of(addr)
+        } else {
+            CoreId::from(block as usize)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "block-owner"
+    }
+
+    fn cores(&self) -> usize {
+        self.cores
+    }
+}
+
+/// First-touch placement (the paper's Figure-2 configuration): each
+/// `granularity`-sized unit is homed at the native core of the thread
+/// that accesses it first.
+///
+/// "First" is defined by a deterministic replay of the workload:
+/// phases execute in order (threads synchronize at barriers), and
+/// within a phase, records are interleaved round-robin one access at a
+/// time across threads. Units never touched fall back to striping.
+#[derive(Clone, Debug)]
+pub struct FirstTouch {
+    granularity: u64,
+    table: HashMap<u64, CoreId>,
+    fallback: Striped,
+}
+
+impl FirstTouch {
+    /// Build from a workload at the given placement granularity
+    /// (64 = per-line, 4096 = per-page OS-style first touch).
+    pub fn build(workload: &Workload, cores: usize, granularity: u64) -> Self {
+        assert!(granularity.is_power_of_two());
+        let mut table: HashMap<u64, CoreId> = HashMap::new();
+        let phases = workload.phases();
+        for phase in 0..phases {
+            let slices: Vec<(&em2_trace::ThreadTrace, &[em2_trace::MemRecord])> = workload
+                .threads
+                .iter()
+                .map(|t| (t, t.phase_records(phase)))
+                .collect();
+            let longest = slices.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+            for i in 0..longest {
+                for (t, s) in &slices {
+                    if let Some(r) = s.get(i) {
+                        table.entry(r.addr.0 / granularity).or_insert(t.native);
+                    }
+                }
+            }
+        }
+        FirstTouch {
+            granularity,
+            table,
+            fallback: Striped::new(cores, 64),
+        }
+    }
+
+    /// Number of placement units assigned by the scan.
+    pub fn assigned_units(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Per-core counts of assigned units (placement balance metric).
+    pub fn distribution(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cores()];
+        for &c in self.table.values() {
+            counts[c.index()] += 1;
+        }
+        counts
+    }
+}
+
+impl Placement for FirstTouch {
+    fn home_of(&self, addr: Addr) -> CoreId {
+        self.table
+            .get(&(addr.0 / self.granularity))
+            .copied()
+            .unwrap_or_else(|| self.fallback.home_of(addr))
+    }
+
+    fn name(&self) -> &'static str {
+        "first-touch"
+    }
+
+    fn cores(&self) -> usize {
+        self.fallback.cores()
+    }
+}
+
+/// Profile-based majority placement: each unit is homed at the native
+/// core whose threads account for the most accesses to it (ties broken
+/// toward the lower core id). An idealized profile-guided placement in
+/// the spirit of the CC-NUMA work the paper cites \[11\] and the
+/// EM²-specific optimization study \[12\].
+#[derive(Clone, Debug)]
+pub struct ProfileMajority {
+    granularity: u64,
+    table: HashMap<u64, CoreId>,
+    fallback: Striped,
+}
+
+impl ProfileMajority {
+    /// Build from a full workload profile.
+    pub fn build(workload: &Workload, cores: usize, granularity: u64) -> Self {
+        assert!(granularity.is_power_of_two());
+        // unit -> per-core access counts
+        let mut counts: HashMap<u64, HashMap<CoreId, u64>> = HashMap::new();
+        for t in &workload.threads {
+            for r in &t.records {
+                *counts
+                    .entry(r.addr.0 / granularity)
+                    .or_default()
+                    .entry(t.native)
+                    .or_insert(0) += 1;
+            }
+        }
+        let table = counts
+            .into_iter()
+            .map(|(unit, per_core)| {
+                let best = per_core
+                    .into_iter()
+                    .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                    .map(|(c, _)| c)
+                    .expect("unit with no accesses cannot be in the map");
+                (unit, best)
+            })
+            .collect();
+        ProfileMajority {
+            granularity,
+            table,
+            fallback: Striped::new(cores, 64),
+        }
+    }
+}
+
+impl Placement for ProfileMajority {
+    fn home_of(&self, addr: Addr) -> CoreId {
+        self.table
+            .get(&(addr.0 / self.granularity))
+            .copied()
+            .unwrap_or_else(|| self.fallback.home_of(addr))
+    }
+
+    fn name(&self) -> &'static str {
+        "profile-majority"
+    }
+
+    fn cores(&self) -> usize {
+        self.fallback.cores()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em2_trace::gen::micro;
+    use em2_trace::ThreadTrace;
+    use em2_model::ThreadId;
+
+    #[test]
+    fn striped_covers_all_cores() {
+        let p = Striped::new(4, 64);
+        let mut seen = [false; 4];
+        for i in 0..16u64 {
+            seen[p.home_of(Addr(i * 64)).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Same line, same home.
+        assert_eq!(p.home_of(Addr(0)), p.home_of(Addr(63)));
+        assert_ne!(p.home_of(Addr(0)), p.home_of(Addr(64)));
+    }
+
+    #[test]
+    fn page_rr_keeps_pages_together() {
+        let p = PageRoundRobin::new(8, 4096);
+        assert_eq!(p.home_of(Addr(0)), p.home_of(Addr(4095)));
+        assert_ne!(p.home_of(Addr(0)), p.home_of(Addr(4096)));
+    }
+
+    #[test]
+    fn block_owner_partitions_span() {
+        let p = BlockOwner::new(4, 0x1000, 0x4000, 64);
+        assert_eq!(p.home_of(Addr(0x1000)), CoreId(0));
+        assert_eq!(p.home_of(Addr(0x1000 + 0x1000)), CoreId(1));
+        assert_eq!(p.home_of(Addr(0x1000 + 0x3FFF)), CoreId(3));
+        // Outside the span: falls back, still a valid core.
+        assert!(p.home_of(Addr(0x10_0000)).index() < 4);
+    }
+
+    #[test]
+    fn first_touch_private_data_is_local() {
+        let w = micro::private(4, 4, 50);
+        let p = FirstTouch::build(&w, 4, 64);
+        // Every access in every thread's trace must be homed at its
+        // native core (private arrays, first-touched by the owner).
+        for t in &w.threads {
+            for r in &t.records {
+                assert_eq!(p.home_of(r.addr), t.native, "addr {:?}", r.addr);
+            }
+        }
+    }
+
+    #[test]
+    fn first_touch_respects_phase_order() {
+        // Thread 1 touches addr X in phase 0; thread 0 touches it in
+        // phase 1. Even though thread 0 comes first in round-robin
+        // order, phase order wins.
+        let mut t0 = ThreadTrace::new(ThreadId(0), CoreId(0));
+        let mut t1 = ThreadTrace::new(ThreadId(1), CoreId(1));
+        t0.barrier(); // t0 idle in phase 0
+        t1.write(0, Addr(0x100));
+        t1.barrier();
+        t0.read(0, Addr(0x100));
+        let w = Workload::new("order", vec![t0, t1]);
+        let p = FirstTouch::build(&w, 2, 64);
+        assert_eq!(p.home_of(Addr(0x100)), CoreId(1));
+    }
+
+    #[test]
+    fn first_touch_untouched_falls_back() {
+        let w = micro::private(2, 2, 10);
+        let p = FirstTouch::build(&w, 2, 64);
+        // A far-away address nobody touched still gets a valid home.
+        assert!(p.home_of(Addr(0xDEAD_0000)).index() < 2);
+    }
+
+    #[test]
+    fn first_touch_page_granularity_groups_lines() {
+        let mut t0 = ThreadTrace::new(ThreadId(0), CoreId(0));
+        let t1 = ThreadTrace::new(ThreadId(1), CoreId(1));
+        t0.write(0, Addr(0x2000));
+        let w = Workload::new("g", vec![t0, t1]);
+        let p = FirstTouch::build(&w, 2, 4096);
+        // The whole page got claimed by thread 0.
+        assert_eq!(p.home_of(Addr(0x2000)), CoreId(0));
+        assert_eq!(p.home_of(Addr(0x2FFF)), CoreId(0));
+    }
+
+    #[test]
+    fn first_touch_distribution_sums_to_units() {
+        let w = micro::uniform(4, 4, 100, 32, 0.3, 7);
+        let p = FirstTouch::build(&w, 4, 64);
+        assert_eq!(p.distribution().iter().sum::<usize>(), p.assigned_units());
+        assert!(p.assigned_units() > 0);
+    }
+
+    #[test]
+    fn profile_majority_prefers_heavy_user() {
+        let mut t0 = ThreadTrace::new(ThreadId(0), CoreId(0));
+        let mut t1 = ThreadTrace::new(ThreadId(1), CoreId(1));
+        // t0 touches addr once (first), t1 touches it 10 times.
+        t0.write(0, Addr(0x500));
+        for _ in 0..10 {
+            t1.read(0, Addr(0x500));
+        }
+        let w = Workload::new("maj", vec![t0, t1]);
+        let ft = FirstTouch::build(&w, 2, 64);
+        let pm = ProfileMajority::build(&w, 2, 64);
+        assert_eq!(ft.home_of(Addr(0x500)), CoreId(0), "first touch wins for FT");
+        assert_eq!(pm.home_of(Addr(0x500)), CoreId(1), "majority wins for PM");
+    }
+
+    #[test]
+    fn policies_report_names_and_cores() {
+        let w = micro::private(2, 2, 5);
+        let policies: Vec<Box<dyn Placement>> = vec![
+            Box::new(Striped::new(2, 64)),
+            Box::new(PageRoundRobin::new(2, 4096)),
+            Box::new(BlockOwner::new(2, 0, 1 << 20, 64)),
+            Box::new(FirstTouch::build(&w, 2, 64)),
+            Box::new(ProfileMajority::build(&w, 2, 64)),
+        ];
+        for p in &policies {
+            assert!(!p.name().is_empty());
+            assert_eq!(p.cores(), 2);
+            assert!(p.home_of(Addr(0x1234)).index() < 2);
+        }
+    }
+}

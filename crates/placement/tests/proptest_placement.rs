@@ -1,0 +1,99 @@
+//! Property-based placement tests: totality, stability, and
+//! first-touch correctness.
+
+use em2_model::{Addr, CoreId, ThreadId};
+use em2_placement::{
+    run_length_analysis, BlockOwner, FirstTouch, PageRoundRobin, Placement, ProfileMajority,
+    Striped,
+};
+use em2_trace::{ThreadTrace, Workload};
+use proptest::prelude::*;
+
+fn workload_from(addrs: Vec<(u8, u32)>) -> Workload {
+    let mut traces: Vec<ThreadTrace> = (0..4)
+        .map(|i| ThreadTrace::new(ThreadId(i), CoreId(i as u16)))
+        .collect();
+    for (t, a) in addrs {
+        traces[(t % 4) as usize].read(0, Addr(a as u64 * 4));
+    }
+    Workload::new("prop", traces)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_policies_are_total_and_stable(addr in any::<u64>()) {
+        let w = workload_from(vec![(0, 1), (1, 2)]);
+        let policies: Vec<Box<dyn Placement>> = vec![
+            Box::new(Striped::new(4, 64)),
+            Box::new(PageRoundRobin::new(4, 4096)),
+            Box::new(BlockOwner::new(4, 0x1000, 1 << 20, 64)),
+            Box::new(FirstTouch::build(&w, 4, 64)),
+            Box::new(ProfileMajority::build(&w, 4, 64)),
+        ];
+        for p in &policies {
+            let h1 = p.home_of(Addr(addr));
+            let h2 = p.home_of(Addr(addr));
+            prop_assert_eq!(h1, h2, "{} is unstable", p.name());
+            prop_assert!(h1.index() < 4, "{} out of range", p.name());
+        }
+    }
+
+    #[test]
+    fn first_touch_homes_are_toucher_natives(
+        addrs in prop::collection::vec((0u8..4, 0u32..2048), 1..200)
+    ) {
+        let w = workload_from(addrs);
+        let p = FirstTouch::build(&w, 4, 64);
+        // Every touched address is homed at the native core of SOME
+        // thread that touches its placement unit.
+        for t in &w.threads {
+            for r in &t.records {
+                let home = p.home_of(r.addr);
+                let unit = r.addr.0 / 64;
+                let touchers: Vec<CoreId> = w
+                    .threads
+                    .iter()
+                    .filter(|tt| tt.records.iter().any(|rr| rr.addr.0 / 64 == unit))
+                    .map(|tt| tt.native)
+                    .collect();
+                prop_assert!(
+                    touchers.contains(&home),
+                    "{:?} homed at {:?} but touchers are {:?}",
+                    r.addr, home, touchers
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_majority_never_increases_non_native_accesses(
+        addrs in prop::collection::vec((0u8..4, 0u32..512), 10..300)
+    ) {
+        // Majority placement minimizes per-unit non-native accesses by
+        // construction, so its total can't exceed first-touch's.
+        let w = workload_from(addrs);
+        let ft = FirstTouch::build(&w, 4, 64);
+        let pm = ProfileMajority::build(&w, 4, 64);
+        let a_ft = run_length_analysis(&w, &ft, 60);
+        let a_pm = run_length_analysis(&w, &pm, 60);
+        prop_assert!(a_pm.non_native_accesses <= a_ft.non_native_accesses);
+    }
+
+    #[test]
+    fn run_length_analysis_conserves_mass(
+        addrs in prop::collection::vec((0u8..4, 0u32..512), 0..300)
+    ) {
+        let w = workload_from(addrs);
+        let p = Striped::new(4, 64);
+        let a = run_length_analysis(&w, &p, 60);
+        prop_assert_eq!(a.total_accesses as usize, w.total_accesses());
+        prop_assert_eq!(a.native_accesses + a.non_native_accesses, a.total_accesses);
+        prop_assert_eq!(a.histogram.weighted_total(), a.non_native_accesses as u128);
+        // Migrations can never exceed total accesses, and every
+        // non-native run needs at least one migration to start it.
+        prop_assert!(a.migrations_pure_em2 <= a.total_accesses);
+        prop_assert!(a.migrations_pure_em2 >= a.non_native_runs);
+    }
+}

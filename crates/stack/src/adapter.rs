@@ -1,0 +1,200 @@
+//! Bridge from stack-machine programs to the main EM² simulator.
+//!
+//! [`to_thread_trace`] executes a program on the reference interpreter
+//! and records its memory accesses as an [`em2_trace::ThreadTrace`] —
+//! with `gap` fields counting the non-memory instructions between
+//! accesses — so stack workloads run on the *same* event-driven
+//! machine as everything else (contexts, evictions, caches, decision
+//! schemes). This closes the loop between §4's architecture and §2's
+//! machine model: the stack program's migrations can be simulated with
+//! stack-sized contexts via [`em2_model::CostModelBuilder::context_bits`].
+
+use crate::machine::{Effect, MachineError, StackMachine, StackMemory};
+use em2_model::{CoreId, ThreadId};
+use em2_trace::{ThreadTrace, Workload};
+
+/// Execute `machine` to completion and return its access stream as a
+/// thread trace for `thread` native to `native`.
+pub fn to_thread_trace(
+    mut machine: StackMachine,
+    mem: &mut dyn StackMemory,
+    thread: ThreadId,
+    native: CoreId,
+    max_steps: u64,
+) -> Result<ThreadTrace, MachineError> {
+    let mut trace = ThreadTrace::new(thread, native);
+    let mut gap: u32 = 0;
+    loop {
+        if machine.steps() >= max_steps {
+            return Err(MachineError::StepBudgetExceeded);
+        }
+        match machine.step(mem)? {
+            Effect::Compute => gap = gap.saturating_add(1),
+            Effect::Read(addr) => {
+                trace.read(gap, addr);
+                gap = 0;
+            }
+            Effect::Write(addr) => {
+                trace.write(gap, addr);
+                gap = 0;
+            }
+            Effect::Halted => break,
+        }
+    }
+    Ok(trace)
+}
+
+/// Run one program per thread (same program text, per-thread data
+/// bases are the caller's job) and bundle them as a workload. Threads
+/// are assigned native cores round-robin over `cores`.
+pub fn programs_to_workload(
+    name: &str,
+    programs: Vec<(StackMachine, Box<dyn StackMemory>)>,
+    cores: usize,
+    max_steps: u64,
+) -> Result<Workload, MachineError> {
+    let traces = programs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (m, mut mem))| {
+            to_thread_trace(
+                m,
+                mem.as_mut(),
+                ThreadId(i as u32),
+                CoreId((i % cores) as u16),
+                max_steps,
+            )
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Workload::new(name, traces))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SparseMemory;
+    use crate::program;
+
+    #[test]
+    fn gaps_count_compute_instructions() {
+        // lit lit store → 2 compute gaps before the store.
+        let prog = crate::asm::assemble("lit 7\nlit 64\nstore\nhalt").unwrap();
+        let mut mem = SparseMemory::new();
+        let t = to_thread_trace(
+            StackMachine::new(prog),
+            &mut mem,
+            ThreadId(0),
+            CoreId(0),
+            1_000,
+        )
+        .unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.records[0].gap, 2);
+        assert!(t.records[0].is_write());
+        assert_eq!(t.records[0].addr.0, 64);
+    }
+
+    #[test]
+    fn trace_access_count_matches_interpreter() {
+        let n = 64u32;
+        let k = program::memcpy(0x1000, 0x8000, n);
+        let mut mem = SparseMemory::new();
+        mem.load_words(0x1000, &vec![9u32; n as usize]);
+        let t = to_thread_trace(
+            StackMachine::new(k.program),
+            &mut mem,
+            ThreadId(0),
+            CoreId(0),
+            1_000_000,
+        )
+        .unwrap();
+        // One load + one store per word.
+        assert_eq!(t.len(), 2 * n as usize);
+    }
+
+    #[test]
+    fn stack_program_runs_on_the_em2_simulator() {
+        use em2_placement::Striped;
+
+        let n = 128u32;
+        let k = program::dot_product(0x0000, 0x4_0100, n, 0x8_0000);
+        let mut mem = SparseMemory::new();
+        mem.load_words(0x0000, &vec![1u32; n as usize]);
+        mem.load_words(0x4_0100, &vec![2u32; n as usize]);
+        let t = to_thread_trace(
+            StackMachine::new(k.program),
+            &mut mem,
+            ThreadId(0),
+            CoreId(0),
+            10_000_000,
+        )
+        .unwrap();
+        let w = Workload::new("stack-dot", vec![t]);
+        let p = Striped::new(4, 256);
+        // A stack-sized context: 8 words + PC + control ≈ 304 bits.
+        let cost = em2_model::CostModel::builder()
+            .cores(4)
+            .context_bits(304)
+            .build();
+        // Imported lazily to keep the dependency direction clean: this
+        // test only runs when em2-core is available as a dev-dep.
+        let report = em2_core_shim::run(cost, &w, &p);
+        assert!(report.0 > 0, "migrations expected for striped arrays");
+        assert_eq!(report.1, w.total_accesses() as u64);
+    }
+
+    /// Minimal shim so the test above doesn't create a circular
+    /// *build* dependency: em2-core is a dev-dependency only.
+    mod em2_core_shim {
+        use em2_core::machine::MachineConfig;
+        use em2_core::sim::run_em2;
+        use em2_placement::Placement;
+        use em2_trace::Workload;
+
+        pub fn run(
+            cost: em2_model::CostModel,
+            w: &Workload,
+            p: &dyn Placement,
+        ) -> (u64, u64) {
+            let cfg = MachineConfig {
+                cost,
+                ..MachineConfig::with_cores(cost.cores())
+            };
+            let r = run_em2(cfg, w, p);
+            assert!(r.violations.is_empty(), "{:?}", r.violations);
+            (r.flow.migrations, r.flow.total_accesses())
+        }
+    }
+
+    #[test]
+    fn workload_bundles_multiple_programs() {
+        let mk = |seed: u32| {
+            let prog = crate::asm::assemble(&format!(
+                "lit {seed}\nlit 64\nstore\nlit 64\nload\nhalt"
+            ))
+            .unwrap();
+            (
+                StackMachine::new(prog),
+                Box::new(SparseMemory::new()) as Box<dyn StackMemory>,
+            )
+        };
+        let w = programs_to_workload("multi", vec![mk(1), mk(2), mk(3)], 2, 1_000).unwrap();
+        assert_eq!(w.num_threads(), 3);
+        assert_eq!(w.native_of(ThreadId(2)), CoreId(0)); // round-robin
+        assert_eq!(w.total_accesses(), 6);
+    }
+
+    #[test]
+    fn budget_propagates() {
+        let k = program::fib(30);
+        let mut mem = SparseMemory::new();
+        let r = to_thread_trace(
+            StackMachine::new(k.program),
+            &mut mem,
+            ThreadId(0),
+            CoreId(0),
+            100,
+        );
+        assert_eq!(r.unwrap_err(), MachineError::StepBudgetExceeded);
+    }
+}

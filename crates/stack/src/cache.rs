@@ -1,0 +1,263 @@
+//! The hardware stack cache.
+//!
+//! Paper §4: *"the top few entries of each stack are typically cached
+//! in registers and backed by a region of main memory with overflows
+//! and underflows of the stack cache automatically and transparently
+//! handled in hardware."*
+//!
+//! [`StackCache`] keeps up to `capacity` top-of-stack entries resident;
+//! pushes beyond capacity **spill** the bottom half to the backing
+//! stack memory (sequential stores), and pops past the resident
+//! portion **refill** from it (sequential loads). The backing region
+//! lives at the thread's *native* core — which is exactly why a
+//! migrated stack that under/overflows drags the thread home (§4's
+//! automatic bounce).
+
+use crate::machine::StackMemory;
+
+/// Spill/refill accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Spill events (bulk store of half the cache).
+    pub spills: u64,
+    /// Words written to backing memory by spills.
+    pub spilled_words: u64,
+    /// Refill events.
+    pub refills: u64,
+    /// Words read back from backing memory.
+    pub refilled_words: u64,
+}
+
+/// A stack whose top `capacity` entries are register-resident and whose
+/// remainder lives in a backing memory region.
+#[derive(Clone, Debug)]
+pub struct StackCache {
+    /// Resident top entries; `resident[0]` is the *deepest* resident
+    /// entry, the last element is the top of stack.
+    resident: Vec<u32>,
+    /// Entries spilled to memory (below every resident entry).
+    in_memory: u64,
+    capacity: usize,
+    /// Base byte address of the backing region; entry `i` (from the
+    /// bottom of the whole stack) lives at `base + 4i`.
+    base: u32,
+    stats: SpillStats,
+}
+
+impl StackCache {
+    /// A stack cache of `capacity` entries backed at byte `base`.
+    ///
+    /// # Panics
+    /// Panics unless `capacity >= 2` (hardware needs at least two for
+    /// binary ops) and `base` is 4-byte aligned.
+    pub fn new(capacity: usize, base: u32) -> Self {
+        assert!(capacity >= 2, "stack cache needs at least 2 entries");
+        assert_eq!(base % 4, 0, "backing region must be word aligned");
+        StackCache {
+            resident: Vec::with_capacity(capacity),
+            in_memory: 0,
+            capacity,
+            base,
+            stats: SpillStats::default(),
+        }
+    }
+
+    /// Total logical depth (resident + spilled).
+    pub fn depth(&self) -> u64 {
+        self.in_memory + self.resident.len() as u64
+    }
+
+    /// Number of register-resident entries.
+    pub fn resident_len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Cache capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spill/refill statistics.
+    pub fn stats(&self) -> SpillStats {
+        self.stats
+    }
+
+    /// Push a word, spilling the bottom half of the cache if full.
+    pub fn push(&mut self, v: u32, mem: &mut dyn StackMemory) {
+        if self.resident.len() == self.capacity {
+            // Spill the deepest half to memory (hysteresis: spilling a
+            // single entry would thrash on push/pop cycles).
+            let spill = self.capacity / 2;
+            for w in self.resident.drain(..spill) {
+                let addr = self.base + 4 * self.in_memory as u32;
+                mem.store(addr, w);
+                self.in_memory += 1;
+                self.stats.spilled_words += 1;
+            }
+            self.stats.spills += 1;
+        }
+        self.resident.push(v);
+    }
+
+    /// Pop a word, refilling from memory when the resident portion is
+    /// exhausted. Returns `None` only if the whole stack is empty.
+    pub fn pop(&mut self, mem: &mut dyn StackMemory) -> Option<u32> {
+        if self.resident.is_empty() {
+            if self.in_memory == 0 {
+                return None;
+            }
+            // Refill up to half the capacity.
+            let refill = (self.capacity / 2).min(self.in_memory as usize).max(1);
+            let mut chunk = Vec::with_capacity(refill);
+            for _ in 0..refill {
+                self.in_memory -= 1;
+                let addr = self.base + 4 * self.in_memory as u32;
+                chunk.push(mem.load(addr));
+                self.stats.refilled_words += 1;
+            }
+            // `chunk` was read top-down; deepest first in `resident`.
+            chunk.reverse();
+            self.resident = chunk;
+            self.stats.refills += 1;
+        }
+        self.resident.pop()
+    }
+
+    /// Peek the top of stack (refills if needed).
+    pub fn top(&mut self, mem: &mut dyn StackMemory) -> Option<u32> {
+        let v = self.pop(mem)?;
+        self.push(v, mem);
+        Some(v)
+    }
+
+    /// Detach the top `n` resident entries (for a §4 partial-depth
+    /// migration) and flush the rest to backing memory. Returns the
+    /// carried entries, deepest first.
+    pub fn carry_top(&mut self, n: usize, mem: &mut dyn StackMemory) -> Vec<u32> {
+        let keep = n.min(self.resident.len());
+        let carried = self.resident.split_off(self.resident.len() - keep);
+        // Flush everything that stays behind.
+        let leftovers: Vec<u32> = self.resident.drain(..).collect();
+        for w in leftovers {
+            let addr = self.base + 4 * self.in_memory as u32;
+            mem.store(addr, w);
+            self.in_memory += 1;
+            self.stats.spilled_words += 1;
+        }
+        carried
+    }
+
+    /// Re-attach carried entries (deepest first) after a migration.
+    pub fn restore_carry(&mut self, carried: &[u32], mem: &mut dyn StackMemory) {
+        for &w in carried {
+            self.push(w, mem);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SparseMemory;
+    use em2_model::DetRng;
+
+    #[test]
+    fn behaves_like_a_plain_stack() {
+        let mut mem = SparseMemory::new();
+        let mut c = StackCache::new(4, 0x1000);
+        for i in 0..10 {
+            c.push(i, &mut mem);
+        }
+        assert_eq!(c.depth(), 10);
+        for i in (0..10).rev() {
+            assert_eq!(c.pop(&mut mem), Some(i));
+        }
+        assert_eq!(c.pop(&mut mem), None);
+        assert!(c.stats().spills > 0, "must have spilled");
+        assert!(c.stats().refills > 0, "must have refilled");
+    }
+
+    #[test]
+    fn random_ops_match_reference_vec() {
+        let mut rng = DetRng::new(77);
+        let mut mem = SparseMemory::new();
+        let mut c = StackCache::new(8, 0x2000);
+        let mut reference: Vec<u32> = Vec::new();
+        for _ in 0..10_000 {
+            if rng.chance(0.55) || reference.is_empty() {
+                let v = rng.next_u64() as u32;
+                c.push(v, &mut mem);
+                reference.push(v);
+            } else {
+                assert_eq!(c.pop(&mut mem), reference.pop());
+            }
+            assert_eq!(c.depth(), reference.len() as u64);
+            assert!(c.resident_len() <= 8);
+        }
+        // Drain fully.
+        while let Some(expect) = reference.pop() {
+            assert_eq!(c.pop(&mut mem), Some(expect));
+        }
+        assert_eq!(c.pop(&mut mem), None);
+    }
+
+    #[test]
+    fn spills_write_to_backing_region() {
+        let mut mem = SparseMemory::new();
+        let mut c = StackCache::new(2, 0x100);
+        c.push(10, &mut mem);
+        c.push(20, &mut mem);
+        c.push(30, &mut mem); // spills one entry (capacity/2 = 1)
+        assert_eq!(mem.peek(0x100), 10, "deepest entry spilled to base");
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn top_does_not_change_depth() {
+        let mut mem = SparseMemory::new();
+        let mut c = StackCache::new(4, 0);
+        c.push(5, &mut mem);
+        assert_eq!(c.top(&mut mem), Some(5));
+        assert_eq!(c.depth(), 1);
+        let mut empty = StackCache::new(4, 0);
+        assert_eq!(empty.top(&mut mem), None);
+    }
+
+    #[test]
+    fn carry_top_splits_and_flushes() {
+        let mut mem = SparseMemory::new();
+        let mut c = StackCache::new(8, 0x400);
+        for i in 1..=6 {
+            c.push(i, &mut mem);
+        }
+        let carried = c.carry_top(2, &mut mem);
+        assert_eq!(carried, vec![5, 6]);
+        // The other 4 entries were flushed to memory.
+        assert_eq!(c.resident_len(), 0);
+        assert_eq!(c.depth(), 4);
+        for (i, expect) in (1..=4).enumerate() {
+            assert_eq!(mem.peek(0x400 + 4 * i as u32), expect);
+        }
+        // Restoring the carry puts the stack back together.
+        c.restore_carry(&carried, &mut mem);
+        assert_eq!(c.pop(&mut mem), Some(6));
+        assert_eq!(c.pop(&mut mem), Some(5));
+        assert_eq!(c.pop(&mut mem), Some(4), "refilled from memory");
+    }
+
+    #[test]
+    fn carry_more_than_resident_is_clamped() {
+        let mut mem = SparseMemory::new();
+        let mut c = StackCache::new(4, 0);
+        c.push(1, &mut mem);
+        let carried = c.carry_top(10, &mut mem);
+        assert_eq!(carried, vec![1]);
+        assert_eq!(c.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_capacity_rejected() {
+        StackCache::new(1, 0);
+    }
+}

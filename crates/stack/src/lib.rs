@@ -1,0 +1,45 @@
+//! # em2-stack
+//!
+//! The stack-machine EM² architecture (paper §4).
+//!
+//! *"Stack architectures, which do not have a random-access register
+//! file, offer a natural solution … because instructions can only
+//! access the top of the stack, only the top few entries must be sent
+//! over to a remote core when a memory access causes a migration."*
+//!
+//! This crate builds that machine in full:
+//!
+//! * [`isa`] — a two-stack (expression + return) 32-bit stack ISA in
+//!   the Forth/B5000 lineage the paper cites (Koopman \[16\]);
+//! * [`asm`] — a text assembler/disassembler with labels;
+//! * [`machine`] — the reference interpreter with unbounded stacks;
+//! * [`cache`] — the hardware stack cache: a fixed number of resident
+//!   top-of-stack entries backed by stack memory at the thread's
+//!   native core, with automatic spill/refill (the mechanism behind
+//!   the §4 "automatic migration back on overflow/underflow");
+//! * [`program`] — kernel builders (dot product, 1-D stencil, memcpy,
+//!   recursive call trees) used by the E6 experiments;
+//! * [`visits`] — runs a program against a data placement and extracts
+//!   the [`em2_optimal::StackVisit`] sequence (per-visit stack demand
+//!   and growth) consumed by the §4 depth-decision DP;
+//! * [`adapter`] — converts program executions into
+//!   [`em2_trace::ThreadTrace`]s so stack workloads run on the main
+//!   EM² event simulator with stack-sized contexts.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adapter;
+pub mod asm;
+pub mod cache;
+pub mod isa;
+pub mod machine;
+pub mod program;
+pub mod visits;
+
+pub use adapter::{programs_to_workload, to_thread_trace};
+pub use asm::{assemble, disassemble, AsmError};
+pub use cache::{SpillStats, StackCache};
+pub use isa::Op;
+pub use machine::{Effect, MachineError, SparseMemory, StackMachine, StackMemory};
+pub use visits::{extract_visits, VisitTrace};

@@ -1,0 +1,160 @@
+//! Property-based tests: the stack cache against an unbounded
+//! reference stack, assembler round trips, and ISA metadata
+//! conformance.
+
+use em2_model::DetRng;
+use em2_stack::{assemble, disassemble, Op, SparseMemory, StackCache, StackMachine, StackMemory};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stack_cache_equals_unbounded_stack(
+        ops in prop::collection::vec(any::<Option<u32>>(), 1..500),
+        cap in 2usize..16,
+    ) {
+        // Some(v) = push v; None = pop.
+        let mut mem = SparseMemory::new();
+        let mut dut = StackCache::new(cap, 0x10_000);
+        let mut reference: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    dut.push(v, &mut mem);
+                    reference.push(v);
+                }
+                None => {
+                    prop_assert_eq!(dut.pop(&mut mem), reference.pop());
+                }
+            }
+            prop_assert_eq!(dut.depth(), reference.len() as u64);
+            prop_assert!(dut.resident_len() <= cap);
+        }
+        // Drain and compare completely.
+        while let Some(want) = reference.pop() {
+            prop_assert_eq!(dut.pop(&mut mem), Some(want));
+        }
+        prop_assert_eq!(dut.pop(&mut mem), None);
+    }
+
+    #[test]
+    fn carry_top_preserves_stack_contents(
+        values in prop::collection::vec(any::<u32>(), 1..64),
+        carry in 0usize..20,
+        cap in 4usize..12,
+    ) {
+        let mut mem = SparseMemory::new();
+        let mut c = StackCache::new(cap, 0x20_000);
+        for &v in &values {
+            c.push(v, &mut mem);
+        }
+        let carried = c.carry_top(carry, &mut mem);
+        c.restore_carry(&carried, &mut mem);
+        // Popping everything returns the original sequence reversed.
+        let mut out = Vec::new();
+        while let Some(v) = c.pop(&mut mem) {
+            out.push(v);
+        }
+        let mut want = values.clone();
+        want.reverse();
+        prop_assert_eq!(out, want);
+    }
+
+    #[test]
+    fn assembler_disassembler_round_trip(seed in any::<u64>(), len in 1usize..60) {
+        // Generate a random (not necessarily runnable) program with
+        // valid jump targets; text round trip must be exact.
+        let mut rng = DetRng::new(seed);
+        let prog: Vec<Op> = (0..len)
+            .map(|_| {
+                let t = rng.below(len as u64) as u32;
+                match rng.below(12) {
+                    0 => Op::Lit(rng.next_u64() as u32),
+                    1 => Op::Add,
+                    2 => Op::Dup,
+                    3 => Op::Swap,
+                    4 => Op::Load,
+                    5 => Op::Store,
+                    6 => Op::Jmp(t),
+                    7 => Op::Jz(t),
+                    8 => Op::Call(t),
+                    9 => Op::Ret,
+                    10 => Op::ToR,
+                    _ => Op::Nop,
+                }
+            })
+            .collect();
+        let text = disassemble(&prog);
+        let back = assemble(&text).unwrap();
+        prop_assert_eq!(prog, back);
+    }
+
+    #[test]
+    fn interpreter_respects_stack_effect_metadata(
+        seed in any::<u64>(),
+        steps in 1usize..200,
+    ) {
+        // Run a random arithmetic program (no control flow, memory at
+        // fixed aligned addresses) and check each step's depth delta
+        // against the ISA metadata.
+        let mut rng = DetRng::new(seed);
+        let mut prog: Vec<Op> = Vec::new();
+        // Seed enough literals that pops can't underflow if we track depth.
+        let mut depth = 0i64;
+        for _ in 0..steps {
+            let candidates: Vec<Op> = vec![
+                Op::Lit(rng.next_u64() as u32 & 0xFFFF),
+                Op::Add,
+                Op::Sub,
+                Op::Mul,
+                Op::Dup,
+                Op::Drop,
+                Op::Swap,
+                Op::Over,
+                Op::Nip,
+                Op::Lit(64), // aligned address feeder
+            ];
+            let viable: Vec<Op> = candidates
+                .into_iter()
+                .filter(|op| depth >= op.pops() as i64)
+                .collect();
+            let op = *rng.choose(&viable);
+            depth += op.pushes() as i64 - op.pops() as i64;
+            prog.push(op);
+        }
+        prog.push(Op::Halt);
+        let mut m = StackMachine::new(prog.clone());
+        let mut mem = SparseMemory::new();
+        for op in &prog {
+            if matches!(op, Op::Halt) {
+                break;
+            }
+            let before = m.expr.len() as i64;
+            m.step(&mut mem).unwrap();
+            let after = m.expr.len() as i64;
+            prop_assert_eq!(
+                after - before,
+                op.pushes() as i64 - op.pops() as i64,
+                "{} violated its metadata", op
+            );
+        }
+    }
+
+    #[test]
+    fn spills_round_trip_through_memory(
+        values in prop::collection::vec(any::<u32>(), 20..200),
+    ) {
+        // Force heavy spilling with a tiny cache, then verify memory
+        // contents: exactly the spilled prefix, in order.
+        let mut mem = SparseMemory::new();
+        let mut c = StackCache::new(2, 0x0);
+        for &v in &values {
+            c.push(v, &mut mem);
+        }
+        let spilled = c.depth() as usize - c.resident_len();
+        for i in 0..spilled {
+            prop_assert_eq!(mem.load(4 * i as u32), values[i], "spill slot {}", i);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Plain-text workload serialization.
+//!
+//! A small line-oriented format so workloads can be saved, diffed, and
+//! reloaded (golden traces in tests, exchange with external tools):
+//!
+//! ```text
+//! em2-workload v1
+//! name ocean
+//! threads 2
+//! thread 0 native 0
+//! b 128
+//! r 2 0x10000
+//! w 0 0x10008
+//! thread 1 native 1
+//! ...
+//! end
+//! ```
+//!
+//! `b <idx>` records a barrier at record index `idx`; `r`/`w` lines are
+//! `<kind> <gap> <hex addr>` in program order.
+
+use crate::record::MemRecord;
+use crate::trace::{ThreadTrace, Workload};
+use em2_model::{Addr, CoreId, ThreadId};
+use std::fmt::Write as _;
+
+/// Errors from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Header line missing or wrong version.
+    BadHeader(String),
+    /// A malformed line, with its 1-based line number.
+    BadLine(usize, String),
+    /// Input ended before `end`.
+    UnexpectedEof,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadHeader(h) => write!(f, "bad header: {h:?}"),
+            CodecError::BadLine(n, l) => write!(f, "bad line {n}: {l:?}"),
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serialize a workload to the text format.
+pub fn format(w: &Workload) -> String {
+    let mut out = String::new();
+    out.push_str("em2-workload v1\n");
+    let _ = writeln!(out, "name {}", w.name);
+    let _ = writeln!(out, "threads {}", w.num_threads());
+    for t in &w.threads {
+        let _ = writeln!(out, "thread {} native {}", t.thread.0, t.native.0);
+        let mut next_barrier = 0usize;
+        for (i, r) in t.records.iter().enumerate() {
+            while next_barrier < t.barriers.len() && t.barriers[next_barrier] == i {
+                let _ = writeln!(out, "b {i}");
+                next_barrier += 1;
+            }
+            let k = if r.is_write() { 'w' } else { 'r' };
+            let _ = writeln!(out, "{k} {} 0x{:x}", r.gap, r.addr.0);
+        }
+        while next_barrier < t.barriers.len() {
+            let _ = writeln!(out, "b {}", t.barriers[next_barrier]);
+            next_barrier += 1;
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parse the text format back into a workload.
+pub fn parse(text: &str) -> Result<Workload, CodecError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CodecError::UnexpectedEof)?;
+    if header.trim() != "em2-workload v1" {
+        return Err(CodecError::BadHeader(header.to_string()));
+    }
+
+    let mut name = String::new();
+    let mut threads: Vec<ThreadTrace> = Vec::new();
+    let mut current: Option<ThreadTrace> = None;
+    let mut saw_end = false;
+
+    for (n, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = || CodecError::BadLine(n + 1, raw.to_string());
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("name") => {
+                name = parts.collect::<Vec<_>>().join(" ");
+            }
+            Some("threads") => { /* informational; validated at the end */ }
+            Some("thread") => {
+                if let Some(t) = current.take() {
+                    threads.push(t);
+                }
+                let tid: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let kw = parts.next().ok_or_else(bad)?;
+                if kw != "native" {
+                    return Err(bad());
+                }
+                let core: u16 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                current = Some(ThreadTrace::new(ThreadId(tid), CoreId(core)));
+            }
+            Some("b") => {
+                let idx: usize = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let t = current.as_mut().ok_or_else(bad)?;
+                if idx != t.records.len() {
+                    return Err(bad());
+                }
+                t.barrier();
+            }
+            Some(k @ ("r" | "w")) => {
+                let gap: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let hex = parts.next().ok_or_else(bad)?;
+                let hex = hex.strip_prefix("0x").ok_or_else(bad)?;
+                let addr = u64::from_str_radix(hex, 16).map_err(|_| bad())?;
+                let t = current.as_mut().ok_or_else(bad)?;
+                let rec = if k == "r" {
+                    MemRecord::read(gap, Addr(addr))
+                } else {
+                    MemRecord::write(gap, Addr(addr))
+                };
+                t.push(rec);
+            }
+            Some("end") => {
+                saw_end = true;
+                break;
+            }
+            _ => return Err(bad()),
+        }
+    }
+    if !saw_end {
+        return Err(CodecError::UnexpectedEof);
+    }
+    if let Some(t) = current.take() {
+        threads.push(t);
+    }
+    Ok(Workload::new(name, threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::micro;
+
+    #[test]
+    fn round_trip_small_workload() {
+        let w = micro::pingpong(2, 4, 5);
+        let text = format(&w);
+        let back = parse(&text).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn round_trip_preserves_barriers() {
+        let w = micro::producer_consumer(3, 3, 4, 2);
+        let back = parse(&format(&w)).unwrap();
+        for (a, b) in w.threads.iter().zip(&back.threads) {
+            assert_eq!(a.barriers, b.barriers);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            parse("nonsense\nend\n"),
+            Err(CodecError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let w = micro::pingpong(1, 2, 2);
+        let text = format(&w);
+        let cut = &text[..text.len() - 5];
+        assert!(matches!(parse(cut), Err(CodecError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn rejects_malformed_record() {
+        let text = "em2-workload v1\nname x\nthreads 1\nthread 0 native 0\nr nope 0x10\nend\n";
+        assert!(matches!(parse(text), Err(CodecError::BadLine(5, _))));
+    }
+
+    #[test]
+    fn rejects_record_before_thread() {
+        let text = "em2-workload v1\nname x\nr 0 0x10\nend\n";
+        assert!(matches!(parse(text), Err(CodecError::BadLine(_, _))));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let w = micro::pingpong(1, 2, 1);
+        let mut text = format(&w);
+        text = text.replace("name pingpong", "# hello\n\nname pingpong");
+        assert_eq!(parse(&text).unwrap(), w);
+    }
+
+    #[test]
+    fn barrier_at_wrong_index_rejected() {
+        let text = "em2-workload v1\nname x\nthread 0 native 0\nb 5\nend\n";
+        assert!(matches!(parse(text), Err(CodecError::BadLine(_, _))));
+    }
+}

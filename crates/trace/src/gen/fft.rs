@@ -1,0 +1,185 @@
+//! FFT stand-in: local butterfly passes + all-to-all block transpose.
+//!
+//! SPLASH-2 FFT is a six-step 1-D FFT: the data is viewed as a
+//! `side × side` matrix of complex points, threads own contiguous row
+//! bands, butterfly passes are entirely local, and the transpose steps
+//! are all-to-all: every thread reads a sub-block from every other
+//! thread's band (into a private buffer) and writes it locally. The
+//! sub-block copies produce medium-length runs at each peer's core —
+//! the communication signature EM² sees.
+
+use crate::addr::AddressSpace;
+use crate::gen::native_core;
+use crate::trace::{ThreadTrace, Workload};
+
+/// Configuration for the FFT stand-in generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FftConfig {
+    /// Matrix side; total points = side². Must be divisible by `threads`.
+    pub side: usize,
+    /// Number of threads (each owns `side/threads` rows).
+    pub threads: usize,
+    /// Number of cores.
+    pub cores: usize,
+    /// Butterfly+transpose super-steps.
+    pub iterations: usize,
+    /// Transpose copy sub-block side (runs of `block²` at peer cores).
+    pub block: usize,
+    /// Element size in bytes (complex double = 16).
+    pub elem_bytes: u64,
+    /// Non-memory gap between accesses.
+    pub gap: u32,
+}
+
+impl Default for FftConfig {
+    fn default() -> Self {
+        FftConfig {
+            side: 256,
+            threads: 64,
+            cores: 64,
+            iterations: 2,
+            block: 4,
+            elem_bytes: 16,
+            gap: 2,
+        }
+    }
+}
+
+impl FftConfig {
+    /// Small config for unit tests.
+    pub fn small() -> Self {
+        FftConfig {
+            side: 16,
+            threads: 4,
+            cores: 4,
+            iterations: 1,
+            block: 2,
+            elem_bytes: 16,
+            gap: 2,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.threads > 0 && self.side > 0);
+        assert_eq!(self.side % self.threads, 0, "fft: side must divide by threads");
+        let rows = self.side / self.threads;
+        assert!(self.block > 0 && self.block <= rows && self.block <= self.side);
+        assert_eq!(rows % self.block, 0, "fft: band must divide into blocks");
+        assert_eq!(self.side % self.block, 0, "fft: side must divide into blocks");
+    }
+
+    /// Generate the workload.
+    pub fn generate(&self) -> Workload {
+        self.validate();
+        let rows_per_thread = self.side / self.threads;
+        let mut space = AddressSpace::with_page_alignment();
+        let src = space.alloc2d("fft-src", self.side as u64, self.side as u64, self.elem_bytes);
+        let dst = space.alloc2d("fft-dst", self.side as u64, self.side as u64, self.elem_bytes);
+        let cols = self.side as u64;
+
+        let mut traces: Vec<ThreadTrace> = (0..self.threads)
+            .map(|t| ThreadTrace::new(t.into(), native_core(t, self.cores)))
+            .collect();
+
+        // Phase 0: every thread first-touches its own row band in both
+        // arrays (row-banded placement under first-touch).
+        for (t, tr) in traces.iter_mut().enumerate() {
+            let r0 = (t * rows_per_thread) as u64;
+            for r in r0..r0 + rows_per_thread as u64 {
+                for c in 0..cols {
+                    tr.write(self.gap, src.at2d(r, c, cols, self.elem_bytes));
+                    tr.write(self.gap, dst.at2d(r, c, cols, self.elem_bytes));
+                }
+            }
+            tr.barrier();
+        }
+
+        for _ in 0..self.iterations {
+            // Butterfly pass: local read-modify-write of own band.
+            for (t, tr) in traces.iter_mut().enumerate() {
+                let r0 = (t * rows_per_thread) as u64;
+                for r in r0..r0 + rows_per_thread as u64 {
+                    for c in 0..cols {
+                        tr.read(self.gap, src.at2d(r, c, cols, self.elem_bytes));
+                        tr.write(self.gap, src.at2d(r, c, cols, self.elem_bytes));
+                    }
+                }
+                tr.barrier();
+            }
+            // Transpose: for every peer band, copy block × block
+            // sub-blocks: block² consecutive remote reads (a run at the
+            // peer's core), then block² local writes.
+            for t in 0..self.threads {
+                let tr = &mut traces[t];
+                let my_r0 = t * rows_per_thread;
+                for peer in 0..self.threads {
+                    let peer_r0 = peer * rows_per_thread;
+                    for br in (0..rows_per_thread).step_by(self.block) {
+                        for bc in (0..rows_per_thread).step_by(self.block) {
+                            // Read block at (peer_r0+br.., my_r0+bc..) —
+                            // transposed source lives in peer's band.
+                            for r in 0..self.block {
+                                for c in 0..self.block {
+                                    let gr = (peer_r0 + br + r) as u64;
+                                    let gc = (my_r0 + bc + c) as u64;
+                                    tr.read(self.gap, src.at2d(gr, gc, cols, self.elem_bytes));
+                                }
+                            }
+                            for r in 0..self.block {
+                                for c in 0..self.block {
+                                    let gr = (my_r0 + bc + c) as u64;
+                                    let gc = (peer_r0 + br + r) as u64;
+                                    tr.write(self.gap, dst.at2d(gr, gc, cols, self.elem_bytes));
+                                }
+                            }
+                        }
+                    }
+                }
+                tr.barrier();
+            }
+        }
+
+        Workload::new("fft", traces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_and_is_deterministic() {
+        let a = FftConfig::small().generate();
+        let b = FftConfig::small().generate();
+        assert_eq!(a, b);
+        assert_eq!(a.num_threads(), 4);
+        assert!(a.total_accesses() > 500);
+    }
+
+    #[test]
+    fn barriers_aligned() {
+        let w = FftConfig::small().generate();
+        let counts: Vec<usize> = w.threads.iter().map(|t| t.barriers.len()).collect();
+        assert!(counts.windows(2).all(|c| c[0] == c[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn all_to_all_sharing() {
+        let w = FftConfig::small().generate();
+        let s = w.stats(64);
+        // Transpose touches every band from every thread: 3 of every 4
+        // src lines are read by a non-owner in the 4-thread config.
+        assert!(s.sharing_fraction() > 0.3, "{s:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn rejects_bad_side() {
+        FftConfig {
+            side: 10,
+            threads: 4,
+            ..FftConfig::small()
+        }
+        .generate();
+    }
+}

@@ -1,0 +1,199 @@
+//! LU stand-in: blocked dense LU factorization with 2-D-cyclic block
+//! ownership.
+//!
+//! SPLASH-2 LU factorizes an `n × n` matrix in `B × B` blocks assigned
+//! to a `pr × pc` thread grid cyclically. At step `k` the owner of the
+//! diagonal block factorizes it locally; the owners of the blocks in
+//! row/column `k` then read the whole diagonal block (a long run at its
+//! owner's core — the "broadcast" the paper's run-length analysis
+//! sees), and interior blocks read their row/column pivots. Ownership
+//! is established by a first-touch init phase.
+
+use crate::addr::AddressSpace;
+use crate::gen::native_core;
+use crate::trace::{ThreadTrace, Workload};
+
+/// Configuration for the LU stand-in generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LuConfig {
+    /// Number of blocks per matrix side (matrix is `nb·b × nb·b`).
+    pub nb: usize,
+    /// Block side in elements.
+    pub b: usize,
+    /// Thread-grid rows; `pr * pc` = thread count.
+    pub pr: usize,
+    /// Thread-grid columns.
+    pub pc: usize,
+    /// Number of cores.
+    pub cores: usize,
+    /// Element bytes (doubles).
+    pub elem_bytes: u64,
+    /// Non-memory gap.
+    pub gap: u32,
+}
+
+impl Default for LuConfig {
+    fn default() -> Self {
+        LuConfig {
+            nb: 16,
+            b: 8,
+            pr: 8,
+            pc: 8,
+            cores: 64,
+            elem_bytes: 8,
+            gap: 2,
+        }
+    }
+}
+
+impl LuConfig {
+    /// Small config for unit tests (4 threads).
+    pub fn small() -> Self {
+        LuConfig {
+            nb: 4,
+            b: 4,
+            pr: 2,
+            pc: 2,
+            cores: 4,
+            elem_bytes: 8,
+            gap: 2,
+        }
+    }
+
+    /// Owner thread of block `(i, j)` under the 2-D cyclic map.
+    pub fn owner(&self, i: usize, j: usize) -> usize {
+        (i % self.pr) * self.pc + (j % self.pc)
+    }
+
+    fn threads(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// Generate the workload.
+    pub fn generate(&self) -> Workload {
+        assert!(self.nb >= 2 && self.b >= 1);
+        let threads = self.threads();
+        let n = (self.nb * self.b) as u64;
+        let mut space = AddressSpace::with_page_alignment();
+        let mat = space.alloc2d("lu-matrix", n, n, self.elem_bytes);
+
+        let mut traces: Vec<ThreadTrace> = (0..threads)
+            .map(|t| ThreadTrace::new(t.into(), native_core(t, self.cores)))
+            .collect();
+
+        let block_elems = |bi: usize, bj: usize| {
+            let r0 = (bi * self.b) as u64;
+            let c0 = (bj * self.b) as u64;
+            (0..self.b as u64).flat_map(move |r| {
+                (0..self.b as u64).map(move |c| (r0 + r, c0 + c))
+            })
+        };
+
+        // Phase 0: each owner first-touches its blocks.
+        for bi in 0..self.nb {
+            for bj in 0..self.nb {
+                let t = self.owner(bi, bj);
+                for (r, c) in block_elems(bi, bj) {
+                    traces[t].write(self.gap, mat.at2d(r, c, n, self.elem_bytes));
+                }
+            }
+        }
+        for tr in traces.iter_mut() {
+            tr.barrier();
+        }
+
+        // Elimination steps.
+        for k in 0..self.nb {
+            // 1) Diagonal factorization: local RMW by owner(k,k).
+            let diag_owner = self.owner(k, k);
+            for (r, c) in block_elems(k, k) {
+                traces[diag_owner].read(self.gap, mat.at2d(r, c, n, self.elem_bytes));
+                traces[diag_owner].write(self.gap, mat.at2d(r, c, n, self.elem_bytes));
+            }
+            for tr in traces.iter_mut() {
+                tr.barrier();
+            }
+
+            // 2) Panel update: owners of (i,k) and (k,j) read the whole
+            //    diagonal block (a b² run at diag_owner's core), then
+            //    RMW their own block locally.
+            for i in k + 1..self.nb {
+                for (who, bi, bj) in [(self.owner(i, k), i, k), (self.owner(k, i), k, i)] {
+                    let tr = &mut traces[who];
+                    for (r, c) in block_elems(k, k) {
+                        tr.read(self.gap, mat.at2d(r, c, n, self.elem_bytes));
+                    }
+                    for (r, c) in block_elems(bi, bj) {
+                        tr.read(self.gap, mat.at2d(r, c, n, self.elem_bytes));
+                        tr.write(self.gap, mat.at2d(r, c, n, self.elem_bytes));
+                    }
+                }
+            }
+            for tr in traces.iter_mut() {
+                tr.barrier();
+            }
+
+            // 3) Trailing update: owner of (i,j) reads pivot blocks
+            //    (i,k) and (k,j) — two b² runs at their owners — and
+            //    updates (i,j) locally.
+            for i in k + 1..self.nb {
+                for j in k + 1..self.nb {
+                    let t = self.owner(i, j);
+                    let tr = &mut traces[t];
+                    for (r, c) in block_elems(i, k) {
+                        tr.read(self.gap, mat.at2d(r, c, n, self.elem_bytes));
+                    }
+                    for (r, c) in block_elems(k, j) {
+                        tr.read(self.gap, mat.at2d(r, c, n, self.elem_bytes));
+                    }
+                    for (r, c) in block_elems(i, j) {
+                        tr.read(self.gap, mat.at2d(r, c, n, self.elem_bytes));
+                        tr.write(self.gap, mat.at2d(r, c, n, self.elem_bytes));
+                    }
+                }
+            }
+            for tr in traces.iter_mut() {
+                tr.barrier();
+            }
+        }
+
+        Workload::new("lu", traces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_deterministically() {
+        let a = LuConfig::small().generate();
+        let b = LuConfig::small().generate();
+        assert_eq!(a, b);
+        assert_eq!(a.num_threads(), 4);
+    }
+
+    #[test]
+    fn cyclic_ownership() {
+        let c = LuConfig::small();
+        assert_eq!(c.owner(0, 0), 0);
+        assert_eq!(c.owner(0, 1), 1);
+        assert_eq!(c.owner(1, 0), 2);
+        assert_eq!(c.owner(2, 2), 0); // wraps
+    }
+
+    #[test]
+    fn barriers_aligned() {
+        let w = LuConfig::small().generate();
+        let counts: Vec<usize> = w.threads.iter().map(|t| t.barriers.len()).collect();
+        assert!(counts.windows(2).all(|c| c[0] == c[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn later_steps_share_pivots() {
+        let w = LuConfig::small().generate();
+        let s = w.stats(64);
+        assert!(s.sharing_fraction() > 0.3, "{s:?}");
+        assert!(s.reads > s.writes);
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthetic workload generators.
+//!
+//! Each generator reproduces the *sharing structure* of a SPLASH-2
+//! kernel or a classic microbenchmark (see DESIGN.md §3 for why this
+//! substitution preserves the paper's measurements). All generators
+//! are deterministic given their config (including its seed).
+//!
+//! | module | stand-in for | communication pattern |
+//! |--------|--------------|----------------------|
+//! | [`ocean`] | SPLASH-2 OCEAN | block-partitioned red-black stencil + boundary exchange (Figure 2) |
+//! | [`fft`] | SPLASH-2 FFT | local butterflies + all-to-all block transpose |
+//! | [`lu`] | SPLASH-2 LU | 2-D-cyclic blocked LU, diagonal-block broadcast |
+//! | [`radix`] | SPLASH-2 RADIX | histogram + permutation scatter |
+//! | [`micro`] | – | private, uniform, ping-pong, producer/consumer, hotspot |
+//! | [`synth`] | – | parametric run-length mixtures for the §3 DP study |
+
+pub mod fft;
+pub mod lu;
+pub mod micro;
+pub mod ocean;
+pub mod radix;
+pub mod synth;
+
+use em2_model::CoreId;
+
+/// Map thread index to its native core for a machine of `cores` cores:
+/// threads are distributed round-robin (the paper runs 64 threads on 64
+/// cores, i.e. the identity mapping).
+#[inline]
+pub fn native_core(thread: usize, cores: usize) -> CoreId {
+    CoreId::from(thread % cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_core_round_robin() {
+        assert_eq!(native_core(0, 4), CoreId(0));
+        assert_eq!(native_core(3, 4), CoreId(3));
+        assert_eq!(native_core(4, 4), CoreId(0));
+        assert_eq!(native_core(9, 4), CoreId(1));
+    }
+}

@@ -1,0 +1,173 @@
+//! RADIX stand-in: parallel radix sort — histogram, prefix combine,
+//! permutation scatter.
+//!
+//! SPLASH-2 RADIX sorts integer keys digit by digit: each thread builds
+//! a local histogram of its keys (local), the histograms are combined
+//! (one thread reads every other thread's histogram — runs of histogram
+//! length at each peer core), and keys are scattered to their sorted
+//! positions, which land in arbitrary threads' partitions (remote
+//! singles). This is the "scatter-dominated" extreme among the
+//! workloads.
+
+use crate::addr::AddressSpace;
+use crate::gen::native_core;
+use crate::trace::{ThreadTrace, Workload};
+use em2_model::DetRng;
+
+/// Configuration for the RADIX stand-in generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RadixConfig {
+    /// Keys per thread.
+    pub keys_per_thread: usize,
+    /// Histogram buckets (radix).
+    pub buckets: usize,
+    /// Number of threads.
+    pub threads: usize,
+    /// Number of cores.
+    pub cores: usize,
+    /// Sort passes (digits).
+    pub passes: usize,
+    /// Element bytes.
+    pub elem_bytes: u64,
+    /// Non-memory gap.
+    pub gap: u32,
+    /// RNG seed for key values.
+    pub seed: u64,
+}
+
+impl Default for RadixConfig {
+    fn default() -> Self {
+        RadixConfig {
+            keys_per_thread: 4096,
+            buckets: 64,
+            threads: 64,
+            cores: 64,
+            passes: 2,
+            elem_bytes: 8,
+            gap: 2,
+            seed: 0x52AD_1234,
+        }
+    }
+}
+
+impl RadixConfig {
+    /// Small config for unit tests.
+    pub fn small() -> Self {
+        RadixConfig {
+            keys_per_thread: 128,
+            buckets: 8,
+            threads: 4,
+            cores: 4,
+            passes: 1,
+            elem_bytes: 8,
+            gap: 2,
+            seed: 42,
+        }
+    }
+
+    /// Generate the workload.
+    pub fn generate(&self) -> Workload {
+        assert!(self.threads > 0 && self.keys_per_thread > 0 && self.buckets > 0);
+        let mut space = AddressSpace::with_page_alignment();
+        let keys = space.alloc_per_thread("keys", self.threads, self.keys_per_thread as u64 * self.elem_bytes);
+        let dest = space.alloc_per_thread("dest", self.threads, self.keys_per_thread as u64 * self.elem_bytes);
+        let histos = space.alloc_per_thread("histo", self.threads, self.buckets as u64 * self.elem_bytes);
+
+        let mut traces: Vec<ThreadTrace> = (0..self.threads)
+            .map(|t| ThreadTrace::new(t.into(), native_core(t, self.cores)))
+            .collect();
+        let mut rng = DetRng::new(self.seed);
+
+        // Phase 0: first-touch own regions.
+        for (t, tr) in traces.iter_mut().enumerate() {
+            for i in 0..self.keys_per_thread as u64 {
+                tr.write(self.gap, keys[t].elem(i, self.elem_bytes));
+                tr.write(self.gap, dest[t].elem(i, self.elem_bytes));
+            }
+            for b in 0..self.buckets as u64 {
+                tr.write(self.gap, histos[t].elem(b, self.elem_bytes));
+            }
+            tr.barrier();
+        }
+
+        for _pass in 0..self.passes {
+            // Histogram: read own keys, bump own buckets (all local).
+            for (t, tr) in traces.iter_mut().enumerate() {
+                let mut trng = rng.fork(t as u64);
+                for i in 0..self.keys_per_thread as u64 {
+                    tr.read(self.gap, keys[t].elem(i, self.elem_bytes));
+                    let b = trng.below(self.buckets as u64);
+                    tr.read(self.gap, histos[t].elem(b, self.elem_bytes));
+                    tr.write(self.gap, histos[t].elem(b, self.elem_bytes));
+                }
+                tr.barrier();
+            }
+            // Prefix combine: thread 0 reads every histogram — a run of
+            // `buckets` at each peer's core — then writes its own.
+            for peer in 0..self.threads {
+                for b in 0..self.buckets as u64 {
+                    traces[0].read(self.gap, histos[peer].elem(b, self.elem_bytes));
+                }
+            }
+            for b in 0..self.buckets as u64 {
+                traces[0].write(self.gap, histos[0].elem(b, self.elem_bytes));
+            }
+            for tr in traces.iter_mut() {
+                tr.barrier();
+            }
+            // Scatter: read own key (local), write into the destination
+            // partition the key hashes to (usually remote, singles).
+            for t in 0..self.threads {
+                let mut trng = rng.fork(0x5CA7 ^ t as u64);
+                let tr = &mut traces[t];
+                for i in 0..self.keys_per_thread as u64 {
+                    tr.read(self.gap, keys[t].elem(i, self.elem_bytes));
+                    let owner = trng.below(self.threads as u64) as usize;
+                    let slot = trng.below(self.keys_per_thread as u64);
+                    tr.write(self.gap, dest[owner].elem(slot, self.elem_bytes));
+                }
+                tr.barrier();
+            }
+            rng = rng.fork(0xBEEF);
+        }
+
+        Workload::new("radix", traces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_deterministically() {
+        let a = RadixConfig::small().generate();
+        let b = RadixConfig::small().generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scatter_creates_sharing() {
+        let w = RadixConfig::small().generate();
+        let s = w.stats(64);
+        assert!(s.sharing_fraction() > 0.2, "{s:?}");
+    }
+
+    #[test]
+    fn barriers_aligned() {
+        let w = RadixConfig::small().generate();
+        let counts: Vec<usize> = w.threads.iter().map(|t| t.barriers.len()).collect();
+        assert!(counts.windows(2).all(|c| c[0] == c[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RadixConfig::small().generate();
+        let b = RadixConfig {
+            seed: 43,
+            ..RadixConfig::small()
+        }
+        .generate();
+        assert_ne!(a, b);
+    }
+}

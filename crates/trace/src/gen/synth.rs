@@ -1,0 +1,180 @@
+//! Parametric synthetic traces for the §3 dynamic-program experiments.
+//!
+//! The paper's DP consumes a single thread's memory trace and the
+//! address→core placement. To sweep trace length, core count, and
+//! run-length structure independently (experiments E4/E5), this
+//! generator emits traces as an alternation of *local runs* (accesses
+//! homed at the native core) and *remote runs* (at some other core),
+//! with the remote run-length distribution shaped like Figure 2: a
+//! point mass at 1 plus a geometric tail.
+
+use crate::addr::AddressSpace;
+use crate::gen::native_core;
+use crate::trace::{ThreadTrace, Workload};
+use em2_model::DetRng;
+
+/// Configuration for the synthetic run-length workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SynthConfig {
+    /// Number of threads.
+    pub threads: usize,
+    /// Number of cores.
+    pub cores: usize,
+    /// Accesses per thread (approximate; runs are never truncated).
+    pub accesses_per_thread: usize,
+    /// Mean length of local runs.
+    pub local_run_mean: f64,
+    /// Probability that a remote run has length exactly 1
+    /// (Figure 2 measures ≈ one half of accesses in such runs).
+    pub single_fraction: f64,
+    /// Mean *additional* length of longer remote runs (geometric).
+    pub long_run_mean: f64,
+    /// Hard cap on any run length.
+    pub max_run: u64,
+    /// Fraction of accesses that are writes.
+    pub write_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            threads: 64,
+            cores: 64,
+            accesses_per_thread: 10_000,
+            local_run_mean: 4.0,
+            single_fraction: 0.55,
+            long_run_mean: 8.0,
+            max_run: 64,
+            write_fraction: 0.3,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// Small config for unit tests.
+    pub fn small() -> Self {
+        SynthConfig {
+            threads: 4,
+            cores: 4,
+            accesses_per_thread: 500,
+            ..SynthConfig::default()
+        }
+    }
+
+    /// Generate the workload. Each thread's accesses within a run walk
+    /// consecutive words of the target thread's region, so placement
+    /// (first-touch at any granularity, or striped by region) maps each
+    /// run to a single home core.
+    pub fn generate(&self) -> Workload {
+        assert!(self.threads >= 2, "synth needs a remote core to talk to");
+        let region_words: u64 = 4096;
+        let mut space = AddressSpace::with_page_alignment();
+        let regions = space.alloc_per_thread("synth", self.threads, region_words * 8);
+        let root = DetRng::new(self.seed);
+
+        let mut traces: Vec<ThreadTrace> = (0..self.threads)
+            .map(|t| ThreadTrace::new(t.into(), native_core(t, self.cores)))
+            .collect();
+
+        // Init: claim own region under first-touch.
+        for (t, tr) in traces.iter_mut().enumerate() {
+            for w in 0..region_words {
+                tr.write(1, regions[t].elem(w, 8));
+            }
+            tr.barrier();
+        }
+
+        for (t, tr) in traces.iter_mut().enumerate() {
+            let mut rng = root.fork(t as u64);
+            let mut cursors = vec![0u64; self.threads];
+            let mut emitted = 0usize;
+            let mut remote_next = false;
+            while emitted < self.accesses_per_thread {
+                let (target, len) = if remote_next {
+                    let mut peer = rng.below(self.threads as u64 - 1) as usize;
+                    if peer >= t {
+                        peer += 1;
+                    }
+                    let len = if rng.chance(self.single_fraction) {
+                        1
+                    } else {
+                        let p = 1.0 - 1.0 / self.long_run_mean.max(1.0);
+                        (2 + rng.geometric(p, self.max_run - 2)).min(self.max_run)
+                    };
+                    (peer, len)
+                } else {
+                    let p = 1.0 - 1.0 / self.local_run_mean.max(1.0);
+                    (t, (1 + rng.geometric(p, self.max_run - 1)).min(self.max_run))
+                };
+                for _ in 0..len {
+                    let w = cursors[target] % region_words;
+                    cursors[target] += 1;
+                    let addr = regions[target].elem(w, 8);
+                    if rng.chance(self.write_fraction) {
+                        tr.write(1, addr);
+                    } else {
+                        tr.read(1, addr);
+                    }
+                    emitted += 1;
+                }
+                remote_next = !remote_next;
+            }
+        }
+
+        Workload::new("synth", traces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = SynthConfig::small().generate();
+        let b = SynthConfig::small().generate();
+        assert_eq!(a, b);
+        for t in &a.threads {
+            // init (4096) + ~500 requested
+            assert!(t.len() >= 4096 + 500, "trace too short: {}", t.len());
+        }
+    }
+
+    #[test]
+    fn touches_remote_regions() {
+        // The init phase first-touches 4096 words per thread, so the
+        // *fraction* of shared lines is small; what matters is that the
+        // remote runs exist at all.
+        let w = SynthConfig::small().generate();
+        let s = w.stats(64);
+        assert!(s.shared_lines > 10, "{s:?}");
+    }
+
+    #[test]
+    fn respects_max_run_cap() {
+        let cfg = SynthConfig {
+            max_run: 4,
+            ..SynthConfig::small()
+        };
+        let w = cfg.generate();
+        // Verify by scanning: no more than 4 consecutive accesses to a
+        // non-own region per thread.
+        for t in &w.threads {
+            let mut run = 0u64;
+            let mut prev_region: Option<usize> = None;
+            for r in t.records.iter().skip(4096) {
+                let region = ((r.addr.0 - 0x1_0000) / (4096 * 8).max(4096)) as usize;
+                if Some(region) == prev_region {
+                    run += 1;
+                } else {
+                    run = 1;
+                    prev_region = Some(region);
+                }
+                assert!(run <= 2 * cfg.max_run, "run too long");
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! A single memory-trace record.
+
+use em2_model::{AccessKind, Addr};
+use std::fmt;
+
+/// One memory access in a thread's trace.
+///
+/// `gap` is the number of non-memory instructions the thread executes
+/// *before* this access (ALU work, branches, ...). The paper's
+/// simplified model ignores local compute time, but the simulator uses
+/// gaps for timing, and the stack-machine experiments use them to size
+/// the instruction window between accesses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRecord {
+    /// Non-memory instructions executed before this access.
+    pub gap: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Byte address accessed.
+    pub addr: Addr,
+}
+
+impl MemRecord {
+    /// A read of `addr` after `gap` non-memory instructions.
+    #[inline]
+    pub const fn read(gap: u32, addr: Addr) -> Self {
+        MemRecord {
+            gap,
+            kind: AccessKind::Read,
+            addr,
+        }
+    }
+
+    /// A write to `addr` after `gap` non-memory instructions.
+    #[inline]
+    pub const fn write(gap: u32, addr: Addr) -> Self {
+        MemRecord {
+            gap,
+            kind: AccessKind::Write,
+            addr,
+        }
+    }
+
+    /// True if this record is a write.
+    #[inline]
+    pub const fn is_write(&self) -> bool {
+        self.kind.is_write()
+    }
+}
+
+impl fmt::Debug for MemRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+{} {}{:?}", self.gap, self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = MemRecord::read(3, Addr(0x100));
+        assert!(!r.is_write());
+        assert_eq!(r.gap, 3);
+        let w = MemRecord::write(0, Addr(0x200));
+        assert!(w.is_write());
+    }
+
+    #[test]
+    fn debug_format() {
+        let r = MemRecord::read(2, Addr(0x40));
+        assert_eq!(format!("{r:?}"), "+2 R0x40");
+    }
+
+    #[test]
+    fn record_is_compact() {
+        // The simulator holds millions of these; keep them at 16 bytes.
+        assert!(std::mem::size_of::<MemRecord>() <= 16);
+    }
+}

@@ -1,0 +1,74 @@
+//! The §3 analytical model in action: compute the *optimal*
+//! migrate-vs-remote-access decision sequence for a workload with the
+//! paper's dynamic program, then measure how close simple
+//! hardware-implementable schemes come.
+//!
+//! ```text
+//! cargo run --release --example migrate_vs_ra
+//! ```
+
+use em2::model::CostModel;
+use em2::optimal::{migrate_ra, Choice, CostTrace};
+use em2::placement::FirstTouch;
+use em2::trace::gen::synth::SynthConfig;
+
+fn main() {
+    // A 16-core synthetic workload shaped like Figure 2: remote runs
+    // are a mix of one-off accesses and longer bursts.
+    let workload = SynthConfig {
+        threads: 16,
+        cores: 16,
+        accesses_per_thread: 5_000,
+        single_fraction: 0.5,
+        ..SynthConfig::default()
+    }
+    .generate();
+    let placement = FirstTouch::build(&workload, 16, 64);
+    let cost = CostModel::builder().cores(16).build();
+
+    // Per-thread optimum via the paper's DP (O(N·P)).
+    let (optimal_total, per_thread) = migrate_ra::workload_optimal(&workload, &placement, &cost);
+    println!("DP optimal network cost: {optimal_total} cycles");
+    let mig: usize = per_thread.iter().map(|o| o.migrations()).sum();
+    let ra: usize = per_thread.iter().map(|o| o.remote_accesses()).sum();
+    println!("  optimal mix: {mig} migrations, {ra} remote accesses\n");
+
+    // Fixed schemes, evaluated with the O(N) replay.
+    for (name, choice) in [("always-migrate", Choice::Migrate), ("always-remote", Choice::Remote)] {
+        let total: u64 = workload
+            .threads
+            .iter()
+            .map(|t| {
+                let ct = CostTrace::from_thread(t, &placement);
+                migrate_ra::evaluate(&ct, &cost, |_, _, _, _| choice)
+            })
+            .sum();
+        println!(
+            "{name:>16}: {total} cycles  ({:.0}% of optimal)",
+            100.0 * total as f64 / optimal_total as f64
+        );
+    }
+
+    // A distance heuristic: migrate only to nearby homes.
+    for hops in [1u64, 2, 4, 14] {
+        let total: u64 = workload
+            .threads
+            .iter()
+            .map(|t| {
+                let ct = CostTrace::from_thread(t, &placement);
+                migrate_ra::evaluate(&ct, &cost, |_, at, home, _| {
+                    if cost.hops(at, home) <= hops {
+                        Choice::Migrate
+                    } else {
+                        Choice::Remote
+                    }
+                })
+            })
+            .sum();
+        println!(
+            "   distance<={hops:<2}   : {total} cycles  ({:.0}% of optimal)",
+            100.0 * total as f64 / optimal_total as f64
+        );
+    }
+    println!("\nThe gap to 100% is what better decision schemes — the paper's\nproposed future work — would close.");
+}

@@ -1,0 +1,51 @@
+//! Regenerate Figure 2 of the paper: the run-length histogram of
+//! accesses to non-native memory for an OCEAN-like workload on a
+//! 64-core EM² machine with first-touch placement.
+//!
+//! ```text
+//! cargo run --release --example ocean_runlengths [--quick]
+//! ```
+
+use em2::placement::{run_length_analysis, FirstTouch};
+use em2::trace::gen::ocean::OceanConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        OceanConfig {
+            interior: 128,
+            threads: 16,
+            cores: 16,
+            iterations: 2,
+            ..OceanConfig::default()
+        }
+    } else {
+        // The paper's scale: 64 threads on 64 cores.
+        OceanConfig::default()
+    };
+    println!(
+        "generating ocean: {}² grid, {} threads, {} V-cycles…",
+        cfg.interior, cfg.threads, cfg.iterations
+    );
+    let threads = cfg.threads;
+    let workload = cfg.generate();
+    println!("  {} memory accesses", workload.total_accesses());
+
+    let placement = FirstTouch::build(&workload, threads, 64);
+    let analysis = run_length_analysis(&workload, &placement, 60);
+
+    println!(
+        "\nnon-native accesses: {} of {} ({:.1}%)",
+        analysis.non_native_accesses,
+        analysis.total_accesses,
+        100.0 * analysis.non_native_fraction()
+    );
+    println!(
+        "single-access fraction: {:.3}  (paper: \"about half of the accesses\n\
+         migrate after one memory reference\")",
+        analysis.single_access_fraction()
+    );
+    println!("mean non-native run length: {:.2}\n", analysis.mean_run_length());
+    println!("# of accesses to memory cached at non-native cores, by run length:");
+    print!("{}", analysis.histogram.ascii_chart_weighted(1, 40, 50));
+}

@@ -1,0 +1,80 @@
+//! Cross-crate determinism: identical configurations must produce
+//! bit-identical results across every machine model — a prerequisite
+//! for all the experiment tables.
+
+use em2::coherence::{run_msi, MsiConfig};
+use em2::core::machine::{EvictionPolicy, MachineConfig};
+use em2::core::sim::{run_em2, run_em2ra};
+use em2::core::HistoryPredictor;
+use em2::placement::FirstTouch;
+use em2::trace::gen::{micro, ocean::OceanConfig, synth::SynthConfig};
+
+#[test]
+fn em2_runs_are_reproducible() {
+    let w = OceanConfig::small().generate();
+    let p = FirstTouch::build(&w, 4, 64);
+    let a = run_em2(MachineConfig::with_cores(4), &w, &p);
+    let b = run_em2(MachineConfig::with_cores(4), &w, &p);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.flow, b.flow);
+    assert_eq!(a.run_lengths, b.run_lengths);
+    assert_eq!(a.traffic, b.traffic);
+    assert_eq!(a.context_bits_sent, b.context_bits_sent);
+    assert_eq!(a.network_cycles, b.network_cycles);
+}
+
+#[test]
+fn random_eviction_is_seeded() {
+    let w = micro::hotspot(8, 8, 400, 0.9, 1);
+    let p = FirstTouch::build(&w, 8, 64);
+    let mk = || MachineConfig {
+        guest_contexts: 1,
+        eviction: EvictionPolicy::Random { seed: 99 },
+        ..MachineConfig::with_cores(8)
+    };
+    let a = run_em2(mk(), &w, &p);
+    let b = run_em2(mk(), &w, &p);
+    assert_eq!(a.flow, b.flow);
+    assert_eq!(a.cycles, b.cycles);
+}
+
+#[test]
+fn learning_scheme_is_reproducible() {
+    let w = SynthConfig::small().generate();
+    let p = FirstTouch::build(&w, 4, 64);
+    let run = || {
+        run_em2ra(
+            MachineConfig::with_cores(4),
+            &w,
+            &p,
+            Box::new(HistoryPredictor::new(1.0, 0.5)),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.flow, b.flow);
+    assert_eq!(a.cycles, b.cycles);
+}
+
+#[test]
+fn msi_runs_are_reproducible() {
+    let w = micro::uniform(4, 4, 500, 128, 0.4, 7);
+    let p = FirstTouch::build(&w, 4, 64);
+    let a = run_msi(MsiConfig::with_cores(4), &w, &p);
+    let b = run_msi(MsiConfig::with_cores(4), &w, &p);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.total_flit_hops(), b.total_flit_hops());
+    assert_eq!(a.invalidations, b.invalidations);
+}
+
+#[test]
+fn generators_are_reproducible_across_calls() {
+    assert_eq!(
+        OceanConfig::small().generate(),
+        OceanConfig::small().generate()
+    );
+    assert_eq!(
+        SynthConfig::small().generate(),
+        SynthConfig::small().generate()
+    );
+}

