@@ -23,13 +23,23 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("distance_threshold", |b| {
         b.iter(|| {
-            let r = run_em2ra(cfg.clone(), &w, &p, Box::new(DistanceThreshold { max_hops: 2 }));
+            let r = run_em2ra(
+                cfg.clone(),
+                &w,
+                &p,
+                Box::new(DistanceThreshold { max_hops: 2 }),
+            );
             std::hint::black_box(r.cycles)
         })
     });
     g.bench_function("history_predictor", |b| {
         b.iter(|| {
-            let r = run_em2ra(cfg.clone(), &w, &p, Box::new(HistoryPredictor::new(1.0, 0.5)));
+            let r = run_em2ra(
+                cfg.clone(),
+                &w,
+                &p,
+                Box::new(HistoryPredictor::new(1.0, 0.5)),
+            );
             std::hint::black_box(r.cycles)
         })
     });

@@ -11,12 +11,7 @@ fn random_trace(n: usize, p: usize, seed: u64) -> CostTrace {
     CostTrace {
         start: CoreId(0),
         accesses: (0..n)
-            .map(|_| {
-                (
-                    CoreId::from(rng.below(p as u64) as usize),
-                    AccessKind::Read,
-                )
-            })
+            .map(|_| (CoreId::from(rng.below(p as u64) as usize), AccessKind::Read))
             .collect(),
     }
 }

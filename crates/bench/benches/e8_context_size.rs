@@ -15,20 +15,24 @@ fn bench(c: &mut Criterion) {
     let p = workloads::first_touch(&w, Scale::Quick);
 
     for &bits in &[256u64, 1120, 4096] {
-        g.bench_with_input(BenchmarkId::new("em2_context_bits", bits), &bits, |b, &bits| {
-            let cfg = MachineConfig {
-                cost: CostModel::builder()
-                    .cores(16)
-                    .context_bits(bits)
-                    .link_width_bits(32)
-                    .build(),
-                ..MachineConfig::with_cores(16)
-            };
-            b.iter(|| {
-                let r = run_em2(cfg.clone(), &w, &p);
-                std::hint::black_box(r.cycles)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("em2_context_bits", bits),
+            &bits,
+            |b, &bits| {
+                let cfg = MachineConfig {
+                    cost: CostModel::builder()
+                        .cores(16)
+                        .context_bits(bits)
+                        .link_width_bits(32)
+                        .build(),
+                    ..MachineConfig::with_cores(16)
+                };
+                b.iter(|| {
+                    let r = run_em2(cfg.clone(), &w, &p);
+                    std::hint::black_box(r.cycles)
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -17,7 +17,12 @@ fn bench(c: &mut Criterion) {
                 mesh,
                 ..NocConfig::default()
             });
-            noc.inject(mesh.at(0, 0), mesh.at(3, 3), VirtualChannel::Migration, 1120);
+            noc.inject(
+                mesh.at(0, 0),
+                mesh.at(3, 3),
+                VirtualChannel::Migration,
+                1120,
+            );
             let cycles = noc.run_until_idle(10_000).unwrap();
             std::hint::black_box(cycles)
         })

@@ -1,66 +1,149 @@
 //! Experiment runner: regenerates every figure/table of the paper.
 //!
 //! ```text
-//! experiments [all|e1|e2|...|e9] [--quick] [--chart]
+//! experiments [all|e1|e2|...|e9] [--quick] [--chart] [--serial]
+//!             [--threads N] [--bench-json PATH] [--no-bench-json]
 //! ```
 //!
-//! `--quick` runs the 16-core CI scale instead of the paper's 64-core
-//! scale; `--chart` additionally renders the Figure-2 histogram as an
-//! ASCII bar chart.
+//! * `--quick` runs the 16-core CI scale instead of the paper's
+//!   64-core scale;
+//! * `--chart` additionally renders the Figure-2 histogram as an ASCII
+//!   bar chart;
+//! * `--serial` forces one sweep worker (baseline for speedup and
+//!   determinism comparisons); `--threads N` pins the worker count;
+//! * a full run writes perf telemetry to `BENCH.json`
+//!   (`--bench-json PATH` overrides the path and also enables the
+//!   write for subset runs; `--no-bench-json` suppresses it).
 
 use em2_bench::experiments as ex;
 use em2_bench::workloads::Scale;
+use em2_bench::{par, perf};
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let chart = args.iter().any(|a| a == "--chart");
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    const FLAGS: [&str; 6] = [
+        "--quick",
+        "--chart",
+        "--serial",
+        "--threads",
+        "--bench-json",
+        "--no-bench-json",
+    ];
+    let mut expect_value = false;
+    for a in &args {
+        if expect_value {
+            expect_value = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            if !FLAGS.contains(&a.as_str()) {
+                eprintln!(
+                    "error: unknown flag {a:?} (expected one of: {})",
+                    FLAGS.join(", ")
+                );
+                std::process::exit(2);
+            }
+            expect_value = *a == "--threads" || *a == "--bench-json";
+        }
+    }
+    let quick = flag("--quick");
+    let chart = flag("--chart");
+    if flag("--serial") {
+        par::set_threads(1);
+    } else if let Some(v) = value_of("--threads") {
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => par::set_threads(n),
+            _ => {
+                eprintln!("error: --threads expects a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        }
+    }
     let scale = if quick { Scale::Quick } else { Scale::Full };
+
+    let mut skip_next = false;
     let which: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--threads" || *a == "--bench-json" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
         .map(|s| s.as_str())
+        .filter(|s| *s != "all")
         .collect();
-    let run_all = which.is_empty() || which.contains(&"all");
-
-    let wants = |id: &str| run_all || which.contains(&id);
+    if let Some(bad) = which.iter().find(|id| !ex::ALL_IDS.contains(id)) {
+        eprintln!(
+            "error: unknown experiment {bad:?} (expected one of: {})",
+            ex::ALL_IDS.join(", ")
+        );
+        std::process::exit(2);
+    }
 
     println!(
-        "EM2 reproduction experiments — scale: {:?} ({} cores)\n",
+        "EM2 reproduction experiments — scale: {:?} ({} cores), sweep workers: {}\n",
         scale,
-        scale.cores()
+        scale.cores(),
+        par::threads()
     );
 
-    if wants("e1") {
-        println!("{}\n", ex::e1_flow_em2(scale));
-    }
-    if wants("e2") {
-        let (t, hist) = ex::e2_ocean_runlengths(scale);
-        println!("{t}");
-        if chart {
-            println!("{}", hist.ascii_chart_weighted(1, 40, 50));
+    let suite = ex::run_suite(scale, &which);
+
+    for run in &suite.runs {
+        for t in &run.tables {
+            println!("{t}");
+        }
+        if run.id == "e2" && chart {
+            if let Some(hist) = &suite.figure2 {
+                println!("{}", hist.ascii_chart_weighted(1, 40, 50));
+            }
         }
         println!();
     }
-    if wants("e3") {
-        println!("{}\n", ex::e3_flow_em2ra(scale));
+
+    println!("== suite timing ==");
+    for run in &suite.runs {
+        println!("  {:>3}: {:8.3} s", run.id, run.wall.as_secs_f64());
     }
-    if wants("e4") {
-        println!("{}\n", ex::e4_optimal_vs_schemes(scale));
-    }
-    if wants("e5") {
-        println!("{}\n", ex::e5_dp_scaling(scale));
-    }
-    if wants("e6") {
-        println!("{}\n", ex::e6_stack_depth(scale));
-    }
-    if wants("e7") {
-        println!("{}\n", ex::e7_cc_vs_em2(scale));
-    }
-    if wants("e8") {
-        println!("{}\n", ex::e8_context_size(scale));
-    }
-    if wants("e9") {
-        println!("{}\n", ex::e9_noc_validation(scale));
+    println!(
+        "  total wall-clock {:.3} s over {} experiments ({} sweep workers)",
+        suite.wall.as_secs_f64(),
+        suite.runs.len(),
+        suite.threads
+    );
+
+    // Perf telemetry: always for full runs, opt-in for subsets.
+    let full_run = suite.runs.len() == ex::ALL_IDS.len();
+    let bench_path = value_of("--bench-json").map(PathBuf::from);
+    if !flag("--no-bench-json") && (full_run || bench_path.is_some()) {
+        let path = bench_path.unwrap_or_else(|| PathBuf::from("BENCH.json"));
+        let cal = perf::calibrate();
+        println!(
+            "  calibration: {:.0} simulated cycles/s ({:.0} accesses/s) on {}",
+            cal.sim_cycles_per_sec(),
+            cal.accesses_per_sec(),
+            cal.workload
+        );
+        match perf::write_bench_json(&path, &suite, &cal) {
+            Ok(()) => println!("  wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -1,14 +1,27 @@
 //! The nine experiments (E1–E9), each regenerating one paper artifact.
+//!
+//! Every experiment is decomposed into independent **cells** — one
+//! (config, workload, scheme) combination each — and fanned across the
+//! [`crate::par`] worker pool with a deterministic ordered reduce, so
+//! the rendered tables are byte-identical whatever the worker count.
+//! Workloads that feed several cells are built **once** into an
+//! [`em2_trace::FlatWorkload`] (homes resolved through the placement a
+//! single time) and shared by reference; see DESIGN.md §6.
+//!
+//! E5 is the exception: it *measures wall time* of the DP kernels, so
+//! its cells run serially inside the experiment and its timing columns
+//! are excluded from determinism comparisons.
 
+use crate::par::{self, run_cells, Cell};
 use crate::table::{fmt_count, fmt_f, Table};
 use crate::workloads::{self, Scale};
 use em2_core::{
     decision::{
-        AlwaysMigrate, AlwaysRemote, CostBreakEven, DecisionCtx, DecisionScheme,
-        DistanceThreshold, HistoryPredictor, MarkovPredictor,
+        AlwaysMigrate, AlwaysRemote, CostBreakEven, DecisionCtx, DecisionScheme, DistanceThreshold,
+        HistoryPredictor, MarkovPredictor,
     },
     machine::MachineConfig,
-    sim::{run_em2, run_em2ra},
+    sim::{run_em2, run_em2_flat, run_em2ra_flat},
     stats::SimReport,
 };
 use em2_model::{CoreId, CostModel, Histogram, Mesh};
@@ -16,7 +29,14 @@ use em2_noc::{CycleNoc, NocConfig, VirtualChannel};
 use em2_optimal::{migrate_ra, stack_depth, Choice, CostTrace};
 use em2_placement::{run_length_analysis, Placement};
 use em2_stack::{extract_visits, program, SparseMemory, StackMachine};
-use em2_trace::Workload;
+use em2_trace::{FlatWorkload, Workload};
+use std::time::{Duration, Instant};
+
+/// Build the flat (SoA, homes-resolved) view of a workload under the
+/// experiment-standard 64-byte lines.
+fn flatten(w: &Workload, p: &dyn Placement) -> FlatWorkload {
+    FlatWorkload::build(w, 64, |a| p.home_of(a))
+}
 
 /// Evaluate an `em2-core` decision scheme against the paper's network
 /// cost model (the §3 `O(N)` evaluation), including run-length
@@ -28,12 +48,22 @@ pub fn scheme_network_cost(
     cost: &CostModel,
     scheme: &mut dyn DecisionScheme,
 ) -> u64 {
+    scheme_network_cost_flat(&flatten(workload, placement), cost, scheme)
+}
+
+/// [`scheme_network_cost`] over a prebuilt flat workload: iterates the
+/// contiguous home/kind arrays, so evaluating many schemes against one
+/// workload resolves the placement once instead of once per scheme.
+pub fn scheme_network_cost_flat(
+    flat: &FlatWorkload,
+    cost: &CostModel,
+    scheme: &mut dyn DecisionScheme,
+) -> u64 {
     let mut total = 0u64;
-    for t in &workload.threads {
+    for t in &flat.threads {
         let mut at = t.native;
         let mut run: Option<(CoreId, u64)> = None;
-        for r in &t.records {
-            let home = placement.home_of(r.addr);
+        for (&home, &kind) in t.home.iter().zip(&t.kind) {
             // Run-length feedback (same definition as the analyzer).
             match run {
                 Some((c, ref mut len)) if c == home => *len += 1,
@@ -51,7 +81,7 @@ pub fn scheme_network_cost(
                 current: at,
                 home,
                 native: t.native,
-                kind: r.kind,
+                kind,
                 cost,
             });
             match d {
@@ -60,7 +90,7 @@ pub fn scheme_network_cost(
                     at = home;
                 }
                 em2_core::Decision::Remote => {
-                    total += cost.remote_access_latency(at, home, r.kind);
+                    total += cost.remote_access_latency(at, home, kind);
                 }
             }
         }
@@ -85,27 +115,46 @@ fn flow_row(name: &str, r: &SimReport) -> Vec<String> {
 }
 
 /// E1 — Figure 1: the life of a memory access under EM². Counts every
-/// edge of the flow chart on two contrasting workloads.
+/// edge of the flow chart on three contrasting workloads; the three
+/// simulations are independent sweep cells.
 pub fn e1_flow_em2(scale: Scale) -> Table {
     let mut t = Table::new(
         "E1 / Figure 1 — EM2 access flow (edge counts)",
-        &["workload", "local", "migrations", "evictions", "ra-read", "ra-write", "cycles", "AMAT"],
+        &[
+            "workload",
+            "local",
+            "migrations",
+            "evictions",
+            "ra-read",
+            "ra-write",
+            "cycles",
+            "AMAT",
+        ],
     );
-    for (name, w) in [
-        ("pingpong", workloads::pingpong(scale)),
-        ("ocean", workloads::ocean(scale)),
-        ("hotspot", {
-            let n = scale.cores();
-            em2_trace::gen::micro::hotspot(n, n, 1_000, 0.6, 7)
-        }),
-    ] {
+    let names = ["pingpong", "ocean", "hotspot"];
+    let rows = par::par_map(names.to_vec(), |name| {
+        let w = match name {
+            "pingpong" => workloads::pingpong(scale),
+            "ocean" => workloads::ocean(scale),
+            _ => {
+                let n = scale.cores();
+                em2_trace::gen::micro::hotspot(n, n, 1_000, 0.6, 7)
+            }
+        };
         let p = workloads::first_touch(&w, scale);
         let mut cfg = MachineConfig::with_cores(scale.cores());
         cfg.guest_contexts = 2;
         let r = run_em2(cfg, &w, &p);
         assert!(r.violations.is_empty(), "E1 {name}: {:?}", r.violations);
-        assert_eq!(r.flow.remote_reads + r.flow.remote_writes, 0, "pure EM² has no RA edge");
-        t.row(flow_row(name, &r));
+        assert_eq!(
+            r.flow.remote_reads + r.flow.remote_writes,
+            0,
+            "pure EM² has no RA edge"
+        );
+        flow_row(name, &r)
+    });
+    for row in rows {
+        t.row(row);
     }
     t.note("pure EM2: every non-local access takes the migrate edge; the eviction edge fires only under guest-context pressure");
     t
@@ -136,7 +185,10 @@ pub fn e2_ocean_runlengths(scale: Scale) -> (Table, Histogram) {
     if a.histogram.overflow() > 0 {
         t.row(vec![
             ">60".into(),
-            format!("≥{}", fmt_count(a.histogram.overflow_weighted_lower_bound())),
+            format!(
+                "≥{}",
+                fmt_count(a.histogram.overflow_weighted_lower_bound())
+            ),
             fmt_count(a.histogram.overflow()),
         ]);
     }
@@ -155,54 +207,91 @@ pub fn e2_ocean_runlengths(scale: Scale) -> (Table, Histogram) {
 }
 
 /// E3 — Figure 3: the life of a memory access under EM²-RA; the same
-/// flows with the remote-access edges now taken.
+/// flows with the remote-access edges now taken. One flat workload,
+/// five machine cells.
 pub fn e3_flow_em2ra(scale: Scale) -> Table {
     let mut t = Table::new(
         "E3 / Figure 3 — EM2-RA access flow (edge counts)",
-        &["workload/scheme", "local", "migrations", "evictions", "ra-read", "ra-write", "cycles", "AMAT"],
+        &[
+            "workload/scheme",
+            "local",
+            "migrations",
+            "evictions",
+            "ra-read",
+            "ra-write",
+            "cycles",
+            "AMAT",
+        ],
     );
     let w = workloads::ocean(scale);
     let p = workloads::first_touch(&w, scale);
+    let flat = flatten(&w, &p);
     let cfg = MachineConfig::with_cores(scale.cores());
-    let em2 = run_em2(cfg.clone(), &w, &p);
-    t.row(flow_row("ocean/always-migrate", &em2));
-    for (name, scheme) in [
-        (
-            "ocean/history",
-            Box::new(HistoryPredictor::new(1.0, 0.5)) as Box<dyn DecisionScheme>,
-        ),
-        ("ocean/markov", Box::new(MarkovPredictor::new(1.0, 0.5))),
-        ("ocean/distance<=2", Box::new(DistanceThreshold { max_hops: 2 })),
-        ("ocean/always-remote", Box::new(AlwaysRemote)),
-    ] {
-        let r = run_em2ra(cfg.clone(), &w, &p, scheme);
+    let names = [
+        "ocean/always-migrate",
+        "ocean/history",
+        "ocean/markov",
+        "ocean/distance<=2",
+        "ocean/always-remote",
+    ];
+    let rows = par::par_map(names.to_vec(), |name| {
+        let scheme: Box<dyn DecisionScheme> = match name {
+            "ocean/always-migrate" => Box::new(AlwaysMigrate),
+            "ocean/history" => Box::new(HistoryPredictor::new(1.0, 0.5)),
+            "ocean/markov" => Box::new(MarkovPredictor::new(1.0, 0.5)),
+            "ocean/distance<=2" => Box::new(DistanceThreshold { max_hops: 2 }),
+            _ => Box::new(AlwaysRemote),
+        };
+        let r = run_em2ra_flat(cfg.clone(), &flat, scheme);
         assert!(r.violations.is_empty(), "E3 {name}: {:?}", r.violations);
-        t.row(flow_row(name, &r));
+        flow_row(name, &r)
+    });
+    for row in rows {
+        t.row(row);
     }
-    t.note("EM2-RA replaces one-off migrations with round-trip remote accesses (Figure 3's new edges)");
+    t.note(
+        "EM2-RA replaces one-off migrations with round-trip remote accesses (Figure 3's new edges)",
+    );
     t
 }
 
 /// E4 — §3 analytical model: DP-optimal decision cost as the bound for
-/// hardware-implementable schemes, per workload.
+/// hardware-implementable schemes, per workload. One cell per workload;
+/// within a cell the flat trace feeds the DP and all six schemes.
 pub fn e4_optimal_vs_schemes(scale: Scale) -> Table {
     let cost = CostModel::builder().cores(scale.cores()).build();
     let mut t = Table::new(
         "E4 / §3 — network cost: DP optimal vs decision schemes (% of optimal)",
-        &["workload", "optimal", "always-mig", "always-RA", "dist<=2", "break-even(2)", "history", "markov"],
+        &[
+            "workload",
+            "optimal",
+            "always-mig",
+            "always-RA",
+            "dist<=2",
+            "break-even(2)",
+            "history",
+            "markov",
+        ],
     );
-    let sets: Vec<(&str, Workload)> = vec![
-        ("ocean", workloads::ocean(scale)),
-        ("fft", workloads::fft(scale)),
-        ("radix", workloads::radix(scale)),
-        ("synth", workloads::synth(scale)),
-        ("lu", workloads::lu(scale)),
-        ("uniform", workloads::uniform(scale)),
-        ("pingpong", workloads::pingpong(scale)),
+    let names = [
+        "ocean", "fft", "radix", "synth", "lu", "uniform", "pingpong",
     ];
-    for (name, w) in sets {
+    let rows = par::par_map(names.to_vec(), |name| {
+        let w = match name {
+            "ocean" => workloads::ocean(scale),
+            "fft" => workloads::fft(scale),
+            "radix" => workloads::radix(scale),
+            "synth" => workloads::synth(scale),
+            "lu" => workloads::lu(scale),
+            "uniform" => workloads::uniform(scale),
+            _ => workloads::pingpong(scale),
+        };
         let p = workloads::first_touch(&w, scale);
-        let (opt, _) = migrate_ra::workload_optimal_par(&w, &p, &cost, 8);
+        let flat = flatten(&w, &p);
+        // Outer cells already span the pool; keep the nested DP fan-out
+        // bounded so worker counts don't multiply across levels.
+        let inner = par::threads().min(4);
+        let (opt, _) = migrate_ra::workload_optimal_flat(&flat, &cost, inner);
         let pct = |c: u64| {
             if opt == 0 {
                 if c == 0 {
@@ -221,17 +310,17 @@ pub fn e4_optimal_vs_schemes(scale: Scale) -> Table {
         let mut hist = HistoryPredictor::new(1.0, 0.5);
         let mut markov = MarkovPredictor::new(1.0, 0.5);
         let costs = [
-            scheme_network_cost(&w, &p, &cost, &mut mig),
-            scheme_network_cost(&w, &p, &cost, &mut ra),
-            scheme_network_cost(&w, &p, &cost, &mut dist),
-            scheme_network_cost(&w, &p, &cost, &mut be),
-            scheme_network_cost(&w, &p, &cost, &mut hist),
-            scheme_network_cost(&w, &p, &cost, &mut markov),
+            scheme_network_cost_flat(&flat, &cost, &mut mig),
+            scheme_network_cost_flat(&flat, &cost, &mut ra),
+            scheme_network_cost_flat(&flat, &cost, &mut dist),
+            scheme_network_cost_flat(&flat, &cost, &mut be),
+            scheme_network_cost_flat(&flat, &cost, &mut hist),
+            scheme_network_cost_flat(&flat, &cost, &mut markov),
         ];
         for &c in &costs {
             assert!(c >= opt, "{name}: a scheme ({c}) beat the optimum ({opt})");
         }
-        t.row(vec![
+        vec![
             name.to_string(),
             fmt_count(opt),
             pct(costs[0]),
@@ -240,7 +329,10 @@ pub fn e4_optimal_vs_schemes(scale: Scale) -> Table {
             pct(costs[3]),
             pct(costs[4]),
             pct(costs[5]),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.note("optimal = paper's dynamic program (per-thread, summed); schemes evaluated with the paper's O(N) replay");
     t
@@ -249,11 +341,23 @@ pub fn e4_optimal_vs_schemes(scale: Scale) -> Table {
 /// E5 — §3 complexity: measured runtime of the DP (`O(N·P)`
 /// transcription), the relaxed `O(N·P²)` variant, and the `O(N)`
 /// evaluator, over trace length and core count.
+///
+/// Because the cells *time* the kernels, [`run_suite`] runs E5 in an
+/// **isolated phase after** every other experiment has finished, so no
+/// foreign suite work contends with the measurements; within the phase
+/// each (N, P) config gets its own core and takes the min of 3 reps.
+/// The timing columns are nondeterministic by nature and excluded from
+/// the determinism test.
 pub fn e5_dp_scaling(scale: Scale) -> Table {
-    use std::time::Instant;
     let mut t = Table::new(
         "E5 / §3 — DP runtime scaling (µs per solve, medians of 3)",
-        &["N", "P", "optimal O(N·P)", "general O(N·P²)", "evaluate O(N)"],
+        &[
+            "N",
+            "P",
+            "optimal O(N·P)",
+            "general O(N·P²)",
+            "evaluate O(N)",
+        ],
     );
     let (ns, ps): (Vec<usize>, Vec<usize>) = match scale {
         Scale::Full => (vec![1_000, 4_000, 16_000], vec![16, 64, 256]),
@@ -288,9 +392,8 @@ pub fn e5_dp_scaling(scale: Scale) -> Table {
             };
             let o = time_us(&mut || migrate_ra::optimal(&trace, &cost).cost);
             let g = time_us(&mut || migrate_ra::optimal_general(&trace, &cost));
-            let e = time_us(&mut || {
-                migrate_ra::evaluate(&trace, &cost, |_, _, _, _| Choice::Remote)
-            });
+            let e =
+                time_us(&mut || migrate_ra::evaluate(&trace, &cost, |_, _, _, _| Choice::Remote));
             t.row(vec![
                 fmt_count(n as u64),
                 p.to_string(),
@@ -301,18 +404,27 @@ pub fn e5_dp_scaling(scale: Scale) -> Table {
         }
     }
     t.note("optimal grows ~linearly in P, general ~quadratically, evaluate independent of P — the paper's O(N·P²) is a safe upper bound");
+    t.note("timings are host wall-clock: reproducible in shape, not in value");
     t
 }
 
 /// E6 — §4: migrated context size, register machine vs stack machine
-/// at fixed depths vs the optimal-depth DP, per kernel.
+/// at fixed depths vs the optimal-depth DP, per kernel. One cell per
+/// kernel (the stack-machine extraction dominates).
 pub fn e6_stack_depth(scale: Scale) -> Table {
     let cores = scale.cores();
     let cost = CostModel::builder().cores(cores).build();
     let params = stack_depth::DepthChoice::default();
     let mut t = Table::new(
         "E6 / §4 — stack-machine EM2: cost and context bits per policy",
-        &["kernel", "visits", "policy", "net cost", "bits shipped", "vs register"],
+        &[
+            "kernel",
+            "visits",
+            "policy",
+            "net cost",
+            "bits shipped",
+            "vs register",
+        ],
     );
 
     let n: u32 = match scale {
@@ -324,13 +436,14 @@ pub fn e6_stack_depth(scale: Scale) -> Table {
     // live at *different* homes and the loops genuinely commute
     // between cores (as distributed arrays under real placement do).
     let second = 0x4_0000 + 0x100;
-    let kernels: Vec<(&str, em2_stack::program::Kernel)> = vec![
-        ("dot_product", program::dot_product(0x0000, second, n, 0x8_0000)),
-        ("memcpy", program::memcpy(0x0000, second, n)),
-        ("stencil1d", program::stencil1d(0x0000, second, n)),
-        ("tree_sum", program::tree_sum(0x0000, n, 0x8_0000)),
-    ];
-    for (name, k) in kernels {
+    let kernel_names = ["dot_product", "memcpy", "stencil1d", "tree_sum"];
+    let row_groups = par::par_map(kernel_names.to_vec(), |name| {
+        let k = match name {
+            "dot_product" => program::dot_product(0x0000, second, n, 0x8_0000),
+            "memcpy" => program::memcpy(0x0000, second, n),
+            "stencil1d" => program::stencil1d(0x0000, second, n),
+            _ => program::tree_sum(0x0000, n, 0x8_0000),
+        };
         let mut mem = SparseMemory::new();
         mem.load_words(0x0000, &vec![1u32; n as usize]);
         mem.load_words(second, &vec![2u32; n as usize]);
@@ -345,13 +458,14 @@ pub fn e6_stack_depth(scale: Scale) -> Table {
         .expect(name);
         let (reg_cost, reg_bits) =
             stack_depth::evaluate_register_machine(vt.start, &vt.visits, &cost);
+        let mut rows: Vec<Vec<String>> = Vec::new();
         let mut push_row = |policy: &str, c: u64, bits: u64| {
             let ratio = if reg_cost == 0 {
                 "-".to_string()
             } else {
                 format!("{:.2}x", c as f64 / reg_cost as f64)
             };
-            t.row(vec![
+            rows.push(vec![
                 name.to_string(),
                 fmt_count(vt.visits.len() as u64),
                 policy.to_string(),
@@ -362,35 +476,54 @@ pub fn e6_stack_depth(scale: Scale) -> Table {
         };
         push_row("register-EM2", reg_cost, reg_bits);
         for d in [2u32, 4, 8, 16] {
-            let (c, bits) = stack_depth::evaluate_fixed_depth(vt.start, &vt.visits, d, &params, &cost);
+            let (c, bits) =
+                stack_depth::evaluate_fixed_depth(vt.start, &vt.visits, d, &params, &cost);
             push_row(&format!("stack depth={d}"), c, bits);
         }
         let opt = stack_depth::stack_optimal(vt.start, &vt.visits, &params, &cost);
         push_row("stack optimal-depth (DP)", opt.cost, opt.bits_shipped);
+        rows
+    });
+    for rows in row_groups {
+        for row in rows {
+            t.row(row);
+        }
     }
     t.note("bits shipped = total context bits over all migrations incl. bounces; register context = 1120 bits/migration");
     t
 }
 
-/// E7 — §2: EM² and EM²-RA vs directory MSI on shared workloads.
+/// E7 — §2: EM² and EM²-RA vs directory MSI on shared workloads. One
+/// cell per workload; the flat trace is shared by all four machines.
 pub fn e7_cc_vs_em2(scale: Scale) -> Table {
     let mut t = Table::new(
         "E7 / §2 — EM2 vs EM2-RA vs directory-MSI",
-        &["workload", "machine", "cycles", "AMAT", "flit-hops", "off-chip/acc", "extra"],
+        &[
+            "workload",
+            "machine",
+            "cycles",
+            "AMAT",
+            "flit-hops",
+            "off-chip/acc",
+            "extra",
+        ],
     );
     let cores = scale.cores();
-    let sets: Vec<(&str, Workload)> = vec![
-        ("ocean", workloads::ocean(scale)),
-        ("fft", workloads::fft(scale)),
-        ("uniform", workloads::uniform(scale)),
-        ("prod-cons", workloads::producer_consumer(scale)),
-    ];
-    for (name, w) in sets {
+    let names = ["ocean", "fft", "uniform", "prod-cons"];
+    let row_groups = par::par_map(names.to_vec(), |name| {
+        let w = match name {
+            "ocean" => workloads::ocean(scale),
+            "fft" => workloads::fft(scale),
+            "uniform" => workloads::uniform(scale),
+            _ => workloads::producer_consumer(scale),
+        };
         let p = workloads::first_touch(&w, scale);
+        let flat = flatten(&w, &p);
         let cfg = MachineConfig::with_cores(cores);
+        let mut rows: Vec<Vec<String>> = Vec::new();
 
-        let em2 = run_em2(cfg.clone(), &w, &p);
-        t.row(vec![
+        let em2 = run_em2_flat(cfg.clone(), &flat);
+        rows.push(vec![
             name.into(),
             "EM2".into(),
             fmt_count(em2.cycles),
@@ -403,13 +536,12 @@ pub fn e7_cc_vs_em2(scale: Scale) -> Table {
             format!("{} evictions", em2.flow.evictions),
         ]);
 
-        let ra = run_em2ra(
+        let ra = run_em2ra_flat(
             cfg.clone(),
-            &w,
-            &p,
+            &flat,
             Box::new(HistoryPredictor::new(1.0, 0.5)),
         );
-        t.row(vec![
+        rows.push(vec![
             name.into(),
             "EM2-RA(history)".into(),
             fmt_count(ra.cycles),
@@ -426,8 +558,8 @@ pub fn e7_cc_vs_em2(scale: Scale) -> Table {
             ),
         ]);
 
-        let pure_ra = run_em2ra(cfg.clone(), &w, &p, Box::new(AlwaysRemote));
-        t.row(vec![
+        let pure_ra = run_em2ra_flat(cfg.clone(), &flat, Box::new(AlwaysRemote));
+        rows.push(vec![
             name.into(),
             "remote-only [15]".into(),
             fmt_count(pure_ra.cycles),
@@ -443,9 +575,9 @@ pub fn e7_cc_vs_em2(scale: Scale) -> Table {
             ),
         ]);
 
-        let msi = em2_coherence::run_msi(em2_coherence::MsiConfig::with_cores(cores), &w, &p);
+        let msi = em2_coherence::run_msi_flat(em2_coherence::MsiConfig::with_cores(cores), &flat);
         assert!(msi.violations.is_empty(), "E7 {name}: {:?}", msi.violations);
-        t.row(vec![
+        rows.push(vec![
             name.into(),
             "directory-MSI".into(),
             fmt_count(msi.cycles),
@@ -461,6 +593,12 @@ pub fn e7_cc_vs_em2(scale: Scale) -> Table {
                 msi.directory_bits / 1024
             ),
         ]);
+        rows
+    });
+    for rows in row_groups {
+        for row in rows {
+            t.row(row);
+        }
     }
     t.note("same caches, placement, cost model for all machines; MSI data messages carry whole 64-byte lines");
     t
@@ -468,11 +606,17 @@ pub fn e7_cc_vs_em2(scale: Scale) -> Table {
 
 /// E8 — §5: sensitivity of EM² performance to migrated context size
 /// and link width ("improves latency especially on low-bandwidth
-/// interconnects").
+/// interconnects"). One flat workload, ten (link × context) cells.
 pub fn e8_context_size(scale: Scale) -> Table {
     let mut t = Table::new(
         "E8 / §5 — EM2 sensitivity to context size × link width (ocean)",
-        &["context bits", "link bits", "cycles", "mean mig latency", "traffic flit-hops"],
+        &[
+            "context bits",
+            "link bits",
+            "cycles",
+            "mean mig latency",
+            "traffic flit-hops",
+        ],
     );
     let w = workloads::ocean(match scale {
         Scale::Full => Scale::Quick, // the sweep reruns the sim 10×
@@ -480,26 +624,34 @@ pub fn e8_context_size(scale: Scale) -> Table {
     });
     let sweep_scale = Scale::Quick;
     let p = workloads::first_touch(&w, sweep_scale);
+    let flat = flatten(&w, &p);
+    let mut cells: Vec<(u64, u64)> = Vec::new();
     for &link in &[32u64, 128] {
         for &bits in &[256u64, 512, 1120, 2048, 4096] {
-            let cost = CostModel::builder()
-                .cores(sweep_scale.cores())
-                .link_width_bits(link)
-                .context_bits(bits)
-                .build();
-            let cfg = MachineConfig {
-                cost,
-                ..MachineConfig::with_cores(sweep_scale.cores())
-            };
-            let r = run_em2(cfg, &w, &p);
-            t.row(vec![
-                bits.to_string(),
-                link.to_string(),
-                fmt_count(r.cycles),
-                fmt_f(r.migration_latency.mean().unwrap_or(0.0), 1),
-                fmt_count(r.traffic.total()),
-            ]);
+            cells.push((link, bits));
         }
+    }
+    let rows = par::par_map(cells, |(link, bits)| {
+        let cost = CostModel::builder()
+            .cores(sweep_scale.cores())
+            .link_width_bits(link)
+            .context_bits(bits)
+            .build();
+        let cfg = MachineConfig {
+            cost,
+            ..MachineConfig::with_cores(sweep_scale.cores())
+        };
+        let r = run_em2_flat(cfg, &flat);
+        vec![
+            bits.to_string(),
+            link.to_string(),
+            fmt_count(r.cycles),
+            fmt_f(r.migration_latency.mean().unwrap_or(0.0), 1),
+            fmt_count(r.traffic.total()),
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.note("smaller contexts shrink migration latency and traffic; the effect is strongest on narrow links — §4's motivation");
     t
@@ -507,98 +659,199 @@ pub fn e8_context_size(scale: Scale) -> Table {
 
 /// E9 — §2/§3: cycle-level NoC validation — closed-form latency check
 /// and deadlock-freedom under an adversarial storm with all six
-/// virtual channels busy.
+/// virtual channels busy. Latency probes and the storm are independent
+/// cells (each owns a private `CycleNoc`).
 pub fn e9_noc_validation(scale: Scale) -> Table {
     let mesh = Mesh::square_for(scale.cores());
     let mut t = Table::new(
         "E9 — cycle-level NoC vs closed-form model; deadlock-freedom storm",
-        &["case", "hops", "payload bits", "cycle-level", "closed-form", "delta"],
+        &[
+            "case",
+            "hops",
+            "payload bits",
+            "cycle-level",
+            "closed-form",
+            "delta",
+        ],
     );
     // (a) Uncontended latency across distances and payload sizes.
     let cm = CostModel::builder()
         .mesh(mesh)
         .hop_latency(1) // the cycle router is 1 cycle/hop
         .build();
+    let mut cells: Vec<Cell<'_, Vec<Vec<String>>>> = Vec::new();
     for &(dx, dy) in &[(1u16, 0u16), (3, 2), (7, 7)] {
         if dx >= mesh.width() || dy >= mesh.height() {
             continue;
         }
         for &bits in &[64u64, 1120, 4096] {
-            let mut noc = CycleNoc::new(NocConfig {
-                mesh,
-                ..NocConfig::default()
-            });
-            let src = mesh.at(0, 0);
-            let dst = mesh.at(dx, dy);
-            noc.inject(src, dst, VirtualChannel::Migration, bits);
-            noc.run_until_idle(100_000).expect("uncontended deadlock?!");
-            let measured = noc.take_deliveries()[0].latency();
-            // Closed form: hops + serialization; the cycle model adds
-            // 2 cycles of injection/ejection overhead.
-            let model = cm.one_way(src, dst, bits) + 2;
-            t.row(vec![
-                "latency".into(),
-                mesh.hops(src, dst).to_string(),
-                bits.to_string(),
-                measured.to_string(),
-                model.to_string(),
-                format!("{:+}", measured as i64 - model as i64),
-            ]);
+            let cm = &cm;
+            cells.push(Box::new(move || {
+                let mut noc = CycleNoc::new(NocConfig {
+                    mesh,
+                    ..NocConfig::default()
+                });
+                let src = mesh.at(0, 0);
+                let dst = mesh.at(dx, dy);
+                noc.inject(src, dst, VirtualChannel::Migration, bits);
+                noc.run_until_idle(100_000).expect("uncontended deadlock?!");
+                let measured = noc.take_deliveries()[0].latency();
+                // Closed form: hops + serialization; the cycle model adds
+                // 2 cycles of injection/ejection overhead.
+                let model = cm.one_way(src, dst, bits) + 2;
+                vec![vec![
+                    "latency".into(),
+                    mesh.hops(src, dst).to_string(),
+                    bits.to_string(),
+                    measured.to_string(),
+                    model.to_string(),
+                    format!("{:+}", measured as i64 - model as i64),
+                ]]
+            }));
         }
     }
     // (b) Deadlock storm: all-to-all traffic on every class at once.
-    let mut noc = CycleNoc::new(NocConfig {
-        mesh,
-        ..NocConfig::default()
-    });
-    let classes = [
-        (VirtualChannel::Migration, 1120),
-        (VirtualChannel::Eviction, 1120),
-        (VirtualChannel::RemoteReq, 72),
-        (VirtualChannel::RemoteResp, 64),
-        (VirtualChannel::CohReq, 72),
-        (VirtualChannel::CohResp, 584),
-    ];
-    for s in mesh.iter() {
-        for d in mesh.iter() {
-            if s != d && (s.index() + d.index()) % 3 == 0 {
-                for &(vc, bits) in &classes {
-                    noc.inject(s, d, vc, bits);
+    cells.push(Box::new(move || {
+        let mut noc = CycleNoc::new(NocConfig {
+            mesh,
+            ..NocConfig::default()
+        });
+        let classes = [
+            (VirtualChannel::Migration, 1120),
+            (VirtualChannel::Eviction, 1120),
+            (VirtualChannel::RemoteReq, 72),
+            (VirtualChannel::RemoteResp, 64),
+            (VirtualChannel::CohReq, 72),
+            (VirtualChannel::CohResp, 584),
+        ];
+        for s in mesh.iter() {
+            for d in mesh.iter() {
+                if s != d && (s.index() + d.index()) % 3 == 0 {
+                    for &(vc, bits) in &classes {
+                        noc.inject(s, d, vc, bits);
+                    }
                 }
             }
         }
+        let injected = noc.stats().injected;
+        let cycles = noc
+            .run_until_idle(100_000_000)
+            .expect("E9 storm deadlocked — VC discipline broken");
+        assert_eq!(noc.stats().delivered, injected);
+        vec![vec![
+            "storm".into(),
+            "all".into(),
+            "mixed".into(),
+            format!(
+                "{} pkts in {} cycles",
+                fmt_count(injected),
+                fmt_count(cycles)
+            ),
+            "delivered: all".into(),
+            "no deadlock".into(),
+        ]]
+    }));
+    for rows in run_cells(cells) {
+        for row in rows {
+            t.row(row);
+        }
     }
-    let injected = noc.stats().injected;
-    let cycles = noc
-        .run_until_idle(100_000_000)
-        .expect("E9 storm deadlocked — VC discipline broken");
-    assert_eq!(noc.stats().delivered, injected);
-    t.row(vec![
-        "storm".into(),
-        "all".into(),
-        "mixed".into(),
-        format!("{} pkts in {} cycles", fmt_count(injected), fmt_count(cycles)),
-        "delivered: all".into(),
-        "no deadlock".into(),
-    ]);
     t.note("six virtual channels as required by §3; wormhole + XY routing + per-class VCs drain an adversarial storm");
     t
 }
 
+/// Experiment ids in canonical order.
+pub const ALL_IDS: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+
+/// One experiment's output: its tables plus the wall-clock it took.
+pub struct ExperimentRun {
+    /// Experiment id (`"e1"` … `"e9"`).
+    pub id: &'static str,
+    /// Rendered tables (E-experiments produce exactly one each).
+    pub tables: Vec<Table>,
+    /// Wall-clock time of this experiment's cell, including nested
+    /// parallelism (experiment wall times overlap when the suite runs
+    /// experiments concurrently).
+    pub wall: Duration,
+}
+
+/// The whole suite's output.
+pub struct SuiteResult {
+    /// Scale the suite ran at.
+    pub scale: Scale,
+    /// Worker count the sweep engine reported at launch.
+    pub threads: usize,
+    /// End-to-end suite wall-clock.
+    pub wall: Duration,
+    /// Per-experiment results, in canonical order.
+    pub runs: Vec<ExperimentRun>,
+    /// The Figure-2 histogram (present when E2 ran).
+    pub figure2: Option<Histogram>,
+}
+
+impl SuiteResult {
+    /// All tables in canonical order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.runs.iter().flat_map(|r| r.tables.iter())
+    }
+}
+
+/// Run a subset of experiments (empty `ids` = all nine) with the
+/// two-level parallel sweep: experiments fan out as cells, and each
+/// experiment fans its own (config, workload, scheme) cells. Output
+/// order — and content, minus E5's measured timings — is independent
+/// of the worker count.
+pub fn run_suite(scale: Scale, ids: &[&str]) -> SuiteResult {
+    let selected: Vec<&'static str> = ALL_IDS
+        .iter()
+        .copied()
+        .filter(|id| ids.is_empty() || ids.contains(id))
+        .collect();
+    let start = Instant::now();
+    let fig2 = std::sync::Mutex::new(None);
+    let run_one = |id: &'static str| {
+        let t0 = Instant::now();
+        let tables = match id {
+            "e1" => vec![e1_flow_em2(scale)],
+            "e2" => {
+                let (t, hist) = e2_ocean_runlengths(scale);
+                *fig2.lock().expect("fig2 lock") = Some(hist);
+                vec![t]
+            }
+            "e3" => vec![e3_flow_em2ra(scale)],
+            "e4" => vec![e4_optimal_vs_schemes(scale)],
+            "e5" => vec![e5_dp_scaling(scale)],
+            "e6" => vec![e6_stack_depth(scale)],
+            "e7" => vec![e7_cc_vs_em2(scale)],
+            "e8" => vec![e8_context_size(scale)],
+            _ => vec![e9_noc_validation(scale)],
+        };
+        ExperimentRun {
+            id,
+            tables,
+            wall: t0.elapsed(),
+        }
+    };
+    // Phase 1: everything except E5, fanned across the pool. Phase 2:
+    // E5 alone, so its DP-runtime measurements see an otherwise idle
+    // machine (its configs still spread one-per-core internally).
+    let (timed, rest): (Vec<_>, Vec<_>) = selected.into_iter().partition(|id| *id == "e5");
+    let mut runs = par::par_map(rest, run_one);
+    runs.extend(timed.into_iter().map(run_one));
+    runs.sort_by_key(|r| ALL_IDS.iter().position(|id| *id == r.id));
+    SuiteResult {
+        scale,
+        threads: par::threads(),
+        wall: start.elapsed(),
+        runs,
+        figure2: fig2.into_inner().expect("fig2 lock"),
+    }
+}
+
 /// Run every experiment at a scale, returning the rendered tables.
 pub fn run_all(scale: Scale) -> Vec<Table> {
-    let (t2, _) = e2_ocean_runlengths(scale);
-    vec![
-        e1_flow_em2(scale),
-        t2,
-        e3_flow_em2ra(scale),
-        e4_optimal_vs_schemes(scale),
-        e5_dp_scaling(scale),
-        e6_stack_depth(scale),
-        e7_cc_vs_em2(scale),
-        e8_context_size(scale),
-        e9_noc_validation(scale),
-    ]
+    let suite = run_suite(scale, &[]);
+    suite.runs.into_iter().flat_map(|r| r.tables).collect()
 }
 
 #[cfg(test)]
@@ -650,4 +903,26 @@ mod tests {
         assert!(c >= a.migrations_pure_em2 * (cost.hop_latency + cost.migration_fixed));
     }
 
+    #[test]
+    fn flat_scheme_cost_matches_workload_scheme_cost() {
+        let w = workloads::pingpong(Scale::Quick);
+        let p = workloads::first_touch(&w, Scale::Quick);
+        let flat = flatten(&w, &p);
+        let cost = CostModel::builder().cores(16).build();
+        let mut a = HistoryPredictor::new(1.0, 0.5);
+        let mut b = HistoryPredictor::new(1.0, 0.5);
+        assert_eq!(
+            scheme_network_cost(&w, &p, &cost, &mut a),
+            scheme_network_cost_flat(&flat, &cost, &mut b),
+        );
+    }
+
+    #[test]
+    fn run_suite_selects_subsets_in_order() {
+        let s = run_suite(Scale::Quick, &["e9", "e1"]);
+        let ids: Vec<&str> = s.runs.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec!["e1", "e9"], "canonical order, not request order");
+        assert!(s.figure2.is_none(), "e2 did not run");
+        assert!(s.wall.as_nanos() > 0);
+    }
 }

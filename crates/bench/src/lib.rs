@@ -15,13 +15,22 @@
 //! | E8 | §5 context-size sensitivity | [`experiments::e8_context_size`] |
 //! | E9 | §2/§3 deadlock freedom & NoC validation | [`experiments::e9_noc_validation`] |
 //!
-//! The `experiments` binary prints these as aligned text tables; the
-//! criterion benches in `benches/` time the underlying kernels.
+//! The `experiments` binary prints these as aligned text tables and
+//! writes `BENCH.json` perf telemetry ([`perf`]); the benches in
+//! `benches/` time the underlying kernels.
+//!
+//! The suite runs on the [`par`] sweep engine: independent
+//! (config, workload, scheme) cells fan out across OS threads with a
+//! deterministic ordered reduce, so the output is byte-identical to a
+//! serial run (`tests/parallel_determinism.rs` pins this; `--serial`
+//! forces one worker).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod par;
+pub mod perf;
 pub mod table;
 pub mod workloads;
 

@@ -1,0 +1,259 @@
+//! Performance telemetry: the `BENCH.json` emitter.
+//!
+//! Every full run of the `experiments` binary writes a machine-readable
+//! summary — suite wall-clock, per-experiment timings, the sweep-engine
+//! worker count, a simulated-cycles/second calibration, and a digest of
+//! the rendered tables (E5's measured-timing cells masked). CI uploads
+//! the file as an artifact, establishing the perf trajectory across
+//! PRs: a regression shows up as a falling `sim_cycles_per_sec` or a
+//! rising `suite_wall_s` at the same scale/threads, and a correctness
+//! drift shows up as a changed `tables_digest`.
+//!
+//! JSON is emitted by a small hand-rolled writer (the build environment
+//! has no serde; see `shims/README.md`).
+
+use crate::experiments::SuiteResult;
+use crate::table::Table;
+use crate::workloads::{self, Scale};
+use em2_core::machine::MachineConfig;
+use em2_core::sim::run_em2;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// A single timed reference simulation, giving the headline
+/// "simulated cycles per second" throughput number.
+pub struct Calibration {
+    /// Workload the calibration ran (quick-scale OCEAN under EM²).
+    pub workload: String,
+    /// Total trace accesses simulated.
+    pub accesses: u64,
+    /// Simulated cycles of the run (deterministic).
+    pub sim_cycles: u64,
+    /// Host wall-clock for the run (build + simulate).
+    pub wall: Duration,
+}
+
+impl Calibration {
+    /// Simulated cycles advanced per host second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 / s
+        }
+    }
+
+    /// Trace accesses replayed per host second.
+    pub fn accesses_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.accesses as f64 / s
+        }
+    }
+}
+
+/// Time one quick-scale OCEAN EM² simulation end to end.
+pub fn calibrate() -> Calibration {
+    let w = workloads::ocean(Scale::Quick);
+    let p = workloads::first_touch(&w, Scale::Quick);
+    let accesses = w.total_accesses() as u64;
+    let t0 = Instant::now();
+    let r = run_em2(MachineConfig::with_cores(Scale::Quick.cores()), &w, &p);
+    Calibration {
+        workload: "ocean/quick/em2".to_string(),
+        accesses,
+        sim_cycles: r.cycles,
+        wall: t0.elapsed(),
+    }
+}
+
+/// Escape a string for a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a table with E5's measured-timing cells replaced by `<t>`
+/// (those cells are host wall-clock and legitimately differ run to
+/// run; everything else must be bit-stable).
+pub fn render_masked(table: &Table) -> String {
+    if !table.title.starts_with("E5") {
+        return table.to_string();
+    }
+    let mut masked = table.clone();
+    for row in &mut masked.rows {
+        for cell in row.iter_mut().skip(2) {
+            *cell = "<t>".to_string();
+        }
+    }
+    masked.to_string()
+}
+
+/// FNV-1a digest over the masked rendering of a table sequence — the
+/// determinism fingerprint recorded in `BENCH.json`.
+pub fn tables_digest<'a>(tables: impl Iterator<Item = &'a Table>) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for t in tables {
+        for b in render_masked(t).bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("fnv1a:{h:016x}")
+}
+
+/// Serialize a suite run (plus calibration) as the `BENCH.json` body.
+pub fn bench_json(suite: &SuiteResult, calibration: &Calibration) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(
+        s,
+        "  \"scale\": \"{}\",",
+        match suite.scale {
+            Scale::Full => "full",
+            Scale::Quick => "quick",
+        }
+    );
+    let _ = writeln!(s, "  \"threads\": {},", suite.threads);
+    let _ = writeln!(s, "  \"suite_wall_s\": {:.6},", suite.wall.as_secs_f64());
+    s.push_str("  \"experiments\": [\n");
+    for (i, run) in suite.runs.iter().enumerate() {
+        let title = run
+            .tables
+            .first()
+            .map(|t| t.title.as_str())
+            .unwrap_or_default();
+        let _ = write!(
+            s,
+            "    {{\"id\": \"{}\", \"title\": \"{}\", \"wall_s\": {:.6}}}",
+            json_escape(run.id),
+            json_escape(title),
+            run.wall.as_secs_f64()
+        );
+        s.push_str(if i + 1 < suite.runs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(s, "  \"calibration\": {{");
+    let _ = writeln!(
+        s,
+        "    \"workload\": \"{}\",",
+        json_escape(&calibration.workload)
+    );
+    let _ = writeln!(s, "    \"accesses\": {},", calibration.accesses);
+    let _ = writeln!(s, "    \"sim_cycles\": {},", calibration.sim_cycles);
+    let _ = writeln!(s, "    \"wall_s\": {:.6},", calibration.wall.as_secs_f64());
+    let _ = writeln!(
+        s,
+        "    \"sim_cycles_per_sec\": {:.1},",
+        calibration.sim_cycles_per_sec()
+    );
+    let _ = writeln!(
+        s,
+        "    \"accesses_per_sec\": {:.1}",
+        calibration.accesses_per_sec()
+    );
+    s.push_str("  },\n");
+    let _ = writeln!(
+        s,
+        "  \"tables_digest\": \"{}\"",
+        tables_digest(suite.tables())
+    );
+    s.push_str("}\n");
+    s
+}
+
+/// Write `BENCH.json` to `path`.
+pub fn write_bench_json(
+    path: &std::path::Path,
+    suite: &SuiteResult,
+    calibration: &Calibration,
+) -> std::io::Result<()> {
+    std::fs::write(path, bench_json(suite, calibration))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::run_suite;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("§µ²"), "§µ²");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn calibration_reports_positive_throughput() {
+        let c = calibrate();
+        assert!(c.sim_cycles > 0);
+        assert!(c.accesses > 0);
+        assert!(c.sim_cycles_per_sec() > 0.0);
+        assert!(c.accesses_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn e5_masking_hides_only_timing_cells() {
+        let mut t = Table::new("E5 / fake", &["N", "P", "t1", "t2", "t3"]);
+        t.row(vec![
+            "1,000".into(),
+            "16".into(),
+            "12.3".into(),
+            "45.6".into(),
+            "7.8".into(),
+        ]);
+        let m = render_masked(&t);
+        assert!(m.contains("1,000") && m.contains("16"));
+        assert!(!m.contains("12.3") && m.contains("<t>"));
+        // Non-E5 tables pass through untouched.
+        let mut u = Table::new("E1 / fake", &["a", "b", "c"]);
+        u.row(vec!["x".into(), "y".into(), "z".into()]);
+        assert!(render_masked(&u).contains('z'));
+    }
+
+    #[test]
+    fn bench_json_is_syntactically_plausible() {
+        let suite = run_suite(crate::workloads::Scale::Quick, &["e9"]);
+        let cal = calibrate();
+        let j = bench_json(&suite, &cal);
+        assert!(j.starts_with("{\n") && j.ends_with("}\n"));
+        for key in [
+            "\"schema\"",
+            "\"scale\"",
+            "\"threads\"",
+            "\"suite_wall_s\"",
+            "\"experiments\"",
+            "\"calibration\"",
+            "\"sim_cycles_per_sec\"",
+            "\"tables_digest\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

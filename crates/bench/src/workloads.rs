@@ -8,7 +8,9 @@
 //!   seconds of wall time. Used by the criterion benches and CI.
 
 use em2_placement::{FirstTouch, Placement};
-use em2_trace::gen::{fft::FftConfig, lu::LuConfig, micro, ocean::OceanConfig, radix::RadixConfig, synth::SynthConfig};
+use em2_trace::gen::{
+    fft::FftConfig, lu::LuConfig, micro, ocean::OceanConfig, radix::RadixConfig, synth::SynthConfig,
+};
 use em2_trace::Workload;
 
 /// Experiment scale.

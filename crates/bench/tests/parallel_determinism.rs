@@ -1,0 +1,42 @@
+//! The parallel sweep engine must be invisible in the output: running
+//! the whole E1–E9 suite with one worker and with many workers must
+//! produce byte-identical tables (E5's measured-timing cells excepted
+//! — they are host wall-clock readings, nondeterministic even across
+//! two serial runs, so they are masked before comparison while their
+//! table *structure* is still compared exactly).
+
+use em2_bench::experiments::{run_suite, ALL_IDS};
+use em2_bench::par;
+use em2_bench::perf::{render_masked, tables_digest};
+use em2_bench::workloads::Scale;
+
+#[test]
+fn parallel_suite_is_byte_identical_to_serial() {
+    par::set_threads(1);
+    let serial = run_suite(Scale::Quick, &[]);
+    par::set_threads(8);
+    let parallel = run_suite(Scale::Quick, &[]);
+    par::set_threads(0);
+
+    assert_eq!(serial.runs.len(), ALL_IDS.len());
+    assert_eq!(parallel.runs.len(), ALL_IDS.len());
+    for (s, p) in serial.runs.iter().zip(&parallel.runs) {
+        assert_eq!(s.id, p.id, "experiment order must be canonical");
+        assert_eq!(s.tables.len(), p.tables.len());
+        for (st, pt) in s.tables.iter().zip(&p.tables) {
+            assert_eq!(
+                render_masked(st),
+                render_masked(pt),
+                "{}: serial and parallel tables diverged",
+                s.id
+            );
+        }
+    }
+    // The digest recorded in BENCH.json is the same comparison, folded.
+    assert_eq!(
+        tables_digest(serial.tables()),
+        tables_digest(parallel.tables()),
+    );
+    // And the Figure-2 histogram rides along bit-identically.
+    assert_eq!(serial.figure2, parallel.figure2);
+}

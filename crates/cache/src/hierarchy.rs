@@ -10,7 +10,6 @@ use crate::config::CacheConfig;
 use crate::set_assoc::SetAssocCache;
 use crate::stats::CacheStats;
 use em2_model::{Addr, CostModel, LineAddr};
-use serde::{Deserialize, Serialize};
 
 /// Which level serviced an access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,7 +47,7 @@ impl AccessOutcome {
 }
 
 /// Geometry of the two levels.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// L1 geometry.
     pub l1: CacheConfig,
@@ -280,10 +279,7 @@ mod tests {
         h.access(a(4), false);
         h.access(a(8), false);
         // Exactly two of {0,4,8} remain on chip.
-        let on_chip = [0u64, 4, 8]
-            .iter()
-            .filter(|&&l| h.contains(a(l)))
-            .count();
+        let on_chip = [0u64, 4, 8].iter().filter(|&&l| h.contains(a(l))).count();
         assert_eq!(on_chip, 2);
         // And whichever left L2 must not hit in L1 either:
         for l in [0u64, 4, 8] {

@@ -226,7 +226,11 @@ mod tests {
         assert!(c.clean(LineAddr(0)));
         c.access(LineAddr(2), false);
         let r = c.access(LineAddr(4), false);
-        assert_eq!(r.evicted, Some((LineAddr(0), false)), "cleaned line evicts clean");
+        assert_eq!(
+            r.evicted,
+            Some((LineAddr(0), false)),
+            "cleaned line evicts clean"
+        );
         assert!(!c.clean(LineAddr(99)));
     }
 
@@ -250,7 +254,11 @@ mod tests {
         c.access(LineAddr(1), false);
         c.access(LineAddr(0), false); // hit; FIFO ignores recency
         let r = c.access(LineAddr(2), false);
-        assert_eq!(r.evicted, Some((LineAddr(0), false)), "FIFO evicts first-in");
+        assert_eq!(
+            r.evicted,
+            Some((LineAddr(0), false)),
+            "FIFO evicts first-in"
+        );
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Hit/miss accounting for cache hierarchies.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Counters for a two-level hierarchy plus its memory interface.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// L1 hits.
     pub l1_hits: u64,

@@ -1,7 +1,14 @@
 //! The distributed directory: per-line MSI bookkeeping.
+//!
+//! Lines are identified by **dense interned indices** (see
+//! [`em2_trace::LineInterner`]): the directory is a flat `Vec` indexed
+//! by line id, not a hash map keyed by address. The replay loop in
+//! [`crate::sim`] touches it once or twice per access, so eliminating
+//! hashing here is one of the main wins of the flattened hot path
+//! (DESIGN.md §6). Entry and copy counts are maintained incrementally,
+//! making the replication metric O(1) to sample.
 
-use em2_model::{CoreId, LineAddr};
-use std::collections::HashMap;
+use em2_model::CoreId;
 
 /// A set of sharer cores, stored as a bitmask (any core count).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -86,85 +93,144 @@ pub enum DirState {
     Modified(CoreId),
 }
 
-/// The full (distributed) directory: one logical entry per line that
-/// has ever been cached. Which core *hosts* an entry is decided by the
-/// placement function, outside this structure.
+impl DirState {
+    fn copies(&self) -> usize {
+        match self {
+            DirState::Shared(set) => set.len(),
+            DirState::Modified(_) => 1,
+        }
+    }
+}
+
+/// The full (distributed) directory: one slot per interned line, dense.
+/// Which core *hosts* an entry is decided by the placement function,
+/// outside this structure.
 #[derive(Debug, Default)]
 pub struct Directory {
-    entries: HashMap<LineAddr, DirState>,
+    entries: Vec<Option<DirState>>,
+    live: usize,
+    copies: usize,
 }
 
 impl Directory {
-    /// An empty directory.
+    /// An empty directory that grows on demand.
     pub fn new() -> Self {
         Directory::default()
     }
 
+    /// An empty directory pre-sized for `lines` interned lines.
+    pub fn with_lines(lines: usize) -> Self {
+        Directory {
+            entries: Vec::with_capacity(lines),
+            live: 0,
+            copies: 0,
+        }
+    }
+
     /// Current state of a line (`None` = uncached / Invalid).
-    pub fn get(&self, line: LineAddr) -> Option<&DirState> {
-        self.entries.get(&line)
+    #[inline]
+    pub fn get(&self, line: u32) -> Option<&DirState> {
+        self.entries.get(line as usize).and_then(Option::as_ref)
+    }
+
+    fn slot(&mut self, line: u32) -> &mut Option<DirState> {
+        let i = line as usize;
+        if i >= self.entries.len() {
+            self.entries.resize_with(i + 1, || None);
+        }
+        &mut self.entries[i]
     }
 
     /// Set a line's state.
-    pub fn set(&mut self, line: LineAddr, state: DirState) {
-        self.entries.insert(line, state);
+    pub fn set(&mut self, line: u32, state: DirState) {
+        let new_copies = state.copies();
+        let slot = self.slot(line);
+        match slot.replace(state) {
+            Some(old) => self.copies -= old.copies(),
+            None => self.live += 1,
+        }
+        self.copies += new_copies;
     }
 
     /// Drop a line's entry (back to Invalid).
-    pub fn clear(&mut self, line: LineAddr) {
-        self.entries.remove(&line);
+    pub fn clear(&mut self, line: u32) {
+        if let Some(old) = self.slot(line).take() {
+            self.live -= 1;
+            self.copies -= old.copies();
+        }
     }
 
     /// Remove `core` from a line's sharer set / ownership (silent or
     /// explicit eviction). Cleans up empty entries.
-    pub fn drop_copy(&mut self, line: LineAddr, core: CoreId) {
-        match self.entries.get_mut(&line) {
-            Some(DirState::Shared(s)) => {
-                s.remove(core);
-                if s.is_empty() {
-                    self.entries.remove(&line);
+    pub fn drop_copy(&mut self, line: u32, core: CoreId) {
+        let (dropped_copies, emptied) = {
+            let slot = self.slot(line);
+            match slot {
+                Some(DirState::Shared(s)) => {
+                    let removed = s.remove(core);
+                    let empty = s.is_empty();
+                    if empty {
+                        *slot = None;
+                    }
+                    (usize::from(removed), empty)
                 }
+                Some(DirState::Modified(owner)) if *owner == core => {
+                    *slot = None;
+                    (1, true)
+                }
+                _ => (0, false),
             }
-            Some(DirState::Modified(owner)) if *owner == core => {
-                self.entries.remove(&line);
-            }
-            _ => {}
+        };
+        self.copies -= dropped_copies;
+        if emptied {
+            self.live -= 1;
         }
     }
 
     /// Number of live entries.
+    #[inline]
     pub fn entries(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Total cached copies across the machine (Σ sharers; M = 1).
+    #[inline]
     pub fn total_copies(&self) -> usize {
-        self.entries
-            .values()
-            .map(|s| match s {
-                DirState::Shared(set) => set.len(),
-                DirState::Modified(_) => 1,
-            })
-            .sum()
+        self.copies
     }
 
     /// Directory storage in bits for a full-map directory over `cores`
     /// cores: each entry holds a presence bit per core + 2 state bits
     /// (the sizing argument of \[6\] the paper cites).
     pub fn storage_bits(&self, cores: usize) -> u64 {
-        self.entries.len() as u64 * (cores as u64 + 2)
+        self.live as u64 * (cores as u64 + 2)
     }
 
     /// Protocol invariant: a Modified line has exactly one copy; a
-    /// Shared line has ≥ 1 sharer. Returns violations (must be empty).
+    /// Shared line has ≥ 1 sharer; the incremental counters agree with
+    /// a full scan. Returns violations (must be empty).
     pub fn check_invariants(&self) -> Vec<String> {
         let mut v = Vec::new();
-        for (line, st) in &self.entries {
+        let mut live = 0usize;
+        let mut copies = 0usize;
+        for (line, st) in self.entries.iter().enumerate() {
+            let Some(st) = st else { continue };
+            live += 1;
+            copies += st.copies();
             if let DirState::Shared(s) = st {
                 if s.is_empty() {
-                    v.push(format!("{line:?} is Shared with no sharers"));
+                    v.push(format!("line #{line} is Shared with no sharers"));
                 }
             }
+        }
+        if live != self.live {
+            v.push(format!("live counter {} but scan found {live}", self.live));
+        }
+        if copies != self.copies {
+            v.push(format!(
+                "copies counter {} but scan found {copies}",
+                self.copies
+            ));
         }
         v
     }
@@ -201,7 +267,7 @@ mod tests {
     #[test]
     fn directory_transitions() {
         let mut d = Directory::new();
-        let l = LineAddr(5);
+        let l = 5u32;
         assert!(d.get(l).is_none());
         d.set(l, DirState::Shared(SharerSet::single(CoreId(1))));
         assert_eq!(d.entries(), 1);
@@ -209,12 +275,15 @@ mod tests {
         assert_eq!(d.total_copies(), 1);
         d.clear(l);
         assert!(d.get(l).is_none());
+        assert_eq!(d.entries(), 0);
+        assert_eq!(d.total_copies(), 0);
+        assert!(d.check_invariants().is_empty());
     }
 
     #[test]
     fn drop_copy_cleans_up() {
-        let mut d = Directory::new();
-        let l = LineAddr(9);
+        let mut d = Directory::with_lines(16);
+        let l = 9u32;
         let mut s = SharerSet::single(CoreId(1));
         s.insert(CoreId(2));
         d.set(l, DirState::Shared(s));
@@ -228,13 +297,28 @@ mod tests {
         assert!(d.get(l).is_some());
         d.drop_copy(l, CoreId(3));
         assert!(d.get(l).is_none());
+        assert!(d.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn counters_track_replacements() {
+        let mut d = Directory::new();
+        let mut s = SharerSet::single(CoreId(0));
+        s.insert(CoreId(1));
+        s.insert(CoreId(2));
+        d.set(0, DirState::Shared(s));
+        assert_eq!(d.total_copies(), 3);
+        d.set(0, DirState::Modified(CoreId(0))); // replace: 3 copies → 1
+        assert_eq!(d.total_copies(), 1);
+        assert_eq!(d.entries(), 1);
+        assert!(d.check_invariants().is_empty());
     }
 
     #[test]
     fn storage_bits_scale_with_cores() {
         let mut d = Directory::new();
-        for i in 0..10 {
-            d.set(LineAddr(i), DirState::Modified(CoreId(0)));
+        for i in 0..10u32 {
+            d.set(i, DirState::Modified(CoreId(0)));
         }
         assert_eq!(d.storage_bits(64), 10 * 66);
         assert_eq!(d.storage_bits(1024), 10 * 1026);
@@ -243,7 +327,7 @@ mod tests {
     #[test]
     fn invariants_catch_empty_shared() {
         let mut d = Directory::new();
-        d.set(LineAddr(1), DirState::Shared(SharerSet::new()));
+        d.set(1, DirState::Shared(SharerSet::new()));
         assert_eq!(d.check_invariants().len(), 1);
     }
 }

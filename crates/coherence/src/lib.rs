@@ -31,5 +31,5 @@ pub mod sim;
 pub mod stats;
 
 pub use directory::{DirState, Directory, SharerSet};
-pub use sim::{run_msi, MsiConfig};
+pub use sim::{run_msi, run_msi_flat, MsiConfig};
 pub use stats::CohReport;

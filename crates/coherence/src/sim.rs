@@ -9,16 +9,21 @@
 //! [`em2_model::CostModel`]; data messages carry whole cache lines —
 //! the granularity disadvantage against EM²'s word-sized remote
 //! accesses that the paper's traffic argument rests on.
+//!
+//! The replay runs over an [`em2_trace::FlatWorkload`]: lines are
+//! dense interned indices, so the per-core MSI state and the directory
+//! are flat `Vec`s instead of `HashMap<LineAddr, _>`, and every home
+//! is resolved through the placement once at build time (DESIGN.md §6).
 
 use crate::directory::{DirState, Directory, SharerSet};
 use crate::stats::CohReport;
 use em2_cache::CacheHierarchy;
 use em2_cache::HierarchyConfig;
-use em2_model::{AccessKind, Addr, CoreId, CostModel, LineAddr, Summary, ThreadId};
+use em2_model::{AccessKind, Addr, CoreId, CostModel, Summary, ThreadId};
 use em2_placement::Placement;
-use em2_trace::Workload;
+use em2_trace::{FlatWorkload, Workload};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Local MSI state of a cached line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,27 +71,32 @@ impl MsiConfig {
 }
 
 /// The protocol state machine (separate from the event-loop driver for
-/// testability).
+/// testability). All line identifiers are dense interned indices into
+/// the flat workload.
 struct MachineState<'a> {
     cfg: &'a MsiConfig,
+    flat: &'a FlatWorkload,
     dir: Directory,
     caches: Vec<CacheHierarchy>,
-    local: Vec<HashMap<LineAddr, Local>>,
+    /// Per-core MSI state, indexed `[core][line]`.
+    local: Vec<Vec<Option<Local>>>,
     report: CohReport,
     accesses_seen: u64,
-    /// Home of every line seen so far (for victim notifications).
-    homes: HashMap<LineAddr, CoreId>,
 }
 
 impl<'a> MachineState<'a> {
-    fn new(cfg: &'a MsiConfig, cores: usize, workload: &str) -> Self {
+    fn new(cfg: &'a MsiConfig, cores: usize, flat: &'a FlatWorkload) -> Self {
+        let n_lines = flat.num_lines();
         MachineState {
             cfg,
-            dir: Directory::new(),
-            caches: (0..cores).map(|_| CacheHierarchy::new(cfg.caches)).collect(),
-            local: vec![HashMap::new(); cores],
+            flat,
+            dir: Directory::with_lines(n_lines),
+            caches: (0..cores)
+                .map(|_| CacheHierarchy::new(cfg.caches))
+                .collect(),
+            local: vec![vec![None; n_lines]; cores],
             report: CohReport {
-                workload: workload.to_string(),
+                workload: flat.name.clone(),
                 cycles: 0,
                 read_hits: 0,
                 read_misses: 0,
@@ -105,7 +115,6 @@ impl<'a> MachineState<'a> {
                 violations: Vec::new(),
             },
             accesses_seen: 0,
-            homes: HashMap::new(),
         }
     }
 
@@ -130,7 +139,7 @@ impl<'a> MachineState<'a> {
     fn invalidate_sharers(
         &mut self,
         home: CoreId,
-        line: LineAddr,
+        line: u32,
         addr: Addr,
         set: &SharerSet,
         except: CoreId,
@@ -142,7 +151,7 @@ impl<'a> MachineState<'a> {
             let back = self.ctrl(s, home);
             worst = worst.max(there + back);
             self.report.invalidations += 1;
-            self.local[s.index()].remove(&line);
+            self.local[s.index()][line as usize] = None;
             self.caches[s.index()].invalidate(addr);
         }
         worst
@@ -161,38 +170,44 @@ impl<'a> MachineState<'a> {
     /// Fill a line locally with the given state, handling the L2
     /// victim (explicit replacement notice to its home, writeback when
     /// modified).
-    fn fill(&mut self, c: CoreId, addr: Addr, write: bool, state: Local) {
-        let line = addr.line(self.cfg.caches.l1.line_bytes);
+    fn fill(&mut self, c: CoreId, line: u32, addr: Addr, write: bool, state: Local) {
         let out = self.caches[c.index()].access(addr, write);
-        self.local[c.index()].insert(line, state);
+        self.local[c.index()][line as usize] = Some(state);
         if let Some((victim, _)) = out.l2_victim {
-            if victim != line {
-                if let Some(was) = self.local[c.index()].remove(&victim) {
-                    let victim_home = *self.homes.get(&victim).unwrap_or(&c);
+            if victim != self.flat.interner.line(line) {
+                // Any L2 victim was accessed earlier, so it is interned.
+                let v = self
+                    .flat
+                    .interner
+                    .lookup(victim)
+                    .expect("cache victim must be an interned line");
+                if let Some(was) = self.local[c.index()][v as usize].take() {
+                    let victim_home = self.flat.line_home[v as usize];
                     if was == Local::Modified {
                         self.report.writebacks += 1;
                         let _ = self.data(c, victim_home);
                     } else {
                         let _ = self.ctrl(c, victim_home);
                     }
-                    self.dir.drop_copy(victim, c);
+                    self.dir.drop_copy(v, c);
                 }
             }
         }
     }
 
     /// Perform one access; returns its latency.
-    fn access(&mut self, c: CoreId, home: CoreId, addr: Addr, kind: AccessKind) -> u64 {
-        let line = addr.line(self.cfg.caches.l1.line_bytes);
-        self.homes.insert(line, home);
+    fn access(&mut self, c: CoreId, home: CoreId, line: u32, addr: Addr, kind: AccessKind) -> u64 {
         self.accesses_seen += 1;
-        if self.accesses_seen % self.cfg.replication_sample == 0 {
+        if self
+            .accesses_seen
+            .is_multiple_of(self.cfg.replication_sample)
+        {
             self.sample_replication();
         }
         let cost = self.cfg.cost;
         let l2 = cost.l2_hit_latency;
         let dram = cost.dram_latency;
-        let local_state = self.local[c.index()].get(&line).copied();
+        let local_state = self.local[c.index()][line as usize];
 
         match (kind, local_state) {
             // ---- hits ----
@@ -215,7 +230,7 @@ impl<'a> MachineState<'a> {
                 }
                 lat += self.ctrl(home, c); // grant
                 self.dir.set(line, DirState::Modified(c));
-                self.local[c.index()].insert(line, Local::Modified);
+                self.local[c.index()][line as usize] = Some(Local::Modified);
                 let _ = self.caches[c.index()].access(addr, true);
                 lat
             }
@@ -253,13 +268,13 @@ impl<'a> MachineState<'a> {
                         self.report.forwards += 1;
                         lat += self.ctrl(home, owner) + l2 + self.data(owner, c);
                         if write {
-                            self.local[owner.index()].remove(&line);
+                            self.local[owner.index()][line as usize] = None;
                             self.caches[owner.index()].invalidate(addr);
                         } else {
                             // Downgrade M→S with writeback to memory.
                             self.report.writebacks += 1;
                             let _ = self.data(owner, home);
-                            self.local[owner.index()].insert(line, Local::Shared);
+                            self.local[owner.index()][line as usize] = Some(Local::Shared);
                             self.caches[owner.index()].clean(addr);
                         }
                     }
@@ -277,7 +292,17 @@ impl<'a> MachineState<'a> {
                     DirState::Shared(set)
                 };
                 self.dir.set(line, new_state);
-                self.fill(c, addr, write, if write { Local::Modified } else { Local::Shared });
+                self.fill(
+                    c,
+                    line,
+                    addr,
+                    write,
+                    if write {
+                        Local::Modified
+                    } else {
+                        Local::Shared
+                    },
+                );
                 lat
             }
         }
@@ -286,20 +311,40 @@ impl<'a> MachineState<'a> {
 
 /// Run the MSI baseline over a workload.
 pub fn run_msi(cfg: MsiConfig, workload: &Workload, placement: &dyn Placement) -> CohReport {
-    let cores = cfg.cost.cores();
-    assert!(placement.cores() <= cores);
+    assert!(placement.cores() <= cfg.cost.cores());
+    let flat = FlatWorkload::build(workload, cfg.caches.l1.line_bytes, |a| placement.home_of(a));
+    run_msi_flat(cfg, &flat)
+}
 
-    let mut m = MachineState::new(&cfg, cores, &workload.name);
+/// [`run_msi`] over a prebuilt flat workload (shareable with the EM²
+/// simulators when the line size matches).
+pub fn run_msi_flat(cfg: MsiConfig, flat: &FlatWorkload) -> CohReport {
+    let cores = cfg.cost.cores();
+    assert!(
+        flat.max_home_index < cores || flat.total_accesses() == 0,
+        "workload homes target more cores than the machine has"
+    );
+    assert_eq!(
+        flat.line_bytes, cfg.caches.l1.line_bytes,
+        "flat workload must be interned at the machine's line size"
+    );
+    assert!(
+        flat.line_indexed,
+        "run_msi_flat needs a line-indexed flat workload (FlatWorkload::build, \
+         not build_homes_only)"
+    );
+
+    let mut m = MachineState::new(&cfg, cores, flat);
 
     // Barrier bookkeeping (same semantics as the EM² simulator).
-    let max_barriers = workload
+    let max_barriers = flat
         .threads
         .iter()
         .map(|t| t.barriers.len())
         .max()
         .unwrap_or(0);
     let expected: Vec<usize> = (0..max_barriers)
-        .map(|k| workload.threads.iter().filter(|t| t.barriers.len() > k).count())
+        .map(|k| flat.threads.iter().filter(|t| t.barriers.len() > k).count())
         .collect();
     let mut arrived = vec![0usize; max_barriers];
     let mut waiting: Vec<Vec<ThreadId>> = vec![Vec::new(); max_barriers];
@@ -316,13 +361,13 @@ pub fn run_msi(cfg: MsiConfig, workload: &Workload, placement: &dyn Placement) -
             next_barrier: 0,
             done: false,
         };
-        workload.num_threads()
+        flat.num_threads()
     ];
 
     let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
     let mut seq = 0u64;
-    for (i, t) in workload.threads.iter().enumerate() {
-        let t0 = t.records.first().map_or(0, |r| r.gap as u64);
+    for (i, t) in flat.threads.iter().enumerate() {
+        let t0 = t.gap.first().map_or(0, |&g| g as u64);
         seq += 1;
         heap.push(Reverse((t0, seq, i as u32)));
     }
@@ -330,13 +375,13 @@ pub fn run_msi(cfg: MsiConfig, workload: &Workload, placement: &dyn Placement) -
 
     while let Some(Reverse((now, _, ti))) = heap.pop() {
         let t_idx = ti as usize;
-        let trace = &workload.threads[t_idx];
+        let ft = &flat.threads[t_idx];
         makespan = makespan.max(now);
 
         // Barriers.
         let mut parked = false;
-        while threads[t_idx].next_barrier < trace.barriers.len()
-            && trace.barriers[threads[t_idx].next_barrier] == threads[t_idx].pos
+        while threads[t_idx].next_barrier < ft.barriers.len()
+            && ft.barriers[threads[t_idx].next_barrier] == threads[t_idx].pos
         {
             let k = threads[t_idx].next_barrier;
             threads[t_idx].next_barrier += 1;
@@ -355,22 +400,19 @@ pub fn run_msi(cfg: MsiConfig, workload: &Workload, placement: &dyn Placement) -
         if parked {
             continue;
         }
-        if threads[t_idx].pos >= trace.records.len() {
+        if threads[t_idx].pos >= ft.len() {
             threads[t_idx].done = true;
             continue;
         }
 
-        let rec = trace.records[threads[t_idx].pos];
-        let c = trace.native;
-        let home = placement.home_of(rec.addr);
-        let lat = m.access(c, home, rec.addr, rec.kind);
+        let pos = threads[t_idx].pos;
+        let c = ft.native;
+        let home = ft.home[pos];
+        let lat = m.access(c, home, ft.line[pos], ft.addr[pos], ft.kind[pos]);
         m.report.access_latency.record_u64(lat);
 
         threads[t_idx].pos += 1;
-        let next_gap = trace
-            .records
-            .get(threads[t_idx].pos)
-            .map_or(0, |r| r.gap as u64);
+        let next_gap = ft.gap.get(threads[t_idx].pos).map_or(0, |&g| g as u64);
         seq += 1;
         heap.push(Reverse((now + lat + next_gap, seq, ti)));
     }
@@ -388,7 +430,11 @@ pub fn run_msi(cfg: MsiConfig, workload: &Workload, placement: &dyn Placement) -
     m.report.directory_bits = m.dir.storage_bits(cores);
     m.report.violations = m.dir.check_invariants();
     // Cross-check: side tables and directory agree on copy counts.
-    let side_copies: usize = m.local.iter().map(|t| t.len()).sum();
+    let side_copies: usize = m
+        .local
+        .iter()
+        .map(|t| t.iter().filter(|s| s.is_some()).count())
+        .sum();
     if side_copies != m.dir.total_copies() {
         m.report.violations.push(format!(
             "directory tracks {} copies but caches hold {}",
@@ -402,6 +448,7 @@ pub fn run_msi(cfg: MsiConfig, workload: &Workload, placement: &dyn Placement) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use em2_model::Addr;
     use em2_placement::{FirstTouch, Striped};
     use em2_trace::gen::{micro, ocean::OceanConfig};
 
@@ -435,8 +482,7 @@ mod tests {
         // is about (EM² would hold exactly one copy of each).
         let mut threads = Vec::new();
         for t in 0..4u32 {
-            let mut tr =
-                em2_trace::ThreadTrace::new(em2_model::ThreadId(t), CoreId(t as u16));
+            let mut tr = em2_trace::ThreadTrace::new(em2_model::ThreadId(t), CoreId(t as u16));
             for line in 0..8u64 {
                 tr.read(1, Addr(line * 64));
             }
@@ -447,7 +493,11 @@ mod tests {
         let mut cfg = MsiConfig::with_cores(4);
         cfg.replication_sample = 1; // sample every access
         let r = run_msi(cfg, &w, &p);
-        assert!(r.peak_replication >= 3.5, "replication = {}", r.peak_replication);
+        assert!(
+            r.peak_replication >= 3.5,
+            "replication = {}",
+            r.peak_replication
+        );
         assert!(r.violations.is_empty(), "{:?}", r.violations);
     }
 
@@ -456,7 +506,11 @@ mod tests {
         let w = micro::hotspot(4, 4, 300, 0.95, 3);
         let p = FirstTouch::build(&w, 4, 64);
         let r = run_msi(MsiConfig::with_cores(4), &w, &p);
-        assert!(r.peak_replication > 1.05, "replication = {}", r.peak_replication);
+        assert!(
+            r.peak_replication > 1.05,
+            "replication = {}",
+            r.peak_replication
+        );
         assert!(r.violations.is_empty(), "{:?}", r.violations);
     }
 
@@ -468,6 +522,20 @@ mod tests {
         let b = run_msi(MsiConfig::with_cores(4), &w, &p);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.total_flit_hops(), b.total_flit_hops());
+    }
+
+    #[test]
+    fn flat_path_matches_workload_path() {
+        let w = OceanConfig::small().generate();
+        let p = FirstTouch::build(&w, 4, 64);
+        let flat = FlatWorkload::build(&w, 64, |a| p.home_of(a));
+        let a = run_msi(MsiConfig::with_cores(4), &w, &p);
+        let b = run_msi_flat(MsiConfig::with_cores(4), &flat);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.total_flit_hops(), b.total_flit_hops());
+        assert_eq!(a.invalidations, b.invalidations);
+        assert_eq!(a.writebacks, b.writebacks);
+        assert_eq!(a.directory_bits, b.directory_bits);
     }
 
     #[test]

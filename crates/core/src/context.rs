@@ -132,9 +132,7 @@ impl ContextPool {
                 .into_iter()
                 .min_by_key(|&i| self.guests[i].last_active)
                 .expect("non-empty"),
-            VictimPolicy::Random(rng) => {
-                candidates[rng.below(candidates.len() as u64) as usize]
-            }
+            VictimPolicy::Random(rng) => candidates[rng.below(candidates.len() as u64) as usize],
         };
         let victim = self.guests[victim_idx].thread;
         self.guests[victim_idx] = GuestSlot {

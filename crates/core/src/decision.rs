@@ -129,7 +129,9 @@ pub struct CostBreakEven {
 impl DecisionScheme for CostBreakEven {
     fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
         let mig = ctx.cost.migration_latency(ctx.current, ctx.home) as f64;
-        let ra = ctx.cost.remote_access_latency(ctx.current, ctx.home, ctx.kind) as f64;
+        let ra = ctx
+            .cost
+            .remote_access_latency(ctx.current, ctx.home, ctx.kind) as f64;
         if mig <= ra * self.expected_run {
             Decision::Migrate
         } else {
@@ -181,7 +183,9 @@ impl DecisionScheme for HistoryPredictor {
     fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
         let predicted = self.prediction(ctx.thread, ctx.home);
         let mig = ctx.cost.migration_latency(ctx.current, ctx.home) as f64;
-        let ra = ctx.cost.remote_access_latency(ctx.current, ctx.home, ctx.kind) as f64;
+        let ra = ctx
+            .cost
+            .remote_access_latency(ctx.current, ctx.home, ctx.kind) as f64;
         if mig <= ra * predicted {
             Decision::Migrate
         } else {
@@ -248,11 +252,7 @@ impl MarkovPredictor {
 
     /// Current prediction for the next run of `(thread, home)`.
     pub fn prediction(&self, thread: ThreadId, home: CoreId) -> f64 {
-        let b = self
-            .last_bucket
-            .get(&(thread, home))
-            .copied()
-            .unwrap_or(0);
+        let b = self.last_bucket.get(&(thread, home)).copied().unwrap_or(0);
         self.table
             .get(&(thread, home, b))
             .copied()
@@ -264,7 +264,9 @@ impl DecisionScheme for MarkovPredictor {
     fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
         let predicted = self.prediction(ctx.thread, ctx.home);
         let mig = ctx.cost.migration_latency(ctx.current, ctx.home) as f64;
-        let ra = ctx.cost.remote_access_latency(ctx.current, ctx.home, ctx.kind) as f64;
+        let ra = ctx
+            .cost
+            .remote_access_latency(ctx.current, ctx.home, ctx.kind) as f64;
         if mig <= ra * predicted {
             Decision::Migrate
         } else {
@@ -323,7 +325,10 @@ impl DecisionScheme for OracleSchedule {
         }
         let k = self.cursor[t];
         self.cursor[t] += 1;
-        self.schedule[t].get(k).copied().unwrap_or(Decision::Migrate)
+        self.schedule[t]
+            .get(k)
+            .copied()
+            .unwrap_or(Decision::Migrate)
     }
 
     fn name(&self) -> String {
@@ -369,7 +374,10 @@ mod tests {
         let c = ctx(&cm, (0, 0), (3, 3));
         // With a big expected run, migration amortizes.
         assert_eq!(
-            CostBreakEven { expected_run: 100.0 }.decide(&c),
+            CostBreakEven {
+                expected_run: 100.0
+            }
+            .decide(&c),
             Decision::Migrate
         );
         // Run of ~0: nothing amortizes, remote wins.
@@ -430,7 +438,10 @@ mod tests {
         // After the final 8-run (bucket 3), the table predicts what
         // followed 8-runs historically: a 1.
         let after_burst = s.prediction(t, h);
-        assert!(after_burst < 2.0, "after a burst comes a single: {after_burst}");
+        assert!(
+            after_burst < 2.0,
+            "after a burst comes a single: {after_burst}"
+        );
         s.observe_run(t, h, 1);
         s.observe_run(t, h, 1);
         // Mid-singles: mostly 1s follow, but every 4th is an 8 — the
@@ -458,7 +469,11 @@ mod tests {
         let c = ctx(&cm, (0, 0), (1, 0));
         assert_eq!(s.decide(&c), Decision::Remote);
         assert_eq!(s.decide(&c), Decision::Migrate);
-        assert_eq!(s.decide(&c), Decision::Migrate, "fallback after schedule ends");
+        assert_eq!(
+            s.decide(&c),
+            Decision::Migrate,
+            "fallback after schedule ends"
+        );
         assert_eq!(s.consumed(), &[3]);
     }
 

@@ -156,8 +156,28 @@ mod tests {
     fn clean_run_has_no_violations() {
         let mut m = Monitor::new();
         m.on_arrive(ThreadId(0), CoreId(0));
-        m.on_access(ThreadId(0), 0, Addr(0x40), 1, CoreId(0), CoreId(0), false, 10, 10);
-        m.on_access(ThreadId(0), 1, Addr(0x44), 1, CoreId(0), CoreId(0), false, 12, 12);
+        m.on_access(
+            ThreadId(0),
+            0,
+            Addr(0x40),
+            1,
+            CoreId(0),
+            CoreId(0),
+            false,
+            10,
+            10,
+        );
+        m.on_access(
+            ThreadId(0),
+            1,
+            Addr(0x44),
+            1,
+            CoreId(0),
+            CoreId(0),
+            false,
+            12,
+            12,
+        );
         m.on_depart(ThreadId(0), CoreId(0));
         m.on_arrive(ThreadId(0), CoreId(1));
         assert!(m.violations().is_empty(), "{:?}", m.violations());
@@ -166,7 +186,17 @@ mod tests {
     #[test]
     fn detects_access_away_from_home() {
         let mut m = Monitor::new();
-        m.on_access(ThreadId(0), 0, Addr(0x40), 1, CoreId(2), CoreId(3), false, 5, 5);
+        m.on_access(
+            ThreadId(0),
+            0,
+            Addr(0x40),
+            1,
+            CoreId(2),
+            CoreId(3),
+            false,
+            5,
+            5,
+        );
         assert_eq!(m.violations().len(), 1);
         assert!(m.violations()[0].contains("home"));
     }
@@ -174,7 +204,17 @@ mod tests {
     #[test]
     fn remote_access_is_exempt_from_at_home() {
         let mut m = Monitor::new();
-        m.on_access(ThreadId(0), 0, Addr(0x40), 1, CoreId(2), CoreId(3), true, 5, 5);
+        m.on_access(
+            ThreadId(0),
+            0,
+            Addr(0x40),
+            1,
+            CoreId(2),
+            CoreId(3),
+            true,
+            5,
+            5,
+        );
         assert!(m.violations().is_empty());
     }
 
@@ -203,16 +243,56 @@ mod tests {
     #[test]
     fn detects_program_order_violation() {
         let mut m = Monitor::new();
-        m.on_access(ThreadId(0), 0, Addr(0), 0, CoreId(0), CoreId(0), false, 10, 10);
-        m.on_access(ThreadId(0), 2, Addr(4), 0, CoreId(0), CoreId(0), false, 11, 11);
+        m.on_access(
+            ThreadId(0),
+            0,
+            Addr(0),
+            0,
+            CoreId(0),
+            CoreId(0),
+            false,
+            10,
+            10,
+        );
+        m.on_access(
+            ThreadId(0),
+            2,
+            Addr(4),
+            0,
+            CoreId(0),
+            CoreId(0),
+            false,
+            11,
+            11,
+        );
         assert!(m.violations().iter().any(|v| v.contains("order")));
     }
 
     #[test]
     fn detects_time_regression() {
         let mut m = Monitor::new();
-        m.on_access(ThreadId(0), 0, Addr(0), 0, CoreId(0), CoreId(0), false, 10, 10);
-        m.on_access(ThreadId(0), 1, Addr(4), 0, CoreId(0), CoreId(0), false, 5, 5);
+        m.on_access(
+            ThreadId(0),
+            0,
+            Addr(0),
+            0,
+            CoreId(0),
+            CoreId(0),
+            false,
+            10,
+            10,
+        );
+        m.on_access(
+            ThreadId(0),
+            1,
+            Addr(4),
+            0,
+            CoreId(0),
+            CoreId(0),
+            false,
+            5,
+            5,
+        );
         assert!(m.violations().iter().any(|v| v.contains("before previous")));
     }
 }

@@ -14,6 +14,14 @@
 //! The simulator is fully deterministic: event ties are broken by
 //! insertion sequence, and all randomness (e.g. random eviction) flows
 //! from seeded generators.
+//!
+//! The hot path runs over an [`em2_trace::FlatWorkload`] — a
+//! struct-of-arrays trace with every access's home core resolved
+//! through the placement **once, at build time** (DESIGN.md §6).
+//! [`run_em2`] / [`run_em2ra`] build the flat view internally;
+//! [`run_em2_flat`] / [`run_em2ra_flat`] accept a prebuilt one so
+//! sweeps that run many schemes or machine configs over the same
+//! workload pay for placement resolution once.
 
 use crate::context::{Admission, ContextPool, GuestState, VictimPolicy};
 use crate::decision::{Decision, DecisionCtx, DecisionScheme};
@@ -23,7 +31,7 @@ use crate::stats::{FlowCounts, SimReport, TrafficBreakdown};
 use em2_cache::CacheHierarchy;
 use em2_model::{CoreId, DetRng, Histogram, Summary, ThreadId};
 use em2_placement::Placement;
-use em2_trace::Workload;
+use em2_trace::{FlatWorkload, Workload};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -123,243 +131,427 @@ impl<'a> Simulator<'a> {
     }
 
     /// Run to completion and produce the report.
-    pub fn run(mut self) -> SimReport {
-        let n_threads = self.workload.num_threads();
-        let cores = self.cfg.cores();
+    pub fn run(self) -> SimReport {
+        let flat =
+            FlatWorkload::build_homes_only(self.workload, self.cfg.caches.l1.line_bytes, |a| {
+                self.placement.home_of(a)
+            });
+        run_flat(self.cfg, &flat, self.scheme)
+    }
+}
 
-        let mut pools: Vec<ContextPool> = (0..cores)
-            .map(|i| {
-                let policy = match self.cfg.eviction {
-                    EvictionPolicy::Lru => VictimPolicy::Lru,
-                    EvictionPolicy::Random { seed } => {
-                        VictimPolicy::Random(DetRng::new(seed).fork(i as u64))
-                    }
-                };
-                ContextPool::new(self.cfg.guest_contexts, policy)
-            })
-            .collect();
-        let mut caches: Vec<CacheHierarchy> = (0..cores)
-            .map(|_| CacheHierarchy::new(self.cfg.caches))
-            .collect();
-        let mut monitor = self.cfg.monitor.then(Monitor::new);
+/// Run a decision scheme over a prebuilt flat workload — the core of
+/// every EM²/EM²-RA simulation. Bit-identical to building the flat
+/// view from the equivalent `(Workload, Placement)` pair inline.
+pub fn run_flat(
+    cfg: MachineConfig,
+    flat: &FlatWorkload,
+    mut scheme: Box<dyn DecisionScheme>,
+) -> SimReport {
+    let cores = cfg.cores();
+    assert!(
+        flat.max_home_index < cores || flat.total_accesses() == 0,
+        "workload homes target more cores than the machine has"
+    );
 
-        let mut threads: Vec<ThreadState> = self
-            .workload
-            .threads
-            .iter()
-            .map(|t| ThreadState {
-                native: t.native,
-                core: t.native,
-                pos: 0,
-                next_barrier: 0,
-                status: Status::Idle,
-                epoch: 0,
-                op_issue: 0,
-                run_core: None,
-                run_len: 0,
-            })
-            .collect();
+    let mut pools: Vec<ContextPool> = (0..cores)
+        .map(|i| {
+            let policy = match cfg.eviction {
+                EvictionPolicy::Lru => VictimPolicy::Lru,
+                EvictionPolicy::Random { seed } => {
+                    VictimPolicy::Random(DetRng::new(seed).fork(i as u64))
+                }
+            };
+            ContextPool::new(cfg.guest_contexts, policy)
+        })
+        .collect();
+    let mut caches: Vec<CacheHierarchy> = (0..cores)
+        .map(|_| CacheHierarchy::new(cfg.caches))
+        .collect();
+    let mut monitor = cfg.monitor.then(Monitor::new);
 
-        // Barrier bookkeeping: expected arrivals per barrier index.
-        let max_barriers = self
-            .workload
-            .threads
-            .iter()
-            .map(|t| t.barriers.len())
-            .max()
-            .unwrap_or(0);
-        let expected: Vec<usize> = (0..max_barriers)
-            .map(|k| {
-                self.workload
-                    .threads
-                    .iter()
-                    .filter(|t| t.barriers.len() > k)
-                    .count()
-            })
-            .collect();
-        let mut arrived = vec![0usize; max_barriers];
-        let mut waiting: Vec<Vec<ThreadId>> = vec![Vec::new(); max_barriers];
+    let mut threads: Vec<ThreadState> = flat
+        .threads
+        .iter()
+        .map(|t| ThreadState {
+            native: t.native,
+            core: t.native,
+            pos: 0,
+            next_barrier: 0,
+            status: Status::Idle,
+            epoch: 0,
+            op_issue: 0,
+            run_core: None,
+            run_len: 0,
+        })
+        .collect();
 
-        let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let push = |events: &mut BinaryHeap<Reverse<Event>>,
-                        seq: &mut u64,
-                        time: u64,
-                        thread: ThreadId,
-                        epoch: u64,
-                        kind: EventKind| {
-            *seq += 1;
-            events.push(Reverse(Event {
-                time,
-                seq: *seq,
-                thread,
-                epoch,
-                kind,
-            }));
-        };
+    // Barrier bookkeeping: expected arrivals per barrier index.
+    let max_barriers = flat
+        .threads
+        .iter()
+        .map(|t| t.barriers.len())
+        .max()
+        .unwrap_or(0);
+    let expected: Vec<usize> = (0..max_barriers)
+        .map(|k| flat.threads.iter().filter(|t| t.barriers.len() > k).count())
+        .collect();
+    let mut arrived = vec![0usize; max_barriers];
+    let mut waiting: Vec<Vec<ThreadId>> = vec![Vec::new(); max_barriers];
 
-        // Report accumulators.
-        let mut flow = FlowCounts::default();
-        let mut traffic = TrafficBreakdown::default();
-        let mut run_lengths = Histogram::new(RUN_BINS);
-        let mut access_latency = Summary::new();
-        let mut migration_latency = Summary::new();
-        let mut remote_latency = Summary::new();
-        let mut context_bits_sent = 0u64;
-        let mut network_cycles = 0u64;
-        let mut barrier_wait_cycles = 0u64;
-        let mut makespan = 0u64;
+    let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |events: &mut BinaryHeap<Reverse<Event>>,
+                seq: &mut u64,
+                time: u64,
+                thread: ThreadId,
+                epoch: u64,
+                kind: EventKind| {
+        *seq += 1;
+        events.push(Reverse(Event {
+            time,
+            seq: *seq,
+            thread,
+            epoch,
+            kind,
+        }));
+    };
 
-        // Seed: every thread starts in its native context at cycle 0.
-        // Gaps are folded into Ready times, so a handler's `now` is the
-        // issue time of the access it processes: cache state mutates in
-        // simulated-time order (the monitor's serialization check).
-        for (i, ts) in threads.iter().enumerate() {
-            let tid = ThreadId(i as u32);
-            pools[ts.native.index()].admit_native(tid);
-            if let Some(m) = monitor.as_mut() {
-                m.on_arrive(tid, ts.native);
-            }
-            let t0 = self.workload.threads[i]
-                .records
-                .first()
-                .map_or(0, |r| r.gap as u64);
-            push(&mut events, &mut seq, t0, tid, 0, EventKind::Ready);
+    // Report accumulators.
+    let mut flow = FlowCounts::default();
+    let mut traffic = TrafficBreakdown::default();
+    let mut run_lengths = Histogram::new(RUN_BINS);
+    let mut access_latency = Summary::new();
+    let mut migration_latency = Summary::new();
+    let mut remote_latency = Summary::new();
+    let mut context_bits_sent = 0u64;
+    let mut network_cycles = 0u64;
+    let mut barrier_wait_cycles = 0u64;
+    let mut makespan = 0u64;
+
+    // Seed: every thread starts in its native context at cycle 0.
+    // Gaps are folded into Ready times, so a handler's `now` is the
+    // issue time of the access it processes: cache state mutates in
+    // simulated-time order (the monitor's serialization check).
+    for (i, ts) in threads.iter().enumerate() {
+        let tid = ThreadId(i as u32);
+        pools[ts.native.index()].admit_native(tid);
+        if let Some(m) = monitor.as_mut() {
+            m.on_arrive(tid, ts.native);
         }
+        let t0 = flat.threads[i].gap.first().map_or(0, |&g| g as u64);
+        push(&mut events, &mut seq, t0, tid, 0, EventKind::Ready);
+    }
 
-        let cost = self.cfg.cost;
-        let ctx_bits = cost.context_bits;
-        let line_bytes = self.cfg.caches.l1.line_bytes;
+    let cost = cfg.cost;
+    let ctx_bits = cost.context_bits;
+    let line_bytes = cfg.caches.l1.line_bytes;
 
-        while let Some(Reverse(ev)) = events.pop() {
-            let tid = ev.thread;
-            let t_idx = tid.index();
-            if ev.epoch != threads[t_idx].epoch {
-                continue; // cancelled by an eviction
-            }
-            let now = ev.time;
-            makespan = makespan.max(now);
+    while let Some(Reverse(ev)) = events.pop() {
+        let tid = ev.thread;
+        let t_idx = tid.index();
+        if ev.epoch != threads[t_idx].epoch {
+            continue; // cancelled by an eviction
+        }
+        let now = ev.time;
+        makespan = makespan.max(now);
 
-            match ev.kind {
-                EventKind::Arrive { dst, eviction } => {
-                    if dst == threads[t_idx].native {
-                        pools[dst.index()].admit_native(tid);
-                    } else {
-                        match pools[dst.index()].admit_guest(tid, now) {
-                            Admission::Admitted => {}
-                            Admission::AdmittedEvicting(victim) => {
-                                flow.evictions += 1;
-                                let v_idx = victim.index();
-                                let v_native = threads[v_idx].native;
-                                if let Some(m) = monitor.as_mut() {
-                                    m.on_depart(victim, dst);
-                                }
-                                // The victim drains its current access,
-                                // then travels on the eviction network.
-                                let depart = match threads[v_idx].status {
-                                    Status::Busy { until } => until.max(now),
-                                    _ => now,
-                                };
-                                let was_parked =
-                                    matches!(threads[v_idx].status, Status::Barrier { .. });
-                                if let Status::Barrier { since, idx } = threads[v_idx].status {
-                                    // Keep the barrier registration; it
-                                    // will resume via the resume flag.
-                                    let _ = (since, idx);
-                                }
-                                threads[v_idx].epoch += 1;
-                                let ev_lat =
-                                    cost.migration_latency_bits(dst, v_native, ctx_bits);
-                                context_bits_sent += ctx_bits;
-                                traffic.eviction_flit_hops +=
-                                    cost.migration_traffic_bits(dst, v_native, ctx_bits);
-                                threads[v_idx].status = Status::Flight {
-                                    arrive: depart + ev_lat,
-                                    resume: !was_parked,
-                                };
-                                threads[v_idx].core = v_native;
-                                let v_epoch = threads[v_idx].epoch;
-                                push(
-                                    &mut events,
-                                    &mut seq,
-                                    depart + ev_lat,
-                                    victim,
-                                    v_epoch,
-                                    EventKind::Arrive {
-                                        dst: v_native,
-                                        eviction: true,
-                                    },
-                                );
+        match ev.kind {
+            EventKind::Arrive { dst, eviction } => {
+                if dst == threads[t_idx].native {
+                    pools[dst.index()].admit_native(tid);
+                } else {
+                    match pools[dst.index()].admit_guest(tid, now) {
+                        Admission::Admitted => {}
+                        Admission::AdmittedEvicting(victim) => {
+                            flow.evictions += 1;
+                            let v_idx = victim.index();
+                            let v_native = threads[v_idx].native;
+                            if let Some(m) = monitor.as_mut() {
+                                m.on_depart(victim, dst);
                             }
-                            Admission::Stalled => {
-                                flow.stalled_arrivals += 1;
-                                push(
-                                    &mut events,
-                                    &mut seq,
-                                    now + self.cfg.stall_retry,
-                                    tid,
-                                    ev.epoch,
-                                    EventKind::Arrive { dst, eviction },
-                                );
-                                continue;
+                            // The victim drains its current access,
+                            // then travels on the eviction network.
+                            let depart = match threads[v_idx].status {
+                                Status::Busy { until } => until.max(now),
+                                _ => now,
+                            };
+                            let was_parked =
+                                matches!(threads[v_idx].status, Status::Barrier { .. });
+                            if let Status::Barrier { since, idx } = threads[v_idx].status {
+                                // Keep the barrier registration; it
+                                // will resume via the resume flag.
+                                let _ = (since, idx);
                             }
+                            threads[v_idx].epoch += 1;
+                            let ev_lat = cost.migration_latency_bits(dst, v_native, ctx_bits);
+                            context_bits_sent += ctx_bits;
+                            traffic.eviction_flit_hops +=
+                                cost.migration_traffic_bits(dst, v_native, ctx_bits);
+                            threads[v_idx].status = Status::Flight {
+                                arrive: depart + ev_lat,
+                                resume: !was_parked,
+                            };
+                            threads[v_idx].core = v_native;
+                            let v_epoch = threads[v_idx].epoch;
+                            push(
+                                &mut events,
+                                &mut seq,
+                                depart + ev_lat,
+                                victim,
+                                v_epoch,
+                                EventKind::Arrive {
+                                    dst: v_native,
+                                    eviction: true,
+                                },
+                            );
+                        }
+                        Admission::Stalled => {
+                            flow.stalled_arrivals += 1;
+                            push(
+                                &mut events,
+                                &mut seq,
+                                now + cfg.stall_retry,
+                                tid,
+                                ev.epoch,
+                                EventKind::Arrive { dst, eviction },
+                            );
+                            continue;
                         }
                     }
-                    if let Some(m) = monitor.as_mut() {
-                        m.on_arrive(tid, dst);
-                        m.on_guest_count(
-                            dst,
-                            pools[dst.index()].guest_count(),
-                            pools[dst.index()].guest_capacity(),
-                        );
-                    }
-                    threads[t_idx].core = dst;
-                    let resume = match threads[t_idx].status {
-                        Status::Flight { resume, .. } => resume,
-                        _ => true,
-                    };
-                    threads[t_idx].status = if eviction {
-                        if resume {
-                            Status::Idle
-                        } else {
-                            // Still parked at its barrier.
-                            Status::Barrier {
-                                idx: threads[t_idx].next_barrier.saturating_sub(1),
-                                since: now,
-                            }
-                        }
-                    } else {
-                        Status::Idle
-                    };
-                    if eviction {
-                        if resume {
-                            push(&mut events, &mut seq, now, tid, ev.epoch, EventKind::Ready);
-                        }
-                        continue;
-                    }
-                    // Migration arrival: perform the access that caused it.
-                    let rec = self.workload.threads[t_idx].records[threads[t_idx].pos];
-                    let outcome = caches[dst.index()].access(rec.addr, rec.kind.is_write());
-                    let lat = outcome.latency(&cost);
-                    let complete = now + lat;
-                    let issue = threads[t_idx].op_issue;
-                    flow.migrations += 1;
-                    access_latency.record_u64(complete - issue);
-                    Self::track_run(
-                        &mut threads[t_idx],
+                }
+                if let Some(m) = monitor.as_mut() {
+                    m.on_arrive(tid, dst);
+                    m.on_guest_count(
                         dst,
+                        pools[dst.index()].guest_count(),
+                        pools[dst.index()].guest_capacity(),
+                    );
+                }
+                threads[t_idx].core = dst;
+                let resume = match threads[t_idx].status {
+                    Status::Flight { resume, .. } => resume,
+                    _ => true,
+                };
+                threads[t_idx].status = if eviction {
+                    if resume {
+                        Status::Idle
+                    } else {
+                        // Still parked at its barrier.
+                        Status::Barrier {
+                            idx: threads[t_idx].next_barrier.saturating_sub(1),
+                            since: now,
+                        }
+                    }
+                } else {
+                    Status::Idle
+                };
+                if eviction {
+                    if resume {
+                        push(&mut events, &mut seq, now, tid, ev.epoch, EventKind::Ready);
+                    }
+                    continue;
+                }
+                // Migration arrival: perform the access that caused it.
+                let ft = &flat.threads[t_idx];
+                let pos = threads[t_idx].pos;
+                let (addr, kind) = (ft.addr[pos], ft.kind[pos]);
+                let outcome = caches[dst.index()].access(addr, kind.is_write());
+                let lat = outcome.latency(&cost);
+                let complete = now + lat;
+                let issue = threads[t_idx].op_issue;
+                flow.migrations += 1;
+                access_latency.record_u64(complete - issue);
+                track_run(
+                    &mut threads[t_idx],
+                    dst,
+                    &mut run_lengths,
+                    scheme.as_mut(),
+                    tid,
+                );
+                if let Some(m) = monitor.as_mut() {
+                    m.on_access(
+                        tid,
+                        pos,
+                        addr,
+                        addr.line(line_bytes).0,
+                        dst,
+                        dst,
+                        false,
+                        now,
+                        complete,
+                    );
+                }
+                threads[t_idx].pos += 1;
+                threads[t_idx].status = Status::Busy { until: complete };
+                pools[dst.index()].touch(tid, now);
+                let next_gap = ft.gap.get(threads[t_idx].pos).map_or(0, |&g| g as u64);
+                push(
+                    &mut events,
+                    &mut seq,
+                    complete + next_gap,
+                    tid,
+                    ev.epoch,
+                    EventKind::Ready,
+                );
+            }
+
+            EventKind::Service { home } => {
+                // The remote request reaches the home cache: access
+                // memory there, then send the response back.
+                let ft = &flat.threads[t_idx];
+                let pos = threads[t_idx].pos;
+                let (addr, kind) = (ft.addr[pos], ft.kind[pos]);
+                let outcome = caches[home.index()].access(addr, kind.is_write());
+                let cache_lat = outcome.latency(&cost);
+                let core = threads[t_idx].core;
+                let resp_bits = match kind {
+                    em2_model::AccessKind::Read => cost.ra_resp_read_bits,
+                    em2_model::AccessKind::Write => cost.ra_resp_ack_bits,
+                };
+                let complete =
+                    now + cache_lat + cost.one_way(home, core, resp_bits) + cost.ra_fixed;
+                let issue = threads[t_idx].op_issue;
+                match kind {
+                    em2_model::AccessKind::Read => flow.remote_reads += 1,
+                    em2_model::AccessKind::Write => flow.remote_writes += 1,
+                }
+                remote_latency.record_u64(complete - issue);
+                access_latency.record_u64(complete - issue);
+                network_cycles += (complete - issue) - cache_lat;
+                if let Some(m) = monitor.as_mut() {
+                    m.on_access(
+                        tid,
+                        pos,
+                        addr,
+                        addr.line(line_bytes).0,
+                        core,
+                        home,
+                        true,
+                        now,
+                        complete,
+                    );
+                }
+                threads[t_idx].pos += 1;
+                threads[t_idx].status = Status::Remote { until: complete };
+                let next_gap = ft.gap.get(threads[t_idx].pos).map_or(0, |&g| g as u64);
+                push(
+                    &mut events,
+                    &mut seq,
+                    complete + next_gap,
+                    tid,
+                    ev.epoch,
+                    EventKind::Ready,
+                );
+            }
+
+            EventKind::Ready => {
+                // A Ready may be the completion of a remote access.
+                if let Status::Remote { until } = threads[t_idx].status {
+                    debug_assert!(now >= until);
+                    let core = threads[t_idx].core;
+                    if core != threads[t_idx].native {
+                        pools[core.index()].set_guest_state(tid, GuestState::Evictable);
+                    }
+                    threads[t_idx].status = Status::Idle;
+                }
+                threads[t_idx].status = match threads[t_idx].status {
+                    Status::Busy { .. } | Status::Idle | Status::Barrier { .. } => Status::Idle,
+                    s => s,
+                };
+
+                // Barrier processing.
+                let ft = &flat.threads[t_idx];
+                let mut parked = false;
+                while threads[t_idx].next_barrier < ft.barriers.len()
+                    && ft.barriers[threads[t_idx].next_barrier] == threads[t_idx].pos
+                {
+                    let k = threads[t_idx].next_barrier;
+                    threads[t_idx].next_barrier += 1;
+                    arrived[k] += 1;
+                    if arrived[k] == expected[k] {
+                        // Release everyone parked here.
+                        for w in waiting[k].drain(..) {
+                            let w_idx = w.index();
+                            match threads[w_idx].status {
+                                Status::Flight { .. } => {
+                                    // Evicted while parked: resume on
+                                    // arrival instead.
+                                    if let Status::Flight { arrive, .. } = threads[w_idx].status {
+                                        threads[w_idx].status = Status::Flight {
+                                            arrive,
+                                            resume: true,
+                                        };
+                                    }
+                                }
+                                Status::Barrier { since, .. } => {
+                                    barrier_wait_cycles += now - since;
+                                    let w_epoch = threads[w_idx].epoch;
+                                    push(&mut events, &mut seq, now, w, w_epoch, EventKind::Ready);
+                                }
+                                _ => {}
+                            }
+                        }
+                        // This thread continues through the loop.
+                    } else {
+                        waiting[k].push(tid);
+                        threads[t_idx].status = Status::Barrier { idx: k, since: now };
+                        parked = true;
+                        break;
+                    }
+                }
+                if parked {
+                    continue;
+                }
+
+                // Done?
+                if threads[t_idx].pos >= ft.len() {
+                    if threads[t_idx].status != Status::Done {
+                        let core = threads[t_idx].core;
+                        if core == threads[t_idx].native {
+                            pools[core.index()].remove_native(tid);
+                        } else {
+                            pools[core.index()].remove_guest(tid);
+                        }
+                        if let Some(m) = monitor.as_mut() {
+                            m.on_depart(tid, core);
+                        }
+                        flush_run(&mut threads[t_idx], &mut run_lengths, scheme.as_mut(), tid);
+                        threads[t_idx].status = Status::Done;
+                    }
+                    continue;
+                }
+
+                // Issue the next access (gaps were folded into the
+                // Ready time, so it issues exactly now). The home was
+                // resolved once at flat-build time.
+                let pos = threads[t_idx].pos;
+                let (addr, kind) = (ft.addr[pos], ft.kind[pos]);
+                let issue = now;
+                let core = threads[t_idx].core;
+                let home = ft.home[pos];
+
+                if home == core {
+                    let outcome = caches[core.index()].access(addr, kind.is_write());
+                    let lat = outcome.latency(&cost);
+                    let complete = issue + lat;
+                    flow.local_accesses += 1;
+                    access_latency.record_u64(lat);
+                    track_run(
+                        &mut threads[t_idx],
+                        home,
                         &mut run_lengths,
-                        self.scheme.as_mut(),
+                        scheme.as_mut(),
                         tid,
                     );
                     if let Some(m) = monitor.as_mut() {
                         m.on_access(
                             tid,
-                            threads[t_idx].pos,
-                            rec.addr,
-                            rec.addr.line(line_bytes).0,
-                            dst,
-                            dst,
+                            pos,
+                            addr,
+                            addr.line(line_bytes).0,
+                            core,
+                            home,
                             false,
                             now,
                             complete,
@@ -367,11 +559,8 @@ impl<'a> Simulator<'a> {
                     }
                     threads[t_idx].pos += 1;
                     threads[t_idx].status = Status::Busy { until: complete };
-                    pools[dst.index()].touch(tid, now);
-                    let next_gap = self.workload.threads[t_idx]
-                        .records
-                        .get(threads[t_idx].pos)
-                        .map_or(0, |r| r.gap as u64);
+                    pools[core.index()].touch(tid, now);
+                    let next_gap = ft.gap.get(threads[t_idx].pos).map_or(0, |&g| g as u64);
                     push(
                         &mut events,
                         &mut seq,
@@ -380,363 +569,168 @@ impl<'a> Simulator<'a> {
                         ev.epoch,
                         EventKind::Ready,
                     );
+                    continue;
                 }
 
-                EventKind::Service { home } => {
-                    // The remote request reaches the home cache: access
-                    // memory there, then send the response back.
-                    let rec = self.workload.threads[t_idx].records[threads[t_idx].pos];
-                    let outcome = caches[home.index()].access(rec.addr, rec.kind.is_write());
-                    let cache_lat = outcome.latency(&cost);
-                    let core = threads[t_idx].core;
-                    let resp_bits = match rec.kind {
-                        em2_model::AccessKind::Read => cost.ra_resp_read_bits,
-                        em2_model::AccessKind::Write => cost.ra_resp_ack_bits,
-                    };
-                    let complete =
-                        now + cache_lat + cost.one_way(home, core, resp_bits) + cost.ra_fixed;
-                    let issue = threads[t_idx].op_issue;
-                    match rec.kind {
-                        em2_model::AccessKind::Read => flow.remote_reads += 1,
-                        em2_model::AccessKind::Write => flow.remote_writes += 1,
-                    }
-                    remote_latency.record_u64(complete - issue);
-                    access_latency.record_u64(complete - issue);
-                    network_cycles += (complete - issue) - cache_lat;
-                    if let Some(m) = monitor.as_mut() {
-                        m.on_access(
-                            tid,
-                            threads[t_idx].pos,
-                            rec.addr,
-                            rec.addr.line(line_bytes).0,
-                            core,
-                            home,
-                            true,
-                            now,
-                            complete,
-                        );
-                    }
-                    threads[t_idx].pos += 1;
-                    threads[t_idx].status = Status::Remote { until: complete };
-                    let next_gap = self.workload.threads[t_idx]
-                        .records
-                        .get(threads[t_idx].pos)
-                        .map_or(0, |r| r.gap as u64);
-                    push(
-                        &mut events,
-                        &mut seq,
-                        complete + next_gap,
-                        tid,
-                        ev.epoch,
-                        EventKind::Ready,
-                    );
-                }
-
-                EventKind::Ready => {
-                    // A Ready may be the completion of a remote access.
-                    if let Status::Remote { until } = threads[t_idx].status {
-                        debug_assert!(now >= until);
-                        let core = threads[t_idx].core;
-                        if core != threads[t_idx].native {
-                            pools[core.index()].set_guest_state(tid, GuestState::Evictable);
-                        }
-                        threads[t_idx].status = Status::Idle;
-                    }
-                    threads[t_idx].status = match threads[t_idx].status {
-                        Status::Busy { .. } | Status::Idle | Status::Barrier { .. } => Status::Idle,
-                        s => s,
-                    };
-
-                    // Barrier processing.
-                    let trace = &self.workload.threads[t_idx];
-                    let mut parked = false;
-                    while threads[t_idx].next_barrier < trace.barriers.len()
-                        && trace.barriers[threads[t_idx].next_barrier] == threads[t_idx].pos
-                    {
-                        let k = threads[t_idx].next_barrier;
-                        threads[t_idx].next_barrier += 1;
-                        arrived[k] += 1;
-                        if arrived[k] == expected[k] {
-                            // Release everyone parked here.
-                            for w in waiting[k].drain(..) {
-                                let w_idx = w.index();
-                                match threads[w_idx].status {
-                                    Status::Flight { .. } => {
-                                        // Evicted while parked: resume on
-                                        // arrival instead.
-                                        if let Status::Flight { arrive, .. } =
-                                            threads[w_idx].status
-                                        {
-                                            threads[w_idx].status = Status::Flight {
-                                                arrive,
-                                                resume: true,
-                                            };
-                                        }
-                                    }
-                                    Status::Barrier { since, .. } => {
-                                        barrier_wait_cycles += now - since;
-                                        let w_epoch = threads[w_idx].epoch;
-                                        push(
-                                            &mut events,
-                                            &mut seq,
-                                            now,
-                                            w,
-                                            w_epoch,
-                                            EventKind::Ready,
-                                        );
-                                    }
-                                    _ => {}
-                                }
-                            }
-                            // This thread continues through the loop.
+                // Non-local: migrate or remote-access.
+                let decision = scheme.decide(&DecisionCtx {
+                    thread: tid,
+                    current: core,
+                    home,
+                    native: threads[t_idx].native,
+                    kind,
+                    cost: &cost,
+                });
+                match decision {
+                    Decision::Migrate => {
+                        if core == threads[t_idx].native {
+                            pools[core.index()].remove_native(tid);
                         } else {
-                            waiting[k].push(tid);
-                            threads[t_idx].status = Status::Barrier { idx: k, since: now };
-                            parked = true;
-                            break;
+                            pools[core.index()].remove_guest(tid);
                         }
-                    }
-                    if parked {
-                        continue;
-                    }
-
-                    // Done?
-                    if threads[t_idx].pos >= trace.records.len() {
-                        if threads[t_idx].status != Status::Done {
-                            let core = threads[t_idx].core;
-                            if core == threads[t_idx].native {
-                                pools[core.index()].remove_native(tid);
-                            } else {
-                                pools[core.index()].remove_guest(tid);
-                            }
-                            if let Some(m) = monitor.as_mut() {
-                                m.on_depart(tid, core);
-                            }
-                            Self::flush_run(
-                                &mut threads[t_idx],
-                                &mut run_lengths,
-                                self.scheme.as_mut(),
-                                tid,
-                            );
-                            threads[t_idx].status = Status::Done;
-                        }
-                        continue;
-                    }
-
-                    // Issue the next access (gaps were folded into the
-                    // Ready time, so it issues exactly now).
-                    let rec = trace.records[threads[t_idx].pos];
-                    let issue = now;
-                    let core = threads[t_idx].core;
-                    let home = self.placement.home_of(rec.addr);
-
-                    if home == core {
-                        let outcome = caches[core.index()].access(rec.addr, rec.kind.is_write());
-                        let lat = outcome.latency(&cost);
-                        let complete = issue + lat;
-                        flow.local_accesses += 1;
-                        access_latency.record_u64(lat);
-                        Self::track_run(
-                            &mut threads[t_idx],
-                            home,
-                            &mut run_lengths,
-                            self.scheme.as_mut(),
-                            tid,
-                        );
                         if let Some(m) = monitor.as_mut() {
-                            m.on_access(
-                                tid,
-                                threads[t_idx].pos,
-                                rec.addr,
-                                rec.addr.line(line_bytes).0,
-                                core,
-                                home,
-                                false,
-                                now,
-                                complete,
-                            );
+                            m.on_depart(tid, core);
                         }
-                        threads[t_idx].pos += 1;
-                        threads[t_idx].status = Status::Busy { until: complete };
-                        pools[core.index()].touch(tid, now);
-                        let next_gap = trace
-                            .records
-                            .get(threads[t_idx].pos)
-                            .map_or(0, |r| r.gap as u64);
+                        let lat = cost.migration_latency_bits(core, home, ctx_bits);
+                        context_bits_sent += ctx_bits;
+                        traffic.migration_flit_hops +=
+                            cost.migration_traffic_bits(core, home, ctx_bits);
+                        migration_latency.record_u64(lat);
+                        network_cycles += lat;
+                        threads[t_idx].op_issue = issue;
+                        threads[t_idx].status = Status::Flight {
+                            arrive: issue + lat,
+                            resume: true,
+                        };
                         push(
                             &mut events,
                             &mut seq,
-                            complete + next_gap,
+                            issue + lat,
                             tid,
                             ev.epoch,
-                            EventKind::Ready,
+                            EventKind::Arrive {
+                                dst: home,
+                                eviction: false,
+                            },
                         );
-                        continue;
                     }
-
-                    // Non-local: migrate or remote-access.
-                    let decision = self.scheme.decide(&DecisionCtx {
-                        thread: tid,
-                        current: core,
-                        home,
-                        native: threads[t_idx].native,
-                        kind: rec.kind,
-                        cost: &cost,
-                    });
-                    match decision {
-                        Decision::Migrate => {
-                            if core == threads[t_idx].native {
-                                pools[core.index()].remove_native(tid);
-                            } else {
-                                pools[core.index()].remove_guest(tid);
+                    Decision::Remote => {
+                        // Send the request; the home cache is
+                        // accessed when it *arrives* (Service).
+                        let req_bits = match kind {
+                            em2_model::AccessKind::Read => cost.ra_req_bits,
+                            em2_model::AccessKind::Write => {
+                                cost.ra_req_bits + cost.ra_write_data_bits
                             }
-                            if let Some(m) = monitor.as_mut() {
-                                m.on_depart(tid, core);
-                            }
-                            let lat = cost.migration_latency_bits(core, home, ctx_bits);
-                            context_bits_sent += ctx_bits;
-                            traffic.migration_flit_hops +=
-                                cost.migration_traffic_bits(core, home, ctx_bits);
-                            migration_latency.record_u64(lat);
-                            network_cycles += lat;
-                            threads[t_idx].op_issue = issue;
-                            threads[t_idx].status = Status::Flight {
-                                arrive: issue + lat,
-                                resume: true,
-                            };
-                            push(
-                                &mut events,
-                                &mut seq,
-                                issue + lat,
-                                tid,
-                                ev.epoch,
-                                EventKind::Arrive {
-                                    dst: home,
-                                    eviction: false,
-                                },
-                            );
+                        };
+                        let resp_bits = match kind {
+                            em2_model::AccessKind::Read => cost.ra_resp_read_bits,
+                            em2_model::AccessKind::Write => cost.ra_resp_ack_bits,
+                        };
+                        traffic.ra_req_flit_hops += cost.hops(core, home) * cost.flits(req_bits);
+                        traffic.ra_resp_flit_hops += cost.hops(core, home) * cost.flits(resp_bits);
+                        track_run(
+                            &mut threads[t_idx],
+                            home,
+                            &mut run_lengths,
+                            scheme.as_mut(),
+                            tid,
+                        );
+                        if core != threads[t_idx].native {
+                            pools[core.index()].set_guest_state(tid, GuestState::Pinned);
                         }
-                        Decision::Remote => {
-                            // Send the request; the home cache is
-                            // accessed when it *arrives* (Service).
-                            let req_bits = match rec.kind {
-                                em2_model::AccessKind::Read => cost.ra_req_bits,
-                                em2_model::AccessKind::Write => {
-                                    cost.ra_req_bits + cost.ra_write_data_bits
-                                }
-                            };
-                            let resp_bits = match rec.kind {
-                                em2_model::AccessKind::Read => cost.ra_resp_read_bits,
-                                em2_model::AccessKind::Write => cost.ra_resp_ack_bits,
-                            };
-                            traffic.ra_req_flit_hops +=
-                                cost.hops(core, home) * cost.flits(req_bits);
-                            traffic.ra_resp_flit_hops +=
-                                cost.hops(core, home) * cost.flits(resp_bits);
-                            Self::track_run(
-                                &mut threads[t_idx],
-                                home,
-                                &mut run_lengths,
-                                self.scheme.as_mut(),
-                                tid,
-                            );
-                            if core != threads[t_idx].native {
-                                pools[core.index()].set_guest_state(tid, GuestState::Pinned);
-                            }
-                            pools[core.index()].touch(tid, now);
-                            threads[t_idx].op_issue = issue;
-                            threads[t_idx].status = Status::Remote { until: u64::MAX };
-                            push(
-                                &mut events,
-                                &mut seq,
-                                issue + cost.one_way(core, home, req_bits),
-                                tid,
-                                ev.epoch,
-                                EventKind::Service { home },
-                            );
-                        }
+                        pools[core.index()].touch(tid, now);
+                        threads[t_idx].op_issue = issue;
+                        threads[t_idx].status = Status::Remote { until: u64::MAX };
+                        push(
+                            &mut events,
+                            &mut seq,
+                            issue + cost.one_way(core, home, req_bits),
+                            tid,
+                            ev.epoch,
+                            EventKind::Service { home },
+                        );
                     }
                 }
             }
         }
-
-        // Aggregate caches & pools.
-        let mut cache_stats = em2_cache::CacheStats::default();
-        for c in &caches {
-            cache_stats.merge(c.stats());
-        }
-        let peak_guests = pools.iter().map(|p| p.peak_guests()).max().unwrap_or(0);
-
-        debug_assert!(
-            threads.iter().all(|t| t.status == Status::Done),
-            "all threads must finish (barrier mismatch?)"
-        );
-        let _ = n_threads;
-
-        SimReport {
-            workload: self.workload.name.clone(),
-            scheme: self.scheme.name(),
-            cycles: makespan,
-            flow,
-            run_lengths,
-            context_bits_sent,
-            traffic,
-            access_latency,
-            migration_latency,
-            remote_latency,
-            caches: cache_stats,
-            peak_guests,
-            network_cycles,
-            barrier_wait_cycles,
-            violations: monitor.map(Monitor::into_violations).unwrap_or_default(),
-        }
     }
 
-    /// Advance the per-thread home-run tracker with an access at `home`.
-    fn track_run(
-        ts: &mut ThreadState,
-        home: CoreId,
-        hist: &mut Histogram,
-        scheme: &mut dyn DecisionScheme,
-        tid: ThreadId,
-    ) {
-        match ts.run_core {
-            Some(c) if c == home => ts.run_len += 1,
-            Some(c) => {
-                if c != ts.native {
-                    hist.record(ts.run_len);
-                }
-                // Feedback covers native runs too: the decision to
-                // migrate *home* amortizes over them, and a scheme
-                // that never learns their lengths strands threads
-                // remote-accessing their own data.
-                scheme.observe_run(tid, c, ts.run_len);
-                ts.run_core = Some(home);
-                ts.run_len = 1;
+    // Aggregate caches & pools.
+    let mut cache_stats = em2_cache::CacheStats::default();
+    for c in &caches {
+        cache_stats.merge(c.stats());
+    }
+    let peak_guests = pools.iter().map(|p| p.peak_guests()).max().unwrap_or(0);
+
+    debug_assert!(
+        threads.iter().all(|t| t.status == Status::Done),
+        "all threads must finish (barrier mismatch?)"
+    );
+
+    SimReport {
+        workload: flat.name.clone(),
+        scheme: scheme.name(),
+        cycles: makespan,
+        flow,
+        run_lengths,
+        context_bits_sent,
+        traffic,
+        access_latency,
+        migration_latency,
+        remote_latency,
+        caches: cache_stats,
+        peak_guests,
+        network_cycles,
+        barrier_wait_cycles,
+        violations: monitor.map(Monitor::into_violations).unwrap_or_default(),
+    }
+}
+
+/// Advance the per-thread home-run tracker with an access at `home`.
+fn track_run(
+    ts: &mut ThreadState,
+    home: CoreId,
+    hist: &mut Histogram,
+    scheme: &mut dyn DecisionScheme,
+    tid: ThreadId,
+) {
+    match ts.run_core {
+        Some(c) if c == home => ts.run_len += 1,
+        Some(c) => {
+            if c != ts.native {
+                hist.record(ts.run_len);
             }
-            None => {
-                ts.run_core = Some(home);
-                ts.run_len = 1;
-            }
+            // Feedback covers native runs too: the decision to
+            // migrate *home* amortizes over them, and a scheme
+            // that never learns their lengths strands threads
+            // remote-accessing their own data.
+            scheme.observe_run(tid, c, ts.run_len);
+            ts.run_core = Some(home);
+            ts.run_len = 1;
+        }
+        None => {
+            ts.run_core = Some(home);
+            ts.run_len = 1;
         }
     }
+}
 
-    /// Flush the final run at thread completion.
-    fn flush_run(
-        ts: &mut ThreadState,
-        hist: &mut Histogram,
-        scheme: &mut dyn DecisionScheme,
-        tid: ThreadId,
-    ) {
-        if let Some(c) = ts.run_core.take() {
-            if ts.run_len > 0 {
-                if c != ts.native {
-                    hist.record(ts.run_len);
-                }
-                scheme.observe_run(tid, c, ts.run_len);
+/// Flush the final run at thread completion.
+fn flush_run(
+    ts: &mut ThreadState,
+    hist: &mut Histogram,
+    scheme: &mut dyn DecisionScheme,
+    tid: ThreadId,
+) {
+    if let Some(c) = ts.run_core.take() {
+        if ts.run_len > 0 {
+            if c != ts.native {
+                hist.record(ts.run_len);
             }
-            ts.run_len = 0;
+            scheme.observe_run(tid, c, ts.run_len);
         }
+        ts.run_len = 0;
     }
 }
 
@@ -759,6 +753,21 @@ pub fn run_em2ra(
     scheme: Box<dyn DecisionScheme>,
 ) -> SimReport {
     Simulator::new(cfg, workload, placement, scheme).run()
+}
+
+/// [`run_em2`] over a prebuilt flat workload (the sweep-friendly
+/// entry: build the flat view once, run many configs over it).
+pub fn run_em2_flat(cfg: MachineConfig, flat: &FlatWorkload) -> SimReport {
+    run_flat(cfg, flat, Box::new(crate::decision::AlwaysMigrate))
+}
+
+/// [`run_em2ra`] over a prebuilt flat workload.
+pub fn run_em2ra_flat(
+    cfg: MachineConfig,
+    flat: &FlatWorkload,
+    scheme: Box<dyn DecisionScheme>,
+) -> SimReport {
+    run_flat(cfg, flat, scheme)
 }
 
 #[cfg(test)]
@@ -858,6 +867,51 @@ mod tests {
         assert_eq!(a.flow, b.flow);
         assert_eq!(a.run_lengths, b.run_lengths);
         assert_eq!(a.context_bits_sent, b.context_bits_sent);
+    }
+
+    #[test]
+    fn flat_path_is_bit_identical_to_workload_path() {
+        // run_em2(cfg, w, p) builds the flat view internally; a
+        // prebuilt flat must yield the same report field-for-field.
+        let w = OceanConfig::small().generate();
+        let p = FirstTouch::build(&w, 4, 64);
+        let flat = FlatWorkload::build(&w, 64, |a| p.home_of(a));
+        let a = run_em2(cfg(4), &w, &p);
+        let b = run_em2_flat(cfg(4), &flat);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.flow, b.flow);
+        assert_eq!(a.run_lengths, b.run_lengths);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.context_bits_sent, b.context_bits_sent);
+        assert_eq!(a.network_cycles, b.network_cycles);
+        assert_eq!(a.barrier_wait_cycles, b.barrier_wait_cycles);
+        let ra_a = run_em2ra(cfg(4), &w, &p, Box::new(DistanceThreshold { max_hops: 1 }));
+        let ra_b = run_em2ra_flat(cfg(4), &flat, Box::new(DistanceThreshold { max_hops: 1 }));
+        assert_eq!(ra_a.cycles, ra_b.cycles);
+        assert_eq!(ra_a.flow, ra_b.flow);
+    }
+
+    #[test]
+    fn flat_workload_is_reusable_across_configs() {
+        // One flat build, several machine configs — the E8 sweep shape.
+        let w = micro::uniform(4, 4, 300, 128, 0.3, 21);
+        let p = Striped::new(4, 64);
+        let flat = FlatWorkload::build(&w, 64, |a| p.home_of(a));
+        let mut last = None;
+        for guest in [1usize, 2, 3] {
+            let mut c = cfg(4);
+            c.guest_contexts = guest;
+            let r = run_em2_flat(c.clone(), &flat);
+            let direct = {
+                let mut c2 = cfg(4);
+                c2.guest_contexts = guest;
+                run_em2(c2, &w, &p)
+            };
+            assert_eq!(r.cycles, direct.cycles);
+            assert_eq!(r.flow, direct.flow);
+            last = Some(r.cycles);
+        }
+        assert!(last.is_some());
     }
 
     #[test]

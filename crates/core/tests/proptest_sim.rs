@@ -13,19 +13,13 @@ use proptest::prelude::*;
 /// Build a random but well-formed workload: every thread gets the same
 /// number of barriers, placed at random positions.
 fn workload_strategy(threads: usize) -> impl Strategy<Value = Workload> {
-    let per_thread = prop::collection::vec(
-        (any::<u16>(), any::<bool>(), 0u32..4),
-        1..60,
-    );
+    let per_thread = prop::collection::vec((any::<u16>(), any::<bool>(), 0u32..4), 1..60);
     (prop::collection::vec(per_thread, threads), 0usize..3).prop_map(move |(specs, barriers)| {
         let traces = specs
             .into_iter()
             .enumerate()
             .map(|(i, recs)| {
-                let mut t = ThreadTrace::new(
-                    ThreadId(i as u32),
-                    CoreId((i % 4) as u16),
-                );
+                let mut t = ThreadTrace::new(ThreadId(i as u32), CoreId((i % 4) as u16));
                 let n = recs.len();
                 for (j, (addr, write, gap)) in recs.into_iter().enumerate() {
                     // Barriers at evenly split positions so all threads

@@ -18,17 +18,16 @@
 //!   since the migration-vs-RA decision mainly affects network
 //!   delays").
 
+use crate::ceil_div;
 use crate::ids::{AccessKind, CoreId};
 use crate::mesh::Mesh;
-use crate::ceil_div;
-use serde::{Deserialize, Serialize};
 
 /// Architectural register-file shape, used to derive the default
 /// migrated context size.
 ///
 /// The paper quotes 1–2 Kbits for a 32-bit Atom-like core: a 32-entry
 /// 32-bit register file plus PC and a little control state.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ContextSpec {
     /// Number of general-purpose registers.
     pub registers: u32,
@@ -68,7 +67,7 @@ impl Default for ContextSpec {
 
 /// The network + memory cost model shared by every component in the
 /// workspace. All latencies are in core clock cycles.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
     /// Mesh geometry (gives hop counts).
     pub mesh: Mesh,
@@ -249,9 +248,9 @@ impl CostModelBuilder {
             header_bits: 32,
             migration_fixed: 8,
             ra_fixed: 2,
-            ra_req_bits: 64 + 8,     // address + opcode
-            ra_write_data_bits: 32,  // one 32-bit word
-            ra_resp_read_bits: 32,   // one 32-bit word
+            ra_req_bits: 64 + 8,    // address + opcode
+            ra_write_data_bits: 32, // one 32-bit word
+            ra_resp_read_bits: 32,  // one 32-bit word
             ra_resp_ack_bits: 8,
             context_bits: ContextSpec::ATOM32.bits(),
             l1_hit_latency: 2,
@@ -460,14 +459,16 @@ mod tests {
     }
 
     #[test]
-    fn builder_round_trip_serde() {
+    fn builder_round_trip() {
         let m = CostModel::builder()
             .cores(16)
             .hop_latency(3)
             .context_bits(2048)
             .build();
-        let s = serde_json::to_string(&m).unwrap();
-        let back: CostModel = serde_json::from_str(&s).unwrap();
+        let back = m;
         assert_eq!(m, back);
+        assert_eq!(back.hop_latency, 3);
+        assert_eq!(back.context_bits, 2048);
+        assert_eq!(back.cores(), 16);
     }
 }

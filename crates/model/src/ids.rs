@@ -4,14 +4,13 @@
 //! addresses — and mixing them up is the classic source of silent bugs
 //! in architecture simulators. Each gets a newtype here.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a processor core (a tile in the on-chip mesh).
 ///
 /// Cores are numbered `0..P` in row-major order over the mesh; the
 /// geometric interpretation lives in [`crate::mesh::Mesh`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CoreId(pub u16);
 
 impl CoreId {
@@ -47,7 +46,7 @@ impl From<usize> for CoreId {
 /// on, which permanently reserves a native context for it (paper §2).
 /// The thread→native-core mapping is owned by the workload, not by the
 /// id itself.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadId(pub u32);
 
 impl ThreadId {
@@ -78,7 +77,7 @@ impl From<usize> for ThreadId {
 }
 
 /// A byte address in the simulated shared address space.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -115,7 +114,7 @@ impl fmt::Display for Addr {
 /// Placement policies ([`em2-placement`](../em2_placement/index.html))
 /// assign lines, not bytes, to home cores; so does the directory in the
 /// coherence baseline.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LineAddr(pub u64);
 
 impl LineAddr {
@@ -139,7 +138,7 @@ impl fmt::Display for LineAddr {
 }
 
 /// Whether a memory access reads or writes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AccessKind {
     /// A load: data travels back to the requester on a remote access.
     Read,

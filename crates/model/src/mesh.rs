@@ -8,12 +8,11 @@
 //! lives in `em2-noc`.
 
 use crate::ids::CoreId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A rectangular 2-D mesh of `width × height` cores, numbered row-major:
 /// core `(x, y)` has id `y * width + x`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Mesh {
     width: u16,
     height: u16,
@@ -156,7 +155,13 @@ impl Mesh {
 
 impl fmt::Display for Mesh {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{} mesh ({} cores)", self.width, self.height, self.cores())
+        write!(
+            f,
+            "{}x{} mesh ({} cores)",
+            self.width,
+            self.height,
+            self.cores()
+        )
     }
 }
 

@@ -46,12 +46,9 @@ impl DetRng {
     /// generator without coupling their sequences.
     pub fn fork(&self, stream: u64) -> Self {
         // Mix the stream id through SplitMix64 against the current state.
-        let mut sm = self
-            .s
-            .iter()
-            .fold(stream ^ 0xA0761D6478BD642F, |acc, &w| {
-                acc.rotate_left(23).wrapping_add(w)
-            });
+        let mut sm = self.s.iter().fold(stream ^ 0xA0761D6478BD642F, |acc, &w| {
+            acc.rotate_left(23).wrapping_add(w)
+        });
         DetRng {
             s: [
                 splitmix64(&mut sm),
@@ -245,7 +242,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

@@ -4,11 +4,10 @@
 //! one pass using Welford's algorithm — used for per-experiment latency
 //! and traffic summaries throughout the workspace.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One-pass summary statistics over `f64`-convertible samples.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Summary {
     count: u64,
     sum: f64,

@@ -5,7 +5,7 @@ use crate::packet::{Flit, PacketId, PacketInfo};
 use crate::router::{xy_output, Port, Router};
 use crate::vc::VirtualChannel;
 use em2_model::{ceil_div, CoreId, Mesh, Summary};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Configuration of the cycle-level NoC.
 #[derive(Clone, Copy, Debug)]
@@ -87,7 +87,15 @@ pub struct CycleNoc {
     in_transit: Vec<(usize, Port, Flit)>,
     /// Per-core injection round-robin pointer (fair across VCs).
     inj_rr: Vec<usize>,
-    packets: HashMap<PacketId, PacketInfo>,
+    /// Sliding-window slab of packet metadata: `PacketId` ids are
+    /// assigned sequentially, entry `id` lives at `id - packets_base`,
+    /// and fully-delivered slots are popped off the front — so lookups
+    /// are plain array indexing (no hashing on the per-flit ejection
+    /// path) and memory is bounded by the maximum in-flight span, not
+    /// the total ever injected.
+    packets: VecDeque<Option<PacketInfo>>,
+    packets_base: u64,
+    in_flight: usize,
     deliveries: Vec<Delivery>,
     stats: NocStats,
     next_packet: u64,
@@ -102,14 +110,20 @@ impl CycleNoc {
         CycleNoc {
             routers: (0..n).map(|_| Router::new()).collect(),
             inject_q: (0..n)
-                .map(|_| (0..VirtualChannel::COUNT).map(|_| VecDeque::new()).collect())
+                .map(|_| {
+                    (0..VirtualChannel::COUNT)
+                        .map(|_| VecDeque::new())
+                        .collect()
+                })
                 .collect(),
             credits: (0..n)
                 .map(|_| vec![vec![cfg.buf_depth; VirtualChannel::COUNT]; Port::COUNT])
                 .collect(),
             in_transit: Vec::new(),
             inj_rr: vec![0; n],
-            packets: HashMap::new(),
+            packets: VecDeque::new(),
+            packets_base: 0,
+            in_flight: 0,
             deliveries: Vec::new(),
             stats: NocStats::default(),
             next_packet: 0,
@@ -155,7 +169,9 @@ impl CycleNoc {
                 vc,
             });
         }
-        self.packets.insert(id, info);
+        debug_assert_eq!(self.packets_base + self.packets.len() as u64, id.0);
+        self.packets.push_back(Some(info));
+        self.in_flight += 1;
         self.stats.injected += 1;
         id
     }
@@ -191,8 +207,7 @@ impl CycleNoc {
                 for k in 0..VirtualChannel::COUNT {
                     let vc = VirtualChannel::ALL[(rr0 + k) % VirtualChannel::COUNT];
                     // Credit check (local ejection is an infinite sink).
-                    if out_port != Port::Local
-                        && self.credits[r][out_port.index()][vc.index()] == 0
+                    if out_port != Port::Local && self.credits[r][out_port.index()][vc.index()] == 0
                     {
                         continue;
                     }
@@ -215,8 +230,7 @@ impl CycleNoc {
                         let q = &self.routers[r].in_buf[in_port.index()][vc.index()];
                         if let Some(head) = q.front() {
                             if head.kind.is_head()
-                                && xy_output(&self.cfg.mesh, CoreId::from(r), head.dst)
-                                    == out_port
+                                && xy_output(&self.cfg.mesh, CoreId::from(r), head.dst) == out_port
                             {
                                 chosen = Some((in_port, vc));
                                 break;
@@ -228,7 +242,9 @@ impl CycleNoc {
                     }
                 }
 
-                let Some((in_port, vc)) = chosen else { continue };
+                let Some((in_port, vc)) = chosen else {
+                    continue;
+                };
                 let flit = self.routers[r].in_buf[in_port.index()][vc.index()]
                     .pop_front()
                     .expect("candidate had a flit");
@@ -255,7 +271,13 @@ impl CycleNoc {
                 if out_port == Port::Local {
                     // Ejection: deliver on tail.
                     if flit.kind.is_tail() {
-                        let info = self.packets.remove(&flit.packet).expect("known packet");
+                        let slot = (flit.packet.0 - self.packets_base) as usize;
+                        let info = self.packets[slot].take().expect("known packet");
+                        while matches!(self.packets.front(), Some(None)) {
+                            self.packets.pop_front();
+                            self.packets_base += 1;
+                        }
+                        self.in_flight -= 1;
                         self.stats.delivered += 1;
                         self.stats.per_vc_delivered[vc.index()] += 1;
                         let d = Delivery {
@@ -312,12 +334,12 @@ impl CycleNoc {
 
     /// Packets injected but not yet delivered.
     pub fn in_flight(&self) -> usize {
-        self.packets.len()
+        self.in_flight
     }
 
     /// True when no flit is buffered, queued, or on a link.
     pub fn is_idle(&self) -> bool {
-        self.packets.is_empty()
+        self.in_flight == 0
             && self
                 .inject_q
                 .iter()
@@ -508,7 +530,12 @@ mod tests {
     fn is_idle_reports_correctly() {
         let mut n = noc();
         assert!(n.is_idle());
-        n.inject(n.cfg.mesh.at(0, 0), n.cfg.mesh.at(1, 1), VirtualChannel::Migration, 64);
+        n.inject(
+            n.cfg.mesh.at(0, 0),
+            n.cfg.mesh.at(1, 1),
+            VirtualChannel::Migration,
+            64,
+        );
         assert!(!n.is_idle());
         n.run_until_idle(1000).unwrap();
         assert!(n.is_idle());

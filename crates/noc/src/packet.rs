@@ -109,7 +109,12 @@ mod tests {
         let kinds: Vec<_> = info(4).flit_kinds().collect();
         assert_eq!(
             kinds,
-            vec![FlitKind::Head, FlitKind::Body, FlitKind::Body, FlitKind::Tail]
+            vec![
+                FlitKind::Head,
+                FlitKind::Body,
+                FlitKind::Body,
+                FlitKind::Tail
+            ]
         );
         assert!(kinds[0].is_head() && !kinds[0].is_tail());
         assert!(kinds[3].is_tail() && !kinds[3].is_head());

@@ -32,8 +32,13 @@ impl Port {
     pub const COUNT: usize = 5;
 
     /// All ports in index order.
-    pub const ALL: [Port; Port::COUNT] =
-        [Port::Local, Port::North, Port::East, Port::South, Port::West];
+    pub const ALL: [Port; Port::COUNT] = [
+        Port::Local,
+        Port::North,
+        Port::East,
+        Port::South,
+        Port::West,
+    ];
 
     /// The port on the neighbouring router that a link from this
     /// output enters.
@@ -101,7 +106,11 @@ impl Router {
     pub fn new() -> Self {
         Router {
             in_buf: (0..Port::COUNT)
-                .map(|_| (0..VirtualChannel::COUNT).map(|_| VecDeque::new()).collect())
+                .map(|_| {
+                    (0..VirtualChannel::COUNT)
+                        .map(|_| VecDeque::new())
+                        .collect()
+                })
                 .collect(),
             out_lock: vec![vec![None; VirtualChannel::COUNT]; Port::COUNT],
             rr: vec![0; Port::COUNT],

@@ -70,6 +70,21 @@ impl CostTrace {
             .collect()
     }
 
+    /// Build from a flat thread — homes were already resolved at
+    /// [`em2_trace::FlatWorkload::build`] time, so this is a copy, not
+    /// a placement walk.
+    pub fn from_flat(thread: &em2_trace::FlatThread) -> Self {
+        CostTrace {
+            start: thread.native,
+            accesses: thread
+                .home
+                .iter()
+                .zip(&thread.kind)
+                .map(|(&h, &k)| (h, k))
+                .collect(),
+        }
+    }
+
     /// Number of accesses.
     pub fn len(&self) -> usize {
         self.accesses.len()
@@ -108,12 +123,18 @@ impl Optimal {
 
     /// Number of migrations on the optimal path.
     pub fn migrations(&self) -> usize {
-        self.choices.iter().filter(|c| **c == Choice::Migrate).count()
+        self.choices
+            .iter()
+            .filter(|c| **c == Choice::Migrate)
+            .count()
     }
 
     /// Number of remote accesses on the optimal path.
     pub fn remote_accesses(&self) -> usize {
-        self.choices.iter().filter(|c| **c == Choice::Remote).count()
+        self.choices
+            .iter()
+            .filter(|c| **c == Choice::Remote)
+            .count()
     }
 }
 
@@ -305,7 +326,32 @@ pub fn workload_optimal_par(
     cost: &CostModel,
     parallelism: usize,
 ) -> (u64, Vec<Optimal>) {
-    let n = workload.num_threads();
+    solve_threads_par(workload.num_threads(), parallelism, cost, |i| {
+        CostTrace::from_thread(&workload.threads[i], placement)
+    })
+}
+
+/// Per-thread optima over a flat workload (homes pre-resolved), solved
+/// in parallel. Same result as [`workload_optimal`] on the source
+/// `(Workload, Placement)` pair, bit-for-bit.
+pub fn workload_optimal_flat(
+    flat: &em2_trace::FlatWorkload,
+    cost: &CostModel,
+    parallelism: usize,
+) -> (u64, Vec<Optimal>) {
+    solve_threads_par(flat.num_threads(), parallelism, cost, |i| {
+        CostTrace::from_flat(&flat.threads[i])
+    })
+}
+
+/// Shared scaffolding: solve `n` per-thread DPs over `parallelism`
+/// scoped OS threads with a deterministic ordered reduce.
+fn solve_threads_par(
+    n: usize,
+    parallelism: usize,
+    cost: &CostModel,
+    trace_of: impl Fn(usize) -> CostTrace + Sync,
+) -> (u64, Vec<Optimal>) {
     let parallelism = parallelism.clamp(1, n.max(1));
     let mut results: Vec<Option<Optimal>> = (0..n).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -318,10 +364,7 @@ pub fn workload_optimal_par(
                 if i >= n {
                     break;
                 }
-                let o = optimal(
-                    &CostTrace::from_thread(&workload.threads[i], placement),
-                    cost,
-                );
+                let o = optimal(&trace_of(i), cost);
                 **slots[i].lock().expect("slot lock") = Some(o);
             });
         }
@@ -345,7 +388,10 @@ mod tests {
     fn trace(start: u16, homes: &[u16]) -> CostTrace {
         CostTrace {
             start: CoreId(start),
-            accesses: homes.iter().map(|&h| (CoreId(h), AccessKind::Read)).collect(),
+            accesses: homes
+                .iter()
+                .map(|&h| (CoreId(h), AccessKind::Read))
+                .collect(),
         }
     }
 
@@ -370,7 +416,10 @@ mod tests {
         let o = optimal(&t, &cost);
         assert_eq!(o.choices, vec![Choice::Remote]);
         assert_eq!(o.end_core, CoreId(0));
-        assert_eq!(o.cost, cost.remote_access_latency(CoreId(0), CoreId(1), AccessKind::Read));
+        assert_eq!(
+            o.cost,
+            cost.remote_access_latency(CoreId(0), CoreId(1), AccessKind::Read)
+        );
     }
 
     #[test]
@@ -520,6 +569,22 @@ mod tests {
                 assert_eq!(a.cost, b.cost);
                 assert_eq!(a.choices, b.choices);
             }
+        }
+    }
+
+    #[test]
+    fn flat_solver_matches_sequential() {
+        let w = em2_trace::gen::synth::SynthConfig::small().generate();
+        let p = em2_placement::FirstTouch::build(&w, 4, 64);
+        let flat =
+            em2_trace::FlatWorkload::build(&w, 64, |a| em2_placement::Placement::home_of(&p, a));
+        let cost = cm(4);
+        let (seq, seq_per) = workload_optimal(&w, &p, &cost);
+        let (tot, per) = workload_optimal_flat(&flat, &cost, 4);
+        assert_eq!(tot, seq);
+        for (a, b) in per.iter().zip(&seq_per) {
+            assert_eq!(a.cost, b.cost);
+            assert_eq!(a.choices, b.choices);
         }
     }
 

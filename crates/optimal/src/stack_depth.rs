@@ -317,7 +317,12 @@ mod tests {
             .collect();
         let o = stack_optimal(CoreId(0), &visits, &p, &cost);
         let (reg_cost, reg_bits) = evaluate_register_machine(CoreId(0), &visits, &cost);
-        assert!(o.bits_shipped < reg_bits / 4, "{} vs {}", o.bits_shipped, reg_bits);
+        assert!(
+            o.bits_shipped < reg_bits / 4,
+            "{} vs {}",
+            o.bits_shipped,
+            reg_bits
+        );
         assert!(o.cost <= reg_cost);
         for d in &o.decisions {
             if let VisitDecision::Migrate { depth } = d {
@@ -339,8 +344,8 @@ mod tests {
     fn overflow_risk_penalizes_deep_carry() {
         let cost = cm();
         let p = DepthChoice::default(); // capacity 16
-        // Visit produces 12 words: carrying 16 would overflow
-        // (16 + 12 > 16); carrying 4 is safe (4 + 12 = 16).
+                                        // Visit produces 12 words: carrying 16 would overflow
+                                        // (16 + 12 > 16); carrying 4 is safe (4 + 12 = 16).
         let visits = [visit(1, 40, 4, 12)];
         let o = stack_optimal(CoreId(0), &visits, &p, &cost);
         match o.decisions[0] {
@@ -416,6 +421,9 @@ mod tests {
         let visits = [visit(1, 10, 8, 0)];
         let (under, _) = evaluate_fixed_depth(CoreId(0), &visits, 2, &p, &cost);
         let (right, _) = evaluate_fixed_depth(CoreId(0), &visits, 8, &p, &cost);
-        assert!(under > right, "bouncing ({under}) must exceed fitting ({right})");
+        assert!(
+            under > right,
+            "bouncing ({under}) must exceed fitting ({right})"
+        );
     }
 }

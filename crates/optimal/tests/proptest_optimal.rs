@@ -18,7 +18,11 @@ fn trace_strategy(p: u16, max_len: usize) -> impl Strategy<Value = CostTrace> {
                 .map(|(h, w)| {
                     (
                         CoreId(h),
-                        if w { AccessKind::Write } else { AccessKind::Read },
+                        if w {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
                     )
                 })
                 .collect(),

@@ -173,7 +173,10 @@ mod tests {
     fn hand_computed_runs() {
         // Native core 0. Homes: 0x000→C0, 0x100→C1, 0x200→C2.
         // Sequence of homes: 0 0 1 1 1 0 2 — runs: [0×2] [1×3] [0×1] [2×1]
-        let w = wl(vec![(0, vec![0x00, 0x08, 0x100, 0x108, 0x110, 0x10, 0x200])]);
+        let w = wl(vec![(
+            0,
+            vec![0x00, 0x08, 0x100, 0x108, 0x110, 0x10, 0x200],
+        )]);
         let a = run_length_analysis(&w, &ByBlock(4), 60);
         assert_eq!(a.total_accesses, 7);
         assert_eq!(a.native_accesses, 3);
@@ -182,7 +185,7 @@ mod tests {
         assert_eq!(a.non_native_runs, 2);
         assert_eq!(a.histogram.count(3), 1); // the [1×3] run
         assert_eq!(a.histogram.count(1), 1); // the [2×1] run
-        // Migrations: 0→1, 1→0, 0→2 = 3 (first run starts native: free).
+                                             // Migrations: 0→1, 1→0, 0→2 = 3 (first run starts native: free).
         assert_eq!(a.migrations_pure_em2, 3);
     }
 
@@ -210,10 +213,7 @@ mod tests {
     fn weighted_fraction_matches_hand_case() {
         // Runs at non-native cores: lengths 1, 1, 2 → weighted: 1+1 at
         // length 1 of total 4 → 0.5.
-        let w = wl(vec![(
-            0,
-            vec![0x100, 0x00, 0x200, 0x00, 0x300, 0x308],
-        )]);
+        let w = wl(vec![(0, vec![0x100, 0x00, 0x200, 0x00, 0x300, 0x308])]);
         let a = run_length_analysis(&w, &ByBlock(4), 60);
         assert_eq!(a.non_native_runs, 3);
         assert!((a.single_access_fraction() - 0.5).abs() < 1e-12);

@@ -33,6 +33,4 @@ pub mod analysis;
 pub mod policy;
 
 pub use analysis::{run_length_analysis, RunLengthAnalysis};
-pub use policy::{
-    BlockOwner, FirstTouch, PageRoundRobin, Placement, ProfileMajority, Striped,
-};
+pub use policy::{BlockOwner, FirstTouch, PageRoundRobin, Placement, ProfileMajority, Striped};

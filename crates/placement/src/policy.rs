@@ -1,7 +1,7 @@
 //! Placement policies: address → home core.
 
-use em2_trace::Workload;
 use em2_model::{Addr, CoreId};
+use em2_trace::Workload;
 use std::collections::HashMap;
 
 /// A data placement: the total function from addresses to home cores.
@@ -269,9 +269,9 @@ impl Placement for ProfileMajority {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use em2_model::ThreadId;
     use em2_trace::gen::micro;
     use em2_trace::ThreadTrace;
-    use em2_model::ThreadId;
 
     #[test]
     fn striped_covers_all_cores() {
@@ -372,7 +372,11 @@ mod tests {
         let w = Workload::new("maj", vec![t0, t1]);
         let ft = FirstTouch::build(&w, 2, 64);
         let pm = ProfileMajority::build(&w, 2, 64);
-        assert_eq!(ft.home_of(Addr(0x500)), CoreId(0), "first touch wins for FT");
+        assert_eq!(
+            ft.home_of(Addr(0x500)),
+            CoreId(0),
+            "first touch wins for FT"
+        );
         assert_eq!(pm.home_of(Addr(0x500)), CoreId(1), "majority wins for PM");
     }
 

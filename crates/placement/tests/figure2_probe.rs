@@ -4,14 +4,27 @@ use em2_trace::gen::ocean::OceanConfig;
 #[test]
 fn probe_figure2_shape() {
     for (interior, threads, levels) in [(128usize, 16usize, 3usize), (256, 64, 3)] {
-        let cfg = OceanConfig { interior, threads, cores: threads, iterations: 2, levels, ..OceanConfig::default() };
+        let cfg = OceanConfig {
+            interior,
+            threads,
+            cores: threads,
+            iterations: 2,
+            levels,
+            ..OceanConfig::default()
+        };
         let w = cfg.generate();
         let p = FirstTouch::build(&w, threads, 64);
         let a = run_length_analysis(&w, &p, 60);
         eprintln!("=== ocean {interior} grid, {threads} threads ===");
-        eprintln!("total={} non_native={} ({:.1}%)  runs={}  single_frac={:.3} mean_run={:.2}",
-            a.total_accesses, a.non_native_accesses, 100.0*a.non_native_fraction(),
-            a.non_native_runs, a.single_access_fraction(), a.mean_run_length());
+        eprintln!(
+            "total={} non_native={} ({:.1}%)  runs={}  single_frac={:.3} mean_run={:.2}",
+            a.total_accesses,
+            a.non_native_accesses,
+            100.0 * a.non_native_fraction(),
+            a.non_native_runs,
+            a.single_access_fraction(),
+            a.mean_run_length()
+        );
         eprintln!("{}", a.histogram.ascii_chart_weighted(1, 40, 50));
     }
 }

@@ -151,11 +151,7 @@ mod tests {
         use em2_placement::Placement;
         use em2_trace::Workload;
 
-        pub fn run(
-            cost: em2_model::CostModel,
-            w: &Workload,
-            p: &dyn Placement,
-        ) -> (u64, u64) {
+        pub fn run(cost: em2_model::CostModel, w: &Workload, p: &dyn Placement) -> (u64, u64) {
             let cfg = MachineConfig {
                 cost,
                 ..MachineConfig::with_cores(cost.cores())
@@ -169,10 +165,9 @@ mod tests {
     #[test]
     fn workload_bundles_multiple_programs() {
         let mk = |seed: u32| {
-            let prog = crate::asm::assemble(&format!(
-                "lit {seed}\nlit 64\nstore\nlit 64\nload\nhalt"
-            ))
-            .unwrap();
+            let prog =
+                crate::asm::assemble(&format!("lit {seed}\nlit 64\nstore\nlit 64\nload\nhalt"))
+                    .unwrap();
             (
                 StackMachine::new(prog),
                 Box::new(SparseMemory::new()) as Box<dyn StackMemory>,

@@ -83,11 +83,30 @@ impl Op {
     /// Expression-stack pops.
     pub const fn pops(&self) -> u32 {
         match self {
-            Op::Lit(_) | Op::FromR | Op::RFetch | Op::Jmp(_) | Op::Call(_) | Op::Ret
-            | Op::Halt | Op::Nop => 0,
+            Op::Lit(_)
+            | Op::FromR
+            | Op::RFetch
+            | Op::Jmp(_)
+            | Op::Call(_)
+            | Op::Ret
+            | Op::Halt
+            | Op::Nop => 0,
             Op::Not | Op::Dup | Op::Drop | Op::ToR | Op::Load | Op::Jz(_) => 1,
-            Op::Add | Op::Sub | Op::Mul | Op::And | Op::Or | Op::Xor | Op::Shl | Op::Shr
-            | Op::Eq | Op::Lt | Op::Gt | Op::Swap | Op::Over | Op::Nip | Op::Store => 2,
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Shl
+            | Op::Shr
+            | Op::Eq
+            | Op::Lt
+            | Op::Gt
+            | Op::Swap
+            | Op::Over
+            | Op::Nip
+            | Op::Store => 2,
             Op::Rot => 3,
         }
     }
@@ -95,11 +114,32 @@ impl Op {
     /// Expression-stack pushes.
     pub const fn pushes(&self) -> u32 {
         match self {
-            Op::Drop | Op::ToR | Op::Store | Op::Jmp(_) | Op::Jz(_) | Op::Call(_) | Op::Ret
-            | Op::Halt | Op::Nop => 0,
-            Op::Lit(_) | Op::Not | Op::FromR | Op::RFetch | Op::Load | Op::Add | Op::Sub
-            | Op::Mul | Op::And | Op::Or | Op::Xor | Op::Shl | Op::Shr | Op::Eq | Op::Lt
-            | Op::Gt | Op::Nip => 1,
+            Op::Drop
+            | Op::ToR
+            | Op::Store
+            | Op::Jmp(_)
+            | Op::Jz(_)
+            | Op::Call(_)
+            | Op::Ret
+            | Op::Halt
+            | Op::Nop => 0,
+            Op::Lit(_)
+            | Op::Not
+            | Op::FromR
+            | Op::RFetch
+            | Op::Load
+            | Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Shl
+            | Op::Shr
+            | Op::Eq
+            | Op::Lt
+            | Op::Gt
+            | Op::Nip => 1,
             Op::Dup | Op::Swap => 2,
             Op::Over => 3,
             Op::Rot => 3,

@@ -143,9 +143,7 @@ impl StackMachine {
     }
 
     fn pop(&mut self) -> Result<u32, MachineError> {
-        self.expr
-            .pop()
-            .ok_or(MachineError::ExprUnderflow(self.pc))
+        self.expr.pop().ok_or(MachineError::ExprUnderflow(self.pc))
     }
 
     /// Execute one instruction.
@@ -312,11 +310,7 @@ impl StackMachine {
     }
 
     /// Run until `Halt` or the step budget is exhausted.
-    pub fn run(
-        &mut self,
-        mem: &mut dyn StackMemory,
-        max_steps: u64,
-    ) -> Result<(), MachineError> {
+    pub fn run(&mut self, mem: &mut dyn StackMemory, max_steps: u64) -> Result<(), MachineError> {
         let budget = self.steps + max_steps;
         while !self.halted {
             if self.steps >= budget {
@@ -341,9 +335,18 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(run_expr(vec![Op::Lit(2), Op::Lit(3), Op::Add, Op::Halt]), vec![5]);
-        assert_eq!(run_expr(vec![Op::Lit(7), Op::Lit(3), Op::Sub, Op::Halt]), vec![4]);
-        assert_eq!(run_expr(vec![Op::Lit(6), Op::Lit(7), Op::Mul, Op::Halt]), vec![42]);
+        assert_eq!(
+            run_expr(vec![Op::Lit(2), Op::Lit(3), Op::Add, Op::Halt]),
+            vec![5]
+        );
+        assert_eq!(
+            run_expr(vec![Op::Lit(7), Op::Lit(3), Op::Sub, Op::Halt]),
+            vec![4]
+        );
+        assert_eq!(
+            run_expr(vec![Op::Lit(6), Op::Lit(7), Op::Mul, Op::Halt]),
+            vec![42]
+        );
         assert_eq!(
             run_expr(vec![Op::Lit(1), Op::Lit(3), Op::Shl, Op::Halt]),
             vec![8]
@@ -357,9 +360,18 @@ mod tests {
 
     #[test]
     fn comparisons() {
-        assert_eq!(run_expr(vec![Op::Lit(2), Op::Lit(2), Op::Eq, Op::Halt]), vec![1]);
-        assert_eq!(run_expr(vec![Op::Lit(1), Op::Lit(2), Op::Lt, Op::Halt]), vec![1]);
-        assert_eq!(run_expr(vec![Op::Lit(1), Op::Lit(2), Op::Gt, Op::Halt]), vec![0]);
+        assert_eq!(
+            run_expr(vec![Op::Lit(2), Op::Lit(2), Op::Eq, Op::Halt]),
+            vec![1]
+        );
+        assert_eq!(
+            run_expr(vec![Op::Lit(1), Op::Lit(2), Op::Lt, Op::Halt]),
+            vec![1]
+        );
+        assert_eq!(
+            run_expr(vec![Op::Lit(1), Op::Lit(2), Op::Gt, Op::Halt]),
+            vec![0]
+        );
     }
 
     #[test]
@@ -386,7 +398,14 @@ mod tests {
     #[test]
     fn return_stack_ops() {
         assert_eq!(
-            run_expr(vec![Op::Lit(5), Op::ToR, Op::RFetch, Op::FromR, Op::Add, Op::Halt]),
+            run_expr(vec![
+                Op::Lit(5),
+                Op::ToR,
+                Op::RFetch,
+                Op::FromR,
+                Op::Add,
+                Op::Halt
+            ]),
             vec![10]
         );
     }
@@ -422,17 +441,17 @@ mod tests {
         //   acc = 0; n = 5; while n != 0 { acc += n; n -= 1 }
         // expr stack: [acc, n]
         let prog = vec![
-            Op::Lit(0),           // 0: acc
-            Op::Lit(5),           // 1: n
-            Op::Dup,              // 2: loop: n n
-            Op::Jz(9),            // 3: exit when n == 0
-            Op::Dup,              // 4: acc n n
-            Op::Rot,              // 5: n n acc -> wait: (a b c -- b c a): [acc,n,n]->[n,n,acc]
-            Op::Add,              // 6: n (n+acc)
-            Op::Swap,             // 7: (acc') n
+            Op::Lit(0), // 0: acc
+            Op::Lit(5), // 1: n
+            Op::Dup,    // 2: loop: n n
+            Op::Jz(9),  // 3: exit when n == 0
+            Op::Dup,    // 4: acc n n
+            Op::Rot,    // 5: n n acc -> wait: (a b c -- b c a): [acc,n,n]->[n,n,acc]
+            Op::Add,    // 6: n (n+acc)
+            Op::Swap,   // 7: (acc') n
             Op::Lit(1),
             // ^ pc 8
-            Op::Sub,              // 9... careful with indices
+            Op::Sub, // 9... careful with indices
             Op::Jmp(2),
             Op::Halt,
         ];
@@ -482,10 +501,7 @@ mod tests {
     fn step_budget_guards_runaway() {
         let mut m = StackMachine::new(vec![Op::Jmp(0)]);
         let mut mem = SparseMemory::new();
-        assert_eq!(
-            m.run(&mut mem, 100),
-            Err(MachineError::StepBudgetExceeded)
-        );
+        assert_eq!(m.run(&mut mem, 100), Err(MachineError::StepBudgetExceeded));
     }
 
     #[test]

@@ -339,7 +339,10 @@ mod tests {
             m.step(&mut mem).unwrap();
             max_depth = max_depth.max(m.depth());
         }
-        assert!(max_depth > 12, "recursion must deepen the stacks: {max_depth}");
+        assert!(
+            max_depth > 12,
+            "recursion must deepen the stacks: {max_depth}"
+        );
         assert_eq!(mem.peek(0x6000), 64);
     }
 

@@ -219,7 +219,11 @@ mod tests {
             1_000_000,
         )
         .unwrap();
-        assert!(vt.max_demand() <= 4, "streaming loop is shallow: {}", vt.max_demand());
+        assert!(
+            vt.max_demand() <= 4,
+            "streaming loop is shallow: {}",
+            vt.max_demand()
+        );
         assert!(vt.peak_depth <= 8);
     }
 

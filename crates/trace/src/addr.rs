@@ -109,12 +109,7 @@ impl AddressSpace {
 
     /// Allocate one region per thread (e.g. private stacks), returning
     /// them in thread order.
-    pub fn alloc_per_thread(
-        &mut self,
-        name: &str,
-        threads: usize,
-        bytes_each: u64,
-    ) -> Vec<Region> {
+    pub fn alloc_per_thread(&mut self, name: &str, threads: usize, bytes_each: u64) -> Vec<Region> {
         (0..threads)
             .map(|t| self.alloc(format!("{name}[{t}]"), bytes_each))
             .collect()

@@ -61,11 +61,19 @@ impl FftConfig {
 
     fn validate(&self) {
         assert!(self.threads > 0 && self.side > 0);
-        assert_eq!(self.side % self.threads, 0, "fft: side must divide by threads");
+        assert_eq!(
+            self.side % self.threads,
+            0,
+            "fft: side must divide by threads"
+        );
         let rows = self.side / self.threads;
         assert!(self.block > 0 && self.block <= rows && self.block <= self.side);
         assert_eq!(rows % self.block, 0, "fft: band must divide into blocks");
-        assert_eq!(self.side % self.block, 0, "fft: side must divide into blocks");
+        assert_eq!(
+            self.side % self.block,
+            0,
+            "fft: side must divide into blocks"
+        );
     }
 
     /// Generate the workload.
@@ -73,8 +81,18 @@ impl FftConfig {
         self.validate();
         let rows_per_thread = self.side / self.threads;
         let mut space = AddressSpace::with_page_alignment();
-        let src = space.alloc2d("fft-src", self.side as u64, self.side as u64, self.elem_bytes);
-        let dst = space.alloc2d("fft-dst", self.side as u64, self.side as u64, self.elem_bytes);
+        let src = space.alloc2d(
+            "fft-src",
+            self.side as u64,
+            self.side as u64,
+            self.elem_bytes,
+        );
+        let dst = space.alloc2d(
+            "fft-dst",
+            self.side as u64,
+            self.side as u64,
+            self.elem_bytes,
+        );
         let cols = self.side as u64;
 
         let mut traces: Vec<ThreadTrace> = (0..self.threads)

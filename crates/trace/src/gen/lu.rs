@@ -84,9 +84,7 @@ impl LuConfig {
         let block_elems = |bi: usize, bj: usize| {
             let r0 = (bi * self.b) as u64;
             let c0 = (bj * self.b) as u64;
-            (0..self.b as u64).flat_map(move |r| {
-                (0..self.b as u64).map(move |c| (r0 + r, c0 + c))
-            })
+            (0..self.b as u64).flat_map(move |r| (0..self.b as u64).map(move |c| (r0 + r, c0 + c)))
         };
 
         // Phase 0: each owner first-touches its blocks.

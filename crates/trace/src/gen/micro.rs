@@ -220,7 +220,10 @@ mod tests {
     #[test]
     fn uniform_deterministic() {
         assert_eq!(uniform(2, 2, 50, 16, 0.5, 9), uniform(2, 2, 50, 16, 0.5, 9));
-        assert_ne!(uniform(2, 2, 50, 16, 0.5, 9), uniform(2, 2, 50, 16, 0.5, 10));
+        assert_ne!(
+            uniform(2, 2, 50, 16, 0.5, 9),
+            uniform(2, 2, 50, 16, 0.5, 10)
+        );
     }
 
     #[test]

@@ -126,7 +126,9 @@ impl OceanConfig {
     pub fn effective_levels(&self) -> usize {
         let tside = self.tside();
         (0..self.levels)
-            .take_while(|&l| (self.interior >> l) / tside >= 4 && (self.interior >> l) % tside == 0)
+            .take_while(|&l| {
+                (self.interior >> l) / tside >= 4 && (self.interior >> l).is_multiple_of(tside)
+            })
             .count()
     }
 
@@ -149,10 +151,8 @@ impl OceanConfig {
                         )
                     })
                     .collect();
-                let border = space.alloc(
-                    format!("border[{l}]"),
-                    4 * (n as u64 + 2) * self.elem_bytes,
-                );
+                let border =
+                    space.alloc(format!("border[{l}]"), 4 * (n as u64 + 2) * self.elem_bytes);
                 Level {
                     bs,
                     stride,
@@ -183,10 +183,8 @@ impl OceanConfig {
             lv.blocks[t].at2d(r as u64, c as u64, lv.stride, eb)
         };
         // Border accessors: side 0 = top, 1 = bottom, 2 = west, 3 = east.
-        let border_at = |lv: &Level, side: usize, i: usize| {
-            lv.border
-                .elem((side * (lv.n + 2) + i) as u64, eb)
-        };
+        let border_at =
+            |lv: &Level, side: usize, i: usize| lv.border.elem((side * (lv.n + 2) + i) as u64, eb);
         let tid = |bx: usize, by: usize| by * tside + bx;
 
         // ---- Phase 0: initialization (determines first-touch homes) ----

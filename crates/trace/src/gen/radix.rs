@@ -69,9 +69,18 @@ impl RadixConfig {
     pub fn generate(&self) -> Workload {
         assert!(self.threads > 0 && self.keys_per_thread > 0 && self.buckets > 0);
         let mut space = AddressSpace::with_page_alignment();
-        let keys = space.alloc_per_thread("keys", self.threads, self.keys_per_thread as u64 * self.elem_bytes);
-        let dest = space.alloc_per_thread("dest", self.threads, self.keys_per_thread as u64 * self.elem_bytes);
-        let histos = space.alloc_per_thread("histo", self.threads, self.buckets as u64 * self.elem_bytes);
+        let keys = space.alloc_per_thread(
+            "keys",
+            self.threads,
+            self.keys_per_thread as u64 * self.elem_bytes,
+        );
+        let dest = space.alloc_per_thread(
+            "dest",
+            self.threads,
+            self.keys_per_thread as u64 * self.elem_bytes,
+        );
+        let histos =
+            space.alloc_per_thread("histo", self.threads, self.buckets as u64 * self.elem_bytes);
 
         let mut traces: Vec<ThreadTrace> = (0..self.threads)
             .map(|t| ThreadTrace::new(t.into(), native_core(t, self.cores)))

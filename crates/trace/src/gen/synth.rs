@@ -107,7 +107,10 @@ impl SynthConfig {
                     (peer, len)
                 } else {
                     let p = 1.0 - 1.0 / self.local_run_mean.max(1.0);
-                    (t, (1 + rng.geometric(p, self.max_run - 1)).min(self.max_run))
+                    (
+                        t,
+                        (1 + rng.geometric(p, self.max_run - 1)).min(self.max_run),
+                    )
                 };
                 for _ in 0..len {
                     let w = cursors[target] % region_words;
@@ -166,7 +169,7 @@ mod tests {
             let mut run = 0u64;
             let mut prev_region: Option<usize> = None;
             for r in t.records.iter().skip(4096) {
-                let region = ((r.addr.0 - 0x1_0000) / (4096 * 8).max(4096)) as usize;
+                let region = ((r.addr.0 - 0x1_0000) / (4096 * 8)) as usize;
                 if Some(region) == prev_region {
                     run += 1;
                 } else {

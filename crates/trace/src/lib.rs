@@ -31,10 +31,12 @@
 
 pub mod addr;
 pub mod codec;
+pub mod flat;
 pub mod gen;
 pub mod record;
 pub mod trace;
 
 pub use addr::AddressSpace;
+pub use flat::{FlatThread, FlatWorkload, LineInterner};
 pub use record::MemRecord;
 pub use trace::{ThreadTrace, Workload, WorkloadStats};

@@ -80,7 +80,14 @@ impl ThreadTrace {
     /// `p-1` and barrier `p`; phase indices beyond the last barrier
     /// yield the tail).
     pub fn phase_records(&self, p: usize) -> &[MemRecord] {
-        let start = if p == 0 { 0 } else { self.barriers.get(p - 1).copied().unwrap_or(self.records.len()) };
+        let start = if p == 0 {
+            0
+        } else {
+            self.barriers
+                .get(p - 1)
+                .copied()
+                .unwrap_or(self.records.len())
+        };
         let end = self.barriers.get(p).copied().unwrap_or(self.records.len());
         &self.records[start..end]
     }
@@ -324,10 +331,7 @@ mod tests {
 
     #[test]
     fn native_lookup() {
-        let w = Workload::new(
-            "n",
-            vec![trace_with(0, 5, 1), trace_with(1, 6, 1)],
-        );
+        let w = Workload::new("n", vec![trace_with(0, 5, 1), trace_with(1, 6, 1)]);
         assert_eq!(w.native_of(ThreadId(0)), CoreId(5));
         assert_eq!(w.native_of(ThreadId(1)), CoreId(6));
     }

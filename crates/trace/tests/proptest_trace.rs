@@ -107,7 +107,7 @@ proptest! {
         prop_assert_eq!(s.accesses as usize, spec.len());
         prop_assert_eq!(s.reads + s.writes, s.accesses);
         prop_assert_eq!(s.shared_lines, 0, "single thread cannot share");
-        prop_assert!(s.footprint_bytes >= s.lines_touched * 0);
+        prop_assert_eq!(s.footprint_bytes, s.lines_touched * 64);
         if !spec.is_empty() {
             prop_assert!(s.min_addr <= s.max_addr);
         }

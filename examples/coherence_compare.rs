@@ -27,7 +27,10 @@ fn main() {
 
     println!("side by side:");
     println!("                        EM2          directory-MSI");
-    println!("  cycles           {:>10}       {:>10}", em2.cycles, msi.cycles);
+    println!(
+        "  cycles           {:>10}       {:>10}",
+        em2.cycles, msi.cycles
+    );
     println!(
         "  AMAT             {:>10.1}       {:>10.1}",
         em2.amat(),

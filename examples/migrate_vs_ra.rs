@@ -34,7 +34,10 @@ fn main() {
     println!("  optimal mix: {mig} migrations, {ra} remote accesses\n");
 
     // Fixed schemes, evaluated with the O(N) replay.
-    for (name, choice) in [("always-migrate", Choice::Migrate), ("always-remote", Choice::Remote)] {
+    for (name, choice) in [
+        ("always-migrate", Choice::Migrate),
+        ("always-remote", Choice::Remote),
+    ] {
         let total: u64 = workload
             .threads
             .iter()

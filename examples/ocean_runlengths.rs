@@ -45,7 +45,10 @@ fn main() {
          migrate after one memory reference\")",
         analysis.single_access_fraction()
     );
-    println!("mean non-native run length: {:.2}\n", analysis.mean_run_length());
+    println!(
+        "mean non-native run length: {:.2}\n",
+        analysis.mean_run_length()
+    );
     println!("# of accesses to memory cached at non-native cores, by run length:");
     print!("{}", analysis.histogram.ascii_chart_weighted(1, 40, 50));
 }

@@ -50,7 +50,10 @@ fn dp_lower_bounds_every_scheme_in_simulation() {
         let name = s.name();
         let r = Simulator::new(machine(16), &w, &p, s).run();
         assert!(r.violations.is_empty(), "{name}: {:?}", r.violations);
-        assert_eq!(r.flow.evictions, 0, "{name}: guest contexts sized to avoid evictions");
+        assert_eq!(
+            r.flow.evictions, 0,
+            "{name}: guest contexts sized to avoid evictions"
+        );
         assert!(
             r.network_cycles >= opt,
             "{name}: simulator network cycles {} beat the DP bound {}",

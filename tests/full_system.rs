@@ -6,7 +6,9 @@ use em2::core::machine::MachineConfig;
 use em2::core::sim::{run_em2, run_em2ra};
 use em2::core::{AlwaysRemote, DistanceThreshold};
 use em2::placement::{FirstTouch, Placement};
-use em2::trace::gen::{fft::FftConfig, lu::LuConfig, micro, ocean::OceanConfig, radix::RadixConfig};
+use em2::trace::gen::{
+    fft::FftConfig, lu::LuConfig, micro, ocean::OceanConfig, radix::RadixConfig,
+};
 use em2::trace::{codec, Workload};
 
 fn all_quick_workloads() -> Vec<Workload> {
@@ -27,7 +29,12 @@ fn every_workload_runs_clean_on_every_machine() {
         let cfg = MachineConfig::with_cores(4);
 
         let em2 = run_em2(cfg.clone(), &w, &p);
-        assert!(em2.violations.is_empty(), "{} EM2: {:?}", w.name, em2.violations);
+        assert!(
+            em2.violations.is_empty(),
+            "{} EM2: {:?}",
+            w.name,
+            em2.violations
+        );
         assert_eq!(
             em2.flow.total_accesses() as usize,
             w.total_accesses(),
@@ -35,12 +42,27 @@ fn every_workload_runs_clean_on_every_machine() {
             w.name
         );
 
-        let ra = run_em2ra(cfg.clone(), &w, &p, Box::new(DistanceThreshold { max_hops: 1 }));
-        assert!(ra.violations.is_empty(), "{} RA: {:?}", w.name, ra.violations);
+        let ra = run_em2ra(
+            cfg.clone(),
+            &w,
+            &p,
+            Box::new(DistanceThreshold { max_hops: 1 }),
+        );
+        assert!(
+            ra.violations.is_empty(),
+            "{} RA: {:?}",
+            w.name,
+            ra.violations
+        );
         assert_eq!(ra.flow.total_accesses() as usize, w.total_accesses());
 
         let msi = run_msi(MsiConfig::with_cores(4), &w, &p);
-        assert!(msi.violations.is_empty(), "{} MSI: {:?}", w.name, msi.violations);
+        assert!(
+            msi.violations.is_empty(),
+            "{} MSI: {:?}",
+            w.name,
+            msi.violations
+        );
         assert_eq!(msi.total_accesses() as usize, w.total_accesses());
     }
 }
@@ -64,12 +86,7 @@ fn em2_never_replicates_lines() {
     // cache serves remote requests; the requester never fills).
     let w = micro::uniform(4, 4, 500, 64, 0.5, 3);
     let p = FirstTouch::build(&w, 4, 64);
-    let r = run_em2ra(
-        MachineConfig::with_cores(4),
-        &w,
-        &p,
-        Box::new(AlwaysRemote),
-    );
+    let r = run_em2ra(MachineConfig::with_cores(4), &w, &p, Box::new(AlwaysRemote));
     assert!(r.violations.is_empty(), "{:?}", r.violations);
     // All cache traffic landed at home caches: per-core L2 occupancy
     // cannot exceed the lines homed at that core.
