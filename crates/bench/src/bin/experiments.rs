@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every figure/table of the paper.
 //!
 //! ```text
-//! experiments [all|e1|e2|...|e9] [--quick] [--chart] [--serial]
+//! experiments [all|e1|e2|...|e10] [--quick] [--chart] [--serial]
 //!             [--threads N] [--bench-json PATH] [--no-bench-json]
 //! ```
 //!

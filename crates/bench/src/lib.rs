@@ -14,6 +14,7 @@
 //! | E7 | §2 EM² vs directory CC | [`experiments::e7_cc_vs_em2`] |
 //! | E8 | §5 context-size sensitivity | [`experiments::e8_context_size`] |
 //! | E9 | §2/§3 deadlock freedom & NoC validation | [`experiments::e9_noc_validation`] |
+//! | E10 | contention on/off across machines (beyond the paper) | [`experiments::e10_contention`] |
 //!
 //! The `experiments` binary prints these as aligned text tables and
 //! writes `BENCH.json` perf telemetry ([`perf`]); the benches in

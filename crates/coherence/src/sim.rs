@@ -10,20 +10,29 @@
 //! the granularity disadvantage against EM²'s word-sized remote
 //! accesses that the paper's traffic argument rests on.
 //!
-//! The replay runs over an [`em2_trace::FlatWorkload`]: lines are
-//! dense interned indices, so the per-core MSI state and the directory
-//! are flat `Vec`s instead of `HashMap<LineAddr, _>`, and every home
-//! is resolved through the placement once at build time (DESIGN.md §6).
+//! The replay runs on the shared discrete-event kernel of
+//! [`em2_engine`] (event queue, barriers, scheduling state) through
+//! the engine's [`MachineModel`] trait, and
+//! over an [`em2_trace::FlatWorkload`]: lines are dense interned
+//! indices, so the per-core MSI state and the directory are flat
+//! `Vec`s instead of `HashMap<LineAddr, _>`, and every home is
+//! resolved through the placement once at build time (DESIGN.md §6).
+//!
+//! With [`MsiConfig::contention`] set to
+//! [`Contention::Queued`](em2_engine::Contention), every protocol
+//! message (request, invalidation, grant, data, writeback) additionally
+//! pays link-bandwidth occupancy along its X-Y route, and directory
+//! lookups queue FIFO for the home core's service ports — see the
+//! engine's contention module and DESIGN.md §4.
 
 use crate::directory::{DirState, Directory, SharerSet};
 use crate::stats::CohReport;
 use em2_cache::CacheHierarchy;
 use em2_cache::HierarchyConfig;
+use em2_engine::{Contention, ContentionState, Engine, Event, MachineModel, ThreadPhase};
 use em2_model::{AccessKind, Addr, CoreId, CostModel, Summary, ThreadId};
 use em2_placement::Placement;
 use em2_trace::{FlatWorkload, Workload};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Local MSI state of a cached line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +52,9 @@ pub struct MsiConfig {
     pub ctrl_bits: u64,
     /// Sampling period (in accesses) for the replication metric.
     pub replication_sample: u64,
+    /// Contention timing layer (`Off` = the closed-form model,
+    /// bit-exact with the paper's timing; see `em2-engine`).
+    pub contention: Contention,
 }
 
 impl Default for MsiConfig {
@@ -52,6 +64,7 @@ impl Default for MsiConfig {
             caches: HierarchyConfig::default(),
             ctrl_bits: 72,
             replication_sample: 1024,
+            contention: Contention::Off,
         }
     }
 }
@@ -68,6 +81,14 @@ impl MsiConfig {
     fn data_bits(&self) -> u64 {
         self.caches.l1.line_bytes * 8 + self.ctrl_bits
     }
+}
+
+/// A dense line index together with the byte address that touched it
+/// (the caches key on addresses, the directory on line indices).
+#[derive(Clone, Copy, Debug)]
+struct LineRef {
+    line: u32,
+    addr: Addr,
 }
 
 /// The protocol state machine (separate from the event-loop driver for
@@ -112,47 +133,51 @@ impl<'a> MachineState<'a> {
                 caches: em2_cache::CacheStats::default(),
                 peak_replication: 0.0,
                 directory_bits: 0,
+                queue_link_wait_cycles: 0,
+                queue_home_wait_cycles: 0,
                 violations: Vec::new(),
             },
             accesses_seen: 0,
         }
     }
 
-    /// Send a control message; returns its latency and accounts its
-    /// traffic.
-    fn ctrl(&mut self, a: CoreId, b: CoreId) -> u64 {
+    /// Send a control message departing at cycle `at`; returns its
+    /// latency (closed form + any link queueing) and accounts traffic.
+    fn ctrl(&mut self, ctn: &mut ContentionState, a: CoreId, b: CoreId, at: u64) -> u64 {
         let c = &self.cfg.cost;
         self.report.control_flit_hops += c.hops(a, b) * c.flits(self.cfg.ctrl_bits);
-        c.one_way(a, b, self.cfg.ctrl_bits)
+        c.one_way(a, b, self.cfg.ctrl_bits) + ctn.link_delay(c, a, b, self.cfg.ctrl_bits, at)
     }
 
-    /// Send a whole-line data message.
-    fn data(&mut self, a: CoreId, b: CoreId) -> u64 {
+    /// Send a whole-line data message departing at cycle `at`.
+    fn data(&mut self, ctn: &mut ContentionState, a: CoreId, b: CoreId, at: u64) -> u64 {
         let c = &self.cfg.cost;
         let bits = self.cfg.data_bits();
         self.report.data_flit_hops += c.hops(a, b) * c.flits(bits);
-        c.one_way(a, b, bits)
+        c.one_way(a, b, bits) + ctn.link_delay(c, a, b, bits, at)
     }
 
-    /// Invalidate every sharer of `line` except `except`; returns the
-    /// slowest invalidation round trip as seen from `home`.
+    /// Invalidate every sharer of the line except `except`; returns the
+    /// slowest invalidation round trip as seen from `home`, whose
+    /// messages depart at cycle `at`.
     fn invalidate_sharers(
         &mut self,
+        ctn: &mut ContentionState,
         home: CoreId,
-        line: u32,
-        addr: Addr,
+        lr: LineRef,
         set: &SharerSet,
         except: CoreId,
+        at: u64,
     ) -> u64 {
         let mut worst = 0;
         let sharers: Vec<CoreId> = set.iter().filter(|&s| s != except).collect();
         for s in sharers {
-            let there = self.ctrl(home, s);
-            let back = self.ctrl(s, home);
+            let there = self.ctrl(ctn, home, s, at);
+            let back = self.ctrl(ctn, s, home, at + there);
             worst = worst.max(there + back);
             self.report.invalidations += 1;
-            self.local[s.index()][line as usize] = None;
-            self.caches[s.index()].invalidate(addr);
+            self.local[s.index()][lr.line as usize] = None;
+            self.caches[s.index()].invalidate(lr.addr);
         }
         worst
     }
@@ -169,12 +194,20 @@ impl<'a> MachineState<'a> {
 
     /// Fill a line locally with the given state, handling the L2
     /// victim (explicit replacement notice to its home, writeback when
-    /// modified).
-    fn fill(&mut self, c: CoreId, line: u32, addr: Addr, write: bool, state: Local) {
-        let out = self.caches[c.index()].access(addr, write);
-        self.local[c.index()][line as usize] = Some(state);
+    /// modified; those messages depart at cycle `at`).
+    fn fill(
+        &mut self,
+        ctn: &mut ContentionState,
+        c: CoreId,
+        lr: LineRef,
+        write: bool,
+        state: Local,
+        at: u64,
+    ) {
+        let out = self.caches[c.index()].access(lr.addr, write);
+        self.local[c.index()][lr.line as usize] = Some(state);
         if let Some((victim, _)) = out.l2_victim {
-            if victim != self.flat.interner.line(line) {
+            if victim != self.flat.interner.line(lr.line) {
                 // Any L2 victim was accessed earlier, so it is interned.
                 let v = self
                     .flat
@@ -185,9 +218,9 @@ impl<'a> MachineState<'a> {
                     let victim_home = self.flat.line_home[v as usize];
                     if was == Local::Modified {
                         self.report.writebacks += 1;
-                        let _ = self.data(c, victim_home);
+                        let _ = self.data(ctn, c, victim_home, at);
                     } else {
-                        let _ = self.ctrl(c, victim_home);
+                        let _ = self.ctrl(ctn, c, victim_home, at);
                     }
                     self.dir.drop_copy(v, c);
                 }
@@ -195,8 +228,16 @@ impl<'a> MachineState<'a> {
         }
     }
 
-    /// Perform one access; returns its latency.
-    fn access(&mut self, c: CoreId, home: CoreId, line: u32, addr: Addr, kind: AccessKind) -> u64 {
+    /// Perform one access issued at cycle `now`; returns its latency.
+    fn access(
+        &mut self,
+        ctn: &mut ContentionState,
+        c: CoreId,
+        home: CoreId,
+        lr: LineRef,
+        kind: AccessKind,
+        now: u64,
+    ) -> u64 {
         self.accesses_seen += 1;
         if self
             .accesses_seen
@@ -207,31 +248,36 @@ impl<'a> MachineState<'a> {
         let cost = self.cfg.cost;
         let l2 = cost.l2_hit_latency;
         let dram = cost.dram_latency;
+        let line = lr.line;
         let local_state = self.local[c.index()][line as usize];
 
         match (kind, local_state) {
             // ---- hits ----
             (AccessKind::Read, Some(_)) => {
                 self.report.read_hits += 1;
-                let out = self.caches[c.index()].access(addr, false);
+                let out = self.caches[c.index()].access(lr.addr, false);
                 out.latency(&cost)
             }
             (AccessKind::Write, Some(Local::Modified)) => {
                 self.report.write_hits += 1;
-                let out = self.caches[c.index()].access(addr, true);
+                let out = self.caches[c.index()].access(lr.addr, true);
                 out.latency(&cost)
             }
             // ---- upgrade: S → M ----
             (AccessKind::Write, Some(Local::Shared)) => {
                 self.report.upgrades += 1;
-                let mut lat = cost.l1_hit_latency + self.ctrl(c, home) + l2;
+                let mut lat = cost.l1_hit_latency;
+                lat += self.ctrl(ctn, c, home, now + lat);
+                // Directory lookup queues for the home's service port.
+                lat += ctn.home_admit(home, now + lat) - (now + lat);
+                lat += l2;
                 if let Some(DirState::Shared(set)) = self.dir.get(line).cloned() {
-                    lat += self.invalidate_sharers(home, line, addr, &set, c);
+                    lat += self.invalidate_sharers(ctn, home, lr, &set, c, now + lat);
                 }
-                lat += self.ctrl(home, c); // grant
+                lat += self.ctrl(ctn, home, c, now + lat); // grant
                 self.dir.set(line, DirState::Modified(c));
                 self.local[c.index()][line as usize] = Some(Local::Modified);
-                let _ = self.caches[c.index()].access(addr, true);
+                let _ = self.caches[c.index()].access(lr.addr, true);
                 lat
             }
             // ---- misses ----
@@ -243,39 +289,45 @@ impl<'a> MachineState<'a> {
                     self.report.read_misses += 1;
                 }
                 // Local lookup (detects the miss) + request to the home
-                // + directory access.
-                let mut lat = cost.l1_hit_latency + l2 + self.ctrl(c, home) + l2;
+                // + directory access (queued under contention).
+                let mut lat = cost.l1_hit_latency + l2;
+                lat += self.ctrl(ctn, c, home, now + lat);
+                lat += ctn.home_admit(home, now + lat) - (now + lat);
+                lat += l2;
                 match self.dir.get(line).cloned() {
                     None => {
-                        lat += dram + self.data(home, c);
+                        lat += dram;
+                        lat += self.data(ctn, home, c, now + lat);
                     }
                     Some(DirState::Shared(set)) => {
                         if write {
-                            lat += self.invalidate_sharers(home, line, addr, &set, c);
+                            lat += self.invalidate_sharers(ctn, home, lr, &set, c, now + lat);
                         }
                         // Clean data: from the home's own cache if it
                         // shares the line, otherwise from memory.
-                        if set.contains(home) && self.caches[home.index()].contains(addr) {
+                        if set.contains(home) && self.caches[home.index()].contains(lr.addr) {
                             lat += l2;
                         } else {
                             lat += dram;
                         }
-                        lat += self.data(home, c);
+                        lat += self.data(ctn, home, c, now + lat);
                     }
                     Some(DirState::Modified(owner)) => {
                         // Intervention: forward to the owner; it sends
                         // the line to the requester.
                         self.report.forwards += 1;
-                        lat += self.ctrl(home, owner) + l2 + self.data(owner, c);
+                        lat += self.ctrl(ctn, home, owner, now + lat);
+                        lat += l2;
+                        lat += self.data(ctn, owner, c, now + lat);
                         if write {
                             self.local[owner.index()][line as usize] = None;
-                            self.caches[owner.index()].invalidate(addr);
+                            self.caches[owner.index()].invalidate(lr.addr);
                         } else {
                             // Downgrade M→S with writeback to memory.
                             self.report.writebacks += 1;
-                            let _ = self.data(owner, home);
+                            let _ = self.data(ctn, owner, home, now + lat);
                             self.local[owner.index()][line as usize] = Some(Local::Shared);
-                            self.caches[owner.index()].clean(addr);
+                            self.caches[owner.index()].clean(lr.addr);
                         }
                     }
                 }
@@ -293,19 +345,65 @@ impl<'a> MachineState<'a> {
                 };
                 self.dir.set(line, new_state);
                 self.fill(
+                    ctn,
                     c,
-                    line,
-                    addr,
+                    lr,
                     write,
                     if write {
                         Local::Modified
                     } else {
                         Local::Shared
                     },
+                    now + lat,
                 );
                 lat
             }
         }
+    }
+}
+
+/// The single event kind of the replay: a thread takes its next step.
+#[derive(Clone, Copy, Debug)]
+struct Tick;
+
+/// The MSI machine plugged into the shared engine.
+struct MsiMachine<'a> {
+    state: MachineState<'a>,
+}
+
+impl MachineModel for MsiMachine<'_> {
+    type Event = Tick;
+
+    fn handle(&mut self, eng: &mut Engine<Tick>, ev: Event<Tick>) {
+        let tid = ev.thread;
+        let t_idx = tid.index();
+        let now = ev.time;
+        let flat = self.state.flat;
+        let ft = &flat.threads[t_idx];
+
+        if eng.barrier_advance(tid, now, Tick) {
+            return;
+        }
+        if eng.pos(tid) >= ft.len() {
+            eng.set_phase(tid, ThreadPhase::Done);
+            return;
+        }
+
+        let pos = eng.pos(tid);
+        let c = ft.native;
+        let home = ft.home[pos];
+        let lr = LineRef {
+            line: ft.line[pos],
+            addr: ft.addr[pos],
+        };
+        let lat = self
+            .state
+            .access(&mut eng.contention, c, home, lr, ft.kind[pos], now);
+        self.state.report.access_latency.record_u64(lat);
+
+        eng.set_pos(tid, pos + 1);
+        let next_gap = ft.gap.get(pos + 1).map_or(0, |&g| g as u64);
+        eng.push(now + lat + next_gap, tid, 0, Tick);
     }
 }
 
@@ -334,117 +432,50 @@ pub fn run_msi_flat(cfg: MsiConfig, flat: &FlatWorkload) -> CohReport {
          not build_homes_only)"
     );
 
-    let mut m = MachineState::new(&cfg, cores, flat);
+    let mut eng: Engine<Tick> =
+        Engine::new(flat, 1, ContentionState::new(cfg.contention, cfg.cost.mesh));
+    let mut m = MsiMachine {
+        state: MachineState::new(&cfg, cores, flat),
+    };
 
-    // Barrier bookkeeping (same semantics as the EM² simulator).
-    let max_barriers = flat
-        .threads
-        .iter()
-        .map(|t| t.barriers.len())
-        .max()
-        .unwrap_or(0);
-    let expected: Vec<usize> = (0..max_barriers)
-        .map(|k| flat.threads.iter().filter(|t| t.barriers.len() > k).count())
-        .collect();
-    let mut arrived = vec![0usize; max_barriers];
-    let mut waiting: Vec<Vec<ThreadId>> = vec![Vec::new(); max_barriers];
-
-    #[derive(Clone, Copy)]
-    struct TState {
-        pos: usize,
-        next_barrier: usize,
-        done: bool,
-    }
-    let mut threads = vec![
-        TState {
-            pos: 0,
-            next_barrier: 0,
-            done: false,
-        };
-        flat.num_threads()
-    ];
-
-    let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
-    let mut seq = 0u64;
     for (i, t) in flat.threads.iter().enumerate() {
         let t0 = t.gap.first().map_or(0, |&g| g as u64);
-        seq += 1;
-        heap.push(Reverse((t0, seq, i as u32)));
-    }
-    let mut makespan = 0u64;
-
-    while let Some(Reverse((now, _, ti))) = heap.pop() {
-        let t_idx = ti as usize;
-        let ft = &flat.threads[t_idx];
-        makespan = makespan.max(now);
-
-        // Barriers.
-        let mut parked = false;
-        while threads[t_idx].next_barrier < ft.barriers.len()
-            && ft.barriers[threads[t_idx].next_barrier] == threads[t_idx].pos
-        {
-            let k = threads[t_idx].next_barrier;
-            threads[t_idx].next_barrier += 1;
-            arrived[k] += 1;
-            if arrived[k] == expected[k] {
-                for w in waiting[k].drain(..) {
-                    seq += 1;
-                    heap.push(Reverse((now, seq, w.0)));
-                }
-            } else {
-                waiting[k].push(ThreadId(ti));
-                parked = true;
-                break;
-            }
-        }
-        if parked {
-            continue;
-        }
-        if threads[t_idx].pos >= ft.len() {
-            threads[t_idx].done = true;
-            continue;
-        }
-
-        let pos = threads[t_idx].pos;
-        let c = ft.native;
-        let home = ft.home[pos];
-        let lat = m.access(c, home, ft.line[pos], ft.addr[pos], ft.kind[pos]);
-        m.report.access_latency.record_u64(lat);
-
-        threads[t_idx].pos += 1;
-        let next_gap = ft.gap.get(threads[t_idx].pos).map_or(0, |&g| g as u64);
-        seq += 1;
-        heap.push(Reverse((now + lat + next_gap, seq, ti)));
+        eng.push(t0, ThreadId(i as u32), 0, Tick);
     }
 
-    debug_assert!(threads.iter().all(|t| t.done), "barrier mismatch");
+    eng.drive(&mut m);
+
+    debug_assert!(eng.all_done(), "barrier mismatch");
+    let tally = eng.finish();
 
     // Finalize.
-    m.report.cycles = makespan;
+    let mut state = m.state;
+    state.report.cycles = tally.makespan;
     let mut agg = em2_cache::CacheStats::default();
-    for c in &m.caches {
+    for c in &state.caches {
         agg.merge(c.stats());
     }
-    m.report.caches = agg;
-    m.sample_replication();
-    m.report.directory_bits = m.dir.storage_bits(cores);
-    m.report.violations = m.dir.check_invariants();
+    state.report.caches = agg;
+    state.sample_replication();
+    state.report.directory_bits = state.dir.storage_bits(cores);
+    state.report.queue_link_wait_cycles = tally.link_wait_cycles;
+    state.report.queue_home_wait_cycles = tally.home_wait_cycles;
+    state.report.violations = state.dir.check_invariants();
     // Cross-check: side tables and directory agree on copy counts.
-    let side_copies: usize = m
+    let side_copies: usize = state
         .local
         .iter()
         .map(|t| t.iter().filter(|s| s.is_some()).count())
         .sum();
-    if side_copies != m.dir.total_copies() {
-        m.report.violations.push(format!(
+    if side_copies != state.dir.total_copies() {
+        state.report.violations.push(format!(
             "directory tracks {} copies but caches hold {}",
-            m.dir.total_copies(),
+            state.dir.total_copies(),
             side_copies
         ));
     }
-    m.report
+    state.report
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,6 +39,12 @@ pub struct CohReport {
     pub peak_replication: f64,
     /// Directory storage in bits at the end of the run.
     pub directory_bits: u64,
+    /// Cycles messages waited for link bandwidth under
+    /// `Contention::Queued` (always 0 with contention off).
+    pub queue_link_wait_cycles: u64,
+    /// Cycles requests waited in home directory service queues under
+    /// `Contention::Queued` (always 0 with contention off).
+    pub queue_home_wait_cycles: u64,
     /// Protocol invariant violations (must be empty).
     pub violations: Vec<String>,
 }
@@ -123,6 +129,8 @@ mod tests {
             caches: CacheStats::default(),
             peak_replication: 1.5,
             directory_bits: 660,
+            queue_link_wait_cycles: 0,
+            queue_home_wait_cycles: 0,
             violations: vec![],
         };
         assert_eq!(r.total_accesses(), 100);

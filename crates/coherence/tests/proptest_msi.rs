@@ -110,4 +110,32 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn unbounded_queued_contention_collapses_to_off(
+        spec in prop::collection::vec(
+            prop::collection::vec((any::<u16>(), any::<bool>()), 1..60),
+            1..5,
+        )
+    ) {
+        use em2_engine::{Contention, QueuedParams};
+        let w = workload(spec);
+        let p = Striped::new(4, 64);
+        let off = run_msi(MsiConfig::with_cores(4), &w, &p);
+        let unb = run_msi(
+            MsiConfig {
+                contention: Contention::Queued(QueuedParams::UNBOUNDED),
+                ..MsiConfig::with_cores(4)
+            },
+            &w,
+            &p,
+        );
+        prop_assert_eq!(off.cycles, unb.cycles);
+        prop_assert_eq!(off.total_flit_hops(), unb.total_flit_hops());
+        prop_assert_eq!(off.invalidations, unb.invalidations);
+        prop_assert_eq!(off.writebacks, unb.writebacks);
+        prop_assert_eq!(&off.access_latency, &unb.access_latency);
+        prop_assert_eq!(unb.queue_link_wait_cycles, 0);
+        prop_assert_eq!(unb.queue_home_wait_cycles, 0);
+    }
 }

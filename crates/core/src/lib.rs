@@ -26,8 +26,9 @@
 //!   deadlock-free eviction machinery (cf. Cho et al. \[10\]);
 //! * [`decision`] — migrate-vs-remote-access decision schemes;
 //! * [`machine`] — machine configuration (contexts, costs, caches);
-//! * [`sim`] — the deterministic event-driven multicore simulator
-//!   (Graphite-style message-level timing);
+//! * [`sim`] — the deterministic multicore simulator (Graphite-style
+//!   message-level timing), running on the shared `em2-engine`
+//!   discrete-event kernel with optional contention timing;
 //! * [`stats`] — the simulation report: Figure-1/3 flow counts, the
 //!   Figure-2 run-length histogram, traffic and latency breakdowns;
 //! * [`monitor`] — online invariant checking (context capacity,
@@ -47,6 +48,7 @@ pub use decision::{
     AlwaysMigrate, AlwaysRemote, CostBreakEven, Decision, DecisionCtx, DecisionScheme,
     DistanceThreshold, HistoryPredictor, MarkovPredictor, OracleSchedule,
 };
+pub use em2_engine::{Contention, QueuedParams};
 pub use machine::{EvictionPolicy, MachineConfig};
 pub use sim::Simulator;
 pub use stats::{FlowCounts, SimReport};

@@ -1,6 +1,7 @@
 //! Machine configuration for the EM² simulator.
 
 use em2_cache::HierarchyConfig;
+use em2_engine::Contention;
 use em2_model::CostModel;
 
 /// Guest-context victim selection, exposed at the config level.
@@ -32,6 +33,11 @@ pub struct MachineConfig {
     /// Run online invariant monitoring (see [`crate::monitor`]);
     /// cheap, on by default.
     pub monitor: bool,
+    /// Contention timing layer ([`Contention::Off`] = the closed-form
+    /// model, bit-exact with the paper's §3 timing;
+    /// [`Contention::Queued`] adds home-core service queues and link
+    /// bandwidth occupancy — see `em2-engine`).
+    pub contention: Contention,
 }
 
 impl Default for MachineConfig {
@@ -45,6 +51,7 @@ impl Default for MachineConfig {
             eviction: EvictionPolicy::Lru,
             stall_retry: 4,
             monitor: true,
+            contention: Contention::Off,
         }
     }
 }

@@ -4,16 +4,27 @@
 //! through their traces; network operations (migrations, evictions,
 //! remote accesses) take the closed-form latencies of
 //! [`em2_model::CostModel`]; local cache accesses take the hierarchy
-//! latencies; barriers synchronize threads exactly. Core pipeline
+//! latencies; barriers synchronize threads exactly. With the default
+//! [`Contention::Off`](em2_engine::Contention) timing, core pipeline
 //! contention between co-resident contexts and network link contention
 //! are not modeled — the same simplifications the paper's own
 //! analytical model makes (§3: "ignores local memory access delays,
 //! since the migration-vs-RA decision mainly affects network delays"),
 //! which keeps the DP bound from `em2-optimal` directly comparable.
+//! Setting [`MachineConfig::contention`] to `Contention::Queued` turns
+//! on the engine's FIFO home-core service queues and per-link
+//! bandwidth occupancy (DESIGN.md §4 addendum).
 //!
 //! The simulator is fully deterministic: event ties are broken by
 //! insertion sequence, and all randomness (e.g. random eviction) flows
 //! from seeded generators.
+//!
+//! The machine runs on the shared discrete-event kernel of
+//! [`em2_engine`]: the engine owns the event queue, the per-thread
+//! scheduling phases, barrier synchronization, the run-length monitor,
+//! and the contention state; this module supplies the EM²-specific
+//! transition logic through the engine's
+//! [`MachineModel`] trait.
 //!
 //! The hot path runs over an [`em2_trace::FlatWorkload`] — a
 //! struct-of-arrays trace with every access's home core resolved
@@ -29,45 +40,13 @@ use crate::machine::{EvictionPolicy, MachineConfig};
 use crate::monitor::Monitor;
 use crate::stats::{FlowCounts, SimReport, TrafficBreakdown};
 use em2_cache::CacheHierarchy;
-use em2_model::{CoreId, DetRng, Histogram, Summary, ThreadId};
+use em2_engine::{ContentionState, Engine, Event, MachineModel, ThreadPhase};
+use em2_model::{CoreId, CostModel, DetRng, Summary, ThreadId};
 use em2_placement::Placement;
 use em2_trace::{FlatWorkload, Workload};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Bins for the Figure-2 run-length histogram.
 const RUN_BINS: u64 = 60;
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Status {
-    /// Resident, between operations.
-    Idle,
-    /// Resident, executing an access that completes at the given time.
-    Busy { until: u64 },
-    /// Resident, waiting for a remote access to return.
-    Remote { until: u64 },
-    /// Parked at a barrier.
-    Barrier { idx: usize, since: u64 },
-    /// Context in flight (migration or eviction); `resume` = schedule
-    /// a Ready on arrival.
-    Flight { arrive: u64, resume: bool },
-    /// Trace exhausted.
-    Done,
-}
-
-struct ThreadState {
-    native: CoreId,
-    core: CoreId,
-    pos: usize,
-    next_barrier: usize,
-    status: Status,
-    epoch: u64,
-    /// Issue time of the access currently in flight (migration or RA).
-    op_issue: u64,
-    /// Run-length tracking: current home run.
-    run_core: Option<CoreId>,
-    run_len: u64,
-}
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum EventKind {
@@ -80,24 +59,391 @@ enum EventKind {
     Service { home: CoreId },
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Event {
-    time: u64,
-    seq: u64,
-    thread: ThreadId,
-    epoch: u64,
-    kind: EventKind,
+/// Machine-specific per-thread state (the engine owns the scheduling
+/// phase, epoch, trace cursor and barrier cursor).
+struct Em2Thread {
+    native: CoreId,
+    core: CoreId,
+    /// Issue time of the access currently in flight (migration or RA).
+    op_issue: u64,
 }
 
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
+/// The EM²/EM²-RA machine: per-access transition logic plugged into
+/// the shared engine.
+struct Em2Machine<'a> {
+    cost: CostModel,
+    ctx_bits: u64,
+    line_bytes: u64,
+    stall_retry: u64,
+    flat: &'a FlatWorkload,
+    pools: Vec<ContextPool>,
+    caches: Vec<CacheHierarchy>,
+    monitor: Option<Monitor>,
+    scheme: Box<dyn DecisionScheme>,
+    threads: Vec<Em2Thread>,
+    // Report accumulators.
+    flow: FlowCounts,
+    traffic: TrafficBreakdown,
+    access_latency: Summary,
+    migration_latency: Summary,
+    remote_latency: Summary,
+    context_bits_sent: u64,
+    network_cycles: u64,
 }
 
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+impl MachineModel for Em2Machine<'_> {
+    type Event = EventKind;
+
+    fn handle(&mut self, eng: &mut Engine<EventKind>, ev: Event<EventKind>) {
+        let tid = ev.thread;
+        let t_idx = tid.index();
+        let now = ev.time;
+        let cost = self.cost;
+        let flat = self.flat;
+
+        match ev.kind {
+            EventKind::Arrive { dst, eviction } => {
+                if dst == self.threads[t_idx].native {
+                    self.pools[dst.index()].admit_native(tid);
+                } else {
+                    match self.pools[dst.index()].admit_guest(tid, now) {
+                        Admission::Admitted => {}
+                        Admission::AdmittedEvicting(victim) => {
+                            self.flow.evictions += 1;
+                            let v_idx = victim.index();
+                            let v_native = self.threads[v_idx].native;
+                            if let Some(m) = self.monitor.as_mut() {
+                                m.on_depart(victim, dst);
+                            }
+                            // The victim drains its current access,
+                            // then travels on the eviction network.
+                            let depart = match eng.phase(victim) {
+                                ThreadPhase::Busy { until } => until.max(now),
+                                _ => now,
+                            };
+                            let was_parked =
+                                matches!(eng.phase(victim), ThreadPhase::AtBarrier { .. });
+                            let v_epoch = eng.bump_epoch(victim);
+                            let ev_lat = cost.migration_latency_bits(dst, v_native, self.ctx_bits)
+                                + eng.contention.link_delay(
+                                    &cost,
+                                    dst,
+                                    v_native,
+                                    self.ctx_bits,
+                                    depart,
+                                );
+                            self.context_bits_sent += self.ctx_bits;
+                            self.traffic.eviction_flit_hops +=
+                                cost.migration_traffic_bits(dst, v_native, self.ctx_bits);
+                            eng.set_phase(
+                                victim,
+                                ThreadPhase::InFlight {
+                                    arrive: depart + ev_lat,
+                                    // Evicted while parked at a barrier:
+                                    // stay parked on arrival.
+                                    resume: !was_parked,
+                                },
+                            );
+                            self.threads[v_idx].core = v_native;
+                            eng.push(
+                                depart + ev_lat,
+                                victim,
+                                v_epoch,
+                                EventKind::Arrive {
+                                    dst: v_native,
+                                    eviction: true,
+                                },
+                            );
+                        }
+                        Admission::Stalled => {
+                            self.flow.stalled_arrivals += 1;
+                            eng.push(
+                                now + self.stall_retry,
+                                tid,
+                                ev.epoch,
+                                EventKind::Arrive { dst, eviction },
+                            );
+                            return;
+                        }
+                    }
+                }
+                if let Some(m) = self.monitor.as_mut() {
+                    m.on_arrive(tid, dst);
+                    m.on_guest_count(
+                        dst,
+                        self.pools[dst.index()].guest_count(),
+                        self.pools[dst.index()].guest_capacity(),
+                    );
+                }
+                self.threads[t_idx].core = dst;
+                let resume = match eng.phase(tid) {
+                    ThreadPhase::InFlight { resume, .. } => resume,
+                    _ => true,
+                };
+                let phase = if eviction && !resume {
+                    // Still parked at its barrier.
+                    ThreadPhase::AtBarrier {
+                        idx: eng.next_barrier(tid).saturating_sub(1),
+                        since: now,
+                    }
+                } else {
+                    ThreadPhase::Idle
+                };
+                eng.set_phase(tid, phase);
+                if eviction {
+                    if resume {
+                        eng.push(now, tid, ev.epoch, EventKind::Ready);
+                    }
+                    return;
+                }
+                // Migration arrival: perform the access that caused it.
+                let ft = &flat.threads[t_idx];
+                let pos = eng.pos(tid);
+                let (addr, kind) = (ft.addr[pos], ft.kind[pos]);
+                let t_access = eng.contention.home_admit(dst, now);
+                let outcome = self.caches[dst.index()].access(addr, kind.is_write());
+                let lat = outcome.latency(&cost);
+                let complete = t_access + lat;
+                let issue = self.threads[t_idx].op_issue;
+                self.flow.migrations += 1;
+                self.access_latency.record_u64(complete - issue);
+                let scheme = self.scheme.as_mut();
+                eng.runs
+                    .track(tid, dst, &mut |t, c, l| scheme.observe_run(t, c, l));
+                if let Some(m) = self.monitor.as_mut() {
+                    m.on_access(
+                        tid,
+                        pos,
+                        addr,
+                        addr.line(self.line_bytes).0,
+                        dst,
+                        dst,
+                        false,
+                        now,
+                        complete,
+                    );
+                }
+                eng.set_pos(tid, pos + 1);
+                eng.set_phase(tid, ThreadPhase::Busy { until: complete });
+                self.pools[dst.index()].touch(tid, now);
+                let next_gap = ft.gap.get(pos + 1).map_or(0, |&g| g as u64);
+                eng.push(complete + next_gap, tid, ev.epoch, EventKind::Ready);
+            }
+
+            EventKind::Service { home } => {
+                // The remote request reaches the home cache: access
+                // memory there (queueing for a service slot under
+                // contention), then send the response back.
+                let ft = &flat.threads[t_idx];
+                let pos = eng.pos(tid);
+                let (addr, kind) = (ft.addr[pos], ft.kind[pos]);
+                let t_start = eng.contention.home_admit(home, now);
+                let outcome = self.caches[home.index()].access(addr, kind.is_write());
+                let cache_lat = outcome.latency(&cost);
+                let core = self.threads[t_idx].core;
+                let resp_bits = match kind {
+                    em2_model::AccessKind::Read => cost.ra_resp_read_bits,
+                    em2_model::AccessKind::Write => cost.ra_resp_ack_bits,
+                };
+                let resp_depart = t_start + cache_lat;
+                let complete = resp_depart
+                    + cost.one_way(home, core, resp_bits)
+                    + eng
+                        .contention
+                        .link_delay(&cost, home, core, resp_bits, resp_depart)
+                    + cost.ra_fixed;
+                let issue = self.threads[t_idx].op_issue;
+                match kind {
+                    em2_model::AccessKind::Read => self.flow.remote_reads += 1,
+                    em2_model::AccessKind::Write => self.flow.remote_writes += 1,
+                }
+                self.remote_latency.record_u64(complete - issue);
+                self.access_latency.record_u64(complete - issue);
+                self.network_cycles += (complete - issue) - cache_lat;
+                if let Some(m) = self.monitor.as_mut() {
+                    m.on_access(
+                        tid,
+                        pos,
+                        addr,
+                        addr.line(self.line_bytes).0,
+                        core,
+                        home,
+                        true,
+                        now,
+                        complete,
+                    );
+                }
+                eng.set_pos(tid, pos + 1);
+                eng.set_phase(tid, ThreadPhase::Waiting { until: complete });
+                let next_gap = ft.gap.get(pos + 1).map_or(0, |&g| g as u64);
+                eng.push(complete + next_gap, tid, ev.epoch, EventKind::Ready);
+            }
+
+            EventKind::Ready => {
+                // A Ready may be the completion of a remote access.
+                if let ThreadPhase::Waiting { until } = eng.phase(tid) {
+                    debug_assert!(now >= until);
+                    let core = self.threads[t_idx].core;
+                    if core != self.threads[t_idx].native {
+                        self.pools[core.index()].set_guest_state(tid, GuestState::Evictable);
+                    }
+                    eng.set_phase(tid, ThreadPhase::Idle);
+                }
+                if matches!(
+                    eng.phase(tid),
+                    ThreadPhase::Busy { .. } | ThreadPhase::Idle | ThreadPhase::AtBarrier { .. }
+                ) {
+                    eng.set_phase(tid, ThreadPhase::Idle);
+                }
+
+                // Barrier processing (the engine parks, releases and
+                // accounts waits).
+                if eng.barrier_advance(tid, now, EventKind::Ready) {
+                    return;
+                }
+
+                // Done?
+                let ft = &flat.threads[t_idx];
+                if eng.pos(tid) >= ft.len() {
+                    if eng.phase(tid) != ThreadPhase::Done {
+                        let core = self.threads[t_idx].core;
+                        if core == self.threads[t_idx].native {
+                            self.pools[core.index()].remove_native(tid);
+                        } else {
+                            self.pools[core.index()].remove_guest(tid);
+                        }
+                        if let Some(m) = self.monitor.as_mut() {
+                            m.on_depart(tid, core);
+                        }
+                        let scheme = self.scheme.as_mut();
+                        eng.runs
+                            .flush(tid, &mut |t, c, l| scheme.observe_run(t, c, l));
+                        eng.set_phase(tid, ThreadPhase::Done);
+                    }
+                    return;
+                }
+
+                // Issue the next access (gaps were folded into the
+                // Ready time, so it issues exactly now). The home was
+                // resolved once at flat-build time.
+                let pos = eng.pos(tid);
+                let (addr, kind) = (ft.addr[pos], ft.kind[pos]);
+                let issue = now;
+                let core = self.threads[t_idx].core;
+                let home = ft.home[pos];
+
+                if home == core {
+                    let outcome = self.caches[core.index()].access(addr, kind.is_write());
+                    let lat = outcome.latency(&cost);
+                    let complete = issue + lat;
+                    self.flow.local_accesses += 1;
+                    self.access_latency.record_u64(lat);
+                    let scheme = self.scheme.as_mut();
+                    eng.runs
+                        .track(tid, home, &mut |t, c, l| scheme.observe_run(t, c, l));
+                    if let Some(m) = self.monitor.as_mut() {
+                        m.on_access(
+                            tid,
+                            pos,
+                            addr,
+                            addr.line(self.line_bytes).0,
+                            core,
+                            home,
+                            false,
+                            now,
+                            complete,
+                        );
+                    }
+                    eng.set_pos(tid, pos + 1);
+                    eng.set_phase(tid, ThreadPhase::Busy { until: complete });
+                    self.pools[core.index()].touch(tid, now);
+                    let next_gap = ft.gap.get(pos + 1).map_or(0, |&g| g as u64);
+                    eng.push(complete + next_gap, tid, ev.epoch, EventKind::Ready);
+                    return;
+                }
+
+                // Non-local: migrate or remote-access.
+                let decision = self.scheme.decide(&DecisionCtx {
+                    thread: tid,
+                    current: core,
+                    home,
+                    native: self.threads[t_idx].native,
+                    kind,
+                    cost: &cost,
+                });
+                match decision {
+                    Decision::Migrate => {
+                        if core == self.threads[t_idx].native {
+                            self.pools[core.index()].remove_native(tid);
+                        } else {
+                            self.pools[core.index()].remove_guest(tid);
+                        }
+                        if let Some(m) = self.monitor.as_mut() {
+                            m.on_depart(tid, core);
+                        }
+                        let lat = cost.migration_latency_bits(core, home, self.ctx_bits)
+                            + eng
+                                .contention
+                                .link_delay(&cost, core, home, self.ctx_bits, issue);
+                        self.context_bits_sent += self.ctx_bits;
+                        self.traffic.migration_flit_hops +=
+                            cost.migration_traffic_bits(core, home, self.ctx_bits);
+                        self.migration_latency.record_u64(lat);
+                        self.network_cycles += lat;
+                        self.threads[t_idx].op_issue = issue;
+                        eng.set_phase(
+                            tid,
+                            ThreadPhase::InFlight {
+                                arrive: issue + lat,
+                                resume: true,
+                            },
+                        );
+                        eng.push(
+                            issue + lat,
+                            tid,
+                            ev.epoch,
+                            EventKind::Arrive {
+                                dst: home,
+                                eviction: false,
+                            },
+                        );
+                    }
+                    Decision::Remote => {
+                        // Send the request; the home cache is
+                        // accessed when it *arrives* (Service).
+                        let req_bits = match kind {
+                            em2_model::AccessKind::Read => cost.ra_req_bits,
+                            em2_model::AccessKind::Write => {
+                                cost.ra_req_bits + cost.ra_write_data_bits
+                            }
+                        };
+                        let resp_bits = match kind {
+                            em2_model::AccessKind::Read => cost.ra_resp_read_bits,
+                            em2_model::AccessKind::Write => cost.ra_resp_ack_bits,
+                        };
+                        self.traffic.ra_req_flit_hops +=
+                            cost.hops(core, home) * cost.flits(req_bits);
+                        self.traffic.ra_resp_flit_hops +=
+                            cost.hops(core, home) * cost.flits(resp_bits);
+                        let scheme = self.scheme.as_mut();
+                        eng.runs
+                            .track(tid, home, &mut |t, c, l| scheme.observe_run(t, c, l));
+                        if core != self.threads[t_idx].native {
+                            self.pools[core.index()].set_guest_state(tid, GuestState::Pinned);
+                        }
+                        self.pools[core.index()].touch(tid, now);
+                        self.threads[t_idx].op_issue = issue;
+                        eng.set_phase(tid, ThreadPhase::Waiting { until: u64::MAX });
+                        let service_at = issue
+                            + cost.one_way(core, home, req_bits)
+                            + eng
+                                .contention
+                                .link_delay(&cost, core, home, req_bits, issue);
+                        eng.push(service_at, tid, ev.epoch, EventKind::Service { home });
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -146,7 +492,7 @@ impl<'a> Simulator<'a> {
 pub fn run_flat(
     cfg: MachineConfig,
     flat: &FlatWorkload,
-    mut scheme: Box<dyn DecisionScheme>,
+    scheme: Box<dyn DecisionScheme>,
 ) -> SimReport {
     let cores = cfg.cores();
     assert!(
@@ -154,7 +500,7 @@ pub fn run_flat(
         "workload homes target more cores than the machine has"
     );
 
-    let mut pools: Vec<ContextPool> = (0..cores)
+    let pools: Vec<ContextPool> = (0..cores)
         .map(|i| {
             let policy = match cfg.eviction {
                 EvictionPolicy::Lru => VictimPolicy::Lru,
@@ -165,572 +511,102 @@ pub fn run_flat(
             ContextPool::new(cfg.guest_contexts, policy)
         })
         .collect();
-    let mut caches: Vec<CacheHierarchy> = (0..cores)
+    let caches: Vec<CacheHierarchy> = (0..cores)
         .map(|_| CacheHierarchy::new(cfg.caches))
         .collect();
-    let mut monitor = cfg.monitor.then(Monitor::new);
+    let monitor = cfg.monitor.then(Monitor::new);
 
-    let mut threads: Vec<ThreadState> = flat
+    let threads: Vec<Em2Thread> = flat
         .threads
         .iter()
-        .map(|t| ThreadState {
+        .map(|t| Em2Thread {
             native: t.native,
             core: t.native,
-            pos: 0,
-            next_barrier: 0,
-            status: Status::Idle,
-            epoch: 0,
             op_issue: 0,
-            run_core: None,
-            run_len: 0,
         })
         .collect();
 
-    // Barrier bookkeeping: expected arrivals per barrier index.
-    let max_barriers = flat
-        .threads
-        .iter()
-        .map(|t| t.barriers.len())
-        .max()
-        .unwrap_or(0);
-    let expected: Vec<usize> = (0..max_barriers)
-        .map(|k| flat.threads.iter().filter(|t| t.barriers.len() > k).count())
-        .collect();
-    let mut arrived = vec![0usize; max_barriers];
-    let mut waiting: Vec<Vec<ThreadId>> = vec![Vec::new(); max_barriers];
-
-    let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let push = |events: &mut BinaryHeap<Reverse<Event>>,
-                seq: &mut u64,
-                time: u64,
-                thread: ThreadId,
-                epoch: u64,
-                kind: EventKind| {
-        *seq += 1;
-        events.push(Reverse(Event {
-            time,
-            seq: *seq,
-            thread,
-            epoch,
-            kind,
-        }));
+    let mut eng: Engine<EventKind> = Engine::new(
+        flat,
+        RUN_BINS,
+        ContentionState::new(cfg.contention, cfg.cost.mesh),
+    );
+    let mut machine = Em2Machine {
+        cost: cfg.cost,
+        ctx_bits: cfg.cost.context_bits,
+        line_bytes: cfg.caches.l1.line_bytes,
+        stall_retry: cfg.stall_retry,
+        flat,
+        pools,
+        caches,
+        monitor,
+        scheme,
+        threads,
+        flow: FlowCounts::default(),
+        traffic: TrafficBreakdown::default(),
+        access_latency: Summary::new(),
+        migration_latency: Summary::new(),
+        remote_latency: Summary::new(),
+        context_bits_sent: 0,
+        network_cycles: 0,
     };
-
-    // Report accumulators.
-    let mut flow = FlowCounts::default();
-    let mut traffic = TrafficBreakdown::default();
-    let mut run_lengths = Histogram::new(RUN_BINS);
-    let mut access_latency = Summary::new();
-    let mut migration_latency = Summary::new();
-    let mut remote_latency = Summary::new();
-    let mut context_bits_sent = 0u64;
-    let mut network_cycles = 0u64;
-    let mut barrier_wait_cycles = 0u64;
-    let mut makespan = 0u64;
 
     // Seed: every thread starts in its native context at cycle 0.
     // Gaps are folded into Ready times, so a handler's `now` is the
     // issue time of the access it processes: cache state mutates in
     // simulated-time order (the monitor's serialization check).
-    for (i, ts) in threads.iter().enumerate() {
+    for i in 0..flat.num_threads() {
         let tid = ThreadId(i as u32);
-        pools[ts.native.index()].admit_native(tid);
-        if let Some(m) = monitor.as_mut() {
-            m.on_arrive(tid, ts.native);
+        let native = machine.threads[i].native;
+        machine.pools[native.index()].admit_native(tid);
+        if let Some(m) = machine.monitor.as_mut() {
+            m.on_arrive(tid, native);
         }
         let t0 = flat.threads[i].gap.first().map_or(0, |&g| g as u64);
-        push(&mut events, &mut seq, t0, tid, 0, EventKind::Ready);
+        eng.push(t0, tid, 0, EventKind::Ready);
     }
 
-    let cost = cfg.cost;
-    let ctx_bits = cost.context_bits;
-    let line_bytes = cfg.caches.l1.line_bytes;
-
-    while let Some(Reverse(ev)) = events.pop() {
-        let tid = ev.thread;
-        let t_idx = tid.index();
-        if ev.epoch != threads[t_idx].epoch {
-            continue; // cancelled by an eviction
-        }
-        let now = ev.time;
-        makespan = makespan.max(now);
-
-        match ev.kind {
-            EventKind::Arrive { dst, eviction } => {
-                if dst == threads[t_idx].native {
-                    pools[dst.index()].admit_native(tid);
-                } else {
-                    match pools[dst.index()].admit_guest(tid, now) {
-                        Admission::Admitted => {}
-                        Admission::AdmittedEvicting(victim) => {
-                            flow.evictions += 1;
-                            let v_idx = victim.index();
-                            let v_native = threads[v_idx].native;
-                            if let Some(m) = monitor.as_mut() {
-                                m.on_depart(victim, dst);
-                            }
-                            // The victim drains its current access,
-                            // then travels on the eviction network.
-                            let depart = match threads[v_idx].status {
-                                Status::Busy { until } => until.max(now),
-                                _ => now,
-                            };
-                            let was_parked =
-                                matches!(threads[v_idx].status, Status::Barrier { .. });
-                            if let Status::Barrier { since, idx } = threads[v_idx].status {
-                                // Keep the barrier registration; it
-                                // will resume via the resume flag.
-                                let _ = (since, idx);
-                            }
-                            threads[v_idx].epoch += 1;
-                            let ev_lat = cost.migration_latency_bits(dst, v_native, ctx_bits);
-                            context_bits_sent += ctx_bits;
-                            traffic.eviction_flit_hops +=
-                                cost.migration_traffic_bits(dst, v_native, ctx_bits);
-                            threads[v_idx].status = Status::Flight {
-                                arrive: depart + ev_lat,
-                                resume: !was_parked,
-                            };
-                            threads[v_idx].core = v_native;
-                            let v_epoch = threads[v_idx].epoch;
-                            push(
-                                &mut events,
-                                &mut seq,
-                                depart + ev_lat,
-                                victim,
-                                v_epoch,
-                                EventKind::Arrive {
-                                    dst: v_native,
-                                    eviction: true,
-                                },
-                            );
-                        }
-                        Admission::Stalled => {
-                            flow.stalled_arrivals += 1;
-                            push(
-                                &mut events,
-                                &mut seq,
-                                now + cfg.stall_retry,
-                                tid,
-                                ev.epoch,
-                                EventKind::Arrive { dst, eviction },
-                            );
-                            continue;
-                        }
-                    }
-                }
-                if let Some(m) = monitor.as_mut() {
-                    m.on_arrive(tid, dst);
-                    m.on_guest_count(
-                        dst,
-                        pools[dst.index()].guest_count(),
-                        pools[dst.index()].guest_capacity(),
-                    );
-                }
-                threads[t_idx].core = dst;
-                let resume = match threads[t_idx].status {
-                    Status::Flight { resume, .. } => resume,
-                    _ => true,
-                };
-                threads[t_idx].status = if eviction {
-                    if resume {
-                        Status::Idle
-                    } else {
-                        // Still parked at its barrier.
-                        Status::Barrier {
-                            idx: threads[t_idx].next_barrier.saturating_sub(1),
-                            since: now,
-                        }
-                    }
-                } else {
-                    Status::Idle
-                };
-                if eviction {
-                    if resume {
-                        push(&mut events, &mut seq, now, tid, ev.epoch, EventKind::Ready);
-                    }
-                    continue;
-                }
-                // Migration arrival: perform the access that caused it.
-                let ft = &flat.threads[t_idx];
-                let pos = threads[t_idx].pos;
-                let (addr, kind) = (ft.addr[pos], ft.kind[pos]);
-                let outcome = caches[dst.index()].access(addr, kind.is_write());
-                let lat = outcome.latency(&cost);
-                let complete = now + lat;
-                let issue = threads[t_idx].op_issue;
-                flow.migrations += 1;
-                access_latency.record_u64(complete - issue);
-                track_run(
-                    &mut threads[t_idx],
-                    dst,
-                    &mut run_lengths,
-                    scheme.as_mut(),
-                    tid,
-                );
-                if let Some(m) = monitor.as_mut() {
-                    m.on_access(
-                        tid,
-                        pos,
-                        addr,
-                        addr.line(line_bytes).0,
-                        dst,
-                        dst,
-                        false,
-                        now,
-                        complete,
-                    );
-                }
-                threads[t_idx].pos += 1;
-                threads[t_idx].status = Status::Busy { until: complete };
-                pools[dst.index()].touch(tid, now);
-                let next_gap = ft.gap.get(threads[t_idx].pos).map_or(0, |&g| g as u64);
-                push(
-                    &mut events,
-                    &mut seq,
-                    complete + next_gap,
-                    tid,
-                    ev.epoch,
-                    EventKind::Ready,
-                );
-            }
-
-            EventKind::Service { home } => {
-                // The remote request reaches the home cache: access
-                // memory there, then send the response back.
-                let ft = &flat.threads[t_idx];
-                let pos = threads[t_idx].pos;
-                let (addr, kind) = (ft.addr[pos], ft.kind[pos]);
-                let outcome = caches[home.index()].access(addr, kind.is_write());
-                let cache_lat = outcome.latency(&cost);
-                let core = threads[t_idx].core;
-                let resp_bits = match kind {
-                    em2_model::AccessKind::Read => cost.ra_resp_read_bits,
-                    em2_model::AccessKind::Write => cost.ra_resp_ack_bits,
-                };
-                let complete =
-                    now + cache_lat + cost.one_way(home, core, resp_bits) + cost.ra_fixed;
-                let issue = threads[t_idx].op_issue;
-                match kind {
-                    em2_model::AccessKind::Read => flow.remote_reads += 1,
-                    em2_model::AccessKind::Write => flow.remote_writes += 1,
-                }
-                remote_latency.record_u64(complete - issue);
-                access_latency.record_u64(complete - issue);
-                network_cycles += (complete - issue) - cache_lat;
-                if let Some(m) = monitor.as_mut() {
-                    m.on_access(
-                        tid,
-                        pos,
-                        addr,
-                        addr.line(line_bytes).0,
-                        core,
-                        home,
-                        true,
-                        now,
-                        complete,
-                    );
-                }
-                threads[t_idx].pos += 1;
-                threads[t_idx].status = Status::Remote { until: complete };
-                let next_gap = ft.gap.get(threads[t_idx].pos).map_or(0, |&g| g as u64);
-                push(
-                    &mut events,
-                    &mut seq,
-                    complete + next_gap,
-                    tid,
-                    ev.epoch,
-                    EventKind::Ready,
-                );
-            }
-
-            EventKind::Ready => {
-                // A Ready may be the completion of a remote access.
-                if let Status::Remote { until } = threads[t_idx].status {
-                    debug_assert!(now >= until);
-                    let core = threads[t_idx].core;
-                    if core != threads[t_idx].native {
-                        pools[core.index()].set_guest_state(tid, GuestState::Evictable);
-                    }
-                    threads[t_idx].status = Status::Idle;
-                }
-                threads[t_idx].status = match threads[t_idx].status {
-                    Status::Busy { .. } | Status::Idle | Status::Barrier { .. } => Status::Idle,
-                    s => s,
-                };
-
-                // Barrier processing.
-                let ft = &flat.threads[t_idx];
-                let mut parked = false;
-                while threads[t_idx].next_barrier < ft.barriers.len()
-                    && ft.barriers[threads[t_idx].next_barrier] == threads[t_idx].pos
-                {
-                    let k = threads[t_idx].next_barrier;
-                    threads[t_idx].next_barrier += 1;
-                    arrived[k] += 1;
-                    if arrived[k] == expected[k] {
-                        // Release everyone parked here.
-                        for w in waiting[k].drain(..) {
-                            let w_idx = w.index();
-                            match threads[w_idx].status {
-                                Status::Flight { .. } => {
-                                    // Evicted while parked: resume on
-                                    // arrival instead.
-                                    if let Status::Flight { arrive, .. } = threads[w_idx].status {
-                                        threads[w_idx].status = Status::Flight {
-                                            arrive,
-                                            resume: true,
-                                        };
-                                    }
-                                }
-                                Status::Barrier { since, .. } => {
-                                    barrier_wait_cycles += now - since;
-                                    let w_epoch = threads[w_idx].epoch;
-                                    push(&mut events, &mut seq, now, w, w_epoch, EventKind::Ready);
-                                }
-                                _ => {}
-                            }
-                        }
-                        // This thread continues through the loop.
-                    } else {
-                        waiting[k].push(tid);
-                        threads[t_idx].status = Status::Barrier { idx: k, since: now };
-                        parked = true;
-                        break;
-                    }
-                }
-                if parked {
-                    continue;
-                }
-
-                // Done?
-                if threads[t_idx].pos >= ft.len() {
-                    if threads[t_idx].status != Status::Done {
-                        let core = threads[t_idx].core;
-                        if core == threads[t_idx].native {
-                            pools[core.index()].remove_native(tid);
-                        } else {
-                            pools[core.index()].remove_guest(tid);
-                        }
-                        if let Some(m) = monitor.as_mut() {
-                            m.on_depart(tid, core);
-                        }
-                        flush_run(&mut threads[t_idx], &mut run_lengths, scheme.as_mut(), tid);
-                        threads[t_idx].status = Status::Done;
-                    }
-                    continue;
-                }
-
-                // Issue the next access (gaps were folded into the
-                // Ready time, so it issues exactly now). The home was
-                // resolved once at flat-build time.
-                let pos = threads[t_idx].pos;
-                let (addr, kind) = (ft.addr[pos], ft.kind[pos]);
-                let issue = now;
-                let core = threads[t_idx].core;
-                let home = ft.home[pos];
-
-                if home == core {
-                    let outcome = caches[core.index()].access(addr, kind.is_write());
-                    let lat = outcome.latency(&cost);
-                    let complete = issue + lat;
-                    flow.local_accesses += 1;
-                    access_latency.record_u64(lat);
-                    track_run(
-                        &mut threads[t_idx],
-                        home,
-                        &mut run_lengths,
-                        scheme.as_mut(),
-                        tid,
-                    );
-                    if let Some(m) = monitor.as_mut() {
-                        m.on_access(
-                            tid,
-                            pos,
-                            addr,
-                            addr.line(line_bytes).0,
-                            core,
-                            home,
-                            false,
-                            now,
-                            complete,
-                        );
-                    }
-                    threads[t_idx].pos += 1;
-                    threads[t_idx].status = Status::Busy { until: complete };
-                    pools[core.index()].touch(tid, now);
-                    let next_gap = ft.gap.get(threads[t_idx].pos).map_or(0, |&g| g as u64);
-                    push(
-                        &mut events,
-                        &mut seq,
-                        complete + next_gap,
-                        tid,
-                        ev.epoch,
-                        EventKind::Ready,
-                    );
-                    continue;
-                }
-
-                // Non-local: migrate or remote-access.
-                let decision = scheme.decide(&DecisionCtx {
-                    thread: tid,
-                    current: core,
-                    home,
-                    native: threads[t_idx].native,
-                    kind,
-                    cost: &cost,
-                });
-                match decision {
-                    Decision::Migrate => {
-                        if core == threads[t_idx].native {
-                            pools[core.index()].remove_native(tid);
-                        } else {
-                            pools[core.index()].remove_guest(tid);
-                        }
-                        if let Some(m) = monitor.as_mut() {
-                            m.on_depart(tid, core);
-                        }
-                        let lat = cost.migration_latency_bits(core, home, ctx_bits);
-                        context_bits_sent += ctx_bits;
-                        traffic.migration_flit_hops +=
-                            cost.migration_traffic_bits(core, home, ctx_bits);
-                        migration_latency.record_u64(lat);
-                        network_cycles += lat;
-                        threads[t_idx].op_issue = issue;
-                        threads[t_idx].status = Status::Flight {
-                            arrive: issue + lat,
-                            resume: true,
-                        };
-                        push(
-                            &mut events,
-                            &mut seq,
-                            issue + lat,
-                            tid,
-                            ev.epoch,
-                            EventKind::Arrive {
-                                dst: home,
-                                eviction: false,
-                            },
-                        );
-                    }
-                    Decision::Remote => {
-                        // Send the request; the home cache is
-                        // accessed when it *arrives* (Service).
-                        let req_bits = match kind {
-                            em2_model::AccessKind::Read => cost.ra_req_bits,
-                            em2_model::AccessKind::Write => {
-                                cost.ra_req_bits + cost.ra_write_data_bits
-                            }
-                        };
-                        let resp_bits = match kind {
-                            em2_model::AccessKind::Read => cost.ra_resp_read_bits,
-                            em2_model::AccessKind::Write => cost.ra_resp_ack_bits,
-                        };
-                        traffic.ra_req_flit_hops += cost.hops(core, home) * cost.flits(req_bits);
-                        traffic.ra_resp_flit_hops += cost.hops(core, home) * cost.flits(resp_bits);
-                        track_run(
-                            &mut threads[t_idx],
-                            home,
-                            &mut run_lengths,
-                            scheme.as_mut(),
-                            tid,
-                        );
-                        if core != threads[t_idx].native {
-                            pools[core.index()].set_guest_state(tid, GuestState::Pinned);
-                        }
-                        pools[core.index()].touch(tid, now);
-                        threads[t_idx].op_issue = issue;
-                        threads[t_idx].status = Status::Remote { until: u64::MAX };
-                        push(
-                            &mut events,
-                            &mut seq,
-                            issue + cost.one_way(core, home, req_bits),
-                            tid,
-                            ev.epoch,
-                            EventKind::Service { home },
-                        );
-                    }
-                }
-            }
-        }
-    }
+    eng.drive(&mut machine);
 
     // Aggregate caches & pools.
     let mut cache_stats = em2_cache::CacheStats::default();
-    for c in &caches {
+    for c in &machine.caches {
         cache_stats.merge(c.stats());
     }
-    let peak_guests = pools.iter().map(|p| p.peak_guests()).max().unwrap_or(0);
+    let peak_guests = machine
+        .pools
+        .iter()
+        .map(|p| p.peak_guests())
+        .max()
+        .unwrap_or(0);
 
     debug_assert!(
-        threads.iter().all(|t| t.status == Status::Done),
+        eng.all_done(),
         "all threads must finish (barrier mismatch?)"
     );
+    let tally = eng.finish();
 
     SimReport {
         workload: flat.name.clone(),
-        scheme: scheme.name(),
-        cycles: makespan,
-        flow,
-        run_lengths,
-        context_bits_sent,
-        traffic,
-        access_latency,
-        migration_latency,
-        remote_latency,
+        scheme: machine.scheme.name(),
+        cycles: tally.makespan,
+        flow: machine.flow,
+        run_lengths: tally.run_lengths,
+        context_bits_sent: machine.context_bits_sent,
+        traffic: machine.traffic,
+        access_latency: machine.access_latency,
+        migration_latency: machine.migration_latency,
+        remote_latency: machine.remote_latency,
         caches: cache_stats,
         peak_guests,
-        network_cycles,
-        barrier_wait_cycles,
-        violations: monitor.map(Monitor::into_violations).unwrap_or_default(),
-    }
-}
-
-/// Advance the per-thread home-run tracker with an access at `home`.
-fn track_run(
-    ts: &mut ThreadState,
-    home: CoreId,
-    hist: &mut Histogram,
-    scheme: &mut dyn DecisionScheme,
-    tid: ThreadId,
-) {
-    match ts.run_core {
-        Some(c) if c == home => ts.run_len += 1,
-        Some(c) => {
-            if c != ts.native {
-                hist.record(ts.run_len);
-            }
-            // Feedback covers native runs too: the decision to
-            // migrate *home* amortizes over them, and a scheme
-            // that never learns their lengths strands threads
-            // remote-accessing their own data.
-            scheme.observe_run(tid, c, ts.run_len);
-            ts.run_core = Some(home);
-            ts.run_len = 1;
-        }
-        None => {
-            ts.run_core = Some(home);
-            ts.run_len = 1;
-        }
-    }
-}
-
-/// Flush the final run at thread completion.
-fn flush_run(
-    ts: &mut ThreadState,
-    hist: &mut Histogram,
-    scheme: &mut dyn DecisionScheme,
-    tid: ThreadId,
-) {
-    if let Some(c) = ts.run_core.take() {
-        if ts.run_len > 0 {
-            if c != ts.native {
-                hist.record(ts.run_len);
-            }
-            scheme.observe_run(tid, c, ts.run_len);
-        }
-        ts.run_len = 0;
+        network_cycles: machine.network_cycles,
+        barrier_wait_cycles: tally.barrier_wait_cycles,
+        queue_link_wait_cycles: tally.link_wait_cycles,
+        queue_home_wait_cycles: tally.home_wait_cycles,
+        violations: machine
+            .monitor
+            .map(Monitor::into_violations)
+            .unwrap_or_default(),
     }
 }
 
@@ -769,7 +645,6 @@ pub fn run_em2ra_flat(
 ) -> SimReport {
     run_flat(cfg, flat, scheme)
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -101,6 +101,12 @@ pub struct SimReport {
     pub peak_guests: usize,
     /// Cycles threads spent blocked at barriers, summed.
     pub barrier_wait_cycles: u64,
+    /// Cycles packets waited for link bandwidth under
+    /// `Contention::Queued` (always 0 with contention off).
+    pub queue_link_wait_cycles: u64,
+    /// Cycles requests waited in home-core service queues under
+    /// `Contention::Queued` (always 0 with contention off).
+    pub queue_home_wait_cycles: u64,
     /// Invariant violations found by the online monitor (must be
     /// empty; kept in the report so tests can assert on it).
     pub violations: Vec<String>,

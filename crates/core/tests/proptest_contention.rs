@@ -1,0 +1,82 @@
+//! Property tests for the contention layer seen through the full EM²
+//! simulator: `Contention::Queued` with unbounded capacity must be
+//! **bit-identical** to `Contention::Off` (the collapse guarantee),
+//! and queued runs must stay deterministic.
+
+use em2_core::machine::MachineConfig;
+use em2_core::sim::{run_em2_flat, run_em2ra_flat};
+use em2_core::{AlwaysRemote, Contention, HistoryPredictor, QueuedParams};
+use em2_placement::{FirstTouch, Placement};
+use em2_trace::{gen::micro, FlatWorkload};
+use proptest::prelude::*;
+
+const CORES: usize = 8;
+
+fn cfg(contention: Contention) -> MachineConfig {
+    MachineConfig {
+        contention,
+        ..MachineConfig::with_cores(CORES)
+    }
+}
+
+fn flat_uniform(threads: usize, accesses: usize, lines: u64, wf: f64, seed: u64) -> FlatWorkload {
+    let w = micro::uniform(threads, CORES, accesses, lines as usize, wf, seed);
+    let p = FirstTouch::build(&w, CORES, 64);
+    FlatWorkload::build(&w, 64, |a| p.home_of(a))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn unbounded_queued_collapses_to_off_bit_exactly(
+        threads in 2usize..6,
+        accesses in 50usize..250,
+        lines in 16u64..128,
+        wf in 0.0f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        let flat = flat_uniform(threads, accesses, lines, wf, seed);
+        let unbounded = Contention::Queued(QueuedParams::UNBOUNDED);
+
+        let off = run_em2_flat(cfg(Contention::Off), &flat);
+        let unb = run_em2_flat(cfg(unbounded), &flat);
+        prop_assert_eq!(off.cycles, unb.cycles);
+        prop_assert_eq!(off.flow, unb.flow);
+        prop_assert_eq!(&off.traffic, &unb.traffic);
+        prop_assert_eq!(&off.run_lengths, &unb.run_lengths);
+        prop_assert_eq!(off.context_bits_sent, unb.context_bits_sent);
+        prop_assert_eq!(off.network_cycles, unb.network_cycles);
+        prop_assert_eq!(off.barrier_wait_cycles, unb.barrier_wait_cycles);
+        prop_assert_eq!(&off.access_latency, &unb.access_latency);
+        prop_assert_eq!(unb.queue_link_wait_cycles, 0);
+        prop_assert_eq!(unb.queue_home_wait_cycles, 0);
+
+        let ra_off = run_em2ra_flat(cfg(Contention::Off), &flat, Box::new(AlwaysRemote));
+        let ra_unb = run_em2ra_flat(cfg(unbounded), &flat, Box::new(AlwaysRemote));
+        prop_assert_eq!(ra_off.cycles, ra_unb.cycles);
+        prop_assert_eq!(ra_off.flow, ra_unb.flow);
+        prop_assert_eq!(&ra_off.access_latency, &ra_unb.access_latency);
+    }
+
+    #[test]
+    fn queued_runs_are_deterministic(
+        threads in 2usize..6,
+        accesses in 50usize..200,
+        seed in any::<u64>(),
+    ) {
+        let flat = flat_uniform(threads, accesses, 64, 0.3, seed);
+        let queued = Contention::Queued(QueuedParams {
+            home_ports: 1,
+            service_cycles: 8,
+            link_channels: 1,
+        });
+        let run = || run_em2ra_flat(cfg(queued), &flat, Box::new(HistoryPredictor::new(1.0, 0.5)));
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.flow, b.flow);
+        prop_assert_eq!(a.queue_link_wait_cycles, b.queue_link_wait_cycles);
+        prop_assert_eq!(a.queue_home_wait_cycles, b.queue_home_wait_cycles);
+        prop_assert_eq!(&a.access_latency, &b.access_latency);
+    }
+}

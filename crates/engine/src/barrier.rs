@@ -1,0 +1,66 @@
+//! Exact barrier synchronization.
+//!
+//! Both machine models use the same barrier semantics: barrier `k`
+//! releases when every thread whose trace contains at least `k + 1`
+//! barriers has arrived at it. Arrival happens when a thread's trace
+//! cursor reaches the recorded barrier position; a thread may pass
+//! several consecutive barriers at the same position in one step
+//! (arrive, release everyone, immediately arrive at the next).
+
+use em2_model::ThreadId;
+use em2_trace::FlatWorkload;
+
+/// Barrier bookkeeping: expected arrivals, arrival counts, and parked
+/// threads per barrier index.
+#[derive(Debug)]
+pub struct Barriers {
+    /// Barrier positions per thread (copied from the flat workload).
+    per_thread: Vec<Vec<usize>>,
+    expected: Vec<usize>,
+    arrived: Vec<usize>,
+    waiting: Vec<Vec<ThreadId>>,
+}
+
+impl Barriers {
+    /// Build the bookkeeping for a workload: barrier `k` expects one
+    /// arrival from every thread with more than `k` barriers.
+    pub fn new(flat: &FlatWorkload) -> Self {
+        let max_barriers = flat
+            .threads
+            .iter()
+            .map(|t| t.barriers.len())
+            .max()
+            .unwrap_or(0);
+        let expected: Vec<usize> = (0..max_barriers)
+            .map(|k| flat.threads.iter().filter(|t| t.barriers.len() > k).count())
+            .collect();
+        Barriers {
+            per_thread: flat.threads.iter().map(|t| t.barriers.clone()).collect(),
+            expected,
+            arrived: vec![0; max_barriers],
+            waiting: vec![Vec::new(); max_barriers],
+        }
+    }
+
+    /// The barrier positions of `thread`'s trace.
+    pub fn positions(&self, thread: ThreadId) -> &[usize] {
+        &self.per_thread[thread.index()]
+    }
+
+    /// Register an arrival at barrier `k`. Returns `true` when this
+    /// arrival completes the barrier (caller drains the waiters).
+    pub(crate) fn arrive(&mut self, k: usize) -> bool {
+        self.arrived[k] += 1;
+        self.arrived[k] == self.expected[k]
+    }
+
+    /// Park `thread` at barrier `k`.
+    pub(crate) fn park(&mut self, k: usize, thread: ThreadId) {
+        self.waiting[k].push(thread);
+    }
+
+    /// Take the threads parked at barrier `k`, in park order.
+    pub(crate) fn drain_waiters(&mut self, k: usize) -> Vec<ThreadId> {
+        std::mem::take(&mut self.waiting[k])
+    }
+}

@@ -1,0 +1,324 @@
+//! Opt-in contention timing.
+//!
+//! The paper's closed-form model (and the simulators' default timing)
+//! prices every network operation as if the mesh and the home cores
+//! were infinitely parallel: packets never queue behind each other and
+//! a home core can service any number of simultaneous requests. That is
+//! exactly the §3 simplification — and the cycle-level NoC (E9) shows
+//! it is accurate for *uncontended* traffic. This module adds the two
+//! first-order queueing effects software-DSM systems report, while
+//! keeping the default bit-exact:
+//!
+//! * [`Contention::Off`] — every query returns the identity: service
+//!   starts at arrival, link delay is zero. Simulations are
+//!   **bit-identical** to the pre-contention timing model.
+//! * [`Contention::Queued`] — FIFO service queueing at home cores
+//!   (requests contend for [`QueuedParams::home_ports`] service slots,
+//!   each occupied for [`QueuedParams::service_cycles`]) and per-link
+//!   bandwidth occupancy (a packet of `F` flits occupies each directed
+//!   mesh link on its X-Y route for `F` cycles, across
+//!   [`QueuedParams::link_channels`] parallel channels). Both derive
+//!   their occupancies from the same [`CostModel`] the closed form
+//!   uses: flit counts from `link_width_bits`/`header_bits`, the
+//!   default service time from `l2_hit_latency`.
+//!
+//! Guarantees (pinned by the crate's proptests):
+//!
+//! * a contended operation is never faster than the closed form — the
+//!   layer only ever *adds* delay;
+//! * as capacity goes unbounded ([`QueuedParams::UNBOUNDED`]: zero
+//!   service time, unlimited channels) every delay is exactly zero, so
+//!   `Queued` collapses to `Off` bit-for-bit;
+//! * delays are monotone under added load: injecting extra traffic
+//!   before a packet sequence never shrinks any packet's delay.
+//!
+//! Determinism: all state mutates in event-processing order, which the
+//! engine's `(time, seq)` queue fixes independent of host parallelism.
+
+use em2_model::{CoreId, CostModel, Mesh};
+
+/// Contention mode of a machine: the closed-form default, or queued
+/// service + link bandwidth.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Contention {
+    /// Closed-form latencies only (the paper's §3 model). Bit-exact
+    /// with the pre-contention simulators.
+    #[default]
+    Off,
+    /// FIFO home-core service queues and per-link bandwidth occupancy.
+    Queued(QueuedParams),
+}
+
+/// Capacity parameters of the queued-contention model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueuedParams {
+    /// Parallel service slots per home core (cache/directory ports).
+    pub home_ports: u32,
+    /// Cycles one request occupies its service slot. `0` = service is
+    /// instantaneous (no home queueing at all).
+    pub service_cycles: u64,
+    /// Parallel channels per directed mesh link.
+    pub link_channels: u32,
+}
+
+impl QueuedParams {
+    /// The limit in which `Queued` provably equals `Off`: instantaneous
+    /// service, unlimited link bandwidth.
+    pub const UNBOUNDED: QueuedParams = QueuedParams {
+        home_ports: u32::MAX,
+        service_cycles: 0,
+        link_channels: u32::MAX,
+    };
+
+    /// Defaults derived from a cost model: one service port busy for an
+    /// L2 hit per request, one channel per link (the physical mesh).
+    pub fn from_cost(cost: &CostModel) -> Self {
+        QueuedParams {
+            home_ports: 1,
+            service_cycles: cost.l2_hit_latency,
+            link_channels: 1,
+        }
+    }
+}
+
+/// Directed-link slot index: 0 = +x, 1 = -x, 2 = +y, 3 = -y.
+fn dir_of(mesh: &Mesh, from: CoreId, to: CoreId) -> usize {
+    let (fx, fy) = mesh.coords(from);
+    let (tx, ty) = mesh.coords(to);
+    if tx > fx {
+        0
+    } else if tx < fx {
+        1
+    } else if ty > fy {
+        2
+    } else {
+        3
+    }
+}
+
+/// Pick the service slot that can start a request arriving at `ready`
+/// the earliest, lazily growing the slot set up to `cap`. Returns
+/// `(slot index, start time)`; the caller records the new busy-until.
+fn earliest_slot(slots: &mut Vec<u64>, cap: u32, ready: u64) -> (usize, u64) {
+    if let Some((i, &free)) = slots.iter().enumerate().min_by_key(|&(i, &free)| (free, i)) {
+        if free <= ready {
+            return (i, ready);
+        }
+        if (slots.len() as u32) < cap {
+            slots.push(0);
+            return (slots.len() - 1, ready);
+        }
+        return (i, free);
+    }
+    debug_assert!(cap >= 1, "capacity must admit at least one slot");
+    slots.push(0);
+    (0, ready)
+}
+
+/// Mutable contention state of one simulation: per-link channel
+/// occupancy and per-core service-slot occupancy.
+#[derive(Debug)]
+pub struct ContentionState {
+    mode: Contention,
+    mesh: Mesh,
+    /// Channel busy-until times per core per outgoing direction.
+    links: Vec<[Vec<u64>; 4]>,
+    /// Service-slot busy-until times per core.
+    ports: Vec<Vec<u64>>,
+    link_wait_cycles: u64,
+    home_wait_cycles: u64,
+}
+
+impl ContentionState {
+    /// Fresh state for a machine on `mesh` under `mode`.
+    pub fn new(mode: Contention, mesh: Mesh) -> Self {
+        let cores = mesh.cores();
+        let (links, ports) = match mode {
+            Contention::Off => (Vec::new(), Vec::new()),
+            Contention::Queued(_) => (
+                vec![[Vec::new(), Vec::new(), Vec::new(), Vec::new()]; cores],
+                vec![Vec::new(); cores],
+            ),
+        };
+        ContentionState {
+            mode,
+            mesh,
+            links,
+            ports,
+            link_wait_cycles: 0,
+            home_wait_cycles: 0,
+        }
+    }
+
+    /// The mode this state was built for.
+    pub fn mode(&self) -> Contention {
+        self.mode
+    }
+
+    /// Extra cycles a packet of `payload_bits` departing `src` for
+    /// `dst` at cycle `depart` spends waiting for link bandwidth along
+    /// its X-Y route. Reserves the route's channels as a side effect.
+    /// Exactly `0` under [`Contention::Off`] and whenever every link on
+    /// the route has a free channel.
+    pub fn link_delay(
+        &mut self,
+        cost: &CostModel,
+        src: CoreId,
+        dst: CoreId,
+        payload_bits: u64,
+        depart: u64,
+    ) -> u64 {
+        let p = match self.mode {
+            Contention::Off => return 0,
+            Contention::Queued(p) => p,
+        };
+        if src == dst {
+            return 0;
+        }
+        let flits = cost.flits(payload_bits);
+        let mut delay = 0u64;
+        let mut from = src;
+        for (k, to) in self.mesh.xy_route(src, dst).into_iter().enumerate() {
+            // Closed form: the head flit reaches link k's entrance at
+            // depart + k·hop_latency; contention shifts it by the
+            // delay accumulated upstream.
+            let ready = depart + k as u64 * cost.hop_latency + delay;
+            let slots = &mut self.links[from.index()][dir_of(&self.mesh, from, to)];
+            let (slot, start) = earliest_slot(slots, p.link_channels, ready);
+            delay += start - ready;
+            // The link serializes all flits of the packet.
+            slots[slot] = start + flits;
+            from = to;
+        }
+        self.link_wait_cycles += delay;
+        delay
+    }
+
+    /// Admit a request arriving at `home` at cycle `arrival` to the
+    /// core's FIFO service queue. Returns the service start time
+    /// (`>= arrival`; exactly `arrival` under [`Contention::Off`] or
+    /// instantaneous service) and occupies a slot.
+    pub fn home_admit(&mut self, home: CoreId, arrival: u64) -> u64 {
+        let p = match self.mode {
+            Contention::Off => return arrival,
+            Contention::Queued(p) => p,
+        };
+        if p.service_cycles == 0 {
+            return arrival;
+        }
+        let slots = &mut self.ports[home.index()];
+        let (slot, start) = earliest_slot(slots, p.home_ports, arrival);
+        slots[slot] = start + p.service_cycles;
+        self.home_wait_cycles += start - arrival;
+        start
+    }
+
+    /// Total cycles packets waited for link bandwidth.
+    pub fn link_wait_cycles(&self) -> u64 {
+        self.link_wait_cycles
+    }
+
+    /// Total cycles requests waited in home service queues.
+    pub fn home_wait_cycles(&self) -> u64 {
+        self.home_wait_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::builder().cores(16).build()
+    }
+
+    #[test]
+    fn off_is_identity() {
+        let cm = cost();
+        let mut s = ContentionState::new(Contention::Off, cm.mesh);
+        for t in 0..10 {
+            assert_eq!(s.link_delay(&cm, CoreId(0), CoreId(5), 1120, t), 0);
+            assert_eq!(s.home_admit(CoreId(3), t), t);
+        }
+        assert_eq!(s.link_wait_cycles(), 0);
+        assert_eq!(s.home_wait_cycles(), 0);
+    }
+
+    #[test]
+    fn unbounded_queued_is_identity() {
+        let cm = cost();
+        let mut s = ContentionState::new(Contention::Queued(QueuedParams::UNBOUNDED), cm.mesh);
+        for t in 0..10 {
+            assert_eq!(
+                s.link_delay(&cm, CoreId(0), CoreId(15), 4096, 0),
+                0,
+                "t={t}"
+            );
+            assert_eq!(s.home_admit(CoreId(3), 7), 7);
+        }
+    }
+
+    #[test]
+    fn single_channel_link_serializes_packets() {
+        let cm = cost();
+        let params = QueuedParams {
+            home_ports: 1,
+            service_cycles: 0,
+            link_channels: 1,
+        };
+        let mut s = ContentionState::new(Contention::Queued(params), cm.mesh);
+        let (a, b) = (cm.mesh.at(0, 0), cm.mesh.at(1, 0));
+        let flits = cm.flits(1120);
+        assert_eq!(s.link_delay(&cm, a, b, 1120, 0), 0, "first packet free");
+        // Second packet departing at the same cycle waits for the whole
+        // serialization of the first.
+        assert_eq!(s.link_delay(&cm, a, b, 1120, 0), flits);
+        assert_eq!(s.link_delay(&cm, a, b, 1120, 0), 2 * flits);
+        assert_eq!(s.link_wait_cycles(), 3 * flits);
+    }
+
+    #[test]
+    fn opposite_directions_do_not_contend() {
+        let cm = cost();
+        let params = QueuedParams {
+            home_ports: 1,
+            service_cycles: 0,
+            link_channels: 1,
+        };
+        let mut s = ContentionState::new(Contention::Queued(params), cm.mesh);
+        let (a, b) = (cm.mesh.at(0, 0), cm.mesh.at(1, 0));
+        assert_eq!(s.link_delay(&cm, a, b, 1120, 0), 0);
+        assert_eq!(s.link_delay(&cm, b, a, 1120, 0), 0, "reverse link is free");
+    }
+
+    #[test]
+    fn fifo_home_queue_backs_up() {
+        let cm = cost();
+        let params = QueuedParams {
+            home_ports: 1,
+            service_cycles: 10,
+            link_channels: u32::MAX,
+        };
+        let mut s = ContentionState::new(Contention::Queued(params), cm.mesh);
+        assert_eq!(s.home_admit(CoreId(2), 100), 100);
+        assert_eq!(s.home_admit(CoreId(2), 100), 110);
+        assert_eq!(s.home_admit(CoreId(2), 105), 120);
+        // A different home is unaffected.
+        assert_eq!(s.home_admit(CoreId(3), 100), 100);
+        assert_eq!(s.home_wait_cycles(), 10 + 15);
+    }
+
+    #[test]
+    fn two_ports_serve_two_at_once() {
+        let cm = cost();
+        let params = QueuedParams {
+            home_ports: 2,
+            service_cycles: 10,
+            link_channels: u32::MAX,
+        };
+        let mut s = ContentionState::new(Contention::Queued(params), cm.mesh);
+        assert_eq!(s.home_admit(CoreId(2), 100), 100);
+        assert_eq!(s.home_admit(CoreId(2), 100), 100);
+        assert_eq!(s.home_admit(CoreId(2), 100), 110);
+    }
+}

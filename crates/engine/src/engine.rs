@@ -1,0 +1,198 @@
+//! The engine proper: event dispatch, thread scheduling, barriers.
+
+use crate::barrier::Barriers;
+use crate::contention::ContentionState;
+use crate::event::{Event, EventQueue};
+use crate::runlen::RunMonitor;
+use crate::sched::{ThreadPhase, ThreadSched};
+use em2_model::{Histogram, ThreadId};
+use em2_trace::FlatWorkload;
+
+/// A machine model pluggable into the engine: the engine owns event
+/// ordering, scheduling state, barriers, run-length monitoring and
+/// contention; the model supplies the per-event transition logic.
+pub trait MachineModel {
+    /// Machine-specific event payload.
+    type Event: Copy;
+
+    /// Handle one delivered event. The engine has already filtered
+    /// stale-epoch events and advanced the makespan.
+    fn handle(&mut self, engine: &mut Engine<Self::Event>, ev: Event<Self::Event>);
+}
+
+/// Everything the engine accumulated over a run.
+#[derive(Debug)]
+pub struct EngineTally {
+    /// Cycle of the last delivered event (the makespan).
+    pub makespan: u64,
+    /// Total cycles threads spent parked at barriers.
+    pub barrier_wait_cycles: u64,
+    /// The run-length histogram (Figure-2 semantics).
+    pub run_lengths: Histogram,
+    /// Cycles packets waited for link bandwidth (0 with contention off).
+    pub link_wait_cycles: u64,
+    /// Cycles requests waited in home service queues (0 with
+    /// contention off).
+    pub home_wait_cycles: u64,
+}
+
+/// The shared discrete-event engine. Generic over the machine's event
+/// payload `K`; one engine instance drives one simulation.
+pub struct Engine<K> {
+    queue: EventQueue<K>,
+    threads: Vec<ThreadSched>,
+    barriers: Barriers,
+    /// The run-length monitor (machines call `track`/`flush`).
+    pub runs: RunMonitor,
+    /// The contention timing layer (machines query it when pricing
+    /// network operations and home-core service).
+    pub contention: ContentionState,
+    makespan: u64,
+    barrier_wait_cycles: u64,
+}
+
+impl<K: Copy> Engine<K> {
+    /// An engine for `flat`'s threads, binning run lengths into
+    /// `run_bins` buckets, with the given contention state.
+    pub fn new(flat: &FlatWorkload, run_bins: u64, contention: ContentionState) -> Self {
+        let natives = flat.threads.iter().map(|t| t.native).collect();
+        Engine {
+            queue: EventQueue::new(),
+            threads: vec![ThreadSched::new(); flat.num_threads()],
+            barriers: Barriers::new(flat),
+            runs: RunMonitor::new(natives, run_bins),
+            contention,
+            makespan: 0,
+            barrier_wait_cycles: 0,
+        }
+    }
+
+    /// Schedule `kind` for `thread` at `time` under `epoch`.
+    pub fn push(&mut self, time: u64, thread: ThreadId, epoch: u64, kind: K) {
+        self.queue.push(time, thread, epoch, kind);
+    }
+
+    /// The current epoch of `thread`.
+    pub fn epoch(&self, thread: ThreadId) -> u64 {
+        self.threads[thread.index()].epoch
+    }
+
+    /// Invalidate every outstanding event of `thread`; returns the new
+    /// epoch to schedule its replacement events under.
+    pub fn bump_epoch(&mut self, thread: ThreadId) -> u64 {
+        let t = &mut self.threads[thread.index()];
+        t.epoch += 1;
+        t.epoch
+    }
+
+    /// The scheduling phase of `thread`.
+    pub fn phase(&self, thread: ThreadId) -> ThreadPhase {
+        self.threads[thread.index()].phase
+    }
+
+    /// Set the scheduling phase of `thread`.
+    pub fn set_phase(&mut self, thread: ThreadId, phase: ThreadPhase) {
+        self.threads[thread.index()].phase = phase;
+    }
+
+    /// The trace cursor of `thread`.
+    pub fn pos(&self, thread: ThreadId) -> usize {
+        self.threads[thread.index()].pos
+    }
+
+    /// Move the trace cursor of `thread`.
+    pub fn set_pos(&mut self, thread: ThreadId, pos: usize) {
+        self.threads[thread.index()].pos = pos;
+    }
+
+    /// Index of the next barrier `thread` will arrive at.
+    pub fn next_barrier(&self, thread: ThreadId) -> usize {
+        self.threads[thread.index()].next_barrier
+    }
+
+    /// Cycle of the latest delivered event so far.
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
+
+    /// True when every thread has reached [`ThreadPhase::Done`].
+    pub fn all_done(&self) -> bool {
+        self.threads.iter().all(|t| t.phase == ThreadPhase::Done)
+    }
+
+    /// Process every barrier `thread` is due at given its current
+    /// trace cursor. Completing a barrier releases its waiters in park
+    /// order: parked threads are woken with the model's wake event at
+    /// `now` (their wait is accounted), threads whose context is in
+    /// flight are flagged to resume on arrival instead. Returns `true`
+    /// if `thread` parked (the caller stops processing it this event).
+    pub fn barrier_advance(&mut self, thread: ThreadId, now: u64, wake: K) -> bool {
+        let t = thread.index();
+        loop {
+            let k = self.threads[t].next_barrier;
+            let positions = self.barriers.positions(thread);
+            if k >= positions.len() || positions[k] != self.threads[t].pos {
+                return false;
+            }
+            self.threads[t].next_barrier += 1;
+            if self.barriers.arrive(k) {
+                for w in self.barriers.drain_waiters(k) {
+                    let w_idx = w.index();
+                    match self.threads[w_idx].phase {
+                        ThreadPhase::InFlight { arrive, .. } => {
+                            // Evicted while parked: resume on arrival
+                            // instead of waking now.
+                            self.threads[w_idx].phase = ThreadPhase::InFlight {
+                                arrive,
+                                resume: true,
+                            };
+                        }
+                        ThreadPhase::AtBarrier { since, .. } => {
+                            self.barrier_wait_cycles += now - since;
+                            let w_epoch = self.threads[w_idx].epoch;
+                            self.queue.push(now, w, w_epoch, wake);
+                        }
+                        _ => {}
+                    }
+                }
+                // This thread passed; it may be due at the next
+                // barrier at the same position.
+            } else {
+                self.barriers.park(k, thread);
+                self.threads[t].phase = ThreadPhase::AtBarrier { idx: k, since: now };
+                return true;
+            }
+        }
+    }
+
+    /// Pop the next live event: stale-epoch events are dropped without
+    /// touching the makespan.
+    fn next_event(&mut self) -> Option<Event<K>> {
+        while let Some(ev) = self.queue.pop() {
+            if ev.epoch != self.threads[ev.thread.index()].epoch {
+                continue; // cancelled (e.g. by an eviction)
+            }
+            self.makespan = self.makespan.max(ev.time);
+            return Some(ev);
+        }
+        None
+    }
+
+    /// Run `model` to event-queue exhaustion.
+    pub fn drive<M: MachineModel<Event = K>>(&mut self, model: &mut M) {
+        while let Some(ev) = self.next_event() {
+            model.handle(self, ev);
+        }
+    }
+
+    /// Consume the engine, yielding its accumulated tallies.
+    pub fn finish(self) -> EngineTally {
+        EngineTally {
+            makespan: self.makespan,
+            barrier_wait_cycles: self.barrier_wait_cycles,
+            run_lengths: self.runs.into_histogram(),
+            link_wait_cycles: self.contention.link_wait_cycles(),
+            home_wait_cycles: self.contention.home_wait_cycles(),
+        }
+    }
+}

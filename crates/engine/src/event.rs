@@ -1,0 +1,127 @@
+//! The deterministic event queue.
+//!
+//! Events are ordered by `(time, seq)` where `seq` is a monotonically
+//! increasing insertion counter: two events at the same simulated cycle
+//! fire in the order they were scheduled, whatever the heap's internal
+//! shape. This is the tie-break both simulators relied on before the
+//! extraction, and it is what makes a run bit-reproducible.
+//!
+//! Every event carries the scheduling *epoch* of its thread. A machine
+//! that invalidates a thread's outstanding events (the EM² eviction
+//! path) bumps the thread's epoch; the engine then drops stale events
+//! on pop instead of delivering them. The machine-specific payload `K`
+//! takes no part in the ordering.
+
+use em2_model::ThreadId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One scheduled event. `kind` is the machine-specific payload; the
+/// engine orders and delivers, the machine interprets.
+#[derive(Clone, Copy, Debug)]
+pub struct Event<K> {
+    /// Simulated cycle at which the event fires.
+    pub time: u64,
+    /// Insertion sequence number (the deterministic tie-break).
+    pub seq: u64,
+    /// Thread the event belongs to.
+    pub thread: ThreadId,
+    /// Scheduling epoch of `thread` when the event was pushed.
+    pub epoch: u64,
+    /// Machine-specific payload.
+    pub kind: K,
+}
+
+impl<K> PartialEq for Event<K> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+
+impl<K> Eq for Event<K> {}
+
+impl<K> Ord for Event<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<K> PartialOrd for Event<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of events with deterministic `(time, seq)` ordering.
+#[derive(Debug)]
+pub struct EventQueue<K> {
+    heap: BinaryHeap<Reverse<Event<K>>>,
+    seq: u64,
+}
+
+impl<K> Default for EventQueue<K> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<K> EventQueue<K> {
+    /// An empty queue. The first pushed event gets `seq == 1`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `kind` for `thread` at `time` under `epoch`.
+    pub fn push(&mut self, time: u64, thread: ThreadId, epoch: u64, kind: K) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            thread,
+            epoch,
+            kind,
+        }));
+    }
+
+    /// Pop the earliest event (ties broken by insertion order).
+    pub fn pop(&mut self) -> Option<Event<K>> {
+        self.heap.pop().map(|Reverse(ev)| ev)
+    }
+
+    /// Number of pending events (including stale-epoch ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(5, ThreadId(0), 0, 10);
+        q.push(5, ThreadId(1), 0, 11);
+        q.push(3, ThreadId(2), 0, 12);
+        q.push(5, ThreadId(3), 0, 13);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+        assert_eq!(order, vec![12, 10, 11, 13]);
+    }
+
+    #[test]
+    fn seq_starts_at_one() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push(0, ThreadId(0), 0, ());
+        assert_eq!(q.pop().expect("one event").seq, 1);
+        assert!(q.is_empty());
+    }
+}

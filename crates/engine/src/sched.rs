@@ -1,0 +1,74 @@
+//! Per-thread scheduler state shared by every machine model.
+//!
+//! The engine tracks, for each simulated thread: where it stands in its
+//! trace (`pos`), which barrier it will reach next (`next_barrier`),
+//! its event-cancellation `epoch`, and its scheduling [`ThreadPhase`].
+//! Machine models keep only their machine-specific per-thread extras
+//! (current core, in-flight issue time, ...).
+
+/// What a thread is doing right now, from the scheduler's point of
+/// view. The phases are the union of both machine models' needs; a
+/// model that has no migrations simply never uses `InFlight`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadPhase {
+    /// Resident and between operations.
+    Idle,
+    /// Executing an access that completes at `until`.
+    Busy {
+        /// Completion cycle of the access.
+        until: u64,
+    },
+    /// Waiting for a round-trip (e.g. a remote access) to return.
+    Waiting {
+        /// Completion cycle of the round trip (`u64::MAX` = unknown yet).
+        until: u64,
+    },
+    /// Parked at a barrier.
+    AtBarrier {
+        /// Barrier index the thread is parked at.
+        idx: usize,
+        /// Cycle the thread parked (for wait accounting).
+        since: u64,
+    },
+    /// Context in flight between cores (migration or eviction).
+    InFlight {
+        /// Arrival cycle at the destination.
+        arrive: u64,
+        /// Schedule a wake on arrival (false = still parked at a
+        /// barrier that has not released yet).
+        resume: bool,
+    },
+    /// Trace exhausted.
+    Done,
+}
+
+/// The engine-owned scheduling record of one thread.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadSched {
+    /// Scheduling phase.
+    pub phase: ThreadPhase,
+    /// Event-cancellation epoch (bumped on eviction).
+    pub epoch: u64,
+    /// Index of the next access in the thread's trace.
+    pub pos: usize,
+    /// Index of the next barrier the thread will arrive at.
+    pub next_barrier: usize,
+}
+
+impl ThreadSched {
+    /// A fresh thread at the start of its trace.
+    pub fn new() -> Self {
+        ThreadSched {
+            phase: ThreadPhase::Idle,
+            epoch: 0,
+            pos: 0,
+            next_barrier: 0,
+        }
+    }
+}
+
+impl Default for ThreadSched {
+    fn default() -> Self {
+        ThreadSched::new()
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the contention timing kernel.
+//!
+//! Three guarantees the rest of the workspace builds on:
+//!
+//! 1. a contended operation is never cheaper than the closed form
+//!    (delays are non-negative, `Off` is the identity);
+//! 2. unbounded capacity collapses `Queued` to `Off` **exactly** —
+//!    every delay is zero, every service starts at arrival;
+//! 3. delays are monotone under added load: processing extra packets
+//!    first never shrinks any later packet's delay or service start.
+
+use em2_engine::{Contention, ContentionState, QueuedParams};
+use em2_model::{CoreId, CostModel};
+use proptest::prelude::*;
+
+/// A random packet: (src pick, dst pick, payload bits, depart cycle).
+type Pkt = (u64, u64, u64, u64);
+
+fn cost(cores: usize) -> CostModel {
+    CostModel::builder().cores(cores).build()
+}
+
+fn core_of(seed: u64, cores: usize) -> CoreId {
+    CoreId::from((seed % cores as u64) as usize)
+}
+
+fn pkts() -> impl Strategy<Value = Vec<Pkt>> {
+    prop::collection::vec((any::<u64>(), any::<u64>(), 1u64..4096, 0u64..5_000), 1..40)
+}
+
+/// Run `seq` through a fresh state, returning per-packet link delays.
+fn link_delays(state: &mut ContentionState, cm: &CostModel, seq: &[Pkt]) -> Vec<u64> {
+    seq.iter()
+        .map(|&(s, d, bits, depart)| {
+            state.link_delay(
+                cm,
+                core_of(s, cm.cores()),
+                core_of(d, cm.cores()),
+                bits,
+                depart,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn off_mode_is_the_identity(seq in pkts()) {
+        let cm = cost(16);
+        let mut s = ContentionState::new(Contention::Off, cm.mesh);
+        for &(a, b, bits, depart) in &seq {
+            prop_assert_eq!(
+                s.link_delay(&cm, core_of(a, 16), core_of(b, 16), bits, depart),
+                0
+            );
+            prop_assert_eq!(s.home_admit(core_of(a, 16), depart), depart);
+        }
+        prop_assert_eq!(s.link_wait_cycles(), 0);
+        prop_assert_eq!(s.home_wait_cycles(), 0);
+    }
+
+    #[test]
+    fn unbounded_capacity_collapses_to_off_exactly(seq in pkts()) {
+        let cm = cost(16);
+        let mut s = ContentionState::new(
+            Contention::Queued(QueuedParams::UNBOUNDED),
+            cm.mesh,
+        );
+        for &(a, b, bits, depart) in &seq {
+            prop_assert_eq!(
+                s.link_delay(&cm, core_of(a, 16), core_of(b, 16), bits, depart),
+                0,
+                "unbounded links must never delay"
+            );
+            prop_assert_eq!(
+                s.home_admit(core_of(b, 16), depart),
+                depart,
+                "instantaneous service must start at arrival"
+            );
+        }
+        prop_assert_eq!(s.link_wait_cycles(), 0);
+        prop_assert_eq!(s.home_wait_cycles(), 0);
+    }
+
+    #[test]
+    fn contended_latency_never_below_closed_form(
+        seq in pkts(),
+        channels in 1u32..4,
+        ports in 1u32..3,
+        service in 1u64..32,
+    ) {
+        let cm = cost(16);
+        let params = QueuedParams {
+            home_ports: ports,
+            service_cycles: service,
+            link_channels: channels,
+        };
+        let mut s = ContentionState::new(Contention::Queued(params), cm.mesh);
+        for &(a, b, bits, depart) in &seq {
+            let (src, dst) = (core_of(a, 16), core_of(b, 16));
+            let delay = s.link_delay(&cm, src, dst, bits, depart);
+            // Contended one-way latency = closed form + delay ≥ closed form.
+            prop_assert!(cm.one_way(src, dst, bits) + delay >= cm.one_way(src, dst, bits));
+            let start = s.home_admit(dst, depart);
+            prop_assert!(start >= depart, "service cannot start before arrival");
+        }
+    }
+
+    #[test]
+    fn delays_are_monotone_under_prepended_load(
+        extra in pkts(),
+        seq in pkts(),
+        channels in 1u32..4,
+        service in 1u64..32,
+    ) {
+        let cm = cost(16);
+        let params = QueuedParams {
+            home_ports: 1,
+            service_cycles: service,
+            link_channels: channels,
+        };
+        // Light: just the sequence. Heavy: extra traffic first.
+        let mut light = ContentionState::new(Contention::Queued(params), cm.mesh);
+        let light_delays = link_delays(&mut light, &cm, &seq);
+        let mut heavy = ContentionState::new(Contention::Queued(params), cm.mesh);
+        let _ = link_delays(&mut heavy, &cm, &extra);
+        let heavy_delays = link_delays(&mut heavy, &cm, &seq);
+        for (i, (l, h)) in light_delays.iter().zip(&heavy_delays).enumerate() {
+            prop_assert!(
+                h >= l,
+                "packet {i}: delay shrank under added load ({h} < {l})"
+            );
+        }
+        // Same for home service starts.
+        let mut light = ContentionState::new(Contention::Queued(params), cm.mesh);
+        let mut heavy = ContentionState::new(Contention::Queued(params), cm.mesh);
+        for &(_, b, _, depart) in &extra {
+            let _ = heavy.home_admit(core_of(b, 16), depart);
+        }
+        for &(_, b, _, depart) in &seq {
+            let home = core_of(b, 16);
+            prop_assert!(heavy.home_admit(home, depart) >= light.home_admit(home, depart));
+        }
+    }
+
+    #[test]
+    fn single_port_fifo_is_work_conserving(
+        arrivals in prop::collection::vec(0u64..1_000, 1..30),
+        service in 1u64..32,
+    ) {
+        // Sorted arrivals at one home, one port: starts are
+        // non-decreasing, separated by at least the service time, and
+        // each start is the max of arrival and the previous finish.
+        let cm = cost(16);
+        let params = QueuedParams {
+            home_ports: 1,
+            service_cycles: service,
+            link_channels: 1,
+        };
+        let mut s = ContentionState::new(Contention::Queued(params), cm.mesh);
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut prev_start: Option<u64> = None;
+        for &a in &sorted {
+            let start = s.home_admit(CoreId(3), a);
+            if let Some(p) = prev_start {
+                prop_assert!(start >= p + service, "service slots must not overlap");
+                prop_assert_eq!(start, a.max(p + service), "FIFO must be work-conserving");
+            } else {
+                prop_assert_eq!(start, a, "an idle port starts immediately");
+            }
+            prev_start = Some(start);
+        }
+    }
+}

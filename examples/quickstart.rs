@@ -7,6 +7,7 @@
 use em2::core::machine::MachineConfig;
 use em2::core::sim::{run_em2, run_em2ra};
 use em2::core::AlwaysRemote;
+use em2::engine::Contention;
 use em2::placement::FirstTouch;
 use em2::trace::gen::micro;
 
@@ -19,8 +20,14 @@ fn main() {
     let placement = FirstTouch::build(&workload, 16, 64);
 
     // 3. A machine: 16 cores, 16KB L1 + 64KB L2 per core, 2 guest
-    //    contexts, the default mesh cost model.
-    let config = MachineConfig::with_cores(16);
+    //    contexts, the default mesh cost model. Both simulators run on
+    //    the shared `em2-engine` event kernel; `Contention::Off` (the
+    //    default) keeps the paper's closed-form timing — see
+    //    `examples/contention.rs` for the queued alternative.
+    let config = MachineConfig {
+        contention: Contention::Off,
+        ..MachineConfig::with_cores(16)
+    };
 
     // 4. Pure EM²: every non-local access migrates the thread.
     let em2 = run_em2(config.clone(), &workload, &placement);

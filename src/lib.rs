@@ -7,6 +7,8 @@
 //! * [`noc`] — cycle-level 2-D mesh network-on-chip;
 //! * [`cache`] — set-associative caches, L1/L2 hierarchy, DRAM;
 //! * [`trace`] — memory traces + SPLASH-2-like workload generators;
+//! * [`engine`] — the shared discrete-event kernel both simulators run
+//!   on (deterministic event queue, barriers, contention timing);
 //! * [`placement`] — data placement policies (first-touch, striped, …);
 //! * [`core`] — the EM² / EM²-RA machine and simulator;
 //! * [`stack`] — the stack-machine EM² variant;
@@ -18,6 +20,7 @@
 pub use em2_cache as cache;
 pub use em2_coherence as coherence;
 pub use em2_core as core;
+pub use em2_engine as engine;
 pub use em2_model as model;
 pub use em2_noc as noc;
 pub use em2_optimal as optimal;

@@ -68,6 +68,43 @@ fn msi_runs_are_reproducible() {
 }
 
 #[test]
+fn queued_contention_is_deterministic_and_never_speeds_up_fixed_workloads() {
+    // Queued contention only ever adds delay at the operation level;
+    // on these fixed (fully deterministic) workloads that shows up as
+    // a makespan no smaller than the closed-form run, and two queued
+    // runs are bit-identical.
+    use em2::engine::{Contention, QueuedParams};
+    let w = OceanConfig::small().generate();
+    let p = FirstTouch::build(&w, 4, 64);
+    let mk = |contention| MachineConfig {
+        contention,
+        ..MachineConfig::with_cores(4)
+    };
+    let off = run_em2(mk(Contention::Off), &w, &p);
+    let queued = Contention::Queued(QueuedParams::from_cost(&mk(Contention::Off).cost));
+    let a = run_em2(mk(queued), &w, &p);
+    let b = run_em2(mk(queued), &w, &p);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.flow, b.flow);
+    assert_eq!(a.queue_link_wait_cycles, b.queue_link_wait_cycles);
+    assert_eq!(a.queue_home_wait_cycles, b.queue_home_wait_cycles);
+    assert!(a.cycles >= off.cycles, "{} < {}", a.cycles, off.cycles);
+    assert!(a.violations.is_empty(), "{:?}", a.violations);
+
+    let msi_off = run_msi(MsiConfig::with_cores(4), &w, &p);
+    let msi_q = run_msi(
+        MsiConfig {
+            contention: queued,
+            ..MsiConfig::with_cores(4)
+        },
+        &w,
+        &p,
+    );
+    assert!(msi_q.cycles >= msi_off.cycles);
+    assert!(msi_q.violations.is_empty(), "{:?}", msi_q.violations);
+}
+
+#[test]
 fn generators_are_reproducible_across_calls() {
     assert_eq!(
         OceanConfig::small().generate(),
