@@ -1,0 +1,49 @@
+//! E11 — executable-runtime throughput: quick-scale OCEAN replayed on
+//! real shard threads under pure EM² and the EM²-RA history scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em2_bench::workloads::{self, Scale};
+use em2_core::decision::{AlwaysMigrate, HistoryPredictor};
+use em2_placement::Placement;
+use em2_rt::{run_workload, RtConfig};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_runtime");
+    g.sample_size(10);
+
+    let scale = Scale::Quick;
+    let w = workloads::ocean(scale);
+    let threads = w.num_threads();
+    let placement: Arc<dyn Placement> = Arc::new(workloads::first_touch(&w, scale));
+    let w = Arc::new(w);
+
+    g.bench_function("ocean_quick_rt_em2", |b| {
+        b.iter(|| {
+            let r = run_workload(
+                RtConfig::eviction_free(scale.cores(), threads),
+                &w,
+                Arc::clone(&placement),
+                Box::new(AlwaysMigrate),
+            );
+            std::hint::black_box(r.flow.migrations)
+        })
+    });
+
+    g.bench_function("ocean_quick_rt_em2ra_history", |b| {
+        b.iter(|| {
+            let r = run_workload(
+                RtConfig::eviction_free(scale.cores(), threads),
+                &w,
+                Arc::clone(&placement),
+                Box::new(HistoryPredictor::new(1.0, 0.5)),
+            );
+            std::hint::black_box(r.flow.remote_reads + r.flow.remote_writes)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

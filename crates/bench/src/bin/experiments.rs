@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every figure/table of the paper.
 //!
 //! ```text
-//! experiments [all|e1|e2|...|e10] [--quick] [--chart] [--serial]
+//! experiments [all|e1|e2|...|e11] [--quick] [--chart] [--serial]
 //!             [--threads N] [--bench-json PATH] [--no-bench-json]
 //! ```
 //!
@@ -138,7 +138,15 @@ fn main() {
             cal.accesses_per_sec(),
             cal.workload
         );
-        match perf::write_bench_json(&path, &suite, &cal) {
+        let rt_cal = perf::calibrate_runtime();
+        println!(
+            "  runtime: {:.0} ops/s on {} ({} shard threads, host parallelism {})",
+            rt_cal.ops_per_sec(),
+            rt_cal.workload,
+            rt_cal.report.shards,
+            perf::host_parallelism()
+        );
+        match perf::write_bench_json(&path, &suite, &cal, &rt_cal) {
             Ok(()) => println!("  wrote {}", path.display()),
             Err(e) => {
                 eprintln!("error: failed to write {}: {e}", path.display());

@@ -1,6 +1,8 @@
-//! The ten experiments (E1–E10): E1–E9 each regenerate one paper
+//! The eleven experiments (E1–E11): E1–E9 each regenerate one paper
 //! artifact; E10 exercises the engine's contention layer beyond the
-//! paper's closed-form model.
+//! paper's closed-form model; E11 cross-validates the executable
+//! `em2-rt` runtime against the simulator and measures its wall-clock
+//! throughput.
 //!
 //! Every experiment is decomposed into independent **cells** — one
 //! (config, workload, scheme) combination each — and fanned across the
@@ -10,9 +12,10 @@
 //! [`em2_trace::FlatWorkload`] (homes resolved through the placement a
 //! single time) and shared by reference; see DESIGN.md §6.
 //!
-//! E5 is the exception: it *measures wall time* of the DP kernels, so
-//! its cells run serially inside the experiment and its timing columns
-//! are excluded from determinism comparisons.
+//! E5 and E11 are the exceptions: they *measure wall time* (of the DP
+//! kernels and of the executable runtime respectively), so they run in
+//! an isolated suite phase and their measured columns are excluded
+//! from determinism comparisons.
 
 use crate::par::{self, run_cells, Cell};
 use crate::table::{fmt_count, fmt_f, Table};
@@ -33,6 +36,7 @@ use em2_optimal::{migrate_ra, stack_depth, Choice, CostTrace};
 use em2_placement::{run_length_analysis, Placement};
 use em2_stack::{extract_visits, program, SparseMemory, StackMachine};
 use em2_trace::{FlatWorkload, Workload};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Build the flat (SoA, homes-resolved) view of a workload under the
@@ -916,8 +920,94 @@ pub fn e10_contention(scale: Scale) -> Table {
     t
 }
 
+/// E11 — runtime ↔ simulator cross-validation: replay the same
+/// workloads through the executable `em2-rt` runtime (real OS-thread
+/// shards, mailbox migration, word-granular remote access) and the
+/// `em2-core` simulator, under the same placement and decision
+/// schemes, with guest pools sized eviction-free so every counter is a
+/// pure function of per-thread program order (DESIGN.md §7). The
+/// migration count, remote-access counts, and run-length histogram
+/// are asserted **bit-equal**; the runtime's measured throughput
+/// (host wall-clock, masked in digests) is the ops/sec column and the
+/// `BENCH.json` runtime calibration.
+pub fn e11_runtime_agreement(scale: Scale) -> Table {
+    let cores = scale.cores();
+    let mut t = Table::new(
+        "E11 / runtime <-> simulator cross-validation (eviction-free guest pools)",
+        &[
+            "workload",
+            "scheme",
+            "migrations",
+            "remote",
+            "local",
+            "runs binned",
+            "agreement",
+            "rt Mops/s",
+        ],
+    );
+    type SchemeFactory = fn() -> Box<dyn DecisionScheme>;
+    let schemes: [(&str, SchemeFactory); 3] = [
+        ("em2", || Box::new(AlwaysMigrate)),
+        ("em2ra-history", || {
+            Box::new(HistoryPredictor::new(1.0, 0.5))
+        }),
+        ("em2ra-distance", || {
+            Box::new(DistanceThreshold { max_hops: 2 })
+        }),
+    ];
+    for wname in ["ocean", "uniform"] {
+        let w = match wname {
+            "ocean" => workloads::ocean(scale),
+            _ => workloads::uniform(scale),
+        };
+        let threads = w.num_threads();
+        let placement: Arc<dyn Placement> = Arc::new(workloads::first_touch(&w, scale));
+        let flat = FlatWorkload::build_homes_only(&w, 64, |a| placement.home_of(a));
+        let w = Arc::new(w);
+        for (sname, factory) in schemes {
+            let mut cfg = MachineConfig::with_cores(cores);
+            cfg.guest_contexts = threads;
+            let sim = run_em2ra_flat(cfg, &flat, factory());
+            assert_eq!(
+                sim.flow.evictions, 0,
+                "E11 {wname}/{sname}: agreement config must be eviction-free"
+            );
+            let rt = em2_rt::run_workload(
+                em2_rt::RtConfig::eviction_free(cores, threads),
+                &w,
+                Arc::clone(&placement),
+                factory(),
+            );
+            let agree = rt.flow.migrations == sim.flow.migrations
+                && rt.flow.remote_reads == sim.flow.remote_reads
+                && rt.flow.remote_writes == sim.flow.remote_writes
+                && rt.flow.local_accesses == sim.flow.local_accesses
+                && rt.run_lengths == sim.run_lengths;
+            assert!(
+                agree,
+                "E11 {wname}/{sname}: runtime diverged from simulator\nsim: {sim}\nrt:  {rt}"
+            );
+            t.row(vec![
+                wname.to_string(),
+                sname.to_string(),
+                fmt_count(sim.flow.migrations),
+                fmt_count(sim.flow.remote_reads + sim.flow.remote_writes),
+                fmt_count(sim.flow.local_accesses),
+                fmt_count(sim.run_lengths.total_count()),
+                "exact".to_string(),
+                fmt_f(rt.ops_per_sec() / 1e6, 2),
+            ]);
+        }
+    }
+    t.note("counter columns are asserted bit-equal between the em2-rt shard threads and the em2-core simulator before rendering");
+    t.note("rt Mops/s is host wall-clock throughput (masked in determinism digests, like E5's timings)");
+    t
+}
+
 /// Experiment ids in canonical order.
-pub const ALL_IDS: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL_IDS: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
 
 /// One experiment's output: its tables plus the wall-clock it took.
 pub struct ExperimentRun {
@@ -952,11 +1042,11 @@ impl SuiteResult {
     }
 }
 
-/// Run a subset of experiments (empty `ids` = all nine) with the
+/// Run a subset of experiments (empty `ids` = all eleven) with the
 /// two-level parallel sweep: experiments fan out as cells, and each
 /// experiment fans its own (config, workload, scheme) cells. Output
-/// order — and content, minus E5's measured timings — is independent
-/// of the worker count.
+/// order — and content, minus E5's and E11's measured wall-clock
+/// cells — is independent of the worker count.
 pub fn run_suite(scale: Scale, ids: &[&str]) -> SuiteResult {
     let selected: Vec<&'static str> = ALL_IDS
         .iter()
@@ -981,7 +1071,9 @@ pub fn run_suite(scale: Scale, ids: &[&str]) -> SuiteResult {
             "e7" => vec![e7_cc_vs_em2(scale)],
             "e8" => vec![e8_context_size(scale)],
             "e9" => vec![e9_noc_validation(scale)],
-            _ => vec![e10_contention(scale)],
+            "e10" => vec![e10_contention(scale)],
+            "e11" => vec![e11_runtime_agreement(scale)],
+            other => unreachable!("id {other:?} is not in ALL_IDS"),
         };
         ExperimentRun {
             id,
@@ -989,10 +1081,14 @@ pub fn run_suite(scale: Scale, ids: &[&str]) -> SuiteResult {
             wall: t0.elapsed(),
         }
     };
-    // Phase 1: everything except E5, fanned across the pool. Phase 2:
-    // E5 alone, so its DP-runtime measurements see an otherwise idle
-    // machine (its configs still spread one-per-core internally).
-    let (timed, rest): (Vec<_>, Vec<_>) = selected.into_iter().partition(|id| *id == "e5");
+    // Phase 1: everything except the wall-clock-measuring
+    // experiments, fanned across the pool. Phase 2: E5 (DP runtimes)
+    // and E11 (runtime ops/sec, which also spawns its own shard
+    // threads) run alone in sequence, so their measurements see an
+    // otherwise idle machine.
+    let (timed, rest): (Vec<_>, Vec<_>) = selected
+        .into_iter()
+        .partition(|id| *id == "e5" || *id == "e11");
     let mut runs = par::par_map(rest, run_one);
     runs.extend(timed.into_iter().map(run_one));
     runs.sort_by_key(|r| ALL_IDS.iter().position(|id| *id == r.id));

@@ -17,7 +17,9 @@ use crate::table::Table;
 use crate::workloads::{self, Scale};
 use em2_core::machine::MachineConfig;
 use em2_core::sim::run_em2;
+use em2_placement::Placement;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A single timed reference simulation, giving the headline
@@ -70,6 +72,52 @@ pub fn calibrate() -> Calibration {
     }
 }
 
+/// One timed run of the executable `em2-rt` runtime — the measured
+/// ops/sec counterpart to the simulator's cycles/sec calibration.
+/// Wraps the runtime's own report so the throughput definition lives
+/// in exactly one place ([`em2_rt::RtReport::ops_per_sec`]).
+pub struct RuntimeCalibration {
+    /// Workload/scheme the calibration ran.
+    pub workload: String,
+    /// The runtime's report (shards, flow counters, wall-clock).
+    pub report: em2_rt::RtReport,
+}
+
+impl RuntimeCalibration {
+    /// Memory operations served per host second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.report.ops_per_sec()
+    }
+}
+
+/// Time one quick-scale OCEAN replay on the `em2-rt` runtime (pure
+/// EM²: every non-local access migrates for real).
+pub fn calibrate_runtime() -> RuntimeCalibration {
+    let scale = Scale::Quick;
+    let w = workloads::ocean(scale);
+    let placement: Arc<dyn Placement> = Arc::new(workloads::first_touch(&w, scale));
+    let threads = w.num_threads();
+    let w = Arc::new(w);
+    let report = em2_rt::run_workload(
+        em2_rt::RtConfig::eviction_free(scale.cores(), threads),
+        &w,
+        placement,
+        Box::new(em2_core::AlwaysMigrate),
+    );
+    RuntimeCalibration {
+        workload: "ocean/quick/rt-em2".to_string(),
+        report,
+    }
+}
+
+/// The host's available parallelism, as the sweep engine and the
+/// runtime's shard threads see it. Recorded next to the configured
+/// worker count so `BENCH.json` shows whether parallel sweeps could
+/// actually engage on the build host.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Escape a string for a JSON literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -89,16 +137,25 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Render a table with E5's measured-timing cells replaced by `<t>`
-/// (those cells are host wall-clock and legitimately differ run to
-/// run; everything else must be bit-stable).
+/// Render a table with its measured-timing cells replaced by `<t>`:
+/// E5's DP wall-time columns and E11's runtime-throughput column are
+/// host wall-clock and legitimately differ run to run; everything
+/// else must be bit-stable.
 pub fn render_masked(table: &Table) -> String {
-    if !table.title.starts_with("E5") {
+    let (is_e5, is_e11) = (
+        table.title.starts_with("E5"),
+        table.title.starts_with("E11"),
+    );
+    if !is_e5 && !is_e11 {
         return table.to_string();
     }
     let mut masked = table.clone();
     for row in &mut masked.rows {
-        for cell in row.iter_mut().skip(2) {
+        if is_e5 {
+            for cell in row.iter_mut().skip(2) {
+                *cell = "<t>".to_string();
+            }
+        } else if let Some(cell) = row.last_mut() {
             *cell = "<t>".to_string();
         }
     }
@@ -118,11 +175,18 @@ pub fn tables_digest<'a>(tables: impl Iterator<Item = &'a Table>) -> String {
     format!("fnv1a:{h:016x}")
 }
 
-/// Serialize a suite run (plus calibration) as the `BENCH.json` body.
-pub fn bench_json(suite: &SuiteResult, calibration: &Calibration) -> String {
+/// Serialize a suite run (plus both calibrations) as the `BENCH.json`
+/// body. `threads` is the worker count the sweep engine actually
+/// used; `host_available_parallelism` is what the host offered — the
+/// pair shows whether parallel sweeps ever engaged on this build host.
+pub fn bench_json(
+    suite: &SuiteResult,
+    calibration: &Calibration,
+    runtime: &RuntimeCalibration,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"schema\": 2,");
     let _ = writeln!(
         s,
         "  \"scale\": \"{}\",",
@@ -132,6 +196,11 @@ pub fn bench_json(suite: &SuiteResult, calibration: &Calibration) -> String {
         }
     );
     let _ = writeln!(s, "  \"threads\": {},", suite.threads);
+    let _ = writeln!(
+        s,
+        "  \"host_available_parallelism\": {},",
+        host_parallelism()
+    );
     let _ = writeln!(s, "  \"suite_wall_s\": {:.6},", suite.wall.as_secs_f64());
     s.push_str("  \"experiments\": [\n");
     for (i, run) in suite.runs.iter().enumerate() {
@@ -174,6 +243,21 @@ pub fn bench_json(suite: &SuiteResult, calibration: &Calibration) -> String {
         calibration.accesses_per_sec()
     );
     s.push_str("  },\n");
+    let _ = writeln!(s, "  \"runtime\": {{");
+    let _ = writeln!(
+        s,
+        "    \"workload\": \"{}\",",
+        json_escape(&runtime.workload)
+    );
+    let _ = writeln!(s, "    \"shards\": {},", runtime.report.shards);
+    let _ = writeln!(s, "    \"ops\": {},", runtime.report.total_ops());
+    let _ = writeln!(
+        s,
+        "    \"wall_s\": {:.6},",
+        runtime.report.wall.as_secs_f64()
+    );
+    let _ = writeln!(s, "    \"ops_per_sec\": {:.1}", runtime.ops_per_sec());
+    s.push_str("  },\n");
     let _ = writeln!(
         s,
         "  \"tables_digest\": \"{}\"",
@@ -188,8 +272,9 @@ pub fn write_bench_json(
     path: &std::path::Path,
     suite: &SuiteResult,
     calibration: &Calibration,
+    runtime: &RuntimeCalibration,
 ) -> std::io::Result<()> {
-    std::fs::write(path, bench_json(suite, calibration))
+    std::fs::write(path, bench_json(suite, calibration, runtime))
 }
 
 #[cfg(test)]
@@ -226,26 +311,47 @@ mod tests {
         let m = render_masked(&t);
         assert!(m.contains("1,000") && m.contains("16"));
         assert!(!m.contains("12.3") && m.contains("<t>"));
-        // Non-E5 tables pass through untouched.
+        // Non-measured tables pass through untouched.
         let mut u = Table::new("E1 / fake", &["a", "b", "c"]);
         u.row(vec!["x".into(), "y".into(), "z".into()]);
         assert!(render_masked(&u).contains('z'));
     }
 
     #[test]
+    fn e11_masking_hides_only_the_throughput_column() {
+        let mut t = Table::new("E11 / fake", &["workload", "migrations", "rt Mops/s"]);
+        t.row(vec!["ocean".into(), "1,234".into(), "0.87".into()]);
+        let m = render_masked(&t);
+        assert!(m.contains("ocean") && m.contains("1,234"));
+        assert!(!m.contains("0.87") && m.contains("<t>"));
+    }
+
+    #[test]
+    fn runtime_calibration_reports_positive_throughput() {
+        let c = calibrate_runtime();
+        assert!(c.report.total_ops() > 0);
+        assert!(c.report.shards > 0);
+        assert!(c.ops_per_sec() > 0.0);
+    }
+
+    #[test]
     fn bench_json_is_syntactically_plausible() {
         let suite = run_suite(crate::workloads::Scale::Quick, &["e9"]);
         let cal = calibrate();
-        let j = bench_json(&suite, &cal);
+        let rt_cal = calibrate_runtime();
+        let j = bench_json(&suite, &cal, &rt_cal);
         assert!(j.starts_with("{\n") && j.ends_with("}\n"));
         for key in [
             "\"schema\"",
             "\"scale\"",
             "\"threads\"",
+            "\"host_available_parallelism\"",
             "\"suite_wall_s\"",
             "\"experiments\"",
             "\"calibration\"",
             "\"sim_cycles_per_sec\"",
+            "\"runtime\"",
+            "\"ops_per_sec\"",
             "\"tables_digest\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");

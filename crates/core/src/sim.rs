@@ -45,8 +45,10 @@ use em2_model::{CoreId, CostModel, DetRng, Summary, ThreadId};
 use em2_placement::Placement;
 use em2_trace::{FlatWorkload, Workload};
 
-/// Bins for the Figure-2 run-length histogram.
-const RUN_BINS: u64 = 60;
+/// Bins for the Figure-2 run-length histogram. Public so consumers
+/// that must produce bit-comparable histograms (the `em2-rt` runtime's
+/// cross-validation) bin identically.
+pub const RUN_BINS: u64 = 60;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum EventKind {

@@ -31,6 +31,27 @@ impl FlowCounts {
         self.local_accesses + self.migrations + self.remote_reads + self.remote_writes
     }
 
+    /// Accumulate another counter set (e.g. per-shard counters from
+    /// the `em2-rt` runtime). The exhaustive destructuring makes a
+    /// future field a compile error here rather than a silently
+    /// dropped counter.
+    pub fn merge(&mut self, other: &FlowCounts) {
+        let FlowCounts {
+            local_accesses,
+            migrations,
+            evictions,
+            stalled_arrivals,
+            remote_reads,
+            remote_writes,
+        } = *other;
+        self.local_accesses += local_accesses;
+        self.migrations += migrations;
+        self.evictions += evictions;
+        self.stalled_arrivals += stalled_arrivals;
+        self.remote_reads += remote_reads;
+        self.remote_writes += remote_writes;
+    }
+
     /// Non-local accesses served by migration.
     pub fn migration_fraction(&self) -> f64 {
         let non_local = self.migrations + self.remote_reads + self.remote_writes;

@@ -21,24 +21,29 @@ pub struct Barriers {
     waiting: Vec<Vec<ThreadId>>,
 }
 
+/// Expected arrivals per barrier index, given each thread's barrier
+/// count: barrier `k` expects one arrival from every thread with more
+/// than `k` barriers. Shared by the simulator engine and the
+/// executable runtime (`em2-rt`), which must agree exactly on release
+/// quotas for their barrier semantics to match.
+pub fn barrier_quotas(counts: impl Iterator<Item = usize>) -> Vec<usize> {
+    let counts: Vec<usize> = counts.collect();
+    let max_barriers = counts.iter().copied().max().unwrap_or(0);
+    (0..max_barriers)
+        .map(|k| counts.iter().filter(|&&c| c > k).count())
+        .collect()
+}
+
 impl Barriers {
     /// Build the bookkeeping for a workload: barrier `k` expects one
     /// arrival from every thread with more than `k` barriers.
     pub fn new(flat: &FlatWorkload) -> Self {
-        let max_barriers = flat
-            .threads
-            .iter()
-            .map(|t| t.barriers.len())
-            .max()
-            .unwrap_or(0);
-        let expected: Vec<usize> = (0..max_barriers)
-            .map(|k| flat.threads.iter().filter(|t| t.barriers.len() > k).count())
-            .collect();
+        let expected = barrier_quotas(flat.threads.iter().map(|t| t.barriers.len()));
         Barriers {
             per_thread: flat.threads.iter().map(|t| t.barriers.clone()).collect(),
+            arrived: vec![0; expected.len()],
+            waiting: vec![Vec::new(); expected.len()],
             expected,
-            arrived: vec![0; max_barriers],
-            waiting: vec![Vec::new(); max_barriers],
         }
     }
 

@@ -48,10 +48,8 @@ impl RunMonitor {
         match self.runs[t].core {
             Some(c) if c == home => self.runs[t].len += 1,
             Some(c) => {
-                if c != self.natives[t] {
-                    self.hist.record(self.runs[t].len);
-                }
-                observe(thread, c, self.runs[t].len);
+                let len = self.runs[t].len;
+                self.record_run(thread, c, len, observe);
                 self.runs[t] = Run {
                     core: Some(home),
                     len: 1,
@@ -66,15 +64,32 @@ impl RunMonitor {
         }
     }
 
+    /// Record one *completed* run directly: bin it (if non-native)
+    /// and report it to `observe`. This is the run-end half of
+    /// [`RunMonitor::track`], exposed for machines that carry the
+    /// in-progress `(core, len)` state themselves — the `em2-rt`
+    /// runtime keeps it in the migrating task envelope so its hot
+    /// local path never touches the shared monitor mid-run.
+    pub fn record_run(
+        &mut self,
+        thread: ThreadId,
+        core: CoreId,
+        len: u64,
+        observe: &mut dyn FnMut(ThreadId, CoreId, u64),
+    ) {
+        if core != self.natives[thread.index()] {
+            self.hist.record(len);
+        }
+        observe(thread, core, len);
+    }
+
     /// Flush `thread`'s final run at trace completion.
     pub fn flush(&mut self, thread: ThreadId, observe: &mut dyn FnMut(ThreadId, CoreId, u64)) {
         let t = thread.index();
         if let Some(c) = self.runs[t].core.take() {
-            if self.runs[t].len > 0 {
-                if c != self.natives[t] {
-                    self.hist.record(self.runs[t].len);
-                }
-                observe(thread, c, self.runs[t].len);
+            let len = self.runs[t].len;
+            if len > 0 {
+                self.record_run(thread, c, len, observe);
             }
             self.runs[t].len = 0;
         }

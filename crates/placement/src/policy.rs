@@ -20,6 +20,25 @@ pub trait Placement: Send + Sync {
     fn cores(&self) -> usize;
 }
 
+/// A shared placement is a placement: the executable runtime (`em2-rt`)
+/// hands one `Arc<dyn Placement>` to every shard thread, and the same
+/// handle still plugs into the simulator APIs that take `&dyn
+/// Placement` — guaranteeing both resolve homes through the *same*
+/// table.
+impl<P: Placement + ?Sized> Placement for std::sync::Arc<P> {
+    fn home_of(&self, addr: Addr) -> CoreId {
+        (**self).home_of(addr)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn cores(&self) -> usize {
+        (**self).cores()
+    }
+}
+
 /// Cache lines striped round-robin over cores — the placement-agnostic
 /// default of shared-cache NUCA designs.
 #[derive(Clone, Debug)]

@@ -1,0 +1,45 @@
+//! # em2-rt
+//!
+//! An **executable** computation-migration DSM runtime — the paper's
+//! EM²/EM²-RA machine run on real OS threads instead of a simulated
+//! clock. Where `em2-core` *models* the machine, this crate *is* one:
+//!
+//! * each "core" is a **shard**: an OS thread owning a partition of a
+//!   word-granular sharded heap (address → home via an
+//!   [`em2_placement::Placement`] policy) and a mailbox serviced in
+//!   arrival order;
+//! * user code runs as **migratable task continuations**
+//!   ([`Task`]): sequential programs yielding memory operations, whose
+//!   live state serializes to a small context ([`Task::context_bytes`])
+//!   — a trace-replay continuation is 24 bytes;
+//! * a non-local access consults a reused `em2-core`
+//!   [`em2_core::decision::DecisionScheme`] and either **migrates**
+//!   (the context ships to the home shard's mailbox, admitted into a
+//!   bounded guest pool with eviction-back-to-native for deadlock
+//!   avoidance — [`em2_core::context::ContextPool`], executed for
+//!   real) or performs a word-granular **remote access**
+//!   (request/reply messages, serviced at the home in arrival order);
+//! * the same counters come out: Figure-1/3 flow edges and the
+//!   Figure-2 run-length histogram via the engine's
+//!   [`em2_engine::RunMonitor`].
+//!
+//! **Cross-validation** (experiment E11, `crates/rt/tests`): with an
+//! eviction-free guest pool the runtime's migration / remote-access
+//! counts and run-length histogram are *bit-identical* to the
+//! simulator's on the same workload, placement, and scheme — the
+//! decision sequence is a pure function of per-thread program order,
+//! which real concurrency only permutes across threads. Wall-clock
+//! timing is the one axis that does **not** carry over; the runtime
+//! reports measured ops/sec instead of simulated cycles. DESIGN.md §7
+//! documents the model and the invariant argument.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod shard;
+
+pub mod runtime;
+pub mod task;
+
+pub use runtime::{run_tasks, run_workload, RtConfig, RtReport, TaskSpec};
+pub use task::{Op, Task, TraceTask};

@@ -1,0 +1,311 @@
+//! Runtime assembly: configuration, launch, and the report.
+
+use crate::shard::{BarrierHub, Envelope, Msg, Shard, Shared};
+use crate::task::{Task, TraceTask};
+use em2_core::context::{ContextPool, VictimPolicy};
+use em2_core::decision::DecisionScheme;
+use em2_core::stats::FlowCounts;
+use em2_core::RUN_BINS;
+use em2_engine::{barrier_quotas, RunMonitor};
+use em2_model::{CoreId, CostModel, Histogram, ThreadId};
+use em2_placement::Placement;
+use em2_trace::Workload;
+use std::fmt;
+use std::sync::atomic::AtomicUsize;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct RtConfig {
+    /// Number of shard threads (the machine's "cores").
+    pub shards: usize,
+    /// Guest contexts per shard (besides reserved natives). With fewer
+    /// guests than visiting tasks, arrivals evict — set this to the
+    /// task count for the eviction-free configuration whose counters
+    /// are bit-comparable to the simulator's.
+    pub guest_contexts: usize,
+    /// Cost model consulted by decision schemes (distances, context
+    /// size); the runtime does not simulate its latencies.
+    pub cost: CostModel,
+    /// Consecutive local accesses a task may run before co-resident
+    /// contexts get the shard (scheduling fairness only; decisions and
+    /// counters do not depend on it).
+    pub quantum: usize,
+    /// Run-length histogram bins ([`em2_core::RUN_BINS`] for
+    /// simulator-comparable histograms).
+    pub run_bins: u64,
+}
+
+impl RtConfig {
+    /// A runtime with `shards` shard threads and defaults mirroring
+    /// [`em2_core::machine::MachineConfig`] (2 guest contexts).
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0);
+        RtConfig {
+            shards,
+            guest_contexts: 2,
+            cost: CostModel::builder().cores(shards).build(),
+            quantum: 256,
+            run_bins: RUN_BINS,
+        }
+    }
+
+    /// The cross-validation configuration: guest pools sized so no
+    /// eviction can occur with `tasks` tasks, making every counter a
+    /// pure function of per-thread program order (DESIGN.md §7) —
+    /// bit-comparable to a simulator run with the same
+    /// `guest_contexts`.
+    pub fn eviction_free(shards: usize, tasks: usize) -> Self {
+        RtConfig {
+            guest_contexts: tasks.max(1),
+            ..RtConfig::with_shards(shards)
+        }
+    }
+}
+
+/// One task to launch: the continuation plus its native shard.
+pub struct TaskSpec {
+    /// The continuation; its index in the launch vector is its
+    /// [`ThreadId`].
+    pub task: Box<dyn Task>,
+    /// The shard whose reserved native context belongs to this task.
+    pub native: CoreId,
+}
+
+/// Everything a runtime run produces. Field-compatible with the
+/// simulator's [`em2_core::stats::SimReport`] counters where the
+/// semantics carry over; wall-clock throughput replaces simulated
+/// cycles (the runtime has no cycle model — see DESIGN.md §7).
+#[derive(Clone, Debug)]
+pub struct RtReport {
+    /// Workload name.
+    pub workload: String,
+    /// Decision-scheme name.
+    pub scheme: String,
+    /// Shard thread count.
+    pub shards: usize,
+    /// The Figure-1/3 flow counters, measured by execution. One unit
+    /// caveat: `stalled_arrivals` counts each arrival that had to wait
+    /// *once*, while the simulator counts every failed retry poll
+    /// (scaling with its `stall_retry` interval) — don't compare that
+    /// field across machines.
+    pub flow: FlowCounts,
+    /// Run-length histogram (Figure-2 semantics, same binning as the
+    /// simulator).
+    pub run_lengths: Histogram,
+    /// Serialized context bytes shipped by migrations and evictions.
+    pub context_bytes_sent: u64,
+    /// Distinct words materialized across all shard heaps.
+    pub heap_words: u64,
+    /// End-to-end wall-clock of the run (launch to last retirement).
+    pub wall: Duration,
+}
+
+impl RtReport {
+    /// Memory operations executed (local + migrated + remote).
+    pub fn total_ops(&self) -> u64 {
+        self.flow.total_accesses()
+    }
+
+    /// Memory operations per wall-clock second — the headline
+    /// throughput number recorded in `BENCH.json`.
+    pub fn ops_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.total_ops() as f64 / s
+        }
+    }
+}
+
+impl fmt::Display for RtReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[rt {} / {}] {} ops on {} shards in {:.3} ms ({:.0} ops/s)",
+            self.workload,
+            self.scheme,
+            self.total_ops(),
+            self.shards,
+            self.wall.as_secs_f64() * 1e3,
+            self.ops_per_sec()
+        )?;
+        write!(
+            f,
+            "  flow: {} local, {} migrations, {} evictions, {} RA-read, {} RA-write; {} context bytes",
+            self.flow.local_accesses,
+            self.flow.migrations,
+            self.flow.evictions,
+            self.flow.remote_reads,
+            self.flow.remote_writes,
+            self.context_bytes_sent
+        )
+    }
+}
+
+/// Launch `tasks` on `cfg.shards` shard threads and run to completion.
+///
+/// `barrier_quotas[k]` is the number of arrivals that open global
+/// barrier `k` (use [`em2_engine::barrier_quotas`]; empty when tasks
+/// never emit [`crate::Op::Barrier`]). Task `i` runs as [`ThreadId`]
+/// `i` for the run monitor and decision scheme.
+pub fn run_tasks(
+    cfg: RtConfig,
+    name: impl Into<String>,
+    tasks: Vec<TaskSpec>,
+    placement: Arc<dyn Placement>,
+    scheme: Box<dyn DecisionScheme>,
+    barrier_quotas: Vec<usize>,
+) -> RtReport {
+    let name = name.into();
+    let shards = cfg.shards;
+    assert!(
+        placement.cores() <= shards,
+        "placement targets more shards than the runtime has"
+    );
+    assert!(
+        cfg.cost.cores() >= shards,
+        "cost-model mesh smaller than the shard count"
+    );
+    for t in &tasks {
+        assert!(t.native.index() < shards, "native shard out of range");
+    }
+    let scheme_name = scheme.name();
+    let natives: Vec<CoreId> = tasks.iter().map(|t| t.native).collect();
+
+    if tasks.is_empty() {
+        return RtReport {
+            workload: name,
+            scheme: scheme_name,
+            shards,
+            flow: FlowCounts::default(),
+            run_lengths: Histogram::new(cfg.run_bins),
+            context_bytes_sent: 0,
+            heap_words: 0,
+            wall: Duration::ZERO,
+        };
+    }
+
+    let (senders, receivers): (Vec<_>, Vec<_>) = (0..shards).map(|_| channel::<Msg>()).unzip();
+    let shared = Arc::new(Shared {
+        senders,
+        placement,
+        scheme: Mutex::new(scheme),
+        runs: Mutex::new(RunMonitor::new(natives, cfg.run_bins)),
+        barriers: Mutex::new(BarrierHub::new(barrier_quotas)),
+        live_tasks: AtomicUsize::new(tasks.len()),
+        cost: cfg.cost,
+        quantum: cfg.quantum,
+    });
+
+    // Seed every task at its native shard before the workers start:
+    // mailboxes buffer, so seeding order is deterministic per shard.
+    for (i, spec) in tasks.into_iter().enumerate() {
+        let env = Box::new(Envelope {
+            thread: ThreadId(i as u32),
+            native: spec.native,
+            task: spec.task,
+            pending_op: None,
+            pending_reply: None,
+            parked_at: None,
+            run: None,
+        });
+        shared.senders[spec.native.index()]
+            .send(Msg::Arrive(env))
+            .expect("seeding an unstarted shard");
+    }
+
+    /// If a shard thread dies mid-run (a task assertion, an internal
+    /// invariant), broadcast shutdown so sibling shards exit their
+    /// blocking `recv` instead of waiting forever — the panic then
+    /// propagates through the join below rather than hanging the run.
+    struct PanicFanout(Arc<Shared>);
+    impl Drop for PanicFanout {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                for s in &self.0.senders {
+                    let _ = s.send(Msg::Shutdown);
+                }
+            }
+        }
+    }
+
+    let t0 = Instant::now();
+    let counters = std::thread::scope(|scope| {
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, rx)| {
+                let shared = Arc::clone(&shared);
+                let pool = ContextPool::new(cfg.guest_contexts, VictimPolicy::Lru);
+                scope.spawn(move || {
+                    let _guard = PanicFanout(Arc::clone(&shared));
+                    Shard::new(id, rx, shared, pool).run()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    let wall = t0.elapsed();
+
+    let mut flow = FlowCounts::default();
+    let mut context_bytes_sent = 0u64;
+    let mut heap_words = 0u64;
+    for c in &counters {
+        flow.merge(&c.flow);
+        context_bytes_sent += c.context_bytes_sent;
+        heap_words += c.heap_words;
+    }
+
+    let shared = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("every shard released its Shared handle"));
+    let run_lengths = shared
+        .runs
+        .into_inner()
+        .expect("run monitor")
+        .into_histogram();
+
+    RtReport {
+        workload: name,
+        scheme: scheme_name,
+        shards,
+        flow,
+        run_lengths,
+        context_bytes_sent,
+        heap_words,
+        wall,
+    }
+}
+
+/// Replay a traced workload on the runtime: one [`TraceTask`] per
+/// thread, homes resolved live through `placement`, barriers honored
+/// with the engine's exact quotas.
+///
+/// With an eviction-free guest pool ([`RtConfig::eviction_free`]) and
+/// the same placement, the migration / remote-access counters and the
+/// run-length histogram equal those of
+/// [`em2_core::sim::run_em2ra`] with the same scheme — the E11
+/// cross-validation.
+pub fn run_workload(
+    cfg: RtConfig,
+    workload: &Arc<Workload>,
+    placement: Arc<dyn Placement>,
+    scheme: Box<dyn DecisionScheme>,
+) -> RtReport {
+    let tasks: Vec<TaskSpec> = workload
+        .threads
+        .iter()
+        .map(|t| TaskSpec {
+            task: Box::new(TraceTask::new(Arc::clone(workload), t.thread)) as Box<dyn Task>,
+            native: t.native,
+        })
+        .collect();
+    let quotas = barrier_quotas(workload.threads.iter().map(|t| t.barriers.len()));
+    run_tasks(cfg, workload.name.clone(), tasks, placement, scheme, quotas)
+}

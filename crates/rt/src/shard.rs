@@ -1,0 +1,571 @@
+//! The shard executor: one OS thread owning one heap partition.
+//!
+//! Each shard is a real thread with a mailbox (an mpsc channel, so
+//! remote requests are serviced in arrival order — the paper's
+//! in-order home-core servicing), a word-granular heap partition, and
+//! the per-core context file reused from the simulator
+//! ([`em2_core::context::ContextPool`]): native contexts always admit,
+//! guest slots are bounded, and an arriving guest that finds them full
+//! evicts a resident evictable guest back to *its* native shard — the
+//! paper's §2 deadlock-avoidance protocol, executed for real.
+//!
+//! A task runs on its resident shard until it blocks: a non-local
+//! access consults the shared [`DecisionScheme`] and either ships the
+//! serialized continuation to the home shard's mailbox (**migration**)
+//! or sends a word-granular request and parks pinned until the reply
+//! returns (**remote access**). Local accesses execute inline, bounded
+//! by a scheduling quantum so co-resident contexts round-robin.
+//!
+//! Counter equivalence with the simulator (see DESIGN.md §7) rests on
+//! one invariant: every per-thread sequence of `decide` /
+//! `observe_run` / run-monitor calls is issued in that thread's
+//! program order, exactly as the simulator issues it — shard
+//! interleaving only permutes *across* threads, and every shipped
+//! scheme keys its state per thread.
+
+use crate::task::{Op, Task};
+use em2_core::context::{Admission, ContextPool, GuestState};
+use em2_core::decision::{Decision, DecisionCtx, DecisionScheme};
+use em2_core::stats::FlowCounts;
+use em2_engine::RunMonitor;
+use em2_model::{AccessKind, Addr, CoreId, CostModel, ThreadId};
+use em2_placement::Placement;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+
+/// A task in flight or at rest: the continuation plus the runtime
+/// bookkeeping that travels with it.
+pub(crate) struct Envelope {
+    pub thread: ThreadId,
+    pub native: CoreId,
+    pub task: Box<dyn Task>,
+    /// The access that triggered a migration: executed at the home
+    /// shard immediately after admission (the simulator performs the
+    /// arrival access in the same event as admission; keeping the pair
+    /// atomic here preserves the eviction invariants).
+    pub pending_op: Option<Op>,
+    /// Result of the last completed operation, to feed the next
+    /// `resume` (carried across requeues and evictions — it is
+    /// register state).
+    pub pending_reply: Option<u64>,
+    /// Barrier the task is parked at, if any (survives eviction: a
+    /// thread evicted mid-barrier stays parked at its native shard).
+    pub parked_at: Option<usize>,
+    /// The in-progress home run `(home, length)` — per-thread monitor
+    /// state carried *in the envelope* (it migrates with the task), so
+    /// the hot local path extends a run without touching the shared
+    /// [`RunMonitor`]; only a run *boundary* locks it.
+    pub run: Option<(CoreId, u64)>,
+}
+
+/// Inter-shard messages.
+pub(crate) enum Msg {
+    /// A context arrives: a migration, an eviction return, or the
+    /// initial seeding of a task at its native shard.
+    Arrive(Box<Envelope>),
+    /// Word-granular remote access request (`write: Some(v)` stores).
+    Request {
+        addr: Addr,
+        write: Option<u64>,
+        reply_shard: usize,
+        token: u64,
+    },
+    /// Reply to a [`Msg::Request`]: `Some(value)` for reads, `None`
+    /// for write acks.
+    Response { token: u64, value: Option<u64> },
+    /// Barrier `idx` completed; wake local tasks parked on it.
+    BarrierRelease { idx: usize },
+    /// All tasks retired: exit the worker loop.
+    Shutdown,
+}
+
+/// Barrier bookkeeping shared by all shards. Release quotas come from
+/// [`em2_engine::barrier_quotas`], so the runtime and the simulator
+/// agree exactly on when barrier `k` opens.
+pub(crate) struct BarrierHub {
+    expected: Vec<usize>,
+    arrived: Vec<usize>,
+    released: Vec<bool>,
+}
+
+/// What one barrier arrival means for the arriving task.
+enum BarrierOutcome {
+    /// This arrival completed the quota: broadcast the release and
+    /// pass through.
+    Completes,
+    /// The barrier was already open (an over-quota arrival — a
+    /// mis-sized caller-supplied quota): pass through rather than
+    /// park forever awaiting a release that already happened.
+    AlreadyOpen,
+    /// Quota not yet met: park until the release.
+    Parks,
+}
+
+impl BarrierHub {
+    pub(crate) fn new(quotas: Vec<usize>) -> Self {
+        BarrierHub {
+            arrived: vec![0; quotas.len()],
+            released: vec![false; quotas.len()],
+            expected: quotas,
+        }
+    }
+
+    /// Register an arrival at barrier `k`.
+    fn arrive(&mut self, k: usize) -> BarrierOutcome {
+        assert!(k < self.expected.len(), "barrier {k} has no quota");
+        // A zero quota could never complete: fail loudly (the panic
+        // fans out as shutdown) instead of parking the arriver forever.
+        assert!(self.expected[k] > 0, "barrier {k} has a zero quota");
+        if self.released[k] {
+            return BarrierOutcome::AlreadyOpen;
+        }
+        self.arrived[k] += 1;
+        if self.arrived[k] == self.expected[k] {
+            self.released[k] = true;
+            BarrierOutcome::Completes
+        } else {
+            BarrierOutcome::Parks
+        }
+    }
+
+    fn is_released(&self, k: usize) -> bool {
+        self.released[k]
+    }
+}
+
+/// State shared by every shard thread.
+pub(crate) struct Shared {
+    pub senders: Vec<Sender<Msg>>,
+    pub placement: Arc<dyn Placement>,
+    pub scheme: Mutex<Box<dyn DecisionScheme>>,
+    pub runs: Mutex<RunMonitor>,
+    pub barriers: Mutex<BarrierHub>,
+    pub live_tasks: AtomicUsize,
+    pub cost: CostModel,
+    pub quantum: usize,
+}
+
+/// Per-shard counters, merged into the report after the join.
+#[derive(Default)]
+pub(crate) struct ShardCounters {
+    pub flow: FlowCounts,
+    pub context_bytes_sent: u64,
+    pub heap_words: u64,
+}
+
+/// One shard: worker state owned by its thread.
+pub(crate) struct Shard {
+    id: usize,
+    rx: Receiver<Msg>,
+    shared: Arc<Shared>,
+    /// The owned heap partition: word values by address.
+    heap: HashMap<u64, u64>,
+    /// The context file (bounded guests + reserved natives), reused
+    /// from the simulator.
+    pool: ContextPool,
+    /// Runnable tasks (none holds a `pending_op`; see `admit`).
+    runq: VecDeque<Box<Envelope>>,
+    /// Tasks parked at a barrier (`parked_at` is `Some`). Boxed like
+    /// every other envelope home, so moving between queues, mailboxes,
+    /// and park lists never copies the envelope itself.
+    #[allow(clippy::vec_box)]
+    parked: Vec<Box<Envelope>>,
+    /// Tasks pinned awaiting a remote reply, by request token.
+    awaiting: HashMap<u64, Box<Envelope>>,
+    /// Guest arrivals waiting for a slot — every guest was pinned
+    /// when they (or an earlier arrival still queued here) landed.
+    /// Admitted strictly in arrival order.
+    stalled: VecDeque<Box<Envelope>>,
+    next_token: u64,
+    /// Shard-local activity clock (orders LRU victimization).
+    clock: u64,
+    counters: ShardCounters,
+}
+
+impl Shard {
+    pub(crate) fn new(
+        id: usize,
+        rx: Receiver<Msg>,
+        shared: Arc<Shared>,
+        pool: ContextPool,
+    ) -> Self {
+        Shard {
+            id,
+            rx,
+            shared,
+            heap: HashMap::new(),
+            pool,
+            runq: VecDeque::new(),
+            parked: Vec::new(),
+            awaiting: HashMap::new(),
+            stalled: VecDeque::new(),
+            next_token: 0,
+            clock: 0,
+            counters: ShardCounters::default(),
+        }
+    }
+
+    fn me(&self) -> CoreId {
+        CoreId::from(self.id)
+    }
+
+    /// The worker loop: drain the mailbox (home servicing in arrival
+    /// order), retry stalled admissions, then run one task quantum;
+    /// block on the mailbox when nothing is runnable.
+    pub(crate) fn run(mut self) -> ShardCounters {
+        loop {
+            loop {
+                match self.rx.try_recv() {
+                    Ok(Msg::Shutdown) => return self.finish(),
+                    Ok(m) => self.handle(m),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => return self.finish(),
+                }
+            }
+            self.retry_stalled();
+            if let Some(env) = self.runq.pop_front() {
+                self.execute(env);
+                continue;
+            }
+            match self.rx.recv() {
+                Ok(Msg::Shutdown) => return self.finish(),
+                Ok(m) => self.handle(m),
+                Err(_) => return self.finish(),
+            }
+        }
+    }
+
+    fn finish(mut self) -> ShardCounters {
+        self.counters.heap_words = self.heap.len() as u64;
+        self.counters
+    }
+
+    fn handle(&mut self, msg: Msg) {
+        match msg {
+            Msg::Arrive(env) => self.admit(env),
+            Msg::Request {
+                addr,
+                write,
+                reply_shard,
+                token,
+            } => {
+                // Figure 3's "access memory" box executes at the home,
+                // in request arrival order.
+                let value = self.serve(addr, write);
+                self.shared.senders[reply_shard]
+                    .send(Msg::Response { token, value })
+                    .expect("requesting shard alive");
+            }
+            Msg::Response { token, value } => {
+                let mut env = self
+                    .awaiting
+                    .remove(&token)
+                    .expect("response matches a pinned task");
+                if env.native != self.me() {
+                    self.pool.set_guest_state(env.thread, GuestState::Evictable);
+                }
+                env.pending_reply = value;
+                self.runq.push_back(env);
+            }
+            Msg::BarrierRelease { idx } => {
+                let mut i = 0;
+                while i < self.parked.len() {
+                    if self.parked[i].parked_at == Some(idx) {
+                        let mut env = self.parked.swap_remove(i);
+                        env.parked_at = None;
+                        self.runq.push_back(env);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            Msg::Shutdown => unreachable!("Shutdown handled by the run loop"),
+        }
+    }
+
+    /// Admit an arriving context. Natives always fit; a guest may
+    /// evict, or stall when every guest slot is pinned. A fresh guest
+    /// arrival queues behind earlier stalled ones so admission order
+    /// is arrival order.
+    fn admit(&mut self, env: Box<Envelope>) {
+        if env.native == self.me() {
+            self.pool.admit_native(env.thread);
+            self.activate(env);
+            return;
+        }
+        if !self.stalled.is_empty() {
+            self.counters.flow.stalled_arrivals += 1;
+            self.stalled.push_back(env);
+            return;
+        }
+        if let Some(env) = self.try_admit_guest(env) {
+            self.counters.flow.stalled_arrivals += 1;
+            self.stalled.push_back(env);
+        }
+    }
+
+    /// The guest-admission state machine, shared by fresh arrivals and
+    /// stall retries: admit (evicting a resident if needed) and
+    /// activate, or hand the envelope back on stall.
+    fn try_admit_guest(&mut self, env: Box<Envelope>) -> Option<Box<Envelope>> {
+        self.clock += 1;
+        match self.pool.admit_guest(env.thread, self.clock) {
+            Admission::Admitted => self.activate(env),
+            Admission::AdmittedEvicting(victim) => {
+                self.counters.flow.evictions += 1;
+                self.evict(victim);
+                self.activate(env);
+            }
+            Admission::Stalled => return Some(env),
+        }
+        None
+    }
+
+    /// An admitted context becomes active: barrier-parked arrivals
+    /// re-park (unless their barrier opened while they were in
+    /// flight); everything else executes immediately — keeping a
+    /// migration's arrival access atomic with its admission, exactly
+    /// like the simulator's arrival event.
+    fn activate(&mut self, mut env: Box<Envelope>) {
+        if let Some(k) = env.parked_at {
+            let released = self
+                .shared
+                .barriers
+                .lock()
+                .expect("barrier hub")
+                .is_released(k);
+            if released {
+                env.parked_at = None;
+                self.runq.push_back(env);
+            } else {
+                self.parked.push(env);
+            }
+            return;
+        }
+        self.execute(env);
+    }
+
+    /// Ship an evictable resident back to its native shard. The victim
+    /// is in the run queue or parked at a barrier (pinned guests are
+    /// never chosen, and no task mid-execution is pool-resident while
+    /// admissions run); its guest slot was already recycled by
+    /// `ContextPool::admit_guest`.
+    fn evict(&mut self, victim: ThreadId) {
+        let pos = self.runq.iter().position(|e| e.thread == victim);
+        let env = if let Some(i) = pos {
+            self.runq.remove(i).expect("indexed")
+        } else {
+            let i = self
+                .parked
+                .iter()
+                .position(|e| e.thread == victim)
+                .expect("eviction victim must be runnable or barrier-parked");
+            self.parked.swap_remove(i)
+        };
+        self.counters.context_bytes_sent += env.task.context_len();
+        self.shared.senders[env.native.index()]
+            .send(Msg::Arrive(env))
+            .expect("native shard alive");
+    }
+
+    /// Re-attempt stalled guest admissions, preserving arrival order.
+    fn retry_stalled(&mut self) {
+        while let Some(env) = self.stalled.pop_front() {
+            if let Some(env) = self.try_admit_guest(env) {
+                self.stalled.push_front(env);
+                return;
+            }
+        }
+    }
+
+    /// Execute one word access against the owned heap partition: the
+    /// single definition of DSM word semantics, shared by the local /
+    /// migrated path and remote-request servicing. Stores return
+    /// `None` (an ack); loads return `Some(value)`, with
+    /// uninitialized words reading 0.
+    fn serve(&mut self, addr: Addr, write: Option<u64>) -> Option<u64> {
+        match write {
+            Some(v) => {
+                self.heap.insert(addr.0, v);
+                None
+            }
+            None => Some(self.heap.get(&addr.0).copied().unwrap_or(0)),
+        }
+    }
+
+    /// Track one access against the envelope-carried run state,
+    /// reporting a completed run to the shared monitor and scheme
+    /// (lock order everywhere: runs, then scheme). Same run semantics
+    /// as [`RunMonitor::track`]; a continuing run takes no lock.
+    fn track(&self, env: &mut Envelope, home: CoreId) {
+        match env.run {
+            Some((c, ref mut len)) if c == home => *len += 1,
+            Some((c, len)) => {
+                self.record_run(env.thread, c, len);
+                env.run = Some((home, 1));
+            }
+            None => env.run = Some((home, 1)),
+        }
+    }
+
+    /// Report one completed run (the run-boundary lock).
+    fn record_run(&self, thread: ThreadId, core: CoreId, len: u64) {
+        let mut runs = self.shared.runs.lock().expect("run monitor");
+        let mut scheme = self.shared.scheme.lock().expect("decision scheme");
+        runs.record_run(thread, core, len, &mut |t, c, l| {
+            scheme.observe_run(t, c, l)
+        });
+    }
+
+    /// Run one task until it blocks (migration, remote access,
+    /// barrier), completes, or exhausts its local-access quantum.
+    fn execute(&mut self, mut env: Box<Envelope>) {
+        let me = self.me();
+        let mut budget = self.shared.quantum.max(1);
+        let mut reply = env.pending_reply.take();
+        // A pending op is a migration's arrival access: counted as the
+        // migration edge, not a local access.
+        let mut arrival_access = env.pending_op.is_some();
+        loop {
+            let op = match env.pending_op.take() {
+                Some(op) => op,
+                None => env.task.resume(reply.take()),
+            };
+            let (addr, write_value) = match op {
+                Op::Done => {
+                    self.retire(*env);
+                    return;
+                }
+                Op::Barrier(k) => {
+                    debug_assert!(!arrival_access);
+                    let outcome = self.shared.barriers.lock().expect("barrier hub").arrive(k);
+                    match outcome {
+                        BarrierOutcome::Completes => {
+                            for s in &self.shared.senders {
+                                s.send(Msg::BarrierRelease { idx: k }).expect("shard alive");
+                            }
+                            // The completing task passes straight through.
+                            continue;
+                        }
+                        BarrierOutcome::AlreadyOpen => continue,
+                        BarrierOutcome::Parks => {
+                            env.parked_at = Some(k);
+                            self.parked.push(env);
+                            return;
+                        }
+                    }
+                }
+                Op::Read(a) => (a, None),
+                Op::Write(a, v) => (a, Some(v)),
+            };
+            let home = self.shared.placement.home_of(addr);
+
+            if home == me {
+                if arrival_access {
+                    self.counters.flow.migrations += 1;
+                    arrival_access = false;
+                } else {
+                    self.counters.flow.local_accesses += 1;
+                }
+                self.track(&mut env, home);
+                reply = self.serve(addr, write_value);
+                self.clock += 1;
+                self.pool.touch(env.thread, self.clock);
+                budget -= 1;
+                if budget == 0 {
+                    // Quantum exhausted: round-robin with co-resident
+                    // contexts. The unconsumed reply is register state.
+                    env.pending_reply = reply.take();
+                    self.runq.push_back(env);
+                    return;
+                }
+                continue;
+            }
+
+            debug_assert!(!arrival_access, "a migration lands at its access's home");
+            let kind = if write_value.is_some() {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let decision = {
+                let mut scheme = self.shared.scheme.lock().expect("decision scheme");
+                scheme.decide(&DecisionCtx {
+                    thread: env.thread,
+                    current: me,
+                    home,
+                    native: env.native,
+                    kind,
+                    cost: &self.shared.cost,
+                })
+            };
+            match decision {
+                Decision::Migrate => {
+                    if me == env.native {
+                        self.pool.remove_native(env.thread);
+                    } else {
+                        self.pool.remove_guest(env.thread);
+                    }
+                    self.counters.context_bytes_sent += env.task.context_len();
+                    env.pending_op = Some(op);
+                    self.shared.senders[home.index()]
+                        .send(Msg::Arrive(env))
+                        .expect("home shard alive");
+                    return;
+                }
+                Decision::Remote => {
+                    // decide-then-track, the simulator's order: the
+                    // scheme sees the run-end observation only after
+                    // deciding the access that ended the run.
+                    self.track(&mut env, home);
+                    if write_value.is_some() {
+                        self.counters.flow.remote_writes += 1;
+                    } else {
+                        self.counters.flow.remote_reads += 1;
+                    }
+                    if me != env.native {
+                        self.pool.set_guest_state(env.thread, GuestState::Pinned);
+                    }
+                    self.clock += 1;
+                    self.pool.touch(env.thread, self.clock);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.awaiting.insert(token, env);
+                    self.shared.senders[home.index()]
+                        .send(Msg::Request {
+                            addr,
+                            write: write_value,
+                            reply_shard: self.id,
+                            token,
+                        })
+                        .expect("home shard alive");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// A task finished: flush its final run, free its context, and
+    /// shut the fleet down if it was the last.
+    fn retire(&mut self, env: Envelope) {
+        // Flush the final run (the envelope carries the in-progress
+        // state; see `track`).
+        if let Some((c, len)) = env.run {
+            if len > 0 {
+                self.record_run(env.thread, c, len);
+            }
+        }
+        if env.native == self.me() {
+            self.pool.remove_native(env.thread);
+        } else {
+            self.pool.remove_guest(env.thread);
+        }
+        if self.shared.live_tasks.fetch_sub(1, Ordering::AcqRel) == 1 {
+            for s in &self.shared.senders {
+                s.send(Msg::Shutdown).expect("shard alive at shutdown");
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Runtime ↔ simulator cross-validation (the E11 property, pinned as
+//! a test): with an eviction-free guest pool, the executable runtime
+//! must reproduce the simulator's migration count, remote-access
+//! counts, and run-length histogram **exactly** — on the same
+//! workload, placement, and decision scheme. See DESIGN.md §7 for why
+//! these counters are timing-independent.
+
+use em2_core::decision::{
+    AlwaysMigrate, AlwaysRemote, DecisionScheme, DistanceThreshold, HistoryPredictor,
+};
+use em2_core::machine::MachineConfig;
+use em2_core::sim::run_em2ra;
+use em2_placement::{FirstTouch, Placement};
+use em2_rt::{run_workload, RtConfig};
+use em2_trace::gen::micro;
+use em2_trace::gen::ocean::OceanConfig;
+use em2_trace::Workload;
+use std::sync::Arc;
+
+/// The shared quick-scale OCEAN trace (the E11/CI configuration).
+fn quick_ocean() -> Workload {
+    OceanConfig {
+        interior: 128,
+        threads: 16,
+        cores: 16,
+        iterations: 2,
+        levels: 3,
+        ..OceanConfig::default()
+    }
+    .generate()
+}
+
+/// Run both machines eviction-free and assert exact counter agreement.
+fn assert_agreement(
+    w: Workload,
+    cores: usize,
+    sim_scheme: Box<dyn DecisionScheme>,
+    rt_scheme: Box<dyn DecisionScheme>,
+) {
+    let threads = w.num_threads();
+    let placement = Arc::new(FirstTouch::build(&w, cores, 64));
+    let mut cfg = MachineConfig::with_cores(cores);
+    cfg.guest_contexts = threads;
+    let sim = run_em2ra(cfg, &w, &placement, sim_scheme);
+    assert_eq!(
+        sim.flow.evictions, 0,
+        "agreement config must be eviction-free"
+    );
+
+    let w = Arc::new(w);
+    let rt = run_workload(
+        RtConfig::eviction_free(cores, threads),
+        &w,
+        placement as Arc<dyn Placement>,
+        rt_scheme,
+    );
+
+    assert_eq!(
+        rt.flow.migrations, sim.flow.migrations,
+        "[{} / {}] migrations diverged",
+        rt.workload, rt.scheme
+    );
+    assert_eq!(
+        (rt.flow.remote_reads, rt.flow.remote_writes),
+        (sim.flow.remote_reads, sim.flow.remote_writes),
+        "[{} / {}] remote accesses diverged",
+        rt.workload,
+        rt.scheme
+    );
+    assert_eq!(
+        rt.flow.local_accesses, sim.flow.local_accesses,
+        "[{} / {}] local accesses diverged",
+        rt.workload, rt.scheme
+    );
+    assert_eq!(
+        rt.run_lengths, sim.run_lengths,
+        "[{} / {}] run-length histograms diverged",
+        rt.workload, rt.scheme
+    );
+    assert_eq!(rt.flow.evictions, 0);
+    assert_eq!(rt.total_ops(), sim.flow.total_accesses());
+}
+
+#[test]
+fn ocean_always_migrate_matches_simulator_exactly() {
+    assert_agreement(
+        quick_ocean(),
+        16,
+        Box::new(AlwaysMigrate),
+        Box::new(AlwaysMigrate),
+    );
+}
+
+#[test]
+fn ocean_history_predictor_matches_simulator_exactly() {
+    // The learning scheme's table is keyed per (thread, home): the
+    // runtime's cross-thread interleaving must not perturb a single
+    // decision.
+    assert_agreement(
+        quick_ocean(),
+        16,
+        Box::new(HistoryPredictor::new(1.0, 0.5)),
+        Box::new(HistoryPredictor::new(1.0, 0.5)),
+    );
+}
+
+#[test]
+fn ocean_always_remote_matches_simulator_exactly() {
+    assert_agreement(
+        quick_ocean(),
+        16,
+        Box::new(AlwaysRemote),
+        Box::new(AlwaysRemote),
+    );
+}
+
+#[test]
+fn uniform_distance_threshold_matches_simulator_exactly() {
+    let w = micro::uniform(8, 8, 600, 256, 0.3, 11);
+    assert_agreement(
+        w,
+        8,
+        Box::new(DistanceThreshold { max_hops: 2 }),
+        Box::new(DistanceThreshold { max_hops: 2 }),
+    );
+}
+
+#[test]
+fn barrier_workload_matches_and_waits() {
+    // producer_consumer synchronizes with real barriers; the runtime
+    // must honor the engine's exact release quotas and still agree.
+    let w = micro::producer_consumer(4, 8, 32, 3);
+    assert_agreement(w, 8, Box::new(AlwaysMigrate), Box::new(AlwaysMigrate));
+}
+
+#[test]
+fn runtime_counters_are_deterministic_across_runs() {
+    let w = Arc::new(micro::uniform(8, 8, 400, 128, 0.3, 5));
+    let p = Arc::new(FirstTouch::build(&w, 8, 64));
+    let run = || {
+        run_workload(
+            RtConfig::eviction_free(8, 8),
+            &w,
+            Arc::clone(&p) as Arc<dyn Placement>,
+            Box::new(HistoryPredictor::new(1.0, 0.5)),
+        )
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.flow.migrations, b.flow.migrations);
+    assert_eq!(a.flow.remote_reads, b.flow.remote_reads);
+    assert_eq!(a.flow.remote_writes, b.flow.remote_writes);
+    assert_eq!(a.run_lengths, b.run_lengths);
+}
+
+#[test]
+fn bounded_guest_pool_evicts_and_conserves_work() {
+    // Outside the agreement configuration: 8 tasks hammer one shard's
+    // data with a single guest slot. Evictions must fire (deadlock
+    // avoidance executed for real) and every trace access must still
+    // be served exactly once.
+    let w = micro::hotspot(8, 8, 300, 0.9, 3);
+    let total = w.total_accesses() as u64;
+    let p = Arc::new(FirstTouch::build(&w, 8, 64));
+    let w = Arc::new(w);
+    let mut cfg = RtConfig::with_shards(8);
+    cfg.guest_contexts = 1;
+    // A 1-op quantum forces co-resident guests to interleave, so the
+    // hot shard sees simultaneous occupancy even on a single-CPU host.
+    cfg.quantum = 1;
+    let r = run_workload(cfg, &w, p as Arc<dyn Placement>, Box::new(AlwaysMigrate));
+    assert!(r.flow.evictions > 0, "hotspot must force evictions: {r}");
+    assert_eq!(r.total_ops(), total, "every access served exactly once");
+    assert!(r.context_bytes_sent > 0);
+}
+
+#[test]
+fn task_panic_fails_the_run_instead_of_hanging() {
+    // A dying shard must shut the fleet down (sibling shards would
+    // otherwise block in recv forever) and propagate the panic.
+    use em2_rt::{run_tasks, Op, Task, TaskSpec};
+
+    struct PanicTask;
+    impl Task for PanicTask {
+        fn resume(&mut self, _reply: Option<u64>) -> Op {
+            panic!("task invariant violated");
+        }
+        fn context_bytes(&self) -> Vec<u8> {
+            Vec::new()
+        }
+    }
+
+    let w = Arc::new(micro::uniform(4, 4, 200, 128, 0.3, 9));
+    let p: Arc<dyn Placement> = Arc::new(FirstTouch::build(&w, 4, 64));
+    let mut tasks: Vec<TaskSpec> = w
+        .threads
+        .iter()
+        .map(|t| TaskSpec {
+            task: Box::new(em2_rt::TraceTask::new(Arc::clone(&w), t.thread)) as Box<dyn Task>,
+            native: t.native,
+        })
+        .collect();
+    tasks.push(TaskSpec {
+        task: Box::new(PanicTask),
+        native: em2_model::CoreId::from(0usize),
+    });
+    let quotas = em2_engine::barrier_quotas(w.threads.iter().map(|t| t.barriers.len()));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_tasks(
+            RtConfig::with_shards(4),
+            "panic-probe",
+            tasks,
+            p,
+            Box::new(AlwaysMigrate),
+            quotas,
+        )
+    }));
+    assert!(
+        result.is_err(),
+        "the task panic must propagate to the caller"
+    );
+}
+
+#[test]
+fn remote_reads_observe_remote_writes() {
+    // Word-granular DSM semantics: a value stored through the runtime
+    // is the value later loaded, across shards. AlwaysRemote keeps
+    // every task on its native shard, so all sharing flows through
+    // request/reply servicing.
+    let w = Arc::new(micro::pingpong(2, 4, 40));
+    let p = Arc::new(FirstTouch::build(&w, 4, 64));
+    let r = run_workload(
+        RtConfig::eviction_free(4, 4),
+        &w,
+        p as Arc<dyn Placement>,
+        Box::new(AlwaysRemote),
+    );
+    assert_eq!(r.flow.migrations, 0);
+    assert!(r.flow.remote_reads + r.flow.remote_writes > 0);
+    assert!(r.heap_words > 0, "writes materialized words in shard heaps");
+}

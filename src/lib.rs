@@ -11,6 +11,9 @@
 //!   on (deterministic event queue, barriers, contention timing);
 //! * [`placement`] — data placement policies (first-touch, striped, …);
 //! * [`core`] — the EM² / EM²-RA machine and simulator;
+//! * [`rt`] — the executable runtime: OS-thread shards, migratable
+//!   task continuations, word-granular remote access — cross-validated
+//!   against the simulator (E11);
 //! * [`stack`] — the stack-machine EM² variant;
 //! * [`optimal`] — the paper's dynamic-programming analytical model;
 //! * [`coherence`] — the directory-MSI baseline.
@@ -25,5 +28,6 @@ pub use em2_model as model;
 pub use em2_noc as noc;
 pub use em2_optimal as optimal;
 pub use em2_placement as placement;
+pub use em2_rt as rt;
 pub use em2_stack as stack;
 pub use em2_trace as trace;
