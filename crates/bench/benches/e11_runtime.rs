@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
                 RtConfig::eviction_free(scale.cores(), threads),
                 &w,
                 Arc::clone(&placement),
-                Box::new(AlwaysMigrate),
+                || Box::new(AlwaysMigrate),
             );
             std::hint::black_box(r.flow.migrations)
         })
@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
                 RtConfig::eviction_free(scale.cores(), threads),
                 &w,
                 Arc::clone(&placement),
-                Box::new(HistoryPredictor::new(1.0, 0.5)),
+                || Box::new(HistoryPredictor::new(1.0, 0.5)),
             );
             std::hint::black_box(r.flow.remote_reads + r.flow.remote_writes)
         })

@@ -139,14 +139,39 @@ fn main() {
             cal.workload
         );
         let rt_cal = perf::calibrate_runtime();
+        let rt_base = perf::calibrate_runtime_thread_per_shard();
         println!(
-            "  runtime: {:.0} ops/s on {} ({} shard threads, host parallelism {})",
+            "  runtime: {:.0} ops/s on {} ({} shards / {} workers, host parallelism {}); \
+             thread-per-shard baseline {:.0} ops/s ({:.2}x)",
             rt_cal.ops_per_sec(),
             rt_cal.workload,
             rt_cal.report.shards,
-            perf::host_parallelism()
+            rt_cal.report.sched.workers,
+            perf::host_parallelism(),
+            rt_base.ops_per_sec(),
+            if rt_base.ops_per_sec() > 0.0 {
+                rt_cal.ops_per_sec() / rt_base.ops_per_sec()
+            } else {
+                0.0
+            }
         );
-        match perf::write_bench_json(&path, &suite, &cal, &rt_cal) {
+        let scaling = perf::shard_scaling_sweep();
+        for p in &scaling {
+            println!(
+                "  scaling S={:>4}: multiplexed {:>12.0} ops/s | thread-per-shard {:>12.0} ops/s",
+                p.shards,
+                p.multiplexed.ops_per_sec(),
+                p.thread_per_shard.ops_per_sec()
+            );
+        }
+        let latency = em2_bench::serving::measure_latency_panel();
+        for l in &latency {
+            println!(
+                "  kv-open-loop {:<16} @{:>8.0} rps: p50 {:>7.1} us, p95 {:>7.1} us, p99 {:>7.1} us",
+                l.scheme, l.offered_rps, l.p50_us, l.p95_us, l.p99_us
+            );
+        }
+        match perf::write_bench_json(&path, &suite, &cal, &rt_cal, &rt_base, &scaling, &latency) {
             Ok(()) => println!("  wrote {}", path.display()),
             Err(e) => {
                 eprintln!("error: failed to write {}: {e}", path.display());

@@ -976,7 +976,7 @@ pub fn e11_runtime_agreement(scale: Scale) -> Table {
                 em2_rt::RtConfig::eviction_free(cores, threads),
                 &w,
                 Arc::clone(&placement),
-                factory(),
+                factory,
             );
             let agree = rt.flow.migrations == sim.flow.migrations
                 && rt.flow.remote_reads == sim.flow.remote_reads

@@ -32,6 +32,7 @@
 pub mod experiments;
 pub mod par;
 pub mod perf;
+pub mod serving;
 pub mod table;
 pub mod workloads;
 

@@ -91,22 +91,89 @@ impl RuntimeCalibration {
 }
 
 /// Time one quick-scale OCEAN replay on the `em2-rt` runtime (pure
-/// EM²: every non-local access migrates for real).
-pub fn calibrate_runtime() -> RuntimeCalibration {
+/// EM²: every non-local access migrates for real) under the given
+/// executor — one definition of the calibration workload, so the
+/// multiplexed/baseline pair in `BENCH.json` always measures the same
+/// thing.
+fn calibrate_runtime_mode(executor: em2_rt::ExecutorMode, label: &str) -> RuntimeCalibration {
     let scale = Scale::Quick;
     let w = workloads::ocean(scale);
     let placement: Arc<dyn Placement> = Arc::new(workloads::first_touch(&w, scale));
     let threads = w.num_threads();
     let w = Arc::new(w);
-    let report = em2_rt::run_workload(
-        em2_rt::RtConfig::eviction_free(scale.cores(), threads),
-        &w,
-        placement,
-        Box::new(em2_core::AlwaysMigrate),
-    );
+    let mut cfg = em2_rt::RtConfig::eviction_free(scale.cores(), threads);
+    cfg.executor = executor;
+    let report = em2_rt::run_workload(cfg, &w, placement, || Box::new(em2_core::AlwaysMigrate));
     RuntimeCalibration {
-        workload: "ocean/quick/rt-em2".to_string(),
+        workload: label.to_string(),
         report,
+    }
+}
+
+/// The multiplexed-executor runtime calibration.
+pub fn calibrate_runtime() -> RuntimeCalibration {
+    calibrate_runtime_mode(em2_rt::ExecutorMode::Multiplexed, "ocean/quick/rt-em2")
+}
+
+/// The same calibration on the thread-per-shard baseline (the PR 3
+/// runtime layout): identical workload, placement, and scheme, so the
+/// `ops_per_sec` pair in `BENCH.json` is a same-host measurement of
+/// the multiplexed executor against its predecessor.
+pub fn calibrate_runtime_thread_per_shard() -> RuntimeCalibration {
+    calibrate_runtime_mode(
+        em2_rt::ExecutorMode::ThreadPerShard,
+        "ocean/quick/rt-em2/thread-per-shard",
+    )
+}
+
+/// One point of the shard-scaling sweep: the same fixed-size workload
+/// on `shards` shards, multiplexed vs thread-per-shard.
+pub struct ScalingPoint {
+    /// Shard count of this point.
+    pub shards: usize,
+    /// Multiplexed-executor report.
+    pub multiplexed: em2_rt::RtReport,
+    /// Thread-per-shard baseline report (`shards` OS threads).
+    pub thread_per_shard: em2_rt::RtReport,
+}
+
+/// The shard-scaling sweep: S ∈ {16, 64, 256, 1024} shards on a fixed
+/// worker pool (the host's parallelism), total op count held constant,
+/// so ops/sec isolates executor overhead. The multiplexed curve must
+/// stay flat while the thread-per-shard baseline pays for S OS threads
+/// — the collapse `BENCH.json` records.
+pub fn shard_scaling_sweep() -> Vec<ScalingPoint> {
+    [16usize, 64, 256, 1024]
+        .into_iter()
+        .map(scaling_point)
+        .collect()
+}
+
+/// One shard-scaling measurement: 64 tasks, ~200k total accesses,
+/// uniformly shared lines — the same work at every S; only the shard
+/// geometry grows.
+pub fn scaling_point(shards: usize) -> ScalingPoint {
+    let tasks = 64;
+    let w = Arc::new(em2_trace::gen::micro::uniform(
+        tasks,
+        shards,
+        3_000,
+        2_048,
+        0.3,
+        0x5ca1e + shards as u64,
+    ));
+    let placement: Arc<dyn Placement> = Arc::new(em2_placement::FirstTouch::build(&w, shards, 64));
+    let run = |executor: em2_rt::ExecutorMode| {
+        let mut cfg = em2_rt::RtConfig::eviction_free(shards, tasks);
+        cfg.executor = executor;
+        em2_rt::run_workload(cfg, &w, Arc::clone(&placement), || {
+            Box::new(em2_core::AlwaysMigrate)
+        })
+    };
+    ScalingPoint {
+        shards,
+        multiplexed: run(em2_rt::ExecutorMode::Multiplexed),
+        thread_per_shard: run(em2_rt::ExecutorMode::ThreadPerShard),
     }
 }
 
@@ -175,18 +242,23 @@ pub fn tables_digest<'a>(tables: impl Iterator<Item = &'a Table>) -> String {
     format!("fnv1a:{h:016x}")
 }
 
-/// Serialize a suite run (plus both calibrations) as the `BENCH.json`
-/// body. `threads` is the worker count the sweep engine actually
-/// used; `host_available_parallelism` is what the host offered — the
-/// pair shows whether parallel sweeps ever engaged on this build host.
+/// Serialize a suite run (plus calibrations, the shard-scaling sweep,
+/// and the open-loop latency panel) as the `BENCH.json` body — schema
+/// 3. Every schema-2 field survives unchanged (trajectory tooling
+/// keeps parsing): the `runtime` block's top-level numbers are now the
+/// multiplexed executor's, with the thread-per-shard baseline, the
+/// speedup, the scaling sweep, and the `latency` sub-block added.
 pub fn bench_json(
     suite: &SuiteResult,
     calibration: &Calibration,
     runtime: &RuntimeCalibration,
+    baseline: &RuntimeCalibration,
+    scaling: &[ScalingPoint],
+    latency: &[crate::serving::LatencyReport],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 2,");
+    let _ = writeln!(s, "  \"schema\": 3,");
     let _ = writeln!(
         s,
         "  \"scale\": \"{}\",",
@@ -256,7 +328,61 @@ pub fn bench_json(
         "    \"wall_s\": {:.6},",
         runtime.report.wall.as_secs_f64()
     );
-    let _ = writeln!(s, "    \"ops_per_sec\": {:.1}", runtime.ops_per_sec());
+    let _ = writeln!(s, "    \"ops_per_sec\": {:.1},", runtime.ops_per_sec());
+    let _ = writeln!(s, "    \"executor\": \"multiplexed\",");
+    let _ = writeln!(s, "    \"workers\": {},", runtime.report.sched.workers);
+    let _ = writeln!(s, "    \"baseline_thread_per_shard\": {{");
+    let _ = writeln!(
+        s,
+        "      \"wall_s\": {:.6},",
+        baseline.report.wall.as_secs_f64()
+    );
+    let _ = writeln!(s, "      \"ops_per_sec\": {:.1}", baseline.ops_per_sec());
+    s.push_str("    },\n");
+    let speedup = if baseline.ops_per_sec() > 0.0 {
+        runtime.ops_per_sec() / baseline.ops_per_sec()
+    } else {
+        0.0
+    };
+    let _ = writeln!(s, "    \"speedup_vs_thread_per_shard\": {speedup:.3},");
+    s.push_str("    \"shard_scaling\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"shards\": {}, \"ops\": {}, \"multiplexed_ops_per_sec\": {:.1}, \"thread_per_shard_ops_per_sec\": {:.1}}}",
+            p.shards,
+            p.multiplexed.total_ops(),
+            p.multiplexed.ops_per_sec(),
+            p.thread_per_shard.ops_per_sec()
+        );
+        s.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    ],\n");
+    let _ = writeln!(s, "    \"latency\": {{");
+    let _ = writeln!(s, "      \"workload\": \"kv-open-loop\",");
+    let _ = writeln!(
+        s,
+        "      \"utilization\": {},",
+        latency.first().map_or(0.0, |l| l.utilization)
+    );
+    s.push_str("      \"schemes\": [\n");
+    for (i, l) in latency.iter().enumerate() {
+        let _ = write!(
+            s,
+            "        {{\"scheme\": \"{}\", \"requests\": {}, \"offered_rps\": {:.1}, \"achieved_rps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}}}",
+            json_escape(&l.scheme),
+            l.requests,
+            l.offered_rps,
+            l.achieved_rps,
+            l.p50_us,
+            l.p95_us,
+            l.p99_us,
+            l.max_us
+        );
+        s.push_str(if i + 1 < latency.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("      ]\n");
+    s.push_str("    }\n");
     s.push_str("  },\n");
     let _ = writeln!(
         s,
@@ -268,13 +394,20 @@ pub fn bench_json(
 }
 
 /// Write `BENCH.json` to `path`.
+#[allow(clippy::too_many_arguments)]
 pub fn write_bench_json(
     path: &std::path::Path,
     suite: &SuiteResult,
     calibration: &Calibration,
     runtime: &RuntimeCalibration,
+    baseline: &RuntimeCalibration,
+    scaling: &[ScalingPoint],
+    latency: &[crate::serving::LatencyReport],
 ) -> std::io::Result<()> {
-    std::fs::write(path, bench_json(suite, calibration, runtime))
+    std::fs::write(
+        path,
+        bench_json(suite, calibration, runtime, baseline, scaling, latency),
+    )
 }
 
 #[cfg(test)]
@@ -339,10 +472,14 @@ mod tests {
         let suite = run_suite(crate::workloads::Scale::Quick, &["e9"]);
         let cal = calibrate();
         let rt_cal = calibrate_runtime();
-        let j = bench_json(&suite, &cal, &rt_cal);
+        let baseline = calibrate_runtime_thread_per_shard();
+        let latency = [crate::serving::kv_open_loop(8, 300, 0.5, || {
+            Box::new(em2_core::AlwaysMigrate)
+        })];
+        let j = bench_json(&suite, &cal, &rt_cal, &baseline, &[], &latency);
         assert!(j.starts_with("{\n") && j.ends_with("}\n"));
         for key in [
-            "\"schema\"",
+            "\"schema\": 3",
             "\"scale\"",
             "\"threads\"",
             "\"host_available_parallelism\"",
@@ -352,6 +489,11 @@ mod tests {
             "\"sim_cycles_per_sec\"",
             "\"runtime\"",
             "\"ops_per_sec\"",
+            "\"baseline_thread_per_shard\"",
+            "\"speedup_vs_thread_per_shard\"",
+            "\"shard_scaling\"",
+            "\"latency\"",
+            "\"p99_us\"",
             "\"tables_digest\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
@@ -361,5 +503,22 @@ mod tests {
             j.matches('}').count(),
             "balanced braces"
         );
+        assert_eq!(
+            j.matches('[').count(),
+            j.matches(']').count(),
+            "balanced brackets"
+        );
+    }
+
+    #[test]
+    fn scaling_sweep_points_conserve_work_across_executors() {
+        // One cheap point of the sweep shape (the full sweep runs in
+        // the experiments binary): both executors serve the identical
+        // workload, so ops must match exactly.
+        let p = scaling_point(16);
+        assert_eq!(p.shards, 16);
+        assert_eq!(p.multiplexed.total_ops(), p.thread_per_shard.total_ops());
+        assert!(p.multiplexed.ops_per_sec() > 0.0);
+        assert!(p.thread_per_shard.ops_per_sec() > 0.0);
     }
 }

@@ -1,0 +1,290 @@
+//! Open-loop KV serving benchmark on the `em2-rt` executor.
+//!
+//! The latency-grade counterpart to the throughput calibration: a
+//! fixed-rate injector submits independent KV *request tasks* (each a
+//! short migratable transaction — read a hot shared key, write a key
+//! of its own, read it back and verify) to a live [`Runtime`], and
+//! each retirement records latency from the request's **intended**
+//! arrival instant, so an injector running late still charges the
+//! queueing delay to the system (no coordinated omission). Percentiles
+//! come from the runtime's per-task samples.
+//!
+//! The offered rate is derived from a closed-loop capacity probe of
+//! the same configuration (`utilization × capacity`), so one knob
+//! produces comparable load across decision schemes and hosts. Results
+//! land in `BENCH.json` under `runtime.latency` (schema 3) and in the
+//! `runtime_kv` example's table.
+
+use em2_core::decision::DecisionScheme;
+use em2_model::{Addr, CoreId, DetRng};
+use em2_placement::{Placement, Striped};
+use em2_rt::{RtConfig, RtReport, Runtime, Task, TaskSpec};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Hot keys shared by every request (cross-shard traffic).
+const HOT_KEYS: u64 = 16;
+
+/// One KV request: a short migratable transaction.
+///
+/// `read hot` → `write own` → `read own` → verify. The three accesses
+/// usually straddle three shards (the hot key's home, the own key's
+/// home, and the request's native entry shard), so every request
+/// exercises the migrate-vs-remote decision and the reply value
+/// round-trips through whatever mechanism the scheme picked.
+pub struct KvRequest {
+    hot: Addr,
+    own: Addr,
+    value: u64,
+    step: u8,
+}
+
+impl KvRequest {
+    /// Request `i` of a run: the hot key is drawn deterministically,
+    /// the own key is unique to the request (so concurrent in-flight
+    /// requests never race on a verified key — the hot keys carry all
+    /// the cross-request sharing).
+    pub fn new(i: u64, rng: &mut DetRng) -> Self {
+        let hot = rng.below(HOT_KEYS);
+        let own = HOT_KEYS + i;
+        KvRequest {
+            hot: Addr(hot * 8),
+            own: Addr(own * 8),
+            value: (i << 16) ^ own,
+            step: 0,
+        }
+    }
+}
+
+impl Task for KvRequest {
+    fn resume(&mut self, reply: Option<u64>) -> Op {
+        self.step += 1;
+        match self.step {
+            1 => Op::Read(self.hot),
+            2 => Op::Write(self.own, self.value),
+            3 => Op::Read(self.own),
+            _ => {
+                assert_eq!(
+                    reply,
+                    Some(self.value),
+                    "read-your-writes violated across shards"
+                );
+                Op::Done
+            }
+        }
+    }
+
+    fn context_bytes(&self) -> Vec<u8> {
+        // hot + own + value + step: the live transaction state, 25
+        // bytes — what a migration actually ships.
+        let mut b = Vec::with_capacity(25);
+        b.extend_from_slice(&self.hot.0.to_le_bytes());
+        b.extend_from_slice(&self.own.0.to_le_bytes());
+        b.extend_from_slice(&self.value.to_le_bytes());
+        b.push(self.step);
+        b
+    }
+
+    fn context_len(&self) -> u64 {
+        25
+    }
+}
+
+use em2_rt::Op;
+
+/// Latency results of one open-loop run.
+pub struct LatencyReport {
+    /// Decision-scheme name.
+    pub scheme: String,
+    /// Requests injected.
+    pub requests: u64,
+    /// Fraction of probed capacity the run targeted (the load point
+    /// `BENCH.json` attributes the percentiles to).
+    pub utilization: f64,
+    /// Injection rate the run targeted (requests/second).
+    pub offered_rps: f64,
+    /// Retirement rate actually achieved.
+    pub achieved_rps: f64,
+    /// Latency percentiles in microseconds (intended arrival →
+    /// retirement).
+    pub p50_us: f64,
+    /// 95th percentile, µs.
+    pub p95_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+    /// Worst request, µs.
+    pub max_us: f64,
+    /// The underlying runtime report (flow counters, sched telemetry).
+    pub report: RtReport,
+}
+
+fn quantile_us(r: &RtReport, q: f64) -> f64 {
+    r.latency_quantile(q).map_or(0.0, |d| d.as_secs_f64() * 1e6)
+}
+
+fn kv_config(shards: usize) -> RtConfig {
+    RtConfig::with_shards(shards)
+}
+
+fn submit_request(rt: &mut Runtime, i: u64, shards: usize, rng: &mut DetRng, at: Option<Instant>) {
+    let spec = TaskSpec {
+        task: Box::new(KvRequest::new(i, rng)) as Box<dyn Task>,
+        native: CoreId::from((i % shards as u64) as usize),
+        arrival: at,
+    };
+    rt.submit(spec);
+}
+
+/// Closed-loop capacity probe: submit `requests` at once, measure
+/// retirement throughput.
+pub fn kv_capacity(
+    shards: usize,
+    requests: u64,
+    scheme: fn() -> Box<dyn DecisionScheme>,
+) -> RtReport {
+    let placement: Arc<dyn Placement> = Arc::new(Striped::new(shards, 64));
+    let mut rt = Runtime::start(
+        kv_config(shards),
+        "kv-capacity",
+        placement,
+        scheme,
+        Vec::new(),
+    );
+    let mut rng = DetRng::new(0x4b56);
+    for i in 0..requests {
+        submit_request(&mut rt, i, shards, &mut rng, None);
+    }
+    rt.finish()
+}
+
+/// Open-loop run: inject `requests` KV transactions at
+/// `utilization × capacity` and report latency percentiles.
+///
+/// Injection is paced in small batches (the OS sleep granularity is
+/// coarser than the inter-arrival gap at high rates), but every
+/// request's latency is measured from its *individual* intended
+/// arrival time.
+pub fn kv_open_loop(
+    shards: usize,
+    requests: u64,
+    utilization: f64,
+    scheme: fn() -> Box<dyn DecisionScheme>,
+) -> LatencyReport {
+    assert!(utilization > 0.0 && utilization <= 1.0);
+    let probe = kv_capacity(shards, (requests / 4).max(256), scheme);
+    let capacity_rps = {
+        let s = probe.wall.as_secs_f64();
+        let n = probe.task_latency_ns.len() as f64;
+        if s > 0.0 {
+            n / s
+        } else {
+            1e6
+        }
+    };
+    let offered_rps = (capacity_rps * utilization).max(1.0);
+
+    let placement: Arc<dyn Placement> = Arc::new(Striped::new(shards, 64));
+    let mut rt = Runtime::start(
+        kv_config(shards),
+        "kv-open-loop",
+        placement,
+        scheme,
+        Vec::new(),
+    );
+    let mut rng = DetRng::new(0x4b57);
+    // ~2000 pacing sleeps per second keeps the injector honest without
+    // asking the OS for microsecond naps.
+    let batch = ((offered_rps / 2_000.0).ceil() as u64).max(1);
+    let t0 = Instant::now();
+    let mut i = 0u64;
+    while i < requests {
+        let due = t0 + Duration::from_secs_f64(i as f64 / offered_rps);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let end = (i + batch).min(requests);
+        while i < end {
+            let at = t0 + Duration::from_secs_f64(i as f64 / offered_rps);
+            submit_request(&mut rt, i, shards, &mut rng, Some(at));
+            i += 1;
+        }
+    }
+    let report = rt.finish();
+    let achieved_rps = {
+        let s = report.wall.as_secs_f64();
+        if s > 0.0 {
+            requests as f64 / s
+        } else {
+            0.0
+        }
+    };
+    LatencyReport {
+        scheme: report.scheme.clone(),
+        requests,
+        utilization,
+        offered_rps,
+        achieved_rps,
+        p50_us: quantile_us(&report, 0.50),
+        p95_us: quantile_us(&report, 0.95),
+        p99_us: quantile_us(&report, 0.99),
+        max_us: quantile_us(&report, 1.0),
+        report,
+    }
+}
+
+/// A named decision-scheme constructor (panel entry).
+pub type SchemeFactory = fn() -> Box<dyn DecisionScheme>;
+
+/// The scheme panel measured for `BENCH.json`'s `runtime.latency`
+/// block and the `runtime_kv` example. Every report carries the
+/// scheme's own `name()`, so the panel is just the constructors.
+pub fn scheme_panel() -> Vec<SchemeFactory> {
+    use em2_core::decision::{AlwaysMigrate, AlwaysRemote, DistanceThreshold, HistoryPredictor};
+    vec![
+        || Box::new(AlwaysMigrate),
+        || Box::new(AlwaysRemote),
+        || Box::new(DistanceThreshold { max_hops: 2 }),
+        || Box::new(HistoryPredictor::new(1.0, 0.5)),
+    ]
+}
+
+/// Run the whole panel at one load point (the `BENCH.json` entry
+/// point: `shards = 16`, 2000 requests, 50% utilization).
+pub fn measure_latency_panel() -> Vec<LatencyReport> {
+    scheme_panel()
+        .into_iter()
+        .map(|factory| kv_open_loop(16, 2_000, 0.5, factory))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em2_core::decision::AlwaysMigrate;
+
+    #[test]
+    fn kv_requests_verify_and_complete() {
+        let r = kv_capacity(8, 300, || Box::new(AlwaysMigrate));
+        assert_eq!(r.task_latency_ns.len(), 300, "every request retired");
+        // 3 accesses per request (hot read, own write, own read-back).
+        assert_eq!(r.total_ops(), 900);
+        assert!(r.heap_words > 0);
+    }
+
+    #[test]
+    fn open_loop_reports_monotone_percentiles() {
+        let lat = kv_open_loop(8, 400, 0.5, || Box::new(AlwaysMigrate));
+        assert_eq!(lat.requests, 400);
+        assert!(lat.offered_rps > 0.0);
+        assert!(lat.achieved_rps > 0.0);
+        assert!(
+            lat.p50_us > 0.0,
+            "latency from intended arrival: {}",
+            lat.p50_us
+        );
+        assert!(lat.p50_us <= lat.p95_us && lat.p95_us <= lat.p99_us);
+        assert!(lat.p99_us <= lat.max_us);
+        assert_eq!(lat.report.task_latency_ns.len(), 400);
+    }
+}

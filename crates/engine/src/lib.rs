@@ -40,7 +40,7 @@ pub mod event;
 pub mod runlen;
 pub mod sched;
 
-pub use barrier::{barrier_quotas, Barriers};
+pub use barrier::{barrier_quotas, AtomicBarriers, BarrierArrival, Barriers};
 pub use contention::{Contention, ContentionState, QueuedParams};
 pub use engine::{Engine, EngineTally, MachineModel};
 pub use event::{Event, EventQueue};

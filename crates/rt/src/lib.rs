@@ -4,16 +4,26 @@
 //! EM²/EM²-RA machine run on real OS threads instead of a simulated
 //! clock. Where `em2-core` *models* the machine, this crate *is* one:
 //!
-//! * each "core" is a **shard**: an OS thread owning a partition of a
-//!   word-granular sharded heap (address → home via an
+//! * each "core" is a **shard**: a poll-able state machine owning a
+//!   partition of a word-granular sharded heap (address → home via an
 //!   [`em2_placement::Placement`] policy) and a mailbox serviced in
-//!   arrival order;
+//!   arrival order. A **multiplexed work-stealing executor** runs
+//!   `S ≫ W` shards on `W` worker threads (default: the host's
+//!   parallelism) — the paper's 64–1024-core geometries instantiate
+//!   on any host, and a shard blocked on a remote reply or barrier
+//!   parks its continuation, never a thread (the thread-per-shard
+//!   layout survives as [`ExecutorMode::ThreadPerShard`], the
+//!   benchmark baseline);
 //! * user code runs as **migratable task continuations**
 //!   ([`Task`]): sequential programs yielding memory operations, whose
 //!   live state serializes to a small context ([`Task::context_bytes`])
 //!   — a trace-replay continuation is 24 bytes;
 //! * a non-local access consults a reused `em2-core`
-//!   [`em2_core::decision::DecisionScheme`] and either **migrates**
+//!   [`em2_core::decision::DecisionScheme`] — one instance per thread,
+//!   carried in the migrating envelope, so the hot path takes **no
+//!   lock** (the run monitor and barriers are likewise shard-local or
+//!   atomic; DESIGN.md §8 has the lock-elimination table) — and either
+//!   **migrates**
 //!   (the context ships to the home shard's mailbox, admitted into a
 //!   bounded guest pool with eviction-back-to-native for deadlock
 //!   avoidance — [`em2_core::context::ContextPool`], executed for
@@ -36,10 +46,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod exec;
 mod shard;
 
 pub mod runtime;
 pub mod task;
 
-pub use runtime::{run_tasks, run_workload, RtConfig, RtReport, TaskSpec};
+pub use runtime::{
+    run_tasks, run_workload, ExecutorMode, RtConfig, RtReport, Runtime, SchedStats, TaskSpec,
+};
 pub use task::{Op, Task, TraceTask};

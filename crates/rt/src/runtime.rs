@@ -1,26 +1,48 @@
-//! Runtime assembly: configuration, launch, and the report.
+//! Runtime assembly: configuration, launch, submission, and the
+//! report.
 
-use crate::shard::{BarrierHub, Envelope, Msg, Shard, Shared};
+use crate::exec::{shard_thread_loop, worker_loop, Sched};
+use crate::shard::{Envelope, Msg, ShardCore, Shared};
 use crate::task::{Task, TraceTask};
-use em2_core::context::{ContextPool, VictimPolicy};
 use em2_core::decision::DecisionScheme;
 use em2_core::stats::FlowCounts;
 use em2_core::RUN_BINS;
-use em2_engine::{barrier_quotas, RunMonitor};
+use em2_engine::{barrier_quotas, AtomicBarriers};
 use em2_model::{CoreId, CostModel, Histogram, ThreadId};
 use em2_placement::Placement;
 use em2_trace::Workload;
 use std::fmt;
-use std::sync::atomic::AtomicUsize;
-use std::sync::mpsc::channel;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// How shards map onto OS threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutorMode {
+    /// The multiplexed work-stealing executor: `workers` threads
+    /// cooperatively poll all shards; a blocked shard parks its
+    /// continuation, not a thread. The default — this is what lets
+    /// S = 1024 shards run on any host.
+    Multiplexed,
+    /// One dedicated OS thread per shard (the PR 3 runtime), kept as
+    /// the baseline for the shard-scaling comparison in `BENCH.json`.
+    ThreadPerShard,
+}
 
 /// Runtime configuration.
 #[derive(Clone, Debug)]
 pub struct RtConfig {
-    /// Number of shard threads (the machine's "cores").
+    /// Number of shards (the machine's "cores"). Shards are state
+    /// machines, not threads: any count instantiable by memory runs on
+    /// any host.
     pub shards: usize,
+    /// Worker threads for [`ExecutorMode::Multiplexed`]; `0` = auto
+    /// (the `EM2_RT_WORKERS` environment variable if set, else the
+    /// host's available parallelism), capped at the shard count.
+    /// Ignored by [`ExecutorMode::ThreadPerShard`].
+    pub workers: usize,
+    /// Shard→thread mapping (default [`ExecutorMode::Multiplexed`]).
+    pub executor: ExecutorMode,
     /// Guest contexts per shard (besides reserved natives). With fewer
     /// guests than visiting tasks, arrivals evict — set this to the
     /// task count for the eviction-free configuration whose counters
@@ -39,12 +61,14 @@ pub struct RtConfig {
 }
 
 impl RtConfig {
-    /// A runtime with `shards` shard threads and defaults mirroring
+    /// A runtime with `shards` shards and defaults mirroring
     /// [`em2_core::machine::MachineConfig`] (2 guest contexts).
     pub fn with_shards(shards: usize) -> Self {
         assert!(shards > 0);
         RtConfig {
             shards,
+            workers: 0,
+            executor: ExecutorMode::Multiplexed,
             guest_contexts: 2,
             cost: CostModel::builder().cores(shards).build(),
             quantum: 256,
@@ -56,22 +80,67 @@ impl RtConfig {
     /// eviction can occur with `tasks` tasks, making every counter a
     /// pure function of per-thread program order (DESIGN.md §7) —
     /// bit-comparable to a simulator run with the same
-    /// `guest_contexts`.
+    /// `guest_contexts`, at **any** worker count.
     pub fn eviction_free(shards: usize, tasks: usize) -> Self {
         RtConfig {
             guest_contexts: tasks.max(1),
             ..RtConfig::with_shards(shards)
         }
     }
+
+    fn resolved_workers(&self) -> usize {
+        let requested = if self.workers > 0 {
+            self.workers
+        } else {
+            std::env::var("EM2_RT_WORKERS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        };
+        requested.min(self.shards).max(1)
+    }
 }
 
 /// One task to launch: the continuation plus its native shard.
 pub struct TaskSpec {
-    /// The continuation; its index in the launch vector is its
+    /// The continuation; [`Runtime::submit`] assigns it the next
     /// [`ThreadId`].
     pub task: Box<dyn Task>,
     /// The shard whose reserved native context belongs to this task.
     pub native: CoreId,
+    /// Latency epoch: `None` stamps the submission instant; open-loop
+    /// injectors pass the request's *intended* arrival time so queueing
+    /// delay from a late injector still counts (no coordinated
+    /// omission).
+    pub arrival: Option<Instant>,
+}
+
+impl TaskSpec {
+    /// A task native to `native`, stamped at submission time.
+    pub fn new(task: Box<dyn Task>, native: CoreId) -> Self {
+        TaskSpec {
+            task,
+            native,
+            arrival: None,
+        }
+    }
+}
+
+/// Scheduling telemetry from one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedStats {
+    /// OS threads that drove the shards (workers, or the shard count
+    /// in thread-per-shard mode).
+    pub workers: usize,
+    /// Shard polls across all workers. Every poll is provoked by a
+    /// message or a requeue — an idle runtime performs none (the
+    /// no-busy-wait regression test pins this).
+    pub polls: u64,
+    /// Shards taken from another worker's run queue.
+    pub steals: u64,
+    /// Times a worker parked on the sleep condvar.
+    pub parks: u64,
 }
 
 /// Everything a runtime run produces. Field-compatible with the
@@ -84,8 +153,10 @@ pub struct RtReport {
     pub workload: String,
     /// Decision-scheme name.
     pub scheme: String,
-    /// Shard thread count.
+    /// Shard count.
     pub shards: usize,
+    /// Executor that drove the shards.
+    pub executor: ExecutorMode,
     /// The Figure-1/3 flow counters, measured by execution. One unit
     /// caveat: `stalled_arrivals` counts each arrival that had to wait
     /// *once*, while the simulator counts every failed retry poll
@@ -93,7 +164,7 @@ pub struct RtReport {
     /// field across machines.
     pub flow: FlowCounts,
     /// Run-length histogram (Figure-2 semantics, same binning as the
-    /// simulator).
+    /// simulator; per-shard slices merged bin-wise at quiesce).
     pub run_lengths: Histogram,
     /// Serialized context bytes shipped by migrations and evictions.
     pub context_bytes_sent: u64,
@@ -101,6 +172,15 @@ pub struct RtReport {
     pub heap_words: u64,
     /// End-to-end wall-clock of the run (launch to last retirement).
     pub wall: Duration,
+    /// Scheduling telemetry.
+    pub sched: SchedStats,
+    /// Per-task latency samples in nanoseconds (submission — or the
+    /// injector-declared arrival instant — to retirement), sorted
+    /// ascending. One sample per task, so trace replays with a handful
+    /// of long tasks carry a handful of samples, while a serving
+    /// workload with one task per request yields a latency
+    /// distribution ([`RtReport::latency_quantile`]).
+    pub task_latency_ns: Vec<u64>,
 }
 
 impl RtReport {
@@ -119,17 +199,29 @@ impl RtReport {
             self.total_ops() as f64 / s
         }
     }
+
+    /// Task-latency quantile `q` in `[0, 1]` (`None` when no task
+    /// retired). `q = 0.5` is the median, `0.99` the p99.
+    pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
+        if self.task_latency_ns.is_empty() {
+            return None;
+        }
+        let n = self.task_latency_ns.len();
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+        Some(Duration::from_nanos(self.task_latency_ns[rank - 1]))
+    }
 }
 
 impl fmt::Display for RtReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "[rt {} / {}] {} ops on {} shards in {:.3} ms ({:.0} ops/s)",
+            "[rt {} / {}] {} ops on {} shards / {} workers in {:.3} ms ({:.0} ops/s)",
             self.workload,
             self.scheme,
             self.total_ops(),
             self.shards,
+            self.sched.workers,
             self.wall.as_secs_f64() * 1e3,
             self.ops_per_sec()
         )?;
@@ -146,141 +238,275 @@ impl fmt::Display for RtReport {
     }
 }
 
-/// Launch `tasks` on `cfg.shards` shard threads and run to completion.
+/// Broadcast shutdown if the owning thread dies mid-run (a task
+/// assertion, an internal invariant), so sibling workers exit their
+/// parks instead of waiting forever — the panic then propagates
+/// through the join rather than hanging the run.
+struct PanicFanout(Arc<Shared>);
+impl Drop for PanicFanout {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.initiate_shutdown();
+        }
+    }
+}
+
+/// A live runtime: workers running, accepting task submissions.
 ///
-/// `barrier_quotas[k]` is the number of arrivals that open global
-/// barrier `k` (use [`em2_engine::barrier_quotas`]; empty when tasks
-/// never emit [`crate::Op::Barrier`]). Task `i` runs as [`ThreadId`]
-/// `i` for the run monitor and decision scheme.
-pub fn run_tasks(
-    cfg: RtConfig,
-    name: impl Into<String>,
-    tasks: Vec<TaskSpec>,
-    placement: Arc<dyn Placement>,
-    scheme: Box<dyn DecisionScheme>,
-    barrier_quotas: Vec<usize>,
-) -> RtReport {
-    let name = name.into();
-    let shards = cfg.shards;
-    assert!(
-        placement.cores() <= shards,
-        "placement targets more shards than the runtime has"
-    );
-    assert!(
-        cfg.cost.cores() >= shards,
-        "cost-model mesh smaller than the shard count"
-    );
-    for t in &tasks {
-        assert!(t.native.index() < shards, "native shard out of range");
-    }
-    let scheme_name = scheme.name();
-    let natives: Vec<CoreId> = tasks.iter().map(|t| t.native).collect();
+/// The serving-oriented half of the API: [`Runtime::start`] brings the
+/// shard fleet up, [`Runtime::submit`] injects tasks while it runs (an
+/// open-loop load generator calls this on its own clock), and
+/// [`Runtime::finish`] closes admission, waits for every submitted
+/// task to retire, and merges the per-shard counters into the report.
+/// [`run_tasks`] wraps the three for batch runs. Dropping a `Runtime`
+/// without calling `finish` drains it the same way (minus the report).
+pub struct Runtime {
+    shared: Option<Arc<Shared>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    name: String,
+    scheme_name: String,
+    make_scheme: Box<dyn FnMut() -> Box<dyn DecisionScheme> + Send>,
+    next_thread: u32,
+    shards: usize,
+    run_bins: u64,
+    executor: ExecutorMode,
+    workers: usize,
+    t0: Instant,
+}
 
-    if tasks.is_empty() {
-        return RtReport {
-            workload: name,
-            scheme: scheme_name,
-            shards,
-            flow: FlowCounts::default(),
-            run_lengths: Histogram::new(cfg.run_bins),
-            context_bytes_sent: 0,
-            heap_words: 0,
-            wall: Duration::ZERO,
+impl Runtime {
+    /// Launch the shard fleet.
+    ///
+    /// `scheme_factory` is called once per submitted task: each task's
+    /// thread gets its own decision-scheme instance, carried in its
+    /// envelope (per-thread state — bit-equal to the simulator's
+    /// single shared instance, since every shipped scheme keys its
+    /// tables per thread; see DESIGN.md §8).
+    ///
+    /// `barrier_quotas[k]` is the number of arrivals that open global
+    /// barrier `k` (use [`em2_engine::barrier_quotas`]; empty when
+    /// tasks never emit [`crate::Op::Barrier`]).
+    pub fn start(
+        cfg: RtConfig,
+        name: impl Into<String>,
+        placement: Arc<dyn Placement>,
+        scheme_factory: impl FnMut() -> Box<dyn DecisionScheme> + Send + 'static,
+        barrier_quotas: Vec<usize>,
+    ) -> Self {
+        let shards = cfg.shards;
+        assert!(
+            placement.cores() <= shards,
+            "placement targets more shards than the runtime has"
+        );
+        assert!(
+            cfg.cost.cores() >= shards,
+            "cost-model mesh smaller than the shard count"
+        );
+        let mut make_scheme: Box<dyn FnMut() -> Box<dyn DecisionScheme> + Send> =
+            Box::new(scheme_factory);
+        let scheme_name = make_scheme().name();
+
+        let workers = match cfg.executor {
+            ExecutorMode::Multiplexed => cfg.resolved_workers(),
+            ExecutorMode::ThreadPerShard => shards,
         };
+        let shared = Arc::new(Shared {
+            mailboxes: (0..shards).map(|_| crate::shard::Mailbox::new()).collect(),
+            cores: (0..shards)
+                .map(|id| Mutex::new(ShardCore::new(id, cfg.guest_contexts, cfg.run_bins)))
+                .collect(),
+            placement,
+            barriers: AtomicBarriers::new(barrier_quotas),
+            // One "open" token held by this handle; submissions add to
+            // it, retirements subtract, and whoever reaches zero (the
+            // last retirement after `finish` drops the token, or
+            // `finish` itself on an empty run) initiates shutdown.
+            live: AtomicUsize::new(1),
+            shutdown: AtomicBool::new(false),
+            cost: cfg.cost,
+            quantum: cfg.quantum,
+            sched: match cfg.executor {
+                ExecutorMode::Multiplexed => Some(Sched::new(workers)),
+                ExecutorMode::ThreadPerShard => None,
+            },
+        });
+
+        let t0 = Instant::now();
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let label = match cfg.executor {
+                    ExecutorMode::Multiplexed => format!("em2-rt-worker-{w}"),
+                    ExecutorMode::ThreadPerShard => format!("em2-rt-shard-{w}"),
+                };
+                let mode = cfg.executor;
+                std::thread::Builder::new()
+                    .name(label)
+                    .spawn(move || {
+                        let _fanout = PanicFanout(Arc::clone(&shared));
+                        match mode {
+                            ExecutorMode::Multiplexed => worker_loop(&shared, w),
+                            ExecutorMode::ThreadPerShard => shard_thread_loop(&shared, w),
+                        }
+                    })
+                    .expect("spawn runtime worker")
+            })
+            .collect();
+
+        Runtime {
+            shared: Some(shared),
+            handles,
+            name: name.into(),
+            scheme_name,
+            make_scheme,
+            next_thread: 0,
+            shards,
+            run_bins: cfg.run_bins,
+            executor: cfg.executor,
+            workers,
+            t0,
+        }
     }
 
-    let (senders, receivers): (Vec<_>, Vec<_>) = (0..shards).map(|_| channel::<Msg>()).unzip();
-    let shared = Arc::new(Shared {
-        senders,
-        placement,
-        scheme: Mutex::new(scheme),
-        runs: Mutex::new(RunMonitor::new(natives, cfg.run_bins)),
-        barriers: Mutex::new(BarrierHub::new(barrier_quotas)),
-        live_tasks: AtomicUsize::new(tasks.len()),
-        cost: cfg.cost,
-        quantum: cfg.quantum,
-    });
-
-    // Seed every task at its native shard before the workers start:
-    // mailboxes buffer, so seeding order is deterministic per shard.
-    for (i, spec) in tasks.into_iter().enumerate() {
+    /// Submit one task; it is seeded at its native shard and starts
+    /// immediately. Returns the [`ThreadId`] it runs as (submission
+    /// order: 0, 1, 2, …).
+    pub fn submit(&mut self, spec: TaskSpec) -> ThreadId {
+        let shared = self.shared.as_ref().expect("runtime is live");
+        assert!(
+            spec.native.index() < self.shards,
+            "native shard out of range"
+        );
+        let thread = ThreadId(self.next_thread);
+        self.next_thread += 1;
         let env = Box::new(Envelope {
-            thread: ThreadId(i as u32),
+            thread,
             native: spec.native,
             task: spec.task,
+            scheme: (self.make_scheme)(),
+            arrival: spec.arrival.unwrap_or_else(Instant::now),
             pending_op: None,
             pending_reply: None,
             parked_at: None,
             run: None,
         });
-        shared.senders[spec.native.index()]
-            .send(Msg::Arrive(env))
-            .expect("seeding an unstarted shard");
+        shared.live.fetch_add(1, Ordering::AcqRel);
+        shared.send(spec.native.index(), Msg::Arrive(env));
+        thread
     }
 
-    /// If a shard thread dies mid-run (a task assertion, an internal
-    /// invariant), broadcast shutdown so sibling shards exit their
-    /// blocking `recv` instead of waiting forever — the panic then
-    /// propagates through the join below rather than hanging the run.
-    struct PanicFanout(Arc<Shared>);
-    impl Drop for PanicFanout {
-        fn drop(&mut self) {
-            if std::thread::panicking() {
-                for s in &self.0.senders {
-                    let _ = s.send(Msg::Shutdown);
-                }
+    /// Drop the open token, wait for every submitted task to retire,
+    /// and join the workers. Returns the first worker panic, if any.
+    fn shutdown_and_join(
+        &mut self,
+    ) -> (Option<Arc<Shared>>, Option<Box<dyn std::any::Any + Send>>) {
+        let Some(shared) = self.shared.take() else {
+            return (None, None);
+        };
+        if shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            shared.initiate_shutdown();
+        }
+        let mut first_panic = None;
+        for h in self.handles.drain(..) {
+            if let Err(p) = h.join() {
+                first_panic.get_or_insert(p);
             }
         }
+        (Some(shared), first_panic)
     }
 
-    let t0 = Instant::now();
-    let counters = std::thread::scope(|scope| {
-        let handles: Vec<_> = receivers
-            .into_iter()
-            .enumerate()
-            .map(|(id, rx)| {
-                let shared = Arc::clone(&shared);
-                let pool = ContextPool::new(cfg.guest_contexts, VictimPolicy::Lru);
-                scope.spawn(move || {
-                    let _guard = PanicFanout(Arc::clone(&shared));
-                    Shard::new(id, rx, shared, pool).run()
-                })
+    /// Close admission, run to quiescence, and merge the per-shard
+    /// counters (in shard order — a deterministic reduction) into the
+    /// report.
+    pub fn finish(mut self) -> RtReport {
+        let (shared, panic) = self.shutdown_and_join();
+        let shared = shared.expect("finish consumes the runtime");
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+        let wall = self.t0.elapsed();
+        let shared = Arc::try_unwrap(shared)
+            .unwrap_or_else(|_| panic!("every worker released its Shared handle"));
+
+        let mut flow = FlowCounts::default();
+        let mut run_lengths = Histogram::new(self.run_bins);
+        let mut context_bytes_sent = 0u64;
+        let mut heap_words = 0u64;
+        let mut polls = 0u64;
+        let mut task_latency_ns: Vec<u64> = Vec::new();
+        for core in shared.cores {
+            let c = core
+                .into_inner()
+                .expect("no worker panicked")
+                .into_counters();
+            flow.merge(&c.flow);
+            run_lengths.merge(&c.run_hist);
+            context_bytes_sent += c.context_bytes_sent;
+            heap_words += c.heap_words;
+            polls += c.polls;
+            task_latency_ns.extend(c.task_latency_ns);
+        }
+        task_latency_ns.sort_unstable();
+        let (steals, parks) = shared
+            .sched
+            .as_ref()
+            .map(|s| {
+                (
+                    s.steals.load(Ordering::Relaxed),
+                    s.parks.load(Ordering::Relaxed),
+                )
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard thread panicked"))
-            .collect::<Vec<_>>()
-    });
-    let wall = t0.elapsed();
+            .unwrap_or((0, 0));
 
-    let mut flow = FlowCounts::default();
-    let mut context_bytes_sent = 0u64;
-    let mut heap_words = 0u64;
-    for c in &counters {
-        flow.merge(&c.flow);
-        context_bytes_sent += c.context_bytes_sent;
-        heap_words += c.heap_words;
+        RtReport {
+            workload: std::mem::take(&mut self.name),
+            scheme: std::mem::take(&mut self.scheme_name),
+            shards: self.shards,
+            executor: self.executor,
+            flow,
+            run_lengths,
+            context_bytes_sent,
+            heap_words,
+            wall,
+            sched: SchedStats {
+                workers: self.workers,
+                polls,
+                steals,
+                parks,
+            },
+            task_latency_ns,
+        }
     }
+}
 
-    let shared = Arc::try_unwrap(shared)
-        .unwrap_or_else(|_| panic!("every shard released its Shared handle"));
-    let run_lengths = shared
-        .runs
-        .into_inner()
-        .expect("run monitor")
-        .into_histogram();
-
-    RtReport {
-        workload: name,
-        scheme: scheme_name,
-        shards,
-        flow,
-        run_lengths,
-        context_bytes_sent,
-        heap_words,
-        wall,
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // `finish` already took `shared`; otherwise drain like it
+        // (waiting for submitted tasks) but swallow the report. Worker
+        // panics surface on the next `finish`-less path as aborted
+        // joins only if we are already unwinding.
+        let _ = self.shutdown_and_join();
     }
+}
+
+/// Launch `tasks` on `cfg.shards` shards and run to completion.
+///
+/// `scheme_factory` builds one decision-scheme instance per task (see
+/// [`Runtime::start`]). `barrier_quotas[k]` is the number of arrivals
+/// that open global barrier `k`. Task `i` runs as [`ThreadId`] `i`.
+pub fn run_tasks(
+    cfg: RtConfig,
+    name: impl Into<String>,
+    tasks: Vec<TaskSpec>,
+    placement: Arc<dyn Placement>,
+    scheme_factory: impl FnMut() -> Box<dyn DecisionScheme> + Send + 'static,
+    barrier_quotas: Vec<usize>,
+) -> RtReport {
+    let mut rt = Runtime::start(cfg, name, placement, scheme_factory, barrier_quotas);
+    for spec in tasks {
+        rt.submit(spec);
+    }
+    rt.finish()
 }
 
 /// Replay a traced workload on the runtime: one [`TraceTask`] per
@@ -291,21 +517,30 @@ pub fn run_tasks(
 /// the same placement, the migration / remote-access counters and the
 /// run-length histogram equal those of
 /// [`em2_core::sim::run_em2ra`] with the same scheme — the E11
-/// cross-validation.
+/// cross-validation — at any worker count and in either executor mode.
 pub fn run_workload(
     cfg: RtConfig,
     workload: &Arc<Workload>,
     placement: Arc<dyn Placement>,
-    scheme: Box<dyn DecisionScheme>,
+    scheme_factory: impl FnMut() -> Box<dyn DecisionScheme> + Send + 'static,
 ) -> RtReport {
     let tasks: Vec<TaskSpec> = workload
         .threads
         .iter()
-        .map(|t| TaskSpec {
-            task: Box::new(TraceTask::new(Arc::clone(workload), t.thread)) as Box<dyn Task>,
-            native: t.native,
+        .map(|t| {
+            TaskSpec::new(
+                Box::new(TraceTask::new(Arc::clone(workload), t.thread)) as Box<dyn Task>,
+                t.native,
+            )
         })
         .collect();
     let quotas = barrier_quotas(workload.threads.iter().map(|t| t.barriers.len()));
-    run_tasks(cfg, workload.name.clone(), tasks, placement, scheme, quotas)
+    run_tasks(
+        cfg,
+        workload.name.clone(),
+        tasks,
+        placement,
+        scheme_factory,
+        quotas,
+    )
 }

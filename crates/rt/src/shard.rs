@@ -1,39 +1,58 @@
-//! The shard executor: one OS thread owning one heap partition.
+//! The shard state machine: one heap partition, poll-able by any
+//! worker.
 //!
-//! Each shard is a real thread with a mailbox (an mpsc channel, so
-//! remote requests are serviced in arrival order — the paper's
-//! in-order home-core servicing), a word-granular heap partition, and
-//! the per-core context file reused from the simulator
-//! ([`em2_core::context::ContextPool`]): native contexts always admit,
-//! guest slots are bounded, and an arriving guest that finds them full
-//! evicts a resident evictable guest back to *its* native shard — the
-//! paper's §2 deadlock-avoidance protocol, executed for real.
+//! Each shard is a **state machine**, not a thread: a word-granular
+//! heap partition, a mailbox (a sharded-lock MPSC queue, so remote
+//! requests are serviced in arrival order — the paper's in-order
+//! home-core servicing), and the per-core context file reused from the
+//! simulator ([`em2_core::context::ContextPool`]): native contexts
+//! always admit, guest slots are bounded, and an arriving guest that
+//! finds them full evicts a resident evictable guest back to *its*
+//! native shard — the paper's §2 deadlock-avoidance protocol, executed
+//! for real. Which OS thread polls a shard is the executor's business
+//! (`exec.rs`): `W` workers multiplex `S ≫ W` shards, or the
+//! thread-per-shard baseline dedicates one thread per shard.
 //!
 //! A task runs on its resident shard until it blocks: a non-local
-//! access consults the shared [`DecisionScheme`] and either ships the
-//! serialized continuation to the home shard's mailbox (**migration**)
-//! or sends a word-granular request and parks pinned until the reply
-//! returns (**remote access**). Local accesses execute inline, bounded
-//! by a scheduling quantum so co-resident contexts round-robin.
+//! access consults the **envelope-carried** [`DecisionScheme`] and
+//! either ships the serialized continuation to the home shard's
+//! mailbox (**migration**) or sends a word-granular request and parks
+//! pinned until the reply returns (**remote access**). Local accesses
+//! execute inline, bounded by a scheduling quantum so co-resident
+//! contexts round-robin.
 //!
-//! Counter equivalence with the simulator (see DESIGN.md §7) rests on
-//! one invariant: every per-thread sequence of `decide` /
+//! **No global locks on the hot path.** Decision-scheme state lives in
+//! the envelope (every shipped scheme keys its tables per thread, so
+//! carrying each thread's instance with its task is exact — see
+//! DESIGN.md §8); the run-length histogram is a per-shard
+//! [`Histogram`] merged deterministically at quiesce; barriers are the
+//! engine's [`AtomicBarriers`] (per-barrier atomic counters, one
+//! atomic release). Counter equivalence with the simulator (DESIGN.md
+//! §7) rests on one invariant: every per-thread sequence of `decide` /
 //! `observe_run` / run-monitor calls is issued in that thread's
 //! program order, exactly as the simulator issues it — shard
-//! interleaving only permutes *across* threads, and every shipped
-//! scheme keys its state per thread.
+//! interleaving only permutes *across* threads.
 
+use crate::exec::Sched;
 use crate::task::{Op, Task};
-use em2_core::context::{Admission, ContextPool, GuestState};
+use em2_core::context::{Admission, ContextPool, GuestState, VictimPolicy};
 use em2_core::decision::{Decision, DecisionCtx, DecisionScheme};
 use em2_core::stats::FlowCounts;
-use em2_engine::RunMonitor;
-use em2_model::{AccessKind, Addr, CoreId, CostModel, ThreadId};
+use em2_engine::{AtomicBarriers, BarrierArrival};
+use em2_model::{AccessKind, Addr, CoreId, CostModel, Histogram, ThreadId};
 use em2_placement::Placement;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Messages drained from a mailbox per poll (the drain-k batch: one
+/// queue-lock acquisition amortizes over up to this many messages).
+pub(crate) const DRAIN_K: usize = 128;
+
+/// Task quanta one poll may execute before yielding the worker to
+/// other shards (fairness across co-scheduled shards).
+const POLL_TASK_BUDGET: usize = 4;
 
 /// A task in flight or at rest: the continuation plus the runtime
 /// bookkeeping that travels with it.
@@ -41,6 +60,16 @@ pub(crate) struct Envelope {
     pub thread: ThreadId,
     pub native: CoreId,
     pub task: Box<dyn Task>,
+    /// The thread's decision-scheme instance, carried *in the
+    /// envelope*: it migrates with the task, so `decide`/`observe_run`
+    /// never touch shared state. Every shipped scheme keys its tables
+    /// per thread, so per-thread instances are bit-equal to the
+    /// simulator's single shared instance (DESIGN.md §8).
+    pub scheme: Box<dyn DecisionScheme>,
+    /// When the task was submitted (or its intended open-loop arrival
+    /// time): retirement records `arrival.elapsed()` as the task's
+    /// latency.
+    pub arrival: Instant,
     /// The access that triggered a migration: executed at the home
     /// shard immediately after admission (the simulator performs the
     /// arrival access in the same event as admission; keeping the pair
@@ -55,8 +84,8 @@ pub(crate) struct Envelope {
     pub parked_at: Option<usize>,
     /// The in-progress home run `(home, length)` — per-thread monitor
     /// state carried *in the envelope* (it migrates with the task), so
-    /// the hot local path extends a run without touching the shared
-    /// [`RunMonitor`]; only a run *boundary* locks it.
+    /// the hot local path extends a run without touching anything
+    /// shared; a run *boundary* bins into the shard-local histogram.
     pub run: Option<(CoreId, u64)>,
 }
 
@@ -77,96 +106,189 @@ pub(crate) enum Msg {
     Response { token: u64, value: Option<u64> },
     /// Barrier `idx` completed; wake local tasks parked on it.
     BarrierRelease { idx: usize },
-    /// All tasks retired: exit the worker loop.
-    Shutdown,
 }
 
-/// Barrier bookkeeping shared by all shards. Release quotas come from
-/// [`em2_engine::barrier_quotas`], so the runtime and the simulator
-/// agree exactly on when barrier `k` opens.
-pub(crate) struct BarrierHub {
-    expected: Vec<usize>,
-    arrived: Vec<usize>,
-    released: Vec<bool>,
+/// Executor scheduling state of one shard, kept in its mailbox.
+/// Transitions (all by CAS or from the owning worker):
+///
+/// ```text
+/// IDLE ──send──▶ QUEUED ──pop──▶ RUNNING ──send──▶ RUNNING_DIRTY
+///   ▲                               │ quiesced          │
+///   └───────────────────────────────┘   └──requeue──────┘
+/// ```
+///
+/// At most one worker polls a shard at a time (only the QUEUED→RUNNING
+/// owner touches the core), and a shard is never queued twice: only
+/// the transitions *into* QUEUED enqueue it.
+pub(crate) const SHARD_IDLE: u8 = 0;
+pub(crate) const SHARD_QUEUED: u8 = 1;
+pub(crate) const SHARD_RUNNING: u8 = 2;
+pub(crate) const SHARD_RUNNING_DIRTY: u8 = 3;
+
+/// One shard's mailbox: the MPSC queue (sharded lock — one brief
+/// per-shard mutex, never a global one), the executor scheduling
+/// state, and the condvar the thread-per-shard driver sleeps on.
+pub(crate) struct Mailbox {
+    pub queue: Mutex<VecDeque<Msg>>,
+    /// Wakes the dedicated thread in thread-per-shard mode (unused by
+    /// the multiplexed executor, which parks whole workers instead).
+    pub cv: Condvar,
+    /// `SHARD_*` scheduling state (multiplexed executor only).
+    pub state: AtomicU8,
 }
 
-/// What one barrier arrival means for the arriving task.
-enum BarrierOutcome {
-    /// This arrival completed the quota: broadcast the release and
-    /// pass through.
-    Completes,
-    /// The barrier was already open (an over-quota arrival — a
-    /// mis-sized caller-supplied quota): pass through rather than
-    /// park forever awaiting a release that already happened.
-    AlreadyOpen,
-    /// Quota not yet met: park until the release.
-    Parks,
-}
-
-impl BarrierHub {
-    pub(crate) fn new(quotas: Vec<usize>) -> Self {
-        BarrierHub {
-            arrived: vec![0; quotas.len()],
-            released: vec![false; quotas.len()],
-            expected: quotas,
+impl Mailbox {
+    pub(crate) fn new() -> Self {
+        Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            state: AtomicU8::new(SHARD_IDLE),
         }
     }
-
-    /// Register an arrival at barrier `k`.
-    fn arrive(&mut self, k: usize) -> BarrierOutcome {
-        assert!(k < self.expected.len(), "barrier {k} has no quota");
-        // A zero quota could never complete: fail loudly (the panic
-        // fans out as shutdown) instead of parking the arriver forever.
-        assert!(self.expected[k] > 0, "barrier {k} has a zero quota");
-        if self.released[k] {
-            return BarrierOutcome::AlreadyOpen;
-        }
-        self.arrived[k] += 1;
-        if self.arrived[k] == self.expected[k] {
-            self.released[k] = true;
-            BarrierOutcome::Completes
-        } else {
-            BarrierOutcome::Parks
-        }
-    }
-
-    fn is_released(&self, k: usize) -> bool {
-        self.released[k]
-    }
 }
 
-/// State shared by every shard thread.
+/// State shared by every worker. The hot paths touch only per-shard
+/// locks (a mailbox push, an uncontended core lock) and atomics; the
+/// global mutexes of the thread-per-shard runtime (`scheme`, `runs`,
+/// `barriers`) are gone — see the lock-elimination table in DESIGN.md
+/// §8.
 pub(crate) struct Shared {
-    pub senders: Vec<Sender<Msg>>,
-    pub placement: Arc<dyn Placement>,
-    pub scheme: Mutex<Box<dyn DecisionScheme>>,
-    pub runs: Mutex<RunMonitor>,
-    pub barriers: Mutex<BarrierHub>,
-    pub live_tasks: AtomicUsize,
+    pub mailboxes: Vec<Mailbox>,
+    /// Shard state machines. The mutex is a hand-off device, not a
+    /// contention point: the scheduling protocol admits at most one
+    /// poller per shard, so every acquisition is uncontended (the
+    /// thread-per-shard driver holds its shard's lock for the whole
+    /// run).
+    pub cores: Vec<Mutex<ShardCore>>,
+    pub placement: std::sync::Arc<dyn Placement>,
+    pub barriers: AtomicBarriers,
+    /// Un-retired tasks plus one "open" token held by the
+    /// [`crate::Runtime`] handle; whoever decrements it to zero
+    /// initiates shutdown.
+    pub live: AtomicUsize,
+    pub shutdown: AtomicBool,
     pub cost: CostModel,
     pub quantum: usize,
+    /// `Some` when the multiplexed executor drives the shards; `None`
+    /// in thread-per-shard mode.
+    pub sched: Option<Sched>,
 }
 
-/// Per-shard counters, merged into the report after the join.
-#[derive(Default)]
+impl Shared {
+    /// Deliver `msg` to shard `to`'s mailbox and make sure something
+    /// will poll it: schedule the shard on the executor, or wake its
+    /// dedicated thread.
+    pub(crate) fn send(&self, to: usize, msg: Msg) {
+        let mb = &self.mailboxes[to];
+        {
+            let mut q = mb.queue.lock().expect("mailbox");
+            q.push_back(msg);
+        }
+        match &self.sched {
+            None => mb.cv.notify_one(),
+            Some(sched) => loop {
+                match mb.state.load(Ordering::SeqCst) {
+                    SHARD_IDLE => {
+                        if mb
+                            .state
+                            .compare_exchange(
+                                SHARD_IDLE,
+                                SHARD_QUEUED,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            )
+                            .is_ok()
+                        {
+                            sched.schedule(to);
+                            break;
+                        }
+                    }
+                    SHARD_RUNNING => {
+                        if mb
+                            .state
+                            .compare_exchange(
+                                SHARD_RUNNING,
+                                SHARD_RUNNING_DIRTY,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            )
+                            .is_ok()
+                        {
+                            break;
+                        }
+                    }
+                    // Already queued, or already flagged dirty: the
+                    // pending poll will drain this message.
+                    _ => break,
+                }
+            },
+        }
+    }
+
+    /// Flip the global shutdown flag and wake everything that might be
+    /// parked (executor workers or dedicated shard threads). Safe to
+    /// call from a panicking thread: poisoned mailbox locks are
+    /// tolerated.
+    pub(crate) fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        match &self.sched {
+            Some(sched) => sched.wake_all(),
+            None => {
+                for mb in &self.mailboxes {
+                    // Acquire (and immediately release) the queue lock
+                    // so a thread between its empty-check and its wait
+                    // cannot miss the notification.
+                    drop(mb.queue.lock());
+                    mb.cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// Per-shard counters and samples, merged deterministically (in shard
+/// order) into the report at quiesce.
 pub(crate) struct ShardCounters {
     pub flow: FlowCounts,
     pub context_bytes_sent: u64,
     pub heap_words: u64,
+    /// Shard-local slice of the Figure-2 run-length histogram
+    /// (bin-wise summed at quiesce; addition commutes, so the merge is
+    /// worker-count independent).
+    pub run_hist: Histogram,
+    /// Times this shard was polled (scheduling telemetry; the idle-CPU
+    /// regression test bounds it).
+    pub polls: u64,
+    /// Per-retired-task latency samples in nanoseconds
+    /// (`Envelope::arrival` → retirement).
+    pub task_latency_ns: Vec<u64>,
 }
 
-/// One shard: worker state owned by its thread.
-pub(crate) struct Shard {
+impl ShardCounters {
+    fn new(run_bins: u64) -> Self {
+        ShardCounters {
+            flow: FlowCounts::default(),
+            context_bytes_sent: 0,
+            heap_words: 0,
+            run_hist: Histogram::new(run_bins),
+            polls: 0,
+            task_latency_ns: Vec::new(),
+        }
+    }
+}
+
+/// One shard's owned state: heap partition, context pool, task queues.
+/// Accessed only by the worker currently granted the shard (the
+/// executor's scheduling protocol, or the dedicated thread).
+pub(crate) struct ShardCore {
     id: usize,
-    rx: Receiver<Msg>,
-    shared: Arc<Shared>,
     /// The owned heap partition: word values by address.
     heap: HashMap<u64, u64>,
     /// The context file (bounded guests + reserved natives), reused
     /// from the simulator.
     pool: ContextPool,
     /// Runnable tasks (none holds a `pending_op`; see `admit`).
-    runq: VecDeque<Box<Envelope>>,
+    pub(crate) runq: VecDeque<Box<Envelope>>,
     /// Tasks parked at a barrier (`parked_at` is `Some`). Boxed like
     /// every other envelope home, so moving between queues, mailboxes,
     /// and park lists never copies the envelope itself.
@@ -181,29 +303,25 @@ pub(crate) struct Shard {
     next_token: u64,
     /// Shard-local activity clock (orders LRU victimization).
     clock: u64,
-    counters: ShardCounters,
+    pub(crate) counters: ShardCounters,
+    /// Reusable drain buffer (capacity persists across polls).
+    scratch: Vec<Msg>,
 }
 
-impl Shard {
-    pub(crate) fn new(
-        id: usize,
-        rx: Receiver<Msg>,
-        shared: Arc<Shared>,
-        pool: ContextPool,
-    ) -> Self {
-        Shard {
+impl ShardCore {
+    pub(crate) fn new(id: usize, guest_contexts: usize, run_bins: u64) -> Self {
+        ShardCore {
             id,
-            rx,
-            shared,
             heap: HashMap::new(),
-            pool,
+            pool: ContextPool::new(guest_contexts, VictimPolicy::Lru),
             runq: VecDeque::new(),
             parked: Vec::new(),
             awaiting: HashMap::new(),
             stalled: VecDeque::new(),
             next_token: 0,
             clock: 0,
-            counters: ShardCounters::default(),
+            counters: ShardCounters::new(run_bins),
+            scratch: Vec::new(),
         }
     }
 
@@ -211,40 +329,77 @@ impl Shard {
         CoreId::from(self.id)
     }
 
-    /// The worker loop: drain the mailbox (home servicing in arrival
-    /// order), retry stalled admissions, then run one task quantum;
-    /// block on the mailbox when nothing is runnable.
-    pub(crate) fn run(mut self) -> ShardCounters {
-        loop {
-            loop {
-                match self.rx.try_recv() {
-                    Ok(Msg::Shutdown) => return self.finish(),
-                    Ok(m) => self.handle(m),
-                    Err(TryRecvError::Empty) => break,
-                    Err(TryRecvError::Disconnected) => return self.finish(),
-                }
-            }
-            self.retry_stalled();
-            if let Some(env) = self.runq.pop_front() {
-                self.execute(env);
-                continue;
-            }
-            match self.rx.recv() {
-                Ok(Msg::Shutdown) => return self.finish(),
-                Ok(m) => self.handle(m),
-                Err(_) => return self.finish(),
-            }
-        }
-    }
-
-    fn finish(mut self) -> ShardCounters {
+    /// Finalize end-of-run accounting (called once, at quiesce, while
+    /// the merge owns the core).
+    pub(crate) fn into_counters(mut self) -> ShardCounters {
         self.counters.heap_words = self.heap.len() as u64;
         self.counters
     }
 
-    fn handle(&mut self, msg: Msg) {
+    /// One executor poll: drain a mailbox batch (home servicing in
+    /// arrival order), retry stalled admissions, run a bounded number
+    /// of task quanta. Returns `true` when runnable work remains (the
+    /// worker must requeue the shard).
+    pub(crate) fn poll(&mut self, shared: &Shared) -> bool {
+        self.counters.polls += 1;
+        let mut quanta = POLL_TASK_BUDGET;
+        loop {
+            let drained = {
+                let mut q = shared.mailboxes[self.id].queue.lock().expect("mailbox");
+                let take = q.len().min(DRAIN_K);
+                self.scratch.extend(q.drain(..take));
+                take
+            };
+            self.process_batch(shared);
+            self.retry_stalled(shared);
+            if shared.shutdown.load(Ordering::Acquire) {
+                return false;
+            }
+            if let Some(env) = self.runq.pop_front() {
+                self.execute(shared, env);
+                // A departing task may have freed a guest slot.
+                self.retry_stalled(shared);
+                quanta -= 1;
+                if quanta == 0 {
+                    break;
+                }
+            } else if drained == 0 {
+                break;
+            }
+        }
+        !self.runq.is_empty()
+    }
+
+    /// One iteration of the thread-per-shard driver: caller has
+    /// already drained the mailbox into `scratch` (or woken for
+    /// runnable work).
+    pub(crate) fn step(&mut self, shared: &Shared) {
+        self.counters.polls += 1;
+        self.process_batch(shared);
+        self.retry_stalled(shared);
+        if let Some(env) = self.runq.pop_front() {
+            self.execute(shared, env);
+            self.retry_stalled(shared);
+        }
+    }
+
+    /// Move messages out of the queue guard into the reusable scratch
+    /// buffer (thread-per-shard driver; the executor drains in `poll`).
+    pub(crate) fn take_batch(&mut self, q: &mut VecDeque<Msg>) {
+        self.scratch.extend(q.drain(..));
+    }
+
+    fn process_batch(&mut self, shared: &Shared) {
+        let mut batch = std::mem::take(&mut self.scratch);
+        for msg in batch.drain(..) {
+            self.handle(shared, msg);
+        }
+        self.scratch = batch;
+    }
+
+    fn handle(&mut self, shared: &Shared, msg: Msg) {
         match msg {
-            Msg::Arrive(env) => self.admit(env),
+            Msg::Arrive(env) => self.admit(shared, env),
             Msg::Request {
                 addr,
                 write,
@@ -254,9 +409,7 @@ impl Shard {
                 // Figure 3's "access memory" box executes at the home,
                 // in request arrival order.
                 let value = self.serve(addr, write);
-                self.shared.senders[reply_shard]
-                    .send(Msg::Response { token, value })
-                    .expect("requesting shard alive");
+                shared.send(reply_shard, Msg::Response { token, value });
             }
             Msg::Response { token, value } => {
                 let mut env = self
@@ -281,7 +434,6 @@ impl Shard {
                     }
                 }
             }
-            Msg::Shutdown => unreachable!("Shutdown handled by the run loop"),
         }
     }
 
@@ -289,10 +441,10 @@ impl Shard {
     /// evict, or stall when every guest slot is pinned. A fresh guest
     /// arrival queues behind earlier stalled ones so admission order
     /// is arrival order.
-    fn admit(&mut self, env: Box<Envelope>) {
+    fn admit(&mut self, shared: &Shared, env: Box<Envelope>) {
         if env.native == self.me() {
             self.pool.admit_native(env.thread);
-            self.activate(env);
+            self.activate(shared, env);
             return;
         }
         if !self.stalled.is_empty() {
@@ -300,7 +452,7 @@ impl Shard {
             self.stalled.push_back(env);
             return;
         }
-        if let Some(env) = self.try_admit_guest(env) {
+        if let Some(env) = self.try_admit_guest(shared, env) {
             self.counters.flow.stalled_arrivals += 1;
             self.stalled.push_back(env);
         }
@@ -309,14 +461,14 @@ impl Shard {
     /// The guest-admission state machine, shared by fresh arrivals and
     /// stall retries: admit (evicting a resident if needed) and
     /// activate, or hand the envelope back on stall.
-    fn try_admit_guest(&mut self, env: Box<Envelope>) -> Option<Box<Envelope>> {
+    fn try_admit_guest(&mut self, shared: &Shared, env: Box<Envelope>) -> Option<Box<Envelope>> {
         self.clock += 1;
         match self.pool.admit_guest(env.thread, self.clock) {
-            Admission::Admitted => self.activate(env),
+            Admission::Admitted => self.activate(shared, env),
             Admission::AdmittedEvicting(victim) => {
                 self.counters.flow.evictions += 1;
-                self.evict(victim);
-                self.activate(env);
+                self.evict(shared, victim);
+                self.activate(shared, env);
             }
             Admission::Stalled => return Some(env),
         }
@@ -328,15 +480,9 @@ impl Shard {
     /// flight); everything else executes immediately — keeping a
     /// migration's arrival access atomic with its admission, exactly
     /// like the simulator's arrival event.
-    fn activate(&mut self, mut env: Box<Envelope>) {
+    fn activate(&mut self, shared: &Shared, mut env: Box<Envelope>) {
         if let Some(k) = env.parked_at {
-            let released = self
-                .shared
-                .barriers
-                .lock()
-                .expect("barrier hub")
-                .is_released(k);
-            if released {
+            if shared.barriers.is_released(k) {
                 env.parked_at = None;
                 self.runq.push_back(env);
             } else {
@@ -344,7 +490,7 @@ impl Shard {
             }
             return;
         }
-        self.execute(env);
+        self.execute(shared, env);
     }
 
     /// Ship an evictable resident back to its native shard. The victim
@@ -352,7 +498,7 @@ impl Shard {
     /// never chosen, and no task mid-execution is pool-resident while
     /// admissions run); its guest slot was already recycled by
     /// `ContextPool::admit_guest`.
-    fn evict(&mut self, victim: ThreadId) {
+    fn evict(&mut self, shared: &Shared, victim: ThreadId) {
         let pos = self.runq.iter().position(|e| e.thread == victim);
         let env = if let Some(i) = pos {
             self.runq.remove(i).expect("indexed")
@@ -365,15 +511,14 @@ impl Shard {
             self.parked.swap_remove(i)
         };
         self.counters.context_bytes_sent += env.task.context_len();
-        self.shared.senders[env.native.index()]
-            .send(Msg::Arrive(env))
-            .expect("native shard alive");
+        let native = env.native.index();
+        shared.send(native, Msg::Arrive(env));
     }
 
     /// Re-attempt stalled guest admissions, preserving arrival order.
-    fn retry_stalled(&mut self) {
+    fn retry_stalled(&mut self, shared: &Shared) {
         while let Some(env) = self.stalled.pop_front() {
-            if let Some(env) = self.try_admit_guest(env) {
+            if let Some(env) = self.try_admit_guest(shared, env) {
                 self.stalled.push_front(env);
                 return;
             }
@@ -395,35 +540,38 @@ impl Shard {
         }
     }
 
-    /// Track one access against the envelope-carried run state,
-    /// reporting a completed run to the shared monitor and scheme
-    /// (lock order everywhere: runs, then scheme). Same run semantics
-    /// as [`RunMonitor::track`]; a continuing run takes no lock.
-    fn track(&self, env: &mut Envelope, home: CoreId) {
+    /// Track one access against the envelope-carried run state. Same
+    /// run semantics as the engine's `RunMonitor::track`, with the
+    /// run-end half inlined against envelope-local state: a continuing
+    /// run touches nothing shared, and a run boundary bins into the
+    /// *shard-local* histogram and feeds the *envelope-carried* scheme
+    /// — no locks either way.
+    fn track(&mut self, env: &mut Envelope, home: CoreId) {
         match env.run {
             Some((c, ref mut len)) if c == home => *len += 1,
             Some((c, len)) => {
-                self.record_run(env.thread, c, len);
+                self.finish_run(env, c, len);
                 env.run = Some((home, 1));
             }
             None => env.run = Some((home, 1)),
         }
     }
 
-    /// Report one completed run (the run-boundary lock).
-    fn record_run(&self, thread: ThreadId, core: CoreId, len: u64) {
-        let mut runs = self.shared.runs.lock().expect("run monitor");
-        let mut scheme = self.shared.scheme.lock().expect("decision scheme");
-        runs.record_run(thread, core, len, &mut |t, c, l| {
-            scheme.observe_run(t, c, l)
-        });
+    /// Record one completed run: bin it (if non-native — the envelope
+    /// knows its native shard) and report it to the thread's own
+    /// scheme. Mirrors `RunMonitor::record_run` exactly.
+    fn finish_run(&mut self, env: &mut Envelope, core: CoreId, len: u64) {
+        if core != env.native {
+            self.counters.run_hist.record(len);
+        }
+        env.scheme.observe_run(env.thread, core, len);
     }
 
     /// Run one task until it blocks (migration, remote access,
     /// barrier), completes, or exhausts its local-access quantum.
-    fn execute(&mut self, mut env: Box<Envelope>) {
+    fn execute(&mut self, shared: &Shared, mut env: Box<Envelope>) {
         let me = self.me();
-        let mut budget = self.shared.quantum.max(1);
+        let mut budget = shared.quantum.max(1);
         let mut reply = env.pending_reply.take();
         // A pending op is a migration's arrival access: counted as the
         // migration edge, not a local access.
@@ -435,22 +583,21 @@ impl Shard {
             };
             let (addr, write_value) = match op {
                 Op::Done => {
-                    self.retire(*env);
+                    self.retire(shared, env);
                     return;
                 }
                 Op::Barrier(k) => {
                     debug_assert!(!arrival_access);
-                    let outcome = self.shared.barriers.lock().expect("barrier hub").arrive(k);
-                    match outcome {
-                        BarrierOutcome::Completes => {
-                            for s in &self.shared.senders {
-                                s.send(Msg::BarrierRelease { idx: k }).expect("shard alive");
+                    match shared.barriers.arrive(k) {
+                        BarrierArrival::Completes => {
+                            for s in 0..shared.mailboxes.len() {
+                                shared.send(s, Msg::BarrierRelease { idx: k });
                             }
                             // The completing task passes straight through.
                             continue;
                         }
-                        BarrierOutcome::AlreadyOpen => continue,
-                        BarrierOutcome::Parks => {
+                        BarrierArrival::AlreadyOpen => continue,
+                        BarrierArrival::Parks => {
                             env.parked_at = Some(k);
                             self.parked.push(env);
                             return;
@@ -460,7 +607,7 @@ impl Shard {
                 Op::Read(a) => (a, None),
                 Op::Write(a, v) => (a, Some(v)),
             };
-            let home = self.shared.placement.home_of(addr);
+            let home = shared.placement.home_of(addr);
 
             if home == me {
                 if arrival_access {
@@ -490,17 +637,18 @@ impl Shard {
             } else {
                 AccessKind::Read
             };
-            let decision = {
-                let mut scheme = self.shared.scheme.lock().expect("decision scheme");
-                scheme.decide(&DecisionCtx {
-                    thread: env.thread,
-                    current: me,
-                    home,
-                    native: env.native,
-                    kind,
-                    cost: &self.shared.cost,
-                })
-            };
+            // The envelope's own scheme decides: no shared state, no
+            // lock — the simulator's exact per-thread decision
+            // sequence (decide *before* the run-end observation it
+            // triggers).
+            let decision = env.scheme.decide(&DecisionCtx {
+                thread: env.thread,
+                current: me,
+                home,
+                native: env.native,
+                kind,
+                cost: &shared.cost,
+            });
             match decision {
                 Decision::Migrate => {
                     if me == env.native {
@@ -510,9 +658,7 @@ impl Shard {
                     }
                     self.counters.context_bytes_sent += env.task.context_len();
                     env.pending_op = Some(op);
-                    self.shared.senders[home.index()]
-                        .send(Msg::Arrive(env))
-                        .expect("home shard alive");
+                    shared.send(home.index(), Msg::Arrive(env));
                     return;
                 }
                 Decision::Remote => {
@@ -533,39 +679,42 @@ impl Shard {
                     let token = self.next_token;
                     self.next_token += 1;
                     self.awaiting.insert(token, env);
-                    self.shared.senders[home.index()]
-                        .send(Msg::Request {
+                    shared.send(
+                        home.index(),
+                        Msg::Request {
                             addr,
                             write: write_value,
                             reply_shard: self.id,
                             token,
-                        })
-                        .expect("home shard alive");
+                        },
+                    );
                     return;
                 }
             }
         }
     }
 
-    /// A task finished: flush its final run, free its context, and
-    /// shut the fleet down if it was the last.
-    fn retire(&mut self, env: Envelope) {
+    /// A task finished: flush its final run, record its latency, free
+    /// its context, and initiate shutdown if it was the last live task
+    /// and the runtime handle has closed.
+    fn retire(&mut self, shared: &Shared, mut env: Box<Envelope>) {
         // Flush the final run (the envelope carries the in-progress
         // state; see `track`).
-        if let Some((c, len)) = env.run {
+        if let Some((c, len)) = env.run.take() {
             if len > 0 {
-                self.record_run(env.thread, c, len);
+                self.finish_run(&mut env, c, len);
             }
         }
+        self.counters
+            .task_latency_ns
+            .push(env.arrival.elapsed().as_nanos() as u64);
         if env.native == self.me() {
             self.pool.remove_native(env.thread);
         } else {
             self.pool.remove_guest(env.thread);
         }
-        if self.shared.live_tasks.fetch_sub(1, Ordering::AcqRel) == 1 {
-            for s in &self.shared.senders {
-                s.send(Msg::Shutdown).expect("shard alive at shutdown");
-            }
+        if shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            shared.initiate_shutdown();
         }
     }
 }

@@ -2,8 +2,8 @@
 //! a test): with an eviction-free guest pool, the executable runtime
 //! must reproduce the simulator's migration count, remote-access
 //! counts, and run-length histogram **exactly** — on the same
-//! workload, placement, and decision scheme. See DESIGN.md §7 for why
-//! these counters are timing-independent.
+//! workload, placement, and decision scheme, at any worker count. See
+//! DESIGN.md §7/§8 for why these counters are timing-independent.
 
 use em2_core::decision::{
     AlwaysMigrate, AlwaysRemote, DecisionScheme, DistanceThreshold, HistoryPredictor,
@@ -31,17 +31,12 @@ fn quick_ocean() -> Workload {
 }
 
 /// Run both machines eviction-free and assert exact counter agreement.
-fn assert_agreement(
-    w: Workload,
-    cores: usize,
-    sim_scheme: Box<dyn DecisionScheme>,
-    rt_scheme: Box<dyn DecisionScheme>,
-) {
+fn assert_agreement(w: Workload, cores: usize, scheme_factory: fn() -> Box<dyn DecisionScheme>) {
     let threads = w.num_threads();
     let placement = Arc::new(FirstTouch::build(&w, cores, 64));
     let mut cfg = MachineConfig::with_cores(cores);
     cfg.guest_contexts = threads;
-    let sim = run_em2ra(cfg, &w, &placement, sim_scheme);
+    let sim = run_em2ra(cfg, &w, &placement, scheme_factory());
     assert_eq!(
         sim.flow.evictions, 0,
         "agreement config must be eviction-free"
@@ -52,7 +47,7 @@ fn assert_agreement(
         RtConfig::eviction_free(cores, threads),
         &w,
         placement as Arc<dyn Placement>,
-        rt_scheme,
+        scheme_factory,
     );
 
     assert_eq!(
@@ -83,46 +78,29 @@ fn assert_agreement(
 
 #[test]
 fn ocean_always_migrate_matches_simulator_exactly() {
-    assert_agreement(
-        quick_ocean(),
-        16,
-        Box::new(AlwaysMigrate),
-        Box::new(AlwaysMigrate),
-    );
+    assert_agreement(quick_ocean(), 16, || Box::new(AlwaysMigrate));
 }
 
 #[test]
 fn ocean_history_predictor_matches_simulator_exactly() {
     // The learning scheme's table is keyed per (thread, home): the
-    // runtime's cross-thread interleaving must not perturb a single
-    // decision.
-    assert_agreement(
-        quick_ocean(),
-        16,
-        Box::new(HistoryPredictor::new(1.0, 0.5)),
-        Box::new(HistoryPredictor::new(1.0, 0.5)),
-    );
+    // executor's cross-thread interleaving must not perturb a single
+    // decision — nor may splitting the table into per-thread instances
+    // carried in the envelopes.
+    assert_agreement(quick_ocean(), 16, || {
+        Box::new(HistoryPredictor::new(1.0, 0.5))
+    });
 }
 
 #[test]
 fn ocean_always_remote_matches_simulator_exactly() {
-    assert_agreement(
-        quick_ocean(),
-        16,
-        Box::new(AlwaysRemote),
-        Box::new(AlwaysRemote),
-    );
+    assert_agreement(quick_ocean(), 16, || Box::new(AlwaysRemote));
 }
 
 #[test]
 fn uniform_distance_threshold_matches_simulator_exactly() {
     let w = micro::uniform(8, 8, 600, 256, 0.3, 11);
-    assert_agreement(
-        w,
-        8,
-        Box::new(DistanceThreshold { max_hops: 2 }),
-        Box::new(DistanceThreshold { max_hops: 2 }),
-    );
+    assert_agreement(w, 8, || Box::new(DistanceThreshold { max_hops: 2 }));
 }
 
 #[test]
@@ -130,7 +108,7 @@ fn barrier_workload_matches_and_waits() {
     // producer_consumer synchronizes with real barriers; the runtime
     // must honor the engine's exact release quotas and still agree.
     let w = micro::producer_consumer(4, 8, 32, 3);
-    assert_agreement(w, 8, Box::new(AlwaysMigrate), Box::new(AlwaysMigrate));
+    assert_agreement(w, 8, || Box::new(AlwaysMigrate));
 }
 
 #[test]
@@ -142,7 +120,7 @@ fn runtime_counters_are_deterministic_across_runs() {
             RtConfig::eviction_free(8, 8),
             &w,
             Arc::clone(&p) as Arc<dyn Placement>,
-            Box::new(HistoryPredictor::new(1.0, 0.5)),
+            || Box::new(HistoryPredictor::new(1.0, 0.5)),
         )
     };
     let (a, b) = (run(), run());
@@ -167,7 +145,7 @@ fn bounded_guest_pool_evicts_and_conserves_work() {
     // A 1-op quantum forces co-resident guests to interleave, so the
     // hot shard sees simultaneous occupancy even on a single-CPU host.
     cfg.quantum = 1;
-    let r = run_workload(cfg, &w, p as Arc<dyn Placement>, Box::new(AlwaysMigrate));
+    let r = run_workload(cfg, &w, p as Arc<dyn Placement>, || Box::new(AlwaysMigrate));
     assert!(r.flow.evictions > 0, "hotspot must force evictions: {r}");
     assert_eq!(r.total_ops(), total, "every access served exactly once");
     assert!(r.context_bytes_sent > 0);
@@ -175,8 +153,8 @@ fn bounded_guest_pool_evicts_and_conserves_work() {
 
 #[test]
 fn task_panic_fails_the_run_instead_of_hanging() {
-    // A dying shard must shut the fleet down (sibling shards would
-    // otherwise block in recv forever) and propagate the panic.
+    // A dying worker must shut the fleet down (sibling workers would
+    // otherwise park forever) and propagate the panic.
     use em2_rt::{run_tasks, Op, Task, TaskSpec};
 
     struct PanicTask;
@@ -194,15 +172,17 @@ fn task_panic_fails_the_run_instead_of_hanging() {
     let mut tasks: Vec<TaskSpec> = w
         .threads
         .iter()
-        .map(|t| TaskSpec {
-            task: Box::new(em2_rt::TraceTask::new(Arc::clone(&w), t.thread)) as Box<dyn Task>,
-            native: t.native,
+        .map(|t| {
+            TaskSpec::new(
+                Box::new(em2_rt::TraceTask::new(Arc::clone(&w), t.thread)) as Box<dyn Task>,
+                t.native,
+            )
         })
         .collect();
-    tasks.push(TaskSpec {
-        task: Box::new(PanicTask),
-        native: em2_model::CoreId::from(0usize),
-    });
+    tasks.push(TaskSpec::new(
+        Box::new(PanicTask),
+        em2_model::CoreId::from(0usize),
+    ));
     let quotas = em2_engine::barrier_quotas(w.threads.iter().map(|t| t.barriers.len()));
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_tasks(
@@ -210,7 +190,7 @@ fn task_panic_fails_the_run_instead_of_hanging() {
             "panic-probe",
             tasks,
             p,
-            Box::new(AlwaysMigrate),
+            || Box::new(AlwaysMigrate),
             quotas,
         )
     }));
@@ -232,7 +212,7 @@ fn remote_reads_observe_remote_writes() {
         RtConfig::eviction_free(4, 4),
         &w,
         p as Arc<dyn Placement>,
-        Box::new(AlwaysRemote),
+        || Box::new(AlwaysRemote),
     );
     assert_eq!(r.flow.migrations, 0);
     assert!(r.flow.remote_reads + r.flow.remote_writes > 0);

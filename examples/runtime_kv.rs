@@ -1,25 +1,33 @@
-//! A sharded key-value store running on the **executable** `em2-rt`
-//! runtime: real shard threads serve a mixed read/write workload, and
-//! every non-local operation either migrates the client task to the
+//! A benchmark-grade sharded key-value service on the **executable**
+//! `em2-rt` runtime: the multiplexed executor serves KV traffic, and
+//! every non-local operation either migrates the request task to the
 //! key's home shard or performs a word-granular remote access —
 //! decided per access by the same `em2-core` decision schemes the
 //! simulator uses.
 //!
-//! Each client verifies read-your-writes on its own key range (values
-//! round-trip through migrations and remote accesses), and a hot
-//! shared range forces cross-shard traffic. The table prints how each
-//! scheme splits the same workload between the two mechanisms.
+//! Two measurements per scheme:
+//!
+//! 1. **Closed-loop clients** — 16 long-lived clients issue mixed
+//!    reads/writes as fast as the runtime retires them, each verifying
+//!    read-your-writes on its own key range; the table shows how the
+//!    scheme splits the same workload between migration and remote
+//!    access, and the throughput it gets.
+//! 2. **Open-loop serving** — a fixed-rate injector submits
+//!    independent KV request *tasks* at 50% of the scheme's measured
+//!    capacity; every request is stamped with its intended arrival
+//!    time, so the p50/p95/p99 latencies include queueing delay even
+//!    when the injector falls behind (no coordinated omission). The
+//!    same panel is recorded in `BENCH.json` under `runtime.latency`.
 //!
 //! ```text
 //! cargo run --release --example runtime_kv
 //! ```
 
-use em2::core::decision::{
-    AlwaysMigrate, AlwaysRemote, DecisionScheme, DistanceThreshold, HistoryPredictor,
-};
+use em2::core::decision::DecisionScheme;
 use em2::model::{Addr, DetRng};
 use em2::placement::{Placement, Striped};
 use em2::rt::{run_tasks, Op, RtConfig, RtReport, Task, TaskSpec};
+use em2_bench::serving::{kv_open_loop, scheme_panel};
 use std::sync::Arc;
 
 const SHARDS: usize = 16;
@@ -29,6 +37,8 @@ const OPS_PER_CLIENT: usize = 4_000;
 const OWN_KEYS: u64 = 64;
 /// Hot keys shared by every client.
 const HOT_KEYS: u64 = 16;
+/// Open-loop requests per scheme.
+const REQUESTS: u64 = 4_000;
 
 fn addr_of(key: u64) -> Addr {
     Addr(key * 8)
@@ -44,7 +54,8 @@ enum KvState {
     Verify { want: u64 },
 }
 
-/// One KV client: a migratable continuation issuing gets and puts.
+/// One closed-loop KV client: a migratable continuation issuing gets
+/// and puts.
 struct KvClient {
     rng: DetRng,
     own_base: u64,
@@ -134,11 +145,13 @@ impl Task for KvClient {
     }
 }
 
-fn run_scheme(scheme: Box<dyn DecisionScheme>) -> RtReport {
+fn run_closed_loop(scheme_factory: fn() -> Box<dyn DecisionScheme>) -> RtReport {
     let tasks: Vec<TaskSpec> = (0..CLIENTS)
-        .map(|i| TaskSpec {
-            task: Box::new(KvClient::new(i)) as Box<dyn Task>,
-            native: em2::model::CoreId::from(i % SHARDS),
+        .map(|i| {
+            TaskSpec::new(
+                Box::new(KvClient::new(i)) as Box<dyn Task>,
+                em2::model::CoreId::from(i % SHARDS),
+            )
         })
         .collect();
     let placement: Arc<dyn Placement> = Arc::new(Striped::new(SHARDS, 64));
@@ -147,28 +160,25 @@ fn run_scheme(scheme: Box<dyn DecisionScheme>) -> RtReport {
         "kv-mixed",
         tasks,
         placement,
-        scheme,
+        scheme_factory,
         Vec::new(),
     )
 }
 
 fn main() {
     println!(
-        "sharded KV store on em2-rt: {SHARDS} shard threads, {CLIENTS} clients x {OPS_PER_CLIENT} ops"
+        "sharded KV service on em2-rt: {SHARDS} shards on the multiplexed executor, \
+         {CLIENTS} clients x {OPS_PER_CLIENT} ops"
     );
     println!("(8-byte values, 64-byte-line striped placement, 2 guest contexts per shard)\n");
+
+    println!("== closed-loop clients (verified read-your-writes) ==");
     println!(
         "{:<18} {:>10} {:>9} {:>9} {:>10} {:>12} {:>9}",
         "scheme", "migrations", "RA", "evictions", "local", "ctx bytes", "Mops/s"
     );
-    let schemes: Vec<Box<dyn DecisionScheme>> = vec![
-        Box::new(AlwaysMigrate),
-        Box::new(AlwaysRemote),
-        Box::new(DistanceThreshold { max_hops: 2 }),
-        Box::new(HistoryPredictor::new(1.0, 0.5)),
-    ];
-    for scheme in schemes {
-        let r = run_scheme(scheme);
+    for factory in scheme_panel() {
+        let r = run_closed_loop(factory);
         println!(
             "{:<18} {:>10} {:>9} {:>9} {:>10} {:>12} {:>9.2}",
             r.scheme,
@@ -180,5 +190,22 @@ fn main() {
             r.ops_per_sec() / 1e6,
         );
     }
-    println!("\nevery client verified read-your-writes on its own key range");
+    println!("\nevery client verified read-your-writes on its own key range\n");
+
+    println!("== open-loop serving ({REQUESTS} requests/scheme @ 50% of measured capacity) ==");
+    println!(
+        "{:<18} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "scheme", "offered/s", "served/s", "p50 us", "p95 us", "p99 us", "max us"
+    );
+    for factory in scheme_panel() {
+        let l = kv_open_loop(SHARDS, REQUESTS, 0.5, factory);
+        println!(
+            "{:<18} {:>10.0} {:>10.0} {:>9.1} {:>9.1} {:>9.1} {:>10.1}",
+            l.scheme, l.offered_rps, l.achieved_rps, l.p50_us, l.p95_us, l.p99_us, l.max_us
+        );
+    }
+    println!(
+        "\nlatency measured from each request's intended arrival instant \
+         (queueing included; no coordinated omission)"
+    );
 }
