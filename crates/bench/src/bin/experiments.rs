@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every figure/table of the paper.
 //!
 //! ```text
-//! experiments [all|e1|e2|...|e11] [--quick] [--chart] [--serial]
+//! experiments [all|e1|e2|...|e12] [--quick] [--chart] [--serial]
 //!             [--threads N] [--bench-json PATH] [--no-bench-json]
 //! ```
 //!
@@ -17,10 +17,16 @@
 
 use em2_bench::experiments as ex;
 use em2_bench::workloads::Scale;
-use em2_bench::{par, perf};
+use em2_bench::{netproc, par, perf};
 use std::path::PathBuf;
 
 fn main() {
+    // Cluster-child mode: this binary re-executed as node 1 of the
+    // E12 two-process measurement (selected by an env var, so the
+    // flag surface stays clean).
+    if netproc::maybe_run_child() {
+        return;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| args.iter().any(|a| a == name);
     let value_of = |name: &str| {
@@ -171,7 +177,49 @@ fn main() {
                 l.scheme, l.offered_rps, l.p50_us, l.p95_us, l.p99_us
             );
         }
-        match perf::write_bench_json(&path, &suite, &cal, &rt_cal, &rt_base, &scaling, &latency) {
+        let transport = match netproc::measure_transport() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: transport calibration failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        for p in &transport {
+            println!(
+                "  transport {:<14} ({} node(s), {} process(es)): {:>12.0} ops/s, \
+                 {:>9} wire bytes, {:>7} x-node ctxs",
+                p.mode, p.nodes, p.processes, p.ops_per_sec, p.wire.bytes_tx, p.wire.arrives_tx
+            );
+        }
+        let kv_uds = match netproc::measure_kv_uds(2_000) {
+            Ok(k) => {
+                println!(
+                    "  kv over uds (2 processes): {:.0} requests/s over {} requests, \
+                     {} wire bytes ({} x-node ctxs), read-your-writes verified",
+                    k.requests_per_sec, k.requests, k.wire.bytes_tx, k.wire.arrives_tx
+                );
+                Some(k)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {
+                println!("  kv over uds: skipped ({e})");
+                None
+            }
+            Err(e) => {
+                eprintln!("error: uds kv serving failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        match perf::write_bench_json(
+            &path,
+            &suite,
+            &cal,
+            &rt_cal,
+            &rt_base,
+            &scaling,
+            &latency,
+            &transport,
+            kv_uds.as_ref(),
+        ) {
             Ok(()) => println!("  wrote {}", path.display()),
             Err(e) => {
                 eprintln!("error: failed to write {}: {e}", path.display());

@@ -1,8 +1,10 @@
-//! The eleven experiments (E1–E11): E1–E9 each regenerate one paper
+//! The twelve experiments (E1–E12): E1–E9 each regenerate one paper
 //! artifact; E10 exercises the engine's contention layer beyond the
 //! paper's closed-form model; E11 cross-validates the executable
 //! `em2-rt` runtime against the simulator and measures its wall-clock
-//! throughput.
+//! throughput; E12 cross-validates the **distributed** runtime (the
+//! `em2-net` cluster) against the single-process one and records the
+//! context-bytes-on-the-wire telemetry.
 //!
 //! Every experiment is decomposed into independent **cells** — one
 //! (config, workload, scheme) combination each — and fanned across the
@@ -12,10 +14,10 @@
 //! [`em2_trace::FlatWorkload`] (homes resolved through the placement a
 //! single time) and shared by reference; see DESIGN.md §6.
 //!
-//! E5 and E11 are the exceptions: they *measure wall time* (of the DP
-//! kernels and of the executable runtime respectively), so they run in
-//! an isolated suite phase and their measured columns are excluded
-//! from determinism comparisons.
+//! E5, E11, and E12 are the exceptions: they *measure wall time* (of
+//! the DP kernels, the executable runtime, and the clustered runtime
+//! respectively), so they run in an isolated suite phase and their
+//! measured columns are excluded from determinism comparisons.
 
 use crate::par::{self, run_cells, Cell};
 use crate::table::{fmt_count, fmt_f, Table};
@@ -1004,9 +1006,101 @@ pub fn e11_runtime_agreement(scale: Scale) -> Table {
     t
 }
 
+/// E12 — the distributed runtime: the same workload replayed as a
+/// **cluster** of `em2-net` nodes (each owning a contiguous shard
+/// range, exchanging serialized contexts, remote accesses, and barrier
+/// traffic over the transport layer) must reproduce the single-process
+/// runtime's counters **bit-for-bit**, with the wire telemetry —
+/// cross-node context envelopes, frames, bytes — as the new
+/// observable. The suite rows use in-process loopback clusters, so
+/// every wire number is deterministic (message counts are per-thread
+/// program-order functions; see DESIGN.md §9) and digest-stable; the
+/// *real* two-OS-process UDS measurement runs in the `BENCH.json`
+/// telemetry path (`crate::netproc`) where wall-clock numbers belong.
+/// Throughput (the last column) is host wall-clock and masked, like
+/// E11's.
+pub fn e12_transport(scale: Scale) -> Table {
+    use em2_net::{run_workload_cluster_in_process, ClusterSpec, CounterSummary};
+    let cores = scale.cores();
+    let mut t = Table::new(
+        "E12 / distributed runtime — cluster vs single-process (loopback transport)",
+        &[
+            "mode",
+            "scheme",
+            "x-node ctxs",
+            "ctx bytes",
+            "frames",
+            "wire bytes",
+            "agreement",
+            "rt Mops/s",
+        ],
+    );
+    type SchemeFactory = fn() -> Box<dyn DecisionScheme>;
+    let schemes: [(&str, SchemeFactory); 2] = [
+        ("em2", || Box::new(AlwaysMigrate)),
+        ("em2ra-history", || {
+            Box::new(HistoryPredictor::new(1.0, 0.5))
+        }),
+    ];
+    let w = workloads::ocean(scale);
+    let threads = w.num_threads();
+    let placement: Arc<dyn em2_placement::Placement> = Arc::new(workloads::first_touch(&w, scale));
+    let w = Arc::new(w);
+    let cfg = em2_rt::RtConfig::eviction_free(cores, threads);
+    for (sname, factory) in schemes {
+        let single = em2_rt::run_workload(cfg.clone(), &w, Arc::clone(&placement), factory);
+        let expected = CounterSummary::from_rt(&single);
+        t.row(vec![
+            "in-process".into(),
+            sname.into(),
+            "0".into(),
+            "0".into(),
+            "0".into(),
+            "0".into(),
+            "baseline".into(),
+            fmt_f(single.ops_per_sec() / 1e6, 2),
+        ]);
+        for nodes in [2usize, 4] {
+            let reports = run_workload_cluster_in_process(
+                &ClusterSpec::loopback(nodes, cores),
+                &cfg,
+                &w,
+                &placement,
+                factory,
+            )
+            .expect("loopback cluster");
+            let total = CounterSummary::sum(reports.iter().map(CounterSummary::from_net));
+            assert!(
+                total.counters_equal(&expected),
+                "E12 {sname}/{nodes}-node: cluster diverged from single process\n\
+                 cluster: {total:?}\nsingle:  {expected:?}"
+            );
+            let mops = if total.wall_s > 0.0 {
+                total.total_ops() as f64 / total.wall_s / 1e6
+            } else {
+                0.0
+            };
+            t.row(vec![
+                format!("loopback x{nodes}"),
+                sname.into(),
+                fmt_count(total.wire.arrives_tx),
+                fmt_count(total.wire.context_bytes_tx),
+                fmt_count(total.wire.frames_tx),
+                fmt_count(total.wire.bytes_tx),
+                "exact".into(),
+                fmt_f(mops, 2),
+            ]);
+        }
+    }
+    t.note("every cluster row's counters (migrations, RA, locals, run histogram) asserted bit-equal to the single-process runtime before rendering");
+    t.note("x-node ctxs = task envelopes that crossed a node boundary; ctx bytes = serialized continuations inside them (the paper's migrated-context traffic, now on a real wire)");
+    t.note("rt Mops/s is host wall-clock (masked in digests); the two-OS-process UDS measurement is recorded in BENCH.json's transport block");
+    t
+}
+
 /// Experiment ids in canonical order.
-pub const ALL_IDS: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+pub const ALL_IDS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
 /// One experiment's output: its tables plus the wall-clock it took.
@@ -1042,11 +1136,11 @@ impl SuiteResult {
     }
 }
 
-/// Run a subset of experiments (empty `ids` = all eleven) with the
+/// Run a subset of experiments (empty `ids` = all twelve) with the
 /// two-level parallel sweep: experiments fan out as cells, and each
 /// experiment fans its own (config, workload, scheme) cells. Output
-/// order — and content, minus E5's and E11's measured wall-clock
-/// cells — is independent of the worker count.
+/// order — and content, minus E5's, E11's, and E12's measured
+/// wall-clock cells — is independent of the worker count.
 pub fn run_suite(scale: Scale, ids: &[&str]) -> SuiteResult {
     let selected: Vec<&'static str> = ALL_IDS
         .iter()
@@ -1073,6 +1167,7 @@ pub fn run_suite(scale: Scale, ids: &[&str]) -> SuiteResult {
             "e9" => vec![e9_noc_validation(scale)],
             "e10" => vec![e10_contention(scale)],
             "e11" => vec![e11_runtime_agreement(scale)],
+            "e12" => vec![e12_transport(scale)],
             other => unreachable!("id {other:?} is not in ALL_IDS"),
         };
         ExperimentRun {
@@ -1082,13 +1177,13 @@ pub fn run_suite(scale: Scale, ids: &[&str]) -> SuiteResult {
         }
     };
     // Phase 1: everything except the wall-clock-measuring
-    // experiments, fanned across the pool. Phase 2: E5 (DP runtimes)
-    // and E11 (runtime ops/sec, which also spawns its own shard
-    // threads) run alone in sequence, so their measurements see an
-    // otherwise idle machine.
+    // experiments, fanned across the pool. Phase 2: E5 (DP runtimes),
+    // E11 (runtime ops/sec), and E12 (cluster ops/sec — whole node
+    // fleets of shard workers) run alone in sequence, so their
+    // measurements see an otherwise idle machine.
     let (timed, rest): (Vec<_>, Vec<_>) = selected
         .into_iter()
-        .partition(|id| *id == "e5" || *id == "e11");
+        .partition(|id| *id == "e5" || *id == "e11" || *id == "e12");
     let mut runs = par::par_map(rest, run_one);
     runs.extend(timed.into_iter().map(run_one));
     runs.sort_by_key(|r| ALL_IDS.iter().position(|id| *id == r.id));

@@ -15,6 +15,8 @@
 //! | E8 | §5 context-size sensitivity | [`experiments::e8_context_size`] |
 //! | E9 | §2/§3 deadlock freedom & NoC validation | [`experiments::e9_noc_validation`] |
 //! | E10 | contention on/off across machines (beyond the paper) | [`experiments::e10_contention`] |
+//! | E11 | runtime ↔ simulator cross-validation | [`experiments::e11_runtime_agreement`] |
+//! | E12 | distributed (cross-node) runtime agreement + wire telemetry | [`experiments::e12_transport`] |
 //!
 //! The `experiments` binary prints these as aligned text tables and
 //! writes `BENCH.json` perf telemetry ([`perf`]); the benches in
@@ -30,6 +32,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod netproc;
 pub mod par;
 pub mod perf;
 pub mod serving;

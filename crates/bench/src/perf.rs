@@ -205,15 +205,14 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Render a table with its measured-timing cells replaced by `<t>`:
-/// E5's DP wall-time columns and E11's runtime-throughput column are
-/// host wall-clock and legitimately differ run to run; everything
-/// else must be bit-stable.
+/// E5's DP wall-time columns and E11's/E12's runtime-throughput
+/// columns are host wall-clock and legitimately differ run to run;
+/// everything else must be bit-stable (E12's wire-byte columns
+/// included — message counts are program-order functions).
 pub fn render_masked(table: &Table) -> String {
-    let (is_e5, is_e11) = (
-        table.title.starts_with("E5"),
-        table.title.starts_with("E11"),
-    );
-    if !is_e5 && !is_e11 {
+    let is_e5 = table.title.starts_with("E5");
+    let is_throughput_last = table.title.starts_with("E11") || table.title.starts_with("E12");
+    if !is_e5 && !is_throughput_last {
         return table.to_string();
     }
     let mut masked = table.clone();
@@ -243,11 +242,14 @@ pub fn tables_digest<'a>(tables: impl Iterator<Item = &'a Table>) -> String {
 }
 
 /// Serialize a suite run (plus calibrations, the shard-scaling sweep,
-/// and the open-loop latency panel) as the `BENCH.json` body — schema
-/// 3. Every schema-2 field survives unchanged (trajectory tooling
-/// keeps parsing): the `runtime` block's top-level numbers are now the
-/// multiplexed executor's, with the thread-per-shard baseline, the
-/// speedup, the scaling sweep, and the `latency` sub-block added.
+/// the open-loop latency panel, and the cross-process transport
+/// calibration) as the `BENCH.json` body — schema 4. Every schema-3
+/// field survives unchanged (trajectory tooling keeps parsing); the
+/// `runtime` block gains a `transport` sub-block: per-mode ops/sec and
+/// wire telemetry for the in-process baseline, the loopback cluster,
+/// and the **two-OS-process UDS** cluster, plus the distributed KV
+/// serving point.
+#[allow(clippy::too_many_arguments)]
 pub fn bench_json(
     suite: &SuiteResult,
     calibration: &Calibration,
@@ -255,10 +257,12 @@ pub fn bench_json(
     baseline: &RuntimeCalibration,
     scaling: &[ScalingPoint],
     latency: &[crate::serving::LatencyReport],
+    transport: &[crate::netproc::TransportPoint],
+    kv_uds: Option<&crate::netproc::KvUdsPoint>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 3,");
+    let _ = writeln!(s, "  \"schema\": 4,");
     let _ = writeln!(
         s,
         "  \"scale\": \"{}\",",
@@ -382,6 +386,50 @@ pub fn bench_json(
         s.push_str(if i + 1 < latency.len() { ",\n" } else { "\n" });
     }
     s.push_str("      ]\n");
+    s.push_str("    },\n");
+    let _ = writeln!(s, "    \"transport\": {{");
+    s.push_str("      \"modes\": [\n");
+    for (i, p) in transport.iter().enumerate() {
+        let _ = write!(
+            s,
+            "        {{\"mode\": \"{}\", \"nodes\": {}, \"processes\": {}, \"ops\": {}, \
+             \"wall_s\": {:.6}, \"ops_per_sec\": {:.1}, \"wire_frames\": {}, \
+             \"wire_bytes\": {}, \"xnode_contexts\": {}, \"context_bytes_on_wire\": {}}}",
+            json_escape(&p.mode),
+            p.nodes,
+            p.processes,
+            p.ops,
+            p.wall_s,
+            p.ops_per_sec,
+            p.wire.frames_tx,
+            p.wire.bytes_tx,
+            p.wire.arrives_tx,
+            p.wire.context_bytes_tx,
+        );
+        s.push_str(if i + 1 < transport.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("      ],\n");
+    match kv_uds {
+        None => {
+            let _ = writeln!(s, "      \"kv_uds\": null");
+        }
+        Some(k) => {
+            let _ = writeln!(
+                s,
+                "      \"kv_uds\": {{\"requests\": {}, \"ops\": {}, \"wall_s\": {:.6}, \
+                 \"requests_per_sec\": {:.1}, \"wire_frames\": {}, \"wire_bytes\": {}, \
+                 \"xnode_contexts\": {}, \"context_bytes_on_wire\": {}}}",
+                k.requests,
+                k.ops,
+                k.wall_s,
+                k.requests_per_sec,
+                k.wire.frames_tx,
+                k.wire.bytes_tx,
+                k.wire.arrives_tx,
+                k.wire.context_bytes_tx,
+            );
+        }
+    }
     s.push_str("    }\n");
     s.push_str("  },\n");
     let _ = writeln!(
@@ -403,10 +451,21 @@ pub fn write_bench_json(
     baseline: &RuntimeCalibration,
     scaling: &[ScalingPoint],
     latency: &[crate::serving::LatencyReport],
+    transport: &[crate::netproc::TransportPoint],
+    kv_uds: Option<&crate::netproc::KvUdsPoint>,
 ) -> std::io::Result<()> {
     std::fs::write(
         path,
-        bench_json(suite, calibration, runtime, baseline, scaling, latency),
+        bench_json(
+            suite,
+            calibration,
+            runtime,
+            baseline,
+            scaling,
+            latency,
+            transport,
+            kv_uds,
+        ),
     )
 }
 
@@ -460,6 +519,18 @@ mod tests {
     }
 
     #[test]
+    fn e12_masking_keeps_wire_bytes_hides_throughput() {
+        let mut t = Table::new("E12 / fake", &["mode", "wire bytes", "rt Mops/s"]);
+        t.row(vec!["loopback x2".into(), "48,128".into(), "1.25".into()]);
+        let m = render_masked(&t);
+        assert!(
+            m.contains("48,128"),
+            "wire bytes are deterministic and stay in the digest"
+        );
+        assert!(!m.contains("1.25") && m.contains("<t>"));
+    }
+
+    #[test]
     fn runtime_calibration_reports_positive_throughput() {
         let c = calibrate_runtime();
         assert!(c.report.total_ops() > 0);
@@ -476,10 +547,28 @@ mod tests {
         let latency = [crate::serving::kv_open_loop(8, 300, 0.5, || {
             Box::new(em2_core::AlwaysMigrate)
         })];
-        let j = bench_json(&suite, &cal, &rt_cal, &baseline, &[], &latency);
+        let transport = [crate::netproc::TransportPoint {
+            mode: "in-process".into(),
+            nodes: 1,
+            processes: 1,
+            ops: 100,
+            wall_s: 0.01,
+            ops_per_sec: 10_000.0,
+            wire: Default::default(),
+        }];
+        let j = bench_json(
+            &suite,
+            &cal,
+            &rt_cal,
+            &baseline,
+            &[],
+            &latency,
+            &transport,
+            None,
+        );
         assert!(j.starts_with("{\n") && j.ends_with("}\n"));
         for key in [
-            "\"schema\": 3",
+            "\"schema\": 4",
             "\"scale\"",
             "\"threads\"",
             "\"host_available_parallelism\"",
@@ -494,6 +583,9 @@ mod tests {
             "\"shard_scaling\"",
             "\"latency\"",
             "\"p99_us\"",
+            "\"transport\"",
+            "\"context_bytes_on_wire\"",
+            "\"kv_uds\": null",
             "\"tables_digest\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");

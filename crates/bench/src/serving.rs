@@ -40,6 +40,9 @@ pub struct KvRequest {
 }
 
 impl KvRequest {
+    /// [`Task::wire_kind`] tag of KV request transactions.
+    pub const WIRE_KIND: u32 = 2;
+
     /// Request `i` of a run: the hot key is drawn deterministically,
     /// the own key is unique to the request (so concurrent in-flight
     /// requests never race on a verified key — the hot keys carry all
@@ -54,6 +57,38 @@ impl KvRequest {
             step: 0,
         }
     }
+
+    /// Rebuild a migrated-in request from its [`Task::context_bytes`]
+    /// (the receiving half of a cross-process migration — the KV
+    /// service as a *distributed* service).
+    pub fn from_context_bytes(ctx: &[u8]) -> Result<Self, String> {
+        let (hot, own, value, step) = (|| {
+            let mut r = em2_model::bytes::Cursor::new(ctx);
+            let fields = (Addr(r.u64()?), Addr(r.u64()?), r.u64()?, r.u8()?);
+            r.finish()?;
+            Ok::<_, em2_model::bytes::CodecError>(fields)
+        })()
+        .map_err(|e| format!("kv request context: {e}"))?;
+        if step > 4 {
+            return Err(format!("kv request step {step} out of range"));
+        }
+        Ok(KvRequest {
+            hot,
+            own,
+            value,
+            step,
+        })
+    }
+}
+
+/// A task registry knowing the KV request kind — what every node of a
+/// distributed KV cluster registers.
+pub fn kv_registry() -> em2_rt::TaskRegistry {
+    let mut r = em2_rt::TaskRegistry::new();
+    r.register(KvRequest::WIRE_KIND, |ctx| {
+        KvRequest::from_context_bytes(ctx).map(|t| Box::new(t) as Box<dyn Task>)
+    });
+    r
 }
 
 impl Task for KvRequest {
@@ -87,6 +122,10 @@ impl Task for KvRequest {
 
     fn context_len(&self) -> u64 {
         25
+    }
+
+    fn wire_kind(&self) -> Option<u32> {
+        Some(KvRequest::WIRE_KIND)
     }
 }
 

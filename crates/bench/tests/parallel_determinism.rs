@@ -46,8 +46,9 @@ fn parallel_suite_is_byte_identical_to_serial() {
     // default) the engine-backed machines must reproduce every report
     // byte — any timing, ordering, or accounting drift in the port
     // changes this fingerprint. E10 postdates the freeze, so it is
-    // excluded here, as is E11 (the executable-runtime
-    // cross-validation, also post-freeze): the full-suite digest in
+    // excluded here, as are E11 (the executable-runtime
+    // cross-validation) and E12 (the distributed-runtime
+    // cross-validation), both post-freeze: the full-suite digest in
     // BENCH.json differs from this pinned prefix by exactly their
     // tables.
     let pre_refactor = "fnv1a:8fd102978e26f354";
@@ -56,7 +57,7 @@ fn parallel_suite_is_byte_identical_to_serial() {
             serial
                 .runs
                 .iter()
-                .filter(|r| r.id != "e10" && r.id != "e11")
+                .filter(|r| r.id != "e10" && r.id != "e11" && r.id != "e12")
                 .flat_map(|r| r.tables.iter())
         ),
         pre_refactor,

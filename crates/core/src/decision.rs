@@ -60,6 +60,59 @@ pub trait DecisionScheme: Send {
 
     /// Scheme name for reports.
     fn name(&self) -> String;
+
+    /// Serialize the *learned* state (prediction tables, cursors) —
+    /// what a cross-process migration ships alongside the task context
+    /// so the scheme resumes in another address space with bit-equal
+    /// behavior. Construction parameters (`alpha`, thresholds, …) are
+    /// **not** included: every node builds the scheme from the same
+    /// factory and only the mutable state crosses the wire. Stateless
+    /// schemes ship nothing (the default).
+    fn state_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restore state captured by [`DecisionScheme::state_bytes`] into a
+    /// freshly constructed instance. After `b.load_state(&a.state_bytes())`,
+    /// `b` must decide and learn exactly as `a` would. The default
+    /// accepts only an empty payload (stateless schemes).
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), SchemeStateError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(SchemeStateError::new(format!(
+                "scheme {:?} carries no state, got {} bytes",
+                self.name(),
+                bytes.len()
+            )))
+        }
+    }
+}
+
+/// A scheme-state payload that a fresh instance could not restore
+/// (wrong length, truncated table, mismatched scheme kind).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemeStateError(String);
+
+impl SchemeStateError {
+    /// Build an error with the given description.
+    pub fn new(msg: impl Into<String>) -> Self {
+        SchemeStateError(msg.into())
+    }
+}
+
+impl std::fmt::Display for SchemeStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scheme state: {}", self.0)
+    }
+}
+
+impl std::error::Error for SchemeStateError {}
+
+impl From<em2_model::bytes::CodecError> for SchemeStateError {
+    fn from(e: em2_model::bytes::CodecError) -> Self {
+        SchemeStateError::new(e.to_string())
+    }
 }
 
 /// Pure EM²: always migrate (paper §2).
@@ -204,6 +257,30 @@ impl DecisionScheme for HistoryPredictor {
     fn name(&self) -> String {
         format!("history(a={})", self.alpha)
     }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        use em2_model::bytes::{put_u16, put_u32, put_u64};
+        let mut b = Vec::with_capacity(4 + self.table.len() * 14);
+        put_u32(&mut b, self.table.len() as u32);
+        for (&(t, c), &p) in &self.table {
+            put_u32(&mut b, t.0);
+            put_u16(&mut b, c.0);
+            put_u64(&mut b, p.to_bits());
+        }
+        b
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), SchemeStateError> {
+        let mut r = em2_model::bytes::Cursor::new(bytes);
+        let n = r.u32()?;
+        self.table.clear();
+        for _ in 0..n {
+            let t = ThreadId(r.u32()?);
+            let c = CoreId(r.u16()?);
+            self.table.insert((t, c), f64::from_bits(r.u64()?));
+        }
+        Ok(r.finish()?)
+    }
 }
 
 /// Markov run-length predictor: a second-order scheme keyed by
@@ -289,6 +366,46 @@ impl DecisionScheme for MarkovPredictor {
     fn name(&self) -> String {
         format!("markov(a={})", self.alpha)
     }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        use em2_model::bytes::{put_u16, put_u32, put_u64};
+        let mut b = Vec::with_capacity(8 + self.table.len() * 15 + self.last_bucket.len() * 7);
+        put_u32(&mut b, self.table.len() as u32);
+        for (&(t, c, k), &p) in &self.table {
+            put_u32(&mut b, t.0);
+            put_u16(&mut b, c.0);
+            b.push(k);
+            put_u64(&mut b, p.to_bits());
+        }
+        put_u32(&mut b, self.last_bucket.len() as u32);
+        for (&(t, c), &k) in &self.last_bucket {
+            put_u32(&mut b, t.0);
+            put_u16(&mut b, c.0);
+            b.push(k);
+        }
+        b
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), SchemeStateError> {
+        let mut r = em2_model::bytes::Cursor::new(bytes);
+        let n = r.u32()?;
+        self.table.clear();
+        for _ in 0..n {
+            let t = ThreadId(r.u32()?);
+            let c = CoreId(r.u16()?);
+            let k = r.u8()?;
+            self.table.insert((t, c, k), f64::from_bits(r.u64()?));
+        }
+        let n = r.u32()?;
+        self.last_bucket.clear();
+        for _ in 0..n {
+            let t = ThreadId(r.u32()?);
+            let c = CoreId(r.u16()?);
+            let k = r.u8()?;
+            self.last_bucket.insert((t, c), k);
+        }
+        Ok(r.finish()?)
+    }
 }
 
 /// Replays a precomputed per-thread decision sequence — used to feed
@@ -333,6 +450,31 @@ impl DecisionScheme for OracleSchedule {
 
     fn name(&self) -> String {
         "oracle-schedule".into()
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        use em2_model::bytes::{put_u32, put_u64};
+        let mut b = Vec::with_capacity(4 + self.cursor.len() * 8);
+        put_u32(&mut b, self.cursor.len() as u32);
+        for &c in &self.cursor {
+            put_u64(&mut b, c as u64);
+        }
+        b
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), SchemeStateError> {
+        let mut r = em2_model::bytes::Cursor::new(bytes);
+        let n = r.u32()? as usize;
+        if n != self.cursor.len() {
+            return Err(SchemeStateError::new(format!(
+                "oracle cursor count {n} != schedule thread count {}",
+                self.cursor.len()
+            )));
+        }
+        for c in &mut self.cursor {
+            *c = r.u64()? as usize;
+        }
+        Ok(r.finish()?)
     }
 }
 
@@ -482,5 +624,96 @@ mod tests {
         assert_eq!(AlwaysMigrate.name(), "always-migrate");
         assert!(DistanceThreshold { max_hops: 2 }.name().contains('2'));
         assert!(HistoryPredictor::new(1.0, 0.5).name().contains("0.5"));
+    }
+
+    #[test]
+    fn stateless_schemes_ship_nothing_and_reject_garbage() {
+        let mut s = AlwaysMigrate;
+        assert!(s.state_bytes().is_empty());
+        assert!(s.load_state(&[]).is_ok());
+        assert!(s.load_state(&[1, 2, 3]).is_err());
+        assert!(DistanceThreshold { max_hops: 2 }.state_bytes().is_empty());
+        assert!(CostBreakEven { expected_run: 2.0 }.state_bytes().is_empty());
+    }
+
+    #[test]
+    fn history_state_round_trips_bit_exactly() {
+        let mut a = HistoryPredictor::new(1.0, 0.5);
+        for i in 0..40u64 {
+            a.observe_run(ThreadId((i % 3) as u32), CoreId((i % 5) as u16), i + 1);
+        }
+        let mut b = HistoryPredictor::new(1.0, 0.5);
+        b.load_state(&a.state_bytes()).expect("round trip");
+        for t in 0..3u32 {
+            for c in 0..6u16 {
+                // Bit-equality, not approximate: the EWMA must continue
+                // identically in the restored instance.
+                assert_eq!(
+                    a.prediction(ThreadId(t), CoreId(c)).to_bits(),
+                    b.prediction(ThreadId(t), CoreId(c)).to_bits()
+                );
+            }
+        }
+        // And behavior stays locked after further feedback.
+        a.observe_run(ThreadId(0), CoreId(1), 9);
+        b.observe_run(ThreadId(0), CoreId(1), 9);
+        assert_eq!(
+            a.prediction(ThreadId(0), CoreId(1)).to_bits(),
+            b.prediction(ThreadId(0), CoreId(1)).to_bits()
+        );
+    }
+
+    #[test]
+    fn markov_state_round_trips_bit_exactly() {
+        let mut a = MarkovPredictor::new(1.0, 0.5);
+        for i in 0..60u64 {
+            a.observe_run(
+                ThreadId((i % 2) as u32),
+                CoreId((i % 4) as u16),
+                (i % 11) + 1,
+            );
+        }
+        let mut b = MarkovPredictor::new(1.0, 0.5);
+        b.load_state(&a.state_bytes()).expect("round trip");
+        for t in 0..2u32 {
+            for c in 0..4u16 {
+                assert_eq!(
+                    a.prediction(ThreadId(t), CoreId(c)).to_bits(),
+                    b.prediction(ThreadId(t), CoreId(c)).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_state_round_trips_and_checks_shape() {
+        let cm = CostModel::default();
+        let mut a = OracleSchedule::new(vec![vec![Decision::Remote, Decision::Migrate]]);
+        let c = ctx(&cm, (0, 0), (1, 0));
+        let _ = a.decide(&c);
+        let mut b = OracleSchedule::new(vec![vec![Decision::Remote, Decision::Migrate]]);
+        b.load_state(&a.state_bytes()).expect("round trip");
+        assert_eq!(b.consumed(), &[1]);
+        assert_eq!(b.decide(&c), Decision::Migrate, "resumes mid-schedule");
+        let mut wrong = OracleSchedule::new(vec![vec![], vec![]]);
+        assert!(wrong.load_state(&a.state_bytes()).is_err());
+    }
+
+    #[test]
+    fn truncated_state_is_a_typed_error_never_a_panic() {
+        let mut a = HistoryPredictor::new(1.0, 0.5);
+        a.observe_run(ThreadId(0), CoreId(1), 7);
+        let full = a.state_bytes();
+        for cut in 0..full.len() {
+            let mut b = HistoryPredictor::new(1.0, 0.5);
+            assert!(
+                b.load_state(&full[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        let mut trailing = full.clone();
+        trailing.push(0xAB);
+        let mut b = HistoryPredictor::new(1.0, 0.5);
+        assert!(b.load_state(&trailing).is_err(), "trailing bytes rejected");
     }
 }

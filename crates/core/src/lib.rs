@@ -47,7 +47,7 @@ pub mod stats;
 pub use context::{Admission, ContextPool, GuestState, VictimPolicy};
 pub use decision::{
     AlwaysMigrate, AlwaysRemote, CostBreakEven, Decision, DecisionCtx, DecisionScheme,
-    DistanceThreshold, HistoryPredictor, MarkovPredictor, OracleSchedule,
+    DistanceThreshold, HistoryPredictor, MarkovPredictor, OracleSchedule, SchemeStateError,
 };
 pub use em2_engine::{Contention, QueuedParams};
 pub use machine::{EvictionPolicy, MachineConfig};

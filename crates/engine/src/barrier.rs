@@ -116,6 +116,17 @@ impl AtomicBarriers {
     pub fn is_released(&self, k: usize) -> bool {
         self.released[k].load(Ordering::Acquire)
     }
+
+    /// Mark barrier `k` released without an arrival.
+    ///
+    /// Used by clustered runtimes (`em2-net`): on every node except the
+    /// barrier coordinator, arrivals are forwarded over the wire and
+    /// the local hub only mirrors the coordinator's release decision —
+    /// this is the mirroring primitive. Idempotent.
+    pub fn force_release(&self, k: usize) {
+        assert!(k < self.released.len(), "barrier {k} has no quota");
+        self.released[k].store(true, Ordering::Release);
+    }
 }
 
 impl Barriers {
@@ -208,5 +219,17 @@ mod tests {
     #[should_panic(expected = "zero quota")]
     fn atomic_hub_rejects_zero_quotas_loudly() {
         AtomicBarriers::new(vec![0]).arrive(0);
+    }
+
+    #[test]
+    fn force_release_mirrors_a_remote_decision() {
+        let hub = AtomicBarriers::new(vec![3]);
+        assert!(!hub.is_released(0));
+        hub.force_release(0);
+        assert!(hub.is_released(0));
+        hub.force_release(0); // idempotent
+        assert!(hub.is_released(0));
+        // Late arrivals pass through, as after a local release.
+        assert_eq!(hub.arrive(0), BarrierArrival::AlreadyOpen);
     }
 }

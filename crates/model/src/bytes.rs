@@ -1,0 +1,226 @@
+//! The workspace's one binary-codec kernel: little-endian writers and
+//! a bounds-checked read cursor with typed errors.
+//!
+//! Every hand-rolled codec in the workspace — the runtime's wire
+//! format (`em2_rt::wire`), the transport layer's control protocol
+//! (`em2-net`), and decision-scheme state serialization
+//! (`em2_core::decision`) — builds on these primitives, so "decoding
+//! never panics, truncation is a typed error" is implemented exactly
+//! once. Layout conventions: fixed-width **little-endian** integers,
+//! one-byte tags, `u32`-length-prefixed byte strings capped at
+//! [`MAX_CHUNK`].
+
+use std::fmt;
+
+/// Hard ceiling on any length-prefixed chunk (16 MiB): a length beyond
+/// this in the input is corruption, not a payload — decoding fails
+/// typed instead of attempting the allocation.
+pub const MAX_CHUNK: usize = 16 << 20;
+
+/// A malformed byte stream. Every decode failure in the workspace's
+/// codecs bottoms out in one of these — never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the field at `offset` (needed `need` more
+    /// bytes).
+    Truncated {
+        /// Byte offset of the field that could not be read.
+        offset: usize,
+        /// Bytes the field still needed.
+        need: usize,
+    },
+    /// Unknown tag byte for the named discriminant.
+    BadTag {
+        /// Which discriminant was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A length field exceeded [`MAX_CHUNK`].
+    ChunkTooLarge {
+        /// The declared length.
+        len: usize,
+    },
+    /// Bytes left over after a complete message.
+    Trailing {
+        /// How many undecoded bytes remained.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { offset, need } => {
+                write!(f, "truncated at byte {offset}: {need} more bytes needed")
+            }
+            CodecError::BadTag { what, tag } => write!(f, "bad {what} tag {tag:#04x}"),
+            CodecError::ChunkTooLarge { len } => {
+                write!(f, "chunk length {len} exceeds the {MAX_CHUNK}-byte cap")
+            }
+            CodecError::Trailing { extra } => write!(f, "{extra} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append a `u16`, little-endian.
+pub fn put_u16(b: &mut Vec<u8>, v: u16) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u32`, little-endian.
+pub fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64`, little-endian.
+pub fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed byte string (`u32` length + bytes).
+pub fn put_bytes(b: &mut Vec<u8>, v: &[u8]) {
+    assert!(v.len() <= MAX_CHUNK, "chunk exceeds the wire cap");
+    put_u32(b, v.len() as u32);
+    b.extend_from_slice(v);
+}
+
+/// A bounds-checked read cursor over a byte slice.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                offset: self.at,
+                need: n - self.remaining(),
+            });
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let n = self.u32()? as usize;
+        if n > MAX_CHUNK {
+            return Err(CodecError::ChunkTooLarge { len: n });
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Consume and return everything left (for codecs embedding a
+    /// nested message as the final field).
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.at..];
+        self.at = self.buf.len();
+        s
+    }
+
+    /// Assert the input is fully consumed.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::Trailing {
+                extra: self.remaining(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut b = Vec::new();
+        b.push(7u8);
+        put_u16(&mut b, 0xBEEF);
+        put_u32(&mut b, 0xDEAD_BEEF);
+        put_u64(&mut b, u64::MAX - 1);
+        put_bytes(&mut b, &[1, 2, 3]);
+        let mut r = Cursor::new(&b);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_trailing_and_oversize_are_typed() {
+        let mut r = Cursor::new(&[1, 2]);
+        assert_eq!(r.u32(), Err(CodecError::Truncated { offset: 0, need: 2 }));
+        let mut b = Vec::new();
+        put_u32(&mut b, u32::MAX);
+        assert_eq!(
+            Cursor::new(&b).bytes(),
+            Err(CodecError::ChunkTooLarge {
+                len: u32::MAX as usize
+            })
+        );
+        let r = Cursor::new(&[0]);
+        assert_eq!(r.finish(), Err(CodecError::Trailing { extra: 1 }));
+    }
+
+    #[test]
+    fn rest_consumes_everything() {
+        let mut r = Cursor::new(&[1, 2, 3]);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert_eq!(r.rest(), &[2, 3]);
+        assert_eq!(r.remaining(), 0);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            CodecError::Truncated { offset: 3, need: 2 },
+            CodecError::BadTag { what: "x", tag: 9 },
+            CodecError::ChunkTooLarge { len: 1 << 30 },
+            CodecError::Trailing { extra: 4 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

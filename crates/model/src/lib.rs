@@ -16,11 +16,14 @@
 //!   in the workspace is bit-reproducible;
 //! * [`histogram`] — integer histograms (run-length distributions,
 //!   Figure 2 of the paper);
-//! * [`stats`] — streaming scalar statistics (mean/variance/min/max).
+//! * [`stats`] — streaming scalar statistics (mean/variance/min/max);
+//! * [`bytes`] — the binary-codec kernel (LE writers, bounds-checked
+//!   cursor, typed errors) every hand-rolled wire format builds on.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bytes;
 pub mod cost;
 pub mod histogram;
 pub mod ids;

@@ -1,0 +1,337 @@
+//! Static cluster configuration: which node owns which shards, and
+//! where to reach it.
+//!
+//! A cluster is a fixed list of nodes, each owning one **contiguous**
+//! range of the global shard space (contiguity keeps the routing table
+//! a single subtraction on the runtime's hot send path). Every process
+//! is launched with the same spec — usually the same
+//! [`ClusterSpec::parse`] string — and the connect handshake compares
+//! [`ClusterSpec::digest`]s so two processes with divergent topologies
+//! refuse to form a cluster instead of silently misrouting.
+
+use crate::transport::{LoopbackTransport, TcpTransport, Transport, UdsTransport};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which transport a cluster runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process channel pairs (testing, calibration baselines).
+    Loopback,
+    /// Unix-domain sockets (co-located processes).
+    Uds,
+    /// TCP (crosses hosts).
+    Tcp,
+}
+
+impl TransportKind {
+    /// Instantiate the transport.
+    pub fn make(&self) -> Box<dyn Transport> {
+        match self {
+            TransportKind::Loopback => Box::new(LoopbackTransport),
+            TransportKind::Uds => Box::new(UdsTransport),
+            TransportKind::Tcp => Box::new(TcpTransport),
+        }
+    }
+
+    /// The spec-string prefix (`"loopback"`, `"uds"`, `"tcp"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::Loopback => "loopback",
+            TransportKind::Uds => "uds",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+}
+
+/// One node of the cluster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Transport address the node listens on.
+    pub addr: String,
+    /// First global shard id the node owns.
+    pub first_shard: usize,
+    /// Number of shards the node owns.
+    pub shards: usize,
+}
+
+/// The whole cluster: transport, shard space, and per-node ownership.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Transport every connection uses.
+    pub kind: TransportKind,
+    /// Cluster-wide shard count.
+    pub total_shards: usize,
+    /// The nodes, in id order; shard ranges are contiguous and cover
+    /// `0..total_shards`.
+    pub nodes: Vec<NodeSpec>,
+}
+
+/// Process-unique counter salting auto-generated endpoint names.
+fn unique_stamp() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl ClusterSpec {
+    /// An even contiguous split of `shards` over `nodes` nodes, with
+    /// per-node addresses derived from `base`:
+    /// loopback/UDS get `"{base}.{node}"`, TCP (`base` = `host:port`)
+    /// gets `host:(port + node)`.
+    pub fn even(kind: TransportKind, base: &str, nodes: usize, shards: usize) -> Self {
+        assert!(
+            nodes > 0 && shards >= nodes,
+            "need at least one shard per node"
+        );
+        let addr_of = |i: usize| -> String {
+            match kind {
+                TransportKind::Tcp => {
+                    let (host, port) = base
+                        .host_port()
+                        .expect("tcp base address must be host:port");
+                    let port = u16::try_from(i)
+                        .ok()
+                        .and_then(|i| port.checked_add(i))
+                        .unwrap_or_else(|| {
+                            panic!("tcp port range {port}+{nodes} nodes exceeds 65535")
+                        });
+                    format!("{host}:{port}")
+                }
+                _ => format!("{base}.{i}"),
+            }
+        };
+        let nodes_vec = (0..nodes)
+            .map(|i| {
+                let first = i * shards / nodes;
+                let end = (i + 1) * shards / nodes;
+                NodeSpec {
+                    addr: addr_of(i),
+                    first_shard: first,
+                    shards: end - first,
+                }
+            })
+            .collect();
+        ClusterSpec {
+            kind,
+            total_shards: shards,
+            nodes: nodes_vec,
+        }
+    }
+
+    /// An even loopback cluster under a process-unique auto-generated
+    /// endpoint base (safe to create concurrently from many tests).
+    pub fn loopback(nodes: usize, shards: usize) -> Self {
+        let base = format!("em2-loopback-{}-{}", std::process::id(), unique_stamp());
+        ClusterSpec::even(TransportKind::Loopback, &base, nodes, shards)
+    }
+
+    /// Parse a launch string: `"<kind>:<base>,nodes=<N>,shards=<S>"`,
+    /// e.g. `uds:/tmp/em2-kv.sock,nodes=2,shards=16` or
+    /// `tcp:127.0.0.1:7600,nodes=2,shards=16`. Produces the same even
+    /// split as [`ClusterSpec::even`], so every process parsing the
+    /// same string builds the same topology (digest-checked at
+    /// connect).
+    pub fn parse(s: &str) -> Result<ClusterSpec, String> {
+        let mut parts = s.split(',');
+        let head = parts.next().unwrap_or_default();
+        let (kind_s, base) = head
+            .split_once(':')
+            .ok_or_else(|| format!("expected <kind>:<base>, got {head:?}"))?;
+        let kind = match kind_s {
+            "loopback" => TransportKind::Loopback,
+            "uds" => TransportKind::Uds,
+            "tcp" => TransportKind::Tcp,
+            other => return Err(format!("unknown transport {other:?} (loopback|uds|tcp)")),
+        };
+        let (mut nodes, mut shards) = (None, None);
+        for p in parts {
+            let (k, v) = p
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {p:?}"))?;
+            let n: usize = v.parse().map_err(|_| format!("bad number in {p:?}"))?;
+            match k {
+                "nodes" => nodes = Some(n),
+                "shards" => shards = Some(n),
+                other => return Err(format!("unknown key {other:?} (nodes|shards)")),
+            }
+        }
+        let nodes = nodes.ok_or("missing nodes=<N>")?;
+        let shards = shards.ok_or("missing shards=<S>")?;
+        if nodes == 0 || shards < nodes {
+            return Err(format!(
+                "need 1 <= nodes <= shards, got nodes={nodes}, shards={shards}"
+            ));
+        }
+        if kind == TransportKind::Tcp {
+            let Some((_, port)) = base.host_port() else {
+                return Err(format!("tcp base must be host:port, got {base:?}"));
+            };
+            // Node i listens on base-port + i; the whole range must fit.
+            if port as usize + (nodes - 1) > u16::MAX as usize {
+                return Err(format!(
+                    "tcp port range {port}..{port}+{nodes} exceeds 65535"
+                ));
+            }
+        }
+        Ok(ClusterSpec::even(kind, base, nodes, shards))
+    }
+
+    /// Node count.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node owning a global shard id.
+    pub fn owner_of(&self, shard: usize) -> usize {
+        assert!(shard < self.total_shards, "shard {shard} outside cluster");
+        // Contiguous ranges in id order: binary search by first_shard.
+        match self.nodes.binary_search_by(|n| {
+            if shard < n.first_shard {
+                std::cmp::Ordering::Greater
+            } else if shard >= n.first_shard + n.shards {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => i,
+            Err(_) => unreachable!("validated specs cover every shard"),
+        }
+    }
+
+    /// `(first_shard, shards)` of a node.
+    pub fn span(&self, node: usize) -> (usize, usize) {
+        let n = &self.nodes[node];
+        (n.first_shard, n.shards)
+    }
+
+    /// Check the invariants: at least one node, every node non-empty,
+    /// ranges contiguous in id order covering exactly
+    /// `0..total_shards`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("a cluster needs at least one node".into());
+        }
+        let mut at = 0usize;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.shards == 0 {
+                return Err(format!("node {i} owns no shards"));
+            }
+            if n.first_shard != at {
+                return Err(format!(
+                    "node {i} starts at shard {} (expected {at}: ranges must be contiguous)",
+                    n.first_shard
+                ));
+            }
+            at += n.shards;
+        }
+        if at != self.total_shards {
+            return Err(format!(
+                "nodes cover {at} shards, spec says {}",
+                self.total_shards
+            ));
+        }
+        Ok(())
+    }
+
+    /// FNV-1a digest over the canonical rendering — what the
+    /// handshake compares, so misconfigured processes refuse each
+    /// other.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.kind.name().as_bytes());
+        eat(&(self.total_shards as u64).to_le_bytes());
+        for n in &self.nodes {
+            eat(n.addr.as_bytes());
+            eat(&(n.first_shard as u64).to_le_bytes());
+            eat(&(n.shards as u64).to_le_bytes());
+        }
+        h
+    }
+}
+
+/// `rsplit_once(':')` with a `u16` port parse, as an extension so the
+/// TCP address plumbing reads declaratively.
+trait HostPort {
+    fn host_port(&self) -> Option<(&str, u16)>;
+}
+
+impl HostPort for str {
+    fn host_port(&self) -> Option<(&str, u16)> {
+        let (host, port) = self.rsplit_once(':')?;
+        port.parse::<u16>().ok().map(|p| (host, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_covers_contiguously() {
+        for (nodes, shards) in [(1, 16), (2, 16), (3, 16), (4, 1024), (5, 7)] {
+            let spec = ClusterSpec::even(TransportKind::Uds, "/tmp/x", nodes, shards);
+            spec.validate().expect("valid");
+            assert_eq!(spec.num_nodes(), nodes);
+            for s in 0..shards {
+                let owner = spec.owner_of(s);
+                let (first, count) = spec.span(owner);
+                assert!(s >= first && s < first + count);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_the_even_layout() {
+        let spec = ClusterSpec::parse("uds:/tmp/em2.sock,nodes=2,shards=16").expect("parse");
+        assert_eq!(
+            spec,
+            ClusterSpec::even(TransportKind::Uds, "/tmp/em2.sock", 2, 16)
+        );
+        let tcp = ClusterSpec::parse("tcp:127.0.0.1:7600,nodes=2,shards=8").expect("parse");
+        assert_eq!(tcp.nodes[1].addr, "127.0.0.1:7601");
+        assert!(ClusterSpec::parse("udp:/x,nodes=2,shards=4").is_err());
+        assert!(ClusterSpec::parse("uds:/x,nodes=0,shards=4").is_err());
+        assert!(ClusterSpec::parse("uds:/x,nodes=9,shards=4").is_err());
+        assert!(ClusterSpec::parse("tcp:nopport,nodes=2,shards=4").is_err());
+        assert!(
+            ClusterSpec::parse("tcp:127.0.0.1:65535,nodes=2,shards=4").is_err(),
+            "port range overflowing u16 is a parse error, not a wrap"
+        );
+        assert!(ClusterSpec::parse("tcp:127.0.0.1:65535,nodes=1,shards=4").is_ok());
+        assert!(ClusterSpec::parse("uds:/x,bogus=1,shards=4").is_err());
+    }
+
+    #[test]
+    fn digest_separates_topologies() {
+        let a = ClusterSpec::even(TransportKind::Uds, "/tmp/a", 2, 16);
+        let b = ClusterSpec::even(TransportKind::Uds, "/tmp/a", 2, 32);
+        let c = ClusterSpec::even(TransportKind::Uds, "/tmp/b", 2, 16);
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_eq!(a.digest(), a.clone().digest());
+    }
+
+    #[test]
+    fn loopback_specs_are_process_unique() {
+        assert_ne!(
+            ClusterSpec::loopback(2, 8).nodes[0].addr,
+            ClusterSpec::loopback(2, 8).nodes[0].addr
+        );
+    }
+
+    #[test]
+    fn invalid_layouts_are_rejected() {
+        let mut spec = ClusterSpec::even(TransportKind::Loopback, "x", 2, 8);
+        spec.nodes[1].first_shard = 5;
+        assert!(spec.validate().is_err());
+        spec.nodes[1].first_shard = 4;
+        spec.total_shards = 9;
+        assert!(spec.validate().is_err());
+    }
+}

@@ -1,0 +1,752 @@
+//! The node layer: membership, routing, distributed barriers, and
+//! cluster-wide quiesce.
+//!
+//! A [`NodeRuntime`] wraps one `em2-rt` [`Runtime`] owning this
+//! process's shard range and wires it to its peers:
+//!
+//! * **Connections.** Every node listens on its spec address; node `j`
+//!   dials every `i < j` (with retry — nodes come up in any order) and
+//!   opens with `Hello{node, wire_version, topology_digest}`; the
+//!   acceptor verifies and answers `HelloAck`. Version or topology
+//!   mismatch refuses the connection — two processes that disagree on
+//!   shard ownership must not exchange a single shard message.
+//! * **Routing.** The runtime hands any message addressed outside its
+//!   shard range to [`em2_rt::NodeLink::forward`]; the link wraps it
+//!   in [`NetMsg::Shard`] and ships it to the owner. One **reader
+//!   thread per peer** decodes inbound frames and injects them through
+//!   [`em2_rt::RemoteInbox`] — the executor's ordinary mailbox/waker
+//!   seam; the workers never know a message crossed a process.
+//! * **Barriers.** Node 0 is the coordinator: it holds the cluster's
+//!   real [`AtomicBarriers`]. Arrivals anywhere park locally and
+//!   travel to the coordinator; the quota-meeting arrival triggers a
+//!   `BarrierRelease` fan-out, which each node mirrors into its local
+//!   hub and parked shards.
+//! * **Quiesce.** Submissions are counted per node and reported on
+//!   close (`Closed{submitted}`); every retirement anywhere sends
+//!   `Retired`. When all nodes have closed and `retired == submitted`,
+//!   the coordinator broadcasts `Quiesce` and every runtime's workers
+//!   stop. Because a task retires only after its final access, quiesce
+//!   implies no shard message is in flight anywhere (DESIGN.md §9).
+//!
+//! Counter exactness: decisions, counters, and run histograms are
+//! per-thread program-order functions (DESIGN.md §7); distribution
+//! changes only *where* each access executes, so summing the nodes'
+//! [`em2_rt::RtReport`] counters reproduces the single-process run
+//! bit-for-bit — `crates/net/tests` pins this for loopback, UDS, and
+//! TCP.
+
+use crate::cluster::ClusterSpec;
+use crate::proto::NetMsg;
+use crate::transport::{Duplex, FrameRx, FrameTx};
+use em2_engine::AtomicBarriers;
+use em2_model::ThreadId;
+use em2_placement::Placement;
+use em2_rt::wire::{WireMsg, WIRE_VERSION};
+use em2_rt::{NodeLink, NodeRole, RtConfig, RtReport, Runtime, TaskRegistry, TaskSpec};
+use em2_trace::Workload;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// How long a dialing node keeps retrying a peer that has not bound
+/// its endpoint yet.
+const CONNECT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Per-node wire telemetry (atomics: shard workers and readers bump
+/// them concurrently).
+#[derive(Default)]
+struct WireStats {
+    frames_tx: AtomicU64,
+    bytes_tx: AtomicU64,
+    frames_rx: AtomicU64,
+    bytes_rx: AtomicU64,
+    /// Migration/eviction envelopes shipped to another process.
+    arrives_tx: AtomicU64,
+    /// Serialized task-context bytes inside those envelopes — the
+    /// "context bytes on the wire" the paper's §5 sizing argument is
+    /// about.
+    context_bytes_tx: AtomicU64,
+}
+
+/// A snapshot of one node's wire telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireSnapshot {
+    /// Frames sent to peers.
+    pub frames_tx: u64,
+    /// Payload bytes sent (excluding the 4-byte frame header).
+    pub bytes_tx: u64,
+    /// Frames received from peers.
+    pub frames_rx: u64,
+    /// Payload bytes received.
+    pub bytes_rx: u64,
+    /// Task envelopes (migrations, evictions, seeds) sent cross-process.
+    pub arrives_tx: u64,
+    /// Serialized task-context bytes inside sent envelopes.
+    pub context_bytes_tx: u64,
+}
+
+impl WireSnapshot {
+    /// Element-wise sum (cluster totals).
+    pub fn merge(&mut self, o: &WireSnapshot) {
+        self.frames_tx += o.frames_tx;
+        self.bytes_tx += o.bytes_tx;
+        self.frames_rx += o.frames_rx;
+        self.bytes_rx += o.bytes_rx;
+        self.arrives_tx += o.arrives_tx;
+        self.context_bytes_tx += o.context_bytes_tx;
+    }
+}
+
+/// Cluster-global completion accounting (coordinator only).
+struct CoordState {
+    closed_nodes: usize,
+    submitted: u64,
+    retired: u64,
+    quiesced: bool,
+}
+
+/// Coordinator-only state: the cluster's real barrier hub and the
+/// quiesce ledger.
+struct Coordinator {
+    barriers: AtomicBarriers,
+    state: Mutex<CoordState>,
+}
+
+struct Peer {
+    /// `None` after this node closed the connection (post-quiesce).
+    tx: Mutex<Option<Box<dyn FrameTx>>>,
+}
+
+/// Everything shared between shard workers (via [`NodeLink`]), reader
+/// threads, and the [`NodeRuntime`] handle.
+struct Links {
+    spec: ClusterSpec,
+    me: usize,
+    /// Indexed by node id; `None` at `me`.
+    peers: Vec<Option<Peer>>,
+    /// Set once the runtime is up; readers start after that.
+    inbox: OnceLock<em2_rt::RemoteInbox>,
+    coord: Option<Coordinator>,
+    stats: WireStats,
+    /// First transport/protocol failure, if any; `finish` refuses to
+    /// report counters from a cluster that lost a connection mid-run.
+    failure: Mutex<Option<String>>,
+}
+
+impl Links {
+    fn inbox(&self) -> &em2_rt::RemoteInbox {
+        self.inbox.get().expect("inbox attached before readers run")
+    }
+
+    fn fail(&self, msg: String) {
+        self.failure
+            .lock()
+            .expect("failure slot")
+            .get_or_insert(msg);
+        // Unstick the local workers; finish() will surface the error.
+        if let Some(inbox) = self.inbox.get() {
+            inbox.begin_shutdown();
+        }
+    }
+
+    /// Encode and ship one control message to a peer.
+    ///
+    /// # Panics
+    /// Panics on transport failure when called from a shard worker —
+    /// the runtime's panic fan-out then shuts the local fleet down and
+    /// `finish` propagates the error, which beats silently wedging a
+    /// distributed barrier.
+    fn send_to(&self, node: usize, msg: &NetMsg) {
+        let payload = msg.encode();
+        let peer = self.peers[node].as_ref().expect("no connection to self");
+        let mut tx = peer.tx.lock().expect("peer tx");
+        let r = match tx.as_mut() {
+            Some(tx) => tx.send_frame(&payload),
+            None => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection already closed",
+            )),
+        };
+        if let Err(e) = r {
+            self.fail(format!("send to node {node} failed: {e}"));
+            panic!("em2-net: send to node {node} failed: {e}");
+        }
+        self.stats.frames_tx.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_tx
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> WireSnapshot {
+        WireSnapshot {
+            frames_tx: self.stats.frames_tx.load(Ordering::Relaxed),
+            bytes_tx: self.stats.bytes_tx.load(Ordering::Relaxed),
+            frames_rx: self.stats.frames_rx.load(Ordering::Relaxed),
+            bytes_rx: self.stats.bytes_rx.load(Ordering::Relaxed),
+            arrives_tx: self.stats.arrives_tx.load(Ordering::Relaxed),
+            context_bytes_tx: self.stats.context_bytes_tx.load(Ordering::Relaxed),
+        }
+    }
+
+    // ---------------------------------------------- coordinator logic
+
+    fn coord(&self) -> &Coordinator {
+        self.coord.as_ref().expect("only node 0 coordinates")
+    }
+
+    fn coord_barrier_arrive(&self, k: usize) {
+        if self.coord().barriers.arrive(k) == em2_engine::BarrierArrival::Completes {
+            for node in 0..self.spec.num_nodes() {
+                if node != self.me {
+                    self.send_to(node, &NetMsg::BarrierRelease { k: k as u32 });
+                }
+            }
+            self.inbox().release_barrier(k);
+        }
+    }
+
+    fn coord_retired(&self) {
+        let mut st = self.coord().state.lock().expect("coord state");
+        st.retired += 1;
+        self.maybe_quiesce(&mut st);
+    }
+
+    fn coord_closed(&self, submitted: u64) {
+        let mut st = self.coord().state.lock().expect("coord state");
+        st.closed_nodes += 1;
+        assert!(
+            st.closed_nodes <= self.spec.num_nodes(),
+            "more Closed messages than nodes"
+        );
+        st.submitted += submitted;
+        self.maybe_quiesce(&mut st);
+    }
+
+    /// Declare cluster quiesce exactly once, when every node has
+    /// closed admission and every submitted task has retired. The
+    /// gate order matters: `retired` may transiently exceed the
+    /// `submitted` sum while some node's `Closed` is still queued, so
+    /// the count comparison is only meaningful after all closes.
+    fn maybe_quiesce(&self, st: &mut CoordState) {
+        if st.quiesced || st.closed_nodes < self.spec.num_nodes() || st.retired != st.submitted {
+            return;
+        }
+        st.quiesced = true;
+        for node in 0..self.spec.num_nodes() {
+            if node != self.me {
+                self.send_to(node, &NetMsg::Quiesce);
+            }
+        }
+        self.inbox().begin_shutdown();
+    }
+}
+
+impl NodeLink for Links {
+    fn forward(&self, to_shard: usize, msg: WireMsg) {
+        let owner = self.spec.owner_of(to_shard);
+        debug_assert_ne!(owner, self.me, "forward() is for non-local shards");
+        if let WireMsg::Arrive(_) = &msg {
+            self.stats.arrives_tx.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .context_bytes_tx
+                .fetch_add(msg.context_payload_len() as u64, Ordering::Relaxed);
+        }
+        self.send_to(
+            owner,
+            &NetMsg::Shard {
+                to: to_shard as u32,
+                msg,
+            },
+        );
+    }
+
+    fn barrier_arrive(&self, k: usize) {
+        if self.me == 0 {
+            self.coord_barrier_arrive(k);
+        } else {
+            self.send_to(0, &NetMsg::BarrierArrive { k: k as u32 });
+        }
+    }
+
+    fn task_retired(&self) {
+        if self.me == 0 {
+            self.coord_retired();
+        } else {
+            self.send_to(0, &NetMsg::Retired);
+        }
+    }
+
+    fn node_closed(&self, submitted: u64) {
+        if self.me == 0 {
+            self.coord_closed(submitted);
+        } else {
+            self.send_to(0, &NetMsg::Closed { submitted });
+        }
+    }
+}
+
+/// One reader thread: drain a peer connection into the runtime until
+/// clean EOF.
+fn reader_loop(links: &Links, from_node: usize, mut rx: Box<dyn FrameRx>) {
+    loop {
+        let frame = match rx.recv_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // peer closed cleanly
+            Err(e) => {
+                links.fail(format!("recv from node {from_node} failed: {e}"));
+                return;
+            }
+        };
+        links.stats.frames_rx.fetch_add(1, Ordering::Relaxed);
+        links
+            .stats
+            .bytes_rx
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let msg = match NetMsg::decode(&frame) {
+            Ok(m) => m,
+            Err(e) => {
+                links.fail(format!("bad frame from node {from_node}: {e}"));
+                return;
+            }
+        };
+        match msg {
+            NetMsg::Shard { to, msg } => {
+                let to = to as usize;
+                // Pre-check ownership so a misrouting (or
+                // version-skewed) peer produces a named diagnostic
+                // instead of tripping the inbox's internal assert.
+                if to >= links.spec.total_shards || links.spec.owner_of(to) != links.me {
+                    links.fail(format!(
+                        "node {from_node} misrouted a message for shard {to}, which node {} \
+                         does not own",
+                        links.me
+                    ));
+                    return;
+                }
+                if let Err(e) = links.inbox().deliver(to, msg) {
+                    links.fail(format!("undeliverable message from node {from_node}: {e}"));
+                    return;
+                }
+            }
+            NetMsg::BarrierArrive { k } => {
+                if links.me != 0 {
+                    links.fail(format!(
+                        "node {from_node} sent BarrierArrive to non-coordinator"
+                    ));
+                    return;
+                }
+                links.coord_barrier_arrive(k as usize);
+            }
+            NetMsg::BarrierRelease { k } => {
+                links.inbox().release_barrier(k as usize);
+            }
+            NetMsg::Retired => {
+                if links.me != 0 {
+                    links.fail(format!("node {from_node} sent Retired to non-coordinator"));
+                    return;
+                }
+                links.coord_retired();
+            }
+            NetMsg::Closed { submitted } => {
+                if links.me != 0 {
+                    links.fail(format!("node {from_node} sent Closed to non-coordinator"));
+                    return;
+                }
+                links.coord_closed(submitted);
+            }
+            NetMsg::Quiesce => {
+                links.inbox().begin_shutdown();
+                // Keep reading to EOF so the close is clean.
+            }
+            NetMsg::Hello { .. } | NetMsg::HelloAck { .. } => {
+                links.fail(format!("node {from_node} re-sent a handshake mid-run"));
+                return;
+            }
+        }
+    }
+}
+
+/// Everything one node's run produces: the local runtime report plus
+/// the wire telemetry. Cluster totals are the per-node counters summed
+/// (each access executes on exactly one node; each heap word lives on
+/// exactly one node).
+#[derive(Debug)]
+pub struct NetReport {
+    /// This node's runtime report (flow counters, run histogram,
+    /// wall clock — counters cover the work *executed here*).
+    pub rt: RtReport,
+    /// This node's wire telemetry.
+    pub wire: WireSnapshot,
+    /// This node's id.
+    pub node: usize,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Transport the cluster ran on.
+    pub transport: &'static str,
+}
+
+/// A live cluster node: the local shard fleet plus its peer links.
+pub struct NodeRuntime {
+    rt: Option<Runtime>,
+    links: Arc<Links>,
+    readers: Vec<std::thread::JoinHandle<()>>,
+    node: usize,
+    transport: &'static str,
+}
+
+impl NodeRuntime {
+    /// Join the cluster as `node` and bring the local shard range up.
+    ///
+    /// Blocks until connected to every peer (the handshake tolerates
+    /// peers launching in any order within a 30-second dial deadline).
+    /// `cfg.shards` must equal the spec's cluster-wide shard count;
+    /// `registry` must know every task kind the cluster migrates, and
+    /// `scheme_factory` / `barrier_quotas` must be identical on every
+    /// node (the handshake can only check the topology).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        spec: ClusterSpec,
+        node: usize,
+        cfg: RtConfig,
+        name: impl Into<String>,
+        placement: Arc<dyn Placement>,
+        registry: TaskRegistry,
+        scheme_factory: fn() -> Box<dyn em2_core::decision::DecisionScheme>,
+        barrier_quotas: Vec<usize>,
+    ) -> io::Result<NodeRuntime> {
+        spec.validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        if node >= spec.num_nodes() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("node {node} not in a {}-node cluster", spec.num_nodes()),
+            ));
+        }
+        if cfg.shards != spec.total_shards {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "cfg.shards ({}) != cluster shard count ({})",
+                    cfg.shards, spec.total_shards
+                ),
+            ));
+        }
+        let transport = spec.kind.make();
+        let digest = spec.digest();
+        let nodes = spec.num_nodes();
+
+        // Accept from higher ids, dial lower ids.
+        let expected_inbound = nodes - 1 - node;
+        let mut acceptor = if expected_inbound > 0 {
+            Some(transport.listen(&spec.nodes[node].addr)?)
+        } else {
+            None
+        };
+
+        let mut conns: Vec<Option<Duplex>> = (0..nodes).map(|_| None).collect();
+        for peer in 0..node {
+            let mut duplex = connect_with_retry(&*transport, &spec.nodes[peer].addr)?;
+            duplex.tx.send_frame(
+                &NetMsg::Hello {
+                    node: node as u32,
+                    wire_version: WIRE_VERSION,
+                    topology: digest,
+                }
+                .encode(),
+            )?;
+            match recv_msg(&mut *duplex.rx)? {
+                NetMsg::HelloAck {
+                    node: n,
+                    topology: t,
+                } if n as usize == peer && t == digest => {}
+                other => {
+                    return Err(handshake_err(format!(
+                        "node {peer} answered {other:?} (topology digest {digest:#x})"
+                    )))
+                }
+            }
+            conns[peer] = Some(duplex);
+        }
+        for _ in 0..expected_inbound {
+            let mut duplex = acceptor.as_mut().expect("listening").accept()?;
+            let peer = match recv_msg(&mut *duplex.rx)? {
+                NetMsg::Hello {
+                    node: n,
+                    wire_version,
+                    topology,
+                } => {
+                    if wire_version != WIRE_VERSION {
+                        return Err(handshake_err(format!(
+                            "node {n} speaks wire version {wire_version}, this build {WIRE_VERSION}"
+                        )));
+                    }
+                    if topology != digest {
+                        return Err(handshake_err(format!(
+                            "node {n} has topology digest {topology:#x}, this node {digest:#x}"
+                        )));
+                    }
+                    let n = n as usize;
+                    if n <= node || n >= nodes || conns[n].is_some() {
+                        return Err(handshake_err(format!("unexpected Hello from node {n}")));
+                    }
+                    n
+                }
+                other => return Err(handshake_err(format!("expected Hello, got {other:?}"))),
+            };
+            duplex.tx.send_frame(
+                &NetMsg::HelloAck {
+                    node: node as u32,
+                    topology: digest,
+                }
+                .encode(),
+            )?;
+            conns[peer] = Some(duplex);
+        }
+        drop(acceptor);
+
+        let mut peers: Vec<Option<Peer>> = Vec::with_capacity(nodes);
+        let mut rxs: Vec<(usize, Box<dyn FrameRx>)> = Vec::new();
+        for (i, c) in conns.into_iter().enumerate() {
+            match c {
+                None => peers.push(None),
+                Some(d) => {
+                    peers.push(Some(Peer {
+                        tx: Mutex::new(Some(d.tx)),
+                    }));
+                    rxs.push((i, d.rx));
+                }
+            }
+        }
+        let links = Arc::new(Links {
+            me: node,
+            peers,
+            inbox: OnceLock::new(),
+            coord: (node == 0).then(|| Coordinator {
+                barriers: AtomicBarriers::new(barrier_quotas.clone()),
+                state: Mutex::new(CoordState {
+                    closed_nodes: 0,
+                    submitted: 0,
+                    retired: 0,
+                    quiesced: false,
+                }),
+            }),
+            stats: WireStats::default(),
+            failure: Mutex::new(None),
+            spec,
+        });
+
+        let (first_shard, local_shards) = links.spec.span(node);
+        let rt = Runtime::start_node(
+            cfg,
+            name,
+            placement,
+            scheme_factory,
+            barrier_quotas,
+            NodeRole {
+                first_shard,
+                local_shards,
+                clustered_barriers: nodes > 1,
+                link: Arc::clone(&links) as Arc<dyn NodeLink>,
+            },
+        );
+        links
+            .inbox
+            .set(rt.remote_inbox(registry, scheme_factory))
+            .ok()
+            .expect("inbox set once");
+
+        let kind_name = links.spec.kind.name();
+        let readers = rxs
+            .into_iter()
+            .map(|(peer, rx)| {
+                let links = Arc::clone(&links);
+                std::thread::Builder::new()
+                    .name(format!("em2-net-rx-{peer}"))
+                    .spawn(move || reader_loop(&links, peer, rx))
+                    .expect("spawn reader")
+            })
+            .collect();
+
+        Ok(NodeRuntime {
+            rt: Some(rt),
+            links,
+            readers,
+            node,
+            transport: kind_name,
+        })
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Whether this node coordinates barriers and quiesce.
+    pub fn is_coordinator(&self) -> bool {
+        self.node == 0
+    }
+
+    /// Submit a task native to a locally owned shard, under a
+    /// **cluster-unique** [`ThreadId`] (thread ids key guest-context
+    /// admission and scheme tables across the whole cluster).
+    pub fn submit(&mut self, spec: TaskSpec, thread: ThreadId) {
+        self.rt
+            .as_mut()
+            .expect("node runtime is live")
+            .submit_as(spec, thread);
+    }
+
+    /// Close admission, run the cluster to quiesce, tear down the
+    /// connections, and report.
+    ///
+    /// # Panics
+    /// Panics if a task panicked, a connection failed mid-run, or a
+    /// peer sent a malformed frame — partial counters are worse than
+    /// no counters.
+    pub fn finish(mut self) -> NetReport {
+        let rt = self.rt.take().expect("finish called once");
+        // Blocks until the coordinator's quiesce decision reaches the
+        // local workers (via our reader threads) and they exit.
+        let report = rt.finish();
+        // Close our write halves: peers' readers see clean EOF.
+        for p in self.links.peers.iter().flatten() {
+            let mut tx = p.tx.lock().expect("peer tx");
+            if let Some(t) = tx.as_mut() {
+                let _ = t.close();
+            }
+            *tx = None;
+        }
+        // Readers exit when peers close theirs (every node does this
+        // after its own finish).
+        let reader_panicked = self.readers.drain(..).any(|r| r.join().is_err());
+        // Surface the recorded diagnostic first: a panicking reader
+        // (bad peer frame, transport death mid-dispatch) records *why*
+        // in `failure` before unwinding, and that message names the
+        // peer — far more actionable than the bare join error.
+        if let Some(e) = self.links.failure.lock().expect("failure slot").take() {
+            panic!("em2-net: cluster run failed: {e}");
+        }
+        assert!(
+            !reader_panicked,
+            "em2-net: a reader thread panicked without recording a failure"
+        );
+        NetReport {
+            rt: report,
+            wire: self.links.snapshot(),
+            node: self.node,
+            nodes: self.links.spec.num_nodes(),
+            transport: self.transport,
+        }
+    }
+}
+
+fn handshake_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("handshake: {msg}"))
+}
+
+fn recv_msg(rx: &mut dyn FrameRx) -> io::Result<NetMsg> {
+    let frame = rx
+        .recv_frame()?
+        .ok_or_else(|| handshake_err("peer closed during handshake".into()))?;
+    NetMsg::decode(&frame).map_err(|e| handshake_err(e.to_string()))
+}
+
+fn connect_with_retry(
+    transport: &dyn crate::transport::Transport,
+    addr: &str,
+) -> io::Result<Duplex> {
+    let deadline = Instant::now() + CONNECT_DEADLINE;
+    loop {
+        match transport.connect(addr) {
+            Ok(d) => return Ok(d),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("connect to {addr:?} timed out: {e}"),
+                ))
+            }
+        }
+    }
+}
+
+/// Replay a traced workload across the cluster: this node submits one
+/// [`em2_rt::TraceTask`] per workload thread whose **native shard it
+/// owns**, under the thread's own id — together the nodes submit
+/// exactly the tasks a single-process [`em2_rt::run_workload`] would,
+/// and the summed counters must match it bit-for-bit (eviction-free
+/// config; the E12 agreement property).
+#[allow(clippy::too_many_arguments)]
+pub fn run_workload_cluster(
+    spec: ClusterSpec,
+    node: usize,
+    cfg: RtConfig,
+    workload: &Arc<Workload>,
+    placement: Arc<dyn Placement>,
+    scheme_factory: fn() -> Box<dyn em2_core::decision::DecisionScheme>,
+) -> io::Result<NetReport> {
+    let quotas = em2_engine::barrier_quotas(workload.threads.iter().map(|t| t.barriers.len()));
+    let (first, count) = spec.span(node);
+    let mut nrt = NodeRuntime::start(
+        spec,
+        node,
+        cfg,
+        workload.name.clone(),
+        placement,
+        TaskRegistry::for_workload(Arc::clone(workload)),
+        scheme_factory,
+        quotas,
+    )?;
+    for t in &workload.threads {
+        let native = t.native.index();
+        if native >= first && native < first + count {
+            nrt.submit(
+                TaskSpec::new(
+                    Box::new(em2_rt::TraceTask::new(Arc::clone(workload), t.thread)),
+                    t.native,
+                ),
+                t.thread,
+            );
+        }
+    }
+    Ok(nrt.finish())
+}
+
+/// Run a whole cluster inside one process (one OS thread per node
+/// driving [`run_workload_cluster`]) — the loopback configuration the
+/// E12 experiment and the agreement tests use. Reports are returned in
+/// node order.
+pub fn run_workload_cluster_in_process(
+    spec: &ClusterSpec,
+    cfg: &RtConfig,
+    workload: &Arc<Workload>,
+    placement: &Arc<dyn Placement>,
+    scheme_factory: fn() -> Box<dyn em2_core::decision::DecisionScheme>,
+) -> io::Result<Vec<NetReport>> {
+    let mut reports: Vec<io::Result<NetReport>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..spec.num_nodes())
+            .map(|node| {
+                let spec = spec.clone();
+                let cfg = cfg.clone();
+                let workload = Arc::clone(workload);
+                let placement = Arc::clone(placement);
+                s.spawn(move || {
+                    run_workload_cluster(spec, node, cfg, &workload, placement, scheme_factory)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(reports.len());
+    for r in reports.drain(..) {
+        out.push(r?);
+    }
+    Ok(out)
+}

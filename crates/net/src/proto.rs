@@ -1,0 +1,247 @@
+//! The node-to-node control protocol.
+//!
+//! Every frame a cluster connection carries is one [`NetMsg`]:
+//! `[u32 MAGIC][u8 PROTO_VERSION][u8 tag][fields]`, integers
+//! little-endian, built on the same cursor primitives as the runtime's
+//! wire codec (`em2_rt::wire`) so every decoder fails with the same
+//! typed errors and never panics. A [`NetMsg::Shard`] embeds a full
+//! [`WireMsg`] (which carries its own version byte) — the transport
+//! layer is a dumb router for those; everything else is membership,
+//! barriers, and completion accounting (see the node lifecycle state
+//! machine in DESIGN.md §9).
+
+use em2_model::bytes::CodecError;
+use em2_rt::wire::{put_u32, put_u64, Cursor, WireError, WireMsg};
+
+/// First four bytes of every frame: `"EM2N"`.
+pub const MAGIC: [u8; 4] = *b"EM2N";
+
+/// Control-protocol version; the handshake refuses mismatches.
+pub const PROTO_VERSION: u8 = 1;
+
+/// One node-to-node control message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetMsg {
+    /// Connector → acceptor, first frame on a connection: identify and
+    /// prove both ends run the same cluster topology and wire format.
+    Hello {
+        /// The dialing node's id.
+        node: u32,
+        /// The dialer's `em2_rt::wire::WIRE_VERSION`.
+        wire_version: u8,
+        /// FNV-1a digest of the dialer's `ClusterSpec`.
+        topology: u64,
+    },
+    /// Acceptor → connector: handshake accepted.
+    HelloAck {
+        /// The accepting node's id.
+        node: u32,
+        /// The acceptor's topology digest (must match the dialer's).
+        topology: u64,
+    },
+    /// An inter-shard runtime message for global shard `to`.
+    Shard {
+        /// Destination shard (global id, owned by the receiving node).
+        to: u32,
+        /// The runtime message.
+        msg: WireMsg,
+    },
+    /// A task parked at barrier `k` on the sending node
+    /// (node → coordinator).
+    BarrierArrive {
+        /// Barrier index.
+        k: u32,
+    },
+    /// Barrier `k` met its cluster-wide quota
+    /// (coordinator → everyone).
+    BarrierRelease {
+        /// Barrier index.
+        k: u32,
+    },
+    /// The sending node closed admission after submitting `submitted`
+    /// tasks (node → coordinator).
+    Closed {
+        /// Tasks the node submitted over its lifetime.
+        submitted: u64,
+    },
+    /// One task retired on the sending node (node → coordinator).
+    Retired,
+    /// Every node closed and every task retired: stop
+    /// (coordinator → everyone).
+    Quiesce,
+}
+
+impl NetMsg {
+    /// Encode as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(16);
+        b.extend_from_slice(&MAGIC);
+        b.push(PROTO_VERSION);
+        match self {
+            NetMsg::Hello {
+                node,
+                wire_version,
+                topology,
+            } => {
+                b.push(0);
+                put_u32(&mut b, *node);
+                b.push(*wire_version);
+                put_u64(&mut b, *topology);
+            }
+            NetMsg::HelloAck { node, topology } => {
+                b.push(1);
+                put_u32(&mut b, *node);
+                put_u64(&mut b, *topology);
+            }
+            NetMsg::Shard { to, msg } => {
+                b.push(2);
+                put_u32(&mut b, *to);
+                msg.encode_into(&mut b);
+            }
+            NetMsg::BarrierArrive { k } => {
+                b.push(3);
+                put_u32(&mut b, *k);
+            }
+            NetMsg::BarrierRelease { k } => {
+                b.push(4);
+                put_u32(&mut b, *k);
+            }
+            NetMsg::Closed { submitted } => {
+                b.push(5);
+                put_u64(&mut b, *submitted);
+            }
+            NetMsg::Retired => b.push(6),
+            NetMsg::Quiesce => b.push(7),
+        }
+        b
+    }
+
+    /// Decode a frame payload. Never panics; malformed input is a
+    /// typed [`WireError`].
+    pub fn decode(bytes: &[u8]) -> Result<NetMsg, WireError> {
+        let mut r = Cursor::new(bytes);
+        for (i, want) in MAGIC.iter().enumerate() {
+            let got = r.u8()?;
+            if got != *want {
+                return Err(CodecError::BadTag {
+                    what: match i {
+                        0 => "magic[0]",
+                        1 => "magic[1]",
+                        2 => "magic[2]",
+                        _ => "magic[3]",
+                    },
+                    tag: got,
+                }
+                .into());
+            }
+        }
+        let ver = r.u8()?;
+        if ver != PROTO_VERSION {
+            return Err(WireError::Version {
+                got: ver,
+                want: PROTO_VERSION,
+            });
+        }
+        let msg = match r.u8()? {
+            0 => NetMsg::Hello {
+                node: r.u32()?,
+                wire_version: r.u8()?,
+                topology: r.u64()?,
+            },
+            1 => NetMsg::HelloAck {
+                node: r.u32()?,
+                topology: r.u64()?,
+            },
+            2 => {
+                let to = r.u32()?;
+                // The embedded WireMsg consumes the rest of the frame.
+                return Ok(NetMsg::Shard {
+                    to,
+                    msg: WireMsg::decode(r.rest())?,
+                });
+            }
+            3 => NetMsg::BarrierArrive { k: r.u32()? },
+            4 => NetMsg::BarrierRelease { k: r.u32()? },
+            5 => NetMsg::Closed {
+                submitted: r.u64()?,
+            },
+            6 => NetMsg::Retired,
+            7 => NetMsg::Quiesce,
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "net-msg",
+                    tag,
+                }
+                .into())
+            }
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em2_rt::wire::WIRE_VERSION;
+
+    fn variants() -> Vec<NetMsg> {
+        vec![
+            NetMsg::Hello {
+                node: 3,
+                wire_version: WIRE_VERSION,
+                topology: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            NetMsg::HelloAck {
+                node: 0,
+                topology: 42,
+            },
+            NetMsg::Shard {
+                to: 17,
+                msg: WireMsg::Request {
+                    addr: 8,
+                    write: Some(9),
+                    reply_shard: 1,
+                    token: 2,
+                },
+            },
+            NetMsg::BarrierArrive { k: 5 },
+            NetMsg::BarrierRelease { k: 5 },
+            NetMsg::Closed { submitted: 1000 },
+            NetMsg::Retired,
+            NetMsg::Quiesce,
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for m in variants() {
+            let bytes = m.encode();
+            assert_eq!(&bytes[..4], &MAGIC);
+            assert_eq!(NetMsg::decode(&bytes).expect("round trip"), m);
+        }
+    }
+
+    #[test]
+    fn truncations_and_garbage_are_typed_errors() {
+        for m in variants() {
+            let full = m.encode();
+            for cut in 0..full.len() {
+                assert!(NetMsg::decode(&full[..cut]).is_err(), "cut {cut}");
+            }
+        }
+        assert!(NetMsg::decode(b"XXXXXXXX").is_err());
+        let mut wrong_ver = NetMsg::Quiesce.encode();
+        wrong_ver[4] = PROTO_VERSION + 1;
+        assert!(matches!(
+            NetMsg::decode(&wrong_ver),
+            Err(WireError::Version { .. })
+        ));
+        let mut trailing = NetMsg::Quiesce.encode();
+        trailing.push(1);
+        assert!(matches!(
+            NetMsg::decode(&trailing),
+            Err(WireError::Codec(CodecError::Trailing { .. }))
+        ));
+    }
+}

@@ -1,0 +1,339 @@
+//! Flat, summable counter summaries — how separate processes compare
+//! notes.
+//!
+//! A cluster's correctness claim is *"the per-node counters sum
+//! bit-equal to the single-process run"*. The processes can't share an
+//! address space, so each writes a [`CounterSummary`] to a file (plain
+//! `key=value` text — greppable in CI artifacts) and the parent reads,
+//! sums, and compares. Every field that participates in the agreement
+//! claim is here, including the full run-length histogram (bins,
+//! overflow, exact weighted total, max), so "bit-equal" means the
+//! whole Figure-2 artifact, not a summary statistic.
+
+use crate::node::{NetReport, WireSnapshot};
+use em2_rt::RtReport;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One node's (or one run's) counters in summable form.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CounterSummary {
+    /// Local accesses executed.
+    pub local_accesses: u64,
+    /// Migrations executed.
+    pub migrations: u64,
+    /// Guest evictions.
+    pub evictions: u64,
+    /// Stall-retried guest arrivals.
+    pub stalled_arrivals: u64,
+    /// Remote-access reads served.
+    pub remote_reads: u64,
+    /// Remote-access writes served.
+    pub remote_writes: u64,
+    /// Serialized context bytes charged to migrations/evictions.
+    pub context_bytes_sent: u64,
+    /// Distinct heap words materialized.
+    pub heap_words: u64,
+    /// Run-length histogram bins `0..=max_bin` (occurrence counts).
+    pub hist_bins: Vec<u64>,
+    /// Overflow-bin occurrences.
+    pub hist_overflow: u64,
+    /// Exact sum of all run lengths.
+    pub hist_total_value: u128,
+    /// Total runs binned.
+    pub hist_total_count: u64,
+    /// Longest run seen.
+    pub hist_max_seen: u64,
+    /// Wire telemetry (zero for single-process runs).
+    pub wire: WireSnapshot,
+    /// Wall-clock seconds (max, not sum, under [`CounterSummary::merge`]).
+    pub wall_s: f64,
+}
+
+impl CounterSummary {
+    /// Summary of a plain runtime report (no wire traffic).
+    pub fn from_rt(r: &RtReport) -> Self {
+        let h = &r.run_lengths;
+        CounterSummary {
+            local_accesses: r.flow.local_accesses,
+            migrations: r.flow.migrations,
+            evictions: r.flow.evictions,
+            stalled_arrivals: r.flow.stalled_arrivals,
+            remote_reads: r.flow.remote_reads,
+            remote_writes: r.flow.remote_writes,
+            context_bytes_sent: r.context_bytes_sent,
+            heap_words: r.heap_words,
+            hist_bins: (0..=h.max_bin()).map(|v| h.count(v)).collect(),
+            hist_overflow: h.overflow(),
+            hist_total_value: h.total_value(),
+            hist_total_count: h.total_count(),
+            hist_max_seen: h.max_seen(),
+            wire: WireSnapshot::default(),
+            wall_s: r.wall.as_secs_f64(),
+        }
+    }
+
+    /// Summary of one cluster node's report.
+    pub fn from_net(r: &NetReport) -> Self {
+        CounterSummary {
+            wire: r.wire,
+            ..CounterSummary::from_rt(&r.rt)
+        }
+    }
+
+    /// Accumulate another node's summary: counters add, histograms add
+    /// bin-wise, `hist_max_seen` takes the max (matching
+    /// `Histogram::merge`), wall takes the max (nodes run
+    /// concurrently).
+    pub fn merge(&mut self, o: &CounterSummary) {
+        assert_eq!(
+            self.hist_bins.len(),
+            o.hist_bins.len(),
+            "histogram bin layouts differ"
+        );
+        self.local_accesses += o.local_accesses;
+        self.migrations += o.migrations;
+        self.evictions += o.evictions;
+        self.stalled_arrivals += o.stalled_arrivals;
+        self.remote_reads += o.remote_reads;
+        self.remote_writes += o.remote_writes;
+        self.context_bytes_sent += o.context_bytes_sent;
+        self.heap_words += o.heap_words;
+        for (a, b) in self.hist_bins.iter_mut().zip(&o.hist_bins) {
+            *a += b;
+        }
+        self.hist_overflow += o.hist_overflow;
+        self.hist_total_value += o.hist_total_value;
+        self.hist_total_count += o.hist_total_count;
+        self.hist_max_seen = self.hist_max_seen.max(o.hist_max_seen);
+        self.wire.merge(&o.wire);
+        self.wall_s = self.wall_s.max(o.wall_s);
+    }
+
+    /// Sum a set of node summaries (cluster totals).
+    pub fn sum(parts: impl IntoIterator<Item = CounterSummary>) -> CounterSummary {
+        let mut parts = parts.into_iter();
+        let mut acc = parts.next().expect("at least one summary");
+        for p in parts {
+            acc.merge(&p);
+        }
+        acc
+    }
+
+    /// Total memory operations (local + migrated + remote).
+    pub fn total_ops(&self) -> u64 {
+        self.local_accesses + self.migrations + self.remote_reads + self.remote_writes
+    }
+
+    /// Whether every *deterministic machine-semantic* counter equals
+    /// `other`'s — the agreement predicate. Excluded on purpose: wall
+    /// clock and wire telemetry (host timing; a single-process run has
+    /// no wire) and `stalled_arrivals`, which counts arrivals that
+    /// found all guest slots pinned — a function of real-time
+    /// interleaving, not of program order, so it is not partition-
+    /// invariant even in the single-process runtime (the agreement
+    /// configs are eviction-free, where it is structurally zero).
+    pub fn counters_equal(&self, other: &CounterSummary) -> bool {
+        self.local_accesses == other.local_accesses
+            && self.migrations == other.migrations
+            && self.evictions == other.evictions
+            && self.remote_reads == other.remote_reads
+            && self.remote_writes == other.remote_writes
+            && self.context_bytes_sent == other.context_bytes_sent
+            && self.heap_words == other.heap_words
+            && self.hist_bins == other.hist_bins
+            && self.hist_overflow == other.hist_overflow
+            && self.hist_total_value == other.hist_total_value
+            && self.hist_total_count == other.hist_total_count
+            && self.hist_max_seen == other.hist_max_seen
+    }
+
+    /// Render as `key=value` lines.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let mut kv = |k: &str, v: String| {
+            let _ = writeln!(s, "{k}={v}");
+        };
+        kv("local_accesses", self.local_accesses.to_string());
+        kv("migrations", self.migrations.to_string());
+        kv("evictions", self.evictions.to_string());
+        kv("stalled_arrivals", self.stalled_arrivals.to_string());
+        kv("remote_reads", self.remote_reads.to_string());
+        kv("remote_writes", self.remote_writes.to_string());
+        kv("context_bytes_sent", self.context_bytes_sent.to_string());
+        kv("heap_words", self.heap_words.to_string());
+        kv(
+            "hist_bins",
+            self.hist_bins
+                .iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        kv("hist_overflow", self.hist_overflow.to_string());
+        kv("hist_total_value", self.hist_total_value.to_string());
+        kv("hist_total_count", self.hist_total_count.to_string());
+        kv("hist_max_seen", self.hist_max_seen.to_string());
+        kv("wire_frames_tx", self.wire.frames_tx.to_string());
+        kv("wire_bytes_tx", self.wire.bytes_tx.to_string());
+        kv("wire_frames_rx", self.wire.frames_rx.to_string());
+        kv("wire_bytes_rx", self.wire.bytes_rx.to_string());
+        kv("wire_arrives_tx", self.wire.arrives_tx.to_string());
+        kv(
+            "wire_context_bytes_tx",
+            self.wire.context_bytes_tx.to_string(),
+        );
+        kv("wall_s", format!("{:.9}", self.wall_s));
+        s
+    }
+
+    /// Parse [`CounterSummary::render`] output.
+    pub fn parse(text: &str) -> Result<CounterSummary, String> {
+        let mut out = CounterSummary::default();
+        let mut seen = 0usize;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {line:?}"))?;
+            let u = || v.parse::<u64>().map_err(|_| format!("bad u64 in {line:?}"));
+            match k {
+                "local_accesses" => out.local_accesses = u()?,
+                "migrations" => out.migrations = u()?,
+                "evictions" => out.evictions = u()?,
+                "stalled_arrivals" => out.stalled_arrivals = u()?,
+                "remote_reads" => out.remote_reads = u()?,
+                "remote_writes" => out.remote_writes = u()?,
+                "context_bytes_sent" => out.context_bytes_sent = u()?,
+                "heap_words" => out.heap_words = u()?,
+                "hist_bins" => {
+                    out.hist_bins = v
+                        .split(',')
+                        .map(|b| b.parse::<u64>().map_err(|_| format!("bad bin {b:?}")))
+                        .collect::<Result<_, _>>()?
+                }
+                "hist_overflow" => out.hist_overflow = u()?,
+                "hist_total_value" => {
+                    out.hist_total_value = v
+                        .parse::<u128>()
+                        .map_err(|_| format!("bad u128 in {line:?}"))?
+                }
+                "hist_total_count" => out.hist_total_count = u()?,
+                "hist_max_seen" => out.hist_max_seen = u()?,
+                "wire_frames_tx" => out.wire.frames_tx = u()?,
+                "wire_bytes_tx" => out.wire.bytes_tx = u()?,
+                "wire_frames_rx" => out.wire.frames_rx = u()?,
+                "wire_bytes_rx" => out.wire.bytes_rx = u()?,
+                "wire_arrives_tx" => out.wire.arrives_tx = u()?,
+                "wire_context_bytes_tx" => out.wire.context_bytes_tx = u()?,
+                "wall_s" => {
+                    out.wall_s = v
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad f64 in {line:?}"))?
+                }
+                other => return Err(format!("unknown key {other:?}")),
+            }
+            seen += 1;
+        }
+        if seen == 0 {
+            return Err("empty summary".into());
+        }
+        Ok(out)
+    }
+
+    /// Write the rendering to a file (atomically enough for a
+    /// parent/child handoff: write to `.tmp`, then rename).
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.render())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Read a summary written by [`CounterSummary::write_to`].
+    pub fn read_from(path: &Path) -> io::Result<CounterSummary> {
+        let text = std::fs::read_to_string(path)?;
+        CounterSummary::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CounterSummary {
+        CounterSummary {
+            local_accesses: 10,
+            migrations: 3,
+            evictions: 1,
+            stalled_arrivals: 0,
+            remote_reads: 4,
+            remote_writes: 5,
+            context_bytes_sent: 72,
+            heap_words: 9,
+            hist_bins: vec![0, 2, 1],
+            hist_overflow: 1,
+            hist_total_value: 99,
+            hist_total_count: 4,
+            hist_max_seen: 80,
+            wire: WireSnapshot {
+                frames_tx: 7,
+                bytes_tx: 700,
+                frames_rx: 6,
+                bytes_rx: 600,
+                arrives_tx: 2,
+                context_bytes_tx: 48,
+            },
+            wall_s: 0.25,
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let s = sample();
+        let parsed = CounterSummary::parse(&s.render()).expect("parse");
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_extrema() {
+        let a = sample();
+        let mut b = sample();
+        b.hist_max_seen = 200;
+        b.wall_s = 0.1;
+        let sum = CounterSummary::sum([a.clone(), b]);
+        assert_eq!(sum.migrations, 6);
+        assert_eq!(sum.hist_bins, vec![0, 4, 2]);
+        assert_eq!(sum.hist_max_seen, 200);
+        assert_eq!(sum.hist_total_value, 198);
+        assert!((sum.wall_s - 0.25).abs() < 1e-12, "wall is a max");
+        assert_eq!(sum.wire.frames_tx, 14);
+        assert_eq!(sum.total_ops(), 2 * a.total_ops());
+    }
+
+    #[test]
+    fn counters_equal_ignores_wall_and_wire() {
+        let a = sample();
+        let mut b = sample();
+        b.wall_s = 99.0;
+        b.wire.frames_tx = 0;
+        assert!(a.counters_equal(&b));
+        b.migrations += 1;
+        assert!(!a.counters_equal(&b));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path = std::env::temp_dir().join(format!(
+            "em2-net-summary-{}-{:?}.txt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        sample().write_to(&path).expect("write");
+        assert_eq!(CounterSummary::read_from(&path).expect("read"), sample());
+        let _ = std::fs::remove_file(path);
+    }
+}

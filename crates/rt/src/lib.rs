@@ -33,6 +33,18 @@
 //!   Figure-2 run-length histogram via the engine's
 //!   [`em2_engine::RunMonitor`].
 //!
+//! **Cross-process seam** (PR 5): the message protocol is public as
+//! [`wire`] — a versioned binary codec for the Arrive / Request /
+//! Response / BarrierRelease seam — and the runtime can run as one
+//! **node** of a multi-process cluster ([`Runtime::start_node`]):
+//! messages addressed outside the locally owned shard range leave
+//! through a [`NodeLink`], inbound frames inject through
+//! [`Runtime::remote_inbox`], and migrated-in continuations are
+//! rebuilt by a [`TaskRegistry`]. The `em2-net` crate supplies the
+//! transports (loopback/UDS/TCP), membership, and cluster-wide
+//! barriers/quiesce; DESIGN.md §9 documents the wire format and the
+//! distribution-invariance argument.
+//!
 //! **Cross-validation** (experiment E11, `crates/rt/tests`): with an
 //! eviction-free guest pool the runtime's migration / remote-access
 //! counts and run-length histogram are *bit-identical* to the
@@ -51,8 +63,10 @@ mod shard;
 
 pub mod runtime;
 pub mod task;
+pub mod wire;
 
 pub use runtime::{
-    run_tasks, run_workload, ExecutorMode, RtConfig, RtReport, Runtime, SchedStats, TaskSpec,
+    run_tasks, run_workload, ExecutorMode, NodeLink, NodeRole, RemoteInbox, RtConfig, RtReport,
+    Runtime, SchedStats, TaskSpec,
 };
-pub use task::{Op, Task, TraceTask};
+pub use task::{Op, Task, TaskRegistry, TraceTask};

@@ -3,7 +3,8 @@
 
 use crate::exec::{shard_thread_loop, worker_loop, Sched};
 use crate::shard::{Envelope, Msg, ShardCore, Shared};
-use crate::task::{Task, TraceTask};
+use crate::task::{Task, TaskRegistry, TraceTask};
+use crate::wire::{WireError, WireMsg};
 use em2_core::decision::DecisionScheme;
 use em2_core::stats::FlowCounts;
 use em2_core::RUN_BINS;
@@ -13,8 +14,49 @@ use em2_placement::Placement;
 use em2_trace::Workload;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
+
+/// Cross-process egress, implemented by the transport layer
+/// (`em2-net`). The runtime calls these from shard workers; every
+/// implementation must be cheap and non-blocking where possible (a
+/// blocked socket write back-pressures the sending shard, which is the
+/// intended flow control).
+pub trait NodeLink: Send + Sync {
+    /// Ship an inter-shard message to `to_shard` (a global id owned by
+    /// another node).
+    fn forward(&self, to_shard: usize, msg: WireMsg);
+
+    /// A task on this node arrived at global barrier `k` and parked;
+    /// report the arrival to the cluster's barrier coordinator.
+    fn barrier_arrive(&self, k: usize);
+
+    /// A task retired on this node (cluster-global completion
+    /// accounting).
+    fn task_retired(&self);
+
+    /// This node's runtime handle closed admission after submitting
+    /// `submitted` tasks. When every node has closed and every
+    /// submitted task has retired, the coordinator declares quiesce.
+    fn node_closed(&self, submitted: u64);
+}
+
+/// This runtime's place in a multi-process cluster: the contiguous
+/// shard range it owns, how barriers complete, and the link that
+/// carries everything leaving the process.
+pub struct NodeRole {
+    /// Global id of the first locally owned shard.
+    pub first_shard: usize,
+    /// Number of locally owned shards.
+    pub local_shards: usize,
+    /// `true` in multi-node clusters: barrier arrivals forward to the
+    /// coordinator and releases fan back over the wire. `false` for a
+    /// single-node cluster, which completes barriers locally —
+    /// bit-exact with the non-clustered runtime.
+    pub clustered_barriers: bool,
+    /// The transport seam.
+    pub link: Arc<dyn NodeLink>,
+}
 
 /// How shards map onto OS threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -271,6 +313,12 @@ pub struct Runtime {
     run_bins: u64,
     executor: ExecutorMode,
     workers: usize,
+    /// Tasks submitted through this handle (reported to the cluster on
+    /// close in node mode).
+    submitted: u64,
+    /// Whether this runtime participates in a cluster (completion is
+    /// then link-driven, not live-count-driven).
+    node_mode: bool,
     t0: Instant,
 }
 
@@ -293,6 +341,53 @@ impl Runtime {
         scheme_factory: impl FnMut() -> Box<dyn DecisionScheme> + Send + 'static,
         barrier_quotas: Vec<usize>,
     ) -> Self {
+        Runtime::start_inner(
+            cfg,
+            name,
+            placement,
+            Box::new(scheme_factory),
+            barrier_quotas,
+            None,
+        )
+    }
+
+    /// Launch this process's shards of a multi-process cluster.
+    ///
+    /// `cfg.shards` is the **cluster-wide** shard count; this runtime
+    /// instantiates only `role`'s contiguous range and routes every
+    /// message addressed outside it through `role.link`. Inbound
+    /// messages are injected by the transport layer through
+    /// [`Runtime::remote_inbox`]. Completion is cluster-global:
+    /// [`Runtime::finish`] reports closure over the link and waits for
+    /// the coordinator's quiesce decision instead of counting local
+    /// retirements. `em2-net` wraps all of this; use it rather than
+    /// calling this directly.
+    pub fn start_node(
+        cfg: RtConfig,
+        name: impl Into<String>,
+        placement: Arc<dyn Placement>,
+        scheme_factory: impl FnMut() -> Box<dyn DecisionScheme> + Send + 'static,
+        barrier_quotas: Vec<usize>,
+        role: NodeRole,
+    ) -> Self {
+        Runtime::start_inner(
+            cfg,
+            name,
+            placement,
+            Box::new(scheme_factory),
+            barrier_quotas,
+            Some(role),
+        )
+    }
+
+    fn start_inner(
+        cfg: RtConfig,
+        name: impl Into<String>,
+        placement: Arc<dyn Placement>,
+        mut make_scheme: Box<dyn FnMut() -> Box<dyn DecisionScheme> + Send>,
+        barrier_quotas: Vec<usize>,
+        role: Option<NodeRole>,
+    ) -> Self {
         let shards = cfg.shards;
         assert!(
             placement.cores() <= shards,
@@ -302,25 +397,55 @@ impl Runtime {
             cfg.cost.cores() >= shards,
             "cost-model mesh smaller than the shard count"
         );
-        let mut make_scheme: Box<dyn FnMut() -> Box<dyn DecisionScheme> + Send> =
-            Box::new(scheme_factory);
+        let (first_shard, local_shards, clustered_barriers, link) = match &role {
+            None => (0, shards, false, None),
+            Some(r) => {
+                assert!(r.local_shards > 0, "a node must own at least one shard");
+                assert!(
+                    r.first_shard + r.local_shards <= shards,
+                    "node shard range exceeds the cluster"
+                );
+                (
+                    r.first_shard,
+                    r.local_shards,
+                    r.clustered_barriers,
+                    Some(Arc::clone(&r.link)),
+                )
+            }
+        };
+        let node_mode = role.is_some();
         let scheme_name = make_scheme().name();
 
         let workers = match cfg.executor {
-            ExecutorMode::Multiplexed => cfg.resolved_workers(),
-            ExecutorMode::ThreadPerShard => shards,
+            ExecutorMode::Multiplexed => cfg.resolved_workers().min(local_shards),
+            ExecutorMode::ThreadPerShard => local_shards,
         };
         let shared = Arc::new(Shared {
-            mailboxes: (0..shards).map(|_| crate::shard::Mailbox::new()).collect(),
-            cores: (0..shards)
-                .map(|id| Mutex::new(ShardCore::new(id, cfg.guest_contexts, cfg.run_bins)))
+            mailboxes: (0..local_shards)
+                .map(|_| crate::shard::Mailbox::new())
                 .collect(),
+            cores: (0..local_shards)
+                .map(|slot| {
+                    Mutex::new(ShardCore::new(
+                        first_shard + slot,
+                        slot,
+                        cfg.guest_contexts,
+                        cfg.run_bins,
+                    ))
+                })
+                .collect(),
+            first_shard,
+            total_shards: shards,
+            node: link,
+            clustered_barriers,
             placement,
             barriers: AtomicBarriers::new(barrier_quotas),
             // One "open" token held by this handle; submissions add to
             // it, retirements subtract, and whoever reaches zero (the
             // last retirement after `finish` drops the token, or
             // `finish` itself on an empty run) initiates shutdown.
+            // Node mode ignores it: the quiesce decision is
+            // cluster-global and arrives through the link.
             live: AtomicUsize::new(1),
             shutdown: AtomicBool::new(false),
             cost: cfg.cost,
@@ -364,7 +489,32 @@ impl Runtime {
             run_bins: cfg.run_bins,
             executor: cfg.executor,
             workers,
+            submitted: 0,
+            node_mode,
             t0,
+        }
+    }
+
+    /// The inbound half of the transport seam: a handle the socket
+    /// reader threads use to inject decoded messages into the
+    /// executor's mailbox/waker machinery, mirror barrier releases,
+    /// and apply the cluster's quiesce decision. `registry` rebuilds
+    /// migrated-in tasks; `scheme_factory` must match the one the
+    /// cluster runs (the factory builds the instance, the wire state
+    /// restores its learning).
+    ///
+    /// Holds only a weak reference to the runtime internals, so an
+    /// inbox outliving [`Runtime::finish`] degrades to dropping
+    /// messages instead of keeping the runtime alive.
+    pub fn remote_inbox(
+        &self,
+        registry: TaskRegistry,
+        scheme_factory: impl FnMut() -> Box<dyn DecisionScheme> + Send + 'static,
+    ) -> RemoteInbox {
+        RemoteInbox {
+            shared: Arc::downgrade(self.shared.as_ref().expect("runtime is live")),
+            registry,
+            make_scheme: Mutex::new(Box::new(scheme_factory)),
         }
     }
 
@@ -372,13 +522,33 @@ impl Runtime {
     /// immediately. Returns the [`ThreadId`] it runs as (submission
     /// order: 0, 1, 2, …).
     pub fn submit(&mut self, spec: TaskSpec) -> ThreadId {
+        let thread = ThreadId(self.next_thread);
+        self.submit_as(spec, thread);
+        thread
+    }
+
+    /// Submit one task under an explicit [`ThreadId`].
+    ///
+    /// This is the cluster entry point: each node submits only the
+    /// tasks native to its own shards, under the same global thread
+    /// ids a single-process run would assign — ids must be unique
+    /// **cluster-wide** (they key guest-context admission and the
+    /// learning schemes' tables). Single-process callers normally want
+    /// [`Runtime::submit`]'s automatic numbering.
+    pub fn submit_as(&mut self, spec: TaskSpec, thread: ThreadId) {
         let shared = self.shared.as_ref().expect("runtime is live");
         assert!(
             spec.native.index() < self.shards,
             "native shard out of range"
         );
-        let thread = ThreadId(self.next_thread);
-        self.next_thread += 1;
+        assert!(
+            shared.local_slot(spec.native.index()).is_some(),
+            "task native to shard {} submitted on a node owning [{}, {})",
+            spec.native.index(),
+            shared.first_shard,
+            shared.first_shard + shared.mailboxes.len()
+        );
+        self.next_thread = self.next_thread.max(thread.0.saturating_add(1));
         let env = Box::new(Envelope {
             thread,
             native: spec.native,
@@ -390,20 +560,33 @@ impl Runtime {
             parked_at: None,
             run: None,
         });
-        shared.live.fetch_add(1, Ordering::AcqRel);
+        self.submitted += 1;
+        if !self.node_mode {
+            shared.live.fetch_add(1, Ordering::AcqRel);
+        }
         shared.send(spec.native.index(), Msg::Arrive(env));
-        thread
     }
 
-    /// Drop the open token, wait for every submitted task to retire,
-    /// and join the workers. Returns the first worker panic, if any.
+    /// Close admission, wait for shutdown, and join the workers.
+    /// Single-process: drop the open token (the last retirement — or
+    /// this call, on an empty run — initiates shutdown). Node mode:
+    /// report closure over the link; the cluster coordinator declares
+    /// quiesce once every node has closed and every task has retired,
+    /// and the transport layer applies it through the inbox. Returns
+    /// the first worker panic, if any.
     fn shutdown_and_join(
         &mut self,
     ) -> (Option<Arc<Shared>>, Option<Box<dyn std::any::Any + Send>>) {
         let Some(shared) = self.shared.take() else {
             return (None, None);
         };
-        if shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+        if self.node_mode {
+            shared
+                .node
+                .as_ref()
+                .expect("node mode has a link")
+                .node_closed(self.submitted);
+        } else if shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
             shared.initiate_shutdown();
         }
         let mut first_panic = None;
@@ -425,8 +608,24 @@ impl Runtime {
             std::panic::resume_unwind(p);
         }
         let wall = self.t0.elapsed();
-        let shared = Arc::try_unwrap(shared)
-            .unwrap_or_else(|_| panic!("every worker released its Shared handle"));
+        // Workers have joined, so only a transport reader mid-inject
+        // through a momentarily upgraded inbox Weak can still hold a
+        // handle — post-quiesce there is no such message, so the
+        // bounded retry only papers over the upgrade/drop window.
+        let mut shared = shared;
+        let shared = loop {
+            match Arc::try_unwrap(shared) {
+                Ok(s) => break s,
+                Err(still_shared) => {
+                    assert!(
+                        Arc::weak_count(&still_shared) > 0,
+                        "every worker released its Shared handle"
+                    );
+                    shared = still_shared;
+                    std::thread::yield_now();
+                }
+            }
+        };
 
         let mut flow = FlowCounts::default();
         let mut run_lengths = Histogram::new(self.run_bins);
@@ -486,6 +685,102 @@ impl Drop for Runtime {
         // panics surface on the next `finish`-less path as aborted
         // joins only if we are already unwinding.
         let _ = self.shutdown_and_join();
+    }
+}
+
+/// The inbound transport seam (see [`Runtime::remote_inbox`]): socket
+/// reader threads call these to hand decoded wire messages to the
+/// executor. All methods return whether the runtime was still live —
+/// after [`Runtime::finish`] the inbox degrades to a no-op sink, which
+/// is correct because a quiesced cluster has no meaningful messages in
+/// flight.
+pub struct RemoteInbox {
+    shared: Weak<Shared>,
+    registry: TaskRegistry,
+    make_scheme: Mutex<Box<dyn FnMut() -> Box<dyn DecisionScheme> + Send>>,
+}
+
+impl RemoteInbox {
+    /// Inject one inter-shard message addressed to the locally owned
+    /// global shard `to`: rebuild arrivals through the task registry
+    /// and scheme factory, then push through the same mailbox/waker
+    /// path a local sender uses.
+    ///
+    /// # Panics
+    /// Panics if `to` is not owned by this node — the sending node's
+    /// routing table disagrees with ours, which is a topology bug the
+    /// handshake should have caught.
+    pub fn deliver(&self, to: usize, msg: WireMsg) -> Result<bool, WireError> {
+        let Some(shared) = self.shared.upgrade() else {
+            return Ok(false);
+        };
+        assert!(
+            shared.local_slot(to).is_some(),
+            "inbound message for shard {to}, which this node does not own"
+        );
+        let m = match msg {
+            WireMsg::Arrive(we) => {
+                let mut scheme = {
+                    let mut mk = self.make_scheme.lock().expect("scheme factory");
+                    (*mk)()
+                };
+                scheme.load_state(&we.scheme_state)?;
+                let task = self.registry.build(we.task_kind, &we.task_ctx)?;
+                Msg::Arrive(Box::new(Envelope {
+                    thread: ThreadId(we.thread),
+                    native: CoreId(we.native),
+                    task,
+                    scheme,
+                    // Cross-process latency is accounted from arrival
+                    // on this node (clock domains differ between
+                    // processes; replay workloads do not use per-task
+                    // latency).
+                    arrival: Instant::now(),
+                    pending_op: we.pending_op.map(crate::wire::WireOp::into_op),
+                    pending_reply: we.pending_reply,
+                    parked_at: we.parked_at.map(|k| k as usize),
+                    run: we.run.map(|(c, len)| (CoreId(c), len)),
+                }))
+            }
+            WireMsg::Request {
+                addr,
+                write,
+                reply_shard,
+                token,
+            } => Msg::Request {
+                addr: em2_model::Addr(addr),
+                write,
+                reply_shard: reply_shard as usize,
+                token,
+            },
+            WireMsg::Response { token, value } => Msg::Response { token, value },
+            WireMsg::BarrierRelease { idx } => Msg::BarrierRelease { idx: idx as usize },
+        };
+        shared.send(to, m);
+        Ok(true)
+    }
+
+    /// Mirror the coordinator's release of barrier `k`: set the local
+    /// released flag (so in-flight arrivals pass through) and wake
+    /// every locally parked task.
+    pub fn release_barrier(&self, k: usize) -> bool {
+        let Some(shared) = self.shared.upgrade() else {
+            return false;
+        };
+        shared.barriers.force_release(k);
+        for slot in 0..shared.mailboxes.len() {
+            shared.send(shared.first_shard + slot, Msg::BarrierRelease { idx: k });
+        }
+        true
+    }
+
+    /// Apply the cluster's quiesce decision: stop the local workers.
+    pub fn begin_shutdown(&self) -> bool {
+        let Some(shared) = self.shared.upgrade() else {
+            return false;
+        };
+        shared.initiate_shutdown();
+        true
     }
 }
 

@@ -34,7 +34,9 @@
 //! interleaving only permutes *across* threads.
 
 use crate::exec::Sched;
+use crate::runtime::NodeLink;
 use crate::task::{Op, Task};
+use crate::wire::{WireEnvelope, WireMsg, WireOp};
 use em2_core::context::{Admission, ContextPool, GuestState, VictimPolicy};
 use em2_core::decision::{Decision, DecisionCtx, DecisionScheme};
 use em2_core::stats::FlowCounts;
@@ -108,6 +110,60 @@ pub(crate) enum Msg {
     BarrierRelease { idx: usize },
 }
 
+/// Serialize an envelope for a cross-process hop.
+///
+/// # Panics
+/// Panics if the task declares no [`Task::wire_kind`] — a task that
+/// cannot cross a process boundary was routed to a remote shard, which
+/// is a cluster-configuration bug (the data it touches must be homed
+/// on locally owned shards).
+pub(crate) fn envelope_to_wire(env: &Envelope) -> WireEnvelope {
+    let task_kind = env.task.wire_kind().unwrap_or_else(|| {
+        panic!(
+            "task for thread {:?} cannot cross a process boundary: Task::wire_kind() is None",
+            env.thread
+        )
+    });
+    let task_ctx = env.task.context_bytes();
+    debug_assert_eq!(
+        task_ctx.len() as u64,
+        env.task.context_len(),
+        "Task::context_len must equal context_bytes().len()"
+    );
+    WireEnvelope {
+        thread: env.thread.0,
+        native: env.native.0,
+        task_kind,
+        task_ctx,
+        scheme_state: env.scheme.state_bytes(),
+        pending_op: env.pending_op.map(WireOp::from_op),
+        pending_reply: env.pending_reply,
+        parked_at: env.parked_at.map(|k| k as u32),
+        run: env.run.map(|(c, len)| (c.0, len)),
+    }
+}
+
+/// Wire form of an outbound inter-shard message (the node link ships
+/// these).
+pub(crate) fn msg_to_wire(msg: Msg) -> WireMsg {
+    match msg {
+        Msg::Arrive(env) => WireMsg::Arrive(envelope_to_wire(&env)),
+        Msg::Request {
+            addr,
+            write,
+            reply_shard,
+            token,
+        } => WireMsg::Request {
+            addr: addr.0,
+            write,
+            reply_shard: reply_shard as u32,
+            token,
+        },
+        Msg::Response { token, value } => WireMsg::Response { token, value },
+        Msg::BarrierRelease { idx } => WireMsg::BarrierRelease { idx: idx as u32 },
+    }
+}
+
 /// Executor scheduling state of one shard, kept in its mailbox.
 /// Transitions (all by CAS or from the owning worker):
 ///
@@ -153,18 +209,38 @@ impl Mailbox {
 /// `barriers`) are gone — see the lock-elimination table in DESIGN.md
 /// §8.
 pub(crate) struct Shared {
+    /// Mailboxes of the **locally owned** shards, indexed by local
+    /// slot (`global id - first_shard`). Single-process runtimes own
+    /// every shard (`first_shard = 0`).
     pub mailboxes: Vec<Mailbox>,
-    /// Shard state machines. The mutex is a hand-off device, not a
-    /// contention point: the scheduling protocol admits at most one
-    /// poller per shard, so every acquisition is uncontended (the
-    /// thread-per-shard driver holds its shard's lock for the whole
-    /// run).
+    /// Shard state machines (local slots, like `mailboxes`). The mutex
+    /// is a hand-off device, not a contention point: the scheduling
+    /// protocol admits at most one poller per shard, so every
+    /// acquisition is uncontended (the thread-per-shard driver holds
+    /// its shard's lock for the whole run).
     pub cores: Vec<Mutex<ShardCore>>,
+    /// Global id of local slot 0 (node mode; 0 otherwise).
+    pub first_shard: usize,
+    /// Cluster-wide shard count (equals `mailboxes.len()` outside node
+    /// mode).
+    pub total_shards: usize,
+    /// Cross-process egress: messages to shards this process does not
+    /// own, barrier arrivals, and retirements are handed to this link
+    /// (`em2-net` implements it over loopback/UDS/TCP). `None` for a
+    /// plain single-process runtime.
+    pub node: Option<std::sync::Arc<dyn NodeLink>>,
+    /// Multi-node barrier protocol: arrivals forward to the cluster
+    /// coordinator and tasks always park until the release fans back
+    /// (counter-neutral — barrier handling records nothing). `false`
+    /// in single-process *and* single-node-cluster runtimes, which
+    /// complete barriers locally through `barriers`.
+    pub clustered_barriers: bool,
     pub placement: std::sync::Arc<dyn Placement>,
     pub barriers: AtomicBarriers,
     /// Un-retired tasks plus one "open" token held by the
     /// [`crate::Runtime`] handle; whoever decrements it to zero
-    /// initiates shutdown.
+    /// initiates shutdown. Unused in node mode, where completion is
+    /// cluster-global and the quiesce decision arrives over the link.
     pub live: AtomicUsize,
     pub shutdown: AtomicBool,
     pub cost: CostModel,
@@ -175,11 +251,29 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    /// Deliver `msg` to shard `to`'s mailbox and make sure something
-    /// will poll it: schedule the shard on the executor, or wake its
-    /// dedicated thread.
+    /// Local slot of a global shard id, or `None` when another node
+    /// owns it.
+    pub(crate) fn local_slot(&self, global: usize) -> Option<usize> {
+        global
+            .checked_sub(self.first_shard)
+            .filter(|&i| i < self.mailboxes.len())
+    }
+
+    /// Deliver `msg` to shard `to` (a **global** id) and make sure
+    /// something will poll it: push to the local mailbox and schedule
+    /// the shard on the executor (or wake its dedicated thread), or —
+    /// when another node owns `to` — serialize the message and hand it
+    /// to the node link.
     pub(crate) fn send(&self, to: usize, msg: Msg) {
-        let mb = &self.mailboxes[to];
+        let Some(slot) = self.local_slot(to) else {
+            debug_assert!(to < self.total_shards, "shard {to} outside the cluster");
+            self.node
+                .as_ref()
+                .expect("a message to a non-local shard requires a node link")
+                .forward(to, msg_to_wire(msg));
+            return;
+        };
+        let mb = &self.mailboxes[slot];
         {
             let mut q = mb.queue.lock().expect("mailbox");
             q.push_back(msg);
@@ -199,7 +293,7 @@ impl Shared {
                             )
                             .is_ok()
                         {
-                            sched.schedule(to);
+                            sched.schedule(slot);
                             break;
                         }
                     }
@@ -281,7 +375,11 @@ impl ShardCounters {
 /// Accessed only by the worker currently granted the shard (the
 /// executor's scheduling protocol, or the dedicated thread).
 pub(crate) struct ShardCore {
+    /// Global (cluster-wide) shard id — what `CoreId`s and placement
+    /// homes refer to.
     id: usize,
+    /// Local slot: index into `Shared::mailboxes`/`cores`.
+    slot: usize,
     /// The owned heap partition: word values by address.
     heap: HashMap<u64, u64>,
     /// The context file (bounded guests + reserved natives), reused
@@ -309,9 +407,10 @@ pub(crate) struct ShardCore {
 }
 
 impl ShardCore {
-    pub(crate) fn new(id: usize, guest_contexts: usize, run_bins: u64) -> Self {
+    pub(crate) fn new(id: usize, slot: usize, guest_contexts: usize, run_bins: u64) -> Self {
         ShardCore {
             id,
+            slot,
             heap: HashMap::new(),
             pool: ContextPool::new(guest_contexts, VictimPolicy::Lru),
             runq: VecDeque::new(),
@@ -345,7 +444,7 @@ impl ShardCore {
         let mut quanta = POLL_TASK_BUDGET;
         loop {
             let drained = {
-                let mut q = shared.mailboxes[self.id].queue.lock().expect("mailbox");
+                let mut q = shared.mailboxes[self.slot].queue.lock().expect("mailbox");
                 let take = q.len().min(DRAIN_K);
                 self.scratch.extend(q.drain(..take));
                 take
@@ -588,10 +687,31 @@ impl ShardCore {
                 }
                 Op::Barrier(k) => {
                     debug_assert!(!arrival_access);
+                    if shared.clustered_barriers {
+                        // Multi-node: the quota lives at the cluster
+                        // coordinator. The local hub only mirrors
+                        // releases, so an unreleased barrier always
+                        // parks; the arrival travels over the link and
+                        // the release fans back as BarrierRelease
+                        // messages. Barrier handling touches no
+                        // counters, so parking where the local path
+                        // would pass through is counter-neutral.
+                        if shared.barriers.is_released(k) {
+                            continue;
+                        }
+                        env.parked_at = Some(k);
+                        self.parked.push(env);
+                        shared
+                            .node
+                            .as_ref()
+                            .expect("clustered barriers require a node link")
+                            .barrier_arrive(k);
+                        return;
+                    }
                     match shared.barriers.arrive(k) {
                         BarrierArrival::Completes => {
                             for s in 0..shared.mailboxes.len() {
-                                shared.send(s, Msg::BarrierRelease { idx: k });
+                                shared.send(shared.first_shard + s, Msg::BarrierRelease { idx: k });
                             }
                             // The completing task passes straight through.
                             continue;
@@ -713,8 +833,17 @@ impl ShardCore {
         } else {
             self.pool.remove_guest(env.thread);
         }
-        if shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
-            shared.initiate_shutdown();
+        match &shared.node {
+            // Node mode: completion is cluster-global. The local live
+            // count never ran (a task may retire on a node that never
+            // saw its submission); the link reports the retirement and
+            // the coordinator decides quiesce.
+            Some(link) => link.task_retired(),
+            None => {
+                if shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    shared.initiate_shutdown();
+                }
+            }
         }
     }
 }

@@ -52,11 +52,78 @@ pub trait Task: Send {
     fn context_bytes(&self) -> Vec<u8>;
 
     /// Size of the serialized context, in bytes. The runtime charges
-    /// this on every migration and eviction; override it when the
-    /// size is known without serializing (the default materializes
-    /// [`Task::context_bytes`] just to measure it).
+    /// this on every migration and eviction — it is the hot accounting
+    /// path, so override it whenever the size is known without
+    /// serializing (the default materializes [`Task::context_bytes`]
+    /// just to measure it and throws the allocation away). The
+    /// override must equal `context_bytes().len()`; the wire encoder
+    /// debug-asserts this, and `proptest_wire.rs` pins it for the
+    /// shipped tasks.
     fn context_len(&self) -> u64 {
         self.context_bytes().len() as u64
+    }
+
+    /// Registry tag identifying this task type on the wire, or `None`
+    /// (the default) for tasks that never cross a process boundary. A
+    /// task can only migrate to a shard owned by *another process* if
+    /// it returns `Some(kind)` and the destination's [`TaskRegistry`]
+    /// has a builder registered under the same kind.
+    fn wire_kind(&self) -> Option<u32> {
+        None
+    }
+}
+
+/// Rebuilds migrated-in task continuations: maps a wire kind tag to a
+/// constructor taking the serialized context
+/// ([`Task::context_bytes`]). Every process of a cluster registers the
+/// same kinds; the program *text* (workload traces, request logic)
+/// lives in the builder's captured environment — only the cursor-sized
+/// context crosses the wire.
+#[derive(Default)]
+pub struct TaskRegistry {
+    #[allow(clippy::type_complexity)]
+    builders: std::collections::HashMap<
+        u32,
+        Box<dyn Fn(&[u8]) -> Result<Box<dyn Task>, String> + Send + Sync>,
+    >,
+}
+
+impl TaskRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TaskRegistry::default()
+    }
+
+    /// Register a builder for `kind`. Panics on duplicate kinds — two
+    /// task types sharing a tag is a wiring bug, not a runtime
+    /// condition.
+    pub fn register(
+        &mut self,
+        kind: u32,
+        build: impl Fn(&[u8]) -> Result<Box<dyn Task>, String> + Send + Sync + 'static,
+    ) {
+        let prev = self.builders.insert(kind, Box::new(build));
+        assert!(prev.is_none(), "task kind {kind} registered twice");
+    }
+
+    /// A registry that rebuilds [`TraceTask`]s against `workload`
+    /// (the standard cluster replay configuration).
+    pub fn for_workload(workload: Arc<Workload>) -> Self {
+        let mut r = TaskRegistry::new();
+        r.register(TraceTask::WIRE_KIND, move |ctx| {
+            TraceTask::from_context_bytes(Arc::clone(&workload), ctx)
+                .map(|t| Box::new(t) as Box<dyn Task>)
+        });
+        r
+    }
+
+    /// Rebuild a task from its wire kind and context bytes.
+    pub fn build(&self, kind: u32, ctx: &[u8]) -> Result<Box<dyn Task>, crate::wire::WireError> {
+        let b = self
+            .builders
+            .get(&kind)
+            .ok_or(crate::wire::WireError::UnknownTaskKind(kind))?;
+        b(ctx).map_err(|reason| crate::wire::WireError::BadTaskContext { kind, reason })
     }
 }
 
@@ -77,6 +144,9 @@ pub struct TraceTask {
 }
 
 impl TraceTask {
+    /// [`Task::wire_kind`] tag of trace-replay continuations.
+    pub const WIRE_KIND: u32 = 1;
+
     /// A task replaying `workload`'s thread `thread`.
     pub fn new(workload: Arc<Workload>, thread: ThreadId) -> Self {
         assert!(thread.index() < workload.num_threads());
@@ -87,6 +157,42 @@ impl TraceTask {
             next_barrier: 0,
             acc: 0,
         }
+    }
+
+    /// Rebuild a migrated-in continuation from its
+    /// [`Task::context_bytes`] against a locally resident workload —
+    /// the receiving half of a cross-process migration. Rejects
+    /// malformed contexts (wrong length, out-of-range cursor) with a
+    /// description instead of panicking.
+    pub fn from_context_bytes(workload: Arc<Workload>, ctx: &[u8]) -> Result<Self, String> {
+        let (thread, pos, next_barrier, acc) = (|| {
+            let mut r = em2_model::bytes::Cursor::new(ctx);
+            let fields = (
+                r.u32()? as usize,
+                r.u64()? as usize,
+                r.u32()? as usize,
+                r.u64()?,
+            );
+            r.finish()?;
+            Ok::<_, em2_model::bytes::CodecError>(fields)
+        })()
+        .map_err(|e| format!("trace context: {e}"))?;
+        let tr = workload
+            .threads
+            .get(thread)
+            .ok_or_else(|| format!("thread {thread} not in workload"))?;
+        if pos > tr.records.len() || next_barrier > tr.barriers.len() {
+            return Err(format!(
+                "cursor ({pos}, {next_barrier}) beyond thread {thread}'s trace"
+            ));
+        }
+        Ok(TraceTask {
+            workload,
+            thread,
+            pos,
+            next_barrier,
+            acc,
+        })
     }
 }
 
@@ -127,6 +233,10 @@ impl Task for TraceTask {
 
     fn context_len(&self) -> u64 {
         24
+    }
+
+    fn wire_kind(&self) -> Option<u32> {
+        Some(TraceTask::WIRE_KIND)
     }
 }
 
@@ -190,5 +300,44 @@ mod tests {
         assert_eq!(c0.len(), 24, "trace continuation is 24 bytes");
         let _ = t.resume(None);
         assert_ne!(t.context_bytes(), c0, "cursor is part of the context");
+    }
+
+    #[test]
+    fn context_round_trips_into_an_identical_continuation() {
+        let w = Arc::new(micro::uniform(2, 4, 30, 64, 0.3, 5));
+        let mut a = TraceTask::new(Arc::clone(&w), ThreadId(1));
+        for _ in 0..7 {
+            let _ = a.resume(Some(3));
+        }
+        let mut b = TraceTask::from_context_bytes(Arc::clone(&w), &a.context_bytes())
+            .expect("valid context");
+        // The rebuilt task replays the identical remainder.
+        loop {
+            let (oa, ob) = (a.resume(Some(1)), b.resume(Some(1)));
+            assert_eq!(oa, ob);
+            if oa == Op::Done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn registry_rebuilds_and_rejects() {
+        let w = Arc::new(micro::pingpong(1, 4, 10));
+        let reg = TaskRegistry::for_workload(Arc::clone(&w));
+        let t = TraceTask::new(Arc::clone(&w), ThreadId(0));
+        assert_eq!(t.wire_kind(), Some(TraceTask::WIRE_KIND));
+        assert_eq!(t.context_len(), t.context_bytes().len() as u64);
+        let rebuilt = reg
+            .build(TraceTask::WIRE_KIND, &t.context_bytes())
+            .expect("registered kind");
+        assert_eq!(rebuilt.context_bytes(), t.context_bytes());
+        // Unknown kind and malformed context are typed errors.
+        assert!(reg.build(999, &t.context_bytes()).is_err());
+        assert!(reg.build(TraceTask::WIRE_KIND, &[1, 2, 3]).is_err());
+        // Out-of-range cursor rejected.
+        let mut bad = t.context_bytes();
+        bad[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(reg.build(TraceTask::WIRE_KIND, &bad).is_err());
     }
 }

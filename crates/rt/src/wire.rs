@@ -1,0 +1,580 @@
+//! The runtime's wire format: `Msg` as versioned bytes.
+//!
+//! Inter-shard messages ([`WireMsg`], mirroring the executor's
+//! internal `Msg`) are what a cross-process transport actually ships —
+//! `em2-net` frames these bytes onto loopback queues, Unix-domain
+//! sockets, or TCP. The codec is hand-rolled (the workspace has no
+//! serde; see `shims/README.md`) and deliberately boring:
+//!
+//! * every integer is fixed-width **little-endian**;
+//! * every variant starts with a one-byte tag;
+//! * every message starts with [`WIRE_VERSION`];
+//! * byte strings are a `u32` length followed by the bytes;
+//! * `f64`s (decision-scheme predictions) travel as IEEE-754 bits, so
+//!   a migrated scheme continues its EWMA recurrences **bit-exactly**
+//!   in the destination process.
+//!
+//! Decoding never panics: truncated, oversized, or corrupt input
+//! yields a typed [`WireError`] (the fuzz tests in
+//! `crates/rt/tests/proptest_wire.rs` pin this). DESIGN.md §9 has the
+//! full layout table.
+//!
+//! A migrated continuation is a [`WireEnvelope`]: the task's
+//! serialized context ([`crate::Task::context_bytes`]) plus a task
+//! *kind* tag resolved by the destination's [`crate::TaskRegistry`],
+//! the envelope-carried decision scheme's learned state
+//! ([`em2_core::decision::DecisionScheme::state_bytes`]), and the
+//! runtime bookkeeping that travels with the task (pending arrival
+//! access, unconsumed reply, barrier park, in-progress run).
+
+use em2_core::decision::SchemeStateError;
+use em2_model::bytes::CodecError;
+use em2_model::Addr;
+use std::fmt;
+
+// The codec kernel lives in `em2_model::bytes` (one implementation for
+// this module, `em2-net`'s control protocol, and scheme-state
+// serialization); re-exported here so wire-format users need one
+// import path.
+pub use em2_model::bytes::{put_bytes, put_u16, put_u32, put_u64, Cursor, MAX_CHUNK};
+
+/// Version byte leading every encoded [`WireMsg`]. Bump on any layout
+/// change; the `em2-net` handshake additionally refuses to connect
+/// nodes disagreeing on it.
+pub const WIRE_VERSION: u8 = 1;
+
+/// A malformed wire payload. Every decode failure is one of these —
+/// never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// A byte-level decode failure (truncation, bad tag, oversized
+    /// chunk, trailing bytes) from the shared codec kernel.
+    Codec(CodecError),
+    /// Version byte mismatch.
+    Version {
+        /// Version found in the input.
+        got: u8,
+        /// Version this build speaks ([`WIRE_VERSION`]).
+        want: u8,
+    },
+    /// The destination has no task builder registered for this kind.
+    UnknownTaskKind(u32),
+    /// A task builder rejected its context bytes.
+    BadTaskContext {
+        /// The task kind whose builder failed.
+        kind: u32,
+        /// The builder's description of the problem.
+        reason: String,
+    },
+    /// The decision scheme rejected its state payload.
+    SchemeState(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Codec(e) => e.fmt(f),
+            WireError::Version { got, want } => {
+                write!(f, "wire version {got} (this build speaks {want})")
+            }
+            WireError::UnknownTaskKind(k) => write!(f, "no task builder for wire kind {k}"),
+            WireError::BadTaskContext { kind, reason } => {
+                write!(f, "task kind {kind}: bad context: {reason}")
+            }
+            WireError::SchemeState(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+impl From<SchemeStateError> for WireError {
+    fn from(e: SchemeStateError) -> Self {
+        WireError::SchemeState(e.to_string())
+    }
+}
+
+// ------------------------------------------------------------ message
+
+/// One shared-memory operation, in wire form (mirrors [`crate::Op`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireOp {
+    /// Load the word at an address.
+    Read(u64),
+    /// Store a word.
+    Write(u64, u64),
+    /// Arrive at global barrier `k`.
+    Barrier(u32),
+    /// The task finished.
+    Done,
+}
+
+impl WireOp {
+    /// Wire form of a runtime [`crate::Op`].
+    pub fn from_op(op: crate::Op) -> Self {
+        match op {
+            crate::Op::Read(a) => WireOp::Read(a.0),
+            crate::Op::Write(a, v) => WireOp::Write(a.0, v),
+            crate::Op::Barrier(k) => WireOp::Barrier(k as u32),
+            crate::Op::Done => WireOp::Done,
+        }
+    }
+
+    /// Back to the runtime's [`crate::Op`].
+    pub fn into_op(self) -> crate::Op {
+        match self {
+            WireOp::Read(a) => crate::Op::Read(Addr(a)),
+            WireOp::Write(a, v) => crate::Op::Write(Addr(a), v),
+            WireOp::Barrier(k) => crate::Op::Barrier(k as usize),
+            WireOp::Done => crate::Op::Done,
+        }
+    }
+
+    fn encode_into(&self, b: &mut Vec<u8>) {
+        match *self {
+            WireOp::Read(a) => {
+                b.push(0);
+                put_u64(b, a);
+            }
+            WireOp::Write(a, v) => {
+                b.push(1);
+                put_u64(b, a);
+                put_u64(b, v);
+            }
+            WireOp::Barrier(k) => {
+                b.push(2);
+                put_u32(b, k);
+            }
+            WireOp::Done => b.push(3),
+        }
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => WireOp::Read(r.u64()?),
+            1 => WireOp::Write(r.u64()?, r.u64()?),
+            2 => WireOp::Barrier(r.u32()?),
+            3 => WireOp::Done,
+            tag => return Err(CodecError::BadTag { what: "op", tag }.into()),
+        })
+    }
+}
+
+/// A migratable continuation in wire form: everything a task needs to
+/// resume in **another process**. The program text does not travel —
+/// the destination rebuilds the task from `(task_kind, task_ctx)`
+/// through its [`crate::TaskRegistry`], exactly as instruction memory
+/// is already resident at every core in the paper's hardware.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireEnvelope {
+    /// The task's [`em2_model::ThreadId`].
+    pub thread: u32,
+    /// The task's native shard.
+    pub native: u16,
+    /// Registry tag identifying how to rebuild the task
+    /// ([`crate::Task::wire_kind`]).
+    pub task_kind: u32,
+    /// The serialized continuation ([`crate::Task::context_bytes`]).
+    pub task_ctx: Vec<u8>,
+    /// The envelope-carried decision scheme's learned state
+    /// ([`em2_core::decision::DecisionScheme::state_bytes`]).
+    pub scheme_state: Vec<u8>,
+    /// A migration's arrival access, to execute at the destination.
+    pub pending_op: Option<WireOp>,
+    /// Unconsumed reply value (register state).
+    pub pending_reply: Option<u64>,
+    /// Barrier index the task is parked at, if any.
+    pub parked_at: Option<u32>,
+    /// The in-progress home run `(home, length)`.
+    pub run: Option<(u16, u64)>,
+}
+
+impl WireEnvelope {
+    fn encode_into(&self, b: &mut Vec<u8>) {
+        put_u32(b, self.thread);
+        put_u16(b, self.native);
+        put_u32(b, self.task_kind);
+        put_bytes(b, &self.task_ctx);
+        put_bytes(b, &self.scheme_state);
+        match &self.pending_op {
+            None => b.push(0),
+            Some(op) => {
+                b.push(1);
+                op.encode_into(b);
+            }
+        }
+        match self.pending_reply {
+            None => b.push(0),
+            Some(v) => {
+                b.push(1);
+                put_u64(b, v);
+            }
+        }
+        match self.parked_at {
+            None => b.push(0),
+            Some(k) => {
+                b.push(1);
+                put_u32(b, k);
+            }
+        }
+        match self.run {
+            None => b.push(0),
+            Some((c, len)) => {
+                b.push(1);
+                put_u16(b, c);
+                put_u64(b, len);
+            }
+        }
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
+        let thread = r.u32()?;
+        let native = r.u16()?;
+        let task_kind = r.u32()?;
+        let task_ctx = r.bytes()?;
+        let scheme_state = r.bytes()?;
+        let opt = |r: &mut Cursor<'_>, what| -> Result<bool, WireError> {
+            match r.u8()? {
+                0 => Ok(false),
+                1 => Ok(true),
+                tag => Err(CodecError::BadTag { what, tag }.into()),
+            }
+        };
+        let pending_op = if opt(r, "option<op>")? {
+            Some(WireOp::decode(r)?)
+        } else {
+            None
+        };
+        let pending_reply = if opt(r, "option<reply>")? {
+            Some(r.u64()?)
+        } else {
+            None
+        };
+        let parked_at = if opt(r, "option<barrier>")? {
+            Some(r.u32()?)
+        } else {
+            None
+        };
+        let run = if opt(r, "option<run>")? {
+            Some((r.u16()?, r.u64()?))
+        } else {
+            None
+        };
+        Ok(WireEnvelope {
+            thread,
+            native,
+            task_kind,
+            task_ctx,
+            scheme_state,
+            pending_op,
+            pending_reply,
+            parked_at,
+            run,
+        })
+    }
+}
+
+/// An inter-shard message in wire form — the public mirror of the
+/// executor's internal `Msg` (Arrive / Request / Response /
+/// BarrierRelease), with the context rebuilt through a task registry
+/// on the receiving side. Shard ids are **global** (cluster-wide);
+/// routing a message to the node owning its destination shard is the
+/// transport layer's job (`em2-net`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireMsg {
+    /// A context arrives: a migration, an eviction return, or task
+    /// seeding.
+    Arrive(WireEnvelope),
+    /// Word-granular remote access request (`write: Some(v)` stores).
+    Request {
+        /// Word address.
+        addr: u64,
+        /// `Some(value)` for stores, `None` for loads.
+        write: Option<u64>,
+        /// Global shard id awaiting the [`WireMsg::Response`].
+        reply_shard: u32,
+        /// Matches the response to the pinned task.
+        token: u64,
+    },
+    /// Reply to a [`WireMsg::Request`].
+    Response {
+        /// The request's token.
+        token: u64,
+        /// `Some(value)` for loads, `None` for store acks.
+        value: Option<u64>,
+    },
+    /// Barrier `idx` released; wake local tasks parked on it.
+    BarrierRelease {
+        /// Barrier index.
+        idx: u32,
+    },
+}
+
+impl WireMsg {
+    /// Append the versioned encoding of this message.
+    pub fn encode_into(&self, b: &mut Vec<u8>) {
+        b.push(WIRE_VERSION);
+        match self {
+            WireMsg::Arrive(env) => {
+                b.push(0);
+                env.encode_into(b);
+            }
+            WireMsg::Request {
+                addr,
+                write,
+                reply_shard,
+                token,
+            } => {
+                b.push(1);
+                put_u64(b, *addr);
+                match write {
+                    None => b.push(0),
+                    Some(v) => {
+                        b.push(1);
+                        put_u64(b, *v);
+                    }
+                }
+                put_u32(b, *reply_shard);
+                put_u64(b, *token);
+            }
+            WireMsg::Response { token, value } => {
+                b.push(2);
+                put_u64(b, *token);
+                match value {
+                    None => b.push(0),
+                    Some(v) => {
+                        b.push(1);
+                        put_u64(b, *v);
+                    }
+                }
+            }
+            WireMsg::BarrierRelease { idx } => {
+                b.push(3);
+                put_u32(b, *idx);
+            }
+        }
+    }
+
+    /// The versioned encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        self.encode_into(&mut b);
+        b
+    }
+
+    /// Decode one message, requiring the input to be exactly one
+    /// message (no trailing bytes). Never panics.
+    pub fn decode(bytes: &[u8]) -> Result<WireMsg, WireError> {
+        let mut r = Cursor::new(bytes);
+        let ver = r.u8()?;
+        if ver != WIRE_VERSION {
+            return Err(WireError::Version {
+                got: ver,
+                want: WIRE_VERSION,
+            });
+        }
+        let msg = match r.u8()? {
+            0 => WireMsg::Arrive(WireEnvelope::decode(&mut r)?),
+            1 => {
+                let addr = r.u64()?;
+                let write = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u64()?),
+                    tag => {
+                        return Err(CodecError::BadTag {
+                            what: "option<write>",
+                            tag,
+                        }
+                        .into())
+                    }
+                };
+                WireMsg::Request {
+                    addr,
+                    write,
+                    reply_shard: r.u32()?,
+                    token: r.u64()?,
+                }
+            }
+            2 => {
+                let token = r.u64()?;
+                let value = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u64()?),
+                    tag => {
+                        return Err(CodecError::BadTag {
+                            what: "option<value>",
+                            tag,
+                        }
+                        .into())
+                    }
+                };
+                WireMsg::Response { token, value }
+            }
+            3 => WireMsg::BarrierRelease { idx: r.u32()? },
+            tag => return Err(CodecError::BadTag { what: "msg", tag }.into()),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+
+    /// The serialized task-context bytes this message carries (an
+    /// [`WireMsg::Arrive`]'s payload) — the "context bytes on the
+    /// wire" telemetry `em2-net` accounts per link.
+    pub fn context_payload_len(&self) -> usize {
+        match self {
+            WireMsg::Arrive(env) => env.task_ctx.len(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_envelope() -> WireEnvelope {
+        WireEnvelope {
+            thread: 7,
+            native: 3,
+            task_kind: 1,
+            task_ctx: vec![1, 2, 3, 4, 5],
+            scheme_state: vec![9, 8],
+            pending_op: Some(WireOp::Write(0x1234, 42)),
+            pending_reply: Some(11),
+            parked_at: None,
+            run: Some((2, 17)),
+        }
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let msgs = [
+            WireMsg::Arrive(sample_envelope()),
+            WireMsg::Arrive(WireEnvelope {
+                pending_op: None,
+                pending_reply: None,
+                parked_at: Some(4),
+                run: None,
+                ..sample_envelope()
+            }),
+            WireMsg::Request {
+                addr: u64::MAX,
+                write: None,
+                reply_shard: 1023,
+                token: 77,
+            },
+            WireMsg::Request {
+                addr: 8,
+                write: Some(0xdead_beef),
+                reply_shard: 0,
+                token: 0,
+            },
+            WireMsg::Response {
+                token: 5,
+                value: Some(u64::MAX),
+            },
+            WireMsg::Response {
+                token: 6,
+                value: None,
+            },
+            WireMsg::BarrierRelease { idx: 3 },
+        ];
+        for m in msgs {
+            let bytes = m.encode();
+            assert_eq!(bytes[0], WIRE_VERSION);
+            assert_eq!(WireMsg::decode(&bytes).expect("round trip"), m);
+        }
+    }
+
+    #[test]
+    fn all_ops_round_trip_through_envelopes() {
+        for op in [
+            WireOp::Read(0),
+            WireOp::Write(u64::MAX, 1),
+            WireOp::Barrier(9),
+            WireOp::Done,
+        ] {
+            let m = WireMsg::Arrive(WireEnvelope {
+                pending_op: Some(op),
+                ..sample_envelope()
+            });
+            assert_eq!(WireMsg::decode(&m.encode()).expect("round trip"), m);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut bytes = WireMsg::BarrierRelease { idx: 0 }.encode();
+        bytes[0] = WIRE_VERSION + 1;
+        assert_eq!(
+            WireMsg::decode(&bytes),
+            Err(WireError::Version {
+                got: WIRE_VERSION + 1,
+                want: WIRE_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let full = WireMsg::Arrive(sample_envelope()).encode();
+        for cut in 0..full.len() {
+            assert!(
+                WireMsg::decode(&full[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = WireMsg::BarrierRelease { idx: 1 }.encode();
+        bytes.push(0);
+        assert_eq!(
+            WireMsg::decode(&bytes),
+            Err(WireError::Codec(CodecError::Trailing { extra: 1 }))
+        );
+    }
+
+    #[test]
+    fn absurd_chunk_lengths_do_not_allocate() {
+        // Arrive with a task_ctx length field of ~4 GiB: must fail
+        // typed (ChunkTooLarge), not attempt the allocation.
+        let mut b = vec![WIRE_VERSION, 0];
+        put_u32(&mut b, 7); // thread
+                            // native + task_kind
+        put_u16(&mut b, 0);
+        put_u32(&mut b, 1);
+        put_u32(&mut b, u32::MAX); // task_ctx length
+        assert_eq!(
+            WireMsg::decode(&b),
+            Err(WireError::Codec(CodecError::ChunkTooLarge {
+                len: u32::MAX as usize
+            }))
+        );
+    }
+
+    #[test]
+    fn errors_display_without_panicking() {
+        for e in [
+            WireError::Codec(CodecError::Truncated { offset: 3, need: 2 }),
+            WireError::Codec(CodecError::BadTag {
+                what: "msg",
+                tag: 0xFF,
+            }),
+            WireError::Version { got: 9, want: 1 },
+            WireError::Codec(CodecError::ChunkTooLarge { len: 1 << 30 }),
+            WireError::Codec(CodecError::Trailing { extra: 4 }),
+            WireError::UnknownTaskKind(3),
+            WireError::SchemeState("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -22,11 +22,28 @@
 //! ```text
 //! cargo run --release --example runtime_kv
 //! ```
+//!
+//! **Cluster mode** (`--node <id> --cluster <spec>`) launches the same
+//! KV service as a *real multi-process distributed DSM* over `em2-net`:
+//! every process owns a contiguous shard range, clients migrate (or
+//! remote-access) across address spaces, and each client still
+//! verifies read-your-writes — now across processes. Run each node in
+//! its own terminal with the same spec:
+//!
+//! ```text
+//! cargo run --release --example runtime_kv -- \
+//!     --node 0 --cluster uds:/tmp/em2-kv.sock,nodes=2,shards=16 &
+//! cargo run --release --example runtime_kv -- \
+//!     --node 1 --cluster uds:/tmp/em2-kv.sock,nodes=2,shards=16
+//! ```
+//!
+//! (`tcp:127.0.0.1:7600,nodes=2,shards=16` works across hosts.)
 
 use em2::core::decision::DecisionScheme;
-use em2::model::{Addr, DetRng};
+use em2::model::{Addr, CoreId, DetRng, ThreadId};
+use em2::net::{ClusterSpec, NodeRuntime};
 use em2::placement::{Placement, Striped};
-use em2::rt::{run_tasks, Op, RtConfig, RtReport, Task, TaskSpec};
+use em2::rt::{run_tasks, Op, RtConfig, RtReport, Task, TaskRegistry, TaskSpec};
 use em2_bench::serving::{kv_open_loop, scheme_panel};
 use std::sync::Arc;
 
@@ -66,6 +83,9 @@ struct KvClient {
 }
 
 impl KvClient {
+    /// Wire kind tag (1 and 2 are taken by `TraceTask`/`KvRequest`).
+    const WIRE_KIND: u32 = 3;
+
     fn new(id: usize) -> Self {
         KvClient {
             rng: DetRng::new(0x4b56).fork(id as u64),
@@ -75,6 +95,49 @@ impl KvClient {
             state: KvState::Idle,
             verified: 0,
         }
+    }
+
+    /// Rebuild a migrated-in client from its context bytes (the
+    /// receiving half of a cross-process migration).
+    fn from_context_bytes(ctx: &[u8]) -> Result<Self, String> {
+        (|| {
+            let mut r = em2::model::bytes::Cursor::new(ctx);
+            let rng = DetRng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+            let own_base = r.u64()?;
+            let version = r.u64()?;
+            let ops_left = r.u64()? as usize;
+            let verified = r.u64()?;
+            let (tag, a, v) = (r.u8()?, r.u64()?, r.u64()?);
+            r.finish()?;
+            let state = match tag {
+                0 => KvState::Idle,
+                1 => KvState::ReadBack { key: a, want: v },
+                2 => KvState::Verify { want: v },
+                tag => {
+                    return Err(em2::model::bytes::CodecError::BadTag {
+                        what: "kv client state",
+                        tag,
+                    })
+                }
+            };
+            Ok(KvClient {
+                rng,
+                own_base,
+                version,
+                ops_left,
+                verified,
+                state,
+            })
+        })()
+        .map_err(|e: em2::model::bytes::CodecError| format!("kv client context: {e}"))
+    }
+
+    fn registry() -> TaskRegistry {
+        let mut r = TaskRegistry::new();
+        r.register(KvClient::WIRE_KIND, |ctx| {
+            KvClient::from_context_bytes(ctx).map(|t| Box::new(t) as Box<dyn Task>)
+        });
+        r
     }
 }
 
@@ -143,6 +206,10 @@ impl Task for KvClient {
     fn context_len(&self) -> u64 {
         81
     }
+
+    fn wire_kind(&self) -> Option<u32> {
+        Some(KvClient::WIRE_KIND)
+    }
 }
 
 fn run_closed_loop(scheme_factory: fn() -> Box<dyn DecisionScheme>) -> RtReport {
@@ -165,7 +232,116 @@ fn run_closed_loop(scheme_factory: fn() -> Box<dyn DecisionScheme>) -> RtReport 
     )
 }
 
+/// One scheme's closed-loop run as one node of a multi-process
+/// cluster: this process submits the clients native to its shard
+/// range; the rest of the traffic arrives over the wire.
+fn run_closed_loop_cluster(
+    spec: &ClusterSpec,
+    node: usize,
+    scheme_factory: fn() -> Box<dyn DecisionScheme>,
+) -> em2::net::NetReport {
+    let placement: Arc<dyn Placement> = Arc::new(Striped::new(SHARDS, 64));
+    let mut nrt = NodeRuntime::start(
+        spec.clone(),
+        node,
+        RtConfig::with_shards(SHARDS),
+        "kv-mixed",
+        placement,
+        KvClient::registry(),
+        scheme_factory,
+        Vec::new(),
+    )
+    .expect("join the cluster (is every node running with the same --cluster spec?)");
+    let (first, count) = spec.span(node);
+    for i in 0..CLIENTS {
+        let native = i % SHARDS;
+        if native >= first && native < first + count {
+            nrt.submit(
+                TaskSpec::new(
+                    Box::new(KvClient::new(i)) as Box<dyn Task>,
+                    CoreId::from(native),
+                ),
+                ThreadId(i as u32),
+            );
+        }
+    }
+    nrt.finish()
+}
+
+/// The multi-process service: each node runs the scheme panel in
+/// lockstep (same order, fresh cluster per scheme) and prints its
+/// local slice of the counters plus the wire telemetry.
+fn main_cluster(spec: ClusterSpec, node: usize) {
+    if node >= spec.num_nodes() {
+        eprintln!(
+            "--node {node} is not in a {}-node cluster",
+            spec.num_nodes()
+        );
+        std::process::exit(2);
+    }
+    assert_eq!(
+        spec.total_shards, SHARDS,
+        "this service is built for {SHARDS} shards; pass shards={SHARDS} in --cluster"
+    );
+    let (first, count) = spec.span(node);
+    println!(
+        "distributed KV service on em2-net: node {node}/{} over {}, owning shards {first}..{}",
+        spec.num_nodes(),
+        spec.kind.name(),
+        first + count
+    );
+    println!(
+        "{CLIENTS} clients x {OPS_PER_CLIENT} ops cluster-wide; every client verifies \
+         read-your-writes across process boundaries\n"
+    );
+    println!(
+        "{:<18} {:>10} {:>9} {:>10} {:>12} {:>12} {:>9}",
+        "scheme", "migrations", "RA", "local", "x-node ctxs", "wire bytes", "Mops/s"
+    );
+    for factory in scheme_panel() {
+        let r = run_closed_loop_cluster(&spec, node, factory);
+        println!(
+            "{:<18} {:>10} {:>9} {:>10} {:>12} {:>12} {:>9.2}",
+            r.rt.scheme,
+            r.rt.flow.migrations,
+            r.rt.flow.remote_reads + r.rt.flow.remote_writes,
+            r.rt.flow.local_accesses,
+            r.wire.arrives_tx,
+            r.wire.bytes_tx,
+            r.rt.ops_per_sec() / 1e6,
+        );
+    }
+    println!(
+        "\ncounters above are this node's local slice (each access executes on exactly one \
+         node); E12 pins the cluster-wide sums bit-equal to the single-process run"
+    );
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if let Some(cluster) = value_of("--cluster") {
+        let node: usize = value_of("--node")
+            .expect("--cluster requires --node <id>")
+            .parse()
+            .expect("--node takes a node id");
+        let spec = ClusterSpec::parse(&cluster).unwrap_or_else(|e| {
+            eprintln!("bad --cluster spec: {e}");
+            std::process::exit(2);
+        });
+        main_cluster(spec, node);
+        return;
+    }
+    if !args.is_empty() {
+        eprintln!("usage: runtime_kv [--node <id> --cluster <kind>:<base>,nodes=<N>,shards=16]");
+        std::process::exit(2);
+    }
+
     println!(
         "sharded KV service on em2-rt: {SHARDS} shards on the multiplexed executor, \
          {CLIENTS} clients x {OPS_PER_CLIENT} ops"

@@ -14,6 +14,9 @@
 //! * [`rt`] — the executable runtime: OS-thread shards, migratable
 //!   task continuations, word-granular remote access — cross-validated
 //!   against the simulator (E11);
+//! * [`net`] — the cross-process transport layer: the runtime as a
+//!   multi-process distributed DSM over loopback/UDS/TCP,
+//!   cross-validated against the single-process runtime (E12);
 //! * [`stack`] — the stack-machine EM² variant;
 //! * [`optimal`] — the paper's dynamic-programming analytical model;
 //! * [`coherence`] — the directory-MSI baseline.
@@ -25,6 +28,7 @@ pub use em2_coherence as coherence;
 pub use em2_core as core;
 pub use em2_engine as engine;
 pub use em2_model as model;
+pub use em2_net as net;
 pub use em2_noc as noc;
 pub use em2_optimal as optimal;
 pub use em2_placement as placement;
