@@ -209,6 +209,14 @@ fn main() {
                 std::process::exit(1);
             }
         };
+        let fault_matrix = netproc::measure_fault_matrix();
+        for f in &fault_matrix {
+            println!(
+                "  fault {:<10}: {} runs, {} completed, {} typed errors, \
+                 settle {:>7.1} ms mean / {:>7.1} ms max",
+                f.class, f.runs, f.completed, f.errored, f.settle_ms_mean, f.settle_ms_max
+            );
+        }
         match perf::write_bench_json(
             &path,
             &suite,
@@ -219,6 +227,7 @@ fn main() {
             &latency,
             &transport,
             kv_uds.as_ref(),
+            &fault_matrix,
         ) {
             Ok(()) => println!("  wrote {}", path.display()),
             Err(e) => {

@@ -110,7 +110,7 @@ fn run_child(arg: &str) -> io::Result<()> {
                 scheme,
                 Vec::new(),
             )?;
-            CounterSummary::from_net(&nrt.finish())
+            CounterSummary::from_net(&nrt.finish()?)
         }
         other => return Err(bad(&format!("unknown role {other:?}"))),
     };
@@ -260,7 +260,7 @@ pub fn measure_transport() -> io::Result<Vec<TransportPoint>> {
         let parent = {
             let (w, placement) = (Arc::clone(&w), Arc::clone(&placement));
             run_parent_with_child(child, "e12-ocean", move || {
-                run_workload_cluster(spec, 0, cfg, &w, placement, scheme)
+                Ok(run_workload_cluster(spec, 0, cfg, &w, placement, scheme)?)
             })?
         };
         let mut uds = CounterSummary::from_net(&parent);
@@ -343,7 +343,7 @@ pub fn measure_kv_uds(requests: u64) -> io::Result<KvUdsPoint> {
                 em2_model::ThreadId(i as u32),
             );
         }
-        Ok(nrt.finish())
+        Ok(nrt.finish()?)
     })?;
     let mut total = CounterSummary::from_net(&parent);
     total.merge(&CounterSummary::read_from(&child_out)?);
@@ -362,9 +362,183 @@ pub fn measure_kv_uds(requests: u64) -> io::Result<KvUdsPoint> {
     })
 }
 
+/// One fault class's row in the chaos matrix: how many injected runs
+/// completed vs. failed typed, and how long the cluster took to come
+/// to rest after the first injection.
+pub struct FaultClassPoint {
+    /// Fault class label (`drop`, `delay`, …, `crash`, `refuse`).
+    pub class: &'static str,
+    /// Injected cluster runs.
+    pub runs: u64,
+    /// Runs where every node completed (possible for benign classes
+    /// and for faults that landed on frames never sent).
+    pub completed: u64,
+    /// Runs where at least one node returned a typed `ClusterError`.
+    pub errored: u64,
+    /// Mean milliseconds from the first injection to *every* node
+    /// having returned — an upper bound on detection latency (it
+    /// includes the survivors' drain + teardown).
+    pub settle_ms_mean: f64,
+    /// Worst settle time across the class's runs.
+    pub settle_ms_max: f64,
+}
+
+/// A labeled fault-class generator: frame index → plan for that class.
+type FaultClassGen = (&'static str, Box<dyn Fn(u64) -> em2_net::FaultPlan>);
+
+/// The chaos calibration: for each fault class, inject it at several
+/// frame positions into a two-node loopback cluster and record the
+/// outcome mix plus injection→rest latency. Deterministic plans, tiny
+/// workload — the matrix is telemetry for `BENCH.json`, while the
+/// correctness property itself is pinned by `crates/net/tests/chaos.rs`.
+pub fn measure_fault_matrix() -> Vec<FaultClassPoint> {
+    use em2_net::{ClusterTimeouts, FaultAction, FaultPlan};
+    const NODES: usize = 2;
+    const SHARDS: usize = 8;
+    let w = em2_trace::gen::micro::uniform(SHARDS, SHARDS, 60, 64, 0.3, 13);
+    let threads = w.num_threads();
+    let placement: Arc<dyn Placement> = Arc::new(FirstTouch::build(&w, SHARDS, 64));
+    let w = Arc::new(w);
+    let cfg = RtConfig::eviction_free(SHARDS, threads);
+    let nths: [u64; 5] = [1, 2, 4, 8, 16];
+    let classes: Vec<FaultClassGen> = vec![
+        (
+            "drop",
+            Box::new(|n| FaultPlan::new().fault(0, 1, n, FaultAction::Drop)),
+        ),
+        (
+            "delay",
+            Box::new(|n| FaultPlan::new().fault(0, 1, n, FaultAction::Delay { ms: 5 })),
+        ),
+        (
+            "duplicate",
+            Box::new(|n| FaultPlan::new().fault(0, 1, n, FaultAction::Duplicate)),
+        ),
+        (
+            "truncate",
+            Box::new(|n| FaultPlan::new().fault(1, 0, n, FaultAction::Truncate { keep: 5 })),
+        ),
+        (
+            "corrupt",
+            Box::new(|n| {
+                FaultPlan::new().fault(
+                    1,
+                    0,
+                    n,
+                    FaultAction::Corrupt {
+                        offset: n as usize,
+                        xor: 0x10,
+                    },
+                )
+            }),
+        ),
+        (
+            "sever",
+            Box::new(|n| FaultPlan::new().fault(0, 1, n, FaultAction::Sever)),
+        ),
+        ("crash", Box::new(|n| FaultPlan::new().crash_node(1, 4 + n))),
+        (
+            "refuse",
+            Box::new(|_| FaultPlan::new().refuse_accepts(0, 1)),
+        ),
+    ];
+    let mut out = Vec::with_capacity(classes.len());
+    for (class, mk) in classes {
+        let mut completed = 0u64;
+        let mut errored = 0u64;
+        let mut settle = Vec::new();
+        for (i, &nth) in nths.iter().enumerate() {
+            let spec = ClusterSpec::even(
+                em2_net::TransportKind::Loopback,
+                &format!("em2-fault-matrix-{class}-{i}-{}", std::process::id()),
+                NODES,
+                SHARDS,
+            )
+            .with_timeouts(ClusterTimeouts {
+                connect_ms: 2_000,
+                run_ms: 1_500,
+                heartbeat_ms: 25,
+            });
+            let plan = Arc::new(mk(nth));
+            let results =
+                em2_net::run_workload_cluster_chaos(&spec, &cfg, &w, &placement, scheme, &plan);
+            let rest = Instant::now();
+            if results.iter().all(|(r, _)| r.is_ok()) {
+                completed += 1;
+            } else {
+                errored += 1;
+            }
+            if let Some(t0) = results.iter().filter_map(|(_, st)| st.injected_at()).min() {
+                settle.push(rest.duration_since(t0).as_secs_f64() * 1e3);
+            }
+        }
+        let (mean, max) = if settle.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                settle.iter().sum::<f64>() / settle.len() as f64,
+                settle.iter().cloned().fold(0.0f64, f64::max),
+            )
+        };
+        out.push(FaultClassPoint {
+            class,
+            runs: nths.len() as u64,
+            completed,
+            errored,
+            settle_ms_mean: mean,
+            settle_ms_max: max,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_matrix_covers_every_class_and_disruptive_classes_error() {
+        let rows = measure_fault_matrix();
+        let classes: Vec<&str> = rows.iter().map(|r| r.class).collect();
+        assert_eq!(
+            classes,
+            [
+                "drop",
+                "delay",
+                "duplicate",
+                "truncate",
+                "corrupt",
+                "sever",
+                "crash",
+                "refuse"
+            ]
+        );
+        for r in &rows {
+            assert_eq!(
+                r.completed + r.errored,
+                r.runs,
+                "{}: every run accounted",
+                r.class
+            );
+            assert!(
+                r.settle_ms_max >= r.settle_ms_mean,
+                "{}: max >= mean",
+                r.class
+            );
+        }
+        for class in ["truncate", "corrupt", "sever", "crash", "refuse"] {
+            let r = rows.iter().find(|r| r.class == class).expect("row");
+            assert!(
+                r.errored > 0,
+                "{class}: a disruptive fault class must produce typed errors"
+            );
+        }
+        let dup = rows.iter().find(|r| r.class == "duplicate").expect("row");
+        assert_eq!(
+            dup.completed, dup.runs,
+            "duplicates are benign: the seq layer dedups them"
+        );
+    }
 
     #[test]
     fn child_arg_parsing_rejects_malformed_input() {

@@ -243,12 +243,14 @@ pub fn tables_digest<'a>(tables: impl Iterator<Item = &'a Table>) -> String {
 
 /// Serialize a suite run (plus calibrations, the shard-scaling sweep,
 /// the open-loop latency panel, and the cross-process transport
-/// calibration) as the `BENCH.json` body — schema 4. Every schema-3
+/// calibration) as the `BENCH.json` body — schema 5. Every schema-4
 /// field survives unchanged (trajectory tooling keeps parsing); the
 /// `runtime` block gains a `transport` sub-block: per-mode ops/sec and
 /// wire telemetry for the in-process baseline, the loopback cluster,
 /// and the **two-OS-process UDS** cluster, plus the distributed KV
-/// serving point.
+/// serving point, plus the `fault_matrix` — per fault class, how many
+/// injected chaos runs completed vs. failed typed, and how long the
+/// cluster took to settle after the first injection (DESIGN.md §10).
 #[allow(clippy::too_many_arguments)]
 pub fn bench_json(
     suite: &SuiteResult,
@@ -259,10 +261,11 @@ pub fn bench_json(
     latency: &[crate::serving::LatencyReport],
     transport: &[crate::netproc::TransportPoint],
     kv_uds: Option<&crate::netproc::KvUdsPoint>,
+    fault_matrix: &[crate::netproc::FaultClassPoint],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 4,");
+    let _ = writeln!(s, "  \"schema\": 5,");
     let _ = writeln!(
         s,
         "  \"scale\": \"{}\",",
@@ -409,6 +412,26 @@ pub fn bench_json(
         s.push_str(if i + 1 < transport.len() { ",\n" } else { "\n" });
     }
     s.push_str("      ],\n");
+    s.push_str("      \"fault_matrix\": [\n");
+    for (i, f) in fault_matrix.iter().enumerate() {
+        let _ = write!(
+            s,
+            "        {{\"class\": \"{}\", \"runs\": {}, \"completed\": {}, \
+             \"errored\": {}, \"settle_ms_mean\": {:.3}, \"settle_ms_max\": {:.3}}}",
+            json_escape(f.class),
+            f.runs,
+            f.completed,
+            f.errored,
+            f.settle_ms_mean,
+            f.settle_ms_max,
+        );
+        s.push_str(if i + 1 < fault_matrix.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("      ],\n");
     match kv_uds {
         None => {
             let _ = writeln!(s, "      \"kv_uds\": null");
@@ -453,6 +476,7 @@ pub fn write_bench_json(
     latency: &[crate::serving::LatencyReport],
     transport: &[crate::netproc::TransportPoint],
     kv_uds: Option<&crate::netproc::KvUdsPoint>,
+    fault_matrix: &[crate::netproc::FaultClassPoint],
 ) -> std::io::Result<()> {
     std::fs::write(
         path,
@@ -465,6 +489,7 @@ pub fn write_bench_json(
             latency,
             transport,
             kv_uds,
+            fault_matrix,
         ),
     )
 }
@@ -556,6 +581,14 @@ mod tests {
             ops_per_sec: 10_000.0,
             wire: Default::default(),
         }];
+        let fault_matrix = [crate::netproc::FaultClassPoint {
+            class: "drop",
+            runs: 5,
+            completed: 1,
+            errored: 4,
+            settle_ms_mean: 12.5,
+            settle_ms_max: 30.0,
+        }];
         let j = bench_json(
             &suite,
             &cal,
@@ -565,10 +598,13 @@ mod tests {
             &latency,
             &transport,
             None,
+            &fault_matrix,
         );
         assert!(j.starts_with("{\n") && j.ends_with("}\n"));
         for key in [
-            "\"schema\": 4",
+            "\"schema\": 5",
+            "\"fault_matrix\"",
+            "\"settle_ms_max\"",
             "\"scale\"",
             "\"threads\"",
             "\"host_available_parallelism\"",

@@ -46,6 +46,14 @@ pub enum CodecError {
         /// How many undecoded bytes remained.
         extra: usize,
     },
+    /// An integrity checksum did not match — the payload was altered
+    /// in flight (bit corruption, truncation that still parsed).
+    Checksum {
+        /// Checksum computed over the received bytes.
+        got: u32,
+        /// Checksum the sender declared.
+        want: u32,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -59,6 +67,12 @@ impl fmt::Display for CodecError {
                 write!(f, "chunk length {len} exceeds the {MAX_CHUNK}-byte cap")
             }
             CodecError::Trailing { extra } => write!(f, "{extra} trailing bytes after message"),
+            CodecError::Checksum { got, want } => {
+                write!(
+                    f,
+                    "checksum mismatch: computed {got:#010x}, declared {want:#010x}"
+                )
+            }
         }
     }
 }

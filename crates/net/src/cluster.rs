@@ -43,6 +43,51 @@ impl TransportKind {
     }
 }
 
+/// Failure-detection knobs for a cluster run. All tunable from the
+/// launch string ([`ClusterSpec::parse`]); none participate in the
+/// topology digest, so nodes may differ in tuning without refusing
+/// each other (the protocol tolerates asymmetric deadlines — a node
+/// that gives up first aborts the others).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterTimeouts {
+    /// Per-peer dial + handshake budget in milliseconds
+    /// (`connect_timeout_ms=`). Dial retries back off exponentially
+    /// with jitter inside this budget. Overridable for tests via the
+    /// `EM2_NET_CONNECT_TIMEOUT_MS` environment variable.
+    pub connect_ms: u64,
+    /// Run deadline in milliseconds (`timeout_ms=`): the longest
+    /// `finish()` waits for cluster quiesce before returning a
+    /// [`crate::ClusterError::BarrierTimeout`] /
+    /// [`crate::ClusterError::QuiesceTimeout`]. `0` waits forever
+    /// (the fault-free default — big workloads set their own budget).
+    pub run_ms: u64,
+    /// Heartbeat interval in milliseconds (`heartbeat_ms=`): each
+    /// node sends an uncounted `Heartbeat` frame on every connection
+    /// idle that long, and declares a peer lost after
+    /// [`ClusterTimeouts::peer_deadline_ms`] of silence. `0` disables
+    /// heartbeats (the default — fault-free telemetry stays exactly
+    /// reproducible).
+    pub heartbeat_ms: u64,
+}
+
+impl ClusterTimeouts {
+    /// Silence threshold after which a peer is declared lost:
+    /// four missed heartbeat intervals.
+    pub fn peer_deadline_ms(&self) -> u64 {
+        self.heartbeat_ms.saturating_mul(4)
+    }
+}
+
+impl Default for ClusterTimeouts {
+    fn default() -> Self {
+        ClusterTimeouts {
+            connect_ms: 30_000,
+            run_ms: 0,
+            heartbeat_ms: 0,
+        }
+    }
+}
+
 /// One node of the cluster.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NodeSpec {
@@ -64,6 +109,8 @@ pub struct ClusterSpec {
     /// The nodes, in id order; shard ranges are contiguous and cover
     /// `0..total_shards`.
     pub nodes: Vec<NodeSpec>,
+    /// Failure-detection deadlines (not part of the topology digest).
+    pub timeouts: ClusterTimeouts,
 }
 
 /// Process-unique counter salting auto-generated endpoint names.
@@ -114,7 +161,15 @@ impl ClusterSpec {
             kind,
             total_shards: shards,
             nodes: nodes_vec,
+            timeouts: ClusterTimeouts::default(),
         }
+    }
+
+    /// The same spec with different failure-detection deadlines
+    /// (builder-style, for tests and chaos harnesses).
+    pub fn with_timeouts(mut self, timeouts: ClusterTimeouts) -> Self {
+        self.timeouts = timeouts;
+        self
     }
 
     /// An even loopback cluster under a process-unique auto-generated
@@ -126,10 +181,12 @@ impl ClusterSpec {
 
     /// Parse a launch string: `"<kind>:<base>,nodes=<N>,shards=<S>"`,
     /// e.g. `uds:/tmp/em2-kv.sock,nodes=2,shards=16` or
-    /// `tcp:127.0.0.1:7600,nodes=2,shards=16`. Produces the same even
-    /// split as [`ClusterSpec::even`], so every process parsing the
-    /// same string builds the same topology (digest-checked at
-    /// connect).
+    /// `tcp:127.0.0.1:7600,nodes=2,shards=16`. Optional failure-
+    /// detection keys: `timeout_ms=<run deadline>`,
+    /// `connect_timeout_ms=<dial budget>`, `heartbeat_ms=<interval>`
+    /// (see [`ClusterTimeouts`]). Produces the same even split as
+    /// [`ClusterSpec::even`], so every process parsing the same
+    /// string builds the same topology (digest-checked at connect).
     pub fn parse(s: &str) -> Result<ClusterSpec, String> {
         let mut parts = s.split(',');
         let head = parts.next().unwrap_or_default();
@@ -143,6 +200,7 @@ impl ClusterSpec {
             other => return Err(format!("unknown transport {other:?} (loopback|uds|tcp)")),
         };
         let (mut nodes, mut shards) = (None, None);
+        let mut timeouts = ClusterTimeouts::default();
         for p in parts {
             let (k, v) = p
                 .split_once('=')
@@ -151,7 +209,15 @@ impl ClusterSpec {
             match k {
                 "nodes" => nodes = Some(n),
                 "shards" => shards = Some(n),
-                other => return Err(format!("unknown key {other:?} (nodes|shards)")),
+                "timeout_ms" => timeouts.run_ms = n as u64,
+                "connect_timeout_ms" => timeouts.connect_ms = n as u64,
+                "heartbeat_ms" => timeouts.heartbeat_ms = n as u64,
+                other => {
+                    return Err(format!(
+                        "unknown key {other:?} \
+                         (nodes|shards|timeout_ms|connect_timeout_ms|heartbeat_ms)"
+                    ))
+                }
             }
         }
         let nodes = nodes.ok_or("missing nodes=<N>")?;
@@ -172,7 +238,7 @@ impl ClusterSpec {
                 ));
             }
         }
-        Ok(ClusterSpec::even(kind, base, nodes, shards))
+        Ok(ClusterSpec::even(kind, base, nodes, shards).with_timeouts(timeouts))
     }
 
     /// Node count.
@@ -305,6 +371,25 @@ mod tests {
         );
         assert!(ClusterSpec::parse("tcp:127.0.0.1:65535,nodes=1,shards=4").is_ok());
         assert!(ClusterSpec::parse("uds:/x,bogus=1,shards=4").is_err());
+    }
+
+    #[test]
+    fn timeout_keys_parse_and_stay_out_of_the_digest() {
+        let tuned = ClusterSpec::parse(
+            "uds:/tmp/em2.sock,nodes=2,shards=16,timeout_ms=1500,\
+             connect_timeout_ms=250,heartbeat_ms=40",
+        )
+        .expect("parse");
+        assert_eq!(tuned.timeouts.run_ms, 1500);
+        assert_eq!(tuned.timeouts.connect_ms, 250);
+        assert_eq!(tuned.timeouts.heartbeat_ms, 40);
+        assert_eq!(tuned.timeouts.peer_deadline_ms(), 160);
+        let plain = ClusterSpec::parse("uds:/tmp/em2.sock,nodes=2,shards=16").expect("parse");
+        assert_eq!(plain.timeouts, ClusterTimeouts::default());
+        // Deadline tuning must not change cluster identity: a tuned
+        // node still handshakes with an untuned one.
+        assert_eq!(tuned.digest(), plain.digest());
+        assert_ne!(tuned, plain, "timeouts do participate in Eq");
     }
 
     #[test]

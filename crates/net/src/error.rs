@@ -1,0 +1,253 @@
+//! The typed failure taxonomy for cluster runs.
+//!
+//! Every way a distributed run can go wrong maps to exactly one
+//! [`ClusterError`] variant, and every path that used to panic or hang
+//! (send failures, lost peers, stalled barriers, a quiesce that never
+//! comes) now records one of these into the node's failure slot and
+//! returns it from [`crate::NodeRuntime::finish`]. The taxonomy is the
+//! contract the chaos harness (`crates/net/tests/chaos.rs`) checks:
+//! *under any injected fault plan, every node either completes
+//! bit-equal to the single-process run or returns one of these within
+//! its configured deadline — never a hang, never a silently wrong
+//! sum* (DESIGN.md §10).
+
+use std::fmt;
+use std::io;
+
+/// Why a cluster run failed. Carried through the per-node failure slot
+/// and returned by [`crate::NodeRuntime::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The connect/accept handshake failed: version or topology
+    /// mismatch, an unexpected message, a refused accept, or a peer
+    /// that went silent before completing the exchange.
+    Handshake {
+        /// What went wrong.
+        detail: String,
+    },
+    /// A peer delivered bytes that do not decode as the next expected
+    /// frame: corrupt or truncated payload, a bad checksum, or a
+    /// sequence gap proving at least one frame was lost.
+    Codec {
+        /// The peer the bytes came from.
+        from: usize,
+        /// Decoder diagnostic.
+        detail: String,
+    },
+    /// A peer connection died mid-run: a send or receive failed, or
+    /// the connection closed without the protocol's goodbye, or the
+    /// peer stopped sending for longer than the heartbeat deadline.
+    PeerLost {
+        /// The lost peer.
+        node: usize,
+        /// How the loss was detected.
+        detail: String,
+    },
+    /// The run deadline expired with tasks still parked at a barrier —
+    /// some node's arrival (or the coordinator's release) never made
+    /// it across.
+    BarrierTimeout {
+        /// Milliseconds waited before giving up.
+        waited_ms: u64,
+        /// Local backlog at expiry.
+        detail: String,
+    },
+    /// The run deadline expired before the coordinator's quiesce
+    /// decision reached this node — completion accounting stalled
+    /// (a lost `Retired`/`Closed`, or a dead coordinator).
+    QuiesceTimeout {
+        /// Milliseconds waited before giving up.
+        waited_ms: u64,
+        /// Local backlog at expiry.
+        detail: String,
+    },
+    /// Dialing a peer did not produce a connection within the connect
+    /// budget (`connect_timeout_ms`).
+    ConnectTimeout {
+        /// The address dialed.
+        addr: String,
+        /// Milliseconds spent retrying.
+        waited_ms: u64,
+        /// The last connect error.
+        detail: String,
+    },
+    /// Another node failed first and broadcast `Abort{reason}`; this
+    /// node shut down in sympathy.
+    Aborted {
+        /// The node that reported the failure.
+        from: usize,
+        /// Its rendered [`ClusterError`].
+        reason: String,
+    },
+    /// A peer violated the control protocol: misrouted a shard
+    /// message, re-sent a handshake mid-run, or sent a
+    /// coordinator-only message to a non-coordinator.
+    Protocol {
+        /// The offending peer.
+        from: usize,
+        /// What it did.
+        detail: String,
+    },
+    /// The launch configuration is invalid (bad spec, shard-count
+    /// mismatch, node id out of range).
+    Config {
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// An I/O error outside the categories above (listen failures,
+    /// summary-file plumbing).
+    Io {
+        /// The rendered [`io::Error`].
+        detail: String,
+    },
+}
+
+impl ClusterError {
+    /// Stable short name of the variant — the key the `fault_matrix`
+    /// bench experiment and CI logs group detection latencies by.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ClusterError::Handshake { .. } => "handshake",
+            ClusterError::Codec { .. } => "codec",
+            ClusterError::PeerLost { .. } => "peer-lost",
+            ClusterError::BarrierTimeout { .. } => "barrier-timeout",
+            ClusterError::QuiesceTimeout { .. } => "quiesce-timeout",
+            ClusterError::ConnectTimeout { .. } => "connect-timeout",
+            ClusterError::Aborted { .. } => "aborted",
+            ClusterError::Protocol { .. } => "protocol",
+            ClusterError::Config { .. } => "config",
+            ClusterError::Io { .. } => "io",
+        }
+    }
+
+    /// Whether this node failed in sympathy with another node's
+    /// failure (an `Abort` broadcast) rather than observing the fault
+    /// itself.
+    pub fn is_sympathetic(&self) -> bool {
+        matches!(self, ClusterError::Aborted { .. })
+    }
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Handshake { detail } => write!(f, "handshake failed: {detail}"),
+            ClusterError::Codec { from, detail } => {
+                write!(f, "bad frame from node {from}: {detail}")
+            }
+            ClusterError::PeerLost { node, detail } => {
+                write!(f, "lost peer node {node}: {detail}")
+            }
+            ClusterError::BarrierTimeout { waited_ms, detail } => {
+                write!(f, "barrier stalled for {waited_ms} ms: {detail}")
+            }
+            ClusterError::QuiesceTimeout { waited_ms, detail } => {
+                write!(f, "cluster did not quiesce within {waited_ms} ms: {detail}")
+            }
+            ClusterError::ConnectTimeout {
+                addr,
+                waited_ms,
+                detail,
+            } => write!(
+                f,
+                "connect to {addr:?} timed out after {waited_ms} ms: {detail}"
+            ),
+            ClusterError::Aborted { from, reason } => {
+                write!(f, "aborted by node {from}: {reason}")
+            }
+            ClusterError::Protocol { from, detail } => {
+                write!(f, "protocol violation by node {from}: {detail}")
+            }
+            ClusterError::Config { detail } => write!(f, "invalid cluster config: {detail}"),
+            ClusterError::Io { detail } => write!(f, "cluster i/o error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<io::Error> for ClusterError {
+    fn from(e: io::Error) -> Self {
+        ClusterError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl From<ClusterError> for io::Error {
+    fn from(e: ClusterError) -> Self {
+        let kind = match &e {
+            ClusterError::Handshake { .. } | ClusterError::Protocol { .. } => {
+                io::ErrorKind::InvalidData
+            }
+            ClusterError::Codec { .. } => io::ErrorKind::InvalidData,
+            ClusterError::PeerLost { .. } | ClusterError::Aborted { .. } => {
+                io::ErrorKind::ConnectionReset
+            }
+            ClusterError::BarrierTimeout { .. }
+            | ClusterError::QuiesceTimeout { .. }
+            | ClusterError::ConnectTimeout { .. } => io::ErrorKind::TimedOut,
+            ClusterError::Config { .. } => io::ErrorKind::InvalidInput,
+            ClusterError::Io { .. } => io::ErrorKind::Other,
+        };
+        io::Error::new(kind, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let all = [
+            ClusterError::Handshake { detail: "x".into() },
+            ClusterError::Codec {
+                from: 1,
+                detail: "x".into(),
+            },
+            ClusterError::PeerLost {
+                node: 1,
+                detail: "x".into(),
+            },
+            ClusterError::BarrierTimeout {
+                waited_ms: 1,
+                detail: "x".into(),
+            },
+            ClusterError::QuiesceTimeout {
+                waited_ms: 1,
+                detail: "x".into(),
+            },
+            ClusterError::ConnectTimeout {
+                addr: "a".into(),
+                waited_ms: 1,
+                detail: "x".into(),
+            },
+            ClusterError::Aborted {
+                from: 1,
+                reason: "x".into(),
+            },
+            ClusterError::Protocol {
+                from: 1,
+                detail: "x".into(),
+            },
+            ClusterError::Config { detail: "x".into() },
+            ClusterError::Io { detail: "x".into() },
+        ];
+        let kinds: std::collections::HashSet<_> = all.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), all.len(), "every variant has a unique kind");
+        for e in &all {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_round_trip_preserves_category() {
+        let e = ClusterError::QuiesceTimeout {
+            waited_ms: 250,
+            detail: "2 parked".into(),
+        };
+        let io: io::Error = e.into();
+        assert_eq!(io.kind(), io::ErrorKind::TimedOut);
+    }
+}

@@ -25,7 +25,18 @@
 //!   cluster-wide quiesce decision;
 //! * [`report`] — summable per-node counter summaries, so separate
 //!   processes can prove the agreement property (counters sum
-//!   **bit-equal** to the single-process run) through plain files.
+//!   **bit-equal** to the single-process run) through plain files;
+//! * [`error`] — the typed [`ClusterError`] taxonomy: every way a
+//!   cluster run can fail, as a value — `finish()` returns `Err`, it
+//!   never panics or hangs on a sick cluster (DESIGN.md §10);
+//! * [`chaos`] — deterministic fault injection: a
+//!   [`ChaosTransport`] wraps any transport and applies a seeded,
+//!   scriptable [`FaultPlan`] (drop / delay / duplicate / truncate /
+//!   corrupt the Nth frame on an edge, sever a connection, refuse an
+//!   accept, crash a node), so `crates/net/tests/chaos.rs` can
+//!   property-test recovery: under *any* plan the cluster either
+//!   completes bit-equal or every node returns a typed error within
+//!   its deadline.
 //!
 //! A migrated continuation really crosses an address space: the
 //! envelope ships the serialized task context plus the decision
@@ -62,15 +73,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod cluster;
+pub mod error;
 pub mod node;
 pub mod proto;
 pub mod report;
 pub mod transport;
 
-pub use cluster::{ClusterSpec, NodeSpec, TransportKind};
+pub use chaos::{run_workload_cluster_chaos, ChaosState, ChaosTransport, FaultAction, FaultPlan};
+pub use cluster::{ClusterSpec, ClusterTimeouts, NodeSpec, TransportKind};
+pub use error::ClusterError;
 pub use node::{
-    run_workload_cluster, run_workload_cluster_in_process, NetReport, NodeRuntime, WireSnapshot,
+    run_workload_cluster, run_workload_cluster_in_process, run_workload_cluster_with, NetReport,
+    NodeRuntime, WireSnapshot, CONNECT_TIMEOUT_ENV,
 };
 pub use report::CounterSummary;
 pub use transport::{

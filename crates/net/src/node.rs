@@ -1,15 +1,16 @@
-//! The node layer: membership, routing, distributed barriers, and
-//! cluster-wide quiesce.
+//! The node layer: membership, routing, distributed barriers,
+//! cluster-wide quiesce, and fail-fast error recovery.
 //!
 //! A [`NodeRuntime`] wraps one `em2-rt` [`Runtime`] owning this
 //! process's shard range and wires it to its peers:
 //!
 //! * **Connections.** Every node listens on its spec address; node `j`
-//!   dials every `i < j` (with retry — nodes come up in any order) and
-//!   opens with `Hello{node, wire_version, topology_digest}`; the
-//!   acceptor verifies and answers `HelloAck`. Version or topology
-//!   mismatch refuses the connection — two processes that disagree on
-//!   shard ownership must not exchange a single shard message.
+//!   dials every `i < j` (with jittered exponential backoff inside the
+//!   spec's connect budget — nodes come up in any order) and opens
+//!   with `Hello{node, wire_version, topology_digest}`; the acceptor
+//!   verifies and answers `HelloAck`. Version or topology mismatch
+//!   refuses the connection — two processes that disagree on shard
+//!   ownership must not exchange a single shard message.
 //! * **Routing.** The runtime hands any message addressed outside its
 //!   shard range to [`em2_rt::NodeLink::forward`]; the link wraps it
 //!   in [`NetMsg::Shard`] and ships it to the owner. One **reader
@@ -27,40 +28,57 @@
 //!   the coordinator broadcasts `Quiesce` and every runtime's workers
 //!   stop. Because a task retires only after its final access, quiesce
 //!   implies no shard message is in flight anywhere (DESIGN.md §9).
+//! * **Failure.** Nothing in this module panics or hangs on a sick
+//!   cluster (DESIGN.md §10). The first failure a node observes — a
+//!   dead send, an EOF without the protocol's goodbye, a checksum or
+//!   sequence-gap decode error, a heartbeat deadline, the run
+//!   watchdog — is recorded as a typed [`ClusterError`] in the node's
+//!   failure slot, the local workers are woken and drained through
+//!   [`em2_rt::RemoteInbox::begin_shutdown`], an [`NetMsg::Abort`] is
+//!   propagated (to the coordinator, which rebroadcasts), and
+//!   [`NodeRuntime::finish`] returns `Err` instead of counters that
+//!   never converged.
 //!
 //! Counter exactness: decisions, counters, and run histograms are
 //! per-thread program-order functions (DESIGN.md §7); distribution
 //! changes only *where* each access executes, so summing the nodes'
 //! [`em2_rt::RtReport`] counters reproduces the single-process run
 //! bit-for-bit — `crates/net/tests` pins this for loopback, UDS, and
-//! TCP.
+//! TCP, and `crates/net/tests/chaos.rs` pins that it *stays* true
+//! under benign injected faults (delays, duplicates).
 
 use crate::cluster::ClusterSpec;
+use crate::error::ClusterError;
 use crate::proto::NetMsg;
-use crate::transport::{Duplex, FrameRx, FrameTx};
+use crate::transport::{Duplex, FrameRx, FrameTx, Transport};
 use em2_engine::AtomicBarriers;
-use em2_model::ThreadId;
+use em2_model::{DetRng, ThreadId};
 use em2_placement::Placement;
 use em2_rt::wire::{WireMsg, WIRE_VERSION};
 use em2_rt::{NodeLink, NodeRole, RtConfig, RtReport, Runtime, TaskRegistry, TaskSpec};
 use em2_trace::Workload;
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
-/// How long a dialing node keeps retrying a peer that has not bound
-/// its endpoint yet.
-const CONNECT_DEADLINE: Duration = Duration::from_secs(30);
+/// Environment override for the connect budget
+/// (`ClusterTimeouts::connect_ms`), so test runs can fail fast without
+/// editing every spec string.
+pub const CONNECT_TIMEOUT_ENV: &str = "EM2_NET_CONNECT_TIMEOUT_MS";
 
 /// Per-node wire telemetry (atomics: shard workers and readers bump
-/// them concurrently).
+/// them concurrently). Control frames (heartbeats, aborts, goodbyes)
+/// are **excluded** so fault-free counters are identical whether or
+/// not heartbeats run.
 #[derive(Default)]
 struct WireStats {
     frames_tx: AtomicU64,
     bytes_tx: AtomicU64,
     frames_rx: AtomicU64,
     bytes_rx: AtomicU64,
+    /// Inbound frames discarded as sequence-layer duplicates.
+    dupes_rx: AtomicU64,
     /// Migration/eviction envelopes shipped to another process.
     arrives_tx: AtomicU64,
     /// Serialized task-context bytes inside those envelopes — the
@@ -72,14 +90,19 @@ struct WireStats {
 /// A snapshot of one node's wire telemetry.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WireSnapshot {
-    /// Frames sent to peers.
+    /// Frames sent to peers (control frames excluded).
     pub frames_tx: u64,
     /// Payload bytes sent (excluding the 4-byte frame header).
     pub bytes_tx: u64,
-    /// Frames received from peers.
+    /// Frames received from peers (control frames and duplicates
+    /// excluded).
     pub frames_rx: u64,
     /// Payload bytes received.
     pub bytes_rx: u64,
+    /// Inbound frames dropped by sequence-number deduplication — zero
+    /// on a healthy network; nonzero proves the codec absorbed a
+    /// duplicate-delivery fault without disturbing the run.
+    pub dupes_rx: u64,
     /// Task envelopes (migrations, evictions, seeds) sent cross-process.
     pub arrives_tx: u64,
     /// Serialized task-context bytes inside sent envelopes.
@@ -93,6 +116,7 @@ impl WireSnapshot {
         self.bytes_tx += o.bytes_tx;
         self.frames_rx += o.frames_rx;
         self.bytes_rx += o.bytes_rx;
+        self.dupes_rx += o.dupes_rx;
         self.arrives_tx += o.arrives_tx;
         self.context_bytes_tx += o.context_bytes_tx;
     }
@@ -113,13 +137,29 @@ struct Coordinator {
     state: Mutex<CoordState>,
 }
 
+/// One connection's send half plus its per-direction sequence counter
+/// (the handshake frame consumed sequence 0).
+struct PeerTx {
+    /// `None` after this node closed (or severed) the connection.
+    conn: Option<Box<dyn FrameTx>>,
+    next_seq: u64,
+}
+
 struct Peer {
-    /// `None` after this node closed the connection (post-quiesce).
-    tx: Mutex<Option<Box<dyn FrameTx>>>,
+    tx: Mutex<PeerTx>,
+    /// Milliseconds (since the link epoch) of the last frame sent to /
+    /// received from this peer — the heartbeat scheduler's idle and
+    /// liveness clocks.
+    last_tx_ms: AtomicU64,
+    last_rx_ms: AtomicU64,
+    /// The peer announced a clean close ([`NetMsg::Bye`]); a
+    /// subsequent EOF is a shutdown, not a loss.
+    bye: AtomicBool,
 }
 
 /// Everything shared between shard workers (via [`NodeLink`]), reader
-/// threads, and the [`NodeRuntime`] handle.
+/// threads, the heartbeat/watchdog threads, and the [`NodeRuntime`]
+/// handle.
 struct Links {
     spec: ClusterSpec,
     me: usize,
@@ -129,9 +169,17 @@ struct Links {
     inbox: OnceLock<em2_rt::RemoteInbox>,
     coord: Option<Coordinator>,
     stats: WireStats,
-    /// First transport/protocol failure, if any; `finish` refuses to
-    /// report counters from a cluster that lost a connection mid-run.
-    failure: Mutex<Option<String>>,
+    /// First failure observed on this node; `finish` refuses to report
+    /// counters from a cluster that broke mid-run.
+    failure: Mutex<Option<ClusterError>>,
+    /// The cluster quiesced cleanly: teardown noise (a peer's close
+    /// racing our heartbeat) is no longer a failure.
+    quiesced: AtomicBool,
+    /// The local run is over (set by `finish` after the workers
+    /// joined); stops the heartbeat and watchdog threads.
+    done: AtomicBool,
+    /// Origin of the `last_*_ms` clocks.
+    epoch: Instant,
 }
 
 impl Links {
@@ -139,43 +187,148 @@ impl Links {
         self.inbox.get().expect("inbox attached before readers run")
     }
 
-    fn fail(&self, msg: String) {
-        self.failure
-            .lock()
-            .expect("failure slot")
-            .get_or_insert(msg);
-        // Unstick the local workers; finish() will surface the error.
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn peer(&self, node: usize) -> &Peer {
+        self.peers[node].as_ref().expect("no connection to self")
+    }
+
+    /// The failure slot, poison-tolerant: a panicking holder must not
+    /// cascade into every other thread's error path.
+    fn lock_failure(&self) -> MutexGuard<'_, Option<ClusterError>> {
+        self.failure.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Record the run's first failure, wake the local workers, and
+    /// propagate an [`NetMsg::Abort`] so every other node fails fast
+    /// instead of waiting out its deadline. Later failures are
+    /// sympathetic noise and only reinforce the shutdown.
+    ///
+    /// Lock discipline: callers must NOT hold any peer `tx` mutex
+    /// (the abort fan-out takes them), and this function releases the
+    /// failure slot before sending anything.
+    fn fail(&self, err: ClusterError) {
+        if self.quiesced.load(Ordering::Acquire) {
+            // The run already completed; connection teardown noise
+            // cannot invalidate counters that converged.
+            return;
+        }
+        let first = {
+            let mut slot = self.lock_failure();
+            if slot.is_some() {
+                false
+            } else {
+                *slot = Some(err.clone());
+                true
+            }
+        };
         if let Some(inbox) = self.inbox.get() {
             inbox.begin_shutdown();
         }
+        if !first {
+            return;
+        }
+        match &err {
+            ClusterError::Aborted { from, reason } => {
+                // Sympathetic failure: the origin already knows. The
+                // coordinator relays to everyone else; leaves stop.
+                if self.me == 0 {
+                    for node in 0..self.spec.num_nodes() {
+                        if node != self.me && node != *from {
+                            self.send_quiet(
+                                node,
+                                &NetMsg::Abort {
+                                    reason: reason.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {
+                let reason = err.to_string();
+                if self.me == 0 {
+                    for node in 0..self.spec.num_nodes() {
+                        if node != self.me {
+                            self.send_quiet(
+                                node,
+                                &NetMsg::Abort {
+                                    reason: reason.clone(),
+                                },
+                            );
+                        }
+                    }
+                } else {
+                    self.send_quiet(0, &NetMsg::Abort { reason });
+                }
+            }
+        }
     }
 
-    /// Encode and ship one control message to a peer.
-    ///
-    /// # Panics
-    /// Panics on transport failure when called from a shard worker —
-    /// the runtime's panic fan-out then shuts the local fleet down and
-    /// `finish` propagates the error, which beats silently wedging a
-    /// distributed barrier.
-    fn send_to(&self, node: usize, msg: &NetMsg) {
-        let payload = msg.encode();
-        let peer = self.peers[node].as_ref().expect("no connection to self");
-        let mut tx = peer.tx.lock().expect("peer tx");
-        let r = match tx.as_mut() {
-            Some(tx) => tx.send_frame(&payload),
-            None => Err(io::Error::new(
-                io::ErrorKind::BrokenPipe,
-                "connection already closed",
-            )),
+    /// Best-effort control send: consumes a sequence number on
+    /// success, never counts toward telemetry, never records a
+    /// failure. The abort/goodbye path must not recurse into `fail`.
+    fn send_quiet(&self, node: usize, msg: &NetMsg) {
+        let Some(peer) = self.peers[node].as_ref() else {
+            return;
         };
-        if let Err(e) = r {
-            self.fail(format!("send to node {node} failed: {e}"));
-            panic!("em2-net: send to node {node} failed: {e}");
+        let mut tx = peer.tx.lock().unwrap_or_else(|p| p.into_inner());
+        let seq = tx.next_seq;
+        if let Some(conn) = tx.conn.as_mut() {
+            if conn.send_frame(&msg.encode(seq)).is_ok() {
+                tx.next_seq = seq + 1;
+                peer.last_tx_ms.store(self.now_ms(), Ordering::Relaxed);
+            }
         }
-        self.stats.frames_tx.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes_tx
-            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Encode and ship one message to a peer. A transport failure is
+    /// recorded as [`ClusterError::PeerLost`] (with the peer `tx`
+    /// mutex released first — the abort fan-out may need it) and
+    /// returned; it never panics, and the sequence number is consumed
+    /// only by a successful send.
+    fn send_to(&self, node: usize, msg: &NetMsg) -> Result<(), ClusterError> {
+        let peer = self.peer(node);
+        let counted = !msg.is_control();
+        let send_err = {
+            let mut tx = peer.tx.lock().unwrap_or_else(|p| p.into_inner());
+            let seq = tx.next_seq;
+            let payload = msg.encode(seq);
+            let r = match tx.conn.as_mut() {
+                Some(conn) => conn.send_frame(&payload),
+                None => Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "connection already closed",
+                )),
+            };
+            match r {
+                Ok(()) => {
+                    tx.next_seq = seq + 1;
+                    peer.last_tx_ms.store(self.now_ms(), Ordering::Relaxed);
+                    if counted {
+                        self.stats.frames_tx.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .bytes_tx
+                            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    }
+                    None
+                }
+                Err(e) => Some(ClusterError::PeerLost {
+                    node,
+                    detail: format!("send failed: {e}"),
+                }),
+            }
+            // tx mutex drops here, before fail() fans the abort out.
+        };
+        match send_err {
+            None => Ok(()),
+            Some(e) => {
+                self.fail(e.clone());
+                Err(e)
+            }
+        }
     }
 
     fn snapshot(&self) -> WireSnapshot {
@@ -184,6 +337,7 @@ impl Links {
             bytes_tx: self.stats.bytes_tx.load(Ordering::Relaxed),
             frames_rx: self.stats.frames_rx.load(Ordering::Relaxed),
             bytes_rx: self.stats.bytes_rx.load(Ordering::Relaxed),
+            dupes_rx: self.stats.dupes_rx.load(Ordering::Relaxed),
             arrives_tx: self.stats.arrives_tx.load(Ordering::Relaxed),
             context_bytes_tx: self.stats.context_bytes_tx.load(Ordering::Relaxed),
         }
@@ -195,11 +349,17 @@ impl Links {
         self.coord.as_ref().expect("only node 0 coordinates")
     }
 
+    fn coord_lock(&self) -> MutexGuard<'_, CoordState> {
+        // Poison-tolerant: the ledger is monotone counters, never
+        // half-updated, so a panicking holder leaves a usable state.
+        self.coord().state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     fn coord_barrier_arrive(&self, k: usize) {
         if self.coord().barriers.arrive(k) == em2_engine::BarrierArrival::Completes {
             for node in 0..self.spec.num_nodes() {
                 if node != self.me {
-                    self.send_to(node, &NetMsg::BarrierRelease { k: k as u32 });
+                    let _ = self.send_to(node, &NetMsg::BarrierRelease { k: k as u32 });
                 }
             }
             self.inbox().release_barrier(k);
@@ -207,20 +367,23 @@ impl Links {
     }
 
     fn coord_retired(&self) {
-        let mut st = self.coord().state.lock().expect("coord state");
+        let mut st = self.coord_lock();
         st.retired += 1;
         self.maybe_quiesce(&mut st);
     }
 
-    fn coord_closed(&self, submitted: u64) {
-        let mut st = self.coord().state.lock().expect("coord state");
+    fn coord_closed(&self, submitted: u64) -> Result<(), ClusterError> {
+        let mut st = self.coord_lock();
         st.closed_nodes += 1;
-        assert!(
-            st.closed_nodes <= self.spec.num_nodes(),
-            "more Closed messages than nodes"
-        );
+        if st.closed_nodes > self.spec.num_nodes() {
+            return Err(ClusterError::Protocol {
+                from: self.me,
+                detail: "more Closed messages than nodes".into(),
+            });
+        }
         st.submitted += submitted;
         self.maybe_quiesce(&mut st);
+        Ok(())
     }
 
     /// Declare cluster quiesce exactly once, when every node has
@@ -233,9 +396,10 @@ impl Links {
             return;
         }
         st.quiesced = true;
+        self.quiesced.store(true, Ordering::Release);
         for node in 0..self.spec.num_nodes() {
             if node != self.me {
-                self.send_to(node, &NetMsg::Quiesce);
+                let _ = self.send_to(node, &NetMsg::Quiesce);
             }
         }
         self.inbox().begin_shutdown();
@@ -252,7 +416,9 @@ impl NodeLink for Links {
                 .context_bytes_tx
                 .fetch_add(msg.context_payload_len() as u64, Ordering::Relaxed);
         }
-        self.send_to(
+        // A failed send already recorded the error and began the
+        // shutdown; the worker notices the flag on its next poll.
+        let _ = self.send_to(
             owner,
             &NetMsg::Shard {
                 to: to_shard as u32,
@@ -265,7 +431,7 @@ impl NodeLink for Links {
         if self.me == 0 {
             self.coord_barrier_arrive(k);
         } else {
-            self.send_to(0, &NetMsg::BarrierArrive { k: k as u32 });
+            let _ = self.send_to(0, &NetMsg::BarrierArrive { k: k as u32 });
         }
     }
 
@@ -273,43 +439,89 @@ impl NodeLink for Links {
         if self.me == 0 {
             self.coord_retired();
         } else {
-            self.send_to(0, &NetMsg::Retired);
+            let _ = self.send_to(0, &NetMsg::Retired);
         }
     }
 
     fn node_closed(&self, submitted: u64) {
         if self.me == 0 {
-            self.coord_closed(submitted);
+            if let Err(e) = self.coord_closed(submitted) {
+                self.fail(e);
+            }
         } else {
-            self.send_to(0, &NetMsg::Closed { submitted });
+            let _ = self.send_to(0, &NetMsg::Closed { submitted });
         }
     }
 }
 
-/// One reader thread: drain a peer connection into the runtime until
-/// clean EOF.
+/// One reader thread: drain a peer connection into the runtime.
+/// Returns on clean EOF (after the peer's [`NetMsg::Bye`] or the
+/// cluster's quiesce) or after recording a failure.
 fn reader_loop(links: &Links, from_node: usize, mut rx: Box<dyn FrameRx>) {
+    // The handshake frame consumed sequence 0 in each direction.
+    let mut expected_seq: u64 = 1;
+    let peer = links.peer(from_node);
     loop {
         let frame = match rx.recv_frame() {
             Ok(Some(f)) => f,
-            Ok(None) => return, // peer closed cleanly
+            Ok(None) => {
+                let clean = peer.bye.load(Ordering::Acquire)
+                    || links.quiesced.load(Ordering::Acquire)
+                    || links.done.load(Ordering::Acquire);
+                if !clean {
+                    links.fail(ClusterError::PeerLost {
+                        node: from_node,
+                        detail: "connection closed without a goodbye".into(),
+                    });
+                }
+                return;
+            }
             Err(e) => {
-                links.fail(format!("recv from node {from_node} failed: {e}"));
+                if !links.done.load(Ordering::Acquire) {
+                    links.fail(ClusterError::PeerLost {
+                        node: from_node,
+                        detail: format!("receive failed: {e}"),
+                    });
+                }
                 return;
             }
         };
-        links.stats.frames_rx.fetch_add(1, Ordering::Relaxed);
-        links
-            .stats
-            .bytes_rx
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
-        let msg = match NetMsg::decode(&frame) {
-            Ok(m) => m,
+        peer.last_rx_ms.store(links.now_ms(), Ordering::Relaxed);
+        let (seq, msg) = match NetMsg::decode(&frame) {
+            Ok(x) => x,
             Err(e) => {
-                links.fail(format!("bad frame from node {from_node}: {e}"));
+                links.fail(ClusterError::Codec {
+                    from: from_node,
+                    detail: e.to_string(),
+                });
                 return;
             }
         };
+        if seq < expected_seq {
+            // A replayed frame: its sequence was already consumed, so
+            // dropping it is exactly once-delivery — this is why
+            // duplicate faults leave the E12 sum bit-equal.
+            links.stats.dupes_rx.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if seq > expected_seq {
+            links.fail(ClusterError::Codec {
+                from: from_node,
+                detail: format!(
+                    "sequence gap from node {from_node}: expected {expected_seq}, got {seq} — \
+                     at least one frame was lost"
+                ),
+            });
+            return;
+        }
+        expected_seq += 1;
+        if !msg.is_control() {
+            links.stats.frames_rx.fetch_add(1, Ordering::Relaxed);
+            links
+                .stats
+                .bytes_rx
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        }
         match msg {
             NetMsg::Shard { to, msg } => {
                 let to = to as usize;
@@ -317,23 +529,29 @@ fn reader_loop(links: &Links, from_node: usize, mut rx: Box<dyn FrameRx>) {
                 // version-skewed) peer produces a named diagnostic
                 // instead of tripping the inbox's internal assert.
                 if to >= links.spec.total_shards || links.spec.owner_of(to) != links.me {
-                    links.fail(format!(
-                        "node {from_node} misrouted a message for shard {to}, which node {} \
-                         does not own",
-                        links.me
-                    ));
+                    links.fail(ClusterError::Protocol {
+                        from: from_node,
+                        detail: format!(
+                            "misrouted a message for shard {to}, which node {} does not own",
+                            links.me
+                        ),
+                    });
                     return;
                 }
                 if let Err(e) = links.inbox().deliver(to, msg) {
-                    links.fail(format!("undeliverable message from node {from_node}: {e}"));
+                    links.fail(ClusterError::Codec {
+                        from: from_node,
+                        detail: format!("undeliverable message: {e}"),
+                    });
                     return;
                 }
             }
             NetMsg::BarrierArrive { k } => {
                 if links.me != 0 {
-                    links.fail(format!(
-                        "node {from_node} sent BarrierArrive to non-coordinator"
-                    ));
+                    links.fail(ClusterError::Protocol {
+                        from: from_node,
+                        detail: "sent BarrierArrive to a non-coordinator".into(),
+                    });
                     return;
                 }
                 links.coord_barrier_arrive(k as usize);
@@ -343,27 +561,127 @@ fn reader_loop(links: &Links, from_node: usize, mut rx: Box<dyn FrameRx>) {
             }
             NetMsg::Retired => {
                 if links.me != 0 {
-                    links.fail(format!("node {from_node} sent Retired to non-coordinator"));
+                    links.fail(ClusterError::Protocol {
+                        from: from_node,
+                        detail: "sent Retired to a non-coordinator".into(),
+                    });
                     return;
                 }
                 links.coord_retired();
             }
             NetMsg::Closed { submitted } => {
                 if links.me != 0 {
-                    links.fail(format!("node {from_node} sent Closed to non-coordinator"));
+                    links.fail(ClusterError::Protocol {
+                        from: from_node,
+                        detail: "sent Closed to a non-coordinator".into(),
+                    });
                     return;
                 }
-                links.coord_closed(submitted);
+                if let Err(e) = links.coord_closed(submitted) {
+                    links.fail(e);
+                    return;
+                }
             }
             NetMsg::Quiesce => {
+                links.quiesced.store(true, Ordering::Release);
                 links.inbox().begin_shutdown();
                 // Keep reading to EOF so the close is clean.
             }
+            NetMsg::Heartbeat => {
+                // Pure liveness: `last_rx_ms` is already refreshed.
+            }
+            NetMsg::Abort { reason } => {
+                links.fail(ClusterError::Aborted {
+                    from: from_node,
+                    reason,
+                });
+                return;
+            }
+            NetMsg::Bye => {
+                peer.bye.store(true, Ordering::Release);
+                // EOF follows; fall through to the clean-close path.
+            }
             NetMsg::Hello { .. } | NetMsg::HelloAck { .. } => {
-                links.fail(format!("node {from_node} re-sent a handshake mid-run"));
+                links.fail(ClusterError::Protocol {
+                    from: from_node,
+                    detail: "re-sent a handshake mid-run".into(),
+                });
                 return;
             }
         }
+    }
+}
+
+/// Heartbeat thread: keep idle edges warm (a heartbeat advances the
+/// sequence stream, so a dropped frame surfaces as a gap within one
+/// heartbeat interval even on an otherwise quiet edge) and declare a
+/// peer lost after `peer_deadline_ms` of receive silence.
+fn heartbeat_loop(links: &Links) {
+    let hb = links.spec.timeouts.heartbeat_ms;
+    let deadline = links.spec.timeouts.peer_deadline_ms();
+    let tick = Duration::from_millis((hb / 4).clamp(1, 50));
+    while !links.done.load(Ordering::Acquire) {
+        std::thread::sleep(tick);
+        if links.done.load(Ordering::Acquire) || links.quiesced.load(Ordering::Acquire) {
+            return;
+        }
+        let now = links.now_ms();
+        for (node, peer) in links.peers.iter().enumerate() {
+            let Some(peer) = peer else { continue };
+            if now.saturating_sub(peer.last_tx_ms.load(Ordering::Relaxed)) >= hb {
+                let _ = links.send_to(node, &NetMsg::Heartbeat);
+            }
+            let silent = now.saturating_sub(peer.last_rx_ms.load(Ordering::Relaxed));
+            if silent >= deadline {
+                links.fail(ClusterError::PeerLost {
+                    node,
+                    detail: format!("no frames for {silent} ms (heartbeat deadline {deadline} ms)"),
+                });
+            }
+        }
+    }
+}
+
+/// Run-deadline watchdog: if the run neither quiesces nor fails
+/// within `run_ms` of [`NodeRuntime::finish`], record a typed timeout
+/// (classified by what the local shards are stuck on) and force the
+/// shutdown so `finish` returns instead of hanging.
+fn watchdog_loop(links: &Links, run_ms: u64) {
+    let deadline = Instant::now() + Duration::from_millis(run_ms);
+    loop {
+        if links.done.load(Ordering::Acquire) || links.quiesced.load(Ordering::Acquire) {
+            return;
+        }
+        if links.lock_failure().is_some() {
+            // Already failing; the shutdown is underway.
+            return;
+        }
+        if Instant::now() >= deadline {
+            let b = links.inbox.get().map(|i| i.backlog()).unwrap_or_default();
+            let detail = format!(
+                "local backlog: {} runnable, {} parked at barriers, {} awaiting replies, \
+                 {} stalled on admission ({} shards busy)",
+                b.runnable,
+                b.parked_barrier,
+                b.awaiting_reply,
+                b.stalled_admission,
+                b.skipped_shards
+            );
+            let err = if b.parked_barrier > 0 {
+                ClusterError::BarrierTimeout {
+                    waited_ms: run_ms,
+                    detail,
+                }
+            } else {
+                ClusterError::QuiesceTimeout {
+                    waited_ms: run_ms,
+                    detail,
+                }
+            };
+            links.fail(err);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
     }
 }
 
@@ -391,19 +709,31 @@ pub struct NodeRuntime {
     rt: Option<Runtime>,
     links: Arc<Links>,
     readers: Vec<std::thread::JoinHandle<()>>,
+    heartbeat: Option<std::thread::JoinHandle<()>>,
     node: usize,
     transport: &'static str,
 }
 
+fn connect_budget_ms(spec: &ClusterSpec) -> u64 {
+    std::env::var(CONNECT_TIMEOUT_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(spec.timeouts.connect_ms)
+}
+
 impl NodeRuntime {
-    /// Join the cluster as `node` and bring the local shard range up.
+    /// Join the cluster as `node` and bring the local shard range up,
+    /// over the transport named by `spec.kind`.
     ///
-    /// Blocks until connected to every peer (the handshake tolerates
-    /// peers launching in any order within a 30-second dial deadline).
-    /// `cfg.shards` must equal the spec's cluster-wide shard count;
-    /// `registry` must know every task kind the cluster migrates, and
-    /// `scheme_factory` / `barrier_quotas` must be identical on every
-    /// node (the handshake can only check the topology).
+    /// Blocks until connected to every peer: the handshake tolerates
+    /// peers launching in any order within the spec's connect budget
+    /// (`connect_timeout_ms=`, overridable via
+    /// [`CONNECT_TIMEOUT_ENV`]), retrying with jittered exponential
+    /// backoff. `cfg.shards` must equal the spec's cluster-wide shard
+    /// count; `registry` must know every task kind the cluster
+    /// migrates, and `scheme_factory` / `barrier_quotas` must be
+    /// identical on every node (the handshake can only check the
+    /// topology).
     #[allow(clippy::too_many_arguments)]
     pub fn start(
         spec: ClusterSpec,
@@ -414,27 +744,56 @@ impl NodeRuntime {
         registry: TaskRegistry,
         scheme_factory: fn() -> Box<dyn em2_core::decision::DecisionScheme>,
         barrier_quotas: Vec<usize>,
-    ) -> io::Result<NodeRuntime> {
+    ) -> Result<NodeRuntime, ClusterError> {
+        let transport = spec.kind.make();
+        Self::start_with_transport(
+            transport,
+            spec,
+            node,
+            cfg,
+            name,
+            placement,
+            registry,
+            scheme_factory,
+            barrier_quotas,
+        )
+    }
+
+    /// [`NodeRuntime::start`] over an explicit transport — the seam
+    /// the chaos harness injects [`crate::chaos::ChaosTransport`]
+    /// through. `transport.kind()` should agree with `spec.kind` (it
+    /// names the transport in reports).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with_transport(
+        transport: Box<dyn Transport>,
+        spec: ClusterSpec,
+        node: usize,
+        cfg: RtConfig,
+        name: impl Into<String>,
+        placement: Arc<dyn Placement>,
+        registry: TaskRegistry,
+        scheme_factory: fn() -> Box<dyn em2_core::decision::DecisionScheme>,
+        barrier_quotas: Vec<usize>,
+    ) -> Result<NodeRuntime, ClusterError> {
         spec.validate()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+            .map_err(|e| ClusterError::Config { detail: e })?;
         if node >= spec.num_nodes() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("node {node} not in a {}-node cluster", spec.num_nodes()),
-            ));
+            return Err(ClusterError::Config {
+                detail: format!("node {node} not in a {}-node cluster", spec.num_nodes()),
+            });
         }
         if cfg.shards != spec.total_shards {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
+            return Err(ClusterError::Config {
+                detail: format!(
                     "cfg.shards ({}) != cluster shard count ({})",
                     cfg.shards, spec.total_shards
                 ),
-            ));
+            });
         }
-        let transport = spec.kind.make();
         let digest = spec.digest();
         let nodes = spec.num_nodes();
+        let budget = Duration::from_millis(connect_budget_ms(&spec).max(1));
+        let handshake_deadline = Instant::now() + budget;
 
         // Accept from higher ids, dial lower ids.
         let expected_inbound = nodes - 1 - node;
@@ -446,16 +805,20 @@ impl NodeRuntime {
 
         let mut conns: Vec<Option<Duplex>> = (0..nodes).map(|_| None).collect();
         for peer in 0..node {
-            let mut duplex = connect_with_retry(&*transport, &spec.nodes[peer].addr)?;
-            duplex.tx.send_frame(
-                &NetMsg::Hello {
-                    node: node as u32,
-                    wire_version: WIRE_VERSION,
-                    topology: digest,
-                }
-                .encode(),
-            )?;
-            match recv_msg(&mut *duplex.rx)? {
+            let mut duplex =
+                connect_with_retry(&*transport, &spec.nodes[peer].addr, handshake_deadline)?;
+            duplex
+                .tx
+                .send_frame(
+                    &NetMsg::Hello {
+                        node: node as u32,
+                        wire_version: WIRE_VERSION,
+                        topology: digest,
+                    }
+                    .encode(0),
+                )
+                .map_err(|e| handshake_err(format!("sending Hello to node {peer}: {e}")))?;
+            match recv_handshake(&mut *duplex.rx, handshake_deadline)? {
                 NetMsg::HelloAck {
                     node: n,
                     topology: t,
@@ -469,8 +832,12 @@ impl NodeRuntime {
             conns[peer] = Some(duplex);
         }
         for _ in 0..expected_inbound {
-            let mut duplex = acceptor.as_mut().expect("listening").accept()?;
-            let peer = match recv_msg(&mut *duplex.rx)? {
+            let mut duplex = acceptor
+                .as_mut()
+                .expect("listening")
+                .accept_deadline(handshake_deadline)
+                .map_err(|e| handshake_err(format!("accepting a peer: {e}")))?;
+            let peer = match recv_handshake(&mut *duplex.rx, handshake_deadline)? {
                 NetMsg::Hello {
                     node: n,
                     wire_version,
@@ -494,25 +861,38 @@ impl NodeRuntime {
                 }
                 other => return Err(handshake_err(format!("expected Hello, got {other:?}"))),
             };
-            duplex.tx.send_frame(
-                &NetMsg::HelloAck {
-                    node: node as u32,
-                    topology: digest,
-                }
-                .encode(),
-            )?;
+            duplex
+                .tx
+                .send_frame(
+                    &NetMsg::HelloAck {
+                        node: node as u32,
+                        topology: digest,
+                    }
+                    .encode(0),
+                )
+                .map_err(|e| handshake_err(format!("answering node {peer}: {e}")))?;
             conns[peer] = Some(duplex);
         }
         drop(acceptor);
 
+        let epoch = Instant::now();
         let mut peers: Vec<Option<Peer>> = Vec::with_capacity(nodes);
         let mut rxs: Vec<(usize, Box<dyn FrameRx>)> = Vec::new();
         for (i, c) in conns.into_iter().enumerate() {
             match c {
                 None => peers.push(None),
-                Some(d) => {
+                Some(mut d) => {
+                    // Clear any handshake receive deadline: run-phase
+                    // liveness belongs to heartbeats and the watchdog.
+                    let _ = d.rx.set_recv_timeout(None);
                     peers.push(Some(Peer {
-                        tx: Mutex::new(Some(d.tx)),
+                        tx: Mutex::new(PeerTx {
+                            conn: Some(d.tx),
+                            next_seq: 1,
+                        }),
+                        last_tx_ms: AtomicU64::new(0),
+                        last_rx_ms: AtomicU64::new(0),
+                        bye: AtomicBool::new(false),
                     }));
                     rxs.push((i, d.rx));
                 }
@@ -533,6 +913,9 @@ impl NodeRuntime {
             }),
             stats: WireStats::default(),
             failure: Mutex::new(None),
+            quiesced: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            epoch,
             spec,
         });
 
@@ -556,7 +939,7 @@ impl NodeRuntime {
             .ok()
             .expect("inbox set once");
 
-        let kind_name = links.spec.kind.name();
+        let kind_name = transport.kind();
         let readers = rxs
             .into_iter()
             .map(|(peer, rx)| {
@@ -567,11 +950,19 @@ impl NodeRuntime {
                     .expect("spawn reader")
             })
             .collect();
+        let heartbeat = (links.spec.timeouts.heartbeat_ms > 0 && nodes > 1).then(|| {
+            let links = Arc::clone(&links);
+            std::thread::Builder::new()
+                .name("em2-net-heartbeat".into())
+                .spawn(move || heartbeat_loop(&links))
+                .expect("spawn heartbeat")
+        });
 
         Ok(NodeRuntime {
             rt: Some(rt),
             links,
             readers,
+            heartbeat,
             node,
             transport: kind_name,
         })
@@ -600,75 +991,131 @@ impl NodeRuntime {
     /// Close admission, run the cluster to quiesce, tear down the
     /// connections, and report.
     ///
+    /// On a healthy cluster this returns the node's counters after the
+    /// coordinator's quiesce decision. On a sick one — a lost peer, a
+    /// corrupt frame, a barrier that never releases, a quiesce that
+    /// never arrives within the spec's `timeout_ms` — it returns the
+    /// first [`ClusterError`] this node observed, after waking and
+    /// draining the local workers. Partial counters are worse than no
+    /// counters, so no report ever carries a failed run's numbers.
+    ///
     /// # Panics
-    /// Panics if a task panicked, a connection failed mid-run, or a
-    /// peer sent a malformed frame — partial counters are worse than
-    /// no counters.
-    pub fn finish(mut self) -> NetReport {
+    /// Panics only if a *task* panicked (the runtime's panic fan-out
+    /// re-raises it) — infrastructure failures are all `Err`.
+    pub fn finish(mut self) -> Result<NetReport, ClusterError> {
         let rt = self.rt.take().expect("finish called once");
+        let run_ms = self.links.spec.timeouts.run_ms;
+        let watchdog = (run_ms > 0).then(|| {
+            let links = Arc::clone(&self.links);
+            std::thread::Builder::new()
+                .name("em2-net-watchdog".into())
+                .spawn(move || watchdog_loop(&links, run_ms))
+                .expect("spawn watchdog")
+        });
         // Blocks until the coordinator's quiesce decision reaches the
-        // local workers (via our reader threads) and they exit.
+        // local workers (via our reader threads) — or until fail()
+        // forces the shutdown — and the workers exit.
         let report = rt.finish();
-        // Close our write halves: peers' readers see clean EOF.
-        for p in self.links.peers.iter().flatten() {
-            let mut tx = p.tx.lock().expect("peer tx");
-            if let Some(t) = tx.as_mut() {
-                let _ = t.close();
+        self.links.done.store(true, Ordering::Release);
+        if let Some(w) = watchdog {
+            let _ = w.join();
+        }
+        if let Some(h) = self.heartbeat.take() {
+            let _ = h.join();
+        }
+        let failed = self.links.lock_failure().clone();
+        // Teardown: a clean run says goodbye first, so peers can tell
+        // our EOF from a crash; a failed run closes abruptly — the
+        // missing Bye *is* the failure signal for peers that have not
+        // heard the abort yet.
+        for (node, p) in self.links.peers.iter().enumerate() {
+            let Some(p) = p else { continue };
+            if failed.is_none() {
+                self.links.send_quiet(node, &NetMsg::Bye);
             }
-            *tx = None;
+            let mut tx = p.tx.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(c) = tx.conn.as_mut() {
+                let _ = c.close();
+            }
+            tx.conn = None;
         }
         // Readers exit when peers close theirs (every node does this
-        // after its own finish).
+        // after its own finish, deadline-bounded by its own watchdog).
         let reader_panicked = self.readers.drain(..).any(|r| r.join().is_err());
-        // Surface the recorded diagnostic first: a panicking reader
-        // (bad peer frame, transport death mid-dispatch) records *why*
-        // in `failure` before unwinding, and that message names the
-        // peer — far more actionable than the bare join error.
-        if let Some(e) = self.links.failure.lock().expect("failure slot").take() {
-            panic!("em2-net: cluster run failed: {e}");
+        if let Some(e) = failed {
+            return Err(e);
         }
-        assert!(
-            !reader_panicked,
-            "em2-net: a reader thread panicked without recording a failure"
-        );
-        NetReport {
+        if reader_panicked {
+            return Err(ClusterError::Io {
+                detail: "a reader thread panicked without recording a failure".into(),
+            });
+        }
+        Ok(NetReport {
             rt: report,
             wire: self.links.snapshot(),
             node: self.node,
             nodes: self.links.spec.num_nodes(),
             transport: self.transport,
-        }
+        })
     }
 }
 
-fn handshake_err(msg: String) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("handshake: {msg}"))
+fn handshake_err(msg: String) -> ClusterError {
+    ClusterError::Handshake { detail: msg }
 }
 
-fn recv_msg(rx: &mut dyn FrameRx) -> io::Result<NetMsg> {
+/// Receive one handshake message with the remaining connect budget as
+/// the read deadline — a peer that connects and then goes silent must
+/// not wedge the whole cluster's startup.
+fn recv_handshake(rx: &mut dyn FrameRx, deadline: Instant) -> Result<NetMsg, ClusterError> {
+    let left = deadline.saturating_duration_since(Instant::now());
+    if left.is_zero() {
+        return Err(handshake_err("connect budget exhausted".into()));
+    }
+    let _ = rx.set_recv_timeout(Some(left));
     let frame = rx
-        .recv_frame()?
+        .recv_frame()
+        .map_err(|e| handshake_err(format!("receive failed: {e}")))?
         .ok_or_else(|| handshake_err("peer closed during handshake".into()))?;
-    NetMsg::decode(&frame).map_err(|e| handshake_err(e.to_string()))
+    let (seq, msg) = NetMsg::decode(&frame).map_err(|e| handshake_err(e.to_string()))?;
+    if seq != 0 {
+        return Err(handshake_err(format!(
+            "handshake frame carried sequence {seq}, expected 0"
+        )));
+    }
+    Ok(msg)
 }
 
+/// Dial `addr` until it answers or the deadline passes, backing off
+/// exponentially (1 ms doubling to a 200 ms cap) with deterministic
+/// jitter seeded from the address — retries from many nodes spread
+/// out instead of stampeding the listener in lockstep.
 fn connect_with_retry(
-    transport: &dyn crate::transport::Transport,
+    transport: &dyn Transport,
     addr: &str,
-) -> io::Result<Duplex> {
-    let deadline = Instant::now() + CONNECT_DEADLINE;
+    deadline: Instant,
+) -> Result<Duplex, ClusterError> {
+    let t0 = Instant::now();
+    let mut rng = DetRng::new(addr.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    }));
+    let mut delay_ms: u64 = 2;
     loop {
         match transport.connect(addr) {
             Ok(d) => return Ok(d),
-            Err(e) if Instant::now() < deadline => {
-                let _ = e;
-                std::thread::sleep(Duration::from_millis(20));
-            }
             Err(e) => {
-                return Err(io::Error::new(
-                    e.kind(),
-                    format!("connect to {addr:?} timed out: {e}"),
-                ))
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(ClusterError::ConnectTimeout {
+                        addr: addr.to_string(),
+                        waited_ms: t0.elapsed().as_millis() as u64,
+                        detail: e.to_string(),
+                    });
+                }
+                let jittered = delay_ms / 2 + rng.below(delay_ms / 2 + 1);
+                let left = deadline.saturating_duration_since(now);
+                std::thread::sleep(Duration::from_millis(jittered).min(left));
+                delay_ms = (delay_ms * 2).min(200);
             }
         }
     }
@@ -688,10 +1135,35 @@ pub fn run_workload_cluster(
     workload: &Arc<Workload>,
     placement: Arc<dyn Placement>,
     scheme_factory: fn() -> Box<dyn em2_core::decision::DecisionScheme>,
-) -> io::Result<NetReport> {
+) -> Result<NetReport, ClusterError> {
+    let transport = spec.kind.make();
+    run_workload_cluster_with(
+        transport,
+        spec,
+        node,
+        cfg,
+        workload,
+        placement,
+        scheme_factory,
+    )
+}
+
+/// [`run_workload_cluster`] over an explicit transport (the chaos
+/// harness's entry point).
+#[allow(clippy::too_many_arguments)]
+pub fn run_workload_cluster_with(
+    transport: Box<dyn Transport>,
+    spec: ClusterSpec,
+    node: usize,
+    cfg: RtConfig,
+    workload: &Arc<Workload>,
+    placement: Arc<dyn Placement>,
+    scheme_factory: fn() -> Box<dyn em2_core::decision::DecisionScheme>,
+) -> Result<NetReport, ClusterError> {
     let quotas = em2_engine::barrier_quotas(workload.threads.iter().map(|t| t.barriers.len()));
     let (first, count) = spec.span(node);
-    let mut nrt = NodeRuntime::start(
+    let mut nrt = NodeRuntime::start_with_transport(
+        transport,
         spec,
         node,
         cfg,
@@ -713,21 +1185,21 @@ pub fn run_workload_cluster(
             );
         }
     }
-    Ok(nrt.finish())
+    nrt.finish()
 }
 
 /// Run a whole cluster inside one process (one OS thread per node
 /// driving [`run_workload_cluster`]) — the loopback configuration the
 /// E12 experiment and the agreement tests use. Reports are returned in
-/// node order.
+/// node order; the first node failure is the `Err`.
 pub fn run_workload_cluster_in_process(
     spec: &ClusterSpec,
     cfg: &RtConfig,
     workload: &Arc<Workload>,
     placement: &Arc<dyn Placement>,
     scheme_factory: fn() -> Box<dyn em2_core::decision::DecisionScheme>,
-) -> io::Result<Vec<NetReport>> {
-    let mut reports: Vec<io::Result<NetReport>> = std::thread::scope(|s| {
+) -> Result<Vec<NetReport>, ClusterError> {
+    let mut reports: Vec<Result<NetReport, ClusterError>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..spec.num_nodes())
             .map(|node| {
                 let spec = spec.clone();

@@ -1,23 +1,41 @@
 //! The node-to-node control protocol.
 //!
 //! Every frame a cluster connection carries is one [`NetMsg`]:
-//! `[u32 MAGIC][u8 PROTO_VERSION][u8 tag][fields]`, integers
-//! little-endian, built on the same cursor primitives as the runtime's
-//! wire codec (`em2_rt::wire`) so every decoder fails with the same
-//! typed errors and never panics. A [`NetMsg::Shard`] embeds a full
-//! [`WireMsg`] (which carries its own version byte) — the transport
-//! layer is a dumb router for those; everything else is membership,
-//! barriers, and completion accounting (see the node lifecycle state
-//! machine in DESIGN.md §9).
+//! `[u32 MAGIC][u8 PROTO_VERSION][u64 seq][u32 check][u8 tag][fields]`,
+//! integers little-endian, built on the same cursor primitives as the
+//! runtime's wire codec (`em2_rt::wire`) so every decoder fails with
+//! the same typed errors and never panics. Two header fields exist
+//! purely for failure detection (DESIGN.md §10):
+//!
+//! * **`seq`** — a per-connection, per-direction frame counter
+//!   starting at 0 with the handshake frame. The receiver drops any
+//!   frame whose sequence it has already consumed (a *duplicate* is
+//!   invisible to the runtime, which is what keeps the E12 bit-equal
+//!   sum intact under duplicate faults) and treats a forward jump as
+//!   proof of frame loss — a typed error the moment the *next* frame
+//!   (or an idle heartbeat) lands, instead of a silent stall.
+//! * **`check`** — FNV-1a over `seq ++ tag ++ fields`, truncated to
+//!   32 bits. A flipped bit anywhere in the payload fails the
+//!   checksum even when the mutated bytes would still parse, so
+//!   corruption can never masquerade as a valid (wrong) message.
+//!
+//! A [`NetMsg::Shard`] embeds a full [`WireMsg`] (which carries its
+//! own version byte) — the transport layer is a dumb router for
+//! those; everything else is membership, barriers, completion
+//! accounting, and the failure-control plane ([`NetMsg::Heartbeat`],
+//! [`NetMsg::Abort`], [`NetMsg::Bye`]) — see the node lifecycle state
+//! machine in DESIGN.md §9–§10.
 
 use em2_model::bytes::CodecError;
-use em2_rt::wire::{put_u32, put_u64, Cursor, WireError, WireMsg};
+use em2_rt::wire::{put_bytes, put_u32, put_u64, Cursor, WireError, WireMsg};
 
 /// First four bytes of every frame: `"EM2N"`.
 pub const MAGIC: [u8; 4] = *b"EM2N";
 
 /// Control-protocol version; the handshake refuses mismatches.
-pub const PROTO_VERSION: u8 = 1;
+/// Version 2 added the sequence/checksum header and the
+/// failure-control messages (`Heartbeat`/`Abort`/`Bye`).
+pub const PROTO_VERSION: u8 = 2;
 
 /// One node-to-node control message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,56 +87,99 @@ pub enum NetMsg {
     /// Every node closed and every task retired: stop
     /// (coordinator → everyone).
     Quiesce,
+    /// Idle-connection keep-alive. Carries no payload and is excluded
+    /// from wire telemetry; its job is to advance the sequence stream
+    /// (exposing dropped frames) and refresh the peer's liveness
+    /// clock in bounded time.
+    Heartbeat,
+    /// The sender's run failed; every receiver records the reason and
+    /// shuts its local workers down (node → coordinator, then
+    /// coordinator → everyone).
+    Abort {
+        /// Rendered `ClusterError` of the originating failure.
+        reason: String,
+    },
+    /// Orderly goodbye, sent immediately before a clean close. An EOF
+    /// *without* a preceding `Bye` is a peer loss, not a shutdown —
+    /// this is what separates a severed connection from a finished
+    /// node without racing the quiesce broadcast.
+    Bye,
+}
+
+/// FNV-1a over `seq ++ body`, truncated to 32 bits — the frame
+/// integrity check.
+fn frame_check(seq: u64, body: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&seq.to_le_bytes());
+    eat(body);
+    (h ^ (h >> 32)) as u32
 }
 
 impl NetMsg {
-    /// Encode as a frame payload.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut b = Vec::with_capacity(16);
-        b.extend_from_slice(&MAGIC);
-        b.push(PROTO_VERSION);
+    /// Encode as a frame payload carrying sequence number `seq`.
+    pub fn encode(&self, seq: u64) -> Vec<u8> {
+        let mut body = Vec::with_capacity(16);
         match self {
             NetMsg::Hello {
                 node,
                 wire_version,
                 topology,
             } => {
-                b.push(0);
-                put_u32(&mut b, *node);
-                b.push(*wire_version);
-                put_u64(&mut b, *topology);
+                body.push(0);
+                put_u32(&mut body, *node);
+                body.push(*wire_version);
+                put_u64(&mut body, *topology);
             }
             NetMsg::HelloAck { node, topology } => {
-                b.push(1);
-                put_u32(&mut b, *node);
-                put_u64(&mut b, *topology);
+                body.push(1);
+                put_u32(&mut body, *node);
+                put_u64(&mut body, *topology);
             }
             NetMsg::Shard { to, msg } => {
-                b.push(2);
-                put_u32(&mut b, *to);
-                msg.encode_into(&mut b);
+                body.push(2);
+                put_u32(&mut body, *to);
+                msg.encode_into(&mut body);
             }
             NetMsg::BarrierArrive { k } => {
-                b.push(3);
-                put_u32(&mut b, *k);
+                body.push(3);
+                put_u32(&mut body, *k);
             }
             NetMsg::BarrierRelease { k } => {
-                b.push(4);
-                put_u32(&mut b, *k);
+                body.push(4);
+                put_u32(&mut body, *k);
             }
             NetMsg::Closed { submitted } => {
-                b.push(5);
-                put_u64(&mut b, *submitted);
+                body.push(5);
+                put_u64(&mut body, *submitted);
             }
-            NetMsg::Retired => b.push(6),
-            NetMsg::Quiesce => b.push(7),
+            NetMsg::Retired => body.push(6),
+            NetMsg::Quiesce => body.push(7),
+            NetMsg::Heartbeat => body.push(8),
+            NetMsg::Abort { reason } => {
+                body.push(9);
+                put_bytes(&mut body, reason.as_bytes());
+            }
+            NetMsg::Bye => body.push(10),
         }
+        let mut b = Vec::with_capacity(body.len() + 17);
+        b.extend_from_slice(&MAGIC);
+        b.push(PROTO_VERSION);
+        put_u64(&mut b, seq);
+        put_u32(&mut b, frame_check(seq, &body));
+        b.extend_from_slice(&body);
         b
     }
 
-    /// Decode a frame payload. Never panics; malformed input is a
-    /// typed [`WireError`].
-    pub fn decode(bytes: &[u8]) -> Result<NetMsg, WireError> {
+    /// Decode a frame payload into `(seq, message)`. Never panics;
+    /// malformed input — including any single flipped bit, caught by
+    /// the checksum — is a typed [`WireError`].
+    pub fn decode(bytes: &[u8]) -> Result<(u64, NetMsg), WireError> {
         let mut r = Cursor::new(bytes);
         for (i, want) in MAGIC.iter().enumerate() {
             let got = r.u8()?;
@@ -142,6 +203,18 @@ impl NetMsg {
                 want: PROTO_VERSION,
             });
         }
+        let seq = r.u64()?;
+        let declared = r.u32()?;
+        let body = r.rest();
+        let got = frame_check(seq, body);
+        if got != declared {
+            return Err(CodecError::Checksum {
+                got,
+                want: declared,
+            }
+            .into());
+        }
+        let mut r = Cursor::new(body);
         let msg = match r.u8()? {
             0 => NetMsg::Hello {
                 node: r.u32()?,
@@ -155,10 +228,13 @@ impl NetMsg {
             2 => {
                 let to = r.u32()?;
                 // The embedded WireMsg consumes the rest of the frame.
-                return Ok(NetMsg::Shard {
-                    to,
-                    msg: WireMsg::decode(r.rest())?,
-                });
+                return Ok((
+                    seq,
+                    NetMsg::Shard {
+                        to,
+                        msg: WireMsg::decode(r.rest())?,
+                    },
+                ));
             }
             3 => NetMsg::BarrierArrive { k: r.u32()? },
             4 => NetMsg::BarrierRelease { k: r.u32()? },
@@ -167,6 +243,11 @@ impl NetMsg {
             },
             6 => NetMsg::Retired,
             7 => NetMsg::Quiesce,
+            8 => NetMsg::Heartbeat,
+            9 => NetMsg::Abort {
+                reason: String::from_utf8_lossy(&r.bytes()?).into_owned(),
+            },
+            10 => NetMsg::Bye,
             tag => {
                 return Err(CodecError::BadTag {
                     what: "net-msg",
@@ -176,7 +257,15 @@ impl NetMsg {
             }
         };
         r.finish()?;
-        Ok(msg)
+        Ok((seq, msg))
+    }
+
+    /// Whether this message is failure-control plumbing (heartbeats,
+    /// aborts, goodbyes) rather than run traffic. Control frames are
+    /// excluded from wire telemetry so fault-free counters stay
+    /// exactly reproducible whether or not heartbeats are enabled.
+    pub fn is_control(&self) -> bool {
+        matches!(self, NetMsg::Heartbeat | NetMsg::Abort { .. } | NetMsg::Bye)
     }
 }
 
@@ -210,38 +299,80 @@ mod tests {
             NetMsg::Closed { submitted: 1000 },
             NetMsg::Retired,
             NetMsg::Quiesce,
+            NetMsg::Heartbeat,
+            NetMsg::Abort {
+                reason: "lost peer node 1: connection severed".into(),
+            },
+            NetMsg::Bye,
         ]
     }
 
     #[test]
-    fn every_variant_round_trips() {
-        for m in variants() {
-            let bytes = m.encode();
+    fn every_variant_round_trips_with_its_sequence() {
+        for (i, m) in variants().into_iter().enumerate() {
+            let seq = (i as u64) * 1_000_003;
+            let bytes = m.encode(seq);
             assert_eq!(&bytes[..4], &MAGIC);
-            assert_eq!(NetMsg::decode(&bytes).expect("round trip"), m);
+            let (got_seq, got) = NetMsg::decode(&bytes).expect("round trip");
+            assert_eq!(got_seq, seq);
+            assert_eq!(got, m);
         }
     }
 
     #[test]
     fn truncations_and_garbage_are_typed_errors() {
         for m in variants() {
-            let full = m.encode();
+            let full = m.encode(7);
             for cut in 0..full.len() {
                 assert!(NetMsg::decode(&full[..cut]).is_err(), "cut {cut}");
             }
         }
-        assert!(NetMsg::decode(b"XXXXXXXX").is_err());
-        let mut wrong_ver = NetMsg::Quiesce.encode();
+        assert!(NetMsg::decode(b"XXXXXXXXXXXXXXXXXXXX").is_err());
+        let mut wrong_ver = NetMsg::Quiesce.encode(0);
         wrong_ver[4] = PROTO_VERSION + 1;
         assert!(matches!(
             NetMsg::decode(&wrong_ver),
             Err(WireError::Version { .. })
         ));
-        let mut trailing = NetMsg::Quiesce.encode();
+        let mut trailing = NetMsg::Quiesce.encode(0);
         trailing.push(1);
-        assert!(matches!(
-            NetMsg::decode(&trailing),
-            Err(WireError::Codec(CodecError::Trailing { .. }))
-        ));
+        // Appended bytes change the checksum before the tail decoder
+        // ever sees them.
+        assert!(NetMsg::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // The checksum closes the "corruption that still parses" hole:
+        // no one-bit mutation of any frame may decode as a different
+        // valid message.
+        for m in variants() {
+            let full = m.encode(3);
+            for byte in 0..full.len() {
+                for bit in 0..8 {
+                    let mut mutated = full.clone();
+                    mutated[byte] ^= 1 << bit;
+                    match NetMsg::decode(&mutated) {
+                        Err(_) => {}
+                        Ok((seq, got)) => {
+                            assert!(
+                                seq == 3 && got == m,
+                                "bit flip at {byte}.{bit} decoded as a different message"
+                            );
+                            unreachable!("a flipped bit cannot reproduce the original frame");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_is_authenticated_by_the_checksum() {
+        // Tampering with the sequence header alone must fail: replayed
+        // frames cannot be "renumbered" into the expected slot.
+        let mut b = NetMsg::Retired.encode(9);
+        b[5] ^= 0xFF; // low byte of the seq field
+        assert!(NetMsg::decode(&b).is_err());
     }
 }

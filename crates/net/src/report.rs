@@ -179,6 +179,7 @@ impl CounterSummary {
         kv("wire_bytes_tx", self.wire.bytes_tx.to_string());
         kv("wire_frames_rx", self.wire.frames_rx.to_string());
         kv("wire_bytes_rx", self.wire.bytes_rx.to_string());
+        kv("wire_dupes_rx", self.wire.dupes_rx.to_string());
         kv("wire_arrives_tx", self.wire.arrives_tx.to_string());
         kv(
             "wire_context_bytes_tx",
@@ -228,6 +229,7 @@ impl CounterSummary {
                 "wire_bytes_tx" => out.wire.bytes_tx = u()?,
                 "wire_frames_rx" => out.wire.frames_rx = u()?,
                 "wire_bytes_rx" => out.wire.bytes_rx = u()?,
+                "wire_dupes_rx" => out.wire.dupes_rx = u()?,
                 "wire_arrives_tx" => out.wire.arrives_tx = u()?,
                 "wire_context_bytes_tx" => out.wire.context_bytes_tx = u()?,
                 "wall_s" => {
@@ -284,6 +286,7 @@ mod tests {
                 bytes_tx: 700,
                 frames_rx: 6,
                 bytes_rx: 600,
+                dupes_rx: 1,
                 arrives_tx: 2,
                 context_bytes_tx: 48,
             },

@@ -21,15 +21,28 @@ use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::sync::mpsc;
 use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Hard ceiling on a frame's payload (32 MiB): a larger length prefix
 /// is corruption, not a payload.
 pub const MAX_FRAME: usize = 32 << 20;
 
+/// The typed rejection every transport returns for a frame larger
+/// than [`MAX_FRAME`] — an error, not a panic, so a runaway payload
+/// upstream surfaces as a recorded cluster failure.
+fn oversize_err(len: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("frame payload {len} exceeds the {MAX_FRAME}-byte cap"),
+    )
+}
+
 /// The sending half of one connection.
 pub trait FrameTx: Send {
     /// Ship one frame (blocking; a full socket buffer back-pressures
-    /// the caller, which is the cluster's flow control).
+    /// the caller, which is the cluster's flow control). A payload
+    /// over [`MAX_FRAME`] is a typed [`io::ErrorKind::InvalidInput`]
+    /// error.
     fn send_frame(&mut self, payload: &[u8]) -> io::Result<()>;
 
     /// Signal end-of-stream to the peer. Merely dropping a socket
@@ -46,7 +59,17 @@ pub trait FrameTx: Send {
 pub trait FrameRx: Send {
     /// Receive the next frame. `Ok(None)` means the peer closed
     /// cleanly at a frame boundary; a mid-frame close is an error.
+    /// With a receive timeout set, an idle expiry is an error of kind
+    /// [`io::ErrorKind::WouldBlock`] or [`io::ErrorKind::TimedOut`]
+    /// (platform-dependent) — the connection stays usable.
     fn recv_frame(&mut self) -> io::Result<Option<Vec<u8>>>;
+
+    /// Bound how long [`FrameRx::recv_frame`] may block (`None` =
+    /// forever). Deadline-sensitive phases (the handshake) set this;
+    /// the default is a no-op for carriers that cannot time out.
+    fn set_recv_timeout(&mut self, _timeout: Option<Duration>) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 /// One bidirectional connection, split into halves so a dedicated
@@ -62,6 +85,22 @@ pub struct Duplex {
 pub trait Acceptor: Send {
     /// Block until the next peer connects.
     fn accept(&mut self) -> io::Result<Duplex>;
+
+    /// Block until the next peer connects or `deadline` passes
+    /// (expiry is an [`io::ErrorKind::TimedOut`] error). The default
+    /// ignores the deadline; every shipped transport overrides it —
+    /// this is what bounds a handshake whose dialer never shows up.
+    fn accept_deadline(&mut self, deadline: Instant) -> io::Result<Duplex> {
+        let _ = deadline;
+        self.accept()
+    }
+}
+
+fn accept_timeout_err() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::TimedOut,
+        "no inbound connection before the accept deadline",
+    )
 }
 
 /// A way to move frames between endpoints, named by opaque address
@@ -100,13 +139,41 @@ impl ShutdownWrite for std::os::unix::net::UnixStream {
     }
 }
 
+/// Read-timeout support for socket types (the kernel-level timer
+/// backing [`FrameRx::set_recv_timeout`]).
+trait SetReadTimeout {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+impl SetReadTimeout for std::net::TcpStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        std::net::TcpStream::set_read_timeout(self, timeout)
+    }
+}
+
+#[cfg(unix)]
+impl SetReadTimeout for std::os::unix::net::UnixStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        std::os::unix::net::UnixStream::set_read_timeout(self, timeout)
+    }
+}
+
+#[cfg(test)]
+impl SetReadTimeout for std::io::Cursor<Vec<u8>> {
+    fn set_read_timeout(&self, _timeout: Option<Duration>) -> io::Result<()> {
+        Ok(())
+    }
+}
+
 struct StreamTx<W: Write + Send + ShutdownWrite> {
     w: BufWriter<W>,
 }
 
 impl<W: Write + Send + ShutdownWrite> FrameTx for StreamTx<W> {
     fn send_frame(&mut self, payload: &[u8]) -> io::Result<()> {
-        assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+        if payload.len() > MAX_FRAME {
+            return Err(oversize_err(payload.len()));
+        }
         self.w.write_all(&(payload.len() as u32).to_le_bytes())?;
         self.w.write_all(payload)?;
         self.w.flush()
@@ -118,11 +185,11 @@ impl<W: Write + Send + ShutdownWrite> FrameTx for StreamTx<W> {
     }
 }
 
-struct StreamRx<R: Read + Send> {
+struct StreamRx<R: Read + Send + SetReadTimeout> {
     r: BufReader<R>,
 }
 
-impl<R: Read + Send> FrameRx for StreamRx<R> {
+impl<R: Read + Send + SetReadTimeout> FrameRx for StreamRx<R> {
     fn recv_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
         let mut len = [0u8; 4];
         // A clean EOF before the first length byte is a graceful
@@ -151,6 +218,10 @@ impl<R: Read + Send> FrameRx for StreamRx<R> {
         self.r.read_exact(&mut payload)?;
         Ok(Some(payload))
     }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.r.get_ref().set_read_timeout(timeout)
+    }
 }
 
 // -------------------------------------------------------------- TCP
@@ -168,6 +239,28 @@ impl Acceptor for TcpAcceptor {
     fn accept(&mut self) -> io::Result<Duplex> {
         let (stream, _) = self.listener.accept()?;
         tcp_duplex(stream)
+    }
+
+    fn accept_deadline(&mut self, deadline: Instant) -> io::Result<Duplex> {
+        // Listeners have no kernel accept timeout; poll nonblocking.
+        self.listener.set_nonblocking(true)?;
+        let r = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    break tcp_duplex(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        break Err(accept_timeout_err());
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        let _ = self.listener.set_nonblocking(false);
+        r
     }
 }
 
@@ -219,6 +312,27 @@ impl Acceptor for UdsAcceptor {
     fn accept(&mut self) -> io::Result<Duplex> {
         let (stream, _) = self.listener.accept()?;
         uds_duplex(stream)
+    }
+
+    fn accept_deadline(&mut self, deadline: Instant) -> io::Result<Duplex> {
+        self.listener.set_nonblocking(true)?;
+        let r = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    break uds_duplex(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        break Err(accept_timeout_err());
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        let _ = self.listener.set_nonblocking(false);
+        r
     }
 }
 
@@ -299,19 +413,39 @@ struct ChanTx(mpsc::Sender<Vec<u8>>);
 
 impl FrameTx for ChanTx {
     fn send_frame(&mut self, payload: &[u8]) -> io::Result<()> {
-        assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+        if payload.len() > MAX_FRAME {
+            return Err(oversize_err(payload.len()));
+        }
         self.0
             .send(payload.to_vec())
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "loopback peer closed"))
     }
 }
 
-struct ChanRx(mpsc::Receiver<Vec<u8>>);
+struct ChanRx {
+    rx: mpsc::Receiver<Vec<u8>>,
+    timeout: Option<Duration>,
+}
 
 impl FrameRx for ChanRx {
     fn recv_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
-        // A dropped sender is the loopback clean close.
-        Ok(self.0.recv().ok())
+        match self.timeout {
+            // A dropped sender is the loopback clean close.
+            None => Ok(self.rx.recv().ok()),
+            Some(t) => match self.rx.recv_timeout(t) {
+                Ok(f) => Ok(Some(f)),
+                Err(mpsc::RecvTimeoutError::Disconnected) => Ok(None),
+                Err(mpsc::RecvTimeoutError::Timeout) => Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "loopback receive timed out",
+                )),
+            },
+        }
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.timeout = timeout;
+        Ok(())
     }
 }
 
@@ -325,6 +459,18 @@ impl Acceptor for LoopbackAcceptor {
         self.pending
             .recv()
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "loopback listener torn down"))
+    }
+
+    fn accept_deadline(&mut self, deadline: Instant) -> io::Result<Duplex> {
+        let wait = deadline.saturating_duration_since(Instant::now());
+        match self.pending.recv_timeout(wait) {
+            Ok(d) => Ok(d),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(accept_timeout_err()),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "loopback listener torn down",
+            )),
+        }
     }
 }
 
@@ -373,14 +519,20 @@ impl Transport for LoopbackTransport {
         let (b_tx, b_rx) = mpsc::channel();
         let theirs = Duplex {
             tx: Box::new(ChanTx(b_tx)),
-            rx: Box::new(ChanRx(a_rx)),
+            rx: Box::new(ChanRx {
+                rx: a_rx,
+                timeout: None,
+            }),
         };
         pending.send(theirs).map_err(|_| {
             io::Error::new(io::ErrorKind::ConnectionRefused, "loopback listener gone")
         })?;
         Ok(Duplex {
             tx: Box::new(ChanTx(a_tx)),
-            rx: Box::new(ChanRx(b_rx)),
+            rx: Box::new(ChanRx {
+                rx: b_rx,
+                timeout: None,
+            }),
         })
     }
 }
@@ -475,5 +627,60 @@ mod tests {
             r: BufReader::new(std::io::Cursor::new(huge)),
         };
         assert!(rx.recv_frame().is_err(), "oversized length rejected");
+    }
+
+    #[test]
+    fn oversize_send_is_a_typed_error_not_a_panic() {
+        let addr = "test-loopback-oversize";
+        let mut acceptor = LoopbackTransport.listen(addr).expect("listen");
+        let mut client = LoopbackTransport.connect(addr).expect("connect");
+        let _server = acceptor.accept().expect("accept");
+        let e = client
+            .tx
+            .send_frame(&vec![0u8; MAX_FRAME + 1])
+            .expect_err("over the cap");
+        assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn recv_timeout_expires_with_a_typed_error() {
+        let addr = "test-loopback-recv-timeout";
+        let mut acceptor = LoopbackTransport.listen(addr).expect("listen");
+        let mut client = LoopbackTransport.connect(addr).expect("connect");
+        let _server = acceptor.accept().expect("accept");
+        client
+            .rx
+            .set_recv_timeout(Some(Duration::from_millis(20)))
+            .expect("timeout supported");
+        let e = client.rx.recv_frame().expect_err("nothing was sent");
+        assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn accept_deadline_expires_with_a_typed_error() {
+        let mut acceptor = LoopbackTransport
+            .listen("test-loopback-accept-deadline")
+            .expect("listen");
+        let e = match acceptor.accept_deadline(Instant::now() + Duration::from_millis(25)) {
+            Err(e) => e,
+            Ok(_) => panic!("nobody dials"),
+        };
+        assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_accept_deadline_expires_with_a_typed_error() {
+        let path =
+            std::env::temp_dir().join(format!("em2-net-uds-deadline-{}.sock", std::process::id()));
+        let mut acceptor = UdsTransport
+            .listen(path.to_str().expect("utf8 path"))
+            .expect("listen");
+        let e = match acceptor.accept_deadline(Instant::now() + Duration::from_millis(25)) {
+            Err(e) => e,
+            Ok(_) => panic!("nobody dials"),
+        };
+        assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+        let _ = std::fs::remove_file(path);
     }
 }

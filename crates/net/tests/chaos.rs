@@ -1,0 +1,515 @@
+//! The chaos harness (DESIGN.md §10): property-tests the cluster's
+//! fail-fast recovery under deterministic fault injection.
+//!
+//! **The property.** For *any* seeded [`FaultPlan`], a cluster run
+//! either (a) completes on every node with counters summing bit-equal
+//! to the single-process runtime, or (b) returns a typed
+//! [`ClusterError`] from at least one node — and every node returns
+//! within its configured deadlines either way. Never a hang, never a
+//! silently wrong sum. When the plan is benign-only (delays and
+//! duplicates — stream-preserving faults the sequence layer absorbs),
+//! outcome (a) is *required*: the E12 agreement property must hold
+//! through the faults.
+//!
+//! Seed volume: each sweep test runs `EM2_CHAOS_SEEDS` plans
+//! (default 42) on its own seed range — 242 plans across
+//! loopback and UDS per default `cargo test`. Every failure message
+//! names the seed, and `FaultPlan::seeded(seed, ...)` rebuilds the
+//! exact plan in-process for replay under a debugger.
+
+use em2_core::decision::{DecisionScheme, HistoryPredictor};
+use em2_net::{
+    run_workload_cluster_chaos, ClusterError, ClusterSpec, ClusterTimeouts, CounterSummary,
+    FaultAction, FaultPlan, TransportKind,
+};
+use em2_placement::{FirstTouch, Placement};
+use em2_rt::{run_workload, RtConfig};
+use em2_trace::gen::micro;
+use em2_trace::Workload;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NODES: usize = 2;
+const SHARDS: usize = 8;
+
+/// Per-run deadlines: tight enough that a whole seed sweep stays
+/// fast, loose enough that a healthy run never trips them.
+fn timeouts() -> ClusterTimeouts {
+    ClusterTimeouts {
+        connect_ms: 2_000,
+        run_ms: 1_500,
+        heartbeat_ms: 25,
+    }
+}
+
+/// The hard wall-clock bound on one faulted cluster run: every node
+/// must return (Ok or Err) well within this — the "never a hang" half
+/// of the property. Generous vs. `run_ms` because a loaded CI host
+/// timeslices coarsely.
+const RUN_BOUND: Duration = Duration::from_secs(30);
+
+/// The workload under fault: small (a sweep runs hundreds of
+/// clusters) but with real cross-node traffic — one thread native to
+/// every shard (so both nodes submit work and first-touched words
+/// live on both sides), migrations, remote accesses, and learned
+/// scheme state all crossing the wire.
+fn chaos_workload() -> Workload {
+    micro::uniform(SHARDS, SHARDS, 60, 64, 0.3, 13)
+}
+
+fn scheme() -> Box<dyn DecisionScheme> {
+    Box::new(HistoryPredictor::new(1.0, 0.5))
+}
+
+struct Fixture {
+    w: Arc<Workload>,
+    placement: Arc<dyn Placement>,
+    cfg: RtConfig,
+    expected: CounterSummary,
+}
+
+fn fixture() -> Fixture {
+    let w = chaos_workload();
+    let threads = w.num_threads();
+    let placement: Arc<dyn Placement> = Arc::new(FirstTouch::build(&w, SHARDS, 64));
+    let w = Arc::new(w);
+    let cfg = RtConfig::eviction_free(SHARDS, threads);
+    let single = run_workload(cfg.clone(), &w, Arc::clone(&placement), scheme);
+    let expected = CounterSummary::from_rt(&single);
+    Fixture {
+        w,
+        placement,
+        cfg,
+        expected,
+    }
+}
+
+fn loopback_spec(tag: &str) -> ClusterSpec {
+    ClusterSpec::even(
+        TransportKind::Loopback,
+        &format!("em2-chaos-{tag}-{}", std::process::id()),
+        NODES,
+        SHARDS,
+    )
+    .with_timeouts(timeouts())
+}
+
+/// How many seeds each sweep test runs (CI smoke scales this down).
+fn seeds_per_sweep() -> u64 {
+    std::env::var("EM2_CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Run one plan and assert the chaos property. Returns the per-node
+/// outcomes for extra assertions.
+fn assert_chaos_property(
+    fx: &Fixture,
+    spec: &ClusterSpec,
+    plan: FaultPlan,
+    seed: u64,
+    benign: bool,
+) -> Vec<Result<CounterSummary, ClusterError>> {
+    let plan = Arc::new(plan);
+    let t0 = Instant::now();
+    let results = run_workload_cluster_chaos(spec, &fx.cfg, &fx.w, &fx.placement, scheme, &plan);
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < RUN_BOUND,
+        "seed {seed} ({:?}): nodes took {elapsed:?} to return — deadline discipline broken",
+        plan.kinds()
+    );
+    assert_eq!(results.len(), NODES);
+    let all_ok = results.iter().all(|(r, _)| r.is_ok());
+    if all_ok {
+        let total = CounterSummary::sum(
+            results
+                .iter()
+                .map(|(r, _)| CounterSummary::from_net(r.as_ref().expect("checked ok"))),
+        );
+        assert!(
+            total.counters_equal(&fx.expected),
+            "seed {seed} ({:?}): every node completed but the sum is WRONG\n\
+             cluster: {total:?}\nsingle:  {expected:?}",
+            plan.kinds(),
+            expected = fx.expected
+        );
+    } else if benign {
+        let errs: Vec<String> = results
+            .iter()
+            .filter_map(|(r, _)| r.as_ref().err().map(|e| e.to_string()))
+            .collect();
+        panic!(
+            "seed {seed}: benign plan {:?} must complete bit-equal, got {errs:?}",
+            plan.kinds()
+        );
+    }
+    results
+        .into_iter()
+        .map(|(r, _)| r.map(|rep| CounterSummary::from_net(&rep)))
+        .collect()
+}
+
+fn sweep(fx: &Fixture, mk_spec: impl Fn(u64) -> ClusterSpec, base: u64, benign: bool) {
+    let n = seeds_per_sweep();
+    let mut completed = 0u64;
+    let mut errored = 0u64;
+    for seed in base..base + n {
+        let plan = FaultPlan::seeded(seed, NODES, benign);
+        let outcomes = assert_chaos_property(fx, &mk_spec(seed), plan, seed, benign);
+        if outcomes.iter().all(|r| r.is_ok()) {
+            completed += 1;
+        } else {
+            errored += 1;
+        }
+    }
+    // The sweep is only meaningful if the faults bite: an unrestricted
+    // draw where every run completed would mean the injector is inert.
+    if !benign {
+        assert!(
+            errored > 0,
+            "none of {n} unrestricted plans caused a failure — injector inert?"
+        );
+    }
+    assert_eq!(completed + errored, n);
+}
+
+#[test]
+fn seeded_fault_sweep_loopback_a() {
+    let fx = fixture();
+    sweep(&fx, |s| loopback_spec(&format!("swa-{s}")), 1_000, false);
+}
+
+#[test]
+fn seeded_fault_sweep_loopback_b() {
+    let fx = fixture();
+    sweep(&fx, |s| loopback_spec(&format!("swb-{s}")), 2_000, false);
+}
+
+#[test]
+fn seeded_fault_sweep_loopback_c() {
+    let fx = fixture();
+    sweep(&fx, |s| loopback_spec(&format!("swc-{s}")), 3_000, false);
+}
+
+#[test]
+fn seeded_fault_sweep_loopback_d() {
+    let fx = fixture();
+    sweep(&fx, |s| loopback_spec(&format!("swd-{s}")), 4_000, false);
+}
+
+#[test]
+fn seeded_benign_sweep_completes_bit_equal() {
+    let fx = fixture();
+    sweep(&fx, |s| loopback_spec(&format!("ben-{s}")), 5_000, true);
+}
+
+#[cfg(unix)]
+#[test]
+fn seeded_fault_sweep_uds() {
+    let fx = fixture();
+    let n = seeds_per_sweep().min(32);
+    let dir = std::env::temp_dir().join(format!("em2-chaos-uds-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    for seed in 6_000..6_000 + n {
+        let spec = ClusterSpec::even(
+            TransportKind::Uds,
+            dir.join(format!("s{seed}.sock")).to_str().expect("utf8"),
+            NODES,
+            SHARDS,
+        )
+        .with_timeouts(timeouts());
+        let plan = FaultPlan::seeded(seed, NODES, false);
+        assert_chaos_property(&fx, &spec, plan, seed, false);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------- //
+// Scripted single-fault runs: one per fault class, pinning both the
+// outcome and (where the class implies one) the error taxonomy.
+// ---------------------------------------------------------------- //
+
+/// All errors across the nodes, as `ClusterError::kind()` strings.
+fn error_kinds(outcomes: &[Result<CounterSummary, ClusterError>]) -> Vec<&'static str> {
+    let mut ks: Vec<&'static str> = outcomes
+        .iter()
+        .filter_map(|r| r.as_ref().err().map(|e| e.kind()))
+        .collect();
+    ks.sort_unstable();
+    ks.dedup();
+    ks
+}
+
+#[test]
+fn duplicated_frames_are_deduplicated_and_counted() {
+    let fx = fixture();
+    // Duplicate several early post-handshake frames in both directions.
+    let plan = FaultPlan::new()
+        .fault(0, 1, 1, FaultAction::Duplicate)
+        .fault(0, 1, 3, FaultAction::Duplicate)
+        .fault(1, 0, 2, FaultAction::Duplicate);
+    let outcomes = assert_chaos_property(&fx, &loopback_spec("dup"), plan, 0, true);
+    let total = CounterSummary::sum(outcomes.into_iter().map(|r| r.expect("benign run")));
+    assert!(
+        total.wire.dupes_rx >= 3,
+        "the sequence layer must observe (and absorb) every replay: {:?}",
+        total.wire
+    );
+}
+
+#[test]
+fn dropped_frame_is_a_typed_error_not_a_hang() {
+    let fx = fixture();
+    // Frame 1 from node 0 is the first post-handshake frame on that
+    // edge; swallowing it forces a sequence gap on the next frame (or
+    // heartbeat).
+    let plan = FaultPlan::new().fault(0, 1, 1, FaultAction::Drop);
+    let outcomes = assert_chaos_property(&fx, &loopback_spec("drop"), plan, 0, false);
+    let kinds = error_kinds(&outcomes);
+    assert!(
+        !kinds.is_empty(),
+        "a dropped frame must surface as an error"
+    );
+    assert!(
+        kinds
+            .iter()
+            .all(|k| ["codec", "aborted", "peer-lost"].contains(k)),
+        "drop surfaces as a sequence-gap codec error (or its propagated abort): {kinds:?}"
+    );
+}
+
+#[test]
+fn truncated_frame_is_a_codec_error() {
+    let fx = fixture();
+    let plan = FaultPlan::new().fault(1, 0, 1, FaultAction::Truncate { keep: 6 });
+    let outcomes = assert_chaos_property(&fx, &loopback_spec("trunc"), plan, 0, false);
+    let kinds = error_kinds(&outcomes);
+    assert!(!kinds.is_empty(), "truncation must surface");
+    assert!(
+        kinds
+            .iter()
+            .all(|k| ["codec", "aborted", "peer-lost"].contains(k)),
+        "truncation is caught in the codec: {kinds:?}"
+    );
+}
+
+#[test]
+fn corrupted_frame_is_a_codec_error_never_a_wrong_message() {
+    let fx = fixture();
+    for offset in [0usize, 4, 5, 13, 17, 40] {
+        let plan = FaultPlan::new().fault(0, 1, 2, FaultAction::Corrupt { offset, xor: 0x20 });
+        let outcomes = assert_chaos_property(
+            &fx,
+            &loopback_spec(&format!("corr-{offset}")),
+            plan,
+            offset as u64,
+            false,
+        );
+        let kinds = error_kinds(&outcomes);
+        assert!(
+            !kinds.is_empty(),
+            "offset {offset}: a flipped bit must never pass the checksum"
+        );
+    }
+}
+
+#[test]
+fn severed_connection_is_peer_lost_on_both_sides() {
+    let fx = fixture();
+    let plan = FaultPlan::new().fault(0, 1, 2, FaultAction::Sever);
+    let outcomes = assert_chaos_property(&fx, &loopback_spec("sever"), plan, 0, false);
+    let kinds = error_kinds(&outcomes);
+    assert!(!kinds.is_empty(), "a severed connection must surface");
+    assert!(
+        kinds.iter().all(|k| ["peer-lost", "aborted"].contains(k)),
+        "sever is a peer loss: {kinds:?}"
+    );
+}
+
+#[test]
+fn crashed_node_fails_the_survivor_within_its_deadline() {
+    let fx = fixture();
+    let plan = FaultPlan::new().crash_node(1, 4);
+    let t0 = Instant::now();
+    let outcomes = assert_chaos_property(&fx, &loopback_spec("crash"), plan, 0, false);
+    assert!(
+        outcomes[0].is_err(),
+        "the surviving coordinator must report the crash, got Ok"
+    );
+    assert!(
+        outcomes[1].is_err(),
+        "the crashed node's own run must fail too"
+    );
+    // Detection discipline: well inside run_ms + teardown, not the
+    // 30 s hang bound.
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "crash detection took {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn refused_accept_is_a_typed_handshake_failure() {
+    let fx = fixture();
+    let plan = FaultPlan::new().refuse_accepts(0, 1);
+    let outcomes = assert_chaos_property(&fx, &loopback_spec("refuse"), plan, 0, false);
+    let kinds = error_kinds(&outcomes);
+    assert!(
+        !kinds.is_empty(),
+        "a refused accept must fail the join, typed"
+    );
+    for k in kinds {
+        assert!(
+            ["handshake", "connect-timeout"].contains(&k),
+            "accept refusal surfaces at the handshake: {k}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------- //
+// The real thing: a peer OS process SIGKILLed mid-run. No injector
+// in the victim — the kernel closes its sockets, and the survivor
+// must observe the loss and fail typed within its heartbeat deadline.
+// ---------------------------------------------------------------- //
+
+#[cfg(unix)]
+const KILL_ROLE_ENV: &str = "EM2_CHAOS_KILL_ROLE";
+#[cfg(unix)]
+const KILL_DIR_ENV: &str = "EM2_CHAOS_KILL_DIR";
+
+#[cfg(unix)]
+fn kill_spec(dir: &std::path::Path) -> ClusterSpec {
+    ClusterSpec::even(
+        TransportKind::Uds,
+        dir.join("kill.sock").to_str().expect("utf8 temp path"),
+        NODES,
+        SHARDS,
+    )
+    .with_timeouts(ClusterTimeouts {
+        connect_ms: 15_000,
+        run_ms: 10_000,
+        heartbeat_ms: 50,
+    })
+}
+
+/// Child entry point: join the cluster as node 1, signal readiness,
+/// then idle (its heartbeat thread keeps the link warm) until the
+/// parent SIGKILLs this process. Inert without the role env var.
+#[cfg(unix)]
+#[test]
+fn chaos_kill_child_role() {
+    use em2_net::NodeRuntime;
+    use em2_rt::TaskRegistry;
+    if std::env::var(KILL_ROLE_ENV).is_err() {
+        return;
+    }
+    let dir = std::path::PathBuf::from(std::env::var(KILL_DIR_ENV).expect("scratch dir env"));
+    let w = Arc::new(chaos_workload());
+    let placement: Arc<dyn Placement> = Arc::new(FirstTouch::build(&w, SHARDS, 64));
+    let nrt = NodeRuntime::start(
+        kill_spec(&dir),
+        1,
+        RtConfig::with_shards(SHARDS),
+        "chaos-kill",
+        placement,
+        TaskRegistry::for_workload(w),
+        scheme,
+        Vec::new(),
+    )
+    .expect("child joins the cluster");
+    std::fs::write(dir.join("child-ready"), b"1").expect("ready marker");
+    std::thread::sleep(Duration::from_secs(30));
+    // Only reached if the parent never killed us: exit without
+    // running destructors (finish() would wait out the run deadline).
+    drop(nrt);
+    std::process::exit(0);
+}
+
+#[cfg(unix)]
+#[test]
+fn killed_peer_process_is_detected_within_the_heartbeat_deadline() {
+    use em2_net::NodeRuntime;
+    use em2_rt::TaskRegistry;
+    if std::env::var(KILL_ROLE_ENV).is_ok() {
+        return; // never recurse
+    }
+    let dir = std::env::temp_dir().join(format!("em2-chaos-kill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let exe = std::env::current_exe().expect("own test binary");
+    let child = std::process::Command::new(&exe)
+        .args(["chaos_kill_child_role", "--exact", "--nocapture"])
+        .env(KILL_ROLE_ENV, "1")
+        .env(KILL_DIR_ENV, &dir)
+        .spawn()
+        .expect("spawn child node");
+
+    let w = Arc::new(chaos_workload());
+    let placement: Arc<dyn Placement> = Arc::new(FirstTouch::build(&w, SHARDS, 64));
+    // Blocks until the child connects and handshakes.
+    let nrt = NodeRuntime::start(
+        kill_spec(&dir),
+        0,
+        RtConfig::with_shards(SHARDS),
+        "chaos-kill",
+        placement,
+        TaskRegistry::for_workload(w),
+        scheme,
+        Vec::new(),
+    )
+    .expect("parent joins the cluster");
+
+    // SIGKILL the child once it confirms it is parked in its run
+    // phase; record when, so the detection latency is measurable.
+    let killer = std::thread::spawn({
+        let ready = dir.join("child-ready");
+        move || {
+            let mut child = child;
+            let wait_deadline = Instant::now() + Duration::from_secs(10);
+            while !ready.exists() && Instant::now() < wait_deadline {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            std::thread::sleep(Duration::from_millis(100));
+            let killed_at = Instant::now();
+            child.kill().expect("SIGKILL the child");
+            let _ = child.wait();
+            killed_at
+        }
+    });
+
+    // finish() blocks on cluster quiesce — which can never come — so
+    // the only way out is detecting the dead peer.
+    let err = nrt
+        .finish()
+        .expect_err("a SIGKILLed peer must fail the run");
+    let detected_at = Instant::now();
+    let killed_at = killer.join().expect("killer thread");
+    assert_eq!(
+        err.kind(),
+        "peer-lost",
+        "a vanished process is a peer loss: {err}"
+    );
+    // The heartbeat deadline is 4 × 50 ms; EOF from the kernel close
+    // usually surfaces in microseconds. The bound leaves room for a
+    // loaded CI host without ever tolerating the 10 s run watchdog.
+    let latency = detected_at.saturating_duration_since(killed_at);
+    assert!(
+        latency < Duration::from_secs(3),
+        "peer loss took {latency:?} — heartbeat deadline discipline broken"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_free_plan_through_chaos_transport_is_bit_equal() {
+    // The wrapper itself must be invisible when the plan is empty —
+    // the chaos harness's own control.
+    let fx = fixture();
+    let outcomes = assert_chaos_property(&fx, &loopback_spec("none"), FaultPlan::new(), 0, true);
+    let total = CounterSummary::sum(outcomes.into_iter().map(|r| r.expect("fault-free run")));
+    assert_eq!(total.wire.dupes_rx, 0);
+    assert_eq!(total.wire.frames_tx, total.wire.frames_rx);
+}

@@ -1,0 +1,249 @@
+//! Frame-boundary robustness (DESIGN.md §10): every malformed or
+//! boundary-sized frame surfaces as a **typed error** — never a
+//! panic, never a hang — through all three transports.
+//!
+//! Covered: payloads of exactly [`MAX_FRAME`] (must round-trip),
+//! `MAX_FRAME + 1` (typed refusal on send), zero-length frames (legal
+//! at the transport layer; typed codec error at the message layer),
+//! and corrupt length prefixes written by a raw socket straight past
+//! the framing layer (oversize lengths refused; short reads surface
+//! as errors, not blocked readers).
+
+use em2_net::transport::MAX_FRAME;
+use em2_net::{LoopbackTransport, TcpTransport, Transport};
+use proptest::prelude::*;
+use std::io::Write;
+use std::time::Duration;
+
+/// A connected pair over `t`, using a per-test unique address.
+fn pair(t: &dyn Transport, addr: &str) -> (em2_net::Duplex, em2_net::Duplex) {
+    let mut acceptor = t.listen(addr).expect("listen");
+    let client = t.connect(addr).expect("connect");
+    let server = acceptor.accept().expect("accept");
+    (client, server)
+}
+
+fn tcp_addr(salt: u16) -> String {
+    // Salted high port, disjoint from the cluster tests' 21000 range.
+    format!(
+        "127.0.0.1:{}",
+        41000 + (std::process::id() as u16 % 17000) + salt
+    )
+}
+
+#[cfg(unix)]
+fn uds_addr(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("em2-frame-{tag}-{}.sock", std::process::id()))
+}
+
+// ------------------------------------------------ exact-cap payloads
+
+#[test]
+fn max_frame_payload_round_trips_loopback() {
+    let (mut c, mut s) = pair(&LoopbackTransport, "frame-max-loopback");
+    let payload = vec![0xA5u8; MAX_FRAME];
+    c.tx.send_frame(&payload).expect("exactly at the cap");
+    let got = s.rx.recv_frame().expect("recv").expect("frame");
+    assert_eq!(got.len(), MAX_FRAME);
+    assert!(got == payload, "cap-sized payload arrived intact");
+}
+
+#[test]
+fn max_frame_payload_round_trips_tcp() {
+    let addr = tcp_addr(0);
+    let (mut c, mut s) = pair(&TcpTransport, &addr);
+    // Writer on a helper thread: a 32 MiB frame overflows socket
+    // buffers, so send and receive must proceed concurrently.
+    let w = std::thread::spawn(move || {
+        let payload = vec![0x5Au8; MAX_FRAME];
+        c.tx.send_frame(&payload).expect("exactly at the cap");
+        c
+    });
+    let got = s.rx.recv_frame().expect("recv").expect("frame");
+    assert_eq!(got.len(), MAX_FRAME);
+    assert!(got.iter().all(|&b| b == 0x5A));
+    drop(w.join().expect("writer"));
+}
+
+// ------------------------------------------------- over-cap payloads
+
+#[test]
+fn oversize_payload_is_refused_typed_on_every_transport() {
+    let payload = vec![0u8; MAX_FRAME + 1];
+    let mut checks: Vec<(&str, em2_net::Duplex, em2_net::Duplex)> = vec![{
+        let (c, s) = pair(&LoopbackTransport, "frame-over-loopback");
+        ("loopback", c, s)
+    }];
+    let tcp = tcp_addr(1);
+    let (c, s) = pair(&TcpTransport, &tcp);
+    checks.push(("tcp", c, s));
+    #[cfg(unix)]
+    {
+        let path = uds_addr("over");
+        let (c, s) = pair(
+            &em2_net::UdsTransport,
+            path.to_str().expect("utf8 socket path"),
+        );
+        checks.push(("uds", c, s));
+        let _ = std::fs::remove_file(path);
+    }
+    for (name, mut c, _s) in checks {
+        let e =
+            c.tx.send_frame(&payload)
+                .expect_err("one byte over the cap");
+        assert_eq!(
+            e.kind(),
+            std::io::ErrorKind::InvalidInput,
+            "{name}: oversize is a typed refusal"
+        );
+        // The connection survives the refusal: nothing was written.
+        c.tx.send_frame(b"still alive")
+            .expect("connection survives an oversize refusal");
+    }
+}
+
+// ----------------------------------------------- zero-length payloads
+
+#[test]
+fn zero_length_frame_is_legal_transport_level_but_typed_at_the_codec() {
+    let (mut c, mut s) = pair(&LoopbackTransport, "frame-zero-loopback");
+    c.tx.send_frame(&[]).expect("empty frame sends");
+    let got = s.rx.recv_frame().expect("recv").expect("frame");
+    assert!(got.is_empty());
+    // The message layer refuses it with a value, not a panic.
+    em2_net::proto::NetMsg::decode(&got).expect_err("empty frame is not a message");
+}
+
+// ------------------------------------- corrupt length prefixes (raw)
+
+/// Write raw bytes (bogus framing included) straight into the socket
+/// under the receiver's framing layer, then assert `recv_frame`
+/// returns a typed error — not a panic, not a hang.
+fn assert_raw_bytes_fail_typed(
+    raw: &mut dyn Write,
+    mut server: em2_net::Duplex,
+    close: impl FnOnce(),
+    what: &str,
+) {
+    raw.write_all(&(u32::MAX).to_le_bytes())
+        .expect("raw length prefix");
+    raw.flush().expect("flush");
+    close();
+    let e = server
+        .rx
+        .recv_frame()
+        .expect_err("a 4 GiB length prefix must be refused");
+    assert_eq!(
+        e.kind(),
+        std::io::ErrorKind::InvalidData,
+        "{what}: oversize length prefix is typed"
+    );
+}
+
+#[test]
+fn corrupt_length_prefix_is_typed_over_tcp() {
+    let addr = tcp_addr(2);
+    let mut acceptor = TcpTransport.listen(&addr).expect("listen");
+    let mut raw = std::net::TcpStream::connect(&addr).expect("raw connect");
+    let server = acceptor.accept().expect("accept");
+    let clone = raw.try_clone().expect("clone");
+    assert_raw_bytes_fail_typed(&mut raw, server, move || drop(clone), "tcp");
+}
+
+#[cfg(unix)]
+#[test]
+fn corrupt_length_prefix_is_typed_over_uds() {
+    let path = uds_addr("rawlen");
+    let mut acceptor = em2_net::UdsTransport
+        .listen(path.to_str().expect("utf8 socket path"))
+        .expect("listen");
+    let mut raw = std::os::unix::net::UnixStream::connect(&path).expect("raw connect");
+    let server = acceptor.accept().expect("accept");
+    assert_raw_bytes_fail_typed(&mut raw, server, || (), "uds");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn truncated_header_and_truncated_payload_are_errors_not_hangs() {
+    let addr = tcp_addr(3);
+    let mut acceptor = TcpTransport.listen(&addr).expect("listen");
+    // Case 1: half a length prefix, then EOF.
+    {
+        let mut raw = std::net::TcpStream::connect(&addr).expect("raw connect");
+        let mut server = acceptor.accept().expect("accept");
+        raw.write_all(&[0x10, 0x00]).expect("half a header");
+        drop(raw);
+        server
+            .rx
+            .recv_frame()
+            .expect_err("EOF inside the header is an error (a clean EOF is Ok(None))");
+    }
+    // Case 2: a plausible length, then fewer payload bytes than
+    // promised, then EOF — the reader must not wait for bytes that
+    // will never come once the stream closes.
+    {
+        let mut raw = std::net::TcpStream::connect(&addr).expect("raw connect");
+        let mut server = acceptor.accept().expect("accept");
+        raw.write_all(&64u32.to_le_bytes()).expect("header");
+        raw.write_all(&[0xEE; 10]).expect("short payload");
+        drop(raw);
+        server
+            .rx
+            .recv_frame()
+            .expect_err("EOF inside the payload is an error");
+    }
+}
+
+// --------------------------------------------------------- proptests
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any small payload round-trips bit-exact through a loopback
+    /// pair, and the receiver observes exactly the sent boundaries
+    /// (no coalescing, no splitting).
+    #[test]
+    fn arbitrary_payloads_round_trip_loopback(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..8)
+    ) {
+        let stamp = payloads.iter().map(|p| p.len()).sum::<usize>();
+        let addr = format!("frame-prop-{stamp}-{}", payloads.len());
+        let (mut c, mut s) = pair(&LoopbackTransport, &addr);
+        for p in &payloads {
+            c.tx.send_frame(p).expect("send");
+        }
+        for p in &payloads {
+            let got = s.rx.recv_frame().expect("recv").expect("frame");
+            prop_assert_eq!(&got, p);
+        }
+    }
+
+}
+
+/// Any corrupt length prefix past the cap is refused typed over a
+/// real socket — and within a bounded time (no hang). One listener,
+/// many raw clients: rebinding a port per case would trip TIME_WAIT.
+#[test]
+fn oversize_length_prefixes_are_refused_over_tcp() {
+    let addr = tcp_addr(4);
+    let mut acceptor = TcpTransport.listen(&addr).expect("listen");
+    let span = u32::MAX as u64 - MAX_FRAME as u64;
+    let mut rng = em2_model::DetRng::new(0xF8A3_11ED);
+    for case in 0..24 {
+        let len = (MAX_FRAME as u64 + 1 + rng.below(span)) as u32;
+        let mut raw = std::net::TcpStream::connect(&addr).expect("raw connect");
+        let mut server = acceptor.accept().expect("accept");
+        server
+            .rx
+            .set_recv_timeout(Some(Duration::from_secs(10)))
+            .expect("recv timeout");
+        raw.write_all(&len.to_le_bytes()).expect("bogus header");
+        raw.flush().expect("flush");
+        let e = server.rx.recv_frame().expect_err("past-cap length refused");
+        assert_eq!(
+            e.kind(),
+            std::io::ErrorKind::InvalidData,
+            "case {case}: length {len} must be refused typed"
+        );
+    }
+}

@@ -66,7 +66,7 @@ pub mod task;
 pub mod wire;
 
 pub use runtime::{
-    run_tasks, run_workload, ExecutorMode, NodeLink, NodeRole, RemoteInbox, RtConfig, RtReport,
-    Runtime, SchedStats, TaskSpec,
+    run_tasks, run_workload, ExecutorMode, InboxBacklog, NodeLink, NodeRole, RemoteInbox, RtConfig,
+    RtReport, Runtime, SchedStats, TaskSpec,
 };
 pub use task::{Op, Task, TaskRegistry, TraceTask};

@@ -782,6 +782,54 @@ impl RemoteInbox {
         shared.initiate_shutdown();
         true
     }
+
+    /// A non-blocking census of envelopes still resident on this
+    /// node's shards. Shards whose core is currently held by a polling
+    /// worker are skipped (counted in `skipped_shards`) — the caller
+    /// is a stalled-run watchdog, and a shard that is actively being
+    /// polled is by definition not stuck.
+    pub fn backlog(&self) -> InboxBacklog {
+        let mut b = InboxBacklog::default();
+        let Some(shared) = self.shared.upgrade() else {
+            return b;
+        };
+        for core in &shared.cores {
+            match core.try_lock() {
+                Ok(c) => {
+                    let (runnable, parked, awaiting, stalled) = c.census();
+                    b.runnable += runnable;
+                    b.parked_barrier += parked;
+                    b.awaiting_reply += awaiting;
+                    b.stalled_admission += stalled;
+                }
+                Err(_) => b.skipped_shards += 1,
+            }
+        }
+        b
+    }
+}
+
+/// What [`RemoteInbox::backlog`] saw: envelopes resident per queue
+/// class, summed over the shards whose core lock was free.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InboxBacklog {
+    /// Runnable envelopes waiting for a poll.
+    pub runnable: usize,
+    /// Envelopes parked at an unreleased barrier.
+    pub parked_barrier: usize,
+    /// Envelopes pinned awaiting a remote reply.
+    pub awaiting_reply: usize,
+    /// Guest arrivals stalled on context admission.
+    pub stalled_admission: usize,
+    /// Shards skipped because a worker held their core.
+    pub skipped_shards: usize,
+}
+
+impl InboxBacklog {
+    /// Total envelopes counted across every class.
+    pub fn total(&self) -> usize {
+        self.runnable + self.parked_barrier + self.awaiting_reply + self.stalled_admission
+    }
 }
 
 /// Launch `tasks` on `cfg.shards` shards and run to completion.

@@ -428,6 +428,20 @@ impl ShardCore {
         CoreId::from(self.id)
     }
 
+    /// Census of envelopes resident on this shard: `(runnable, parked
+    /// at a barrier, awaiting a remote reply, stalled on admission)`.
+    /// The cluster layer's deadline watchdog reads this to say *why* a
+    /// run stalled (a barrier that never released vs. a quiesce that
+    /// never arrived).
+    pub(crate) fn census(&self) -> (usize, usize, usize, usize) {
+        (
+            self.runq.len(),
+            self.parked.len(),
+            self.awaiting.len(),
+            self.stalled.len(),
+        )
+    }
+
     /// Finalize end-of-run accounting (called once, at quiesce, while
     /// the merge owns the core).
     pub(crate) fn into_counters(mut self) -> ShardCounters {

@@ -266,6 +266,7 @@ fn run_closed_loop_cluster(
         }
     }
     nrt.finish()
+        .expect("cluster run failed (a peer died or timed out)")
 }
 
 /// The multi-process service: each node runs the scheme panel in
