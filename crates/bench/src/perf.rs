@@ -243,12 +243,17 @@ pub fn tables_digest<'a>(tables: impl Iterator<Item = &'a Table>) -> String {
 
 /// Serialize a suite run (plus calibrations, the shard-scaling sweep,
 /// the open-loop latency panel, and the cross-process transport
-/// calibration) as the `BENCH.json` body — schema 5. Every schema-4
-/// field survives unchanged (trajectory tooling keeps parsing); the
-/// `runtime` block gains a `transport` sub-block: per-mode ops/sec and
-/// wire telemetry for the in-process baseline, the loopback cluster,
-/// and the **two-OS-process UDS** cluster, plus the distributed KV
-/// serving point, plus the `fault_matrix` — per fault class, how many
+/// calibration) as the `BENCH.json` body — schema 6. Every schema-5
+/// field survives unchanged (trajectory tooling keeps parsing); each
+/// `runtime.transport.modes` entry gains the egress-pipeline
+/// telemetry (DESIGN.md §11): `wire_frames_total`/`wire_bytes_total`
+/// (control frames included), `wire_flushes` (writer-thread batch
+/// writes), the derived `frames_per_flush` coalescing ratio, and
+/// `egress_queue_hwm` (deepest any peer's egress queue got). The
+/// schema-5 additions remain: per-mode ops/sec and wire telemetry for
+/// the in-process baseline, the loopback cluster, and the
+/// **two-OS-process UDS** cluster, plus the distributed KV serving
+/// point, plus the `fault_matrix` — per fault class, how many
 /// injected chaos runs completed vs. failed typed, and how long the
 /// cluster took to settle after the first injection (DESIGN.md §10).
 #[allow(clippy::too_many_arguments)]
@@ -265,7 +270,7 @@ pub fn bench_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 5,");
+    let _ = writeln!(s, "  \"schema\": 6,");
     let _ = writeln!(
         s,
         "  \"scale\": \"{}\",",
@@ -393,11 +398,18 @@ pub fn bench_json(
     let _ = writeln!(s, "    \"transport\": {{");
     s.push_str("      \"modes\": [\n");
     for (i, p) in transport.iter().enumerate() {
+        let frames_per_flush = if p.wire.flushes_tx > 0 {
+            p.wire.frames_tx_total as f64 / p.wire.flushes_tx as f64
+        } else {
+            0.0
+        };
         let _ = write!(
             s,
             "        {{\"mode\": \"{}\", \"nodes\": {}, \"processes\": {}, \"ops\": {}, \
              \"wall_s\": {:.6}, \"ops_per_sec\": {:.1}, \"wire_frames\": {}, \
-             \"wire_bytes\": {}, \"xnode_contexts\": {}, \"context_bytes_on_wire\": {}}}",
+             \"wire_bytes\": {}, \"xnode_contexts\": {}, \"context_bytes_on_wire\": {}, \
+             \"wire_frames_total\": {}, \"wire_bytes_total\": {}, \"wire_flushes\": {}, \
+             \"frames_per_flush\": {:.3}, \"egress_queue_hwm\": {}}}",
             json_escape(&p.mode),
             p.nodes,
             p.processes,
@@ -408,6 +420,11 @@ pub fn bench_json(
             p.wire.bytes_tx,
             p.wire.arrives_tx,
             p.wire.context_bytes_tx,
+            p.wire.frames_tx_total,
+            p.wire.bytes_tx_total,
+            p.wire.flushes_tx,
+            frames_per_flush,
+            p.wire.egress_hwm,
         );
         s.push_str(if i + 1 < transport.len() { ",\n" } else { "\n" });
     }
@@ -441,7 +458,8 @@ pub fn bench_json(
                 s,
                 "      \"kv_uds\": {{\"requests\": {}, \"ops\": {}, \"wall_s\": {:.6}, \
                  \"requests_per_sec\": {:.1}, \"wire_frames\": {}, \"wire_bytes\": {}, \
-                 \"xnode_contexts\": {}, \"context_bytes_on_wire\": {}}}",
+                 \"xnode_contexts\": {}, \"context_bytes_on_wire\": {}, \
+                 \"wire_flushes\": {}, \"egress_queue_hwm\": {}}}",
                 k.requests,
                 k.ops,
                 k.wall_s,
@@ -450,6 +468,8 @@ pub fn bench_json(
                 k.wire.bytes_tx,
                 k.wire.arrives_tx,
                 k.wire.context_bytes_tx,
+                k.wire.flushes_tx,
+                k.wire.egress_hwm,
             );
         }
     }
@@ -602,7 +622,11 @@ mod tests {
         );
         assert!(j.starts_with("{\n") && j.ends_with("}\n"));
         for key in [
-            "\"schema\": 5",
+            "\"schema\": 6",
+            "\"wire_flushes\"",
+            "\"frames_per_flush\"",
+            "\"egress_queue_hwm\"",
+            "\"wire_frames_total\"",
             "\"fault_matrix\"",
             "\"settle_ms_max\"",
             "\"scale\"",

@@ -96,14 +96,20 @@ impl FaultAction {
 }
 
 /// A complete fault script for one cluster run: per-edge frame
-/// mutations plus whole-node crash and accept-refusal schedules.
-/// Frame indices count every frame the wrapped transport is asked to
-/// send on that edge (handshake = frame 0), so a plan addresses a
+/// mutations, per-edge **flush** mutations (a whole coalesced batch as
+/// the unit of damage), plus whole-node crash and accept-refusal
+/// schedules. Frame indices count every frame the wrapped transport is
+/// asked to send on that edge (handshake = frame 0); flush indices
+/// count every flush — `send_frame` is a one-frame flush, so the
+/// handshake is also flush 0. Either way a plan addresses a
 /// deterministic position in the stream, not a wall-clock instant.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// `(from, to)` → frame index on that edge → action.
     edge: HashMap<(usize, usize), BTreeMap<u64, FaultAction>>,
+    /// `(from, to)` → flush index on that edge → action applied to the
+    /// whole coalesced batch.
+    flush: HashMap<(usize, usize), BTreeMap<u64, FaultAction>>,
     /// Node → sent-frame count (across all edges) at which the node's
     /// transport dies wholesale.
     crash: HashMap<usize, u64>,
@@ -121,6 +127,21 @@ impl FaultPlan {
     /// node `to` (0-based; the handshake frame is 0).
     pub fn fault(mut self, from: usize, to: usize, nth: u64, action: FaultAction) -> Self {
         self.edge.entry((from, to)).or_default().insert(nth, action);
+        self
+    }
+
+    /// Apply `action` to the `nth` **flush** sent from node `from` to
+    /// node `to` (0-based; `send_frame` counts as a one-frame flush,
+    /// so the handshake is flush 0). `Drop` swallows the whole batch
+    /// (a many-frame sequence gap), `Truncate{keep}` keeps a byte
+    /// budget across the concatenated frames — cutting mid-frame, like
+    /// a crash between two `write(2)`s — `Corrupt` offsets into the
+    /// concatenation, and `Duplicate` replays the entire batch.
+    pub fn fault_flush(mut self, from: usize, to: usize, nth: u64, action: FaultAction) -> Self {
+        self.flush
+            .entry((from, to))
+            .or_default()
+            .insert(nth, action);
         self
     }
 
@@ -148,6 +169,7 @@ impl FaultPlan {
             && self
                 .edge
                 .values()
+                .chain(self.flush.values())
                 .flat_map(|m| m.values())
                 .all(|a| a.is_benign())
     }
@@ -158,6 +180,7 @@ impl FaultPlan {
         let mut ks: Vec<&'static str> = self
             .edge
             .values()
+            .chain(self.flush.values())
             .flat_map(|m| m.values())
             .map(|a| a.kind())
             .collect();
@@ -316,6 +339,7 @@ impl ChaosTransport {
                 me: self.me,
                 peer: Arc::clone(&peer),
                 sent_on_edge: 0,
+                flushes_on_edge: 0,
                 plan: Arc::clone(&self.plan),
                 state: Arc::clone(&self.state),
             }),
@@ -386,6 +410,7 @@ impl ChaosAcceptor {
                 me: self.me,
                 peer: Arc::clone(&peer),
                 sent_on_edge: 0,
+                flushes_on_edge: 0,
                 plan: Arc::clone(&self.plan),
                 state: Arc::clone(&self.state),
             }),
@@ -417,68 +442,179 @@ struct ChaosTx {
     me: usize,
     peer: Arc<OnceLock<usize>>,
     sent_on_edge: u64,
+    /// Flushes attempted on this edge (`send_frame` = one-frame
+    /// flush), the index `FaultPlan::fault_flush` addresses.
+    flushes_on_edge: u64,
     plan: Arc<FaultPlan>,
     state: Arc<ChaosState>,
 }
 
-impl FrameTx for ChaosTx {
-    fn send_frame(&mut self, payload: &[u8]) -> io::Result<()> {
-        if self.state.crashed.load(Ordering::Relaxed) {
-            return Err(ChaosState::crash_err());
+impl ChaosTx {
+    fn severed_err() -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, "chaos: connection severed")
+    }
+
+    fn sever(&mut self) -> io::Result<()> {
+        if let Some(mut conn) = self.inner.take() {
+            let _ = conn.close();
+            drop(conn); // loopback peers unblock on channel drop
         }
-        if let Some(&after) = self.plan.crash.get(&self.me) {
-            if self.state.sent.load(Ordering::Relaxed) >= after {
-                self.state.crashed.store(true, Ordering::Relaxed);
-                self.state.record_injection();
+        Err(Self::severed_err())
+    }
+
+    /// Per-frame pass: crash clock, frame-indexed faults. Returns the
+    /// surviving (possibly mutated) frames, or an error for crash /
+    /// sever — a sever first flushes the frames that preceded it, like
+    /// a connection dying between two `write(2)`s.
+    fn transform_frames(&mut self, payloads: &[Vec<u8>]) -> io::Result<Vec<Vec<u8>>> {
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            if self.state.crashed.load(Ordering::Relaxed) {
                 return Err(ChaosState::crash_err());
             }
+            if let Some(&after) = self.plan.crash.get(&self.me) {
+                if self.state.sent.load(Ordering::Relaxed) >= after {
+                    // A crash mid-window loses the whole buffered
+                    // batch: nothing already transformed is flushed.
+                    self.state.crashed.store(true, Ordering::Relaxed);
+                    self.state.record_injection();
+                    return Err(ChaosState::crash_err());
+                }
+            }
+            self.state.sent.fetch_add(1, Ordering::Relaxed);
+            let nth = self.sent_on_edge;
+            self.sent_on_edge += 1;
+            let action = self
+                .peer
+                .get()
+                .and_then(|&to| self.plan.edge.get(&(self.me, to)))
+                .and_then(|m| m.get(&nth))
+                .copied();
+            let Some(action) = action else {
+                out.push(payload.clone());
+                continue;
+            };
+            self.state.record_injection();
+            match action {
+                FaultAction::Drop => {}
+                FaultAction::Delay { ms } => {
+                    // Sleeping here (inside the writer's flush) stalls
+                    // the edge without reordering it.
+                    std::thread::sleep(Duration::from_millis(ms));
+                    out.push(payload.clone());
+                }
+                FaultAction::Duplicate => {
+                    out.push(payload.clone());
+                    out.push(payload.clone());
+                }
+                FaultAction::Truncate { keep } => {
+                    out.push(payload[..keep.min(payload.len())].to_vec());
+                }
+                FaultAction::Corrupt { offset, xor } => {
+                    let mut p = payload.clone();
+                    if !p.is_empty() {
+                        let i = offset % p.len();
+                        p[i] ^= if xor == 0 { 1 } else { xor };
+                    }
+                    out.push(p);
+                }
+                FaultAction::Sever => {
+                    if let Some(conn) = self.inner.as_mut() {
+                        let _ = conn.send_frames(&out);
+                    }
+                    return self.sever().map(|_| Vec::new());
+                }
+            }
         }
-        self.state.sent.fetch_add(1, Ordering::Relaxed);
-        let nth = self.sent_on_edge;
-        self.sent_on_edge += 1;
-        let inner = self.inner.as_mut().ok_or_else(|| {
-            io::Error::new(io::ErrorKind::BrokenPipe, "chaos: connection severed")
-        })?;
+        Ok(out)
+    }
+}
+
+impl FrameTx for ChaosTx {
+    fn send_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        // Route through the batch path so flush indices count every
+        // send: an uncoalesced stream is a run of one-frame flushes.
+        let batch = [payload.to_vec()];
+        self.send_frames(&batch)
+    }
+
+    fn send_frames(&mut self, payloads: &[Vec<u8>]) -> io::Result<()> {
+        let mut out = self.transform_frames(payloads)?;
+        let fnth = self.flushes_on_edge;
+        self.flushes_on_edge += 1;
+        if self.inner.is_none() {
+            return Err(Self::severed_err());
+        }
         let action = self
             .peer
             .get()
-            .and_then(|&to| self.plan.edge.get(&(self.me, to)))
-            .and_then(|m| m.get(&nth))
+            .and_then(|&to| self.plan.flush.get(&(self.me, to)))
+            .and_then(|m| m.get(&fnth))
             .copied();
         let Some(action) = action else {
-            return inner.send_frame(payload);
+            if out.is_empty() {
+                return Ok(());
+            }
+            return self
+                .inner
+                .as_mut()
+                .expect("checked above")
+                .send_frames(&out);
         };
         self.state.record_injection();
+        let inner = self.inner.as_mut().expect("checked above");
         match action {
+            // The whole batch vanishes: every frame in it surfaces as
+            // one many-frame sequence gap at the receiver.
             FaultAction::Drop => Ok(()),
             FaultAction::Delay { ms } => {
-                // Sleeping here (under the sender's per-peer lock)
-                // stalls the edge without reordering it.
                 std::thread::sleep(Duration::from_millis(ms));
-                inner.send_frame(payload)
+                inner.send_frames(&out)
             }
+            // Replay the entire batch; the receiver's sequence layer
+            // drops every frame of the replay.
             FaultAction::Duplicate => {
-                inner.send_frame(payload)?;
-                inner.send_frame(payload)
+                inner.send_frames(&out)?;
+                inner.send_frames(&out)
             }
-            FaultAction::Truncate { keep } => inner.send_frame(&payload[..keep.min(payload.len())]),
-            FaultAction::Corrupt { offset, xor } => {
-                let mut p = payload.to_vec();
-                if !p.is_empty() {
-                    let i = offset % p.len();
-                    p[i] ^= if xor == 0 { 1 } else { xor };
+            // A byte budget across the concatenated frames: frames
+            // before the cut ship whole, the crossing frame ships a
+            // prefix, everything after is lost — a crash between two
+            // `write(2)`s of one coalesced window.
+            FaultAction::Truncate { keep } => {
+                let mut budget = keep;
+                let mut cut: Vec<Vec<u8>> = Vec::new();
+                for p in out {
+                    if budget == 0 {
+                        break;
+                    }
+                    if p.len() <= budget {
+                        budget -= p.len();
+                        cut.push(p);
+                    } else {
+                        cut.push(p[..budget].to_vec());
+                        budget = 0;
+                    }
                 }
-                inner.send_frame(&p)
+                inner.send_frames(&cut)
             }
-            FaultAction::Sever => {
-                let mut conn = self.inner.take().expect("checked above");
-                let _ = conn.close();
-                drop(conn); // loopback peers unblock on channel drop
-                Err(io::Error::new(
-                    io::ErrorKind::BrokenPipe,
-                    "chaos: connection severed",
-                ))
+            // Offset into the concatenation — the damaged byte may
+            // land in any frame of the window.
+            FaultAction::Corrupt { offset, xor } => {
+                let total: usize = out.iter().map(|p| p.len()).sum();
+                if total > 0 {
+                    let mut i = offset % total;
+                    for p in out.iter_mut() {
+                        if i < p.len() {
+                            p[i] ^= if xor == 0 { 1 } else { xor };
+                            break;
+                        }
+                        i -= p.len();
+                    }
+                }
+                inner.send_frames(&out)
             }
+            FaultAction::Sever => self.sever(),
         }
     }
 

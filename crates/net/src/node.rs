@@ -13,7 +13,13 @@
 //!   ownership must not exchange a single shard message.
 //! * **Routing.** The runtime hands any message addressed outside its
 //!   shard range to [`em2_rt::NodeLink::forward`]; the link wraps it
-//!   in [`NetMsg::Shard`] and ships it to the owner. One **reader
+//!   in [`NetMsg::Shard`] and pushes it onto the owner peer's
+//!   **lock-free egress queue** — the shard worker never touches a
+//!   mutex or a socket. One **writer thread per peer** drains that
+//!   queue, assigns sequence numbers in pop order, coalesces up to a
+//!   bounded window of frames into one flush
+//!   ([`crate::transport::FrameTx::send_frames`]), and absorbs the
+//!   heartbeat timer into its idle loop (DESIGN.md §11). One **reader
 //!   thread per peer** decodes inbound frames and injects them through
 //!   [`em2_rt::RemoteInbox`] — the executor's ordinary mailbox/waker
 //!   seam; the workers never know a message crossed a process.
@@ -54,10 +60,10 @@ use crate::transport::{Duplex, FrameRx, FrameTx, Transport};
 use em2_engine::AtomicBarriers;
 use em2_model::{DetRng, ThreadId};
 use em2_placement::Placement;
+use em2_rt::mpsc::MpscQueue;
 use em2_rt::wire::{WireMsg, WIRE_VERSION};
 use em2_rt::{NodeLink, NodeRole, RtConfig, RtReport, Runtime, TaskRegistry, TaskSpec};
 use em2_trace::Workload;
-use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
@@ -67,10 +73,40 @@ use std::time::{Duration, Instant};
 /// editing every spec string.
 pub const CONNECT_TIMEOUT_ENV: &str = "EM2_NET_CONNECT_TIMEOUT_MS";
 
-/// Per-node wire telemetry (atomics: shard workers and readers bump
-/// them concurrently). Control frames (heartbeats, aborts, goodbyes)
+/// Environment override for the egress coalesce window: `0` forces
+/// one frame per flush (the pre-batching wire behavior, for A/B bit-
+/// equality smoke runs); anything else keeps the default window.
+/// Coalescing never changes which frames cross the wire or their
+/// order — only how many share a syscall — so both settings must
+/// produce identical counters.
+pub const COALESCE_ENV: &str = "EM2_NET_COALESCE";
+
+/// Frames one writer flush may coalesce (the bounded window that keeps
+/// a burst from turning into unbounded latency for the frame at its
+/// head).
+const COALESCE_FRAMES: usize = 64;
+
+/// Byte bound on one coalesced flush (a window of maximum-size frames
+/// must not buffer tens of MiB before the first byte moves).
+const COALESCE_BYTES: usize = 256 << 10;
+
+fn coalesce_window() -> usize {
+    match std::env::var(COALESCE_ENV) {
+        Ok(v) if v.trim() == "0" => 1,
+        _ => COALESCE_FRAMES,
+    }
+}
+
+/// Per-node wire telemetry (atomics: writer threads, readers, and
+/// shard workers bump them concurrently). In `frames_tx`/`bytes_tx`
+/// (and their rx twins), control frames (heartbeats, aborts, goodbyes)
 /// are **excluded** so fault-free counters are identical whether or
-/// not heartbeats run.
+/// not heartbeats run; `frames_tx_total`/`bytes_tx_total` count every
+/// frame written after the handshake, control included — the honest
+/// egress ledger. `flushes_tx` and `egress_hwm` are timing-dependent
+/// (like wall clock): how frames pack into flushes and how deep queues
+/// get depends on scheduling, so they are telemetry, never part of an
+/// agreement check.
 #[derive(Default)]
 struct WireStats {
     frames_tx: AtomicU64,
@@ -85,6 +121,14 @@ struct WireStats {
     /// "context bytes on the wire" the paper's §5 sizing argument is
     /// about.
     context_bytes_tx: AtomicU64,
+    /// Coalesced flush batches written (≈ egress syscalls on stream
+    /// transports); `flushes_tx < frames_tx` proves frames-per-flush
+    /// exceeded one. (`frames_tx_total`/`bytes_tx_total` live on each
+    /// [`Peer`] — the writer thread owns that ledger — and are summed
+    /// into the snapshot.)
+    flushes_tx: AtomicU64,
+    /// High-water mark of any peer egress queue's depth.
+    egress_hwm: AtomicU64,
 }
 
 /// A snapshot of one node's wire telemetry.
@@ -107,10 +151,23 @@ pub struct WireSnapshot {
     pub arrives_tx: u64,
     /// Serialized task-context bytes inside sent envelopes.
     pub context_bytes_tx: u64,
+    /// Every frame written after the handshake, **control included** —
+    /// the total per-peer egress ledger (heartbeats, aborts, goodbyes
+    /// all cost wire time even though they are excluded from the
+    /// deterministic `frames_tx`).
+    pub frames_tx_total: u64,
+    /// Payload bytes of every written frame (control included).
+    pub bytes_tx_total: u64,
+    /// Coalesced flush batches written (≈ egress syscalls on stream
+    /// transports). Timing-dependent telemetry, like wall clock.
+    pub flushes_tx: u64,
+    /// Deepest any peer egress queue got (frames). Timing-dependent.
+    pub egress_hwm: u64,
 }
 
 impl WireSnapshot {
-    /// Element-wise sum (cluster totals).
+    /// Element-wise sum (cluster totals); the high-water mark takes
+    /// the max — a cluster-wide depth sum would describe no queue.
     pub fn merge(&mut self, o: &WireSnapshot) {
         self.frames_tx += o.frames_tx;
         self.bytes_tx += o.bytes_tx;
@@ -119,6 +176,10 @@ impl WireSnapshot {
         self.dupes_rx += o.dupes_rx;
         self.arrives_tx += o.arrives_tx;
         self.context_bytes_tx += o.context_bytes_tx;
+        self.frames_tx_total += o.frames_tx_total;
+        self.bytes_tx_total += o.bytes_tx_total;
+        self.flushes_tx += o.flushes_tx;
+        self.egress_hwm = self.egress_hwm.max(o.egress_hwm);
     }
 }
 
@@ -137,18 +198,49 @@ struct Coordinator {
     state: Mutex<CoordState>,
 }
 
-/// One connection's send half plus its per-direction sequence counter
-/// (the handshake frame consumed sequence 0).
-struct PeerTx {
-    /// `None` after this node closed (or severed) the connection.
-    conn: Option<Box<dyn FrameTx>>,
-    next_seq: u64,
+/// What travels down a peer's egress queue.
+enum EgressItem {
+    /// An encodable message; the writer assigns its sequence number at
+    /// pop time.
+    Msg(NetMsg),
+    /// Teardown sentinel, pushed by `finish` after everything else:
+    /// the writer drains the FIFO up to here, appends [`NetMsg::Bye`]
+    /// iff the run was clean, flushes, closes the connection, and
+    /// exits.
+    Close { bye: bool },
 }
 
+/// One peer edge: the egress queue its writer thread drains, the
+/// wakeup handshake, and the edge's liveness clocks. The connection's
+/// send half is **owned by the writer thread** — no shared send state,
+/// so the producer side (`forward`, coordinator logic) is entirely
+/// lock-free.
 struct Peer {
-    tx: Mutex<PeerTx>,
+    /// Main egress lane (lock-free MPSC; the writer is the single
+    /// consumer). FIFO push order is exactly the old per-peer mutex's
+    /// serialization order, which is what keeps Closed-after-last-
+    /// Shard and Bye-last intact (DESIGN.md §11).
+    egress: MpscQueue<EgressItem>,
+    /// Priority lane: an Abort must jump every frame still queued in
+    /// the main lane. Failure-path only — never on the hot path.
+    urgent: Mutex<Vec<NetMsg>>,
+    /// Main-lane depth in frames (high-water telemetry).
+    depth: AtomicU64,
+    /// Writer parking handshake: `true` while the writer is committed
+    /// to parking. Producers push, then swap this and unpark on
+    /// observing `true`; the writer re-checks the queue after setting
+    /// it (both SeqCst) — no lost wakeup.
+    sleeping: AtomicBool,
+    /// The writer thread's handle, registered by the thread itself
+    /// before it first sets `sleeping`.
+    writer: OnceLock<std::thread::Thread>,
+    /// Every frame this edge has written after the handshake (control
+    /// included) — the per-peer egress ledger.
+    frames_tx: AtomicU64,
+    /// Payload bytes this edge has written (control included).
+    bytes_tx: AtomicU64,
     /// Milliseconds (since the link epoch) of the last frame sent to /
-    /// received from this peer — the heartbeat scheduler's idle and
+    /// received from this peer — the writer's idle-heartbeat and
     /// liveness clocks.
     last_tx_ms: AtomicU64,
     last_rx_ms: AtomicU64,
@@ -157,9 +249,36 @@ struct Peer {
     bye: AtomicBool,
 }
 
+impl Peer {
+    fn new() -> Peer {
+        Peer {
+            egress: MpscQueue::new(),
+            urgent: Mutex::new(Vec::new()),
+            depth: AtomicU64::new(0),
+            sleeping: AtomicBool::new(false),
+            writer: OnceLock::new(),
+            frames_tx: AtomicU64::new(0),
+            bytes_tx: AtomicU64::new(0),
+            last_tx_ms: AtomicU64::new(0),
+            last_rx_ms: AtomicU64::new(0),
+            bye: AtomicBool::new(false),
+        }
+    }
+
+    /// Unpark the writer if it committed to parking. Lock-free: one
+    /// swap, at most one `unpark`.
+    fn wake_writer(&self) {
+        if self.sleeping.swap(false, Ordering::SeqCst) {
+            if let Some(t) = self.writer.get() {
+                t.unpark();
+            }
+        }
+    }
+}
+
 /// Everything shared between shard workers (via [`NodeLink`]), reader
-/// threads, the heartbeat/watchdog threads, and the [`NodeRuntime`]
-/// handle.
+/// threads, the per-peer writer threads, the watchdog, and the
+/// [`NodeRuntime`] handle.
 struct Links {
     spec: ClusterSpec,
     me: usize,
@@ -169,6 +288,9 @@ struct Links {
     inbox: OnceLock<em2_rt::RemoteInbox>,
     coord: Option<Coordinator>,
     stats: WireStats,
+    /// Frames one flush may coalesce (read once from [`COALESCE_ENV`]
+    /// at startup; `1` disables batching for A/B smoke runs).
+    coalesce_window: usize,
     /// First failure observed on this node; `finish` refuses to report
     /// counters from a cluster that broke mid-run.
     failure: Mutex<Option<ClusterError>>,
@@ -206,9 +328,11 @@ impl Links {
     /// instead of waiting out its deadline. Later failures are
     /// sympathetic noise and only reinforce the shutdown.
     ///
-    /// Lock discipline: callers must NOT hold any peer `tx` mutex
-    /// (the abort fan-out takes them), and this function releases the
-    /// failure slot before sending anything.
+    /// The abort fan-out goes through the peers' **urgent lanes**: an
+    /// Abort jumps every data frame still queued in the main egress
+    /// FIFO, so a wedged bulk queue cannot delay the cluster's failure
+    /// signal. Callable from any thread, including a writer: it only
+    /// enqueues, never touches a connection.
     fn fail(&self, err: ClusterError) {
         if self.quiesced.load(Ordering::Acquire) {
             // The run already completed; connection teardown noise
@@ -237,9 +361,9 @@ impl Links {
                 if self.me == 0 {
                     for node in 0..self.spec.num_nodes() {
                         if node != self.me && node != *from {
-                            self.send_quiet(
+                            self.send_urgent(
                                 node,
-                                &NetMsg::Abort {
+                                NetMsg::Abort {
                                     reason: reason.clone(),
                                 },
                             );
@@ -252,86 +376,57 @@ impl Links {
                 if self.me == 0 {
                     for node in 0..self.spec.num_nodes() {
                         if node != self.me {
-                            self.send_quiet(
+                            self.send_urgent(
                                 node,
-                                &NetMsg::Abort {
+                                NetMsg::Abort {
                                     reason: reason.clone(),
                                 },
                             );
                         }
                     }
                 } else {
-                    self.send_quiet(0, &NetMsg::Abort { reason });
+                    self.send_urgent(0, NetMsg::Abort { reason });
                 }
             }
         }
     }
 
     /// Best-effort control send: consumes a sequence number on
-    /// success, never counts toward telemetry, never records a
-    /// failure. The abort/goodbye path must not recurse into `fail`.
-    fn send_quiet(&self, node: usize, msg: &NetMsg) {
+    /// Enqueue one message on a peer's main egress FIFO and wake its
+    /// writer. This is the whole hot path for a sender: one lock-free
+    /// push plus at most one `unpark` — no mutex, no syscall, no
+    /// blocking on a slow peer. A dead connection is the **writer's**
+    /// discovery (it records the failure); producers cannot fail.
+    fn send_to(&self, node: usize, msg: NetMsg) {
+        let peer = self.peer(node);
+        let d = peer.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.egress_hwm.fetch_max(d, Ordering::Relaxed);
+        peer.egress.push(EgressItem::Msg(msg));
+        peer.wake_writer();
+    }
+
+    /// Queue-jumping control send: the writer drains the urgent lane
+    /// before the main FIFO, so an [`NetMsg::Abort`] overtakes any
+    /// backlog of data frames. Best-effort (a missing or dead peer is
+    /// ignored) and never counted toward deterministic telemetry —
+    /// the failure path must not recurse into `fail`.
+    fn send_urgent(&self, node: usize, msg: NetMsg) {
         let Some(peer) = self.peers[node].as_ref() else {
             return;
         };
-        let mut tx = peer.tx.lock().unwrap_or_else(|p| p.into_inner());
-        let seq = tx.next_seq;
-        if let Some(conn) = tx.conn.as_mut() {
-            if conn.send_frame(&msg.encode(seq)).is_ok() {
-                tx.next_seq = seq + 1;
-                peer.last_tx_ms.store(self.now_ms(), Ordering::Relaxed);
-            }
-        }
-    }
-
-    /// Encode and ship one message to a peer. A transport failure is
-    /// recorded as [`ClusterError::PeerLost`] (with the peer `tx`
-    /// mutex released first — the abort fan-out may need it) and
-    /// returned; it never panics, and the sequence number is consumed
-    /// only by a successful send.
-    fn send_to(&self, node: usize, msg: &NetMsg) -> Result<(), ClusterError> {
-        let peer = self.peer(node);
-        let counted = !msg.is_control();
-        let send_err = {
-            let mut tx = peer.tx.lock().unwrap_or_else(|p| p.into_inner());
-            let seq = tx.next_seq;
-            let payload = msg.encode(seq);
-            let r = match tx.conn.as_mut() {
-                Some(conn) => conn.send_frame(&payload),
-                None => Err(io::Error::new(
-                    io::ErrorKind::BrokenPipe,
-                    "connection already closed",
-                )),
-            };
-            match r {
-                Ok(()) => {
-                    tx.next_seq = seq + 1;
-                    peer.last_tx_ms.store(self.now_ms(), Ordering::Relaxed);
-                    if counted {
-                        self.stats.frames_tx.fetch_add(1, Ordering::Relaxed);
-                        self.stats
-                            .bytes_tx
-                            .fetch_add(payload.len() as u64, Ordering::Relaxed);
-                    }
-                    None
-                }
-                Err(e) => Some(ClusterError::PeerLost {
-                    node,
-                    detail: format!("send failed: {e}"),
-                }),
-            }
-            // tx mutex drops here, before fail() fans the abort out.
-        };
-        match send_err {
-            None => Ok(()),
-            Some(e) => {
-                self.fail(e.clone());
-                Err(e)
-            }
-        }
+        peer.urgent
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(msg);
+        peer.wake_writer();
     }
 
     fn snapshot(&self) -> WireSnapshot {
+        let (mut frames_total, mut bytes_total) = (0u64, 0u64);
+        for p in self.peers.iter().flatten() {
+            frames_total += p.frames_tx.load(Ordering::Relaxed);
+            bytes_total += p.bytes_tx.load(Ordering::Relaxed);
+        }
         WireSnapshot {
             frames_tx: self.stats.frames_tx.load(Ordering::Relaxed),
             bytes_tx: self.stats.bytes_tx.load(Ordering::Relaxed),
@@ -340,6 +435,10 @@ impl Links {
             dupes_rx: self.stats.dupes_rx.load(Ordering::Relaxed),
             arrives_tx: self.stats.arrives_tx.load(Ordering::Relaxed),
             context_bytes_tx: self.stats.context_bytes_tx.load(Ordering::Relaxed),
+            frames_tx_total: frames_total,
+            bytes_tx_total: bytes_total,
+            flushes_tx: self.stats.flushes_tx.load(Ordering::Relaxed),
+            egress_hwm: self.stats.egress_hwm.load(Ordering::Relaxed),
         }
     }
 
@@ -359,7 +458,7 @@ impl Links {
         if self.coord().barriers.arrive(k) == em2_engine::BarrierArrival::Completes {
             for node in 0..self.spec.num_nodes() {
                 if node != self.me {
-                    let _ = self.send_to(node, &NetMsg::BarrierRelease { k: k as u32 });
+                    self.send_to(node, NetMsg::BarrierRelease { k: k as u32 });
                 }
             }
             self.inbox().release_barrier(k);
@@ -399,7 +498,7 @@ impl Links {
         self.quiesced.store(true, Ordering::Release);
         for node in 0..self.spec.num_nodes() {
             if node != self.me {
-                let _ = self.send_to(node, &NetMsg::Quiesce);
+                self.send_to(node, NetMsg::Quiesce);
             }
         }
         self.inbox().begin_shutdown();
@@ -416,22 +515,55 @@ impl NodeLink for Links {
                 .context_bytes_tx
                 .fetch_add(msg.context_payload_len() as u64, Ordering::Relaxed);
         }
-        // A failed send already recorded the error and began the
-        // shutdown; the worker notices the flag on its next poll.
-        let _ = self.send_to(
+        // A dead connection is discovered (and recorded) by the owner
+        // peer's writer; the worker notices the failure flag on its
+        // next poll.
+        self.send_to(
             owner,
-            &NetMsg::Shard {
+            NetMsg::Shard {
                 to: to_shard as u32,
                 msg,
             },
         );
     }
 
+    fn forward_many(&self, msgs: Vec<(usize, WireMsg)>) {
+        // A shard's batch of remote replies: enqueue every message in
+        // order, then wake each destination writer once — one unpark
+        // for the whole batch instead of one per frame, and the frames
+        // land in the writer's window together, so they coalesce into
+        // one flush.
+        let mut woken: Vec<usize> = Vec::new();
+        for (to_shard, msg) in msgs {
+            let owner = self.spec.owner_of(to_shard);
+            debug_assert_ne!(owner, self.me, "forward_many() is for non-local shards");
+            if let WireMsg::Arrive(_) = &msg {
+                self.stats.arrives_tx.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .context_bytes_tx
+                    .fetch_add(msg.context_payload_len() as u64, Ordering::Relaxed);
+            }
+            let peer = self.peer(owner);
+            let d = peer.depth.fetch_add(1, Ordering::Relaxed) + 1;
+            self.stats.egress_hwm.fetch_max(d, Ordering::Relaxed);
+            peer.egress.push(EgressItem::Msg(NetMsg::Shard {
+                to: to_shard as u32,
+                msg,
+            }));
+            if !woken.contains(&owner) {
+                woken.push(owner);
+            }
+        }
+        for owner in woken {
+            self.peer(owner).wake_writer();
+        }
+    }
+
     fn barrier_arrive(&self, k: usize) {
         if self.me == 0 {
             self.coord_barrier_arrive(k);
         } else {
-            let _ = self.send_to(0, &NetMsg::BarrierArrive { k: k as u32 });
+            self.send_to(0, NetMsg::BarrierArrive { k: k as u32 });
         }
     }
 
@@ -439,7 +571,7 @@ impl NodeLink for Links {
         if self.me == 0 {
             self.coord_retired();
         } else {
-            let _ = self.send_to(0, &NetMsg::Retired);
+            self.send_to(0, NetMsg::Retired);
         }
     }
 
@@ -449,7 +581,7 @@ impl NodeLink for Links {
                 self.fail(e);
             }
         } else {
-            let _ = self.send_to(0, &NetMsg::Closed { submitted });
+            self.send_to(0, NetMsg::Closed { submitted });
         }
     }
 }
@@ -612,24 +744,168 @@ fn reader_loop(links: &Links, from_node: usize, mut rx: Box<dyn FrameRx>) {
     }
 }
 
-/// Heartbeat thread: keep idle edges warm (a heartbeat advances the
-/// sequence stream, so a dropped frame surfaces as a gap within one
-/// heartbeat interval even on an otherwise quiet edge) and declare a
-/// peer lost after `peer_deadline_ms` of receive silence.
-fn heartbeat_loop(links: &Links) {
+/// One writer thread: the single consumer of a peer's egress queues
+/// and the sole owner of the connection's send half and its sequence
+/// counter — sequence numbers are assigned in **pop order**, so the
+/// wire stream is gap-free by construction no matter how producers
+/// raced their pushes (DESIGN.md §11).
+///
+/// Each wakeup drains the urgent lane first (aborts overtake data),
+/// then pops up to `coalesce_window` frames / [`COALESCE_BYTES`] from
+/// the main FIFO and writes them as **one flush**
+/// ([`FrameTx::send_frames`]). When both lanes go empty the writer
+/// parks with a bounded tick and absorbs the old heartbeat thread's
+/// job: keep an idle edge warm every `heartbeat_ms` and declare the
+/// peer lost after `peer_deadline_ms` of receive silence. The
+/// [`EgressItem::Close`] sentinel (pushed by `finish` after the last
+/// data frame) drains the FIFO, appends [`NetMsg::Bye`] on a clean
+/// run, flushes, closes, and exits — Bye stays last on the wire.
+fn writer_loop(links: &Links, node: usize, conn: Box<dyn FrameTx>) {
+    let peer = links.peer(node);
+    let _ = peer.writer.set(std::thread::current());
     let hb = links.spec.timeouts.heartbeat_ms;
     let deadline = links.spec.timeouts.peer_deadline_ms();
-    let tick = Duration::from_millis((hb / 4).clamp(1, 50));
-    while !links.done.load(Ordering::Acquire) {
-        std::thread::sleep(tick);
-        if links.done.load(Ordering::Acquire) || links.quiesced.load(Ordering::Acquire) {
+    let tick = Duration::from_millis(if hb > 0 { (hb / 4).clamp(1, 50) } else { 200 });
+    let window = links.coalesce_window.max(1);
+    let mut conn = Some(conn);
+    // The handshake frame consumed sequence 0 in this direction.
+    let mut next_seq: u64 = 1;
+    let mut batch: Vec<Vec<u8>> = Vec::with_capacity(window);
+    loop {
+        // Urgent lane first: an Abort overtakes any queued data.
+        let urgent = std::mem::take(&mut *peer.urgent.lock().unwrap_or_else(|p| p.into_inner()));
+        if !urgent.is_empty() {
+            if let Some(c) = conn.as_mut() {
+                batch.clear();
+                for msg in &urgent {
+                    let payload = msg.encode(next_seq);
+                    next_seq += 1;
+                    peer.frames_tx.fetch_add(1, Ordering::Relaxed);
+                    peer.bytes_tx
+                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    batch.push(payload);
+                }
+                // Best-effort, like the old quiet path: the failure
+                // fan-out must not recurse into fail().
+                if c.send_frames(&batch).is_ok() {
+                    links.stats.flushes_tx.fetch_add(1, Ordering::Relaxed);
+                    peer.last_tx_ms.store(links.now_ms(), Ordering::Relaxed);
+                } else {
+                    conn = None;
+                }
+            }
+            continue;
+        }
+
+        // Main lane: pop up to one coalesce window and flush it once.
+        batch.clear();
+        let mut popped_msgs: u64 = 0;
+        let mut bytes: usize = 0;
+        let mut close: Option<bool> = None;
+        while batch.len() < window && bytes < COALESCE_BYTES {
+            match peer.egress.pop() {
+                Some(EgressItem::Msg(msg)) => {
+                    popped_msgs += 1;
+                    // With the connection gone the queue still drains
+                    // (and frees) so producers never back up.
+                    if conn.is_none() {
+                        continue;
+                    }
+                    let payload = msg.encode(next_seq);
+                    next_seq += 1;
+                    peer.frames_tx.fetch_add(1, Ordering::Relaxed);
+                    peer.bytes_tx
+                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    if !msg.is_control() {
+                        links.stats.frames_tx.fetch_add(1, Ordering::Relaxed);
+                        links
+                            .stats
+                            .bytes_tx
+                            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    }
+                    bytes += payload.len();
+                    batch.push(payload);
+                }
+                Some(EgressItem::Close { bye }) => {
+                    close = Some(bye);
+                    break;
+                }
+                None => break,
+            }
+        }
+        if popped_msgs > 0 {
+            peer.depth.fetch_sub(popped_msgs, Ordering::Relaxed);
+        }
+
+        if let Some(bye) = close {
+            if let Some(mut c) = conn.take() {
+                if bye {
+                    let payload = NetMsg::Bye.encode(next_seq);
+                    peer.frames_tx.fetch_add(1, Ordering::Relaxed);
+                    peer.bytes_tx
+                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    batch.push(payload);
+                }
+                if !batch.is_empty() && c.send_frames(&batch).is_ok() {
+                    links.stats.flushes_tx.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = c.close();
+            }
             return;
         }
-        let now = links.now_ms();
-        for (node, peer) in links.peers.iter().enumerate() {
-            let Some(peer) = peer else { continue };
+
+        if !batch.is_empty() {
+            let c = conn
+                .as_mut()
+                .expect("frames are only encoded with a live conn");
+            match c.send_frames(&batch) {
+                Ok(()) => {
+                    links.stats.flushes_tx.fetch_add(1, Ordering::Relaxed);
+                    peer.last_tx_ms.store(links.now_ms(), Ordering::Relaxed);
+                }
+                Err(e) => {
+                    conn = None;
+                    links.fail(ClusterError::PeerLost {
+                        node,
+                        detail: format!("send failed: {e}"),
+                    });
+                }
+            }
+        }
+        if popped_msgs > 0 {
+            continue;
+        }
+
+        // Idle: the heartbeat/liveness duties the dedicated thread
+        // used to carry. A heartbeat advances the sequence stream, so
+        // a dropped frame surfaces as a gap within one interval even
+        // on an otherwise quiet edge.
+        if hb > 0
+            && conn.is_some()
+            && !links.done.load(Ordering::Acquire)
+            && !links.quiesced.load(Ordering::Acquire)
+        {
+            let now = links.now_ms();
             if now.saturating_sub(peer.last_tx_ms.load(Ordering::Relaxed)) >= hb {
-                let _ = links.send_to(node, &NetMsg::Heartbeat);
+                let payload = NetMsg::Heartbeat.encode(next_seq);
+                next_seq += 1;
+                peer.frames_tx.fetch_add(1, Ordering::Relaxed);
+                peer.bytes_tx
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                let hb_batch = [payload];
+                match conn.as_mut().expect("checked above").send_frames(&hb_batch) {
+                    Ok(()) => {
+                        links.stats.flushes_tx.fetch_add(1, Ordering::Relaxed);
+                        peer.last_tx_ms.store(now, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        conn = None;
+                        links.fail(ClusterError::PeerLost {
+                            node,
+                            detail: format!("send failed: {e}"),
+                        });
+                    }
+                }
             }
             let silent = now.saturating_sub(peer.last_rx_ms.load(Ordering::Relaxed));
             if silent >= deadline {
@@ -639,6 +915,23 @@ fn heartbeat_loop(links: &Links) {
                 });
             }
         }
+
+        // Park until a producer wakes us (or the tick elapses — the
+        // heartbeat clock needs a bounded sleep). The handshake
+        // mirrors the shard mailboxes': commit `sleeping`, re-check
+        // both lanes, then park; a producer pushes before swapping
+        // `sleeping`, so no wakeup is lost.
+        peer.sleeping.store(true, Ordering::SeqCst);
+        let lanes_empty = peer.egress.is_empty()
+            && peer
+                .urgent
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .is_empty();
+        if lanes_empty {
+            std::thread::park_timeout(tick);
+        }
+        peer.sleeping.store(false, Ordering::SeqCst);
     }
 }
 
@@ -709,7 +1002,7 @@ pub struct NodeRuntime {
     rt: Option<Runtime>,
     links: Arc<Links>,
     readers: Vec<std::thread::JoinHandle<()>>,
-    heartbeat: Option<std::thread::JoinHandle<()>>,
+    writers: Vec<std::thread::JoinHandle<()>>,
     node: usize,
     transport: &'static str,
 }
@@ -878,6 +1171,7 @@ impl NodeRuntime {
         let epoch = Instant::now();
         let mut peers: Vec<Option<Peer>> = Vec::with_capacity(nodes);
         let mut rxs: Vec<(usize, Box<dyn FrameRx>)> = Vec::new();
+        let mut txs: Vec<(usize, Box<dyn FrameTx>)> = Vec::new();
         for (i, c) in conns.into_iter().enumerate() {
             match c {
                 None => peers.push(None),
@@ -885,16 +1179,9 @@ impl NodeRuntime {
                     // Clear any handshake receive deadline: run-phase
                     // liveness belongs to heartbeats and the watchdog.
                     let _ = d.rx.set_recv_timeout(None);
-                    peers.push(Some(Peer {
-                        tx: Mutex::new(PeerTx {
-                            conn: Some(d.tx),
-                            next_seq: 1,
-                        }),
-                        last_tx_ms: AtomicU64::new(0),
-                        last_rx_ms: AtomicU64::new(0),
-                        bye: AtomicBool::new(false),
-                    }));
+                    peers.push(Some(Peer::new()));
                     rxs.push((i, d.rx));
+                    txs.push((i, d.tx));
                 }
             }
         }
@@ -912,6 +1199,7 @@ impl NodeRuntime {
                 }),
             }),
             stats: WireStats::default(),
+            coalesce_window: coalesce_window(),
             failure: Mutex::new(None),
             quiesced: AtomicBool::new(false),
             done: AtomicBool::new(false),
@@ -950,19 +1238,22 @@ impl NodeRuntime {
                     .expect("spawn reader")
             })
             .collect();
-        let heartbeat = (links.spec.timeouts.heartbeat_ms > 0 && nodes > 1).then(|| {
-            let links = Arc::clone(&links);
-            std::thread::Builder::new()
-                .name("em2-net-heartbeat".into())
-                .spawn(move || heartbeat_loop(&links))
-                .expect("spawn heartbeat")
-        });
+        let writers = txs
+            .into_iter()
+            .map(|(peer, tx)| {
+                let links = Arc::clone(&links);
+                std::thread::Builder::new()
+                    .name(format!("em2-net-tx-{peer}"))
+                    .spawn(move || writer_loop(&links, peer, tx))
+                    .expect("spawn writer")
+            })
+            .collect();
 
         Ok(NodeRuntime {
             rt: Some(rt),
             links,
             readers,
-            heartbeat,
+            writers,
             node,
             transport: kind_name,
         })
@@ -1020,34 +1311,29 @@ impl NodeRuntime {
         if let Some(w) = watchdog {
             let _ = w.join();
         }
-        if let Some(h) = self.heartbeat.take() {
-            let _ = h.join();
-        }
         let failed = self.links.lock_failure().clone();
-        // Teardown: a clean run says goodbye first, so peers can tell
-        // our EOF from a crash; a failed run closes abruptly — the
-        // missing Bye *is* the failure signal for peers that have not
-        // heard the abort yet.
-        for (node, p) in self.links.peers.iter().enumerate() {
-            let Some(p) = p else { continue };
-            if failed.is_none() {
-                self.links.send_quiet(node, &NetMsg::Bye);
-            }
-            let mut tx = p.tx.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(c) = tx.conn.as_mut() {
-                let _ = c.close();
-            }
-            tx.conn = None;
+        // Teardown: push the Close sentinel after everything already
+        // queued — each writer drains its FIFO up to the sentinel,
+        // appends Bye iff the run was clean (so peers can tell our EOF
+        // from a crash; a failed run's missing Bye *is* the failure
+        // signal for peers that have not heard the abort yet), flushes
+        // once, closes the connection, and exits.
+        for p in self.links.peers.iter().flatten() {
+            p.egress.push(EgressItem::Close {
+                bye: failed.is_none(),
+            });
+            p.wake_writer();
         }
+        let writer_panicked = self.writers.drain(..).any(|w| w.join().is_err());
         // Readers exit when peers close theirs (every node does this
         // after its own finish, deadline-bounded by its own watchdog).
         let reader_panicked = self.readers.drain(..).any(|r| r.join().is_err());
         if let Some(e) = failed {
             return Err(e);
         }
-        if reader_panicked {
+        if writer_panicked || reader_panicked {
             return Err(ClusterError::Io {
-                detail: "a reader thread panicked without recording a failure".into(),
+                detail: "a link thread panicked without recording a failure".into(),
             });
         }
         Ok(NetReport {

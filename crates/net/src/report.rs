@@ -185,6 +185,13 @@ impl CounterSummary {
             "wire_context_bytes_tx",
             self.wire.context_bytes_tx.to_string(),
         );
+        kv(
+            "wire_frames_tx_total",
+            self.wire.frames_tx_total.to_string(),
+        );
+        kv("wire_bytes_tx_total", self.wire.bytes_tx_total.to_string());
+        kv("wire_flushes_tx", self.wire.flushes_tx.to_string());
+        kv("wire_egress_hwm", self.wire.egress_hwm.to_string());
         kv("wall_s", format!("{:.9}", self.wall_s));
         s
     }
@@ -232,6 +239,10 @@ impl CounterSummary {
                 "wire_dupes_rx" => out.wire.dupes_rx = u()?,
                 "wire_arrives_tx" => out.wire.arrives_tx = u()?,
                 "wire_context_bytes_tx" => out.wire.context_bytes_tx = u()?,
+                "wire_frames_tx_total" => out.wire.frames_tx_total = u()?,
+                "wire_bytes_tx_total" => out.wire.bytes_tx_total = u()?,
+                "wire_flushes_tx" => out.wire.flushes_tx = u()?,
+                "wire_egress_hwm" => out.wire.egress_hwm = u()?,
                 "wall_s" => {
                     out.wall_s = v
                         .parse::<f64>()
@@ -289,6 +300,10 @@ mod tests {
                 dupes_rx: 1,
                 arrives_tx: 2,
                 context_bytes_tx: 48,
+                frames_tx_total: 9,
+                bytes_tx_total: 720,
+                flushes_tx: 3,
+                egress_hwm: 5,
             },
             wall_s: 0.25,
         }

@@ -45,6 +45,21 @@ pub trait FrameTx: Send {
     /// error.
     fn send_frame(&mut self, payload: &[u8]) -> io::Result<()>;
 
+    /// Ship a batch of frames, flushing **once** where the carrier
+    /// allows it. Semantically identical to calling
+    /// [`FrameTx::send_frame`] per payload in order — same frames,
+    /// same boundaries on the wire, same errors — but stream
+    /// transports buffer the whole batch and pay a single
+    /// `write`/`flush`, which is the egress pipeline's
+    /// frames-per-syscall win. The default loops (message-granular
+    /// carriers like the loopback channel deliver per frame anyway).
+    fn send_frames(&mut self, payloads: &[Vec<u8>]) -> io::Result<()> {
+        for p in payloads {
+            self.send_frame(p)?;
+        }
+        Ok(())
+    }
+
     /// Signal end-of-stream to the peer. Merely dropping a socket
     /// write half is not enough: the read half is a `try_clone` of the
     /// same socket, so the connection stays open until an explicit
@@ -169,13 +184,31 @@ struct StreamTx<W: Write + Send + ShutdownWrite> {
     w: BufWriter<W>,
 }
 
-impl<W: Write + Send + ShutdownWrite> FrameTx for StreamTx<W> {
-    fn send_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+impl<W: Write + Send + ShutdownWrite> StreamTx<W> {
+    fn write_frame(&mut self, payload: &[u8]) -> io::Result<()> {
         if payload.len() > MAX_FRAME {
             return Err(oversize_err(payload.len()));
         }
         self.w.write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.w.write_all(payload)?;
+        self.w.write_all(payload)
+    }
+}
+
+impl<W: Write + Send + ShutdownWrite> FrameTx for StreamTx<W> {
+    fn send_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.write_frame(payload)?;
+        self.w.flush()
+    }
+
+    fn send_frames(&mut self, payloads: &[Vec<u8>]) -> io::Result<()> {
+        // All frames into the BufWriter, one flush: the coalescing
+        // half of the zero-syscall egress path. (A batch larger than
+        // the buffer spills early inside `write_all` — the syscall
+        // count stays bounded by the batch's byte size, not its frame
+        // count.)
+        for p in payloads {
+            self.write_frame(p)?;
+        }
         self.w.flush()
     }
 

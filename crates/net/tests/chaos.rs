@@ -503,6 +503,121 @@ fn killed_peer_process_is_detected_within_the_heartbeat_deadline() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// ---------------------------------------------------------------- //
+// Flush-level faults: the coalesced batch as the unit of damage.
+// A writer packs many frames into one flush, so a lost or cut flush
+// is a *many-frame* fault — the recovery story must hold there too.
+// ---------------------------------------------------------------- //
+
+#[test]
+fn dropped_flush_is_a_typed_error_not_a_hang() {
+    let fx = fixture();
+    // Flush 1 on the (0,1) edge is the first run-phase flush (the
+    // handshake was flush 0); swallowing it loses every frame the
+    // writer packed into that window at once.
+    let plan = FaultPlan::new().fault_flush(0, 1, 1, FaultAction::Drop);
+    let outcomes = assert_chaos_property(&fx, &loopback_spec("fl-drop"), plan, 0, false);
+    let kinds = error_kinds(&outcomes);
+    assert!(!kinds.is_empty(), "a dropped flush must surface");
+    assert!(
+        kinds
+            .iter()
+            .all(|k| ["codec", "aborted", "peer-lost"].contains(k)),
+        "a dropped flush is a (many-frame) sequence gap: {kinds:?}"
+    );
+}
+
+#[test]
+fn duplicated_flush_is_benign_and_absorbed() {
+    let fx = fixture();
+    // Replaying a whole batch re-delivers every frame in it; the
+    // sequence layer must drop each replay and the run must still sum
+    // bit-equal (flush duplication is a benign, stream-preserving
+    // fault — `assert_chaos_property` enforces equality on success).
+    let plan = FaultPlan::new()
+        .fault_flush(0, 1, 1, FaultAction::Duplicate)
+        .fault_flush(1, 0, 2, FaultAction::Duplicate);
+    assert!(plan.is_benign(), "flush duplication must count as benign");
+    let outcomes = assert_chaos_property(&fx, &loopback_spec("fl-dup"), plan, 0, true);
+    let total = CounterSummary::sum(outcomes.into_iter().map(|r| r.expect("benign run")));
+    assert!(
+        total.wire.dupes_rx >= 2,
+        "every frame of a replayed flush is observed and dropped: {:?}",
+        total.wire
+    );
+}
+
+#[test]
+fn flush_truncated_mid_batch_is_a_codec_error_not_a_hang() {
+    let fx = fixture();
+    // A byte budget that cuts inside a frame: the receiver sees the
+    // head frames whole, then a frame whose payload continues into
+    // the *next* flush's bytes — the checksum (or a sequence gap, if
+    // the cut lands on a frame boundary) must catch it, typed.
+    for keep in [3usize, 10, 27, 61] {
+        let plan = FaultPlan::new().fault_flush(1, 0, 1, FaultAction::Truncate { keep });
+        let outcomes = assert_chaos_property(
+            &fx,
+            &loopback_spec(&format!("fl-tr-{keep}")),
+            plan,
+            keep as u64,
+            false,
+        );
+        let kinds = error_kinds(&outcomes);
+        assert!(!kinds.is_empty(), "keep={keep}: a cut flush must surface");
+        assert!(
+            kinds
+                .iter()
+                .all(|k| ["codec", "aborted", "peer-lost"].contains(k)),
+            "keep={keep}: mid-batch truncation is caught typed: {kinds:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupted_flush_offsets_into_the_concatenated_window() {
+    let fx = fixture();
+    // Offsets past the first frame's length land the damaged byte in
+    // a *later* frame of the window; whichever frame it hits must
+    // fail its checksum, never decode as a different valid message.
+    for offset in [0usize, 25, 70, 200] {
+        let plan =
+            FaultPlan::new().fault_flush(0, 1, 2, FaultAction::Corrupt { offset, xor: 0x40 });
+        let outcomes = assert_chaos_property(
+            &fx,
+            &loopback_spec(&format!("fl-corr-{offset}")),
+            plan,
+            offset as u64,
+            false,
+        );
+        assert!(
+            !error_kinds(&outcomes).is_empty(),
+            "offset {offset}: a flipped bit in a coalesced window must never pass"
+        );
+    }
+}
+
+#[test]
+fn crash_mid_coalesce_window_is_typed_within_the_bound() {
+    let fx = fixture();
+    // The crash clock trips *inside* a window: frames already
+    // transformed for that flush are lost with it (a buffered batch
+    // never survives the process), and both nodes must return typed
+    // errors well inside the deadline discipline.
+    let plan = FaultPlan::new().crash_node(1, 5);
+    let t0 = Instant::now();
+    let outcomes = assert_chaos_property(&fx, &loopback_spec("fl-crash"), plan, 0, false);
+    assert!(
+        outcomes.iter().all(|r| r.is_err()),
+        "a crash mid-window fails both sides"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "crash-mid-window detection took {:?}",
+        t0.elapsed()
+    );
+}
+
 #[test]
 fn fault_free_plan_through_chaos_transport_is_bit_equal() {
     // The wrapper itself must be invisible when the plan is empty —

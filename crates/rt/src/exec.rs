@@ -154,8 +154,13 @@ fn run_shard(shared: &Shared, shard: usize) {
         core.poll(shared)
     };
     let sched = shared.sched.as_ref().expect("multiplexed mode");
+    // `ready()`, not `is_empty()`: the poller is the consumer here, so
+    // it may inspect the pop link directly — `len`'s transient
+    // over-report during a mid-flight push would requeue for a drain
+    // that finds nothing (the pusher's own DIRTY transition already
+    // covers that item), inflating the O(work) poll bound.
     let requeue = more
-        || !mb.queue.lock().expect("mailbox").is_empty()
+        || mb.queue.ready()
         || mb
             .state
             .compare_exchange(
@@ -172,21 +177,28 @@ fn run_shard(shared: &Shared, shard: usize) {
 }
 
 /// Body of one dedicated shard thread (the thread-per-shard baseline,
-/// kept for the shard-scaling comparison in `BENCH.json`). Blocks on
-/// the mailbox condvar when idle — no spin loop here either.
+/// kept for the shard-scaling comparison in `BENCH.json`). Parks when
+/// idle — no spin loop here either: the thread commits by setting
+/// `sleeping` (SeqCst), re-checks the lock-free queue, and only then
+/// parks; a sender pushes first and swaps `sleeping`, so in any
+/// sequentially-consistent interleaving either the sender sees the
+/// commitment (and unparks) or the re-check sees the message.
 pub(crate) fn shard_thread_loop(shared: &Shared, shard: usize) {
-    let mut core = shared.cores[shard].lock().expect("shard core");
     let mb = &shared.mailboxes[shard];
+    let _ = mb.thread.set(std::thread::current());
+    let mut core = shared.cores[shard].lock().expect("shard core");
     loop {
-        if shared.shutdown.load(Ordering::Acquire) {
+        if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        {
-            let mut q = mb.queue.lock().expect("mailbox");
-            while q.is_empty() && core.runq.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
-                q = mb.cv.wait(q).expect("mailbox cv");
+        let drained = core.take_batch(&mb.queue);
+        if drained == 0 && core.runq.is_empty() {
+            mb.sleeping.store(true, Ordering::SeqCst);
+            if mb.queue.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                std::thread::park();
             }
-            core.take_batch(&mut q);
+            mb.sleeping.store(false, Ordering::SeqCst);
+            continue;
         }
         core.step(shared);
     }

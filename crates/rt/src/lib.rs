@@ -61,6 +61,7 @@
 mod exec;
 mod shard;
 
+pub mod mpsc;
 pub mod runtime;
 pub mod task;
 pub mod wire;

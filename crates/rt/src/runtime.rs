@@ -27,6 +27,18 @@ pub trait NodeLink: Send + Sync {
     /// another node).
     fn forward(&self, to_shard: usize, msg: WireMsg);
 
+    /// Ship a batch of inter-shard messages, each addressed to its own
+    /// global shard id. Semantically identical to calling
+    /// [`NodeLink::forward`] once per element in order; implementations
+    /// may exploit the batch to enqueue contiguously and take one
+    /// wakeup per peer (the runtime hands a whole mailbox batch's
+    /// remote-access replies over in one call).
+    fn forward_many(&self, msgs: Vec<(usize, WireMsg)>) {
+        for (to, msg) in msgs {
+            self.forward(to, msg);
+        }
+    }
+
     /// A task on this node arrived at global barrier `k` and parked;
     /// report the arrival to the cluster's barrier coordinator.
     fn barrier_arrive(&self, k: usize);

@@ -2,9 +2,10 @@
 //! worker.
 //!
 //! Each shard is a **state machine**, not a thread: a word-granular
-//! heap partition, a mailbox (a sharded-lock MPSC queue, so remote
-//! requests are serviced in arrival order — the paper's in-order
-//! home-core servicing), and the per-core context file reused from the
+//! heap partition, a mailbox (a lock-free MPSC queue — `crate::mpsc` —
+//! so remote requests are serviced in arrival order with no mutex on
+//! the push/drain path; the paper's in-order home-core servicing), and
+//! the per-core context file reused from the
 //! simulator ([`em2_core::context::ContextPool`]): native contexts
 //! always admit, guest slots are bounded, and an arriving guest that
 //! finds them full evicts a resident evictable guest back to *its*
@@ -34,6 +35,7 @@
 //! interleaving only permutes *across* threads.
 
 use crate::exec::Sched;
+use crate::mpsc::MpscQueue;
 use crate::runtime::NodeLink;
 use crate::task::{Op, Task};
 use crate::wire::{WireEnvelope, WireMsg, WireOp};
@@ -45,11 +47,11 @@ use em2_model::{AccessKind, Addr, CoreId, CostModel, Histogram, ThreadId};
 use em2_placement::Placement;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-/// Messages drained from a mailbox per poll (the drain-k batch: one
-/// queue-lock acquisition amortizes over up to this many messages).
+/// Messages drained from a mailbox per poll (the drain-k batch bounds
+/// how long one poll can monopolize a worker).
 pub(crate) const DRAIN_K: usize = 128;
 
 /// Task quanta one poll may execute before yielding the worker to
@@ -181,24 +183,41 @@ pub(crate) const SHARD_QUEUED: u8 = 1;
 pub(crate) const SHARD_RUNNING: u8 = 2;
 pub(crate) const SHARD_RUNNING_DIRTY: u8 = 3;
 
-/// One shard's mailbox: the MPSC queue (sharded lock — one brief
-/// per-shard mutex, never a global one), the executor scheduling
-/// state, and the condvar the thread-per-shard driver sleeps on.
+/// One shard's mailbox: a lock-free MPSC queue (producers never take
+/// any lock — see `crate::mpsc` for the algorithm and the wakeup
+/// soundness argument), the executor scheduling state, and the
+/// park-token handshake the thread-per-shard driver sleeps on.
 pub(crate) struct Mailbox {
-    pub queue: Mutex<VecDeque<Msg>>,
-    /// Wakes the dedicated thread in thread-per-shard mode (unused by
-    /// the multiplexed executor, which parks whole workers instead).
-    pub cv: Condvar,
+    pub queue: MpscQueue<Msg>,
     /// `SHARD_*` scheduling state (multiplexed executor only).
     pub state: AtomicU8,
+    /// Thread-per-shard mode: `true` while the dedicated thread is
+    /// committed to parking. A sender swaps it to `false` and unparks
+    /// on observing `true`; the driver re-checks the queue after
+    /// setting it (both SeqCst), so wakeups are never lost.
+    pub sleeping: AtomicBool,
+    /// Thread-per-shard mode: the dedicated thread's handle, registered
+    /// by the thread itself before it first sets `sleeping`.
+    pub thread: OnceLock<std::thread::Thread>,
 }
 
 impl Mailbox {
     pub(crate) fn new() -> Self {
         Mailbox {
-            queue: Mutex::new(VecDeque::new()),
-            cv: Condvar::new(),
+            queue: MpscQueue::new(),
             state: AtomicU8::new(SHARD_IDLE),
+            sleeping: AtomicBool::new(false),
+            thread: OnceLock::new(),
+        }
+    }
+
+    /// Wake the dedicated shard thread if it committed to parking
+    /// (thread-per-shard mode; no-op contention-free otherwise).
+    pub(crate) fn wake_dedicated(&self) {
+        if self.sleeping.swap(false, Ordering::SeqCst) {
+            if let Some(t) = self.thread.get() {
+                t.unpark();
+            }
         }
     }
 }
@@ -274,12 +293,13 @@ impl Shared {
             return;
         };
         let mb = &self.mailboxes[slot];
-        {
-            let mut q = mb.queue.lock().expect("mailbox");
-            q.push_back(msg);
-        }
+        // Lock-free push: the hot ingress path takes no mutex. The
+        // scheduling CAS (or park handshake) below is sequenced after
+        // the completed push, which is what makes the queue's mid-push
+        // blip benign (see `crate::mpsc`).
+        mb.queue.push(msg);
         match &self.sched {
-            None => mb.cv.notify_one(),
+            None => mb.wake_dedicated(),
             Some(sched) => loop {
                 match mb.state.load(Ordering::SeqCst) {
                     SHARD_IDLE => {
@@ -329,11 +349,13 @@ impl Shared {
             Some(sched) => sched.wake_all(),
             None => {
                 for mb in &self.mailboxes {
-                    // Acquire (and immediately release) the queue lock
-                    // so a thread between its empty-check and its wait
-                    // cannot miss the notification.
-                    drop(mb.queue.lock());
-                    mb.cv.notify_all();
+                    // Unpark unconditionally: a thread past its
+                    // shutdown check but not yet parked banks the
+                    // token and returns from `park` immediately.
+                    mb.sleeping.store(false, Ordering::SeqCst);
+                    if let Some(t) = mb.thread.get() {
+                        t.unpark();
+                    }
                 }
             }
         }
@@ -404,6 +426,14 @@ pub(crate) struct ShardCore {
     pub(crate) counters: ShardCounters,
     /// Reusable drain buffer (capacity persists across polls).
     scratch: Vec<Msg>,
+    /// Replies to remote-access requests from shards another node
+    /// owns, buffered across one mailbox batch and handed to the node
+    /// link as a single `forward_many` — one egress enqueue run and
+    /// one writer wakeup per (home, requester) burst instead of one
+    /// per reply. Always flushed before the batch ends, so quiesce
+    /// (which waits on the requester's retirement) can never observe a
+    /// reply parked here.
+    remote_replies: Vec<(usize, WireMsg)>,
 }
 
 impl ShardCore {
@@ -421,6 +451,7 @@ impl ShardCore {
             clock: 0,
             counters: ShardCounters::new(run_bins),
             scratch: Vec::new(),
+            remote_replies: Vec::new(),
         }
     }
 
@@ -458,9 +489,17 @@ impl ShardCore {
         let mut quanta = POLL_TASK_BUDGET;
         loop {
             let drained = {
-                let mut q = shared.mailboxes[self.slot].queue.lock().expect("mailbox");
-                let take = q.len().min(DRAIN_K);
-                self.scratch.extend(q.drain(..take));
+                let q = &shared.mailboxes[self.slot].queue;
+                let mut take = 0;
+                while take < DRAIN_K {
+                    match q.pop() {
+                        Some(msg) => {
+                            self.scratch.push(msg);
+                            take += 1;
+                        }
+                        None => break,
+                    }
+                }
                 take
             };
             self.process_batch(shared);
@@ -496,10 +535,16 @@ impl ShardCore {
         }
     }
 
-    /// Move messages out of the queue guard into the reusable scratch
-    /// buffer (thread-per-shard driver; the executor drains in `poll`).
-    pub(crate) fn take_batch(&mut self, q: &mut VecDeque<Msg>) {
-        self.scratch.extend(q.drain(..));
+    /// Drain the mailbox into the reusable scratch buffer, returning
+    /// the number of messages taken (thread-per-shard driver; the
+    /// executor drains in `poll`).
+    pub(crate) fn take_batch(&mut self, q: &MpscQueue<Msg>) -> usize {
+        let mut n = 0;
+        while let Some(msg) = q.pop() {
+            self.scratch.push(msg);
+            n += 1;
+        }
+        n
     }
 
     fn process_batch(&mut self, shared: &Shared) {
@@ -508,6 +553,22 @@ impl ShardCore {
             self.handle(shared, msg);
         }
         self.scratch = batch;
+        self.flush_remote_replies(shared);
+    }
+
+    /// Hand the batch's buffered cross-node replies to the link in one
+    /// call: the link enqueues them contiguously per peer and wakes
+    /// each involved writer once.
+    fn flush_remote_replies(&mut self, shared: &Shared) {
+        if self.remote_replies.is_empty() {
+            return;
+        }
+        let msgs = std::mem::take(&mut self.remote_replies);
+        shared
+            .node
+            .as_ref()
+            .expect("a reply to a non-local shard requires a node link")
+            .forward_many(msgs);
     }
 
     fn handle(&mut self, shared: &Shared, msg: Msg) {
@@ -522,7 +583,16 @@ impl ShardCore {
                 // Figure 3's "access memory" box executes at the home,
                 // in request arrival order.
                 let value = self.serve(addr, write);
-                shared.send(reply_shard, Msg::Response { token, value });
+                if shared.local_slot(reply_shard).is_some() {
+                    shared.send(reply_shard, Msg::Response { token, value });
+                } else {
+                    // Cross-node reply: batch per requester for the
+                    // egress pipeline (each stays its own wire frame,
+                    // so the deterministic wire counters are
+                    // untouched). Flushed at the end of this batch.
+                    self.remote_replies
+                        .push((reply_shard, WireMsg::Response { token, value }));
+                }
             }
             Msg::Response { token, value } => {
                 let mut env = self
