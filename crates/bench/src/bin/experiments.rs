@@ -161,6 +161,13 @@ fn main() {
                 0.0
             }
         );
+        let obs_overhead = perf::calibrate_obs_overhead();
+        println!(
+            "  obs overhead: off {:.0} ops/s, on {:.0} ops/s ({:+.2}%)",
+            obs_overhead.off.ops_per_sec(),
+            obs_overhead.on.ops_per_sec(),
+            obs_overhead.overhead_pct()
+        );
         let scaling = perf::shard_scaling_sweep();
         for p in &scaling {
             println!(
@@ -223,6 +230,7 @@ fn main() {
             &cal,
             &rt_cal,
             &rt_base,
+            &obs_overhead,
             &scaling,
             &latency,
             &transport,

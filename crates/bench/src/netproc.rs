@@ -41,7 +41,7 @@ const KV_SHARDS: usize = 16;
 /// If this process was launched as a cluster child, run the role and
 /// report `true` (the caller exits instead of running experiments).
 pub fn maybe_run_child() -> bool {
-    let Ok(val) = std::env::var(CHILD_ENV) else {
+    let Some(val) = em2_model::env::raw(CHILD_ENV) else {
         return false;
     };
     run_child(&val).unwrap_or_else(|e| {
@@ -79,22 +79,21 @@ fn run_child(arg: &str) -> io::Result<()> {
     let spec = ClusterSpec::parse(&cluster.ok_or_else(|| bad("missing cluster"))?)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
 
-    let summary = match role.as_str() {
+    let report = match role.as_str() {
         "ocean" => {
             let w = workloads::ocean(Scale::Quick);
             let threads = w.num_threads();
             let placement: Arc<dyn Placement> =
                 Arc::new(FirstTouch::build(&w, spec.total_shards, 64));
             let w = Arc::new(w);
-            let report = run_workload_cluster(
+            run_workload_cluster(
                 spec.clone(),
                 node,
                 RtConfig::eviction_free(spec.total_shards, threads),
                 &w,
                 placement,
                 scheme,
-            )?;
-            CounterSummary::from_net(&report)
+            )?
         }
         "kv" => {
             // A pure server node: it submits nothing and serves
@@ -110,11 +109,17 @@ fn run_child(arg: &str) -> io::Result<()> {
                 scheme,
                 Vec::new(),
             )?;
-            CounterSummary::from_net(&nrt.finish()?)
+            nrt.finish()?
         }
         other => return Err(bad(&format!("unknown role {other:?}"))),
     };
-    summary.write_to(&out)
+    // Counters plus (under EM2_OBS=1) the timing-plane sidecar for
+    // the parent's cluster-wide aggregation.
+    em2_net::write_summary_with_obs(
+        &CounterSummary::from_net(&report),
+        report.obs.as_ref(),
+        &out,
+    )
 }
 
 /// One transport mode's measurement.

@@ -33,11 +33,9 @@ pub fn threads() -> usize {
     if forced > 0 {
         return forced;
     }
-    if let Ok(v) = std::env::var("EM2_BENCH_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+    if let Some(n) = em2_model::env::parse::<usize>("EM2_BENCH_THREADS") {
+        if n > 0 {
+            return n;
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())

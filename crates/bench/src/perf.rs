@@ -96,6 +96,14 @@ impl RuntimeCalibration {
 /// multiplexed/baseline pair in `BENCH.json` always measures the same
 /// thing.
 fn calibrate_runtime_mode(executor: em2_rt::ExecutorMode, label: &str) -> RuntimeCalibration {
+    calibrate_runtime_with(executor, None, label)
+}
+
+fn calibrate_runtime_with(
+    executor: em2_rt::ExecutorMode,
+    obs: Option<em2_obs::ObsConfig>,
+    label: &str,
+) -> RuntimeCalibration {
     let scale = Scale::Quick;
     let w = workloads::ocean(scale);
     let placement: Arc<dyn Placement> = Arc::new(workloads::first_touch(&w, scale));
@@ -103,6 +111,9 @@ fn calibrate_runtime_mode(executor: em2_rt::ExecutorMode, label: &str) -> Runtim
     let w = Arc::new(w);
     let mut cfg = em2_rt::RtConfig::eviction_free(scale.cores(), threads);
     cfg.executor = executor;
+    if obs.is_some() {
+        cfg.obs = obs;
+    }
     let report = em2_rt::run_workload(cfg, &w, placement, || Box::new(em2_core::AlwaysMigrate));
     RuntimeCalibration {
         workload: label.to_string(),
@@ -124,6 +135,64 @@ pub fn calibrate_runtime_thread_per_shard() -> RuntimeCalibration {
         em2_rt::ExecutorMode::ThreadPerShard,
         "ocean/quick/rt-em2/thread-per-shard",
     )
+}
+
+/// The obs-plane overhead measurement: the identical calibration
+/// workload with the observability plane forced **off** and forced
+/// **on** (metrics + tracing, no exporter), both programmatically —
+/// ambient `EM2_OBS` cannot skew either side. The acceptance bar for
+/// the obs subsystem is `overhead_pct() <= 5` on an unloaded host.
+pub struct ObsOverhead {
+    /// Plane resolved to `None`: the disabled-mode branch only.
+    pub off: RuntimeCalibration,
+    /// Metrics registry + per-shard trace rings fully active.
+    pub on: RuntimeCalibration,
+}
+
+impl ObsOverhead {
+    /// Throughput lost to the enabled plane, in percent (negative
+    /// values are measurement noise on a loaded host).
+    pub fn overhead_pct(&self) -> f64 {
+        let (off, on) = (self.off.ops_per_sec(), self.on.ops_per_sec());
+        if off <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - on / off) * 100.0
+    }
+}
+
+/// Measure the obs plane's cost on the multiplexed-executor
+/// calibration workload. Interleaved best-of-9 per mode: host noise
+/// (scheduler preemption, frequency shifts) only ever *lowers* a
+/// run's throughput, so the fastest of nine alternated off/on pairs
+/// is the closest observable to each mode's true cost — a single
+/// off-then-on pair routinely reads ±15% on a shared CI host, the
+/// quick-scale run is only ~15 ms long, and a busy window has to
+/// outlast all nine pairs (~300 ms) to bias the comparison.
+pub fn calibrate_obs_overhead() -> ObsOverhead {
+    let run = |obs: em2_obs::ObsConfig, label: &str| {
+        calibrate_runtime_with(em2_rt::ExecutorMode::Multiplexed, Some(obs), label)
+    };
+    let best = |a: RuntimeCalibration, b: RuntimeCalibration| {
+        if b.ops_per_sec() > a.ops_per_sec() {
+            b
+        } else {
+            a
+        }
+    };
+    let mut off = run(em2_obs::ObsConfig::off(), "ocean/quick/rt-em2/obs-off");
+    let mut on = run(em2_obs::ObsConfig::on(), "ocean/quick/rt-em2/obs-on");
+    for _ in 0..8 {
+        off = best(
+            off,
+            run(em2_obs::ObsConfig::off(), "ocean/quick/rt-em2/obs-off"),
+        );
+        on = best(
+            on,
+            run(em2_obs::ObsConfig::on(), "ocean/quick/rt-em2/obs-on"),
+        );
+    }
+    ObsOverhead { off, on }
 }
 
 /// One point of the shard-scaling sweep: the same fixed-size workload
@@ -243,25 +312,20 @@ pub fn tables_digest<'a>(tables: impl Iterator<Item = &'a Table>) -> String {
 
 /// Serialize a suite run (plus calibrations, the shard-scaling sweep,
 /// the open-loop latency panel, and the cross-process transport
-/// calibration) as the `BENCH.json` body — schema 6. Every schema-5
-/// field survives unchanged (trajectory tooling keeps parsing); each
-/// `runtime.transport.modes` entry gains the egress-pipeline
-/// telemetry (DESIGN.md §11): `wire_frames_total`/`wire_bytes_total`
-/// (control frames included), `wire_flushes` (writer-thread batch
-/// writes), the derived `frames_per_flush` coalescing ratio, and
-/// `egress_queue_hwm` (deepest any peer's egress queue got). The
-/// schema-5 additions remain: per-mode ops/sec and wire telemetry for
-/// the in-process baseline, the loopback cluster, and the
-/// **two-OS-process UDS** cluster, plus the distributed KV serving
-/// point, plus the `fault_matrix` — per fault class, how many
-/// injected chaos runs completed vs. failed typed, and how long the
-/// cluster took to settle after the first injection (DESIGN.md §10).
+/// calibration) as the `BENCH.json` body — schema 7. Every schema-6
+/// field survives unchanged (trajectory tooling keeps parsing); the
+/// `runtime` block gains `obs_overhead` — the same in-process
+/// calibration workload with the observability plane forced off vs.
+/// on (DESIGN.md §12), with the derived `overhead_pct` whose
+/// acceptance bar is ≤ 5%. The schema-6 egress-pipeline telemetry and
+/// the schema-5 transport/kv/fault-matrix blocks remain as they were.
 #[allow(clippy::too_many_arguments)]
 pub fn bench_json(
     suite: &SuiteResult,
     calibration: &Calibration,
     runtime: &RuntimeCalibration,
     baseline: &RuntimeCalibration,
+    obs: &ObsOverhead,
     scaling: &[ScalingPoint],
     latency: &[crate::serving::LatencyReport],
     transport: &[crate::netproc::TransportPoint],
@@ -270,7 +334,7 @@ pub fn bench_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 6,");
+    let _ = writeln!(s, "  \"schema\": 7,");
     let _ = writeln!(
         s,
         "  \"scale\": \"{}\",",
@@ -357,6 +421,21 @@ pub fn bench_json(
         0.0
     };
     let _ = writeln!(s, "    \"speedup_vs_thread_per_shard\": {speedup:.3},");
+    let _ = writeln!(s, "    \"obs_overhead\": {{");
+    let _ = writeln!(
+        s,
+        "      \"workload\": \"{}\",",
+        json_escape(&obs.off.workload)
+    );
+    let _ = writeln!(s, "      \"ops\": {},", obs.off.report.total_ops());
+    let _ = writeln!(
+        s,
+        "      \"off_ops_per_sec\": {:.1},",
+        obs.off.ops_per_sec()
+    );
+    let _ = writeln!(s, "      \"on_ops_per_sec\": {:.1},", obs.on.ops_per_sec());
+    let _ = writeln!(s, "      \"overhead_pct\": {:.3}", obs.overhead_pct());
+    s.push_str("    },\n");
     s.push_str("    \"shard_scaling\": [\n");
     for (i, p) in scaling.iter().enumerate() {
         let _ = write!(
@@ -492,6 +571,7 @@ pub fn write_bench_json(
     calibration: &Calibration,
     runtime: &RuntimeCalibration,
     baseline: &RuntimeCalibration,
+    obs: &ObsOverhead,
     scaling: &[ScalingPoint],
     latency: &[crate::serving::LatencyReport],
     transport: &[crate::netproc::TransportPoint],
@@ -505,6 +585,7 @@ pub fn write_bench_json(
             calibration,
             runtime,
             baseline,
+            obs,
             scaling,
             latency,
             transport,
@@ -609,11 +690,13 @@ mod tests {
             settle_ms_mean: 12.5,
             settle_ms_max: 30.0,
         }];
+        let obs = calibrate_obs_overhead();
         let j = bench_json(
             &suite,
             &cal,
             &rt_cal,
             &baseline,
+            &obs,
             &[],
             &latency,
             &transport,
@@ -622,7 +705,11 @@ mod tests {
         );
         assert!(j.starts_with("{\n") && j.ends_with("}\n"));
         for key in [
-            "\"schema\": 6",
+            "\"schema\": 7",
+            "\"obs_overhead\"",
+            "\"off_ops_per_sec\"",
+            "\"on_ops_per_sec\"",
+            "\"overhead_pct\"",
             "\"wire_flushes\"",
             "\"frames_per_flush\"",
             "\"egress_queue_hwm\"",
@@ -660,6 +747,18 @@ mod tests {
             j.matches(']').count(),
             "balanced brackets"
         );
+    }
+
+    #[test]
+    fn obs_overhead_pair_measures_the_identical_workload() {
+        let o = calibrate_obs_overhead();
+        // Work conservation: the plane observes, it never perturbs.
+        assert_eq!(o.off.report.total_ops(), o.on.report.total_ops());
+        assert!(o.off.ops_per_sec() > 0.0);
+        assert!(o.on.ops_per_sec() > 0.0);
+        // No throughput bar here — CI hosts are noisy; the acceptance
+        // number is recorded in BENCH.json for the trajectory.
+        assert!(o.overhead_pct().is_finite());
     }
 
     #[test]

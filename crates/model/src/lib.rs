@@ -18,13 +18,16 @@
 //!   Figure 2 of the paper);
 //! * [`stats`] — streaming scalar statistics (mean/variance/min/max);
 //! * [`bytes`] — the binary-codec kernel (LE writers, bounds-checked
-//!   cursor, typed errors) every hand-rolled wire format builds on.
+//!   cursor, typed errors) every hand-rolled wire format builds on;
+//! * [`mod@env`] — the typed registry of `EM2_*` environment knobs (the
+//!   only place the workspace reads them; warns once on typos).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod bytes;
 pub mod cost;
+pub mod env;
 pub mod histogram;
 pub mod ids;
 pub mod mesh;

@@ -137,6 +137,13 @@ impl FaultPlan {
     /// budget across the concatenated frames — cutting mid-frame, like
     /// a crash between two `write(2)`s — `Corrupt` offsets into the
     /// concatenation, and `Duplicate` replays the entire batch.
+    ///
+    /// A `Truncate` whose target flush fits entirely inside `keep`
+    /// would lose zero bytes — that is not a crash model, it is a
+    /// no-op — so it **re-arms on the next flush** and keeps doing so
+    /// until it actually cuts. Flush composition depends on coalescing
+    /// timing; re-arming makes the scheduled cut deterministic without
+    /// the caller having to know how large flush `nth` happened to be.
     pub fn fault_flush(mut self, from: usize, to: usize, nth: u64, action: FaultAction) -> Self {
         self.flush
             .entry((from, to))
@@ -340,6 +347,7 @@ impl ChaosTransport {
                 peer: Arc::clone(&peer),
                 sent_on_edge: 0,
                 flushes_on_edge: 0,
+                pending_flush: None,
                 plan: Arc::clone(&self.plan),
                 state: Arc::clone(&self.state),
             }),
@@ -411,6 +419,7 @@ impl ChaosAcceptor {
                 peer: Arc::clone(&peer),
                 sent_on_edge: 0,
                 flushes_on_edge: 0,
+                pending_flush: None,
                 plan: Arc::clone(&self.plan),
                 state: Arc::clone(&self.state),
             }),
@@ -445,6 +454,10 @@ struct ChaosTx {
     /// Flushes attempted on this edge (`send_frame` = one-frame
     /// flush), the index `FaultPlan::fault_flush` addresses.
     flushes_on_edge: u64,
+    /// A scheduled flush fault that did not bite yet (a `Truncate`
+    /// whose flush fit under the byte budget) — re-applied to the next
+    /// flush so a scheduled cut always lands.
+    pending_flush: Option<FaultAction>,
     plan: Arc<FaultPlan>,
     state: Arc<ChaosState>,
 }
@@ -550,7 +563,8 @@ impl FrameTx for ChaosTx {
             .get()
             .and_then(|&to| self.plan.flush.get(&(self.me, to)))
             .and_then(|m| m.get(&fnth))
-            .copied();
+            .copied()
+            .or_else(|| self.pending_flush.take());
         let Some(action) = action else {
             if out.is_empty() {
                 return Ok(());
@@ -561,6 +575,25 @@ impl FrameTx for ChaosTx {
                 .expect("checked above")
                 .send_frames(&out);
         };
+        if let FaultAction::Truncate { keep } = action {
+            let total: usize = out.iter().map(|p| p.len()).sum();
+            if keep >= total {
+                // The whole window fits under the byte budget: zero
+                // bytes would be lost, which models no crash at all.
+                // Re-arm on the next flush (see `fault_flush` docs) so
+                // the scheduled cut always lands, regardless of how
+                // coalescing timing sized this particular flush.
+                self.pending_flush = Some(action);
+                if out.is_empty() {
+                    return Ok(());
+                }
+                return self
+                    .inner
+                    .as_mut()
+                    .expect("checked above")
+                    .send_frames(&out);
+            }
+        }
         self.state.record_injection();
         let inner = self.inner.as_mut().expect("checked above");
         match action {

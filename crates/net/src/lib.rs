@@ -88,7 +88,7 @@ pub use node::{
     run_workload_cluster, run_workload_cluster_in_process, run_workload_cluster_with, NetReport,
     NodeRuntime, WireSnapshot, CONNECT_TIMEOUT_ENV,
 };
-pub use report::CounterSummary;
+pub use report::{merge_obs_sidecars, obs_sidecar, write_summary_with_obs, CounterSummary};
 pub use transport::{
     Acceptor, Duplex, FrameRx, FrameTx, LoopbackTransport, TcpTransport, Transport, UdsTransport,
 };

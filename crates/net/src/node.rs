@@ -91,8 +91,8 @@ const COALESCE_FRAMES: usize = 64;
 const COALESCE_BYTES: usize = 256 << 10;
 
 fn coalesce_window() -> usize {
-    match std::env::var(COALESCE_ENV) {
-        Ok(v) if v.trim() == "0" => 1,
+    match em2_model::env::raw(COALESCE_ENV) {
+        Some(v) if v.trim() == "0" => 1,
         _ => COALESCE_FRAMES,
     }
 }
@@ -302,6 +302,22 @@ struct Links {
     done: AtomicBool,
     /// Origin of the `last_*_ms` clocks.
     epoch: Instant,
+    /// The runtime's timing-plane registry, set after the local
+    /// `Runtime` comes up (readers/writers start later, so they always
+    /// observe it). Arms per-peer wire telemetry and the crash flight
+    /// recorder; `OnceLock` stays empty when obs is off.
+    obs: OnceLock<Arc<em2_obs::NodeObs>>,
+}
+
+/// Which peer a failure names, for the flight recorder's final event.
+fn failure_peer(err: &ClusterError) -> Option<u64> {
+    match err {
+        ClusterError::PeerLost { node, .. } => Some(*node as u64),
+        ClusterError::Codec { from, .. }
+        | ClusterError::Aborted { from, .. }
+        | ClusterError::Protocol { from, .. } => Some(*from as u64),
+        _ => None,
+    }
 }
 
 impl Links {
@@ -353,6 +369,17 @@ impl Links {
         }
         if !first {
             return;
+        }
+        // The crash flight recorder: the run's *first* failure dumps
+        // the last trace events + a full metrics snapshot to JSONL.
+        // Best-effort by design — post-mortem I/O must never mask or
+        // delay the abort fan-out below.
+        if let Some(obs) = self.obs.get() {
+            let peer = failure_peer(&err);
+            if let Some(p) = peer {
+                obs.node_event(em2_obs::EventKind::PeerDown, p, 0);
+            }
+            let _ = obs.flight_dump(err.kind(), &err.to_string(), peer);
         }
         match &err {
             ClusterError::Aborted { from, reason } => {
@@ -763,6 +790,10 @@ fn reader_loop(links: &Links, from_node: usize, mut rx: Box<dyn FrameRx>) {
 fn writer_loop(links: &Links, node: usize, conn: Box<dyn FrameTx>) {
     let peer = links.peer(node);
     let _ = peer.writer.set(std::thread::current());
+    // Per-peer wire telemetry (timing plane; `None` when obs is off).
+    // Flush latency is measured around `send_frames` — the exact
+    // syscall cost each coalesced batch pays on this edge.
+    let pobs = links.obs.get().map(|o| o.register_peer(node as u64));
     let hb = links.spec.timeouts.heartbeat_ms;
     let deadline = links.spec.timeouts.peer_deadline_ms();
     let tick = Duration::from_millis(if hb > 0 { (hb / 4).clamp(1, 50) } else { 200 });
@@ -858,10 +889,21 @@ fn writer_loop(links: &Links, node: usize, conn: Box<dyn FrameTx>) {
             let c = conn
                 .as_mut()
                 .expect("frames are only encoded with a live conn");
+            let t0 = pobs.as_ref().map(|_| Instant::now());
             match c.send_frames(&batch) {
                 Ok(()) => {
                     links.stats.flushes_tx.fetch_add(1, Ordering::Relaxed);
                     peer.last_tx_ms.store(links.now_ms(), Ordering::Relaxed);
+                    if let (Some(po), Some(t0)) = (&pobs, t0) {
+                        po.record_flush(
+                            batch.len() as u64,
+                            // True wire cost: payload plus the stream
+                            // framing header per frame.
+                            (bytes + batch.len() * crate::transport::FRAME_HEADER_BYTES) as u64,
+                            t0.elapsed().as_nanos() as u64,
+                            peer.depth.load(Ordering::Relaxed),
+                        );
+                    }
                 }
                 Err(e) => {
                     conn = None;
@@ -995,6 +1037,9 @@ pub struct NetReport {
     pub nodes: usize,
     /// Transport the cluster ran on.
     pub transport: &'static str,
+    /// Timing-plane metrics at quiesce (`None` when obs was off).
+    /// Strictly telemetry: never part of any agreement comparison.
+    pub obs: Option<em2_obs::Snapshot>,
 }
 
 /// A live cluster node: the local shard fleet plus its peer links.
@@ -1008,10 +1053,7 @@ pub struct NodeRuntime {
 }
 
 fn connect_budget_ms(spec: &ClusterSpec) -> u64 {
-    std::env::var(CONNECT_TIMEOUT_ENV)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(spec.timeouts.connect_ms)
+    em2_model::env::parse::<u64>(CONNECT_TIMEOUT_ENV).unwrap_or(spec.timeouts.connect_ms)
 }
 
 impl NodeRuntime {
@@ -1204,6 +1246,7 @@ impl NodeRuntime {
             quiesced: AtomicBool::new(false),
             done: AtomicBool::new(false),
             epoch,
+            obs: OnceLock::new(),
             spec,
         });
 
@@ -1221,6 +1264,19 @@ impl NodeRuntime {
                 link: Arc::clone(&links) as Arc<dyn NodeLink>,
             },
         );
+        // Arm the timing plane before the reader/writer threads spawn,
+        // so every link thread observes the registry (or its absence)
+        // consistently.
+        if let Some(obs) = rt.obs() {
+            obs.set_node(node as u64);
+            for (i, p) in links.peers.iter().enumerate() {
+                if p.is_some() {
+                    obs.register_peer(i as u64);
+                    obs.node_event(em2_obs::EventKind::PeerUp, i as u64, 0);
+                }
+            }
+            links.obs.set(obs).expect("obs set once");
+        }
         links
             .inbox
             .set(rt.remote_inbox(registry, scheme_factory))
@@ -1277,6 +1333,13 @@ impl NodeRuntime {
             .as_mut()
             .expect("node runtime is live")
             .submit_as(spec, thread);
+    }
+
+    /// This node's live obs registry (`None` when obs is off). Sample
+    /// [`em2_obs::NodeObs::snapshot`] from any thread while the run is
+    /// in flight — it reads relaxed atomics, never locks the runtime.
+    pub fn obs(&self) -> Option<Arc<em2_obs::NodeObs>> {
+        self.rt.as_ref().and_then(|rt| rt.obs())
     }
 
     /// Close admission, run the cluster to quiesce, tear down the
@@ -1342,6 +1405,9 @@ impl NodeRuntime {
             node: self.node,
             nodes: self.links.spec.num_nodes(),
             transport: self.transport,
+            // Taken after the workers *and* writers joined, so the
+            // flush histograms are settled.
+            obs: self.links.obs.get().map(|o| o.snapshot()),
         })
     }
 }

@@ -27,6 +27,13 @@ use std::time::{Duration, Instant};
 /// is corruption, not a payload.
 pub const MAX_FRAME: usize = 32 << 20;
 
+/// Bytes of stream framing per frame (the `u32 LE` length prefix).
+/// Telemetry that reports *wire* bytes — rather than payload bytes —
+/// adds this per frame; loopback channels carry no header but are
+/// accounted the same way so obs numbers are comparable across
+/// transports.
+pub const FRAME_HEADER_BYTES: usize = 4;
+
 /// The typed rejection every transport returns for a frame larger
 /// than [`MAX_FRAME`] — an error, not a panic, so a runaway payload
 /// upstream surfaces as a recorded cluster failure.

@@ -96,10 +96,7 @@ fn loopback_spec(tag: &str) -> ClusterSpec {
 
 /// How many seeds each sweep test runs (CI smoke scales this down).
 fn seeds_per_sweep() -> u64 {
-    std::env::var("EM2_CHAOS_SEEDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(42)
+    em2_model::env::parse("EM2_CHAOS_SEEDS").unwrap_or(42)
 }
 
 /// Run one plan and assert the chaos property. Returns the per-node
@@ -403,10 +400,10 @@ fn kill_spec(dir: &std::path::Path) -> ClusterSpec {
 fn chaos_kill_child_role() {
     use em2_net::NodeRuntime;
     use em2_rt::TaskRegistry;
-    if std::env::var(KILL_ROLE_ENV).is_err() {
+    if em2_model::env::raw(KILL_ROLE_ENV).is_none() {
         return;
     }
-    let dir = std::path::PathBuf::from(std::env::var(KILL_DIR_ENV).expect("scratch dir env"));
+    let dir = std::path::PathBuf::from(em2_model::env::raw(KILL_DIR_ENV).expect("scratch dir env"));
     let w = Arc::new(chaos_workload());
     let placement: Arc<dyn Placement> = Arc::new(FirstTouch::build(&w, SHARDS, 64));
     let nrt = NodeRuntime::start(
@@ -433,7 +430,7 @@ fn chaos_kill_child_role() {
 fn killed_peer_process_is_detected_within_the_heartbeat_deadline() {
     use em2_net::NodeRuntime;
     use em2_rt::TaskRegistry;
-    if std::env::var(KILL_ROLE_ENV).is_ok() {
+    if em2_model::env::raw(KILL_ROLE_ENV).is_some() {
         return; // never recurse
     }
     let dir = std::env::temp_dir().join(format!("em2-chaos-kill-{}", std::process::id()));

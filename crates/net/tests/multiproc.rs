@@ -65,11 +65,11 @@ fn spec_for(dir: &std::path::Path) -> ClusterSpec {
 /// normal `cargo test` invocation.)
 #[test]
 fn multiproc_child_role() {
-    let Ok(role) = std::env::var(ROLE_ENV) else {
+    let Some(role) = em2_model::env::raw(ROLE_ENV) else {
         return;
     };
     let node: usize = role.parse().expect("role is a node id");
-    let dir = PathBuf::from(std::env::var(DIR_ENV).expect("scratch dir env var"));
+    let dir = PathBuf::from(em2_model::env::raw(DIR_ENV).expect("scratch dir env var"));
     let w = quick_ocean();
     let threads = w.num_threads();
     let placement: Arc<dyn Placement> = Arc::new(FirstTouch::build(&w, CORES, 64));
@@ -83,15 +83,21 @@ fn multiproc_child_role() {
         scheme,
     )
     .expect("child cluster run");
-    CounterSummary::from_net(&report)
-        .write_to(&dir.join(format!("node{node}.txt")))
-        .expect("write summary");
+    // Counters plus (when EM2_OBS=1, e.g. the CI obs smoke) the
+    // timing-plane sidecar — the obs numbers ride the same file seam
+    // but never enter the agreement comparison below.
+    em2_net::write_summary_with_obs(
+        &CounterSummary::from_net(&report),
+        report.obs.as_ref(),
+        &dir.join(format!("node{node}.txt")),
+    )
+    .expect("write summary");
 }
 
 #[test]
 fn two_process_uds_agreement_sums_bit_equal() {
     // Children must find an exact test name to run; the parent drives.
-    if std::env::var(ROLE_ENV).is_ok() {
+    if em2_model::env::raw(ROLE_ENV).is_some() {
         return; // never recurse
     }
     let dir = std::env::temp_dir().join(format!("em2-net-mp-{}", std::process::id()));
@@ -141,12 +147,32 @@ fn two_process_uds_agreement_sums_bit_equal() {
         }
     }
 
-    let summaries: Vec<CounterSummary> = (0..NODES)
-        .map(|node| {
-            CounterSummary::read_from(&dir.join(format!("node{node}.txt"))).expect("child summary")
-        })
+    let paths: Vec<PathBuf> = (0..NODES)
+        .map(|node| dir.join(format!("node{node}.txt")))
+        .collect();
+    let summaries: Vec<CounterSummary> = paths
+        .iter()
+        .map(|p| CounterSummary::read_from(p).expect("child summary"))
         .collect();
     let total = CounterSummary::sum(summaries);
+
+    // Cluster-wide obs aggregation rides the same seam. When the
+    // children ran with EM2_OBS=1 (the CI obs smoke does), both wrote
+    // sidecars; merging them must account for every node and every
+    // retirement — and none of it feeds the counter assertions below.
+    let obs = em2_net::merge_obs_sidecars(paths.iter().map(PathBuf::as_path))
+        .expect("consistent obs sidecars");
+    if em2_model::env::flag("EM2_OBS").unwrap_or(false) {
+        assert!(
+            obs.is_some(),
+            "EM2_OBS=1 but the children wrote no obs sidecars"
+        );
+    }
+    if let Some(obs) = obs {
+        assert_eq!(obs.nodes as usize, NODES);
+        assert!(obs.retired > 0, "obs saw no retirements: {obs:?}");
+        assert_eq!(obs.task_latency_ns.count, obs.retired);
+    }
 
     assert!(
         total.counters_equal(&expected),

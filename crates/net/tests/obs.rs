@@ -1,0 +1,176 @@
+//! Integration pins for the observability plane (DESIGN.md §12).
+//!
+//! Two properties the obs PR must never regress:
+//!
+//! 1. **Invisibility** — a cluster run with metrics + tracing fully
+//!    enabled produces deterministic counters bit-equal to the same
+//!    run with the plane off. The timing plane may observe; it may
+//!    never perturb the agreement artifact.
+//! 2. **The flight recorder fires** — a chaos-injected node crash
+//!    leaves behind a JSONL post-mortem on every surviving node whose
+//!    final event names the failing edge (error kind + peer).
+
+use em2_core::decision::{DecisionScheme, HistoryPredictor};
+use em2_net::{
+    run_workload_cluster_chaos, run_workload_cluster_in_process, ClusterSpec, ClusterTimeouts,
+    CounterSummary, FaultPlan, TransportKind,
+};
+use em2_obs::ObsConfig;
+use em2_placement::{FirstTouch, Placement};
+use em2_rt::RtConfig;
+use em2_trace::gen::micro;
+use em2_trace::Workload;
+use std::sync::Arc;
+
+const NODES: usize = 2;
+const SHARDS: usize = 8;
+
+/// Small but with real cross-node traffic (same shape as the chaos
+/// suite's workload): every shard has a native thread, so migrations,
+/// remote accesses, and guest admissions all happen on both nodes.
+fn workload() -> Workload {
+    micro::uniform(SHARDS, SHARDS, 60, 64, 0.3, 13)
+}
+
+fn scheme() -> Box<dyn DecisionScheme> {
+    Box::new(HistoryPredictor::new(1.0, 0.5))
+}
+
+fn spec(tag: &str) -> ClusterSpec {
+    ClusterSpec::even(
+        TransportKind::Loopback,
+        &format!("em2-obs-{tag}-{}", std::process::id()),
+        NODES,
+        SHARDS,
+    )
+    .with_timeouts(ClusterTimeouts {
+        connect_ms: 2_000,
+        run_ms: 1_500,
+        heartbeat_ms: 25,
+    })
+}
+
+#[test]
+fn enabled_obs_is_invisible_to_the_deterministic_counters() {
+    let w = workload();
+    let threads = w.num_threads();
+    let placement: Arc<dyn Placement> = Arc::new(FirstTouch::build(&w, SHARDS, 64));
+    let w = Arc::new(w);
+    // Programmatic on/off (not env vars): parallel tests in this
+    // binary must not race on the process environment.
+    let mut cfg_off = RtConfig::eviction_free(SHARDS, threads);
+    cfg_off.obs = Some(ObsConfig::off());
+    let mut cfg_on = cfg_off.clone();
+    cfg_on.obs = Some(ObsConfig::on());
+
+    let off = run_workload_cluster_in_process(&spec("off"), &cfg_off, &w, &placement, scheme)
+        .expect("obs-off cluster");
+    let on = run_workload_cluster_in_process(&spec("on"), &cfg_on, &w, &placement, scheme)
+        .expect("obs-on cluster");
+
+    let sum_off = CounterSummary::sum(off.iter().map(CounterSummary::from_net));
+    let sum_on = CounterSummary::sum(on.iter().map(CounterSummary::from_net));
+    assert!(
+        sum_on.counters_equal(&sum_off),
+        "enabling obs changed the deterministic counters\n\
+         on:  {sum_on:?}\noff: {sum_off:?}"
+    );
+
+    // And the plane genuinely ran: every node carried a snapshot whose
+    // metrics mirror that node's own deterministic counters.
+    assert!(off.iter().all(|r| r.obs.is_none()), "off means no plane");
+    for r in &on {
+        let s = r.obs.as_ref().expect("obs-on node carries a snapshot");
+        assert_eq!(s.migrations_out, r.rt.flow.migrations, "node {}", r.node);
+        assert_eq!(
+            s.remote_reads + s.remote_writes,
+            r.rt.flow.remote_reads + r.rt.flow.remote_writes,
+            "node {}",
+            r.node
+        );
+        assert_eq!(s.evictions, r.rt.flow.evictions, "node {}", r.node);
+        assert_eq!(
+            s.context_bytes_out, r.rt.context_bytes_sent,
+            "node {}",
+            r.node
+        );
+        assert!(s.retired > 0, "node {} retired tasks", r.node);
+        assert_eq!(s.task_latency_ns.count, s.retired);
+        assert!(s.wire_flushes > 0, "node {} flushed frames", r.node);
+        assert!(s.wire_bytes > 0);
+        assert_eq!(s.flush_ns.count, s.wire_flushes);
+    }
+}
+
+#[test]
+fn crashed_peer_leaves_a_flight_recording_naming_the_edge() {
+    let dir = std::env::temp_dir().join(format!("em2-obs-flight-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let w = workload();
+    let threads = w.num_threads();
+    let placement: Arc<dyn Placement> = Arc::new(FirstTouch::build(&w, SHARDS, 64));
+    let w = Arc::new(w);
+    let mut cfg = RtConfig::eviction_free(SHARDS, threads);
+    let mut obs = ObsConfig::on();
+    obs.flight_dir = Some(dir.clone());
+    cfg.obs = Some(obs);
+
+    // Node 1 dies abruptly after its 4th egress frame; node 0 survives
+    // to observe the loss and must dump a post-mortem.
+    let plan = Arc::new(FaultPlan::new().crash_node(1, 4));
+    let results = run_workload_cluster_chaos(&spec("flight"), &cfg, &w, &placement, scheme, &plan);
+    assert!(
+        results.iter().any(|(r, _)| r.is_err()),
+        "a crashed node must produce a typed error"
+    );
+
+    // The loopback cluster runs both nodes in this process, so the
+    // dumps share one pid; at least the surviving node's must exist.
+    let dumps: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .expect("flight dir")
+        .filter_map(|e| Some(e.ok()?.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("em2-flight-node") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    assert!(
+        !dumps.is_empty(),
+        "no flight-recorder dump in {}",
+        dir.display()
+    );
+    let mut edge_named = false;
+    for dump in &dumps {
+        let text = std::fs::read_to_string(dump).expect("read dump");
+        let header = text.lines().next().expect("header line");
+        assert!(header.contains(r#""kind":"flight""#), "header: {header}");
+        assert!(header.contains(r#""error_kind":""#), "header: {header}");
+        assert!(
+            text.lines()
+                .nth(1)
+                .expect("snapshot line")
+                .contains(r#""kind":"obs""#),
+            "second line embeds the metrics snapshot"
+        );
+        // The final event is the failure itself, with its typed kind.
+        let last = text.lines().last().expect("final line");
+        assert!(last.contains(r#""ev":"fail""#), "final event: {last}");
+        assert!(last.contains(r#""error_kind":""#), "final event: {last}");
+        // A dump that attributes the failure to a peer names the edge
+        // and carries the peer-down observation in its timeline.
+        if last.contains(r#""peer":"#) {
+            assert!(
+                text.contains(r#""ev":"peer-down""#),
+                "timeline records the peer loss: {dump:?}"
+            );
+            edge_named = true;
+        }
+    }
+    assert!(
+        edge_named,
+        "at least one node's post-mortem must name the failing edge: {dumps:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,276 @@
+//! Log2-bucketed histograms for latency-class values.
+//!
+//! The deterministic plane already has an exact unit-bin
+//! [`em2_model::Histogram`] for run lengths; latencies need a
+//! different trade: nanosecond values span nine orders of magnitude,
+//! recording must be wait-free from many threads, and per-shard
+//! histograms must merge into per-node and per-cluster ones without
+//! losing meaning. A log2 bucketing gives all three: 65 fixed buckets
+//! (one per bit width, plus one for zero), recording is a single
+//! relaxed `fetch_add`, and a merge is a bucket-wise sum — after which
+//! any quantile is still *exactly bounded* by its bucket's range
+//! (`tests/proptest_hist.rs` pins that bound against sorted-sample
+//! quantiles).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket `0` holds the value `0`, bucket `b ≥ 1`
+/// holds values with bit width `b`, i.e. `2^(b-1) ..= 2^b - 1`.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value lands in: its bit width (0 for 0).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive value range of bucket `b`.
+pub fn bucket_bounds(b: usize) -> (u64, u64) {
+    assert!(b < BUCKETS);
+    if b == 0 {
+        (0, 0)
+    } else if b == 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (b - 1), (1u64 << b) - 1)
+    }
+}
+
+/// A wait-free log2 histogram. Every histogram instance has a single
+/// writer (its shard core / writer thread — the registry's ownership
+/// discipline), so recording is plain load+store pairs on relaxed
+/// atomics rather than locked RMWs; concurrent readers take a
+/// racy-but-coherent-enough [`snapshot`] (exactness across threads is
+/// not a property of the timing plane).
+///
+/// [`snapshot`]: LogHistogram::snapshot
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value (single writer; relaxed, wait-free).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let b = &self.buckets[bucket_of(v)];
+        b.store(ld(b) + 1, Ordering::Relaxed);
+        self.count.store(ld(&self.count) + 1, Ordering::Relaxed);
+        self.sum
+            .store(ld(&self.sum).wrapping_add(v), Ordering::Relaxed);
+        if v < ld(&self.min) {
+            self.min.store(v, Ordering::Relaxed);
+        }
+        if v > ld(&self.max) {
+            self.max.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current state into a plain, mergeable snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain (non-atomic) log2 histogram: the snapshot/merge/query form
+/// of [`LogHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts (see [`bucket_of`] / [`bucket_bounds`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total values recorded.
+    pub count: u64,
+    /// Exact sum of recorded values (wrapping beyond `u64`).
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record into the plain form (single-threaded use: tests, parse).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another snapshot in: bucket-wise sum, so a shard-wise
+    /// merge is exactly the histogram a single global recorder would
+    /// have produced (pinned by `tests/proptest_hist.rs`).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact bounds `(lo, hi)` on the `q`-quantile: the sorted-sample
+    /// quantile (rank `max(1, ceil(q·n))`, the same rule as
+    /// [`em2_model::Histogram::quantile`]) is guaranteed to satisfy
+    /// `lo ≤ value ≤ hi`. Returns `(0, 0)` when empty.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(b);
+                // The observed min/max tighten the bucket range
+                // without ever excluding the true quantile.
+                return (lo.max(self.min), hi.min(self.max));
+            }
+        }
+        // Unreachable when count equals the bucket sum; be defensive
+        // against racy atomic snapshots where it transiently does not.
+        (self.min, self.max)
+    }
+
+    /// Conservative point estimate of the `q`-quantile: the upper
+    /// bound from [`quantile_bounds`](Self::quantile_bounds).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_domain() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= hi);
+            assert_eq!(bucket_of(lo), b);
+            assert_eq!(bucket_of(hi), b);
+        }
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_known_samples() {
+        let h = LogHistogram::new();
+        for v in [1u64, 2, 3, 100, 1000, 1000, 4096] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4096);
+        // Exact p50 of the 7 samples is 100 (rank 4).
+        let (lo, hi) = s.quantile_bounds(0.5);
+        assert!(lo <= 100 && 100 <= hi, "p50 bounds [{lo}, {hi}]");
+        // p100 is pinned by max.
+        assert_eq!(s.quantile_bounds(1.0), (4096, 4096));
+    }
+
+    #[test]
+    fn merge_equals_global_recording() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let all = LogHistogram::new();
+        for v in 0..1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 17)
+            } else {
+                b.record(v * 17)
+            }
+            all.record(v * 17);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, all.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let s = HistSnapshot::empty();
+        assert_eq!(s.quantile_bounds(0.5), (0, 0));
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+    }
+}

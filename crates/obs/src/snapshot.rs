@@ -1,0 +1,438 @@
+//! Mergeable node-level metric snapshots.
+//!
+//! A [`Snapshot`] is the flat, summable form of one node's obs
+//! registry at an instant — the timing-plane sibling of
+//! `em2_net::CounterSummary`, and it rides the same seam: a node can
+//! [`render`](Snapshot::render) it to `key=value` text, write it next
+//! to its counter summary at quiesce, and a parent process can
+//! [`parse`](Snapshot::parse) and [`merge`](Snapshot::merge) the
+//! pieces into cluster-wide totals without sharing an address space.
+//! The [`to_json`](Snapshot::to_json) form is what the periodic
+//! exporter appends to its JSONL stream and what the flight recorder
+//! embeds in a post-mortem.
+//!
+//! Nothing in here participates in any agreement check — merging is
+//! for *aggregation*, never for equality assertions.
+
+use crate::hist::HistSnapshot;
+use crate::json::JsonObj;
+use std::fmt::Write as _;
+
+/// One node's obs metrics, flattened and summable.
+///
+/// Counters sum under [`merge`](Snapshot::merge); occupancy gauges and
+/// high-water marks take the max (they are instantaneous, not
+/// additive); histograms merge bucket-wise.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Lowest node id folded into this snapshot.
+    pub node: u64,
+    /// Number of node snapshots folded in (1 for a single node).
+    pub nodes: u64,
+    /// Exporter sequence number (max under merge).
+    pub seq: u64,
+    /// Milliseconds since the registry's epoch (max under merge).
+    pub uptime_ms: u64,
+    /// Task arrivals admitted (native + guest).
+    pub arrivals: u64,
+    /// Migrated-in guest arrivals.
+    pub migrations_in: u64,
+    /// Migrate verdicts executed (continuations shipped out).
+    pub migrations_out: u64,
+    /// Remote-access read verdicts executed.
+    pub remote_reads: u64,
+    /// Remote-access write verdicts executed.
+    pub remote_writes: u64,
+    /// Remote requests served for other shards.
+    pub remote_served: u64,
+    /// Serialized context bytes shipped by migrations.
+    pub context_bytes_out: u64,
+    /// Guest admissions into the pool.
+    pub guest_admits: u64,
+    /// Guest evictions out of the pool.
+    pub evictions: u64,
+    /// Arrivals stalled on a full, pinned guest pool.
+    pub stalls: u64,
+    /// Stalled arrivals retried after an eviction.
+    pub retries: u64,
+    /// Tasks retired.
+    pub retired: u64,
+    /// Shard polls executed.
+    pub polls: u64,
+    /// Mailbox messages drained.
+    pub msgs: u64,
+    /// Worker steals that found a shard.
+    pub steals: u64,
+    /// Worker steal attempts (queue probes while empty-handed).
+    pub steal_attempts: u64,
+    /// Worker condvar parks.
+    pub worker_parks: u64,
+    /// Egress flushes (batched `send_frames` calls) across peers.
+    pub wire_flushes: u64,
+    /// Frames written across peers.
+    pub wire_frames: u64,
+    /// Bytes written across peers.
+    pub wire_bytes: u64,
+    /// Trace events evicted from rings to stay within capacity.
+    pub trace_dropped: u64,
+    /// Current guest-pool occupancy summed over shards (max under
+    /// merge — concurrent nodes, instantaneous value).
+    pub guest_occupancy: u64,
+    /// Highest guest-pool occupancy any single shard reached.
+    pub guest_hwm: u64,
+    /// Deepest egress queue any single peer link reached.
+    pub egress_depth_hwm: u64,
+    /// Current egress queue depth summed over peers (max under merge).
+    pub egress_depth: u64,
+    /// End-to-end task latency (ns).
+    pub task_latency_ns: HistSnapshot,
+    /// Mailbox drain batch sizes (messages per poll).
+    pub mailbox_batch: HistSnapshot,
+    /// Per-flush wire write latency (ns), all peers.
+    pub flush_ns: HistSnapshot,
+}
+
+/// Version tag of the `render`/`parse` text form.
+const VERSION_LINE: &str = "em2-obs=1";
+
+impl Snapshot {
+    /// Fold another node's snapshot in (see the struct docs for the
+    /// per-field rule).
+    pub fn merge(&mut self, o: &Snapshot) {
+        self.node = self.node.min(o.node);
+        self.nodes += o.nodes;
+        self.seq = self.seq.max(o.seq);
+        self.uptime_ms = self.uptime_ms.max(o.uptime_ms);
+        self.arrivals += o.arrivals;
+        self.migrations_in += o.migrations_in;
+        self.migrations_out += o.migrations_out;
+        self.remote_reads += o.remote_reads;
+        self.remote_writes += o.remote_writes;
+        self.remote_served += o.remote_served;
+        self.context_bytes_out += o.context_bytes_out;
+        self.guest_admits += o.guest_admits;
+        self.evictions += o.evictions;
+        self.stalls += o.stalls;
+        self.retries += o.retries;
+        self.retired += o.retired;
+        self.polls += o.polls;
+        self.msgs += o.msgs;
+        self.steals += o.steals;
+        self.steal_attempts += o.steal_attempts;
+        self.worker_parks += o.worker_parks;
+        self.wire_flushes += o.wire_flushes;
+        self.wire_frames += o.wire_frames;
+        self.wire_bytes += o.wire_bytes;
+        self.trace_dropped += o.trace_dropped;
+        self.guest_occupancy = self.guest_occupancy.max(o.guest_occupancy);
+        self.guest_hwm = self.guest_hwm.max(o.guest_hwm);
+        self.egress_depth_hwm = self.egress_depth_hwm.max(o.egress_depth_hwm);
+        self.egress_depth = self.egress_depth.max(o.egress_depth);
+        self.task_latency_ns.merge(&o.task_latency_ns);
+        self.mailbox_batch.merge(&o.mailbox_batch);
+        self.flush_ns.merge(&o.flush_ns);
+    }
+
+    /// Sum a set of node snapshots (cluster totals).
+    pub fn sum(parts: impl IntoIterator<Item = Snapshot>) -> Snapshot {
+        let mut parts = parts.into_iter();
+        let mut acc = parts.next().expect("at least one snapshot");
+        for p in parts {
+            acc.merge(&p);
+        }
+        acc
+    }
+
+    fn fields(&self) -> [(&'static str, u64); 28] {
+        [
+            ("node", self.node),
+            ("nodes", self.nodes),
+            ("seq", self.seq),
+            ("uptime_ms", self.uptime_ms),
+            ("arrivals", self.arrivals),
+            ("migrations_in", self.migrations_in),
+            ("migrations_out", self.migrations_out),
+            ("remote_reads", self.remote_reads),
+            ("remote_writes", self.remote_writes),
+            ("remote_served", self.remote_served),
+            ("context_bytes_out", self.context_bytes_out),
+            ("guest_admits", self.guest_admits),
+            ("evictions", self.evictions),
+            ("stalls", self.stalls),
+            ("retries", self.retries),
+            ("retired", self.retired),
+            ("polls", self.polls),
+            ("msgs", self.msgs),
+            ("steals", self.steals),
+            ("steal_attempts", self.steal_attempts),
+            ("worker_parks", self.worker_parks),
+            ("wire_flushes", self.wire_flushes),
+            ("wire_frames", self.wire_frames),
+            ("wire_bytes", self.wire_bytes),
+            ("trace_dropped", self.trace_dropped),
+            ("guest_occupancy", self.guest_occupancy),
+            ("guest_hwm", self.guest_hwm),
+            ("egress_depth_hwm", self.egress_depth_hwm),
+        ]
+    }
+
+    fn field_mut(&mut self, k: &str) -> Option<&mut u64> {
+        Some(match k {
+            "node" => &mut self.node,
+            "nodes" => &mut self.nodes,
+            "seq" => &mut self.seq,
+            "uptime_ms" => &mut self.uptime_ms,
+            "arrivals" => &mut self.arrivals,
+            "migrations_in" => &mut self.migrations_in,
+            "migrations_out" => &mut self.migrations_out,
+            "remote_reads" => &mut self.remote_reads,
+            "remote_writes" => &mut self.remote_writes,
+            "remote_served" => &mut self.remote_served,
+            "context_bytes_out" => &mut self.context_bytes_out,
+            "guest_admits" => &mut self.guest_admits,
+            "evictions" => &mut self.evictions,
+            "stalls" => &mut self.stalls,
+            "retries" => &mut self.retries,
+            "retired" => &mut self.retired,
+            "polls" => &mut self.polls,
+            "msgs" => &mut self.msgs,
+            "steals" => &mut self.steals,
+            "steal_attempts" => &mut self.steal_attempts,
+            "worker_parks" => &mut self.worker_parks,
+            "wire_flushes" => &mut self.wire_flushes,
+            "wire_frames" => &mut self.wire_frames,
+            "wire_bytes" => &mut self.wire_bytes,
+            "trace_dropped" => &mut self.trace_dropped,
+            "guest_occupancy" => &mut self.guest_occupancy,
+            "guest_hwm" => &mut self.guest_hwm,
+            "egress_depth_hwm" => &mut self.egress_depth_hwm,
+            "egress_depth" => &mut self.egress_depth,
+            _ => return None,
+        })
+    }
+
+    fn hist_mut(&mut self, k: &str) -> Option<&mut HistSnapshot> {
+        Some(match k {
+            "task_latency_ns" => &mut self.task_latency_ns,
+            "mailbox_batch" => &mut self.mailbox_batch,
+            "flush_ns" => &mut self.flush_ns,
+            _ => return None,
+        })
+    }
+
+    /// Render as versioned `key=value` lines (the cross-process
+    /// aggregation form; greppable in CI artifacts).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{VERSION_LINE}");
+        for (k, v) in self.fields() {
+            let _ = writeln!(s, "{k}={v}");
+        }
+        let _ = writeln!(s, "egress_depth={}", self.egress_depth);
+        for (k, h) in [
+            ("task_latency_ns", &self.task_latency_ns),
+            ("mailbox_batch", &self.mailbox_batch),
+            ("flush_ns", &self.flush_ns),
+        ] {
+            let mut line = format!("hist.{k}={};{};{};{}", h.count, h.sum, h.min, h.max);
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if n != 0 {
+                    let _ = write!(line, ";b{b}:{n}");
+                }
+            }
+            let _ = writeln!(s, "{line}");
+        }
+        s
+    }
+
+    /// Parse [`Snapshot::render`] output.
+    pub fn parse(text: &str) -> Result<Snapshot, String> {
+        let mut out = Snapshot::default();
+        let mut versioned = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == VERSION_LINE {
+                versioned = true;
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {line:?}"))?;
+            if let Some(name) = k.strip_prefix("hist.") {
+                let h = out
+                    .hist_mut(name)
+                    .ok_or_else(|| format!("unknown histogram {name:?}"))?;
+                let mut parts = v.split(';');
+                let mut next_u64 = |what: &str| {
+                    parts
+                        .next()
+                        .ok_or_else(|| format!("missing {what} in {line:?}"))?
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad {what} in {line:?}"))
+                };
+                h.count = next_u64("count")?;
+                h.sum = next_u64("sum")?;
+                h.min = next_u64("min")?;
+                h.max = next_u64("max")?;
+                for bucket in parts {
+                    let (b, n) = bucket
+                        .strip_prefix('b')
+                        .and_then(|rest| rest.split_once(':'))
+                        .ok_or_else(|| format!("bad bucket {bucket:?}"))?;
+                    let b: usize = b.parse().map_err(|_| format!("bad bucket {bucket:?}"))?;
+                    if b >= crate::hist::BUCKETS {
+                        return Err(format!("bucket index out of range in {bucket:?}"));
+                    }
+                    h.buckets[b] = n.parse().map_err(|_| format!("bad bucket {bucket:?}"))?;
+                }
+            } else {
+                let slot = out
+                    .field_mut(k)
+                    .ok_or_else(|| format!("unknown key {k:?}"))?;
+                *slot = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad u64 in {line:?}"))?;
+            }
+        }
+        if !versioned {
+            return Err("missing em2-obs version line".into());
+        }
+        Ok(out)
+    }
+
+    /// Write the rendering to a file (write `.tmp`, then rename — the
+    /// same parent/child handoff discipline as `CounterSummary`).
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.render())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Read a snapshot written by [`Snapshot::write_to`].
+    pub fn read_from(path: &std::path::Path) -> std::io::Result<Snapshot> {
+        let text = std::fs::read_to_string(path)?;
+        Snapshot::parse(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// One JSONL line for the exporter stream / flight recorder, with
+    /// derived latency quantiles for direct consumption.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObj::new().str("kind", "obs");
+        for (k, v) in self.fields() {
+            obj = obj.u64(k, v);
+        }
+        obj = obj.u64("egress_depth", self.egress_depth);
+        for (k, h) in [
+            ("task_latency_ns", &self.task_latency_ns),
+            ("mailbox_batch", &self.mailbox_batch),
+            ("flush_ns", &self.flush_ns),
+        ] {
+            let hist = JsonObj::new()
+                .u64("count", h.count)
+                .f64("mean", h.mean())
+                .u64("min", if h.is_empty() { 0 } else { h.min })
+                .u64("max", h.max)
+                .u64("p50", h.quantile(0.50))
+                .u64("p95", h.quantile(0.95))
+                .u64("p99", h.quantile(0.99))
+                .finish();
+            obj = obj.raw(k, &hist);
+        }
+        obj.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(node: u64) -> Snapshot {
+        let mut s = Snapshot {
+            node,
+            nodes: 1,
+            seq: 3,
+            uptime_ms: 120,
+            arrivals: 40,
+            migrations_in: 12,
+            migrations_out: 14,
+            remote_reads: 5,
+            remote_writes: 2,
+            remote_served: 7,
+            context_bytes_out: 900,
+            guest_admits: 12,
+            evictions: 4,
+            stalls: 1,
+            retries: 1,
+            retired: 16,
+            polls: 220,
+            msgs: 300,
+            steals: 9,
+            steal_attempts: 30,
+            worker_parks: 5,
+            wire_flushes: 11,
+            wire_frames: 44,
+            wire_bytes: 9000,
+            trace_dropped: 2,
+            guest_occupancy: 3,
+            guest_hwm: 4,
+            egress_depth_hwm: 17,
+            egress_depth: 2,
+            ..Snapshot::default()
+        };
+        for v in [100u64, 2000, 2000, 65000] {
+            s.task_latency_ns.record(v * (node + 1));
+        }
+        s.mailbox_batch.record(8);
+        s.flush_ns.record(1500);
+        s
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let s = sample(1);
+        let parsed = Snapshot::parse(&s.render()).expect("parse");
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn merge_sums_counters_maxes_gauges_and_merges_hists() {
+        let a = sample(0);
+        let b = sample(1);
+        let direct = {
+            let mut m = a.clone();
+            m.merge(&b);
+            m
+        };
+        // Through the file seam: render → parse → merge gives the same
+        // cluster total (the aggregation property the multiproc path
+        // relies on).
+        let via_text = Snapshot::sum([
+            Snapshot::parse(&a.render()).unwrap(),
+            Snapshot::parse(&b.render()).unwrap(),
+        ]);
+        assert_eq!(direct, via_text);
+        assert_eq!(direct.nodes, 2);
+        assert_eq!(direct.node, 0);
+        assert_eq!(direct.retired, 32);
+        assert_eq!(direct.guest_hwm, 4, "gauge is a max, not a sum");
+        assert_eq!(direct.task_latency_ns.count, 8);
+    }
+
+    #[test]
+    fn json_line_is_one_line_and_nonempty() {
+        let j = sample(0).to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with(r#"{"kind":"obs""#));
+        assert!(j.contains(r#""task_latency_ns":{"count":4"#));
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let mut text = sample(0).render();
+        text.push_str("mystery=1\n");
+        assert!(Snapshot::parse(&text).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the log2 histogram (`em2_obs::hist`):
+//!
+//! 1. for arbitrary samples, the histogram's quantile *bounds*
+//!    bracket the exact sorted-sample quantile at every probed `q`;
+//! 2. recording shard-wise and merging equals recording globally —
+//!    bucket-for-bucket, so merged quantiles are the global ones;
+//! 3. the conservative point estimate is never below the exact
+//!    quantile (it is the upper bound).
+
+use em2_obs::hist::{bucket_bounds, bucket_of, HistSnapshot, LogHistogram, BUCKETS};
+use proptest::prelude::*;
+
+/// The exact sorted-sample quantile with the workspace's rank rule:
+/// rank = max(1, ceil(q·n)), value = sorted[rank − 1].
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantile_bounds_bracket_exact_quantiles(
+        samples in prop::collection::vec(any::<u64>(), 1..400),
+        qs in prop::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let h = LogHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count, sorted.len() as u64);
+        for &q in &qs {
+            let exact = exact_quantile(&sorted, q);
+            let (lo, hi) = snap.quantile_bounds(q);
+            prop_assert!(
+                lo <= exact && exact <= hi,
+                "q={} exact={} not in [{}, {}]", q, exact, lo, hi
+            );
+            // The point estimate is the upper bound: conservative.
+            prop_assert!(snap.quantile(q) >= exact);
+        }
+    }
+
+    #[test]
+    fn shard_wise_merge_equals_global_recording(
+        samples in prop::collection::vec(any::<u64>(), 1..400),
+        shards in 1usize..9,
+    ) {
+        let global = LogHistogram::new();
+        let parts: Vec<LogHistogram> = (0..shards).map(|_| LogHistogram::new()).collect();
+        for (i, &v) in samples.iter().enumerate() {
+            global.record(v);
+            parts[i % shards].record(v);
+        }
+        let mut merged = HistSnapshot::empty();
+        for p in &parts {
+            merged.merge(&p.snapshot());
+        }
+        // Bucket-exact equality, not just equal summary stats.
+        prop_assert_eq!(&merged, &global.snapshot());
+        // And therefore identical quantiles everywhere.
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile_bounds(q), global.snapshot().quantile_bounds(q));
+        }
+    }
+
+    #[test]
+    fn every_value_lands_in_its_bucket(v in any::<u64>()) {
+        let b = bucket_of(v);
+        prop_assert!(b < BUCKETS);
+        let (lo, hi) = bucket_bounds(b);
+        prop_assert!(lo <= v && v <= hi);
+    }
+}

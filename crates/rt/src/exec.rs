@@ -27,6 +27,7 @@
 //! impossible.
 
 use crate::shard::{Shared, SHARD_IDLE, SHARD_QUEUED, SHARD_RUNNING};
+use em2_obs::{SingleWriterCounter, WorkerObs};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -92,7 +93,7 @@ impl Sched {
 
     /// Next shard for worker `w`: own queue first (FIFO), then steal
     /// from the other queues' backs.
-    fn next(&self, w: usize) -> Option<usize> {
+    fn next(&self, w: usize, obs: Option<&WorkerObs>) -> Option<usize> {
         {
             let mut q = self.runqs[w].lock().expect("run queue");
             if let Some(s) = q.pop_front() {
@@ -101,12 +102,18 @@ impl Sched {
             }
         }
         for i in 1..self.workers {
+            if let Some(o) = obs {
+                o.steal_attempts.bump(1);
+            }
             let mut q = self.runqs[(w + i) % self.workers]
                 .lock()
                 .expect("run queue");
             if let Some(s) = q.pop_back() {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = obs {
+                    o.steals.bump(1);
+                }
                 return Some(s);
             }
         }
@@ -115,7 +122,7 @@ impl Sched {
 
     /// Park until scheduled work exists or shutdown is flagged. May
     /// wake spuriously; the caller's loop re-scans.
-    fn park(&self, shared: &Shared) {
+    fn park(&self, shared: &Shared, obs: Option<&WorkerObs>) {
         let guard = self.sleep_lock.lock().expect("sleep lock");
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         if self.pending.load(Ordering::SeqCst) > 0 || shared.shutdown.load(Ordering::SeqCst) {
@@ -123,6 +130,9 @@ impl Sched {
             return;
         }
         self.parks.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = obs {
+            o.parks.bump(1);
+        }
         drop(self.sleep_cv.wait(guard).expect("sleep cv"));
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
@@ -131,13 +141,24 @@ impl Sched {
 /// Body of one executor worker thread.
 pub(crate) fn worker_loop(shared: &Shared, w: usize) {
     let sched = shared.sched.as_ref().expect("multiplexed mode");
+    // Timing-plane handle for this worker (`None` when obs is off).
+    let wobs = shared
+        .obs
+        .as_ref()
+        .map(|o| std::sync::Arc::clone(o.worker(w)));
+    let wobs = wobs.as_deref();
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        match sched.next(w) {
-            Some(shard) => run_shard(shared, shard),
-            None => sched.park(shared),
+        match sched.next(w, wobs) {
+            Some(shard) => {
+                if let Some(o) = wobs {
+                    o.shard_polls.bump(1);
+                }
+                run_shard(shared, shard);
+            }
+            None => sched.park(shared, wobs),
         }
     }
 }

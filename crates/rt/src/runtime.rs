@@ -112,6 +112,14 @@ pub struct RtConfig {
     /// Run-length histogram bins ([`em2_core::RUN_BINS`] for
     /// simulator-comparable histograms).
     pub run_bins: u64,
+    /// Observability plane (`em2-obs`). `None` resolves from the
+    /// environment (`EM2_OBS` and friends) at start; tests and
+    /// benchmarks that must not depend on ambient env vars pass
+    /// [`em2_obs::ObsConfig::on`] / [`em2_obs::ObsConfig::off`]
+    /// explicitly. Strictly timing-plane: no obs state ever feeds the
+    /// deterministic counters, and every report and agreement digest
+    /// is byte-identical whether this is on or off.
+    pub obs: Option<em2_obs::ObsConfig>,
 }
 
 impl RtConfig {
@@ -127,6 +135,7 @@ impl RtConfig {
             cost: CostModel::builder().cores(shards).build(),
             quantum: 256,
             run_bins: RUN_BINS,
+            obs: None,
         }
     }
 
@@ -146,9 +155,7 @@ impl RtConfig {
         let requested = if self.workers > 0 {
             self.workers
         } else {
-            std::env::var("EM2_RT_WORKERS")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
+            em2_model::env::parse::<usize>("EM2_RT_WORKERS")
                 .filter(|&n| n > 0)
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
         };
@@ -332,6 +339,13 @@ pub struct Runtime {
     /// then link-driven, not live-count-driven).
     node_mode: bool,
     t0: Instant,
+    /// The timing-plane registry (`None` when obs is off); exposed
+    /// through [`Runtime::obs`] so the transport layer can register
+    /// peers and arm the flight recorder.
+    obs: Option<Arc<em2_obs::NodeObs>>,
+    /// Periodic snapshot exporter, stopped (with a final line) at
+    /// shutdown.
+    exporter: Option<em2_obs::Exporter>,
 }
 
 impl Runtime {
@@ -432,6 +446,13 @@ impl Runtime {
             ExecutorMode::Multiplexed => cfg.resolved_workers().min(local_shards),
             ExecutorMode::ThreadPerShard => local_shards,
         };
+        // The timing plane: `None` unless configured (explicitly or via
+        // EM2_OBS). Everything below records into it with relaxed
+        // atomics; nothing in it feeds the deterministic counters.
+        let obs_cfg = cfg.obs.clone().unwrap_or_else(em2_obs::ObsConfig::from_env);
+        let obs = obs_cfg
+            .enabled
+            .then(|| em2_obs::NodeObs::new(obs_cfg, first_shard, local_shards, workers));
         let shared = Arc::new(Shared {
             mailboxes: (0..local_shards)
                 .map(|_| crate::shard::Mailbox::new())
@@ -443,6 +464,7 @@ impl Runtime {
                         slot,
                         cfg.guest_contexts,
                         cfg.run_bins,
+                        obs.as_ref().map(|o| Arc::clone(o.shard(slot))),
                     ))
                 })
                 .collect(),
@@ -466,7 +488,11 @@ impl Runtime {
                 ExecutorMode::Multiplexed => Some(Sched::new(workers)),
                 ExecutorMode::ThreadPerShard => None,
             },
+            obs: obs.clone(),
         });
+        let exporter = obs
+            .as_ref()
+            .and_then(em2_obs::Exporter::start_if_configured);
 
         let t0 = Instant::now();
         let handles = (0..workers)
@@ -504,7 +530,17 @@ impl Runtime {
             submitted: 0,
             node_mode,
             t0,
+            obs,
+            exporter,
         }
+    }
+
+    /// The timing-plane registry, when observability is on. The
+    /// transport layer uses this to register peer handles and wire the
+    /// flight recorder to cluster failures; callers may also read
+    /// [`em2_obs::NodeObs::snapshot`] live.
+    pub fn obs(&self) -> Option<Arc<em2_obs::NodeObs>> {
+        self.obs.clone()
     }
 
     /// The inbound half of the transport seam: a handle the socket
@@ -606,6 +642,11 @@ impl Runtime {
             if let Err(p) = h.join() {
                 first_panic.get_or_insert(p);
             }
+        }
+        // Stop the exporter after the workers quiesce: its final line
+        // then captures the complete run.
+        if let Some(exp) = self.exporter.take() {
+            exp.finish();
         }
         (Some(shared), first_panic)
     }

@@ -44,6 +44,7 @@ use em2_core::decision::{Decision, DecisionCtx, DecisionScheme};
 use em2_core::stats::FlowCounts;
 use em2_engine::{AtomicBarriers, BarrierArrival};
 use em2_model::{AccessKind, Addr, CoreId, CostModel, Histogram, ThreadId};
+use em2_obs::{EventKind, NodeObs, ShardObs, SingleWriterCounter};
 use em2_placement::Placement;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
@@ -267,6 +268,10 @@ pub(crate) struct Shared {
     /// `Some` when the multiplexed executor drives the shards; `None`
     /// in thread-per-shard mode.
     pub sched: Option<Sched>,
+    /// Observability registry (`em2-obs`), `None` when the timing
+    /// plane is off. Strictly timing-plane: nothing here ever feeds
+    /// the deterministic counters.
+    pub obs: Option<std::sync::Arc<NodeObs>>,
 }
 
 impl Shared {
@@ -434,10 +439,27 @@ pub(crate) struct ShardCore {
     /// (which waits on the requester's retirement) can never observe a
     /// reply parked here.
     remote_replies: Vec<(usize, WireMsg)>,
+    /// This shard's timing-plane handle (`None` when obs is off — the
+    /// hot path then pays one `Option` branch per hook). Never read by
+    /// anything that feeds the deterministic counters.
+    obs: Option<std::sync::Arc<ShardObs>>,
+    /// Poll counter for the coarse event clock: the clock refreshes
+    /// every [`OBS_CLOCK_POLLS`] polls, because `clock_gettime` can be
+    /// a real syscall (obs module docs on the coarse clock).
+    obs_clock_tick: u32,
 }
 
+/// Polls between coarse-event-clock refreshes.
+const OBS_CLOCK_POLLS: u32 = 16;
+
 impl ShardCore {
-    pub(crate) fn new(id: usize, slot: usize, guest_contexts: usize, run_bins: u64) -> Self {
+    pub(crate) fn new(
+        id: usize,
+        slot: usize,
+        guest_contexts: usize,
+        run_bins: u64,
+        obs: Option<std::sync::Arc<ShardObs>>,
+    ) -> Self {
         ShardCore {
             id,
             slot,
@@ -452,6 +474,30 @@ impl ShardCore {
             counters: ShardCounters::new(run_bins),
             scratch: Vec::new(),
             remote_replies: Vec::new(),
+            obs,
+            obs_clock_tick: 0,
+        }
+    }
+
+    /// Per-poll obs bookkeeping: bump the poll counter and refresh the
+    /// shard's coarse event clock every few polls.
+    #[inline]
+    fn obs_poll(&mut self) {
+        if let Some(o) = &self.obs {
+            o.polls.bump(1);
+            if self.obs_clock_tick.is_multiple_of(OBS_CLOCK_POLLS) {
+                o.refresh_clock();
+            }
+            self.obs_clock_tick = self.obs_clock_tick.wrapping_add(1);
+        }
+    }
+
+    /// Record the guest pool's current occupancy on the obs plane
+    /// (after any admit/evict/remove transition).
+    #[inline]
+    fn obs_occupancy(&self) {
+        if let Some(o) = &self.obs {
+            o.set_guest_occupancy(self.pool.guest_count() as u64);
         }
     }
 
@@ -486,6 +532,7 @@ impl ShardCore {
     /// worker must requeue the shard).
     pub(crate) fn poll(&mut self, shared: &Shared) -> bool {
         self.counters.polls += 1;
+        self.obs_poll();
         let mut quanta = POLL_TASK_BUDGET;
         loop {
             let drained = {
@@ -502,6 +549,12 @@ impl ShardCore {
                 }
                 take
             };
+            if drained > 0 {
+                if let Some(o) = &self.obs {
+                    o.msgs.bump(drained as u64);
+                    o.mailbox_batch.record(drained as u64);
+                }
+            }
             self.process_batch(shared);
             self.retry_stalled(shared);
             if shared.shutdown.load(Ordering::Acquire) {
@@ -527,6 +580,7 @@ impl ShardCore {
     /// runnable work).
     pub(crate) fn step(&mut self, shared: &Shared) {
         self.counters.polls += 1;
+        self.obs_poll();
         self.process_batch(shared);
         self.retry_stalled(shared);
         if let Some(env) = self.runq.pop_front() {
@@ -543,6 +597,12 @@ impl ShardCore {
         while let Some(msg) = q.pop() {
             self.scratch.push(msg);
             n += 1;
+        }
+        if n > 0 {
+            if let Some(o) = &self.obs {
+                o.msgs.bump(n as u64);
+                o.mailbox_batch.record(n as u64);
+            }
         }
         n
     }
@@ -582,6 +642,9 @@ impl ShardCore {
             } => {
                 // Figure 3's "access memory" box executes at the home,
                 // in request arrival order.
+                if let Some(o) = &self.obs {
+                    o.remote_served.bump(1);
+                }
                 let value = self.serve(addr, write);
                 if shared.local_slot(reply_shard).is_some() {
                     shared.send(reply_shard, Msg::Response { token, value });
@@ -606,15 +669,20 @@ impl ShardCore {
                 self.runq.push_back(env);
             }
             Msg::BarrierRelease { idx } => {
+                let mut released = 0u64;
                 let mut i = 0;
                 while i < self.parked.len() {
                     if self.parked[i].parked_at == Some(idx) {
                         let mut env = self.parked.swap_remove(i);
                         env.parked_at = None;
                         self.runq.push_back(env);
+                        released += 1;
                     } else {
                         i += 1;
                     }
+                }
+                if let Some(o) = &self.obs {
+                    o.event(EventKind::BarrierRelease, 0, idx as u64, released);
                 }
             }
         }
@@ -625,6 +693,19 @@ impl ShardCore {
     /// arrival queues behind earlier stalled ones so admission order
     /// is arrival order.
     fn admit(&mut self, shared: &Shared, env: Box<Envelope>) {
+        if let Some(o) = &self.obs {
+            o.arrivals.bump(1);
+            if env.pending_op.is_some() {
+                // A migration lands carrying its arrival access.
+                o.migrations_in.bump(1);
+            }
+            o.event(
+                EventKind::Arrive,
+                env.thread.0 as u64,
+                env.native.index() as u64,
+                u64::from(env.native == self.me()),
+            );
+        }
         if env.native == self.me() {
             self.pool.admit_native(env.thread);
             self.activate(shared, env);
@@ -632,12 +713,27 @@ impl ShardCore {
         }
         if !self.stalled.is_empty() {
             self.counters.flow.stalled_arrivals += 1;
+            self.obs_stall(&env);
             self.stalled.push_back(env);
             return;
         }
         if let Some(env) = self.try_admit_guest(shared, env) {
             self.counters.flow.stalled_arrivals += 1;
+            self.obs_stall(&env);
             self.stalled.push_back(env);
+        }
+    }
+
+    /// Obs hook for an arrival stalled on guest admission.
+    fn obs_stall(&self, env: &Envelope) {
+        if let Some(o) = &self.obs {
+            o.stalls.bump(1);
+            o.event(
+                EventKind::Stall,
+                env.thread.0 as u64,
+                self.stalled.len() as u64 + 1,
+                0,
+            );
         }
     }
 
@@ -647,15 +743,29 @@ impl ShardCore {
     fn try_admit_guest(&mut self, shared: &Shared, env: Box<Envelope>) -> Option<Box<Envelope>> {
         self.clock += 1;
         match self.pool.admit_guest(env.thread, self.clock) {
-            Admission::Admitted => self.activate(shared, env),
+            Admission::Admitted => {
+                self.obs_guest_admit(&env);
+                self.activate(shared, env);
+            }
             Admission::AdmittedEvicting(victim) => {
                 self.counters.flow.evictions += 1;
                 self.evict(shared, victim);
+                self.obs_guest_admit(&env);
                 self.activate(shared, env);
             }
             Admission::Stalled => return Some(env),
         }
         None
+    }
+
+    /// Obs hook for a successful guest admission.
+    fn obs_guest_admit(&self, env: &Envelope) {
+        if let Some(o) = &self.obs {
+            o.guest_admits.bump(1);
+            let occ = self.pool.guest_count() as u64;
+            o.set_guest_occupancy(occ);
+            o.event(EventKind::GuestAdmit, env.thread.0 as u64, occ, 0);
+        }
     }
 
     /// An admitted context becomes active: barrier-parked arrivals
@@ -694,6 +804,12 @@ impl ShardCore {
             self.parked.swap_remove(i)
         };
         self.counters.context_bytes_sent += env.task.context_len();
+        if let Some(o) = &self.obs {
+            o.evictions.bump(1);
+            let occ = self.pool.guest_count() as u64;
+            o.set_guest_occupancy(occ);
+            o.event(EventKind::GuestEvict, env.thread.0 as u64, occ, 0);
+        }
         let native = env.native.index();
         shared.send(native, Msg::Arrive(env));
     }
@@ -701,9 +817,14 @@ impl ShardCore {
     /// Re-attempt stalled guest admissions, preserving arrival order.
     fn retry_stalled(&mut self, shared: &Shared) {
         while let Some(env) = self.stalled.pop_front() {
+            let thread = env.thread.0 as u64;
             if let Some(env) = self.try_admit_guest(shared, env) {
                 self.stalled.push_front(env);
                 return;
+            }
+            if let Some(o) = &self.obs {
+                o.retries.bump(1);
+                o.event(EventKind::Retry, thread, self.stalled.len() as u64, 0);
             }
         }
     }
@@ -783,6 +904,9 @@ impl ShardCore {
                         if shared.barriers.is_released(k) {
                             continue;
                         }
+                        if let Some(o) = &self.obs {
+                            o.event(EventKind::BarrierPark, env.thread.0 as u64, k as u64, 0);
+                        }
                         env.parked_at = Some(k);
                         self.parked.push(env);
                         shared
@@ -802,6 +926,9 @@ impl ShardCore {
                         }
                         BarrierArrival::AlreadyOpen => continue,
                         BarrierArrival::Parks => {
+                            if let Some(o) = &self.obs {
+                                o.event(EventKind::BarrierPark, env.thread.0 as u64, k as u64, 0);
+                            }
                             env.parked_at = Some(k);
                             self.parked.push(env);
                             return;
@@ -859,8 +986,20 @@ impl ShardCore {
                         self.pool.remove_native(env.thread);
                     } else {
                         self.pool.remove_guest(env.thread);
+                        self.obs_occupancy();
                     }
-                    self.counters.context_bytes_sent += env.task.context_len();
+                    let ctx = env.task.context_len();
+                    self.counters.context_bytes_sent += ctx;
+                    if let Some(o) = &self.obs {
+                        o.migrations_out.bump(1);
+                        o.context_bytes_out.bump(ctx);
+                        o.event(
+                            EventKind::MigrateOut,
+                            env.thread.0 as u64,
+                            home.index() as u64,
+                            ctx,
+                        );
+                    }
                     env.pending_op = Some(op);
                     shared.send(home.index(), Msg::Arrive(env));
                     return;
@@ -874,6 +1013,15 @@ impl ShardCore {
                         self.counters.flow.remote_writes += 1;
                     } else {
                         self.counters.flow.remote_reads += 1;
+                    }
+                    if let Some(o) = &self.obs {
+                        let (ctr, kind) = if write_value.is_some() {
+                            (&o.remote_writes, EventKind::RemoteWrite)
+                        } else {
+                            (&o.remote_reads, EventKind::RemoteRead)
+                        };
+                        ctr.bump(1);
+                        o.event(kind, env.thread.0 as u64, home.index() as u64, addr.0);
                     }
                     if me != env.native {
                         self.pool.set_guest_state(env.thread, GuestState::Pinned);
@@ -909,13 +1057,18 @@ impl ShardCore {
                 self.finish_run(&mut env, c, len);
             }
         }
-        self.counters
-            .task_latency_ns
-            .push(env.arrival.elapsed().as_nanos() as u64);
+        let latency_ns = env.arrival.elapsed().as_nanos() as u64;
+        self.counters.task_latency_ns.push(latency_ns);
         if env.native == self.me() {
             self.pool.remove_native(env.thread);
         } else {
             self.pool.remove_guest(env.thread);
+            self.obs_occupancy();
+        }
+        if let Some(o) = &self.obs {
+            o.retired.bump(1);
+            o.task_latency_ns.record(latency_ns);
+            o.event(EventKind::Retire, env.thread.0 as u64, latency_ns, 0);
         }
         match &shared.node {
             // Node mode: completion is cluster-global. The local live

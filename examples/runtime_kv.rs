@@ -23,6 +23,11 @@
 //! cargo run --release --example runtime_kv
 //! ```
 //!
+//! `--stats-interval <ms>` (in either mode) adds a live one-line
+//! metrics summary per tick — requests/s, task-latency p50/p99, guest
+//! occupancy, egress queue depth — sampled from the `em2-obs` plane,
+//! which the flag forces on programmatically.
+//!
 //! **Cluster mode** (`--node <id> --cluster <spec>`) launches the same
 //! KV service as a *real multi-process distributed DSM* over `em2-net`:
 //! every process owns a contiguous shard range, clients migrate (or
@@ -42,10 +47,13 @@
 use em2::core::decision::DecisionScheme;
 use em2::model::{Addr, CoreId, DetRng, ThreadId};
 use em2::net::{ClusterSpec, NodeRuntime};
+use em2::obs::{NodeObs, ObsConfig};
 use em2::placement::{Placement, Striped};
-use em2::rt::{run_tasks, Op, RtConfig, RtReport, Task, TaskRegistry, TaskSpec};
+use em2::rt::{Op, RtConfig, RtReport, Runtime, Task, TaskRegistry, TaskSpec};
 use em2_bench::serving::{kv_open_loop, scheme_panel};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const SHARDS: usize = 16;
 const CLIENTS: usize = 16;
@@ -212,7 +220,72 @@ impl Task for KvClient {
     }
 }
 
-fn run_closed_loop(scheme_factory: fn() -> Box<dyn DecisionScheme>) -> RtReport {
+/// Live metrics printer behind `--stats-interval <ms>`: a thread that
+/// samples the obs registry every tick (relaxed atomic reads; it never
+/// locks the runtime) and prints one summary line — requests retired
+/// per second over the window, cumulative task-latency p50/p99 bounds,
+/// current guest-pool occupancy, current egress queue depth. Dropping
+/// the ticker stops the thread.
+struct StatsTicker {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StatsTicker {
+    fn spawn(obs: Arc<NodeObs>, interval_ms: u64) -> StatsTicker {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let (mut last_retired, mut last_at) = (0u64, Instant::now());
+            while !flag.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(interval_ms));
+                let s = obs.snapshot();
+                let now = Instant::now();
+                let dt = now.duration_since(last_at).as_secs_f64();
+                let rps = (s.retired.saturating_sub(last_retired)) as f64 / dt.max(1e-9);
+                let h = &s.task_latency_ns;
+                eprintln!(
+                    "[obs] {rps:>9.0} req/s | task p50 {:>7.1}us p99 {:>8.1}us | \
+                     guests {:>2} | egress {:>3}",
+                    h.quantile(0.50) as f64 / 1e3,
+                    h.quantile(0.99) as f64 / 1e3,
+                    s.guest_occupancy,
+                    s.egress_depth,
+                );
+                (last_retired, last_at) = (s.retired, now);
+            }
+        });
+        StatsTicker {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for StatsTicker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The example's `RtConfig`: `--stats-interval` forces the obs plane
+/// on programmatically (no env var involved) so the ticker has a
+/// registry to sample.
+fn kv_config(stats_ms: Option<u64>) -> RtConfig {
+    let mut cfg = RtConfig::with_shards(SHARDS);
+    if stats_ms.is_some() {
+        cfg.obs = Some(ObsConfig::on());
+    }
+    cfg
+}
+
+fn run_closed_loop(
+    scheme_factory: fn() -> Box<dyn DecisionScheme>,
+    stats_ms: Option<u64>,
+) -> RtReport {
     let tasks: Vec<TaskSpec> = (0..CLIENTS)
         .map(|i| {
             TaskSpec::new(
@@ -222,14 +295,18 @@ fn run_closed_loop(scheme_factory: fn() -> Box<dyn DecisionScheme>) -> RtReport 
         })
         .collect();
     let placement: Arc<dyn Placement> = Arc::new(Striped::new(SHARDS, 64));
-    run_tasks(
-        RtConfig::with_shards(SHARDS),
+    let mut rt = Runtime::start(
+        kv_config(stats_ms),
         "kv-mixed",
-        tasks,
         placement,
         scheme_factory,
         Vec::new(),
-    )
+    );
+    let _ticker = stats_ms.map(|ms| StatsTicker::spawn(rt.obs().expect("obs forced on"), ms));
+    for spec in tasks {
+        rt.submit(spec);
+    }
+    rt.finish()
 }
 
 /// One scheme's closed-loop run as one node of a multi-process
@@ -239,12 +316,13 @@ fn run_closed_loop_cluster(
     spec: &ClusterSpec,
     node: usize,
     scheme_factory: fn() -> Box<dyn DecisionScheme>,
+    stats_ms: Option<u64>,
 ) -> em2::net::NetReport {
     let placement: Arc<dyn Placement> = Arc::new(Striped::new(SHARDS, 64));
     let mut nrt = NodeRuntime::start(
         spec.clone(),
         node,
-        RtConfig::with_shards(SHARDS),
+        kv_config(stats_ms),
         "kv-mixed",
         placement,
         KvClient::registry(),
@@ -252,6 +330,7 @@ fn run_closed_loop_cluster(
         Vec::new(),
     )
     .expect("join the cluster (is every node running with the same --cluster spec?)");
+    let _ticker = stats_ms.map(|ms| StatsTicker::spawn(nrt.obs().expect("obs forced on"), ms));
     let (first, count) = spec.span(node);
     for i in 0..CLIENTS {
         let native = i % SHARDS;
@@ -272,7 +351,7 @@ fn run_closed_loop_cluster(
 /// The multi-process service: each node runs the scheme panel in
 /// lockstep (same order, fresh cluster per scheme) and prints its
 /// local slice of the counters plus the wire telemetry.
-fn main_cluster(spec: ClusterSpec, node: usize) {
+fn main_cluster(spec: ClusterSpec, node: usize, stats_ms: Option<u64>) {
     if node >= spec.num_nodes() {
         eprintln!(
             "--node {node} is not in a {}-node cluster",
@@ -300,7 +379,7 @@ fn main_cluster(spec: ClusterSpec, node: usize) {
         "scheme", "migrations", "RA", "local", "x-node ctxs", "wire bytes", "Mops/s"
     );
     for factory in scheme_panel() {
-        let r = run_closed_loop_cluster(&spec, node, factory);
+        let r = run_closed_loop_cluster(&spec, node, factory, stats_ms);
         println!(
             "{:<18} {:>10} {:>9} {:>10} {:>12} {:>12} {:>9.2}",
             r.rt.scheme,
@@ -318,16 +397,36 @@ fn main_cluster(spec: ClusterSpec, node: usize) {
     );
 }
 
+/// Remove `name <value>` from `args`, returning the value.
+fn take_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 >= args.len() {
+        eprintln!("{name} takes a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let value_of = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    if let Some(cluster) = value_of("--cluster") {
-        let node: usize = value_of("--node")
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats_ms: Option<u64> = take_value(&mut args, "--stats-interval").map(|v| {
+        let ms = v.parse().expect("--stats-interval takes milliseconds");
+        assert!(ms > 0, "--stats-interval must be positive");
+        ms
+    });
+    let cluster = take_value(&mut args, "--cluster");
+    let node = take_value(&mut args, "--node");
+    if !args.is_empty() {
+        eprintln!(
+            "usage: runtime_kv [--stats-interval <ms>] \
+             [--node <id> --cluster <kind>:<base>,nodes=<N>,shards=16]"
+        );
+        std::process::exit(2);
+    }
+    if let Some(cluster) = cluster {
+        let node: usize = node
             .expect("--cluster requires --node <id>")
             .parse()
             .expect("--node takes a node id");
@@ -335,12 +434,8 @@ fn main() {
             eprintln!("bad --cluster spec: {e}");
             std::process::exit(2);
         });
-        main_cluster(spec, node);
+        main_cluster(spec, node, stats_ms);
         return;
-    }
-    if !args.is_empty() {
-        eprintln!("usage: runtime_kv [--node <id> --cluster <kind>:<base>,nodes=<N>,shards=16]");
-        std::process::exit(2);
     }
 
     println!(
@@ -355,7 +450,7 @@ fn main() {
         "scheme", "migrations", "RA", "evictions", "local", "ctx bytes", "Mops/s"
     );
     for factory in scheme_panel() {
-        let r = run_closed_loop(factory);
+        let r = run_closed_loop(factory, stats_ms);
         println!(
             "{:<18} {:>10} {:>9} {:>9} {:>10} {:>12} {:>9.2}",
             r.scheme,

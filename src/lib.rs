@@ -17,6 +17,9 @@
 //! * [`net`] — the cross-process transport layer: the runtime as a
 //!   multi-process distributed DSM over loopback/UDS/TCP,
 //!   cross-validated against the single-process runtime (E12);
+//! * [`obs`] — the observability plane: lock-free metrics, task
+//!   lifecycle tracing, the crash flight recorder (strictly
+//!   timing-plane; never part of any agreement check);
 //! * [`stack`] — the stack-machine EM² variant;
 //! * [`optimal`] — the paper's dynamic-programming analytical model;
 //! * [`coherence`] — the directory-MSI baseline.
@@ -30,6 +33,7 @@ pub use em2_engine as engine;
 pub use em2_model as model;
 pub use em2_net as net;
 pub use em2_noc as noc;
+pub use em2_obs as obs;
 pub use em2_optimal as optimal;
 pub use em2_placement as placement;
 pub use em2_rt as rt;
