@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every figure/table of the paper.
 //!
 //! ```text
-//! experiments [all|e1|e2|...|e12] [--quick] [--chart] [--serial]
+//! experiments [all|e1|e2|...|e13] [--quick] [--chart] [--serial]
 //!             [--threads N] [--bench-json PATH] [--no-bench-json]
 //! ```
 //!

@@ -1,10 +1,12 @@
-//! The twelve experiments (E1–E12): E1–E9 each regenerate one paper
+//! The thirteen experiments (E1–E13): E1–E9 each regenerate one paper
 //! artifact; E10 exercises the engine's contention layer beyond the
 //! paper's closed-form model; E11 cross-validates the executable
 //! `em2-rt` runtime against the simulator and measures its wall-clock
 //! throughput; E12 cross-validates the **distributed** runtime (the
 //! `em2-net` cluster) against the single-process one and records the
-//! context-bytes-on-the-wire telemetry.
+//! context-bytes-on-the-wire telemetry; E13 proves the same agreement
+//! **through live shard handoffs** — elastic membership re-homing
+//! shards mid-workload without moving a single counter.
 //!
 //! Every experiment is decomposed into independent **cells** — one
 //! (config, workload, scheme) combination each — and fanned across the
@@ -1098,9 +1100,181 @@ pub fn e12_transport(scale: Scale) -> Table {
     t
 }
 
+fn history_scheme() -> Box<dyn DecisionScheme> {
+    Box::new(HistoryPredictor::new(1.0, 0.5))
+}
+
+/// E13 — elastic membership: the same cluster with **live shard
+/// handoffs mid-workload**. Node 0 drives three re-homings (one shard
+/// to the last node, one to itself, one back) while tasks run —
+/// freezing each shard's heap words, guest contexts, parked envelopes,
+/// and learned scheme state, shipping them over the wire, and
+/// epoch-fencing every frame that races the move. The invariant
+/// (DESIGN.md §13): the summed counters are still **bit-equal** to
+/// the single-process runtime, on loopback *and* real UDS sockets,
+/// for both scheme families; and a node crashing mid-handoff fails
+/// the survivors with a typed error within the deadline, never a
+/// hang or a wrong sum.
+pub fn e13_elastic_membership(scale: Scale) -> Table {
+    use em2_net::{
+        run_workload_cluster_chaos_with_handoffs, run_workload_cluster_in_process_with_handoffs,
+        ClusterSpec, ClusterTimeouts, CounterSummary, FaultPlan, TransportKind,
+    };
+    let cores = scale.cores();
+    let mut t = Table::new(
+        "E13 / elastic membership — live shard handoff vs single-process",
+        &[
+            "mode",
+            "scheme",
+            "handoffs",
+            "epoch",
+            "x-node ctxs",
+            "ctx bytes",
+            "agreement",
+            "rt Mops/s",
+        ],
+    );
+    type SchemeFactory = fn() -> Box<dyn DecisionScheme>;
+    let schemes: [(&str, SchemeFactory); 2] = [
+        ("em2", || Box::new(AlwaysMigrate)),
+        ("em2ra-history", || {
+            Box::new(HistoryPredictor::new(1.0, 0.5))
+        }),
+    ];
+    let timeouts = ClusterTimeouts {
+        connect_ms: 10_000,
+        run_ms: 30_000,
+        heartbeat_ms: 25,
+    };
+    let w = workloads::ocean(scale);
+    let threads = w.num_threads();
+    let placement: Arc<dyn em2_placement::Placement> = Arc::new(workloads::first_touch(&w, scale));
+    let w = Arc::new(w);
+    let cfg = em2_rt::RtConfig::eviction_free(cores, threads);
+    let uds_dir = std::env::temp_dir().join(format!("em2-e13-{}", std::process::id()));
+    std::fs::create_dir_all(&uds_dir).expect("E13 scratch dir");
+    for (sname, factory) in schemes {
+        let single = em2_rt::run_workload(cfg.clone(), &w, Arc::clone(&placement), factory);
+        let expected = CounterSummary::from_rt(&single);
+        t.row(vec![
+            "in-process".into(),
+            sname.into(),
+            "0".into(),
+            "0".into(),
+            "0".into(),
+            "0".into(),
+            "baseline".into(),
+            fmt_f(single.ops_per_sec() / 1e6, 2),
+        ]);
+        for (mode, spec) in [
+            (
+                "loopback x2".to_string(),
+                ClusterSpec::loopback(2, cores).with_timeouts(timeouts),
+            ),
+            (
+                "uds x3".to_string(),
+                ClusterSpec::even(
+                    TransportKind::Uds,
+                    uds_dir
+                        .join(format!("{sname}.sock"))
+                        .to_str()
+                        .expect("utf8"),
+                    3,
+                    cores,
+                )
+                .with_timeouts(timeouts),
+            ),
+        ] {
+            let nodes = spec.num_nodes();
+            // Three genuine moves: a shard out of node 0, a shard into
+            // node 0, and the first one back again.
+            let handoffs = [(1usize, nodes - 1), (cores - 2, 0), (1, 0)];
+            let reports = run_workload_cluster_in_process_with_handoffs(
+                &spec, &cfg, &w, &placement, factory, &handoffs,
+            )
+            .expect("E13 handoff cluster");
+            let total = CounterSummary::sum(reports.iter().map(CounterSummary::from_net));
+            assert!(
+                total.counters_equal(&expected),
+                "E13 {sname}/{mode}: cluster with live handoffs diverged from single process\n\
+                 cluster: {total:?}\nsingle:  {expected:?}"
+            );
+            for r in &reports {
+                assert_eq!(
+                    r.epoch,
+                    spec.initial_epoch + handoffs.len() as u64,
+                    "E13 {sname}/{mode}: node {} missed a handoff commit",
+                    r.node
+                );
+            }
+            let mops = if total.wall_s > 0.0 {
+                total.total_ops() as f64 / total.wall_s / 1e6
+            } else {
+                0.0
+            };
+            t.row(vec![
+                mode,
+                sname.into(),
+                fmt_count(handoffs.len() as u64),
+                fmt_count(spec.initial_epoch + handoffs.len() as u64),
+                fmt_count(total.wire.arrives_tx),
+                fmt_count(total.wire.context_bytes_tx),
+                "exact".into(),
+                fmt_f(mops, 2),
+            ]);
+        }
+    }
+    // The other half of the invariant: a node crashing with a handoff
+    // in flight must yield typed errors on every node within the
+    // deadline — never a hang, never a silently wrong sum.
+    {
+        let spec = ClusterSpec::loopback(2, cores).with_timeouts(ClusterTimeouts {
+            connect_ms: 5_000,
+            run_ms: 5_000,
+            heartbeat_ms: 25,
+        });
+        let plan = Arc::new(FaultPlan::new().crash_node(1, 6));
+        let t0 = Instant::now();
+        let results = run_workload_cluster_chaos_with_handoffs(
+            &spec,
+            &cfg,
+            &w,
+            &placement,
+            history_scheme,
+            &plan,
+            &[(1, 1), (cores - 2, 0)],
+        );
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "E13 crash: nodes took {elapsed:?} to settle — deadline discipline broken"
+        );
+        assert!(
+            results.iter().all(|(r, _)| r.is_err()),
+            "E13 crash: a node dying mid-handoff must fail the whole cluster typed"
+        );
+        t.row(vec![
+            "loopback x2 + crash".into(),
+            "em2ra-history".into(),
+            "2".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "typed error".into(),
+            "-".into(),
+        ]);
+    }
+    let _ = std::fs::remove_dir_all(&uds_dir);
+    t.note("every completed row's counters asserted bit-equal to the single-process runtime, and every node's final epoch asserted equal to initial + committed handoffs, before rendering");
+    t.note("handoffs re-home a shard's heap words, guest contexts, parked envelopes, and scheme state mid-run; frames racing the move are epoch-fenced and re-routed (DESIGN.md §13)");
+    t.note("the crash row asserts the failure half: a node lost mid-handoff fails every survivor with a typed ClusterError within its deadline");
+    t.note("wire columns vary with handoff timing (not digest-pinned, like all wall-clock cells); the agreement columns are the asserted invariant");
+    t
+}
+
 /// Experiment ids in canonical order.
-pub const ALL_IDS: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+pub const ALL_IDS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
 
 /// One experiment's output: its tables plus the wall-clock it took.
@@ -1136,11 +1310,12 @@ impl SuiteResult {
     }
 }
 
-/// Run a subset of experiments (empty `ids` = all twelve) with the
+/// Run a subset of experiments (empty `ids` = all thirteen) with the
 /// two-level parallel sweep: experiments fan out as cells, and each
 /// experiment fans its own (config, workload, scheme) cells. Output
-/// order — and content, minus E5's, E11's, and E12's measured
-/// wall-clock cells — is independent of the worker count.
+/// order — and content, minus E5's, E11's, E12's, and E13's measured
+/// wall-clock (and E13's handoff-timing-dependent wire) cells — is
+/// independent of the worker count.
 pub fn run_suite(scale: Scale, ids: &[&str]) -> SuiteResult {
     let selected: Vec<&'static str> = ALL_IDS
         .iter()
@@ -1168,6 +1343,7 @@ pub fn run_suite(scale: Scale, ids: &[&str]) -> SuiteResult {
             "e10" => vec![e10_contention(scale)],
             "e11" => vec![e11_runtime_agreement(scale)],
             "e12" => vec![e12_transport(scale)],
+            "e13" => vec![e13_elastic_membership(scale)],
             other => unreachable!("id {other:?} is not in ALL_IDS"),
         };
         ExperimentRun {
@@ -1178,12 +1354,12 @@ pub fn run_suite(scale: Scale, ids: &[&str]) -> SuiteResult {
     };
     // Phase 1: everything except the wall-clock-measuring
     // experiments, fanned across the pool. Phase 2: E5 (DP runtimes),
-    // E11 (runtime ops/sec), and E12 (cluster ops/sec — whole node
-    // fleets of shard workers) run alone in sequence, so their
+    // E11 (runtime ops/sec), E12, and E13 (cluster ops/sec — whole
+    // node fleets of shard workers) run alone in sequence, so their
     // measurements see an otherwise idle machine.
     let (timed, rest): (Vec<_>, Vec<_>) = selected
         .into_iter()
-        .partition(|id| *id == "e5" || *id == "e11" || *id == "e12");
+        .partition(|id| *id == "e5" || *id == "e11" || *id == "e12" || *id == "e13");
     let mut runs = par::par_map(rest, run_one);
     runs.extend(timed.into_iter().map(run_one));
     runs.sort_by_key(|r| ALL_IDS.iter().position(|id| *id == r.id));

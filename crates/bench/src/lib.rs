@@ -17,6 +17,7 @@
 //! | E10 | contention on/off across machines (beyond the paper) | [`experiments::e10_contention`] |
 //! | E11 | runtime ↔ simulator cross-validation | [`experiments::e11_runtime_agreement`] |
 //! | E12 | distributed (cross-node) runtime agreement + wire telemetry | [`experiments::e12_transport`] |
+//! | E13 | elastic membership: live shard handoff agreement | [`experiments::e13_elastic_membership`] |
 //!
 //! The `experiments` binary prints these as aligned text tables and
 //! writes `BENCH.json` perf telemetry ([`perf`]); the benches in

@@ -277,11 +277,18 @@ fn json_escape(s: &str) -> String {
 /// E5's DP wall-time columns and E11's/E12's runtime-throughput
 /// columns are host wall-clock and legitimately differ run to run;
 /// everything else must be bit-stable (E12's wire-byte columns
-/// included — message counts are program-order functions).
+/// included — message counts are program-order functions). E13's
+/// wire columns are the exception to the E12 rule: which frames
+/// cross the wire there depends on *when* each live handoff commits
+/// relative to the workload, so its `x-node ctxs` / `ctx bytes`
+/// columns are masked along with its throughput — the asserted
+/// invariant (bit-equal agreement, final epoch) lives in the
+/// columns that stay.
 pub fn render_masked(table: &Table) -> String {
     let is_e5 = table.title.starts_with("E5");
+    let is_e13 = table.title.starts_with("E13");
     let is_throughput_last = table.title.starts_with("E11") || table.title.starts_with("E12");
-    if !is_e5 && !is_throughput_last {
+    if !is_e5 && !is_throughput_last && !is_e13 {
         return table.to_string();
     }
     let mut masked = table.clone();
@@ -289,6 +296,14 @@ pub fn render_masked(table: &Table) -> String {
         if is_e5 {
             for cell in row.iter_mut().skip(2) {
                 *cell = "<t>".to_string();
+            }
+        } else if is_e13 {
+            // mode, scheme, handoffs, epoch, [x-node ctxs], [ctx
+            // bytes], agreement, [rt Mops/s]
+            for idx in [4usize, 5, 7] {
+                if let Some(cell) = row.get_mut(idx) {
+                    *cell = "<t>".to_string();
+                }
             }
         } else if let Some(cell) = row.last_mut() {
             *cell = "<t>".to_string();
@@ -654,6 +669,43 @@ mod tests {
             "wire bytes are deterministic and stay in the digest"
         );
         assert!(!m.contains("1.25") && m.contains("<t>"));
+    }
+
+    #[test]
+    fn e13_masking_keeps_epoch_hides_wire_and_throughput() {
+        let mut t = Table::new(
+            "E13 / fake",
+            &[
+                "mode",
+                "scheme",
+                "handoffs",
+                "epoch",
+                "x-node ctxs",
+                "ctx bytes",
+                "agreement",
+                "rt Mops/s",
+            ],
+        );
+        t.row(vec![
+            "loopback x2".into(),
+            "em2".into(),
+            "3".into(),
+            "3".into(),
+            "4,242".into(),
+            "99,123".into(),
+            "exact".into(),
+            "1.25".into(),
+        ]);
+        let m = render_masked(&t);
+        assert!(
+            m.contains("exact") && m.contains("loopback x2") && m.contains('3'),
+            "the asserted invariant columns stay in the digest"
+        );
+        assert!(
+            !m.contains("4,242") && !m.contains("99,123") && !m.contains("1.25"),
+            "handoff-timing-dependent cells are masked"
+        );
+        assert!(m.contains("<t>"));
     }
 
     #[test]

@@ -190,6 +190,51 @@ impl ContextPool {
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
+
+    /// Take every resident context out of the pool, for a live shard
+    /// handoff: returns the present natives and the guests as
+    /// `(thread, pinned, last_active)`, in slot order, leaving the pool
+    /// empty. Telemetry (`peak_guests`, `evictions`) stays behind — it
+    /// accrued here and is reported here.
+    pub fn drain_residents(&mut self) -> (Vec<ThreadId>, Vec<(ThreadId, bool, u64)>) {
+        let natives = std::mem::take(&mut self.natives_present);
+        let guests = self
+            .guests
+            .drain(..)
+            .map(|g| (g.thread, g.state == GuestState::Pinned, g.last_active))
+            .collect();
+        (natives, guests)
+    }
+
+    /// Re-admit a native context shipped by a handoff (same semantics
+    /// as [`ContextPool::admit_native`]).
+    pub fn restore_native(&mut self, thread: ThreadId) {
+        self.admit_native(thread);
+    }
+
+    /// Re-admit a guest context shipped by a handoff, preserving its
+    /// pin state and LRU stamp. Never evicts: the source pool held the
+    /// guest legally under the same capacity, so the slot must exist.
+    pub fn restore_guest(&mut self, thread: ThreadId, pinned: bool, last_active: u64) {
+        debug_assert!(
+            !self.guests.iter().any(|g| g.thread == thread),
+            "{thread:?} already a guest here"
+        );
+        assert!(
+            self.guests.len() < self.guest_capacity,
+            "handoff restore overflows the guest pool (capacity mismatch between nodes?)"
+        );
+        self.guests.push(GuestSlot {
+            thread,
+            state: if pinned {
+                GuestState::Pinned
+            } else {
+                GuestState::Evictable
+            },
+            last_active,
+        });
+        self.peak_guests = self.peak_guests.max(self.guests.len());
+    }
 }
 
 #[cfg(test)]
@@ -283,5 +328,30 @@ mod tests {
     #[should_panic(expected = "at least one guest")]
     fn zero_guest_capacity_rejected() {
         ContextPool::new(0, VictimPolicy::Lru);
+    }
+
+    #[test]
+    fn drain_and_restore_round_trip_preserves_pins_and_lru() {
+        let mut p = ContextPool::new(2, VictimPolicy::Lru);
+        p.admit_native(t(0));
+        p.admit_guest(t(1), 10);
+        p.admit_guest(t(2), 20);
+        p.set_guest_state(t(1), GuestState::Pinned);
+        let (natives, guests) = p.drain_residents();
+        assert_eq!(natives, vec![t(0)]);
+        assert_eq!(guests, vec![(t(1), true, 10), (t(2), false, 20)]);
+        assert!(!p.is_resident(t(0)) && p.guest_count() == 0);
+
+        let mut q = ContextPool::new(2, VictimPolicy::Lru);
+        for n in natives {
+            q.restore_native(n);
+        }
+        for (g, pinned, at) in guests {
+            q.restore_guest(g, pinned, at);
+        }
+        assert!(q.is_resident(t(0)) && q.is_resident(t(1)) && q.is_resident(t(2)));
+        // The pin survived: t(1) cannot be the victim even though it is
+        // LRU, and the restored stamps keep t(2) as the victim.
+        assert_eq!(q.admit_guest(t(3), 30), Admission::AdmittedEvicting(t(2)));
     }
 }

@@ -95,6 +95,14 @@ pub const KNOWN: &[VarDef] = &[
         name: "EM2_CHAOS_KILL_DIR",
         doc: "internal: scratch directory of a kill-recovery-test child process",
     },
+    VarDef {
+        name: "EM2_NET_HANDOFF_TIMEOUT_MS",
+        doc: "coordinator watchdog budget per live shard handoff in ms (default 5000)",
+    },
+    VarDef {
+        name: "EM2_NET_BOUNCE_RETRIES",
+        doc: "max re-routes of an epoch-fenced frame before the run fails typed (default 16)",
+    },
 ];
 
 fn is_known(name: &str) -> bool {

@@ -21,7 +21,7 @@
 
 use crate::cluster::ClusterSpec;
 use crate::error::ClusterError;
-use crate::node::{run_workload_cluster_with, NetReport};
+use crate::node::{run_workload_cluster_with_handoffs, NetReport};
 use crate::proto::NetMsg;
 use crate::transport::{Acceptor, Duplex, FrameRx, FrameTx, Transport};
 use em2_model::DetRng;
@@ -707,6 +707,33 @@ pub fn run_workload_cluster_chaos(
     scheme_factory: fn() -> Box<dyn em2_core::decision::DecisionScheme>,
     plan: &Arc<FaultPlan>,
 ) -> Vec<(Result<NetReport, ClusterError>, Arc<ChaosState>)> {
+    run_workload_cluster_chaos_with_handoffs(
+        spec,
+        cfg,
+        workload,
+        placement,
+        scheme_factory,
+        plan,
+        &[],
+    )
+}
+
+/// [`run_workload_cluster_chaos`] with node 0 driving live shard
+/// handoffs mid-workload — the harness for faults landing **inside
+/// the handoff window**: frames dropped, truncated, or severed while
+/// a frozen shard is in flight must surface as typed errors (usually
+/// [`ClusterError::Handoff`] naming the stuck phase, via the
+/// coordinator's watchdog), never a hang or a wrong sum.
+#[allow(clippy::too_many_arguments)]
+pub fn run_workload_cluster_chaos_with_handoffs(
+    spec: &ClusterSpec,
+    cfg: &RtConfig,
+    workload: &Arc<Workload>,
+    placement: &Arc<dyn Placement>,
+    scheme_factory: fn() -> Box<dyn em2_core::decision::DecisionScheme>,
+    plan: &Arc<FaultPlan>,
+    handoffs: &[(usize, usize)],
+) -> Vec<(Result<NetReport, ClusterError>, Arc<ChaosState>)> {
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..spec.num_nodes())
             .map(|node| {
@@ -715,10 +742,15 @@ pub fn run_workload_cluster_chaos(
                 let workload = Arc::clone(workload);
                 let placement = Arc::clone(placement);
                 let plan = Arc::clone(plan);
+                let handoffs: Vec<(usize, usize)> = if node == 0 {
+                    handoffs.to_vec()
+                } else {
+                    Vec::new()
+                };
                 s.spawn(move || {
                     let transport = ChaosTransport::wrap(&spec, node, plan);
                     let state = transport.state();
-                    let r = run_workload_cluster_with(
+                    let r = run_workload_cluster_with_handoffs(
                         Box::new(transport),
                         spec,
                         node,
@@ -726,6 +758,7 @@ pub fn run_workload_cluster_chaos(
                         &workload,
                         placement,
                         scheme_factory,
+                        &handoffs,
                     );
                     (r, state)
                 })

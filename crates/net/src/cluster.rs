@@ -107,10 +107,17 @@ pub struct ClusterSpec {
     /// Cluster-wide shard count.
     pub total_shards: usize,
     /// The nodes, in id order; shard ranges are contiguous and cover
-    /// `0..total_shards`.
+    /// `0..total_shards`. A node may own **zero** shards at launch —
+    /// it joins the membership empty and receives shards through live
+    /// handoffs ([`crate::NodeRuntime::request_handoff`]).
     pub nodes: Vec<NodeSpec>,
     /// Failure-detection deadlines (not part of the topology digest).
     pub timeouts: ClusterTimeouts,
+    /// Epoch the ownership directory starts at (`initial_epoch=`,
+    /// default 0). Part of the topology digest: every member must
+    /// agree on the starting epoch or the handshake refuses, since
+    /// epoch numbers fence in-flight frames during handoffs.
+    pub initial_epoch: u64,
 }
 
 /// Process-unique counter salting auto-generated endpoint names.
@@ -162,6 +169,7 @@ impl ClusterSpec {
             total_shards: shards,
             nodes: nodes_vec,
             timeouts: ClusterTimeouts::default(),
+            initial_epoch: 0,
         }
     }
 
@@ -169,6 +177,13 @@ impl ClusterSpec {
     /// (builder-style, for tests and chaos harnesses).
     pub fn with_timeouts(mut self, timeouts: ClusterTimeouts) -> Self {
         self.timeouts = timeouts;
+        self
+    }
+
+    /// The same spec with a different starting epoch (builder-style).
+    /// Changes the topology digest — see [`ClusterSpec::initial_epoch`].
+    pub fn with_initial_epoch(mut self, epoch: u64) -> Self {
+        self.initial_epoch = epoch;
         self
     }
 
@@ -201,10 +216,19 @@ impl ClusterSpec {
         };
         let (mut nodes, mut shards) = (None, None);
         let mut timeouts = ClusterTimeouts::default();
+        let mut initial_epoch = 0u64;
+        let mut seen: Vec<&str> = Vec::new();
         for p in parts {
             let (k, v) = p
                 .split_once('=')
                 .ok_or_else(|| format!("expected key=value, got {p:?}"))?;
+            if seen.contains(&k) {
+                // A repeated key is almost always a mangled launch
+                // string; silently letting the last one win would hide
+                // the half that was dropped.
+                return Err(format!("duplicate key {k:?} in cluster spec"));
+            }
+            seen.push(k);
             let n: usize = v.parse().map_err(|_| format!("bad number in {p:?}"))?;
             match k {
                 "nodes" => nodes = Some(n),
@@ -212,10 +236,11 @@ impl ClusterSpec {
                 "timeout_ms" => timeouts.run_ms = n as u64,
                 "connect_timeout_ms" => timeouts.connect_ms = n as u64,
                 "heartbeat_ms" => timeouts.heartbeat_ms = n as u64,
+                "initial_epoch" => initial_epoch = n as u64,
                 other => {
                     return Err(format!(
                         "unknown key {other:?} \
-                         (nodes|shards|timeout_ms|connect_timeout_ms|heartbeat_ms)"
+                         (nodes|shards|timeout_ms|connect_timeout_ms|heartbeat_ms|initial_epoch)"
                     ))
                 }
             }
@@ -238,7 +263,9 @@ impl ClusterSpec {
                 ));
             }
         }
-        Ok(ClusterSpec::even(kind, base, nodes, shards).with_timeouts(timeouts))
+        Ok(ClusterSpec::even(kind, base, nodes, shards)
+            .with_timeouts(timeouts)
+            .with_initial_epoch(initial_epoch))
     }
 
     /// Node count.
@@ -246,10 +273,15 @@ impl ClusterSpec {
         self.nodes.len()
     }
 
-    /// The node owning a global shard id.
+    /// The node owning a global shard id **at launch** (epoch
+    /// `initial_epoch`). Live handoffs re-home shards afterwards;
+    /// runtime routing consults the epoch-versioned
+    /// `em2_rt::ShardDirectory`, not this table.
     pub fn owner_of(&self, shard: usize) -> usize {
         assert!(shard < self.total_shards, "shard {shard} outside cluster");
         // Contiguous ranges in id order: binary search by first_shard.
+        // Zero-shard members are zero-width ranges — never Equal, so
+        // the search walks past them to the owning node.
         match self.nodes.binary_search_by(|n| {
             if shard < n.first_shard {
                 std::cmp::Ordering::Greater
@@ -270,18 +302,19 @@ impl ClusterSpec {
         (n.first_shard, n.shards)
     }
 
-    /// Check the invariants: at least one node, every node non-empty,
-    /// ranges contiguous in id order covering exactly
-    /// `0..total_shards`.
+    /// Check the invariants: at least one node, ranges contiguous in
+    /// id order covering exactly `0..total_shards`. A node may own
+    /// zero shards (it joins empty and is fed by live handoffs), but
+    /// at least one node must own something.
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes.is_empty() {
             return Err("a cluster needs at least one node".into());
         }
+        if self.nodes.iter().all(|n| n.shards == 0) {
+            return Err("every node owns zero shards".into());
+        }
         let mut at = 0usize;
         for (i, n) in self.nodes.iter().enumerate() {
-            if n.shards == 0 {
-                return Err(format!("node {i} owns no shards"));
-            }
             if n.first_shard != at {
                 return Err(format!(
                     "node {i} starts at shard {} (expected {at}: ranges must be contiguous)",
@@ -312,6 +345,7 @@ impl ClusterSpec {
         };
         eat(self.kind.name().as_bytes());
         eat(&(self.total_shards as u64).to_le_bytes());
+        eat(&self.initial_epoch.to_le_bytes());
         for n in &self.nodes {
             eat(n.addr.as_bytes());
             eat(&(n.first_shard as u64).to_le_bytes());
@@ -390,6 +424,66 @@ mod tests {
         // node still handshakes with an untuned one.
         assert_eq!(tuned.digest(), plain.digest());
         assert_ne!(tuned, plain, "timeouts do participate in Eq");
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_by_name() {
+        for s in [
+            "uds:/x,nodes=2,nodes=3,shards=4",
+            "uds:/x,nodes=2,shards=4,shards=8",
+            "uds:/x,nodes=2,shards=4,timeout_ms=5,timeout_ms=9",
+        ] {
+            let err = ClusterSpec::parse(s).expect_err("duplicate must be rejected");
+            let key = s
+                .split(',')
+                .skip(1)
+                .map(|p| p.split_once('=').unwrap().0)
+                .fold(std::collections::HashMap::new(), |mut m, k| {
+                    *m.entry(k).or_insert(0) += 1;
+                    m
+                })
+                .into_iter()
+                .find(|&(_, c)| c > 1)
+                .unwrap()
+                .0;
+            assert!(
+                err.contains("duplicate") && err.contains(key),
+                "error {err:?} must name the duplicated key {key:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn initial_epoch_parses_and_changes_the_digest() {
+        let v1 = ClusterSpec::parse("uds:/x,nodes=2,shards=8,initial_epoch=7").expect("parse");
+        assert_eq!(v1.initial_epoch, 7);
+        let v0 = ClusterSpec::parse("uds:/x,nodes=2,shards=8").expect("parse");
+        assert_eq!(v0.initial_epoch, 0);
+        // Epoch numbers fence in-flight frames, so members disagreeing
+        // on the starting epoch must refuse each other at handshake.
+        assert_ne!(v0.digest(), v1.digest());
+    }
+
+    #[test]
+    fn zero_shard_members_are_legal_and_routable() {
+        // A joining node: in the membership, owns nothing yet.
+        let mut spec = ClusterSpec::even(TransportKind::Loopback, "x", 2, 8);
+        spec.nodes.push(NodeSpec {
+            addr: "x.2".into(),
+            first_shard: 8,
+            shards: 0,
+        });
+        spec.validate().expect("zero-shard member is legal");
+        for s in 0..8 {
+            assert!(spec.owner_of(s) < 2, "empty node never owns a shard");
+        }
+        // But a cluster where nobody owns anything is still invalid.
+        let mut empty = spec.clone();
+        for n in &mut empty.nodes {
+            n.shards = 0;
+        }
+        empty.total_shards = 0;
+        assert!(empty.validate().is_err());
     }
 
     #[test]

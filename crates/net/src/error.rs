@@ -94,6 +94,17 @@ pub enum ClusterError {
         /// What is wrong with it.
         detail: String,
     },
+    /// A live shard handoff could not complete: the coordinator's
+    /// watchdog expired with a handoff stuck in one phase, a frozen
+    /// shard's state failed to decode on the receiving node, or a
+    /// fenced frame exhausted its bounce budget while ownership moved.
+    Handoff {
+        /// The phase the handoff was in (`prepare`, `freeze`,
+        /// `transfer`, `commit`, or `bounce` for fencing failures).
+        phase: String,
+        /// What went wrong.
+        detail: String,
+    },
     /// An I/O error outside the categories above (listen failures,
     /// summary-file plumbing).
     Io {
@@ -116,6 +127,7 @@ impl ClusterError {
             ClusterError::Aborted { .. } => "aborted",
             ClusterError::Protocol { .. } => "protocol",
             ClusterError::Config { .. } => "config",
+            ClusterError::Handoff { .. } => "handoff",
             ClusterError::Io { .. } => "io",
         }
     }
@@ -125,6 +137,33 @@ impl ClusterError {
     /// itself.
     pub fn is_sympathetic(&self) -> bool {
         matches!(self, ClusterError::Aborted { .. })
+    }
+
+    /// Append a note to the variant's free-text detail — used by the
+    /// failure slot to stamp errors observed while a handoff was
+    /// active with the handoff's phase, so a post-mortem names where
+    /// the transfer died.
+    pub fn annotate(mut self, note: &str) -> Self {
+        let detail = match &mut self {
+            ClusterError::Handshake { detail }
+            | ClusterError::Codec { detail, .. }
+            | ClusterError::PeerLost { detail, .. }
+            | ClusterError::BarrierTimeout { detail, .. }
+            | ClusterError::QuiesceTimeout { detail, .. }
+            | ClusterError::ConnectTimeout { detail, .. }
+            | ClusterError::Protocol { detail, .. }
+            | ClusterError::Config { detail }
+            | ClusterError::Handoff { detail, .. }
+            | ClusterError::Io { detail } => detail,
+            ClusterError::Aborted { reason, .. } => reason,
+        };
+        if detail.is_empty() {
+            *detail = note.to_string();
+        } else {
+            detail.push_str("; ");
+            detail.push_str(note);
+        }
+        self
     }
 }
 
@@ -159,6 +198,9 @@ impl fmt::Display for ClusterError {
                 write!(f, "protocol violation by node {from}: {detail}")
             }
             ClusterError::Config { detail } => write!(f, "invalid cluster config: {detail}"),
+            ClusterError::Handoff { phase, detail } => {
+                write!(f, "shard handoff failed in {phase}: {detail}")
+            }
             ClusterError::Io { detail } => write!(f, "cluster i/o error: {detail}"),
         }
     }
@@ -188,6 +230,7 @@ impl From<ClusterError> for io::Error {
             | ClusterError::QuiesceTimeout { .. }
             | ClusterError::ConnectTimeout { .. } => io::ErrorKind::TimedOut,
             ClusterError::Config { .. } => io::ErrorKind::InvalidInput,
+            ClusterError::Handoff { .. } => io::ErrorKind::TimedOut,
             ClusterError::Io { .. } => io::ErrorKind::Other,
         };
         io::Error::new(kind, e.to_string())
@@ -232,6 +275,10 @@ mod tests {
                 detail: "x".into(),
             },
             ClusterError::Config { detail: "x".into() },
+            ClusterError::Handoff {
+                phase: "transfer".into(),
+                detail: "x".into(),
+            },
             ClusterError::Io { detail: "x".into() },
         ];
         let kinds: std::collections::HashSet<_> = all.iter().map(|e| e.kind()).collect();
@@ -249,5 +296,23 @@ mod tests {
         };
         let io: io::Error = e.into();
         assert_eq!(io.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn annotate_appends_the_handoff_phase() {
+        let e = ClusterError::PeerLost {
+            node: 1,
+            detail: "read failed".into(),
+        }
+        .annotate("during shard handoff (transfer)");
+        assert_eq!(e.kind(), "peer-lost", "annotation keeps the kind");
+        assert!(e
+            .to_string()
+            .contains("read failed; during shard handoff (transfer)"));
+        let empty = ClusterError::Handshake {
+            detail: String::new(),
+        }
+        .annotate("note");
+        assert!(empty.to_string().ends_with("note"));
     }
 }

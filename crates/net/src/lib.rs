@@ -81,12 +81,17 @@ pub mod proto;
 pub mod report;
 pub mod transport;
 
-pub use chaos::{run_workload_cluster_chaos, ChaosState, ChaosTransport, FaultAction, FaultPlan};
+pub use chaos::{
+    run_workload_cluster_chaos, run_workload_cluster_chaos_with_handoffs, ChaosState,
+    ChaosTransport, FaultAction, FaultPlan,
+};
 pub use cluster::{ClusterSpec, ClusterTimeouts, NodeSpec, TransportKind};
 pub use error::ClusterError;
 pub use node::{
-    run_workload_cluster, run_workload_cluster_in_process, run_workload_cluster_with, NetReport,
-    NodeRuntime, WireSnapshot, CONNECT_TIMEOUT_ENV,
+    run_workload_cluster, run_workload_cluster_in_process,
+    run_workload_cluster_in_process_with_handoffs, run_workload_cluster_with,
+    run_workload_cluster_with_handoffs, NetReport, NodeRuntime, WireSnapshot, BOUNCE_RETRIES_ENV,
+    CONNECT_TIMEOUT_ENV, HANDOFF_TIMEOUT_ENV,
 };
 pub use report::{merge_obs_sidecars, obs_sidecar, write_summary_with_obs, CounterSummary};
 pub use transport::{

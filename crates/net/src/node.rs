@@ -11,9 +11,12 @@
 //!   verifies and answers `HelloAck`. Version or topology mismatch
 //!   refuses the connection — two processes that disagree on shard
 //!   ownership must not exchange a single shard message.
-//! * **Routing.** The runtime hands any message addressed outside its
-//!   shard range to [`em2_rt::NodeLink::forward`]; the link wraps it
-//!   in [`NetMsg::Shard`] and pushes it onto the owner peer's
+//! * **Routing.** The runtime hands any message addressed to a shard
+//!   it does not own to [`em2_rt::NodeLink::forward`]; the link looks
+//!   the current owner up in the epoch-versioned
+//!   [`em2_rt::ShardDirectory`], wraps the message
+//!   in [`NetMsg::Shard`] (stamped with the sender's epoch) and pushes
+//!   it onto the owner peer's
 //!   **lock-free egress queue** — the shard worker never touches a
 //!   mutex or a socket. One **writer thread per peer** drains that
 //!   queue, assigns sequence numbers in pop order, coalesces up to a
@@ -28,6 +31,18 @@
 //!   travel to the coordinator; the quota-meeting arrival triggers a
 //!   `BarrierRelease` fan-out, which each node mirrors into its local
 //!   hub and parked shards.
+//! * **Elastic membership.** Ownership is not static: node 0 also
+//!   coordinates **live shard handoffs** (`Prepare → Freeze →
+//!   Transfer → Commit`, one at a time). The source freezes the shard
+//!   ([`em2_rt::RemoteInbox::freeze_shard`]), ships its heap words,
+//!   guest contexts, parked envelopes and scheme state as a
+//!   [`FrozenShard`] inside [`NetMsg::HandoffTransfer`]; the
+//!   destination installs it and acks; the coordinator bumps the
+//!   directory **epoch** and broadcasts the new ownership map.
+//!   In-flight frames are epoch-fenced: a node that receives a shard
+//!   frame it no longer (or does not yet) expect bounces it back to
+//!   the sender for re-route against the updated directory — stale
+//!   frames are never silently applied (DESIGN.md §13).
 //! * **Quiesce.** Submissions are counted per node and reported on
 //!   close (`Closed{submitted}`); every retirement anywhere sends
 //!   `Retired`. When all nodes have closed and `retired == submitted`,
@@ -61,9 +76,12 @@ use em2_engine::AtomicBarriers;
 use em2_model::{DetRng, ThreadId};
 use em2_placement::Placement;
 use em2_rt::mpsc::MpscQueue;
-use em2_rt::wire::{WireMsg, WIRE_VERSION};
-use em2_rt::{NodeLink, NodeRole, RtConfig, RtReport, Runtime, TaskRegistry, TaskSpec};
+use em2_rt::wire::{FrozenShard, WireMsg, WIRE_VERSION};
+use em2_rt::{
+    NodeLink, NodeRole, RtConfig, RtReport, Runtime, ShardDirectory, TaskRegistry, TaskSpec,
+};
 use em2_trace::Workload;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
@@ -80,6 +98,30 @@ pub const CONNECT_TIMEOUT_ENV: &str = "EM2_NET_CONNECT_TIMEOUT_MS";
 /// order — only how many share a syscall — so both settings must
 /// produce identical counters.
 pub const COALESCE_ENV: &str = "EM2_NET_COALESCE";
+
+/// Environment override for the coordinator's per-handoff watchdog
+/// budget: a live shard handoff stuck in any phase for longer than
+/// this fails the cluster typed ([`ClusterError::Handoff`]) instead of
+/// wedging quiesce forever.
+pub const HANDOFF_TIMEOUT_ENV: &str = "EM2_NET_HANDOFF_TIMEOUT_MS";
+
+/// Environment override for the epoch-fencing bounce budget: how many
+/// times one frame may be re-routed while ownership moves before the
+/// run fails typed (a bound on fencing ping-pong, not a hot-path
+/// knob — a healthy handoff resolves every bounce in one epoch).
+pub const BOUNCE_RETRIES_ENV: &str = "EM2_NET_BOUNCE_RETRIES";
+
+fn handoff_timeout_ms() -> u64 {
+    em2_model::env::parse::<u64>(HANDOFF_TIMEOUT_ENV)
+        .unwrap_or(5000)
+        .max(1)
+}
+
+fn bounce_retry_cap() -> u32 {
+    em2_model::env::parse::<u32>(BOUNCE_RETRIES_ENV)
+        .unwrap_or(16)
+        .max(1)
+}
 
 /// Frames one writer flush may coalesce (the bounded window that keeps
 /// a burst from turning into unbounded latency for the frame at its
@@ -191,11 +233,58 @@ struct CoordState {
     quiesced: bool,
 }
 
-/// Coordinator-only state: the cluster's real barrier hub and the
-/// quiesce ledger.
+/// Coordinator-only state: the cluster's real barrier hub, the
+/// quiesce ledger, and the handoff ledger.
 struct Coordinator {
     barriers: AtomicBarriers,
     state: Mutex<CoordState>,
+    handoffs: Mutex<HandoffLedger>,
+}
+
+/// The handoff currently in flight (the coordinator runs handoffs one
+/// at a time: the epoch is a total order of ownership changes, and a
+/// single transfer in flight keeps the fencing argument simple).
+struct ActiveHandoff {
+    hid: u64,
+    shard: u32,
+    from: u32,
+    to: u32,
+    /// Which protocol step the handoff is in (`prepare` → `transfer`);
+    /// stamped onto any error observed while the handoff is active and
+    /// named by the watchdog when a step never completes.
+    phase: &'static str,
+    started: Instant,
+}
+
+/// Coordinator-only handoff ledger: the one in-flight handoff plus the
+/// queue of requested-but-not-started ones.
+///
+/// Lock ordering: the quiesce ledger (`Coordinator::state`) may be
+/// held while taking this lock (`maybe_quiesce` checks handoff
+/// idleness), never the reverse — `coord_handoff_done` drops this
+/// guard before re-checking quiesce.
+struct HandoffLedger {
+    next_hid: u64,
+    active: Option<ActiveHandoff>,
+    queue: VecDeque<(u32, u32)>,
+}
+
+/// Frames buffered for a shard whose state is in flight toward us:
+/// `(from_node, bounce_retries, msg)` tuples replayed after install.
+type BufferedFrames = Vec<(usize, u32, WireMsg)>;
+
+/// Per-node fencing state for shards in motion.
+struct HandoffState {
+    /// Shards this node has been told to expect (`HandoffExpect`)
+    /// whose `HandoffTransfer` has not yet installed: inbound frames
+    /// for them are buffered here `(from_node, retries, msg)` and
+    /// replayed after install, instead of bouncing back and forth
+    /// while the state is in flight.
+    expecting: HashMap<usize, (u64, BufferedFrames)>,
+    /// Bounced frames whose owner (per our directory) is the very node
+    /// that bounced them — our map is stale, so they park here until
+    /// the coordinator's `EpochUpdate` installs the new ownership.
+    parked_bounces: Vec<(usize, u32, WireMsg)>,
 }
 
 /// What travels down a peer's egress queue.
@@ -282,6 +371,13 @@ impl Peer {
 struct Links {
     spec: ClusterSpec,
     me: usize,
+    /// The epoch-versioned ownership map — the **same** `Arc` the
+    /// local runtime routes with, so an ownership flip during a
+    /// handoff is observed atomically by workers, readers, and
+    /// writers.
+    directory: Arc<ShardDirectory>,
+    /// Per-node fencing state for shards in motion.
+    handoff: Mutex<HandoffState>,
     /// Indexed by node id; `None` at `me`.
     peers: Vec<Option<Peer>>,
     /// Set once the runtime is up; readers start after that.
@@ -355,6 +451,14 @@ impl Links {
             // cannot invalidate counters that converged.
             return;
         }
+        // A failure observed while a shard is mid-handoff names the
+        // handoff and its phase — the post-mortem must say *where* the
+        // transfer died. `try_lock` because fail() may already hold
+        // the ledger (a freeze failure inside the pump).
+        let err = match self.handoff_note() {
+            Some(note) => err.annotate(&note),
+            None => err,
+        };
         let first = {
             let mut slot = self.lock_failure();
             if slot.is_some() {
@@ -521,6 +625,16 @@ impl Links {
         if st.quiesced || st.closed_nodes < self.spec.num_nodes() || st.retired != st.submitted {
             return;
         }
+        // A frozen shard in transit holds heap words and possibly
+        // parked envelopes; the cluster is not done until every
+        // requested handoff has committed. (Lock order: quiesce state
+        // → handoff ledger, here and everywhere.)
+        {
+            let lg = self.coord_handoffs();
+            if lg.active.is_some() || !lg.queue.is_empty() {
+                return;
+            }
+        }
         st.quiesced = true;
         self.quiesced.store(true, Ordering::Release);
         for node in 0..self.spec.num_nodes() {
@@ -530,28 +644,371 @@ impl Links {
         }
         self.inbox().begin_shutdown();
     }
-}
 
-impl NodeLink for Links {
-    fn forward(&self, to_shard: usize, msg: WireMsg) {
-        let owner = self.spec.owner_of(to_shard);
-        debug_assert_ne!(owner, self.me, "forward() is for non-local shards");
+    // ---------------------------------------------- handoff protocol
+
+    /// The per-node fencing state, poison-tolerant.
+    fn lock_handoff(&self) -> MutexGuard<'_, HandoffState> {
+        self.handoff.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The coordinator's handoff ledger, poison-tolerant.
+    fn coord_handoffs(&self) -> MutexGuard<'_, HandoffLedger> {
+        self.coord()
+            .handoffs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// If a handoff is active (or this node is mid-receive), a note
+    /// naming it for error annotation. `try_lock` everywhere: this
+    /// runs on the failure path, possibly under the very locks it
+    /// inspects.
+    fn handoff_note(&self) -> Option<String> {
+        if let Some(c) = self.coord.as_ref() {
+            if let Ok(lg) = c.handoffs.try_lock() {
+                if let Some(a) = lg.active.as_ref() {
+                    return Some(format!(
+                        "during shard handoff of shard {} (node {} -> node {}), phase {}",
+                        a.shard, a.from, a.to, a.phase
+                    ));
+                }
+            }
+        }
+        if let Ok(hs) = self.handoff.try_lock() {
+            if let Some(&shard) = hs.expecting.keys().next() {
+                return Some(format!(
+                    "while awaiting the frozen state of shard {shard} (handoff transfer phase)"
+                ));
+            }
+        }
+        None
+    }
+
+    /// Route one shard-addressed message by the current directory:
+    /// deliver locally if this node owns it (ownership can flip toward
+    /// us between enqueue and here), otherwise ship it to the owner
+    /// stamped with our epoch and the frame's re-route count.
+    fn route_shard(&self, to: usize, retries: u32, msg: WireMsg) {
+        let owner = self.directory.owner_of(to) as usize;
+        if owner == self.me {
+            if let Err(e) = self.inbox().deliver(to, msg) {
+                self.fail(ClusterError::Codec {
+                    from: self.me,
+                    detail: format!("undeliverable local message for shard {to}: {e}"),
+                });
+            }
+            return;
+        }
         if let WireMsg::Arrive(_) = &msg {
             self.stats.arrives_tx.fetch_add(1, Ordering::Relaxed);
             self.stats
                 .context_bytes_tx
                 .fetch_add(msg.context_payload_len() as u64, Ordering::Relaxed);
         }
-        // A dead connection is discovered (and recorded) by the owner
-        // peer's writer; the worker notices the failure flag on its
-        // next poll.
         self.send_to(
             owner,
             NetMsg::Shard {
-                to: to_shard as u32,
+                to: to as u32,
+                epoch: self.directory.epoch(),
+                retries,
                 msg,
             },
         );
+    }
+
+    /// Re-route every frame parked on a stale ownership map — called
+    /// after an `EpochUpdate` (or, on the coordinator, a local commit)
+    /// installs the map the frames were waiting for.
+    fn drain_parked_bounces(&self) {
+        let parked = std::mem::take(&mut self.lock_handoff().parked_bounces);
+        for (shard, retries, msg) in parked {
+            self.route_shard(shard, retries, msg);
+        }
+    }
+
+    /// Freeze `shard` locally and ship its state to `to` — the
+    /// source-node half of the Transfer step. Returns `false` when the
+    /// handoff cannot proceed (failure already recorded).
+    fn freeze_and_ship(&self, hid: u64, shard: usize, to: u32) -> bool {
+        if !self.inbox().supports_handoff() {
+            self.fail(ClusterError::Handoff {
+                phase: "freeze".into(),
+                detail: format!(
+                    "node {} runs the thread-per-shard executor, which cannot freeze \
+                     a live shard (use the multiplexed executor for elastic clusters)",
+                    self.me
+                ),
+            });
+            return false;
+        }
+        if self.directory.owner_of(shard) != self.me as u32 {
+            self.fail(ClusterError::Handoff {
+                phase: "freeze".into(),
+                detail: format!(
+                    "node {} was asked to freeze shard {shard}, which it does not own",
+                    self.me
+                ),
+            });
+            return false;
+        }
+        let Some(frozen) = self.inbox().freeze_shard(shard, to) else {
+            // The local runtime is already torn down; the run is over.
+            return false;
+        };
+        if let Some(obs) = self.obs.get() {
+            obs.node_event(
+                em2_obs::EventKind::HandoffFreeze,
+                shard as u64,
+                frozen.encode().len() as u64,
+            );
+        }
+        self.send_to(
+            to as usize,
+            NetMsg::HandoffTransfer {
+                hid,
+                shard: shard as u32,
+                state: Box::new(frozen),
+            },
+        );
+        true
+    }
+
+    /// Destination-node half of the Transfer step: install the frozen
+    /// state, replay every frame buffered while it was in flight, and
+    /// ack the coordinator.
+    fn handle_transfer(&self, from_node: usize, hid: u64, shard: usize, state: FrozenShard) {
+        if shard >= self.spec.total_shards || state.shard as usize != shard {
+            self.fail(ClusterError::Protocol {
+                from: from_node,
+                detail: format!(
+                    "HandoffTransfer for shard {shard} carried state for shard {}",
+                    state.shard
+                ),
+            });
+            return;
+        }
+        match self.inbox().install_shard(state) {
+            Ok(_) => {}
+            Err(e) => {
+                self.fail(ClusterError::Handoff {
+                    phase: "transfer".into(),
+                    detail: format!(
+                        "frozen state for shard {shard} from node {from_node} failed to \
+                         install: {e}"
+                    ),
+                });
+                return;
+            }
+        }
+        // Ownership flipped toward us inside install_shard, so frames
+        // buffered from now on cannot exist; replay what accumulated
+        // while the state was in flight, in arrival order.
+        let buffered = self
+            .lock_handoff()
+            .expecting
+            .remove(&shard)
+            .map(|(_, b)| b)
+            .unwrap_or_default();
+        let replayed = buffered.len();
+        for (from, _retries, msg) in buffered {
+            if let Err(e) = self.inbox().deliver(shard, msg) {
+                self.fail(ClusterError::Codec {
+                    from,
+                    detail: format!("undeliverable buffered message for shard {shard}: {e}"),
+                });
+                return;
+            }
+        }
+        if let Some(obs) = self.obs.get() {
+            obs.node_event(
+                em2_obs::EventKind::HandoffTransfer,
+                shard as u64,
+                replayed as u64,
+            );
+        }
+        if self.me == 0 {
+            self.coord_handoff_done(hid, shard);
+        } else {
+            self.send_to(
+                0,
+                NetMsg::HandoffDone {
+                    hid,
+                    shard: shard as u32,
+                },
+            );
+        }
+    }
+
+    /// Coordinator: enqueue a handoff request and start it if the line
+    /// is free.
+    fn coord_handoff_request(&self, shard: u32, to: u32) {
+        let mut lg = self.coord_handoffs();
+        lg.queue.push_back((shard, to));
+        self.pump_handoffs(&mut lg);
+    }
+
+    /// Coordinator: start queued handoffs until one is in flight (or
+    /// the queue is empty). Caller holds the ledger.
+    fn pump_handoffs(&self, lg: &mut HandoffLedger) {
+        while lg.active.is_none() {
+            let Some((shard, to)) = lg.queue.pop_front() else {
+                return;
+            };
+            let from = self.directory.owner_of(shard as usize);
+            if from == to {
+                // Already where it should be (a drain raced a commit,
+                // or the request was a no-op). Nothing to move.
+                continue;
+            }
+            let hid = lg.next_hid;
+            lg.next_hid += 1;
+            lg.active = Some(ActiveHandoff {
+                hid,
+                shard,
+                from,
+                to,
+                phase: "prepare",
+                started: Instant::now(),
+            });
+            if let Some(obs) = self.obs.get() {
+                obs.node_event(em2_obs::EventKind::HandoffPrepare, shard as u64, to as u64);
+            }
+            let epoch = self.directory.epoch();
+            // Tell the destination to fence (buffer) frames for the
+            // shard before anything ships.
+            if to as usize == self.me {
+                self.lock_handoff()
+                    .expecting
+                    .entry(shard as usize)
+                    .or_insert((hid, Vec::new()));
+            } else {
+                self.send_to(
+                    to as usize,
+                    NetMsg::HandoffExpect {
+                        hid,
+                        shard,
+                        from,
+                        epoch,
+                    },
+                );
+            }
+            if let Some(a) = lg.active.as_mut() {
+                a.phase = "transfer";
+            }
+            if from as usize == self.me {
+                // Coordinator is the source: freeze and ship directly.
+                // (fail() inside uses try_lock on this ledger, so
+                // holding it here cannot deadlock.)
+                if !self.freeze_and_ship(hid, shard as usize, to) {
+                    return;
+                }
+            } else {
+                self.send_to(
+                    from as usize,
+                    NetMsg::HandoffPrepare {
+                        hid,
+                        shard,
+                        to,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Coordinator: the destination confirmed the install. Commit —
+    /// bump the epoch, broadcast the new ownership map, start the next
+    /// queued handoff, and re-check quiesce.
+    fn coord_handoff_done(&self, hid: u64, shard: usize) {
+        {
+            let mut lg = self.coord_handoffs();
+            let matches = lg
+                .active
+                .as_ref()
+                .is_some_and(|a| a.hid == hid && a.shard as usize == shard);
+            if !matches {
+                // A stale or duplicate ack; the watchdog or a failure
+                // already retired this handoff.
+                return;
+            }
+            let a = lg.active.take().expect("checked above");
+            self.directory.set_owner(shard, a.to);
+            let epoch = self.directory.epoch() + 1;
+            let owners = self.directory.snapshot();
+            let installed = self.directory.install(epoch, &owners);
+            debug_assert!(installed, "the coordinator's epoch only moves here");
+            if let Some(obs) = self.obs.get() {
+                obs.node_event(em2_obs::EventKind::HandoffCommit, shard as u64, epoch);
+            }
+            for node in 0..self.spec.num_nodes() {
+                if node != self.me {
+                    self.send_to(
+                        node,
+                        NetMsg::EpochUpdate {
+                            epoch,
+                            owners: owners.clone(),
+                        },
+                    );
+                }
+            }
+            self.pump_handoffs(&mut lg);
+        }
+        // Ledger dropped before touching the quiesce state (lock
+        // order) and before re-routing parked frames (route may fail).
+        self.drain_parked_bounces();
+        let mut st = self.coord_lock();
+        self.maybe_quiesce(&mut st);
+    }
+
+    /// A peer refused one of our frames: ownership moved under it.
+    /// Re-route by our (possibly already updated) directory, park if
+    /// we are the stale one, and fail typed if the frame has bounced
+    /// more times than the fencing budget allows.
+    fn handle_bounce(&self, from_node: usize, to: usize, retries: u32, msg: WireMsg) {
+        if to >= self.spec.total_shards {
+            self.fail(ClusterError::Protocol {
+                from: from_node,
+                detail: format!("bounced a frame for shard {to}, which does not exist"),
+            });
+            return;
+        }
+        let r = retries + 1;
+        if r > bounce_retry_cap() {
+            self.fail(ClusterError::Handoff {
+                phase: "bounce".into(),
+                detail: format!(
+                    "a frame for shard {to} was re-routed {r} times without finding an \
+                     owner (bounce budget {}; epoch {})",
+                    bounce_retry_cap(),
+                    self.directory.epoch()
+                ),
+            });
+            return;
+        }
+        if let Some(obs) = self.obs.get() {
+            obs.node_event(em2_obs::EventKind::HandoffBounce, to as u64, r as u64);
+        }
+        let owner = self.directory.owner_of(to) as usize;
+        if owner == from_node {
+            // Our map still names the bouncing node: it knows better
+            // than we do. Park until the coordinator's EpochUpdate
+            // lands, then re-route.
+            self.lock_handoff().parked_bounces.push((to, r, msg));
+            return;
+        }
+        self.route_shard(to, r, msg);
+    }
+}
+
+impl NodeLink for Links {
+    fn forward(&self, to_shard: usize, msg: WireMsg) {
+        // A dead connection is discovered (and recorded) by the owner
+        // peer's writer; the worker notices the failure flag on its
+        // next poll. Ownership may have flipped back toward us between
+        // the runtime's check and here — route_shard delivers locally
+        // in that case instead of bouncing off a confused peer.
+        self.route_shard(to_shard, 0, msg);
     }
 
     fn forward_many(&self, msgs: Vec<(usize, WireMsg)>) {
@@ -560,10 +1017,18 @@ impl NodeLink for Links {
         // for the whole batch instead of one per frame, and the frames
         // land in the writer's window together, so they coalesce into
         // one flush.
+        let epoch = self.directory.epoch();
         let mut woken: Vec<usize> = Vec::new();
+        let mut local: Vec<(usize, WireMsg)> = Vec::new();
         for (to_shard, msg) in msgs {
-            let owner = self.spec.owner_of(to_shard);
-            debug_assert_ne!(owner, self.me, "forward_many() is for non-local shards");
+            let owner = self.directory.owner_of(to_shard) as usize;
+            if owner == self.me {
+                // Flipped toward us mid-batch; deliver after the
+                // remote pushes so the batch's wire frames still
+                // coalesce.
+                local.push((to_shard, msg));
+                continue;
+            }
             if let WireMsg::Arrive(_) = &msg {
                 self.stats.arrives_tx.fetch_add(1, Ordering::Relaxed);
                 self.stats
@@ -575,6 +1040,8 @@ impl NodeLink for Links {
             self.stats.egress_hwm.fetch_max(d, Ordering::Relaxed);
             peer.egress.push(EgressItem::Msg(NetMsg::Shard {
                 to: to_shard as u32,
+                epoch,
+                retries: 0,
                 msg,
             }));
             if !woken.contains(&owner) {
@@ -583,6 +1050,14 @@ impl NodeLink for Links {
         }
         for owner in woken {
             self.peer(owner).wake_writer();
+        }
+        for (to_shard, msg) in local {
+            if let Err(e) = self.inbox().deliver(to_shard, msg) {
+                self.fail(ClusterError::Codec {
+                    from: self.me,
+                    detail: format!("undeliverable local message for shard {to_shard}: {e}"),
+                });
+            }
         }
     }
 
@@ -682,21 +1157,50 @@ fn reader_loop(links: &Links, from_node: usize, mut rx: Box<dyn FrameRx>) {
                 .fetch_add(frame.len() as u64, Ordering::Relaxed);
         }
         match msg {
-            NetMsg::Shard { to, msg } => {
+            NetMsg::Shard {
+                to,
+                epoch: _,
+                retries,
+                msg,
+            } => {
                 let to = to as usize;
-                // Pre-check ownership so a misrouting (or
-                // version-skewed) peer produces a named diagnostic
-                // instead of tripping the inbox's internal assert.
-                if to >= links.spec.total_shards || links.spec.owner_of(to) != links.me {
+                if to >= links.spec.total_shards {
                     links.fail(ClusterError::Protocol {
                         from: from_node,
-                        detail: format!(
-                            "misrouted a message for shard {to}, which node {} does not own",
-                            links.me
-                        ),
+                        detail: format!("sent a message for shard {to}, which does not exist"),
                     });
                     return;
                 }
+                // Epoch fencing. Fast path: we own the shard, deliver.
+                // Otherwise re-check under the fencing lock — an
+                // install racing this frame either flips ownership
+                // before our check or still holds the `expecting`
+                // entry we buffer into. A frame for a shard we neither
+                // own nor expect bounces back to its sender for
+                // re-route; it is never silently applied or dropped.
+                let deliver = if links.directory.owner_of(to) as usize == links.me {
+                    true
+                } else {
+                    let mut hs = links.lock_handoff();
+                    if links.directory.owner_of(to) as usize == links.me {
+                        true
+                    } else if let Some((_hid, buf)) = hs.expecting.get_mut(&to) {
+                        buf.push((from_node, retries, msg));
+                        continue;
+                    } else {
+                        drop(hs);
+                        links.send_to(
+                            from_node,
+                            NetMsg::Bounce {
+                                to: to as u32,
+                                retries,
+                                msg,
+                            },
+                        );
+                        continue;
+                    }
+                };
+                debug_assert!(deliver);
                 if let Err(e) = links.inbox().deliver(to, msg) {
                     links.fail(ClusterError::Codec {
                         from: from_node,
@@ -759,6 +1263,124 @@ fn reader_loop(links: &Links, from_node: usize, mut rx: Box<dyn FrameRx>) {
             NetMsg::Bye => {
                 peer.bye.store(true, Ordering::Release);
                 // EOF follows; fall through to the clean-close path.
+            }
+            NetMsg::HandoffRequest { shard, to } => {
+                if links.me != 0 {
+                    links.fail(ClusterError::Protocol {
+                        from: from_node,
+                        detail: "sent HandoffRequest to a non-coordinator".into(),
+                    });
+                    return;
+                }
+                if shard as usize >= links.spec.total_shards
+                    || to as usize >= links.spec.num_nodes()
+                {
+                    links.fail(ClusterError::Protocol {
+                        from: from_node,
+                        detail: format!(
+                            "requested a handoff of shard {shard} to node {to}, which is \
+                             outside the cluster"
+                        ),
+                    });
+                    return;
+                }
+                links.coord_handoff_request(shard, to);
+            }
+            NetMsg::HandoffPrepare {
+                hid,
+                shard,
+                to,
+                epoch: _,
+            } => {
+                if from_node != 0 {
+                    links.fail(ClusterError::Protocol {
+                        from: from_node,
+                        detail: "sent HandoffPrepare without being the coordinator".into(),
+                    });
+                    return;
+                }
+                if shard as usize >= links.spec.total_shards
+                    || to as usize >= links.spec.num_nodes()
+                {
+                    links.fail(ClusterError::Protocol {
+                        from: from_node,
+                        detail: format!("HandoffPrepare names shard {shard} / node {to}"),
+                    });
+                    return;
+                }
+                // Failures are recorded inside; nothing more to do
+                // here either way.
+                let _ = links.freeze_and_ship(hid, shard as usize, to);
+            }
+            NetMsg::HandoffExpect {
+                hid,
+                shard,
+                from: _,
+                epoch: _,
+            } => {
+                if from_node != 0 {
+                    links.fail(ClusterError::Protocol {
+                        from: from_node,
+                        detail: "sent HandoffExpect without being the coordinator".into(),
+                    });
+                    return;
+                }
+                let shard = shard as usize;
+                if shard >= links.spec.total_shards {
+                    links.fail(ClusterError::Protocol {
+                        from: from_node,
+                        detail: format!("HandoffExpect names shard {shard}"),
+                    });
+                    return;
+                }
+                // The Transfer travels on a different connection (the
+                // source node's) and may have installed already; only
+                // fence if the shard is still elsewhere.
+                if links.directory.owner_of(shard) as usize != links.me {
+                    links
+                        .lock_handoff()
+                        .expecting
+                        .entry(shard)
+                        .or_insert((hid, Vec::new()));
+                }
+            }
+            NetMsg::HandoffTransfer { hid, shard, state } => {
+                links.handle_transfer(from_node, hid, shard as usize, *state);
+            }
+            NetMsg::HandoffDone { hid, shard } => {
+                if links.me != 0 {
+                    links.fail(ClusterError::Protocol {
+                        from: from_node,
+                        detail: "sent HandoffDone to a non-coordinator".into(),
+                    });
+                    return;
+                }
+                links.coord_handoff_done(hid, shard as usize);
+            }
+            NetMsg::EpochUpdate { epoch, owners } => {
+                if from_node != 0 {
+                    links.fail(ClusterError::Protocol {
+                        from: from_node,
+                        detail: "broadcast EpochUpdate without being the coordinator".into(),
+                    });
+                    return;
+                }
+                if owners.len() != links.spec.total_shards {
+                    links.fail(ClusterError::Protocol {
+                        from: from_node,
+                        detail: format!(
+                            "EpochUpdate covers {} shards, cluster has {}",
+                            owners.len(),
+                            links.spec.total_shards
+                        ),
+                    });
+                    return;
+                }
+                links.directory.install(epoch, &owners);
+                links.drain_parked_bounces();
+            }
+            NetMsg::Bounce { to, retries, msg } => {
+                links.handle_bounce(from_node, to as usize, retries, msg);
             }
             NetMsg::Hello { .. } | NetMsg::HelloAck { .. } => {
                 links.fail(ClusterError::Protocol {
@@ -1020,6 +1642,47 @@ fn watchdog_loop(links: &Links, run_ms: u64) {
     }
 }
 
+/// Handoff watchdog (coordinator only): a handoff stuck in any phase
+/// past the [`HANDOFF_TIMEOUT_ENV`] budget fails the cluster typed,
+/// naming the handoff and its phase — a SIGKILL'd participant turns
+/// into a bounded, explained error instead of a wedged quiesce.
+fn handoff_watchdog_loop(links: &Links, timeout_ms: u64) {
+    let tick = Duration::from_millis((timeout_ms / 8).clamp(5, 50));
+    loop {
+        if links.done.load(Ordering::Acquire)
+            || links.quiesced.load(Ordering::Acquire)
+            || links.lock_failure().is_some()
+        {
+            return;
+        }
+        let stuck = {
+            let lg = links.coord_handoffs();
+            lg.active.as_ref().and_then(|a| {
+                (a.started.elapsed() >= Duration::from_millis(timeout_ms)).then(|| {
+                    (
+                        a.shard,
+                        a.from,
+                        a.to,
+                        a.phase,
+                        a.started.elapsed().as_millis(),
+                    )
+                })
+            })
+        };
+        if let Some((shard, from, to, phase, waited)) = stuck {
+            links.fail(ClusterError::Handoff {
+                phase: phase.into(),
+                detail: format!(
+                    "handoff of shard {shard} (node {from} -> node {to}) made no progress \
+                     for {waited} ms (budget {timeout_ms} ms)"
+                ),
+            });
+            return;
+        }
+        std::thread::sleep(tick);
+    }
+}
+
 /// Everything one node's run produces: the local runtime report plus
 /// the wire telemetry. Cluster totals are the per-node counters summed
 /// (each access executes on exactly one node; each heap word lives on
@@ -1037,6 +1700,9 @@ pub struct NetReport {
     pub nodes: usize,
     /// Transport the cluster ran on.
     pub transport: &'static str,
+    /// The directory epoch at teardown: the cluster's initial epoch
+    /// plus the number of committed shard handoffs this node observed.
+    pub epoch: u64,
     /// Timing-plane metrics at quiesce (`None` when obs was off).
     /// Strictly telemetry: never part of any agreement comparison.
     pub obs: Option<em2_obs::Snapshot>,
@@ -1048,6 +1714,7 @@ pub struct NodeRuntime {
     links: Arc<Links>,
     readers: Vec<std::thread::JoinHandle<()>>,
     writers: Vec<std::thread::JoinHandle<()>>,
+    handoff_watchdog: Option<std::thread::JoinHandle<()>>,
     node: usize,
     transport: &'static str,
 }
@@ -1227,8 +1894,20 @@ impl NodeRuntime {
                 }
             }
         }
+        // The directory starts from the spec's static assignment at
+        // the spec's initial epoch; handoffs move it from there. One
+        // Arc is shared by the runtime's send path and the link layer.
+        let owners: Vec<u32> = (0..spec.total_shards)
+            .map(|s| spec.owner_of(s) as u32)
+            .collect();
+        let directory = Arc::new(ShardDirectory::new(spec.initial_epoch, &owners));
         let links = Arc::new(Links {
             me: node,
+            directory: Arc::clone(&directory),
+            handoff: Mutex::new(HandoffState {
+                expecting: HashMap::new(),
+                parked_bounces: Vec::new(),
+            }),
             peers,
             inbox: OnceLock::new(),
             coord: (node == 0).then(|| Coordinator {
@@ -1238,6 +1917,11 @@ impl NodeRuntime {
                     submitted: 0,
                     retired: 0,
                     quiesced: false,
+                }),
+                handoffs: Mutex::new(HandoffLedger {
+                    next_hid: 1,
+                    active: None,
+                    queue: VecDeque::new(),
                 }),
             }),
             stats: WireStats::default(),
@@ -1250,7 +1934,6 @@ impl NodeRuntime {
             spec,
         });
 
-        let (first_shard, local_shards) = links.spec.span(node);
         let rt = Runtime::start_node(
             cfg,
             name,
@@ -1258,8 +1941,8 @@ impl NodeRuntime {
             scheme_factory,
             barrier_quotas,
             NodeRole {
-                first_shard,
-                local_shards,
+                directory,
+                node_id: node as u32,
                 clustered_barriers: nodes > 1,
                 link: Arc::clone(&links) as Arc<dyn NodeLink>,
             },
@@ -1305,11 +1988,25 @@ impl NodeRuntime {
             })
             .collect();
 
+        // The coordinator's handoff watchdog: bounds every handoff
+        // phase so a participant that dies mid-transfer (SIGKILL, a
+        // dropped Transfer frame) turns into a typed error naming the
+        // phase instead of a wedged quiesce.
+        let handoff_watchdog = (node == 0 && nodes > 1).then(|| {
+            let links = Arc::clone(&links);
+            let timeout_ms = handoff_timeout_ms();
+            std::thread::Builder::new()
+                .name("em2-net-handoff-watchdog".into())
+                .spawn(move || handoff_watchdog_loop(&links, timeout_ms))
+                .expect("spawn handoff watchdog")
+        });
+
         Ok(NodeRuntime {
             rt: Some(rt),
             links,
             readers,
             writers,
+            handoff_watchdog,
             node,
             transport: kind_name,
         })
@@ -1333,6 +2030,74 @@ impl NodeRuntime {
             .as_mut()
             .expect("node runtime is live")
             .submit_as(spec, thread);
+    }
+
+    /// Ask the coordinator to move `shard` to node `to`, live. The
+    /// request is asynchronous: it enqueues on the coordinator's
+    /// handoff ledger (directly on node 0, via
+    /// [`NetMsg::HandoffRequest`] elsewhere) and commits in the
+    /// background while the workload keeps running. Watch
+    /// [`NodeRuntime::directory_epoch`] advance to observe commits; a
+    /// handoff that cannot complete fails the run typed
+    /// ([`ClusterError::Handoff`]) within the
+    /// [`HANDOFF_TIMEOUT_ENV`] budget. A request naming the current
+    /// owner is a no-op.
+    ///
+    /// # Panics
+    /// Panics if `shard` or `to` is outside the cluster — misdirecting
+    /// a handoff is a caller bug, not a runtime fault.
+    pub fn request_handoff(&self, shard: usize, to: usize) {
+        assert!(
+            shard < self.links.spec.total_shards,
+            "shard {shard} outside the cluster's {} shards",
+            self.links.spec.total_shards
+        );
+        assert!(
+            to < self.links.spec.num_nodes(),
+            "node {to} outside the {}-node cluster",
+            self.links.spec.num_nodes()
+        );
+        if self.node == 0 {
+            self.links.coord_handoff_request(shard as u32, to as u32);
+        } else {
+            self.links.send_to(
+                0,
+                NetMsg::HandoffRequest {
+                    shard: shard as u32,
+                    to: to as u32,
+                },
+            );
+        }
+    }
+
+    /// Drain this node: request a handoff of every shard it currently
+    /// owns to node `to`, returning how many were requested. The node
+    /// stays a full cluster member (it keeps forwarding, bouncing,
+    /// and reporting) — it just ends up owning nothing, the state a
+    /// rolling restart wants before taking the process down.
+    pub fn request_drain(&self, to: usize) -> usize {
+        let owned = self.links.directory.owned_shards(self.node as u32);
+        for &s in &owned {
+            self.request_handoff(s, to);
+        }
+        owned.len()
+    }
+
+    /// The directory epoch as this node currently sees it: the spec's
+    /// `initial_epoch` plus the number of committed handoffs observed.
+    pub fn directory_epoch(&self) -> u64 {
+        self.links.directory.epoch()
+    }
+
+    /// Shards this node currently owns (ascending).
+    pub fn owned_shards(&self) -> Vec<usize> {
+        self.links.directory.owned_shards(self.node as u32)
+    }
+
+    /// Whether this node has already recorded a failure (the typed
+    /// error itself is returned by [`NodeRuntime::finish`]).
+    pub fn has_failed(&self) -> bool {
+        self.links.lock_failure().is_some()
     }
 
     /// This node's live obs registry (`None` when obs is off). Sample
@@ -1374,6 +2139,9 @@ impl NodeRuntime {
         if let Some(w) = watchdog {
             let _ = w.join();
         }
+        if let Some(w) = self.handoff_watchdog.take() {
+            let _ = w.join();
+        }
         let failed = self.links.lock_failure().clone();
         // Teardown: push the Close sentinel after everything already
         // queued — each writer drains its FIFO up to the sentinel,
@@ -1405,6 +2173,7 @@ impl NodeRuntime {
             node: self.node,
             nodes: self.links.spec.num_nodes(),
             transport: self.transport,
+            epoch: self.links.directory.epoch(),
             // Taken after the workers *and* writers joined, so the
             // flush histograms are settled.
             obs: self.links.obs.get().map(|o| o.snapshot()),
@@ -1512,8 +2281,39 @@ pub fn run_workload_cluster_with(
     placement: Arc<dyn Placement>,
     scheme_factory: fn() -> Box<dyn em2_core::decision::DecisionScheme>,
 ) -> Result<NetReport, ClusterError> {
+    run_workload_cluster_with_handoffs(
+        transport,
+        spec,
+        node,
+        cfg,
+        workload,
+        placement,
+        scheme_factory,
+        &[],
+    )
+}
+
+/// [`run_workload_cluster_with`] plus **live shard handoffs**: after
+/// submitting its tasks, node 0 requests each `(shard, to)` handoff
+/// and blocks until every one that actually moves a shard has
+/// committed (the directory epoch counts commits) *before* closing
+/// admission — so the handoffs demonstrably overlap the workload, and
+/// a wedged handoff surfaces as the coordinator watchdog's typed
+/// error rather than a hang here. Other nodes ignore `handoffs`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_workload_cluster_with_handoffs(
+    transport: Box<dyn Transport>,
+    spec: ClusterSpec,
+    node: usize,
+    cfg: RtConfig,
+    workload: &Arc<Workload>,
+    placement: Arc<dyn Placement>,
+    scheme_factory: fn() -> Box<dyn em2_core::decision::DecisionScheme>,
+    handoffs: &[(usize, usize)],
+) -> Result<NetReport, ClusterError> {
     let quotas = em2_engine::barrier_quotas(workload.threads.iter().map(|t| t.barriers.len()));
     let (first, count) = spec.span(node);
+    let initial_epoch = spec.initial_epoch;
     let mut nrt = NodeRuntime::start_with_transport(
         transport,
         spec,
@@ -1537,6 +2337,33 @@ pub fn run_workload_cluster_with(
             );
         }
     }
+    if node == 0 && !handoffs.is_empty() {
+        // How many of the requests will actually commit (a request
+        // naming the current owner is a no-op): simulate the
+        // ownership walk the coordinator will take.
+        let mut owners: Vec<usize> = (0..nrt.links.spec.total_shards)
+            .map(|s| nrt.links.spec.owner_of(s))
+            .collect();
+        let mut expected: u64 = 0;
+        for &(shard, to) in handoffs {
+            if owners[shard] != to {
+                owners[shard] = to;
+                expected += 1;
+            }
+        }
+        for &(shard, to) in handoffs {
+            nrt.request_handoff(shard, to);
+        }
+        // Wait for the commits before closing admission: quiesce
+        // cannot be declared while this node's Closed is unsent, so
+        // polling here guarantees every handoff ran *during* the
+        // workload. A stuck handoff trips the coordinator watchdog,
+        // which flips has_failed and lets finish() report it typed.
+        let target = initial_epoch + expected;
+        while nrt.directory_epoch() < target && !nrt.has_failed() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
     nrt.finish()
 }
 
@@ -1551,6 +2378,28 @@ pub fn run_workload_cluster_in_process(
     placement: &Arc<dyn Placement>,
     scheme_factory: fn() -> Box<dyn em2_core::decision::DecisionScheme>,
 ) -> Result<Vec<NetReport>, ClusterError> {
+    run_workload_cluster_in_process_with_handoffs(
+        spec,
+        cfg,
+        workload,
+        placement,
+        scheme_factory,
+        &[],
+    )
+}
+
+/// [`run_workload_cluster_in_process`] with node 0 driving the given
+/// live shard handoffs mid-workload (the E13 configuration): each
+/// `(shard, to)` commits while tasks are still running, and the summed
+/// counters must *still* match the single-process run bit-for-bit.
+pub fn run_workload_cluster_in_process_with_handoffs(
+    spec: &ClusterSpec,
+    cfg: &RtConfig,
+    workload: &Arc<Workload>,
+    placement: &Arc<dyn Placement>,
+    scheme_factory: fn() -> Box<dyn em2_core::decision::DecisionScheme>,
+    handoffs: &[(usize, usize)],
+) -> Result<Vec<NetReport>, ClusterError> {
     let mut reports: Vec<Result<NetReport, ClusterError>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..spec.num_nodes())
             .map(|node| {
@@ -1558,8 +2407,23 @@ pub fn run_workload_cluster_in_process(
                 let cfg = cfg.clone();
                 let workload = Arc::clone(workload);
                 let placement = Arc::clone(placement);
+                let handoffs: Vec<(usize, usize)> = if node == 0 {
+                    handoffs.to_vec()
+                } else {
+                    Vec::new()
+                };
                 s.spawn(move || {
-                    run_workload_cluster(spec, node, cfg, &workload, placement, scheme_factory)
+                    let transport = spec.kind.make();
+                    run_workload_cluster_with_handoffs(
+                        transport,
+                        spec,
+                        node,
+                        cfg,
+                        &workload,
+                        placement,
+                        scheme_factory,
+                        &handoffs,
+                    )
                 })
             })
             .collect();

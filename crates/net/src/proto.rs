@@ -27,15 +27,18 @@
 //! machine in DESIGN.md §9–§10.
 
 use em2_model::bytes::CodecError;
-use em2_rt::wire::{put_bytes, put_u32, put_u64, Cursor, WireError, WireMsg};
+use em2_rt::wire::{put_bytes, put_u32, put_u64, Cursor, FrozenShard, WireError, WireMsg};
 
 /// First four bytes of every frame: `"EM2N"`.
 pub const MAGIC: [u8; 4] = *b"EM2N";
 
 /// Control-protocol version; the handshake refuses mismatches.
 /// Version 2 added the sequence/checksum header and the
-/// failure-control messages (`Heartbeat`/`Abort`/`Bye`).
-pub const PROTO_VERSION: u8 = 2;
+/// failure-control messages (`Heartbeat`/`Abort`/`Bye`). Version 3
+/// stamps every `Shard` frame with the sender's directory epoch and a
+/// bounce budget, and adds the live-handoff family
+/// (`HandoffRequest`…`EpochUpdate`, `Bounce`).
+pub const PROTO_VERSION: u8 = 3;
 
 /// One node-to-node control message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,8 +62,16 @@ pub enum NetMsg {
     },
     /// An inter-shard runtime message for global shard `to`.
     Shard {
-        /// Destination shard (global id, owned by the receiving node).
+        /// Destination shard (global id; the receiver re-checks
+        /// ownership against its live directory, not the static spec).
         to: u32,
+        /// The sender's directory epoch when it routed the frame. A
+        /// receiver that no longer owns `to` uses this to distinguish
+        /// a stale route (bounce it back) from a misrouted frame.
+        epoch: u64,
+        /// How many times ownership movement has already re-routed
+        /// this frame; capped by `EM2_NET_BOUNCE_RETRIES`.
+        retries: u32,
         /// The runtime message.
         msg: WireMsg,
     },
@@ -104,6 +115,81 @@ pub enum NetMsg {
     /// this is what separates a severed connection from a finished
     /// node without racing the quiesce broadcast.
     Bye,
+    /// Ask the coordinator to re-home a shard (any node →
+    /// coordinator). The coordinator serializes requests into its
+    /// handoff ledger and drives the four-phase protocol.
+    HandoffRequest {
+        /// Shard to move.
+        shard: u32,
+        /// Node that should own it afterwards.
+        to: u32,
+    },
+    /// Phase 1, coordinator → current owner: freeze `shard` and ship
+    /// its state to node `to`.
+    HandoffPrepare {
+        /// Ledger id of the handoff (unique per coordinator lifetime).
+        hid: u64,
+        /// Shard to freeze.
+        shard: u32,
+        /// Destination node.
+        to: u32,
+        /// Directory epoch the handoff departs from.
+        epoch: u64,
+    },
+    /// Phase 1, coordinator → destination: state for `shard` is about
+    /// to arrive from node `from`; buffer any early-routed frames for
+    /// it instead of bouncing them.
+    HandoffExpect {
+        /// Ledger id.
+        hid: u64,
+        /// Shard in transit.
+        shard: u32,
+        /// Source node.
+        from: u32,
+        /// Directory epoch the handoff departs from.
+        epoch: u64,
+    },
+    /// Phase 2, source → destination: the frozen shard state itself.
+    HandoffTransfer {
+        /// Ledger id.
+        hid: u64,
+        /// Shard being re-homed (mirrors `state.shard`).
+        shard: u32,
+        /// The complete transferable state (boxed: it dwarfs every
+        /// other variant, and transfers are rare).
+        state: Box<FrozenShard>,
+    },
+    /// Phase 3, destination → coordinator: the shard is installed and
+    /// running here.
+    HandoffDone {
+        /// Ledger id.
+        hid: u64,
+        /// Shard now owned by the sender.
+        shard: u32,
+    },
+    /// Phase 4, coordinator → everyone: the new ownership map, sealed
+    /// under a bumped epoch. Receivers install it and re-route any
+    /// frames they parked while ownership was ambiguous.
+    EpochUpdate {
+        /// The new (strictly increasing) directory epoch.
+        epoch: u64,
+        /// Owner node of every global shard, indexed by shard id.
+        owners: Vec<u32>,
+    },
+    /// An epoch-fenced frame returned to its sender: the receiver no
+    /// longer owned shard `to` and had no buffer open for it. The
+    /// sender re-routes via its (by then usually updated) directory,
+    /// or parks the frame until the next `EpochUpdate` when its own
+    /// map still names the bouncing node.
+    Bounce {
+        /// The shard the original frame targeted.
+        to: u32,
+        /// Re-routes already consumed (the receiver increments before
+        /// forwarding; exceeding `EM2_NET_BOUNCE_RETRIES` fails typed).
+        retries: u32,
+        /// The original runtime message, unmodified.
+        msg: WireMsg,
+    },
 }
 
 /// FNV-1a over `seq ++ body`, truncated to 32 bits — the frame
@@ -141,9 +227,16 @@ impl NetMsg {
                 put_u32(&mut body, *node);
                 put_u64(&mut body, *topology);
             }
-            NetMsg::Shard { to, msg } => {
+            NetMsg::Shard {
+                to,
+                epoch,
+                retries,
+                msg,
+            } => {
                 body.push(2);
                 put_u32(&mut body, *to);
+                put_u64(&mut body, *epoch);
+                put_u32(&mut body, *retries);
                 msg.encode_into(&mut body);
             }
             NetMsg::BarrierArrive { k } => {
@@ -166,6 +259,60 @@ impl NetMsg {
                 put_bytes(&mut body, reason.as_bytes());
             }
             NetMsg::Bye => body.push(10),
+            NetMsg::HandoffRequest { shard, to } => {
+                body.push(11);
+                put_u32(&mut body, *shard);
+                put_u32(&mut body, *to);
+            }
+            NetMsg::HandoffPrepare {
+                hid,
+                shard,
+                to,
+                epoch,
+            } => {
+                body.push(12);
+                put_u64(&mut body, *hid);
+                put_u32(&mut body, *shard);
+                put_u32(&mut body, *to);
+                put_u64(&mut body, *epoch);
+            }
+            NetMsg::HandoffExpect {
+                hid,
+                shard,
+                from,
+                epoch,
+            } => {
+                body.push(13);
+                put_u64(&mut body, *hid);
+                put_u32(&mut body, *shard);
+                put_u32(&mut body, *from);
+                put_u64(&mut body, *epoch);
+            }
+            NetMsg::HandoffTransfer { hid, shard, state } => {
+                body.push(14);
+                put_u64(&mut body, *hid);
+                put_u32(&mut body, *shard);
+                state.encode_into(&mut body);
+            }
+            NetMsg::HandoffDone { hid, shard } => {
+                body.push(15);
+                put_u64(&mut body, *hid);
+                put_u32(&mut body, *shard);
+            }
+            NetMsg::EpochUpdate { epoch, owners } => {
+                body.push(16);
+                put_u64(&mut body, *epoch);
+                put_u32(&mut body, owners.len() as u32);
+                for &o in owners {
+                    put_u32(&mut body, o);
+                }
+            }
+            NetMsg::Bounce { to, retries, msg } => {
+                body.push(17);
+                put_u32(&mut body, *to);
+                put_u32(&mut body, *retries);
+                msg.encode_into(&mut body);
+            }
         }
         let mut b = Vec::with_capacity(body.len() + 17);
         b.extend_from_slice(&MAGIC);
@@ -227,11 +374,15 @@ impl NetMsg {
             },
             2 => {
                 let to = r.u32()?;
+                let epoch = r.u64()?;
+                let retries = r.u32()?;
                 // The embedded WireMsg consumes the rest of the frame.
                 return Ok((
                     seq,
                     NetMsg::Shard {
                         to,
+                        epoch,
+                        retries,
                         msg: WireMsg::decode(r.rest())?,
                     },
                 ));
@@ -248,6 +399,61 @@ impl NetMsg {
                 reason: String::from_utf8_lossy(&r.bytes()?).into_owned(),
             },
             10 => NetMsg::Bye,
+            11 => NetMsg::HandoffRequest {
+                shard: r.u32()?,
+                to: r.u32()?,
+            },
+            12 => NetMsg::HandoffPrepare {
+                hid: r.u64()?,
+                shard: r.u32()?,
+                to: r.u32()?,
+                epoch: r.u64()?,
+            },
+            13 => NetMsg::HandoffExpect {
+                hid: r.u64()?,
+                shard: r.u32()?,
+                from: r.u32()?,
+                epoch: r.u64()?,
+            },
+            14 => {
+                let hid = r.u64()?;
+                let shard = r.u32()?;
+                // The frozen state consumes the rest of the frame.
+                return Ok((
+                    seq,
+                    NetMsg::HandoffTransfer {
+                        hid,
+                        shard,
+                        state: Box::new(FrozenShard::decode(r.rest())?),
+                    },
+                ));
+            }
+            15 => NetMsg::HandoffDone {
+                hid: r.u64()?,
+                shard: r.u32()?,
+            },
+            16 => {
+                let epoch = r.u64()?;
+                let n = r.u32()?;
+                let mut owners = Vec::new();
+                for _ in 0..n {
+                    owners.push(r.u32()?);
+                }
+                NetMsg::EpochUpdate { epoch, owners }
+            }
+            17 => {
+                let to = r.u32()?;
+                let retries = r.u32()?;
+                // The embedded WireMsg consumes the rest of the frame.
+                return Ok((
+                    seq,
+                    NetMsg::Bounce {
+                        to,
+                        retries,
+                        msg: WireMsg::decode(r.rest())?,
+                    },
+                ));
+            }
             tag => {
                 return Err(CodecError::BadTag {
                     what: "net-msg",
@@ -260,12 +466,26 @@ impl NetMsg {
         Ok((seq, msg))
     }
 
-    /// Whether this message is failure-control plumbing (heartbeats,
-    /// aborts, goodbyes) rather than run traffic. Control frames are
-    /// excluded from wire telemetry so fault-free counters stay
-    /// exactly reproducible whether or not heartbeats are enabled.
+    /// Whether this message is failure-control or membership plumbing
+    /// (heartbeats, aborts, goodbyes, the handoff family) rather than
+    /// run traffic. Control frames are excluded from wire telemetry so
+    /// fault-free counters stay exactly reproducible whether or not
+    /// heartbeats are enabled — and so a run with live handoffs keeps
+    /// telemetry comparable to one without.
     pub fn is_control(&self) -> bool {
-        matches!(self, NetMsg::Heartbeat | NetMsg::Abort { .. } | NetMsg::Bye)
+        matches!(
+            self,
+            NetMsg::Heartbeat
+                | NetMsg::Abort { .. }
+                | NetMsg::Bye
+                | NetMsg::HandoffRequest { .. }
+                | NetMsg::HandoffPrepare { .. }
+                | NetMsg::HandoffExpect { .. }
+                | NetMsg::HandoffTransfer { .. }
+                | NetMsg::HandoffDone { .. }
+                | NetMsg::EpochUpdate { .. }
+                | NetMsg::Bounce { .. }
+        )
     }
 }
 
@@ -287,6 +507,8 @@ mod tests {
             },
             NetMsg::Shard {
                 to: 17,
+                epoch: 4,
+                retries: 1,
                 msg: WireMsg::Request {
                     addr: 8,
                     write: Some(9),
@@ -304,6 +526,52 @@ mod tests {
                 reason: "lost peer node 1: connection severed".into(),
             },
             NetMsg::Bye,
+            NetMsg::HandoffRequest { shard: 6, to: 1 },
+            NetMsg::HandoffPrepare {
+                hid: 3,
+                shard: 6,
+                to: 1,
+                epoch: 4,
+            },
+            NetMsg::HandoffExpect {
+                hid: 3,
+                shard: 6,
+                from: 0,
+                epoch: 4,
+            },
+            NetMsg::HandoffTransfer {
+                hid: 3,
+                shard: 6,
+                state: Box::new(FrozenShard {
+                    shard: 6,
+                    next_token: 11,
+                    clock: 7,
+                    heap: vec![(0, 42), (8, 9)],
+                    natives: vec![2],
+                    guests: vec![(5, true, 3)],
+                    runq: vec![],
+                    parked: vec![],
+                    awaiting: vec![],
+                    stalled: vec![],
+                    mailbox: vec![WireMsg::Response {
+                        token: 1,
+                        value: Some(2),
+                    }],
+                }),
+            },
+            NetMsg::HandoffDone { hid: 3, shard: 6 },
+            NetMsg::EpochUpdate {
+                epoch: 5,
+                owners: vec![0, 0, 1, 1, 1, 0, 1, 1],
+            },
+            NetMsg::Bounce {
+                to: 6,
+                retries: 2,
+                msg: WireMsg::Response {
+                    token: 9,
+                    value: None,
+                },
+            },
         ]
     }
 

@@ -19,8 +19,8 @@
 
 use em2_core::decision::{DecisionScheme, HistoryPredictor};
 use em2_net::{
-    run_workload_cluster_chaos, ClusterError, ClusterSpec, ClusterTimeouts, CounterSummary,
-    FaultAction, FaultPlan, TransportKind,
+    run_workload_cluster_chaos, run_workload_cluster_chaos_with_handoffs, ClusterError,
+    ClusterSpec, ClusterTimeouts, CounterSummary, FaultAction, FaultPlan, TransportKind,
 };
 use em2_placement::{FirstTouch, Placement};
 use em2_rt::{run_workload, RtConfig};
@@ -613,6 +613,288 @@ fn crash_mid_coalesce_window_is_typed_within_the_bound() {
         "crash-mid-window detection took {:?}",
         t0.elapsed()
     );
+}
+
+// ---------------------------------------------------------------- //
+// Faults inside the handoff window (DESIGN.md §13): live shard
+// handoffs run mid-workload while the plan damages the very frames
+// the frozen state and its fencing control travel in. The property
+// is unchanged — bit-equal on success, typed on failure, never a
+// hang — but now "success" includes committed re-homings and
+// "typed" includes the coordinator's handoff watchdog naming the
+// stuck phase.
+// ---------------------------------------------------------------- //
+
+/// Handoffs exercised under fault: one shard each way, so both nodes
+/// freeze, ship, install, and re-route during the plan's window.
+const CHAOS_HANDOFFS: [(usize, usize); 2] = [(1, 1), (6, 0)];
+
+/// [`assert_chaos_property`] with live handoffs in flight.
+fn assert_handoff_chaos_property(
+    fx: &Fixture,
+    spec: &ClusterSpec,
+    plan: FaultPlan,
+    seed: u64,
+    benign: bool,
+) -> Vec<Result<CounterSummary, ClusterError>> {
+    let plan = Arc::new(plan);
+    let t0 = Instant::now();
+    let results = run_workload_cluster_chaos_with_handoffs(
+        spec,
+        &fx.cfg,
+        &fx.w,
+        &fx.placement,
+        scheme,
+        &plan,
+        &CHAOS_HANDOFFS,
+    );
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < RUN_BOUND,
+        "seed {seed} ({:?}): nodes took {elapsed:?} to return mid-handoff — deadline \
+         discipline broken",
+        plan.kinds()
+    );
+    assert_eq!(results.len(), NODES);
+    let all_ok = results.iter().all(|(r, _)| r.is_ok());
+    if all_ok {
+        let total = CounterSummary::sum(
+            results
+                .iter()
+                .map(|(r, _)| CounterSummary::from_net(r.as_ref().expect("checked ok"))),
+        );
+        assert!(
+            total.counters_equal(&fx.expected),
+            "seed {seed} ({:?}): handoffs committed under fault but the sum is WRONG\n\
+             cluster: {total:?}\nsingle:  {expected:?}",
+            plan.kinds(),
+            expected = fx.expected
+        );
+    } else if benign {
+        let errs: Vec<String> = results
+            .iter()
+            .filter_map(|(r, _)| r.as_ref().err().map(|e| e.to_string()))
+            .collect();
+        panic!(
+            "seed {seed}: benign plan {:?} must complete bit-equal through a handoff, \
+             got {errs:?}",
+            plan.kinds()
+        );
+    }
+    results
+        .into_iter()
+        .map(|(r, _)| r.map(|rep| CounterSummary::from_net(&rep)))
+        .collect()
+}
+
+#[test]
+fn handoff_window_frame_faults_are_typed_or_bit_equal() {
+    let fx = fixture();
+    let mut errored = 0u32;
+    for (i, action) in [
+        FaultAction::Drop,
+        FaultAction::Truncate { keep: 6 },
+        FaultAction::Sever,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        // Early post-handshake indices on the coordinator's edge —
+        // where HandoffExpect and HandoffTransfer travel, interleaved
+        // with workload traffic.
+        for nth in [2u64, 5, 9] {
+            let plan = FaultPlan::new().fault(0, 1, nth, action);
+            let outcomes = assert_handoff_chaos_property(
+                &fx,
+                &loopback_spec(&format!("ho-{i}-{nth}")),
+                plan,
+                nth,
+                false,
+            );
+            if outcomes.iter().any(|r| r.is_err()) {
+                errored += 1;
+                assert!(
+                    !error_kinds(&outcomes).is_empty(),
+                    "nth={nth}: failures must be typed"
+                );
+            }
+        }
+    }
+    assert!(
+        errored > 0,
+        "none of the scripted handoff-window faults bit — injector inert?"
+    );
+}
+
+#[test]
+fn seeded_fault_sweep_with_live_handoffs() {
+    let fx = fixture();
+    let n = seeds_per_sweep().min(24);
+    for seed in 7_000..7_000 + n {
+        let plan = FaultPlan::seeded(seed, NODES, false);
+        assert_handoff_chaos_property(
+            &fx,
+            &loopback_spec(&format!("hos-{seed}")),
+            plan,
+            seed,
+            false,
+        );
+    }
+}
+
+#[test]
+fn seeded_benign_sweep_with_live_handoffs_is_bit_equal() {
+    // Delays and duplicates landing on handoff control frames (a
+    // replayed HandoffTransfer, a delayed EpochUpdate) must be
+    // absorbed exactly like workload traffic: the run completes and
+    // the sum is still bit-equal.
+    let fx = fixture();
+    let n = seeds_per_sweep().min(16);
+    for seed in 8_000..8_000 + n {
+        let plan = FaultPlan::seeded(seed, NODES, true);
+        assert_handoff_chaos_property(
+            &fx,
+            &loopback_spec(&format!("hob-{seed}")),
+            plan,
+            seed,
+            true,
+        );
+    }
+}
+
+// ---------------------------------------------------------------- //
+// SIGKILL mid-Transfer, across a real process boundary: the frozen
+// shard is on the wire when the destination process vanishes. The
+// survivor must fail typed — and the error must name the handoff
+// and its phase, which is exactly what a post-mortem needs.
+// ---------------------------------------------------------------- //
+
+#[cfg(unix)]
+fn handoff_kill_spec(dir: &std::path::Path) -> ClusterSpec {
+    ClusterSpec::even(
+        TransportKind::Uds,
+        dir.join("hkill.sock").to_str().expect("utf8 temp path"),
+        NODES,
+        SHARDS,
+    )
+    .with_timeouts(ClusterTimeouts {
+        connect_ms: 15_000,
+        run_ms: 10_000,
+        // Heartbeats off: the parent → child frame sequence is then
+        // deterministic (0 = HelloAck, 1 = HandoffExpect,
+        // 2 = HandoffTransfer), so the plan can drop exactly the
+        // Transfer. EOF detection does not need heartbeats.
+        heartbeat_ms: 0,
+    })
+}
+
+/// Child entry point for the mid-Transfer kill: join as node 1 (the
+/// handoff destination), signal readiness, and idle until SIGKILLed.
+/// Inert unless spawned with the `handoff` role.
+#[cfg(unix)]
+#[test]
+fn chaos_handoff_kill_child_role() {
+    use em2_net::NodeRuntime;
+    use em2_rt::TaskRegistry;
+    if em2_model::env::raw(KILL_ROLE_ENV).as_deref() != Some("handoff") {
+        return;
+    }
+    let dir = std::path::PathBuf::from(em2_model::env::raw(KILL_DIR_ENV).expect("scratch dir env"));
+    let w = Arc::new(chaos_workload());
+    let placement: Arc<dyn Placement> = Arc::new(FirstTouch::build(&w, SHARDS, 64));
+    let nrt = NodeRuntime::start(
+        handoff_kill_spec(&dir),
+        1,
+        RtConfig::with_shards(SHARDS),
+        "chaos-handoff-kill",
+        placement,
+        TaskRegistry::for_workload(w),
+        scheme,
+        Vec::new(),
+    )
+    .expect("child joins the cluster");
+    std::fs::write(dir.join("child-ready"), b"1").expect("ready marker");
+    std::thread::sleep(Duration::from_secs(30));
+    drop(nrt);
+    std::process::exit(0);
+}
+
+#[cfg(unix)]
+#[test]
+fn killed_peer_mid_transfer_fails_typed_naming_the_handoff_phase() {
+    use em2_net::{ChaosTransport, NodeRuntime};
+    use em2_rt::TaskRegistry;
+    if em2_model::env::raw(KILL_ROLE_ENV).is_some() {
+        return; // never recurse
+    }
+    let dir = std::env::temp_dir().join(format!("em2-chaos-hkill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let exe = std::env::current_exe().expect("own test binary");
+    let child = std::process::Command::new(&exe)
+        .args(["chaos_handoff_kill_child_role", "--exact", "--nocapture"])
+        .env(KILL_ROLE_ENV, "handoff")
+        .env(KILL_DIR_ENV, &dir)
+        .spawn()
+        .expect("spawn child node");
+
+    // The parent (node 0) is coordinator AND handoff source, behind a
+    // chaos layer that swallows its third frame to the child — the
+    // HandoffTransfer. The handoff wedges in the transfer phase with
+    // the frozen shard "lost on the wire".
+    let spec = handoff_kill_spec(&dir);
+    let plan = Arc::new(FaultPlan::new().fault(0, 1, 2, FaultAction::Drop));
+    let w = Arc::new(chaos_workload());
+    let placement: Arc<dyn Placement> = Arc::new(FirstTouch::build(&w, SHARDS, 64));
+    let nrt = NodeRuntime::start_with_transport(
+        Box::new(ChaosTransport::wrap(&spec, 0, plan)),
+        spec,
+        0,
+        RtConfig::with_shards(SHARDS),
+        "chaos-handoff-kill",
+        placement,
+        TaskRegistry::for_workload(w),
+        scheme,
+        Vec::new(),
+    )
+    .expect("parent joins the cluster");
+
+    // Wait for the child to park in its run phase, start the handoff
+    // (Expect arrives; Transfer is dropped), then SIGKILL the child
+    // with the handoff still active.
+    let ready = dir.join("child-ready");
+    let wait_deadline = Instant::now() + Duration::from_secs(10);
+    while !ready.exists() && Instant::now() < wait_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(ready.exists(), "child never reached its run phase");
+    nrt.request_handoff(0, 1);
+    std::thread::sleep(Duration::from_millis(500));
+    let killed_at = Instant::now();
+    let mut child = child;
+    child.kill().expect("SIGKILL the child");
+    let _ = child.wait();
+
+    let err = nrt
+        .finish()
+        .expect_err("a peer SIGKILLed mid-transfer must fail the run");
+    let latency = Instant::now().saturating_duration_since(killed_at);
+    // EOF from the kernel close wins the race against the 5 s handoff
+    // watchdog; either way the error is typed and names the handoff.
+    assert!(
+        ["peer-lost", "handoff"].contains(&err.kind()),
+        "mid-transfer peer death is a typed loss: {err}"
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("handoff") && msg.contains("transfer"),
+        "the post-mortem must name the handoff and its phase: {msg}"
+    );
+    assert!(
+        latency < Duration::from_secs(3),
+        "mid-transfer peer loss took {latency:?} — deadline discipline broken"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -23,6 +23,8 @@ fn arbitrary_msg(rng: &mut DetRng) -> NetMsg {
     match rng.below(10) {
         0 => NetMsg::Shard {
             to: rng.below(64) as u32,
+            epoch: rng.below(8),
+            retries: rng.below(3) as u32,
             msg: WireMsg::Request {
                 addr: rng.below(1 << 20),
                 write: if rng.chance(0.5) {
@@ -36,6 +38,8 @@ fn arbitrary_msg(rng: &mut DetRng) -> NetMsg {
         },
         1 => NetMsg::Shard {
             to: rng.below(64) as u32,
+            epoch: rng.below(8),
+            retries: 0,
             msg: WireMsg::Response {
                 token: rng.below(1 << 32),
                 value: if rng.chance(0.5) {
@@ -47,6 +51,8 @@ fn arbitrary_msg(rng: &mut DetRng) -> NetMsg {
         },
         2 => NetMsg::Shard {
             to: rng.below(64) as u32,
+            epoch: rng.below(8),
+            retries: 0,
             msg: WireMsg::BarrierRelease {
                 idx: rng.below(16) as u32,
             },

@@ -60,6 +60,24 @@ pub enum EventKind {
     /// recorder renders the error detail alongside. `a` = peer node id
     /// the failure names (or `u64::MAX` when none).
     Fail,
+    /// (node ring) The coordinator opened a live shard handoff. `a` =
+    /// shard, `b` = destination node.
+    HandoffPrepare,
+    /// (node ring) The source node froze the shard: owner flipped,
+    /// mailbox drained, core exported. `a` = shard, `b` = frozen-state
+    /// bytes shipped.
+    HandoffFreeze,
+    /// (node ring) The frozen shard state was installed on the
+    /// destination. `a` = shard, `b` = mailbox messages replayed.
+    HandoffTransfer,
+    /// (node ring) The coordinator committed the handoff: directory
+    /// epoch bumped, new ownership broadcast. `a` = shard, `b` = new
+    /// epoch.
+    HandoffCommit,
+    /// (node ring) An in-flight frame was epoch-fenced: it targeted a
+    /// shard this node no longer owns and was bounced for re-routing.
+    /// `a` = shard, `b` = bounce count so far.
+    HandoffBounce,
 }
 
 impl EventKind {
@@ -80,6 +98,11 @@ impl EventKind {
             EventKind::PeerUp => "peer-up",
             EventKind::PeerDown => "peer-down",
             EventKind::Fail => "fail",
+            EventKind::HandoffPrepare => "handoff-prepare",
+            EventKind::HandoffFreeze => "handoff-freeze",
+            EventKind::HandoffTransfer => "handoff-transfer",
+            EventKind::HandoffCommit => "handoff-commit",
+            EventKind::HandoffBounce => "handoff-bounce",
         }
     }
 
@@ -101,6 +124,11 @@ impl EventKind {
             EventKind::PeerUp => 12,
             EventKind::PeerDown => 13,
             EventKind::Fail => 14,
+            EventKind::HandoffPrepare => 15,
+            EventKind::HandoffFreeze => 16,
+            EventKind::HandoffTransfer => 17,
+            EventKind::HandoffCommit => 18,
+            EventKind::HandoffBounce => 19,
         }
     }
 
@@ -122,6 +150,11 @@ impl EventKind {
             12 => EventKind::PeerUp,
             13 => EventKind::PeerDown,
             14 => EventKind::Fail,
+            15 => EventKind::HandoffPrepare,
+            16 => EventKind::HandoffFreeze,
+            17 => EventKind::HandoffTransfer,
+            18 => EventKind::HandoffCommit,
+            19 => EventKind::HandoffBounce,
             _ => return None,
         })
     }
@@ -139,6 +172,11 @@ impl EventKind {
             EventKind::GuestAdmit | EventKind::GuestEvict => ("guest", "occupancy"),
             EventKind::Retire => ("latency_ns", "b"),
             EventKind::PeerUp | EventKind::PeerDown | EventKind::Fail => ("peer", "b"),
+            EventKind::HandoffPrepare => ("shard", "dest"),
+            EventKind::HandoffFreeze => ("shard", "state_bytes"),
+            EventKind::HandoffTransfer => ("shard", "replayed"),
+            EventKind::HandoffCommit => ("shard", "epoch"),
+            EventKind::HandoffBounce => ("shard", "bounces"),
         }
     }
 }
@@ -327,6 +365,11 @@ mod tests {
             EventKind::PeerUp,
             EventKind::PeerDown,
             EventKind::Fail,
+            EventKind::HandoffPrepare,
+            EventKind::HandoffFreeze,
+            EventKind::HandoffTransfer,
+            EventKind::HandoffCommit,
+            EventKind::HandoffBounce,
         ];
         for k in kinds {
             assert_eq!(EventKind::from_code(k.code()), Some(k));
@@ -351,6 +394,11 @@ mod tests {
             EventKind::PeerUp,
             EventKind::PeerDown,
             EventKind::Fail,
+            EventKind::HandoffPrepare,
+            EventKind::HandoffFreeze,
+            EventKind::HandoffTransfer,
+            EventKind::HandoffCommit,
+            EventKind::HandoffBounce,
         ];
         let names: std::collections::HashSet<_> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());

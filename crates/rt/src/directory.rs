@@ -1,0 +1,155 @@
+//! Epoch-versioned shard ownership: the directory that replaces the
+//! static "node → contiguous shard range" map.
+//!
+//! A [`ShardDirectory`] holds, for every shard in the cluster, the id
+//! of the node that currently owns it, plus a monotonically increasing
+//! **epoch** counter that versions the whole map. Ownership lookups on
+//! the send path are a single relaxed atomic load — no lock, no
+//! indirection — so the single-process fast path and the common
+//! clustered case pay nothing for the flexibility.
+//!
+//! The epoch advances exactly once per committed shard handoff, so its
+//! value doubles as a count of completed handoffs. In-flight frames
+//! are stamped with the sender's epoch; a receiver that no longer owns
+//! the target shard bounces the frame back (see `em2-net`), and the
+//! sender re-routes against its updated directory. The fencing
+//! argument lives in DESIGN.md §13.
+//!
+//! Both the runtime (`Shared`) and the link layer (`Links` in
+//! `em2-net`) hold the *same* `Arc<ShardDirectory>`, so an ownership
+//! flip performed during a handoff is observed atomically by the send
+//! path, the receive path, and the executor.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Per-shard ownership map versioned by a monotonically increasing
+/// epoch. See the module docs for the role this plays in live handoff.
+#[derive(Debug)]
+pub struct ShardDirectory {
+    epoch: AtomicU64,
+    owners: Vec<AtomicU32>,
+}
+
+impl ShardDirectory {
+    /// Build a directory from an explicit initial assignment.
+    pub fn new(epoch: u64, owners: &[u32]) -> Self {
+        Self {
+            epoch: AtomicU64::new(epoch),
+            owners: owners.iter().map(|&o| AtomicU32::new(o)).collect(),
+        }
+    }
+
+    /// Directory for a single-process runtime: every shard owned by
+    /// node 0, epoch 0.
+    pub fn single_process(shards: usize) -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            owners: (0..shards).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Total number of shards the directory covers (cluster-wide).
+    pub fn shards(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Current epoch. Starts at the cluster's initial epoch and is
+    /// bumped once per committed handoff, so `epoch() -
+    /// initial_epoch` counts completed handoffs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Node that currently owns `shard`. Panics on out-of-range shard
+    /// ids (callers validate against `shards()` first).
+    pub fn owner_of(&self, shard: usize) -> u32 {
+        self.owners[shard].load(Ordering::Acquire)
+    }
+
+    /// Flip a single shard's owner without bumping the epoch. Used
+    /// during the Freeze step of a handoff: the source node redirects
+    /// new sends toward the destination *before* the state ships, and
+    /// the epoch is bumped only when the coordinator commits.
+    pub fn set_owner(&self, shard: usize, node: u32) {
+        self.owners[shard].store(node, Ordering::Release);
+    }
+
+    /// Install a complete (epoch, ownership) view, as broadcast by the
+    /// coordinator on commit. Stale installs (epoch older than what we
+    /// already have) are ignored so reordered updates cannot roll the
+    /// directory backwards.
+    pub fn install(&self, epoch: u64, owners: &[u32]) -> bool {
+        debug_assert_eq!(owners.len(), self.owners.len());
+        // Single writer per node (the reader thread handling coordinator
+        // broadcasts), so a load-check-store is race-free in practice;
+        // the max-style guard is belt and braces.
+        if epoch <= self.epoch.load(Ordering::Acquire) {
+            return false;
+        }
+        for (slot, &o) in self.owners.iter().zip(owners) {
+            slot.store(o, Ordering::Release);
+        }
+        self.epoch.store(epoch, Ordering::Release);
+        true
+    }
+
+    /// Snapshot the current ownership vector (for broadcast/digest).
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.owners
+            .iter()
+            .map(|o| o.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Number of shards currently owned by `node`.
+    pub fn owned_count(&self, node: u32) -> usize {
+        self.owners
+            .iter()
+            .filter(|o| o.load(Ordering::Acquire) == node)
+            .count()
+    }
+
+    /// Shard ids currently owned by `node`, in ascending order.
+    pub fn owned_shards(&self, node: u32) -> Vec<usize> {
+        (0..self.owners.len())
+            .filter(|&s| self.owners[s].load(Ordering::Acquire) == node)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_process_owns_everything_at_epoch_zero() {
+        let d = ShardDirectory::single_process(8);
+        assert_eq!(d.epoch(), 0);
+        assert_eq!(d.shards(), 8);
+        for s in 0..8 {
+            assert_eq!(d.owner_of(s), 0);
+        }
+        assert_eq!(d.owned_count(0), 8);
+        assert_eq!(d.owned_shards(0), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn set_owner_flips_one_shard_without_bumping_epoch() {
+        let d = ShardDirectory::new(3, &[0, 0, 1, 1]);
+        d.set_owner(1, 1);
+        assert_eq!(d.epoch(), 3);
+        assert_eq!(d.snapshot(), vec![0, 1, 1, 1]);
+        assert_eq!(d.owned_shards(1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn install_rejects_stale_epochs() {
+        let d = ShardDirectory::new(5, &[0, 1]);
+        assert!(!d.install(5, &[1, 1]), "same epoch must not install");
+        assert!(!d.install(4, &[1, 1]), "older epoch must not install");
+        assert_eq!(d.snapshot(), vec![0, 1]);
+        assert!(d.install(6, &[1, 1]));
+        assert_eq!(d.epoch(), 6);
+        assert_eq!(d.snapshot(), vec![1, 1]);
+    }
+}

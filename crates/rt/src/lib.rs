@@ -61,11 +61,13 @@
 mod exec;
 mod shard;
 
+pub mod directory;
 pub mod mpsc;
 pub mod runtime;
 pub mod task;
 pub mod wire;
 
+pub use directory::ShardDirectory;
 pub use runtime::{
     run_tasks, run_workload, ExecutorMode, InboxBacklog, NodeLink, NodeRole, RemoteInbox, RtConfig,
     RtReport, Runtime, SchedStats, TaskSpec,

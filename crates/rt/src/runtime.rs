@@ -53,14 +53,20 @@ pub trait NodeLink: Send + Sync {
     fn node_closed(&self, submitted: u64);
 }
 
-/// This runtime's place in a multi-process cluster: the contiguous
-/// shard range it owns, how barriers complete, and the link that
-/// carries everything leaving the process.
+/// This runtime's place in a multi-process cluster: the epoch-versioned
+/// ownership directory it routes by, its node id in that directory, how
+/// barriers complete, and the link that carries everything leaving the
+/// process.
 pub struct NodeRole {
-    /// Global id of the first locally owned shard.
-    pub first_shard: usize,
-    /// Number of locally owned shards.
-    pub local_shards: usize,
+    /// Epoch-versioned per-shard ownership map. The transport layer
+    /// holds the **same** `Arc` (it flips owners during live handoffs
+    /// and installs coordinator epoch broadcasts), so routing decisions
+    /// on the send and receive paths always agree.
+    pub directory: Arc<crate::directory::ShardDirectory>,
+    /// This runtime's node id in the directory. A node may start
+    /// owning zero shards (a joining member) and be assigned shards by
+    /// live handoff later.
+    pub node_id: u32,
     /// `true` in multi-node clusters: barrier arrivals forward to the
     /// coordinator and releases fan back over the wire. `false` for a
     /// single-node cluster, which completes barriers locally —
@@ -423,17 +429,22 @@ impl Runtime {
             cfg.cost.cores() >= shards,
             "cost-model mesh smaller than the shard count"
         );
-        let (first_shard, local_shards, clustered_barriers, link) = match &role {
-            None => (0, shards, false, None),
+        let (directory, node_id, clustered_barriers, link) = match &role {
+            None => (
+                Arc::new(crate::directory::ShardDirectory::single_process(shards)),
+                0u32,
+                false,
+                None,
+            ),
             Some(r) => {
-                assert!(r.local_shards > 0, "a node must own at least one shard");
-                assert!(
-                    r.first_shard + r.local_shards <= shards,
-                    "node shard range exceeds the cluster"
+                assert_eq!(
+                    r.directory.shards(),
+                    shards,
+                    "ownership directory does not cover the cluster's shards"
                 );
                 (
-                    r.first_shard,
-                    r.local_shards,
+                    Arc::clone(&r.directory),
+                    r.node_id,
                     r.clustered_barriers,
                     Some(Arc::clone(&r.link)),
                 )
@@ -442,9 +453,14 @@ impl Runtime {
         let node_mode = role.is_some();
         let scheme_name = make_scheme().name();
 
+        // Shards this node owns at launch. Zero is legal in node mode
+        // (a joining member acquires shards by live handoff); the
+        // multiplexed executor still gets one worker so handed-off
+        // shards find a poller.
+        let owned_at_start = directory.owned_shards(node_id);
         let workers = match cfg.executor {
-            ExecutorMode::Multiplexed => cfg.resolved_workers().min(local_shards),
-            ExecutorMode::ThreadPerShard => local_shards,
+            ExecutorMode::Multiplexed => cfg.resolved_workers().min(owned_at_start.len().max(1)),
+            ExecutorMode::ThreadPerShard => owned_at_start.len(),
         };
         // The timing plane: `None` unless configured (explicitly or via
         // EM2_OBS). Everything below records into it with relaxed
@@ -452,23 +468,21 @@ impl Runtime {
         let obs_cfg = cfg.obs.clone().unwrap_or_else(em2_obs::ObsConfig::from_env);
         let obs = obs_cfg
             .enabled
-            .then(|| em2_obs::NodeObs::new(obs_cfg, first_shard, local_shards, workers));
+            .then(|| em2_obs::NodeObs::new(obs_cfg, 0, shards, workers));
         let shared = Arc::new(Shared {
-            mailboxes: (0..local_shards)
-                .map(|_| crate::shard::Mailbox::new())
-                .collect(),
-            cores: (0..local_shards)
-                .map(|slot| {
+            mailboxes: (0..shards).map(|_| crate::shard::Mailbox::new()).collect(),
+            cores: (0..shards)
+                .map(|g| {
                     Mutex::new(ShardCore::new(
-                        first_shard + slot,
-                        slot,
+                        g,
                         cfg.guest_contexts,
                         cfg.run_bins,
-                        obs.as_ref().map(|o| Arc::clone(o.shard(slot))),
+                        obs.as_ref().map(|o| Arc::clone(o.shard(g))),
                     ))
                 })
                 .collect(),
-            first_shard,
+            directory,
+            node_id,
             total_shards: shards,
             node: link,
             clustered_barriers,
@@ -498,9 +512,19 @@ impl Runtime {
         let handles = (0..workers)
             .map(|w| {
                 let shared = Arc::clone(&shared);
+                // Thread-per-shard dedicates one thread per *owned*
+                // shard (a node's owned set need not be contiguous).
+                // That thread holds the shard's core lock for the whole
+                // run, which is also why live handoff requires the
+                // multiplexed executor: a freeze could never take the
+                // lock.
+                let target = match cfg.executor {
+                    ExecutorMode::Multiplexed => w,
+                    ExecutorMode::ThreadPerShard => owned_at_start[w],
+                };
                 let label = match cfg.executor {
                     ExecutorMode::Multiplexed => format!("em2-rt-worker-{w}"),
-                    ExecutorMode::ThreadPerShard => format!("em2-rt-shard-{w}"),
+                    ExecutorMode::ThreadPerShard => format!("em2-rt-shard-{target}"),
                 };
                 let mode = cfg.executor;
                 std::thread::Builder::new()
@@ -508,8 +532,8 @@ impl Runtime {
                     .spawn(move || {
                         let _fanout = PanicFanout(Arc::clone(&shared));
                         match mode {
-                            ExecutorMode::Multiplexed => worker_loop(&shared, w),
-                            ExecutorMode::ThreadPerShard => shard_thread_loop(&shared, w),
+                            ExecutorMode::Multiplexed => worker_loop(&shared, target),
+                            ExecutorMode::ThreadPerShard => shard_thread_loop(&shared, target),
                         }
                     })
                     .expect("spawn runtime worker")
@@ -591,10 +615,9 @@ impl Runtime {
         );
         assert!(
             shared.local_slot(spec.native.index()).is_some(),
-            "task native to shard {} submitted on a node owning [{}, {})",
+            "task native to shard {} submitted on node {}, which does not currently own it",
             spec.native.index(),
-            shared.first_shard,
-            shared.first_shard + shared.mailboxes.len()
+            shared.node_id
         );
         self.next_thread = self.next_thread.max(thread.0.saturating_add(1));
         let env = Box::new(Envelope {
@@ -754,47 +777,46 @@ pub struct RemoteInbox {
 }
 
 impl RemoteInbox {
-    /// Inject one inter-shard message addressed to the locally owned
-    /// global shard `to`: rebuild arrivals through the task registry
-    /// and scheme factory, then push through the same mailbox/waker
-    /// path a local sender uses.
-    ///
-    /// # Panics
-    /// Panics if `to` is not owned by this node — the sending node's
-    /// routing table disagrees with ours, which is a topology bug the
-    /// handshake should have caught.
+    /// Rebuild an envelope from its wire form: the task through the
+    /// registry, the decision scheme through the factory + its shipped
+    /// learned state.
+    fn rebuild_envelope(&self, we: crate::wire::WireEnvelope) -> Result<Box<Envelope>, WireError> {
+        let mut scheme = {
+            let mut mk = self.make_scheme.lock().expect("scheme factory");
+            (*mk)()
+        };
+        scheme.load_state(&we.scheme_state)?;
+        let task = self.registry.build(we.task_kind, &we.task_ctx)?;
+        Ok(Box::new(Envelope {
+            thread: ThreadId(we.thread),
+            native: CoreId(we.native),
+            task,
+            scheme,
+            // Cross-process latency is accounted from arrival on this
+            // node (clock domains differ between processes; replay
+            // workloads do not use per-task latency).
+            arrival: Instant::now(),
+            pending_op: we.pending_op.map(crate::wire::WireOp::into_op),
+            pending_reply: we.pending_reply,
+            parked_at: we.parked_at.map(|k| k as usize),
+            run: we.run.map(|(c, len)| (CoreId(c), len)),
+        }))
+    }
+
+    /// Inject one inter-shard message addressed to global shard `to`:
+    /// rebuild arrivals through the task registry and scheme factory,
+    /// then push through the same mailbox/waker path a local sender
+    /// uses. Routing is directory-driven: if ownership of `to` flipped
+    /// while the message was in flight, `crate::shard::Shared::send`'s
+    /// producer-guarded path forwards it over the link instead of
+    /// applying it locally — the caller (the transport layer's epoch
+    /// fence) is expected to have already bounced clearly-stale frames.
     pub fn deliver(&self, to: usize, msg: WireMsg) -> Result<bool, WireError> {
         let Some(shared) = self.shared.upgrade() else {
             return Ok(false);
         };
-        assert!(
-            shared.local_slot(to).is_some(),
-            "inbound message for shard {to}, which this node does not own"
-        );
         let m = match msg {
-            WireMsg::Arrive(we) => {
-                let mut scheme = {
-                    let mut mk = self.make_scheme.lock().expect("scheme factory");
-                    (*mk)()
-                };
-                scheme.load_state(&we.scheme_state)?;
-                let task = self.registry.build(we.task_kind, &we.task_ctx)?;
-                Msg::Arrive(Box::new(Envelope {
-                    thread: ThreadId(we.thread),
-                    native: CoreId(we.native),
-                    task,
-                    scheme,
-                    // Cross-process latency is accounted from arrival
-                    // on this node (clock domains differ between
-                    // processes; replay workloads do not use per-task
-                    // latency).
-                    arrival: Instant::now(),
-                    pending_op: we.pending_op.map(crate::wire::WireOp::into_op),
-                    pending_reply: we.pending_reply,
-                    parked_at: we.parked_at.map(|k| k as usize),
-                    run: we.run.map(|(c, len)| (CoreId(c), len)),
-                }))
-            }
+            WireMsg::Arrive(we) => Msg::Arrive(self.rebuild_envelope(we)?),
             WireMsg::Request {
                 addr,
                 write,
@@ -815,16 +837,93 @@ impl RemoteInbox {
 
     /// Mirror the coordinator's release of barrier `k`: set the local
     /// released flag (so in-flight arrivals pass through) and wake
-    /// every locally parked task.
+    /// every task parked on a **currently owned** shard (the release
+    /// fans out to every node, so each shard is woken exactly by its
+    /// owner of the moment).
     pub fn release_barrier(&self, k: usize) -> bool {
         let Some(shared) = self.shared.upgrade() else {
             return false;
         };
         shared.barriers.force_release(k);
-        for slot in 0..shared.mailboxes.len() {
-            shared.send(shared.first_shard + slot, Msg::BarrierRelease { idx: k });
+        for s in shared.directory.owned_shards(shared.node_id) {
+            shared.send(s, Msg::BarrierRelease { idx: k });
         }
         true
+    }
+
+    /// Whether this runtime can take part in live shard handoffs
+    /// (multiplexed executor only: a thread-per-shard driver holds its
+    /// core lock for the whole run, so a freeze could never acquire
+    /// it).
+    pub fn supports_handoff(&self) -> bool {
+        self.shared.upgrade().is_some_and(|s| s.sched.is_some())
+    }
+
+    /// Freeze locally owned shard `shard` for a live handoff to
+    /// `new_owner`: flip the directory owner (new senders route over
+    /// the link from here on), wait out producers already inside the
+    /// push path, take the core lock (waiting out any in-flight poll),
+    /// drain the mailbox backlog, and export the core's transferable
+    /// state. Returns `None` if the runtime already shut down.
+    ///
+    /// After this returns, the shard is empty here and every message
+    /// addressed to it — including sends issued by the tail of an
+    /// in-flight poll — relays over the link toward the new owner.
+    pub fn freeze_shard(&self, shard: usize, new_owner: u32) -> Option<crate::wire::FrozenShard> {
+        let shared = self.shared.upgrade()?;
+        assert!(
+            shared.sched.is_some(),
+            "live handoff requires the multiplexed executor"
+        );
+        debug_assert_eq!(
+            shared.directory.owner_of(shard),
+            shared.node_id,
+            "freezing a shard this node does not own"
+        );
+        shared.directory.set_owner(shard, new_owner);
+        let mb = &shared.mailboxes[shard];
+        // See `Mailbox::producers`: a producer that saw the old owner
+        // completes its push before this count drains, so the mailbox
+        // drain below captures it; later senders see the flip and
+        // route over the link.
+        while mb.producers.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        let mut core = shared.cores[shard].lock().expect("shard core");
+        // Holding the core lock makes us the queue's exclusive
+        // consumer (polls drain only under this lock).
+        let mut mailbox = Vec::new();
+        while let Some(m) = mb.queue.pop() {
+            mailbox.push(crate::shard::msg_to_wire(m));
+        }
+        Some(core.export_frozen(mailbox))
+    }
+
+    /// Install a frozen shard shipped by its previous owner: restore
+    /// the core under its lock, claim ownership in the directory, then
+    /// replay the shipped mailbox backlog and schedule the shard.
+    /// Returns `Ok(false)` if the runtime already shut down.
+    pub fn install_shard(&self, frozen: crate::wire::FrozenShard) -> Result<bool, WireError> {
+        let Some(shared) = self.shared.upgrade() else {
+            return Ok(false);
+        };
+        let shard = frozen.shard as usize;
+        let mut frozen = frozen;
+        let mailbox = std::mem::take(&mut frozen.mailbox);
+        {
+            let mut core = shared.cores[shard].lock().expect("shard core");
+            let mut rebuild = |we: crate::wire::WireEnvelope| self.rebuild_envelope(we);
+            core.install_frozen(&shared, frozen, &mut rebuild)?;
+        }
+        // Claim ownership only after the core is fully restored:
+        // concurrent deliveries that pass the directory check from
+        // here on find a complete shard.
+        shared.directory.set_owner(shard, shared.node_id);
+        for msg in mailbox {
+            self.deliver(shard, msg)?;
+        }
+        shared.kick(shard);
+        Ok(true)
     }
 
     /// Apply the cluster's quiesce decision: stop the local workers.

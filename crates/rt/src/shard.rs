@@ -47,7 +47,7 @@ use em2_model::{AccessKind, Addr, CoreId, CostModel, Histogram, ThreadId};
 use em2_obs::{EventKind, NodeObs, ShardObs, SingleWriterCounter};
 use em2_placement::Placement;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -200,6 +200,13 @@ pub(crate) struct Mailbox {
     /// Thread-per-shard mode: the dedicated thread's handle, registered
     /// by the thread itself before it first sets `sleeping`.
     pub thread: OnceLock<std::thread::Thread>,
+    /// Node mode only: senders currently inside the push path, used by
+    /// a shard handoff's freeze step. The freeze flips the directory
+    /// owner first, then waits for this to reach zero; a sender that
+    /// re-checks ownership *after* incrementing and still sees itself
+    /// as owner therefore completes its push before the freeze drains
+    /// the mailbox. Single-process sends never touch it.
+    pub producers: AtomicU32,
 }
 
 impl Mailbox {
@@ -209,6 +216,7 @@ impl Mailbox {
             state: AtomicU8::new(SHARD_IDLE),
             sleeping: AtomicBool::new(false),
             thread: OnceLock::new(),
+            producers: AtomicU32::new(0),
         }
     }
 
@@ -229,20 +237,29 @@ impl Mailbox {
 /// `barriers`) are gone — see the lock-elimination table in DESIGN.md
 /// §8.
 pub(crate) struct Shared {
-    /// Mailboxes of the **locally owned** shards, indexed by local
-    /// slot (`global id - first_shard`). Single-process runtimes own
-    /// every shard (`first_shard = 0`).
+    /// Mailboxes for **every** shard in the cluster, indexed by global
+    /// shard id. A cluster node instantiates all of them (ownership is
+    /// directory-driven and can change at a live handoff) but only
+    /// polls the ones it currently owns; an unowned shard's mailbox
+    /// and core sit empty.
     pub mailboxes: Vec<Mailbox>,
-    /// Shard state machines (local slots, like `mailboxes`). The mutex
+    /// Shard state machines (global ids, like `mailboxes`). The mutex
     /// is a hand-off device, not a contention point: the scheduling
     /// protocol admits at most one poller per shard, so every
     /// acquisition is uncontended (the thread-per-shard driver holds
-    /// its shard's lock for the whole run).
+    /// its shard's lock for the whole run). A live handoff's freeze
+    /// step takes this lock to drain the core, which is what makes a
+    /// freeze wait out any in-flight poll.
     pub cores: Vec<Mutex<ShardCore>>,
-    /// Global id of local slot 0 (node mode; 0 otherwise).
-    pub first_shard: usize,
-    /// Cluster-wide shard count (equals `mailboxes.len()` outside node
-    /// mode).
+    /// Epoch-versioned per-shard ownership. The transport layer
+    /// (`em2-net`) holds the *same* `Arc`, so an ownership flip during
+    /// a handoff is observed atomically by the send path, the receive
+    /// path, and the executor. Single-process runtimes hold an
+    /// all-owned directory at epoch 0.
+    pub directory: std::sync::Arc<crate::directory::ShardDirectory>,
+    /// This runtime's node id in the directory (0 outside node mode).
+    pub node_id: u32,
+    /// Cluster-wide shard count (`mailboxes.len()`).
     pub total_shards: usize,
     /// Cross-process egress: messages to shards this process does not
     /// own, barrier arrivals, and retirements are handed to this link
@@ -276,11 +293,14 @@ pub(crate) struct Shared {
 
 impl Shared {
     /// Local slot of a global shard id, or `None` when another node
-    /// owns it.
+    /// currently owns it. Ownership is one atomic directory load; with
+    /// a handoff in flight the answer can go stale immediately, which
+    /// is why the clustered send path re-checks under the producer
+    /// guard and the receive path double-checks under the pending-
+    /// install lock (`em2-net`).
     pub(crate) fn local_slot(&self, global: usize) -> Option<usize> {
-        global
-            .checked_sub(self.first_shard)
-            .filter(|&i| i < self.mailboxes.len())
+        (global < self.total_shards && self.directory.owner_of(global) == self.node_id)
+            .then_some(global)
     }
 
     /// Deliver `msg` to shard `to` (a **global** id) and make sure
@@ -289,15 +309,40 @@ impl Shared {
     /// when another node owns `to` — serialize the message and hand it
     /// to the node link.
     pub(crate) fn send(&self, to: usize, msg: Msg) {
-        let Some(slot) = self.local_slot(to) else {
-            debug_assert!(to < self.total_shards, "shard {to} outside the cluster");
-            self.node
-                .as_ref()
-                .expect("a message to a non-local shard requires a node link")
-                .forward(to, msg_to_wire(msg));
+        debug_assert!(to < self.total_shards, "shard {to} outside the cluster");
+        if self.node.is_none() {
+            // Single-process fast path: ownership never changes, no
+            // producer guard.
+            self.push_and_schedule(to, msg);
             return;
-        };
-        let mb = &self.mailboxes[slot];
+        }
+        if self.directory.owner_of(to) == self.node_id {
+            // Announce ourselves as an in-flight producer, then
+            // re-check ownership: a handoff's freeze flips the owner
+            // *first* and then waits for producers to reach zero, so a
+            // send that still sees itself as owner here completes its
+            // push strictly before the freeze drains the mailbox, and
+            // a send that lost the race backs out and routes over the
+            // link instead.
+            let mb = &self.mailboxes[to];
+            mb.producers.fetch_add(1, Ordering::SeqCst);
+            if self.directory.owner_of(to) == self.node_id {
+                self.push_and_schedule(to, msg);
+                mb.producers.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+            mb.producers.fetch_sub(1, Ordering::SeqCst);
+        }
+        self.node
+            .as_ref()
+            .expect("a message to a non-local shard requires a node link")
+            .forward(to, msg_to_wire(msg));
+    }
+
+    /// The local half of [`Shared::send`]: lock-free mailbox push plus
+    /// the executor scheduling handshake.
+    fn push_and_schedule(&self, to: usize, msg: Msg) {
+        let mb = &self.mailboxes[to];
         // Lock-free push: the hot ingress path takes no mutex. The
         // scheduling CAS (or park handshake) below is sequenced after
         // the completed push, which is what makes the queue's mid-push
@@ -318,7 +363,7 @@ impl Shared {
                             )
                             .is_ok()
                         {
-                            sched.schedule(slot);
+                            sched.schedule(to);
                             break;
                         }
                     }
@@ -341,6 +386,25 @@ impl Shared {
                     _ => break,
                 }
             },
+        }
+    }
+
+    /// Schedule an (owned) shard for a poll without enqueueing a
+    /// message — used after a handoff install to get the restored
+    /// run queue serviced.
+    pub(crate) fn kick(&self, shard: usize) {
+        let mb = &self.mailboxes[shard];
+        match &self.sched {
+            None => mb.wake_dedicated(),
+            Some(sched) => {
+                if mb
+                    .state
+                    .compare_exchange(SHARD_IDLE, SHARD_QUEUED, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    sched.schedule(shard);
+                }
+            }
         }
     }
 
@@ -403,10 +467,9 @@ impl ShardCounters {
 /// executor's scheduling protocol, or the dedicated thread).
 pub(crate) struct ShardCore {
     /// Global (cluster-wide) shard id — what `CoreId`s and placement
-    /// homes refer to.
+    /// homes refer to, and this core's index into
+    /// `Shared::mailboxes`/`cores`.
     id: usize,
-    /// Local slot: index into `Shared::mailboxes`/`cores`.
-    slot: usize,
     /// The owned heap partition: word values by address.
     heap: HashMap<u64, u64>,
     /// The context file (bounded guests + reserved natives), reused
@@ -455,14 +518,12 @@ const OBS_CLOCK_POLLS: u32 = 16;
 impl ShardCore {
     pub(crate) fn new(
         id: usize,
-        slot: usize,
         guest_contexts: usize,
         run_bins: u64,
         obs: Option<std::sync::Arc<ShardObs>>,
     ) -> Self {
         ShardCore {
             id,
-            slot,
             heap: HashMap::new(),
             pool: ContextPool::new(guest_contexts, VictimPolicy::Lru),
             runq: VecDeque::new(),
@@ -526,6 +587,111 @@ impl ShardCore {
         self.counters
     }
 
+    /// Freeze this shard for a live handoff: take every piece of
+    /// transferable state — the heap partition, the resident contexts,
+    /// all queued envelopes, the token/clock counters — plus the
+    /// already-drained `mailbox` backlog, leaving the core empty.
+    /// Deterministic counters stay behind (they accrued here and merge
+    /// into this node's report; the destination counts only what it
+    /// executes after the handoff).
+    ///
+    /// The caller holds the core lock (so no poll is in flight) and
+    /// has already flipped the directory owner and waited out the
+    /// mailbox's producer count, so nothing lands here afterwards.
+    pub(crate) fn export_frozen(&mut self, mailbox: Vec<WireMsg>) -> crate::wire::FrozenShard {
+        debug_assert!(self.scratch.is_empty(), "batch in progress during freeze");
+        debug_assert!(
+            self.remote_replies.is_empty(),
+            "unflushed replies during freeze"
+        );
+        let mut heap: Vec<(u64, u64)> = self.heap.drain().collect();
+        heap.sort_unstable_by_key(|&(a, _)| a);
+        let (natives, guests) = self.pool.drain_residents();
+        let mut awaiting: Vec<(u64, WireEnvelope)> = self
+            .awaiting
+            .drain()
+            .map(|(token, env)| (token, envelope_to_wire(&env)))
+            .collect();
+        awaiting.sort_unstable_by_key(|&(token, _)| token);
+        crate::wire::FrozenShard {
+            shard: self.id as u32,
+            next_token: self.next_token,
+            clock: self.clock,
+            heap,
+            natives: natives.into_iter().map(|t| t.0).collect(),
+            guests: guests
+                .into_iter()
+                .map(|(t, pinned, at)| (t.0, pinned, at))
+                .collect(),
+            runq: self.runq.drain(..).map(|e| envelope_to_wire(&e)).collect(),
+            parked: self
+                .parked
+                .drain(..)
+                .map(|e| envelope_to_wire(&e))
+                .collect(),
+            awaiting,
+            stalled: self
+                .stalled
+                .drain(..)
+                .map(|e| envelope_to_wire(&e))
+                .collect(),
+            mailbox,
+        }
+    }
+
+    /// Install a frozen shard shipped by the previous owner: the
+    /// inverse of [`ShardCore::export_frozen`], with envelopes rebuilt
+    /// through `rebuild` (the inbox's registry + scheme factory). The
+    /// caller holds the core lock and flips the directory owner after
+    /// this returns; parked envelopes whose barrier released while the
+    /// shard was in transit go straight to the run queue, exactly as a
+    /// barrier-parked arrival does in `activate`.
+    pub(crate) fn install_frozen(
+        &mut self,
+        shared: &Shared,
+        f: crate::wire::FrozenShard,
+        rebuild: &mut dyn FnMut(WireEnvelope) -> Result<Box<Envelope>, crate::wire::WireError>,
+    ) -> Result<(), crate::wire::WireError> {
+        debug_assert_eq!(f.shard as usize, self.id, "frozen shard routed wrong");
+        assert!(
+            self.heap.is_empty() && self.runq.is_empty() && self.awaiting.is_empty(),
+            "installing into a non-empty shard core"
+        );
+        self.heap.extend(f.heap.iter().copied());
+        for &t in &f.natives {
+            self.pool.restore_native(ThreadId(t));
+        }
+        for &(t, pinned, at) in &f.guests {
+            self.pool.restore_guest(ThreadId(t), pinned, at);
+        }
+        self.next_token = f.next_token;
+        self.clock = f.clock;
+        for we in f.runq {
+            let env = rebuild(we)?;
+            self.runq.push_back(env);
+        }
+        for we in f.parked {
+            let mut env = rebuild(we)?;
+            match env.parked_at {
+                Some(k) if !shared.barriers.is_released(k) => self.parked.push(env),
+                _ => {
+                    env.parked_at = None;
+                    self.runq.push_back(env);
+                }
+            }
+        }
+        for (token, we) in f.awaiting {
+            let env = rebuild(we)?;
+            self.awaiting.insert(token, env);
+        }
+        for we in f.stalled {
+            let env = rebuild(we)?;
+            self.stalled.push_back(env);
+        }
+        self.obs_occupancy();
+        Ok(())
+    }
+
     /// One executor poll: drain a mailbox batch (home servicing in
     /// arrival order), retry stalled admissions, run a bounded number
     /// of task quanta. Returns `true` when runnable work remains (the
@@ -536,7 +702,7 @@ impl ShardCore {
         let mut quanta = POLL_TASK_BUDGET;
         loop {
             let drained = {
-                let q = &shared.mailboxes[self.slot].queue;
+                let q = &shared.mailboxes[self.id].queue;
                 let mut take = 0;
                 while take < DRAIN_K {
                     match q.pop() {
@@ -918,8 +1084,13 @@ impl ShardCore {
                     }
                     match shared.barriers.arrive(k) {
                         BarrierArrival::Completes => {
-                            for s in 0..shared.mailboxes.len() {
-                                shared.send(shared.first_shard + s, Msg::BarrierRelease { idx: k });
+                            // Non-clustered path: every shard is owned
+                            // here (single process, or a single-node
+                            // cluster — neither performs handoffs away
+                            // from itself), so the fan-out never routes
+                            // over a link.
+                            for s in 0..shared.total_shards {
+                                shared.send(s, Msg::BarrierRelease { idx: k });
                             }
                             // The completing task passes straight through.
                             continue;

@@ -372,6 +372,15 @@ impl WireMsg {
     /// message (no trailing bytes). Never panics.
     pub fn decode(bytes: &[u8]) -> Result<WireMsg, WireError> {
         let mut r = Cursor::new(bytes);
+        let msg = WireMsg::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(msg)
+    }
+
+    /// Decode one message from a shared cursor, leaving any trailing
+    /// bytes for the caller (used when messages are embedded inside a
+    /// larger payload, e.g. a [`FrozenShard`]'s drained mailbox).
+    pub fn decode_from(r: &mut Cursor<'_>) -> Result<WireMsg, WireError> {
         let ver = r.u8()?;
         if ver != WIRE_VERSION {
             return Err(WireError::Version {
@@ -380,7 +389,7 @@ impl WireMsg {
             });
         }
         let msg = match r.u8()? {
-            0 => WireMsg::Arrive(WireEnvelope::decode(&mut r)?),
+            0 => WireMsg::Arrive(WireEnvelope::decode(r)?),
             1 => {
                 let addr = r.u64()?;
                 let write = match r.u8()? {
@@ -419,7 +428,6 @@ impl WireMsg {
             3 => WireMsg::BarrierRelease { idx: r.u32()? },
             tag => return Err(CodecError::BadTag { what: "msg", tag }.into()),
         };
-        r.finish()?;
         Ok(msg)
     }
 
@@ -431,6 +439,176 @@ impl WireMsg {
             WireMsg::Arrive(env) => env.task_ctx.len(),
             _ => 0,
         }
+    }
+}
+
+// ----------------------------------------------------- frozen shards
+
+/// A shard's complete transferable state, shipped from the old owner
+/// to the new one during a live handoff (DESIGN.md §13): the heap
+/// partition, the resident contexts of the guest pool, every queued
+/// envelope (runnable, barrier-parked, reply-awaiting, admission-
+/// stalled), the token/clock counters that key those queues, and the
+/// mailbox backlog drained at freeze time (replayed in arrival order
+/// at the destination).
+///
+/// Deterministic-counter state does **not** travel: counters stay on
+/// the node where they accrued and are merged into that node's report,
+/// so a cluster-wide sum counts every access exactly once regardless
+/// of how often a shard was re-homed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrozenShard {
+    /// Global id of the shard being re-homed.
+    pub shard: u32,
+    /// Next remote-access token (the `awaiting` entries key off the
+    /// tokens already issued; numbering must continue, not restart).
+    pub next_token: u64,
+    /// Shard-local activity clock (orders LRU victimization).
+    pub clock: u64,
+    /// The heap partition, sorted by address (a canonical order, so
+    /// encoding is deterministic).
+    pub heap: Vec<(u64, u64)>,
+    /// Threads present in their native context.
+    pub natives: Vec<u32>,
+    /// Resident guests as `(thread, pinned, last_active)`.
+    pub guests: Vec<(u32, bool, u64)>,
+    /// Runnable envelopes, in queue order.
+    pub runq: Vec<WireEnvelope>,
+    /// Envelopes parked at a barrier.
+    pub parked: Vec<WireEnvelope>,
+    /// Envelopes pinned awaiting a remote reply, by request token.
+    pub awaiting: Vec<(u64, WireEnvelope)>,
+    /// Guest arrivals stalled on context admission, in arrival order.
+    pub stalled: Vec<WireEnvelope>,
+    /// Mailbox backlog drained at freeze time, in arrival order.
+    pub mailbox: Vec<WireMsg>,
+}
+
+impl FrozenShard {
+    /// Append the versioned encoding of this frozen shard.
+    pub fn encode_into(&self, b: &mut Vec<u8>) {
+        b.push(WIRE_VERSION);
+        put_u32(b, self.shard);
+        put_u64(b, self.next_token);
+        put_u64(b, self.clock);
+        put_u32(b, self.heap.len() as u32);
+        for &(a, v) in &self.heap {
+            put_u64(b, a);
+            put_u64(b, v);
+        }
+        put_u32(b, self.natives.len() as u32);
+        for &t in &self.natives {
+            put_u32(b, t);
+        }
+        put_u32(b, self.guests.len() as u32);
+        for &(t, pinned, at) in &self.guests {
+            put_u32(b, t);
+            b.push(u8::from(pinned));
+            put_u64(b, at);
+        }
+        for queue in [&self.runq, &self.parked, &self.stalled] {
+            put_u32(b, queue.len() as u32);
+            for env in queue {
+                env.encode_into(b);
+            }
+        }
+        put_u32(b, self.awaiting.len() as u32);
+        for (token, env) in &self.awaiting {
+            put_u64(b, *token);
+            env.encode_into(b);
+        }
+        put_u32(b, self.mailbox.len() as u32);
+        for msg in &self.mailbox {
+            msg.encode_into(b);
+        }
+    }
+
+    /// The versioned encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        self.encode_into(&mut b);
+        b
+    }
+
+    /// Decode one frozen shard from a shared cursor (embedded at the
+    /// tail of a transport frame by `em2-net`). Never panics; counts
+    /// are not trusted with pre-allocation, so absurd lengths fail on
+    /// truncation instead of attempting the allocation.
+    pub fn decode_from(r: &mut Cursor<'_>) -> Result<Self, WireError> {
+        let ver = r.u8()?;
+        if ver != WIRE_VERSION {
+            return Err(WireError::Version {
+                got: ver,
+                want: WIRE_VERSION,
+            });
+        }
+        let shard = r.u32()?;
+        let next_token = r.u64()?;
+        let clock = r.u64()?;
+        let mut heap = Vec::new();
+        for _ in 0..r.u32()? {
+            heap.push((r.u64()?, r.u64()?));
+        }
+        let mut natives = Vec::new();
+        for _ in 0..r.u32()? {
+            natives.push(r.u32()?);
+        }
+        let mut guests = Vec::new();
+        for _ in 0..r.u32()? {
+            let t = r.u32()?;
+            let pinned = match r.u8()? {
+                0 => false,
+                1 => true,
+                tag => {
+                    return Err(CodecError::BadTag {
+                        what: "pinned",
+                        tag,
+                    }
+                    .into())
+                }
+            };
+            guests.push((t, pinned, r.u64()?));
+        }
+        let envs = |r: &mut Cursor<'_>| -> Result<Vec<WireEnvelope>, WireError> {
+            let mut q = Vec::new();
+            for _ in 0..r.u32()? {
+                q.push(WireEnvelope::decode(r)?);
+            }
+            Ok(q)
+        };
+        let runq = envs(r)?;
+        let parked = envs(r)?;
+        let stalled = envs(r)?;
+        let mut awaiting = Vec::new();
+        for _ in 0..r.u32()? {
+            let token = r.u64()?;
+            awaiting.push((token, WireEnvelope::decode(r)?));
+        }
+        let mut mailbox = Vec::new();
+        for _ in 0..r.u32()? {
+            mailbox.push(WireMsg::decode_from(r)?);
+        }
+        Ok(FrozenShard {
+            shard,
+            next_token,
+            clock,
+            heap,
+            natives,
+            guests,
+            runq,
+            parked,
+            awaiting,
+            stalled,
+            mailbox,
+        })
+    }
+
+    /// Decode from a standalone buffer, requiring exact consumption.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Cursor::new(bytes);
+        let f = FrozenShard::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(f)
     }
 }
 
@@ -558,6 +736,68 @@ mod tests {
                 len: u32::MAX as usize
             }))
         );
+    }
+
+    fn sample_frozen() -> FrozenShard {
+        FrozenShard {
+            shard: 5,
+            next_token: 42,
+            clock: 1000,
+            heap: vec![(1, 10), (2, 20), (0xffff, 3)],
+            natives: vec![3, 9],
+            guests: vec![(7, true, 99), (8, false, 12)],
+            runq: vec![sample_envelope()],
+            parked: vec![WireEnvelope {
+                parked_at: Some(1),
+                ..sample_envelope()
+            }],
+            awaiting: vec![(41, sample_envelope())],
+            stalled: vec![],
+            mailbox: vec![
+                WireMsg::Response {
+                    token: 40,
+                    value: Some(7),
+                },
+                WireMsg::BarrierRelease { idx: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn frozen_shard_round_trips() {
+        let f = sample_frozen();
+        let bytes = f.encode();
+        assert_eq!(bytes[0], WIRE_VERSION);
+        assert_eq!(FrozenShard::decode(&bytes).expect("round trip"), f);
+
+        let empty = FrozenShard {
+            shard: 0,
+            next_token: 0,
+            clock: 0,
+            heap: vec![],
+            natives: vec![],
+            guests: vec![],
+            runq: vec![],
+            parked: vec![],
+            awaiting: vec![],
+            stalled: vec![],
+            mailbox: vec![],
+        };
+        assert_eq!(FrozenShard::decode(&empty.encode()).expect("empty"), empty);
+    }
+
+    #[test]
+    fn every_frozen_truncation_is_a_typed_error() {
+        let full = sample_frozen().encode();
+        for cut in 0..full.len() {
+            assert!(
+                FrozenShard::decode(&full[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        let mut trailing = full.clone();
+        trailing.push(0);
+        assert!(FrozenShard::decode(&trailing).is_err());
     }
 
     #[test]
