@@ -103,6 +103,10 @@ pub const KNOWN: &[VarDef] = &[
         name: "EM2_NET_BOUNCE_RETRIES",
         doc: "max re-routes of an epoch-fenced frame before the run fails typed (default 16)",
     },
+    VarDef {
+        name: "EM2_NET_DEBUG_WEDGE",
+        doc: "1 = every node prints its quiesce census to stderr when a run fails (wedge triage)",
+    },
 ];
 
 fn is_known(name: &str) -> bool {

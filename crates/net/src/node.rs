@@ -281,10 +281,18 @@ struct HandoffState {
     /// replayed after install, instead of bouncing back and forth
     /// while the state is in flight.
     expecting: HashMap<usize, (u64, BufferedFrames)>,
-    /// Bounced frames whose owner (per our directory) is the very node
-    /// that bounced them — our map is stale, so they park here until
-    /// the coordinator's `EpochUpdate` installs the new ownership.
+    /// Frames waiting out a stale local map: bounces proven still in
+    /// motion and frames stamped ahead of our epoch. They park here
+    /// until the next `EpochUpdate` installs a newer map, then
+    /// re-route through it.
     parked_bounces: Vec<(usize, u32, WireMsg)>,
+    /// Highest handoff id whose `HandoffTransfer` this node already
+    /// installed as the destination. A `HandoffExpect` at or below it
+    /// is stale — the transfer it announces beat it here over the
+    /// source's connection — and must be dropped: honoring it would
+    /// plant an expect entry whose removal (the install) already
+    /// happened, a trap that swallows any frame buffered into it.
+    done_dest_hid: u64,
 }
 
 /// What travels down a peer's egress queue.
@@ -690,9 +698,19 @@ impl Links {
     /// us between enqueue and here), otherwise ship it to the owner
     /// stamped with our epoch and the frame's re-route count.
     fn route_shard(&self, to: usize, retries: u32, msg: WireMsg) {
+        // Epoch *before* owner: `ShardDirectory::install` publishes
+        // the owners before the epoch, so reading in the opposite
+        // order guarantees the stamp is never newer than the map that
+        // chose the route. The receiver's fence relies on that: a
+        // stamp ahead of the receiver's map then proves a committed
+        // epoch the receiver has not installed yet, so the receiver
+        // can safely park the frame until that `EpochUpdate` lands —
+        // a stamp newer than any real commit would make it park on an
+        // update that never arrives.
+        let epoch = self.directory.epoch();
         let owner = self.directory.owner_of(to) as usize;
         if owner == self.me {
-            if let Err(e) = self.inbox().deliver(to, msg) {
+            if let Err(e) = self.inbox().deliver(to, retries, msg) {
                 self.fail(ClusterError::Codec {
                     from: self.me,
                     detail: format!("undeliverable local message for shard {to}: {e}"),
@@ -710,7 +728,7 @@ impl Links {
             owner,
             NetMsg::Shard {
                 to: to as u32,
-                epoch: self.directory.epoch(),
+                epoch,
                 retries,
                 msg,
             },
@@ -725,6 +743,50 @@ impl Links {
         for (shard, retries, msg) in parked {
             self.route_shard(shard, retries, msg);
         }
+    }
+
+    /// One-line census of everything that can hold cluster quiesce
+    /// open on this node — the watchdogs report it so a wedged run
+    /// names its stuck frame instead of timing out mute.
+    fn wedge_census(&self) -> String {
+        let b = self.inbox.get().map(|i| i.backlog()).unwrap_or_default();
+        let (parked, expecting) = {
+            let hs = self.lock_handoff();
+            (
+                hs.parked_bounces
+                    .iter()
+                    .map(|(s, r, _)| format!("shard {s} (retries {r})"))
+                    .collect::<Vec<_>>(),
+                hs.expecting.keys().copied().collect::<Vec<_>>(),
+            )
+        };
+        let coord = if self.me == 0 {
+            let st = self.coord_lock();
+            format!(
+                "; quiesce ledger: {}/{} nodes closed, {}/{} retired",
+                st.closed_nodes,
+                self.spec.num_nodes(),
+                st.retired,
+                st.submitted
+            )
+        } else {
+            String::new()
+        };
+        format!(
+            "node {}: {} runnable, {} parked at barriers, {} awaiting replies, \
+             {} stalled on admission ({} shards busy); parked frames: [{}], \
+             expecting: {:?}, epoch {}{}",
+            self.me,
+            b.runnable,
+            b.parked_barrier,
+            b.awaiting_reply,
+            b.stalled_admission,
+            b.skipped_shards,
+            parked.join(", "),
+            expecting,
+            self.directory.epoch(),
+            coord
+        )
     }
 
     /// Freeze `shard` locally and ship its state to `to` — the
@@ -803,16 +865,26 @@ impl Links {
         }
         // Ownership flipped toward us inside install_shard, so frames
         // buffered from now on cannot exist; replay what accumulated
-        // while the state was in flight, in arrival order.
-        let buffered = self
-            .lock_handoff()
-            .expecting
-            .remove(&shard)
-            .map(|(_, b)| b)
-            .unwrap_or_default();
+        // while the state was in flight, in arrival order. Recording
+        // the hid (same lock hold) lets the Expect handler drop the
+        // announcement for this transfer when it loses the race and
+        // arrives after us — the coordinator's connection is not
+        // ordered with the source's.
+        let buffered = {
+            let mut hs = self.lock_handoff();
+            hs.done_dest_hid = hs.done_dest_hid.max(hid);
+            hs.expecting
+                .remove(&shard)
+                .map(|(_, b)| b)
+                .unwrap_or_default()
+        };
         let replayed = buffered.len();
-        for (from, _retries, msg) in buffered {
-            if let Err(e) = self.inbox().deliver(shard, msg) {
+        for (from, retries, msg) in buffered {
+            // The carried re-route count rides through the local
+            // delivery: should the shard flip away again before the
+            // push lands, the re-forward keeps counting against the
+            // frame's bounce budget instead of restarting it.
+            if let Err(e) = self.inbox().deliver(shard, retries, msg) {
                 self.fail(ClusterError::Codec {
                     from,
                     detail: format!("undeliverable buffered message for shard {shard}: {e}"),
@@ -962,10 +1034,18 @@ impl Links {
     }
 
     /// A peer refused one of our frames: ownership moved under it.
-    /// Re-route by our (possibly already updated) directory, park if
-    /// we are the stale one, and fail typed if the frame has bounced
-    /// more times than the fencing budget allows.
-    fn handle_bounce(&self, from_node: usize, to: usize, retries: u32, msg: WireMsg) {
+    /// Park the frame when the bounce proves a future `EpochUpdate`
+    /// will re-route it, re-route by our own directory otherwise, and
+    /// fail typed if the frame has bounced more times than the
+    /// fencing budget allows.
+    fn handle_bounce(
+        &self,
+        from_node: usize,
+        to: usize,
+        bouncer_epoch: u64,
+        retries: u32,
+        msg: WireMsg,
+    ) {
         if to >= self.spec.total_shards {
             self.fail(ClusterError::Protocol {
                 from: from_node,
@@ -989,26 +1069,50 @@ impl Links {
         if let Some(obs) = self.obs.get() {
             obs.node_event(em2_obs::EventKind::HandoffBounce, to as u64, r as u64);
         }
-        let owner = self.directory.owner_of(to) as usize;
-        if owner == from_node {
-            // Our map still names the bouncing node: it knows better
-            // than we do. Park until the coordinator's EpochUpdate
-            // lands, then re-route.
-            self.lock_handoff().parked_bounces.push((to, r, msg));
-            return;
+        {
+            // Park only on *proof* that a future `EpochUpdate` will
+            // drain the frame — the bouncer's epoch stamp supplies it.
+            // Stamp ahead of our map: we are behind, the catch-up
+            // broadcast is in flight. Stamp equal to our map while our
+            // map names the bouncer: the refusal can only come from an
+            // uncommitted freeze flip (same epoch, different owner),
+            // so that handoff's commit is still pending. Anything
+            // else re-routes by our own directory — in particular a
+            // bounce *older* than our map: a shard can return to a
+            // previous owner (rolling restart), so "my map still names
+            // the bouncer" alone is no evidence of staleness on our
+            // side, and parking on it stranded frames forever when the
+            // stale bounce arrived after the run's last epoch bump.
+            // All of it under the handoff lock, which serializes
+            // against `drain_parked_bounces`: an `EpochUpdate`
+            // installs the new map before draining, so from behind
+            // the lock we either see the updated epoch and re-route
+            // below, or our park lands before the drain takes the
+            // vec — never just after the drain meant to release it.
+            let mut hs = self.lock_handoff();
+            let ours = self.directory.epoch();
+            if bouncer_epoch > ours
+                || (bouncer_epoch == ours && self.directory.owner_of(to) as usize == from_node)
+            {
+                hs.parked_bounces.push((to, r, msg));
+                return;
+            }
         }
         self.route_shard(to, r, msg);
     }
 }
 
 impl NodeLink for Links {
-    fn forward(&self, to_shard: usize, msg: WireMsg) {
+    fn forward(&self, to_shard: usize, retries: u32, msg: WireMsg) {
         // A dead connection is discovered (and recorded) by the owner
         // peer's writer; the worker notices the failure flag on its
         // next poll. Ownership may have flipped back toward us between
         // the runtime's check and here — route_shard delivers locally
-        // in that case instead of bouncing off a confused peer.
-        self.route_shard(to_shard, 0, msg);
+        // in that case instead of bouncing off a confused peer. The
+        // runtime passes through the re-route count of the frame it
+        // was delivering (0 for its own sends), so the bounce budget
+        // survives the local hop.
+        self.route_shard(to_shard, retries, msg);
     }
 
     fn forward_many(&self, msgs: Vec<(usize, WireMsg)>) {
@@ -1016,7 +1120,8 @@ impl NodeLink for Links {
         // order, then wake each destination writer once — one unpark
         // for the whole batch instead of one per frame, and the frames
         // land in the writer's window together, so they coalesce into
-        // one flush.
+        // one flush. Epoch read before the owner loads — same
+        // stamp-not-newer-than-route rule as `route_shard`.
         let epoch = self.directory.epoch();
         let mut woken: Vec<usize> = Vec::new();
         let mut local: Vec<(usize, WireMsg)> = Vec::new();
@@ -1052,7 +1157,7 @@ impl NodeLink for Links {
             self.peer(owner).wake_writer();
         }
         for (to_shard, msg) in local {
-            if let Err(e) = self.inbox().deliver(to_shard, msg) {
+            if let Err(e) = self.inbox().deliver(to_shard, 0, msg) {
                 self.fail(ClusterError::Codec {
                     from: self.me,
                     detail: format!("undeliverable local message for shard {to_shard}: {e}"),
@@ -1159,7 +1264,7 @@ fn reader_loop(links: &Links, from_node: usize, mut rx: Box<dyn FrameRx>) {
         match msg {
             NetMsg::Shard {
                 to,
-                epoch: _,
+                epoch,
                 retries,
                 msg,
             } => {
@@ -1176,32 +1281,64 @@ fn reader_loop(links: &Links, from_node: usize, mut rx: Box<dyn FrameRx>) {
                 // install racing this frame either flips ownership
                 // before our check or still holds the `expecting`
                 // entry we buffer into. A frame for a shard we neither
-                // own nor expect bounces back to its sender for
-                // re-route; it is never silently applied or dropped.
+                // own nor expect is fenced by its epoch stamp, which
+                // decides *who* is stale. A stamp at or behind our map
+                // means the sender routed by an old world: bounce the
+                // frame back for re-route — never silently applied or
+                // dropped. A stamp *ahead* of our map means *we* are
+                // the laggard — the stamp is never newer than the map
+                // that chose the route (senders read epoch before
+                // owner; installs publish owners before epoch), so a
+                // commit we have not seen exists and its `EpochUpdate`
+                // broadcast is already in flight toward us. Park the
+                // frame with the other map-lagged traffic and re-route
+                // it when the update lands: a bounce round trip could
+                // teach the cluster nothing we are not already about
+                // to learn, and would burn the frame's retry budget on
+                // our slowness. Both decisions happen under the
+                // handoff lock — `EpochUpdate` installs the new map
+                // before draining the parked frames, so a park cannot
+                // slip in behind the drain that was meant to release
+                // it.
                 let deliver = if links.directory.owner_of(to) as usize == links.me {
                     true
                 } else {
                     let mut hs = links.lock_handoff();
                     if links.directory.owner_of(to) as usize == links.me {
                         true
-                    } else if let Some((_hid, buf)) = hs.expecting.get_mut(&to) {
-                        buf.push((from_node, retries, msg));
-                        continue;
                     } else {
-                        drop(hs);
-                        links.send_to(
-                            from_node,
-                            NetMsg::Bounce {
-                                to: to as u32,
-                                retries,
-                                msg,
-                            },
-                        );
-                        continue;
+                        // Our epoch, read right after the ownership
+                        // check: no install can flip this shard toward
+                        // us in between (a grant always lands through
+                        // `install_shard` first, guarded by the
+                        // expecting entry), so the pair "epoch `ours`,
+                        // not the owner" is a true statement about one
+                        // instant — the bounce below stamps it so the
+                        // sender can reason from it.
+                        let ours = links.directory.epoch();
+                        if let Some((_hid, buf)) = hs.expecting.get_mut(&to) {
+                            buf.push((from_node, retries, msg));
+                            continue;
+                        } else if epoch > ours {
+                            hs.parked_bounces.push((to, retries, msg));
+                            continue;
+                        } else {
+                            drop(hs);
+                            links.send_to(
+                                from_node,
+                                NetMsg::Bounce {
+                                    to: to as u32,
+                                    epoch: ours,
+                                    retries,
+                                    msg,
+                                },
+                            );
+                            continue;
+                        }
                     }
                 };
                 debug_assert!(deliver);
-                if let Err(e) = links.inbox().deliver(to, msg) {
+                if let Err(e) = links.inbox().deliver(to, retries, msg) {
                     links.fail(ClusterError::Codec {
                         from: from_node,
                         detail: format!("undeliverable message: {e}"),
@@ -1334,14 +1471,20 @@ fn reader_loop(links: &Links, from_node: usize, mut rx: Box<dyn FrameRx>) {
                     return;
                 }
                 // The Transfer travels on a different connection (the
-                // source node's) and may have installed already; only
-                // fence if the shard is still elsewhere.
-                if links.directory.owner_of(shard) as usize != links.me {
-                    links
-                        .lock_handoff()
-                        .expecting
-                        .entry(shard)
-                        .or_insert((hid, Vec::new()));
+                // source node's) and may have installed already — in
+                // which case this Expect is stale and must be dropped,
+                // not planted: its removal (the install) already ran,
+                // so the entry would never be taken out and any frame
+                // buffered into it would be stranded. Ownership is no
+                // guide here (an interleaved EpochUpdate carrying a
+                // pre-handoff snapshot can flip the shard away from us
+                // again until the commit lands); the handoff id is —
+                // the coordinator assigns them serially, so an Expect
+                // at or below the last transfer we installed announces
+                // the past.
+                let mut hs = links.lock_handoff();
+                if hid > hs.done_dest_hid {
+                    hs.expecting.entry(shard).or_insert((hid, Vec::new()));
                 }
             }
             NetMsg::HandoffTransfer { hid, shard, state } => {
@@ -1379,8 +1522,13 @@ fn reader_loop(links: &Links, from_node: usize, mut rx: Box<dyn FrameRx>) {
                 links.directory.install(epoch, &owners);
                 links.drain_parked_bounces();
             }
-            NetMsg::Bounce { to, retries, msg } => {
-                links.handle_bounce(from_node, to as usize, retries, msg);
+            NetMsg::Bounce {
+                to,
+                epoch,
+                retries,
+                msg,
+            } => {
+                links.handle_bounce(from_node, to as usize, epoch, retries, msg);
             }
             NetMsg::Hello { .. } | NetMsg::HelloAck { .. } => {
                 links.fail(ClusterError::Protocol {
@@ -1610,20 +1758,26 @@ fn watchdog_loop(links: &Links, run_ms: u64) {
             return;
         }
         if links.lock_failure().is_some() {
-            // Already failing; the shutdown is underway.
+            // Already failing; the shutdown is underway. The census
+            // still prints under EM2_NET_DEBUG_WEDGE so one failing
+            // run shows every node's view, not just the first
+            // watchdog's — the node holding the wedged frame is
+            // rarely the one whose deadline fires first.
+            if em2_model::env::flag("EM2_NET_DEBUG_WEDGE").unwrap_or(false) {
+                eprintln!("[em2-net wedge] {}", links.wedge_census());
+            }
             return;
         }
         if Instant::now() >= deadline {
             let b = links.inbox.get().map(|i| i.backlog()).unwrap_or_default();
-            let detail = format!(
-                "local backlog: {} runnable, {} parked at barriers, {} awaiting replies, \
-                 {} stalled on admission ({} shards busy)",
-                b.runnable,
-                b.parked_barrier,
-                b.awaiting_reply,
-                b.stalled_admission,
-                b.skipped_shards
-            );
+            let detail = format!("local backlog: {}", links.wedge_census());
+            // All nodes' deadlines fire within one tick of each other
+            // and only the first error is kept, so the debug census
+            // prints here too — the loser watchdogs' views would
+            // otherwise vanish into the sympathetic-abort shutdown.
+            if em2_model::env::flag("EM2_NET_DEBUG_WEDGE").unwrap_or(false) {
+                eprintln!("[em2-net wedge] {detail}");
+            }
             let err = if b.parked_barrier > 0 {
                 ClusterError::BarrierTimeout {
                     waited_ms: run_ms,
@@ -1907,6 +2061,7 @@ impl NodeRuntime {
             handoff: Mutex::new(HandoffState {
                 expecting: HashMap::new(),
                 parked_bounces: Vec::new(),
+                done_dest_hid: 0,
             }),
             peers,
             inbox: OnceLock::new(),

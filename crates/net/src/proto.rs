@@ -65,9 +65,15 @@ pub enum NetMsg {
         /// Destination shard (global id; the receiver re-checks
         /// ownership against its live directory, not the static spec).
         to: u32,
-        /// The sender's directory epoch when it routed the frame. A
-        /// receiver that no longer owns `to` uses this to distinguish
-        /// a stale route (bounce it back) from a misrouted frame.
+        /// The sender's directory epoch when it routed the frame —
+        /// never newer than the map that chose the route (the sender
+        /// reads the epoch first; installs publish owners first). A
+        /// receiver that neither owns nor expects `to` uses it to
+        /// decide who is stale: a stamp at or behind its map means
+        /// the sender routed by an old world (bounce the frame back
+        /// for re-route); a stamp ahead of its map proves a commit
+        /// the receiver has not installed yet, so it parks the frame
+        /// and re-routes when that `EpochUpdate` lands.
         epoch: u64,
         /// How many times ownership movement has already re-routed
         /// this frame; capped by `EM2_NET_BOUNCE_RETRIES`.
@@ -178,12 +184,24 @@ pub enum NetMsg {
     },
     /// An epoch-fenced frame returned to its sender: the receiver no
     /// longer owned shard `to` and had no buffer open for it. The
-    /// sender re-routes via its (by then usually updated) directory,
-    /// or parks the frame until the next `EpochUpdate` when its own
-    /// map still names the bouncing node.
+    /// sender parks the frame until the next `EpochUpdate` when the
+    /// bounce proves one is still in flight (see `epoch`), and
+    /// re-routes via its own directory otherwise.
     Bounce {
         /// The shard the original frame targeted.
         to: u32,
+        /// The refusing node's directory epoch at refusal, read next
+        /// to its ownership check. The sender parks the frame only
+        /// when this proves a future `EpochUpdate` will drain it:
+        /// either the stamp is ahead of the sender's map (the sender
+        /// is behind; the catch-up broadcast is in flight), or it is
+        /// equal while the sender's map names the bouncing node (the
+        /// refusal can then only come from an uncommitted freeze, so
+        /// a commit is pending). Anything else — in particular a
+        /// bounce older than the sender's map — re-routes instead: a
+        /// shard can return to a previous owner, so "my map still
+        /// names the bouncer" alone proves nothing about the future.
+        epoch: u64,
         /// Re-routes already consumed (the receiver increments before
         /// forwarding; exceeding `EM2_NET_BOUNCE_RETRIES` fails typed).
         retries: u32,
@@ -307,9 +325,15 @@ impl NetMsg {
                     put_u32(&mut body, o);
                 }
             }
-            NetMsg::Bounce { to, retries, msg } => {
+            NetMsg::Bounce {
+                to,
+                epoch,
+                retries,
+                msg,
+            } => {
                 body.push(17);
                 put_u32(&mut body, *to);
+                put_u64(&mut body, *epoch);
                 put_u32(&mut body, *retries);
                 msg.encode_into(&mut body);
             }
@@ -443,12 +467,14 @@ impl NetMsg {
             }
             17 => {
                 let to = r.u32()?;
+                let epoch = r.u64()?;
                 let retries = r.u32()?;
                 // The embedded WireMsg consumes the rest of the frame.
                 return Ok((
                     seq,
                     NetMsg::Bounce {
                         to,
+                        epoch,
                         retries,
                         msg: WireMsg::decode(r.rest())?,
                     },
@@ -566,6 +592,7 @@ mod tests {
             },
             NetMsg::Bounce {
                 to: 6,
+                epoch: 4,
                 retries: 2,
                 msg: WireMsg::Response {
                     token: 9,

@@ -70,14 +70,40 @@ impl ShardDirectory {
     /// during the Freeze step of a handoff: the source node redirects
     /// new sends toward the destination *before* the state ships, and
     /// the epoch is bumped only when the coordinator commits.
+    ///
+    /// The store is `SeqCst` because it is the store half of a
+    /// Dekker-style store-load handshake with the producer guard in
+    /// `Shared::send`: freeze stores the new owner, then loads the
+    /// producer count; a sender increments the producer count, then
+    /// re-loads the owner ([`ShardDirectory::owner_of_fenced`]). With
+    /// anything weaker than `SeqCst` on all four accesses, both sides
+    /// may read the *old* value of the other's flag (StoreLoad
+    /// reordering), letting a sender push into a mailbox the freeze
+    /// already believes drained — a lost message.
     pub fn set_owner(&self, shard: usize, node: u32) {
-        self.owners[shard].store(node, Ordering::Release);
+        self.owners[shard].store(node, Ordering::SeqCst);
+    }
+
+    /// `SeqCst` read of a shard's owner — the load half of the
+    /// freeze/producer handshake (see [`ShardDirectory::set_owner`]).
+    /// Only the ownership re-check under the producer guard needs
+    /// this; plain routing reads use [`ShardDirectory::owner_of`] and
+    /// tolerate staleness.
+    pub fn owner_of_fenced(&self, shard: usize) -> u32 {
+        self.owners[shard].load(Ordering::SeqCst)
     }
 
     /// Install a complete (epoch, ownership) view, as broadcast by the
     /// coordinator on commit. Stale installs (epoch older than what we
     /// already have) are ignored so reordered updates cannot roll the
     /// directory backwards.
+    ///
+    /// The owners are stored *before* the epoch (Release), so a
+    /// reader that loads the epoch first ([`ShardDirectory::epoch`],
+    /// Acquire) and then an owner sees a map at least as new as that
+    /// epoch. The send path in `em2-net` relies on this to stamp
+    /// outgoing frames with an epoch no newer than the map that
+    /// routed them.
     pub fn install(&self, epoch: u64, owners: &[u32]) -> bool {
         debug_assert_eq!(owners.len(), self.owners.len());
         // Single writer per node (the reader thread handling coordinator

@@ -24,18 +24,23 @@ use std::time::{Duration, Instant};
 /// intended flow control).
 pub trait NodeLink: Send + Sync {
     /// Ship an inter-shard message to `to_shard` (a global id owned by
-    /// another node).
-    fn forward(&self, to_shard: usize, msg: WireMsg);
+    /// another node). `retries` is how many times ownership movement
+    /// has already re-routed the message — 0 for a fresh send; the
+    /// carried frame count when the runtime re-forwards a delivery
+    /// that raced an outbound handoff, so the transport's per-frame
+    /// bounce budget survives the detour through this node.
+    fn forward(&self, to_shard: usize, retries: u32, msg: WireMsg);
 
     /// Ship a batch of inter-shard messages, each addressed to its own
     /// global shard id. Semantically identical to calling
-    /// [`NodeLink::forward`] once per element in order; implementations
-    /// may exploit the batch to enqueue contiguously and take one
-    /// wakeup per peer (the runtime hands a whole mailbox batch's
-    /// remote-access replies over in one call).
+    /// [`NodeLink::forward`] once per element in order with a fresh
+    /// re-route budget; implementations may exploit the batch to
+    /// enqueue contiguously and take one wakeup per peer (the runtime
+    /// hands a whole mailbox batch's remote-access replies over in one
+    /// call).
     fn forward_many(&self, msgs: Vec<(usize, WireMsg)>) {
         for (to, msg) in msgs {
-            self.forward(to, msg);
+            self.forward(to, 0, msg);
         }
     }
 
@@ -454,12 +459,14 @@ impl Runtime {
         let scheme_name = make_scheme().name();
 
         // Shards this node owns at launch. Zero is legal in node mode
-        // (a joining member acquires shards by live handoff); the
-        // multiplexed executor still gets one worker so handed-off
-        // shards find a poller.
+        // (a joining member acquires shards by live handoff). The
+        // multiplexed pool is sized for the cluster's shard space, not
+        // the launch-time owned count: ownership is elastic, so a
+        // member that joins with one shard may end up polling many
+        // after a drain rebalances onto it.
         let owned_at_start = directory.owned_shards(node_id);
         let workers = match cfg.executor {
-            ExecutorMode::Multiplexed => cfg.resolved_workers().min(owned_at_start.len().max(1)),
+            ExecutorMode::Multiplexed => cfg.resolved_workers().clamp(1, shards.max(1)),
             ExecutorMode::ThreadPerShard => owned_at_start.len(),
         };
         // The timing plane: `None` unless configured (explicitly or via
@@ -601,23 +608,23 @@ impl Runtime {
 
     /// Submit one task under an explicit [`ThreadId`].
     ///
-    /// This is the cluster entry point: each node submits only the
-    /// tasks native to its own shards, under the same global thread
-    /// ids a single-process run would assign — ids must be unique
-    /// **cluster-wide** (they key guest-context admission and the
-    /// learning schemes' tables). Single-process callers normally want
-    /// [`Runtime::submit`]'s automatic numbering.
+    /// This is the cluster entry point: each node submits the tasks
+    /// native to its **launch-time** shard span, under the same global
+    /// thread ids a single-process run would assign — ids must be
+    /// unique **cluster-wide** (they key guest-context admission and
+    /// the learning schemes' tables). The span partition decides *who
+    /// submits*; it need not match who currently *owns* — a live
+    /// handoff can move a shard away before its node finishes
+    /// submitting, in which case the arrival routes over the link to
+    /// the current owner like any other in-flight message (the
+    /// producer-guarded send makes the race safe). Single-process
+    /// callers normally want [`Runtime::submit`]'s automatic
+    /// numbering.
     pub fn submit_as(&mut self, spec: TaskSpec, thread: ThreadId) {
         let shared = self.shared.as_ref().expect("runtime is live");
         assert!(
             spec.native.index() < self.shards,
             "native shard out of range"
-        );
-        assert!(
-            shared.local_slot(spec.native.index()).is_some(),
-            "task native to shard {} submitted on node {}, which does not currently own it",
-            spec.native.index(),
-            shared.node_id
         );
         self.next_thread = self.next_thread.max(thread.0.saturating_add(1));
         let env = Box::new(Envelope {
@@ -810,8 +817,12 @@ impl RemoteInbox {
     /// while the message was in flight, `crate::shard::Shared::send`'s
     /// producer-guarded path forwards it over the link instead of
     /// applying it locally — the caller (the transport layer's epoch
-    /// fence) is expected to have already bounced clearly-stale frames.
-    pub fn deliver(&self, to: usize, msg: WireMsg) -> Result<bool, WireError> {
+    /// fence) is expected to have already bounced clearly-stale
+    /// frames. `retries` is the re-route count carried on the frame
+    /// (0 for locally originated messages); it rides along on that
+    /// re-forward so the transport's bounce budget keeps counting
+    /// across the local hop.
+    pub fn deliver(&self, to: usize, retries: u32, msg: WireMsg) -> Result<bool, WireError> {
         let Some(shared) = self.shared.upgrade() else {
             return Ok(false);
         };
@@ -831,7 +842,7 @@ impl RemoteInbox {
             WireMsg::Response { token, value } => Msg::Response { token, value },
             WireMsg::BarrierRelease { idx } => Msg::BarrierRelease { idx: idx as usize },
         };
-        shared.send(to, m);
+        shared.send_routed(to, retries, m);
         Ok(true)
     }
 
@@ -885,7 +896,11 @@ impl RemoteInbox {
         // See `Mailbox::producers`: a producer that saw the old owner
         // completes its push before this count drains, so the mailbox
         // drain below captures it; later senders see the flip and
-        // route over the link.
+        // route over the link. The owner store above and this load are
+        // both SeqCst — the Dekker pairing with the producer guard in
+        // `Shared::send` (see `ShardDirectory::set_owner`); weaker
+        // orderings would let a sender slip a message into the mailbox
+        // after the drain.
         while mb.producers.load(Ordering::SeqCst) != 0 {
             std::thread::yield_now();
         }
@@ -920,7 +935,9 @@ impl RemoteInbox {
         // here on find a complete shard.
         shared.directory.set_owner(shard, shared.node_id);
         for msg in mailbox {
-            self.deliver(shard, msg)?;
+            // The backlog had reached its then-home; replaying it here
+            // is a fresh route, so the bounce budget restarts at 0.
+            self.deliver(shard, 0, msg)?;
         }
         shared.kick(shard);
         Ok(true)

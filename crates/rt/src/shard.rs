@@ -205,7 +205,9 @@ pub(crate) struct Mailbox {
     /// owner first, then waits for this to reach zero; a sender that
     /// re-checks ownership *after* incrementing and still sees itself
     /// as owner therefore completes its push before the freeze drains
-    /// the mailbox. Single-process sends never touch it.
+    /// the mailbox. Every access in the handshake is SeqCst (see
+    /// `ShardDirectory::set_owner` for the store-load argument).
+    /// Single-process sends never touch it.
     pub producers: AtomicU32,
 }
 
@@ -309,6 +311,16 @@ impl Shared {
     /// when another node owns `to` — serialize the message and hand it
     /// to the node link.
     pub(crate) fn send(&self, to: usize, msg: Msg) {
+        self.send_routed(to, 0, msg);
+    }
+
+    /// [`Shared::send`] with an explicit re-route budget: `retries` is
+    /// how many times ownership movement has already bounced this
+    /// message between nodes. Organic sends start at 0; the transport
+    /// layer passes the count carried on the frame so the
+    /// `EM2_NET_BOUNCE_RETRIES` budget survives a delivery that races
+    /// an outbound ownership flip and re-forwards over the link.
+    pub(crate) fn send_routed(&self, to: usize, retries: u32, msg: Msg) {
         debug_assert!(to < self.total_shards, "shard {to} outside the cluster");
         if self.node.is_none() {
             // Single-process fast path: ownership never changes, no
@@ -323,10 +335,17 @@ impl Shared {
             // send that still sees itself as owner here completes its
             // push strictly before the freeze drains the mailbox, and
             // a send that lost the race backs out and routes over the
-            // link instead.
+            // link instead. This is a Dekker-style store-load
+            // handshake: the increment (SeqCst RMW), this re-load, the
+            // freeze's owner store, and its producer-count load all
+            // take part in the single SeqCst total order, so either we
+            // observe the flipped owner here, or the freeze observes
+            // our increment and waits out the push — weaker orderings
+            // would allow both sides to miss the other (see
+            // `ShardDirectory::set_owner`).
             let mb = &self.mailboxes[to];
             mb.producers.fetch_add(1, Ordering::SeqCst);
-            if self.directory.owner_of(to) == self.node_id {
+            if self.directory.owner_of_fenced(to) == self.node_id {
                 self.push_and_schedule(to, msg);
                 mb.producers.fetch_sub(1, Ordering::SeqCst);
                 return;
@@ -336,7 +355,7 @@ impl Shared {
         self.node
             .as_ref()
             .expect("a message to a non-local shard requires a node link")
-            .forward(to, msg_to_wire(msg));
+            .forward(to, retries, msg_to_wire(msg));
     }
 
     /// The local half of [`Shared::send`]: lock-free mailbox push plus
