@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every figure/table of the paper.
 //!
 //! ```text
-//! experiments [all|e1|e2|...|e13] [--quick] [--chart] [--serial]
+//! experiments [all|e1|e2|...|e14] [--quick] [--chart] [--serial]
 //!             [--threads N] [--bench-json PATH] [--no-bench-json]
 //! ```
 //!
@@ -168,6 +168,20 @@ fn main() {
             obs_overhead.on.ops_per_sec(),
             obs_overhead.overhead_pct()
         );
+        let placement = em2_bench::scorecard::PlacementScorecard::measure(scale);
+        for sc in &placement.scores {
+            println!(
+                "  placement {:<16}: attributed cost {:>10} vs DP bound {:>10} ({:.0}%)",
+                sc.scheme,
+                sc.observed,
+                placement.bound,
+                if placement.bound > 0 {
+                    100.0 * sc.observed as f64 / placement.bound as f64
+                } else {
+                    0.0
+                }
+            );
+        }
         let scaling = perf::shard_scaling_sweep();
         for p in &scaling {
             println!(
@@ -231,6 +245,7 @@ fn main() {
             &rt_cal,
             &rt_base,
             &obs_overhead,
+            &placement,
             &scaling,
             &latency,
             &transport,

@@ -1,4 +1,4 @@
-//! The thirteen experiments (E1–E13): E1–E9 each regenerate one paper
+//! The fourteen experiments (E1–E14): E1–E9 each regenerate one paper
 //! artifact; E10 exercises the engine's contention layer beyond the
 //! paper's closed-form model; E11 cross-validates the executable
 //! `em2-rt` runtime against the simulator and measures its wall-clock
@@ -6,7 +6,9 @@
 //! `em2-net` cluster) against the single-process one and records the
 //! context-bytes-on-the-wire telemetry; E13 proves the same agreement
 //! **through live shard handoffs** — elastic membership re-homing
-//! shards mid-workload without moving a single counter.
+//! shards mid-workload without moving a single counter; E14 scores
+//! the placement the runtime actually executed — the telemetry
+//! plane's attributed cost vs the DP bound on the same stream.
 //!
 //! Every experiment is decomposed into independent **cells** — one
 //! (config, workload, scheme) combination each — and fanned across the
@@ -1272,9 +1274,79 @@ pub fn e13_elastic_membership(scale: Scale) -> Table {
     t
 }
 
+/// E14 — the placement scorecard: the telemetry plane's
+/// cost-attribution matrix, read back as a *decision aid*. Each panel
+/// scheme replays the KV-shaped request stream
+/// ([`crate::scorecard::kv_workload`]) on the obs-on runtime; the
+/// attributed cost of the placement it actually executed is compared
+/// against the DP bound on the same stream (`em2-optimal`), and —
+/// because attribution is a per-thread program-order function — the
+/// **summed** attributed cost of a 2-node loopback cluster must equal
+/// the single-process reading **bit-for-bit**, live handoff machinery
+/// and all. Three asserted invariants per row: observed ≥ bound,
+/// observed = the `O(N)` replay evaluation, and cluster sum = single
+/// process.
+pub fn e14_placement_scorecard(scale: Scale) -> Table {
+    use crate::scorecard::{kv_workload, scheme_panel, PlacementScorecard};
+    use em2_net::{run_workload_cluster_in_process, ClusterSpec};
+    let sc = PlacementScorecard::measure(scale);
+    let mut t = Table::new(
+        "E14 / placement scorecard — attributed cost vs DP bound (KV replay)",
+        &[
+            "scheme",
+            "observed cost",
+            "DP bound",
+            "% of bound",
+            "x2-node sum",
+            "agreement",
+        ],
+    );
+    let (shards, threads, rounds) = PlacementScorecard::sizes(scale);
+    let w = Arc::new(kv_workload(threads, rounds, shards));
+    let placement: Arc<dyn em2_placement::Placement> =
+        Arc::new(em2_placement::Striped::new(shards, 64));
+    let mut cfg = em2_rt::RtConfig::eviction_free(shards, threads);
+    cfg.obs = Some(em2_obs::ObsConfig::on());
+    for (score, (sname, factory)) in sc.scores.iter().zip(scheme_panel()) {
+        debug_assert_eq!(score.scheme, sname, "panel order is shared");
+        let reports = run_workload_cluster_in_process(
+            &ClusterSpec::loopback(2, shards),
+            &cfg,
+            &w,
+            &placement,
+            factory,
+        )
+        .expect("E14 loopback cluster");
+        let summed: u64 = reports
+            .iter()
+            .map(|r| r.obs.as_ref().expect("obs was configured on").attrib_cost)
+            .sum();
+        assert_eq!(
+            summed, score.observed,
+            "E14 {sname}: 2-node attributed-cost sum diverged from single process"
+        );
+        let pct = if sc.bound == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.0}%", 100.0 * score.observed as f64 / sc.bound as f64)
+        };
+        t.row(vec![
+            sname.to_string(),
+            fmt_count(score.observed),
+            fmt_count(sc.bound),
+            pct,
+            fmt_count(summed),
+            "exact".to_string(),
+        ]);
+    }
+    t.note("observed cost is read from the obs cost-attribution matrix after an obs-on run; asserted equal to the O(N) replay evaluation and >= the DP bound before rendering");
+    t.note("x2-node sum is the same matrix summed over a 2-node loopback cluster's snapshots — asserted bit-equal to the single-process reading (attribution is a per-thread program-order function)");
+    t
+}
+
 /// Experiment ids in canonical order.
-pub const ALL_IDS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const ALL_IDS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 /// One experiment's output: its tables plus the wall-clock it took.
@@ -1310,7 +1382,7 @@ impl SuiteResult {
     }
 }
 
-/// Run a subset of experiments (empty `ids` = all thirteen) with the
+/// Run a subset of experiments (empty `ids` = all fourteen) with the
 /// two-level parallel sweep: experiments fan out as cells, and each
 /// experiment fans its own (config, workload, scheme) cells. Output
 /// order — and content, minus E5's, E11's, E12's, and E13's measured
@@ -1344,6 +1416,7 @@ pub fn run_suite(scale: Scale, ids: &[&str]) -> SuiteResult {
             "e11" => vec![e11_runtime_agreement(scale)],
             "e12" => vec![e12_transport(scale)],
             "e13" => vec![e13_elastic_membership(scale)],
+            "e14" => vec![e14_placement_scorecard(scale)],
             other => unreachable!("id {other:?} is not in ALL_IDS"),
         };
         ExperimentRun {
@@ -1354,12 +1427,12 @@ pub fn run_suite(scale: Scale, ids: &[&str]) -> SuiteResult {
     };
     // Phase 1: everything except the wall-clock-measuring
     // experiments, fanned across the pool. Phase 2: E5 (DP runtimes),
-    // E11 (runtime ops/sec), E12, and E13 (cluster ops/sec — whole
+    // E11 (runtime ops/sec), E12, E13, and E14 (cluster runs — whole
     // node fleets of shard workers) run alone in sequence, so their
     // measurements see an otherwise idle machine.
-    let (timed, rest): (Vec<_>, Vec<_>) = selected
-        .into_iter()
-        .partition(|id| *id == "e5" || *id == "e11" || *id == "e12" || *id == "e13");
+    let (timed, rest): (Vec<_>, Vec<_>) = selected.into_iter().partition(|id| {
+        *id == "e5" || *id == "e11" || *id == "e12" || *id == "e13" || *id == "e14"
+    });
     let mut runs = par::par_map(rest, run_one);
     runs.extend(timed.into_iter().map(run_one));
     runs.sort_by_key(|r| ALL_IDS.iter().position(|id| *id == r.id));
@@ -1404,6 +1477,15 @@ mod tests {
         // The assertion inside e4 fires if any scheme beats the DP.
         let t = e4_optimal_vs_schemes(Scale::Quick);
         assert_eq!(t.rows.len(), 7);
+    }
+
+    #[test]
+    fn e14_cluster_sum_matches_single_process() {
+        // The cluster-sum, replay-agreement, and bound assertions all
+        // fire inside e14; this pins the panel structure.
+        let t = e14_placement_scorecard(Scale::Quick);
+        assert_eq!(t.rows.len(), 4);
+        assert!(t.rows.iter().all(|r| r[5] == "exact"));
     }
 
     #[test]

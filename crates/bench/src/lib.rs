@@ -18,6 +18,7 @@
 //! | E11 | runtime ↔ simulator cross-validation | [`experiments::e11_runtime_agreement`] |
 //! | E12 | distributed (cross-node) runtime agreement + wire telemetry | [`experiments::e12_transport`] |
 //! | E13 | elastic membership: live shard handoff agreement | [`experiments::e13_elastic_membership`] |
+//! | E14 | placement scorecard: attributed cost vs DP bound | [`experiments::e14_placement_scorecard`] |
 //!
 //! The `experiments` binary prints these as aligned text tables and
 //! writes `BENCH.json` perf telemetry ([`perf`]); the benches in
@@ -36,6 +37,7 @@ pub mod experiments;
 pub mod netproc;
 pub mod par;
 pub mod perf;
+pub mod scorecard;
 pub mod serving;
 pub mod table;
 pub mod workloads;

@@ -48,16 +48,23 @@ fn parallel_suite_is_byte_identical_to_serial() {
     // changes this fingerprint. E10 postdates the freeze, so it is
     // excluded here, as are E11 (the executable-runtime
     // cross-validation), E12 (the distributed-runtime
-    // cross-validation), and E13 (elastic membership), all
-    // post-freeze: the full-suite digest in BENCH.json differs from
-    // this pinned prefix by exactly their tables.
+    // cross-validation), E13 (elastic membership), and E14 (the
+    // placement scorecard), all post-freeze: the full-suite digest in
+    // BENCH.json differs from this pinned prefix by exactly their
+    // tables.
     let pre_refactor = "fnv1a:8fd102978e26f354";
     assert_eq!(
         tables_digest(
             serial
                 .runs
                 .iter()
-                .filter(|r| r.id != "e10" && r.id != "e11" && r.id != "e12" && r.id != "e13")
+                .filter(|r| {
+                    r.id != "e10"
+                        && r.id != "e11"
+                        && r.id != "e12"
+                        && r.id != "e13"
+                        && r.id != "e14"
+                })
                 .flat_map(|r| r.tables.iter())
         ),
         pre_refactor,

@@ -68,6 +68,10 @@ pub const KNOWN: &[VarDef] = &[
         doc: "directory for flight-recorder post-mortem JSONL dumps (default: temp dir)",
     },
     VarDef {
+        name: "EM2_OBS_ATTRIB_SLOTS",
+        doc: "per-shard cost-attribution matrix capacity in (thread, home) cells (default 512)",
+    },
+    VarDef {
         name: "EM2_BENCH_THREADS",
         doc: "sweep worker count for the em2-bench experiment harness",
     },

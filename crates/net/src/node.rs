@@ -491,7 +491,12 @@ impl Links {
             if let Some(p) = peer {
                 obs.node_event(em2_obs::EventKind::PeerDown, p, 0);
             }
-            let _ = obs.flight_dump(err.kind(), &err.to_string(), peer);
+            let _ = obs.flight_dump(
+                err.kind(),
+                &err.to_string(),
+                peer,
+                Some(&self.wedge_census_json()),
+            );
         }
         match &err {
             ClusterError::Aborted { from, reason } => {
@@ -789,6 +794,78 @@ impl Links {
         )
     }
 
+    /// The same census as one machine-readable JSON line, for the
+    /// crash flight recorder. `try_lock` everywhere: `fail` invokes
+    /// this under whatever locks the failing thread already holds (the
+    /// handoff pump calls `fail` while holding the coordinator's
+    /// ledger), so a busy lock is reported as such instead of
+    /// deadlocking the dump.
+    fn wedge_census_json(&self) -> String {
+        use std::fmt::Write as _;
+        let b = self.inbox.get().map(|i| i.backlog()).unwrap_or_default();
+        let mut s = format!(
+            "{{\"kind\":\"census\",\"node\":{},\"runnable\":{},\"parked_barrier\":{},\
+             \"awaiting_reply\":{},\"stalled_admission\":{},\"busy_shards\":{},\"epoch\":{}",
+            self.me,
+            b.runnable,
+            b.parked_barrier,
+            b.awaiting_reply,
+            b.stalled_admission,
+            b.skipped_shards,
+            self.directory.epoch()
+        );
+        match self.handoff.try_lock() {
+            Ok(hs) => {
+                let parked: Vec<String> = hs
+                    .parked_bounces
+                    .iter()
+                    .map(|(sh, r, _)| format!("[{sh},{r}]"))
+                    .collect();
+                let mut expecting: Vec<usize> = hs.expecting.keys().copied().collect();
+                expecting.sort_unstable();
+                let expecting: Vec<String> = expecting.iter().map(|sh| sh.to_string()).collect();
+                let _ = write!(
+                    s,
+                    ",\"parked_frames\":[{}],\"expecting\":[{}]",
+                    parked.join(","),
+                    expecting.join(",")
+                );
+            }
+            Err(_) => s.push_str(",\"fence_state\":\"busy\""),
+        }
+        if let Some(c) = self.coord.as_ref() {
+            match c.handoffs.try_lock() {
+                Ok(lg) => {
+                    match lg.active.as_ref() {
+                        Some(a) => {
+                            let _ = write!(
+                                s,
+                                ",\"handoff_active\":{{\"hid\":{},\"shard\":{},\"from\":{},\
+                                 \"to\":{},\"phase\":\"{}\"}}",
+                                a.hid, a.shard, a.from, a.to, a.phase
+                            );
+                        }
+                        None => s.push_str(",\"handoff_active\":null"),
+                    }
+                    let _ = write!(s, ",\"handoff_queued\":{}", lg.queue.len());
+                }
+                Err(_) => s.push_str(",\"handoff_ledger\":\"busy\""),
+            }
+            match c.state.try_lock() {
+                Ok(st) => {
+                    let _ = write!(
+                        s,
+                        ",\"closed_nodes\":{},\"submitted\":{},\"retired\":{}",
+                        st.closed_nodes, st.submitted, st.retired
+                    );
+                }
+                Err(_) => s.push_str(",\"quiesce_ledger\":\"busy\""),
+            }
+        }
+        s.push('}');
+        s
+    }
+
     /// Freeze `shard` locally and ship its state to `to` — the
     /// source-node half of the Transfer step. Returns `false` when the
     /// handoff cannot proceed (failure already recorded).
@@ -819,11 +896,9 @@ impl Links {
             return false;
         };
         if let Some(obs) = self.obs.get() {
-            obs.node_event(
-                em2_obs::EventKind::HandoffFreeze,
-                shard as u64,
-                frozen.encode().len() as u64,
-            );
+            let bytes = frozen.encode().len() as u64;
+            obs.node_event(em2_obs::EventKind::HandoffFreeze, shard as u64, bytes);
+            obs.handoff_freeze(hid, shard as u64, bytes);
         }
         self.send_to(
             to as usize,
@@ -879,7 +954,18 @@ impl Links {
                 .unwrap_or_default()
         };
         let replayed = buffered.len();
-        for (from, retries, msg) in buffered {
+        for (from, retries, mut msg) in buffered {
+            // A replayed arrival records the detour in its journey —
+            // unconditionally, like every hop: journeys are wire
+            // state, not obs state (see `em2_rt::wire::Journey`).
+            if let WireMsg::Arrive(we) = &mut msg {
+                we.journey.push(em2_rt::wire::JourneyHop {
+                    shard: shard as u32,
+                    node: self.me as u32,
+                    epoch: self.directory.epoch(),
+                    cause: em2_rt::wire::HopCause::HandoffReplay,
+                });
+            }
             // The carried re-route count rides through the local
             // delivery: should the shard flip away again before the
             // push lands, the re-forward keeps counting against the
@@ -898,6 +984,7 @@ impl Links {
                 shard as u64,
                 replayed as u64,
             );
+            obs.handoff_transfer(hid, shard as u64, replayed as u64, replayed as u64);
         }
         if self.me == 0 {
             self.coord_handoff_done(hid, shard);
@@ -945,6 +1032,7 @@ impl Links {
             });
             if let Some(obs) = self.obs.get() {
                 obs.node_event(em2_obs::EventKind::HandoffPrepare, shard as u64, to as u64);
+                obs.handoff_prepare(hid, shard as u64, from as u64, to as u64);
             }
             let epoch = self.directory.epoch();
             // Tell the destination to fence (buffer) frames for the
@@ -1012,6 +1100,8 @@ impl Links {
             debug_assert!(installed, "the coordinator's epoch only moves here");
             if let Some(obs) = self.obs.get() {
                 obs.node_event(em2_obs::EventKind::HandoffCommit, shard as u64, epoch);
+                obs.handoff_commit(hid);
+                obs.set_dir_epoch(epoch);
             }
             for node in 0..self.spec.num_nodes() {
                 if node != self.me {
@@ -1044,7 +1134,7 @@ impl Links {
         to: usize,
         bouncer_epoch: u64,
         retries: u32,
-        msg: WireMsg,
+        mut msg: WireMsg,
     ) {
         if to >= self.spec.total_shards {
             self.fail(ClusterError::Protocol {
@@ -1066,8 +1156,29 @@ impl Links {
             });
             return;
         }
+        // A bounced arrival records the detour in its journey —
+        // unconditionally, like every hop: journeys are wire state,
+        // not obs state (see `em2_rt::wire::Journey`).
+        if let WireMsg::Arrive(we) = &mut msg {
+            we.journey.push(em2_rt::wire::JourneyHop {
+                shard: to as u32,
+                node: self.me as u32,
+                epoch: self.directory.epoch(),
+                cause: em2_rt::wire::HopCause::Bounce,
+            });
+        }
         if let Some(obs) = self.obs.get() {
             obs.node_event(em2_obs::EventKind::HandoffBounce, to as u64, r as u64);
+            obs.handoff_bounce(to as u64);
+            if let WireMsg::Arrive(we) = &msg {
+                // Node-level attribution (reader threads are
+                // multi-writer, hence fetch_add rather than the
+                // shard-local single-writer bump).
+                obs.attrib
+                    .cell(we.thread, to as u32)
+                    .bounces
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
         {
             // Park only on *proof* that a future `EpochUpdate` will
@@ -1520,6 +1631,9 @@ fn reader_loop(links: &Links, from_node: usize, mut rx: Box<dyn FrameRx>) {
                     return;
                 }
                 links.directory.install(epoch, &owners);
+                if let Some(obs) = links.obs.get() {
+                    obs.set_dir_epoch(epoch);
+                }
                 links.drain_parked_bounces();
             }
             NetMsg::Bounce {

@@ -1,6 +1,6 @@
 //! Integration pins for the observability plane (DESIGN.md §12).
 //!
-//! Two properties the obs PR must never regress:
+//! Three properties the obs PR must never regress:
 //!
 //! 1. **Invisibility** — a cluster run with metrics + tracing fully
 //!    enabled produces deterministic counters bit-equal to the same
@@ -9,13 +9,18 @@
 //! 2. **The flight recorder fires** — a chaos-injected node crash
 //!    leaves behind a JSONL post-mortem on every surviving node whose
 //!    final event names the failing edge (error kind + peer).
+//! 3. **Merging is exact under live handoffs** — folding per-node
+//!    snapshots into cluster totals while shards change owner neither
+//!    double-counts nor drops counters, histograms, attribution rows,
+//!    or handoff-phase traces (DESIGN.md §14).
 
 use em2_core::decision::{DecisionScheme, HistoryPredictor};
 use em2_net::{
-    run_workload_cluster_chaos, run_workload_cluster_in_process, ClusterSpec, ClusterTimeouts,
-    CounterSummary, FaultPlan, TransportKind,
+    run_workload_cluster_chaos, run_workload_cluster_in_process,
+    run_workload_cluster_in_process_with_handoffs, ClusterSpec, ClusterTimeouts, CounterSummary,
+    FaultPlan, TransportKind,
 };
-use em2_obs::ObsConfig;
+use em2_obs::{NodeObs, ObsConfig, Snapshot};
 use em2_placement::{FirstTouch, Placement};
 use em2_rt::RtConfig;
 use em2_trace::gen::micro;
@@ -100,6 +105,169 @@ fn enabled_obs_is_invisible_to_the_deterministic_counters() {
         assert!(s.wire_bytes > 0);
         assert_eq!(s.flush_ns.count, s.wire_flushes);
     }
+}
+
+/// Property 3, live half: run a 2-node cluster whose shards change
+/// owner mid-workload, then fold the per-node snapshots into cluster
+/// totals exactly the way a cluster-wide scraper would. Every plane
+/// must survive the fold bit-exactly:
+///
+/// * counters and histograms sum to the per-node deterministic
+///   counters (nothing dropped, nothing counted twice);
+/// * attribution rows stay consistent with the summed `attrib_cost`
+///   scalar;
+/// * handoff traces assemble complete Prepare→Freeze→Transfer→Commit
+///   records from phases that were each stamped on a *different* node,
+///   and the trace rows agree with the independently-summed scalar
+///   mirrors (`handoff_frozen_bytes`, `handoff_replayed`) — a
+///   double-recorded phase or a dropped record breaks that equality.
+#[test]
+fn snapshot_merge_is_exact_across_live_handoffs() {
+    // Longer workload + run budget than the invisibility test: the
+    // run must survive two live ownership changes.
+    let w = micro::uniform(SHARDS, SHARDS, 120, 64, 0.3, 17);
+    let threads = w.num_threads();
+    let placement: Arc<dyn Placement> = Arc::new(FirstTouch::build(&w, SHARDS, 64));
+    let w = Arc::new(w);
+    let mut cfg = RtConfig::eviction_free(SHARDS, threads);
+    cfg.obs = Some(ObsConfig::on());
+
+    let spec = spec("merge").with_timeouts(ClusterTimeouts {
+        connect_ms: 5_000,
+        run_ms: 20_000,
+        heartbeat_ms: 25,
+    });
+    // Two handoffs in opposite directions so both nodes play source,
+    // destination, and (node 0) coordinator while traffic is live.
+    let handoffs = [(1usize, 1usize), (SHARDS - 2, 0usize)];
+    let commits = handoffs
+        .iter()
+        .filter(|&&(s, to)| spec.owner_of(s) != to)
+        .count() as u64;
+    assert_eq!(commits, 2, "the scenario must move shards");
+    let reports = run_workload_cluster_in_process_with_handoffs(
+        &spec, &cfg, &w, &placement, scheme, &handoffs,
+    )
+    .expect("handoff cluster");
+    assert_eq!(reports.len(), NODES);
+
+    let parts: Vec<Snapshot> = reports
+        .iter()
+        .map(|r| r.obs.clone().expect("obs-on node carries a snapshot"))
+        .collect();
+    let merged = Snapshot::sum(parts.iter().cloned());
+    assert_eq!(merged.nodes, NODES as u64);
+
+    // Counter plane: the fold must reproduce the per-node sums of the
+    // deterministic counters exactly.
+    let sum = |f: fn(&em2_net::NetReport) -> u64| reports.iter().map(f).sum::<u64>();
+    assert_eq!(merged.migrations_out, sum(|r| r.rt.flow.migrations));
+    assert_eq!(
+        merged.remote_reads + merged.remote_writes,
+        sum(|r| r.rt.flow.remote_reads + r.rt.flow.remote_writes)
+    );
+    assert_eq!(merged.context_bytes_out, sum(|r| r.rt.context_bytes_sent));
+    assert_eq!(merged.retired, parts.iter().map(|s| s.retired).sum::<u64>());
+    // Histogram plane: bucket-wise merge keeps the population equal to
+    // the summed counter it shadows.
+    assert_eq!(merged.task_latency_ns.count, merged.retired);
+
+    // Attribution plane: the row fold and the scalar sum are two
+    // independent paths to the same total.
+    assert_eq!(
+        merged.attrib_cost,
+        parts.iter().map(|s| s.attrib_cost).sum::<u64>()
+    );
+    assert_eq!(
+        merged.attrib.iter().map(|e| e.cost()).sum::<u64>(),
+        merged.attrib_cost,
+        "attribution rows diverged from the summed cost scalar"
+    );
+
+    // Handoff plane: every node observed the same epoch history, each
+    // commit was stamped exactly once (on the coordinator), and every
+    // committed trace assembled all four phases from three nodes'
+    // partial views.
+    assert_eq!(merged.handoff_commits, commits);
+    assert_eq!(merged.dir_epoch, spec.initial_epoch + commits);
+    let committed: Vec<_> = merged
+        .handoffs
+        .iter()
+        .filter(|h| h.commit_ns != 0)
+        .collect();
+    assert_eq!(committed.len() as u64, commits);
+    for h in &committed {
+        assert!(
+            h.prepare_ns != 0 && h.freeze_ns != 0 && h.transfer_ns != 0,
+            "committed handoff {} is missing a phase: {h:?}",
+            h.hid
+        );
+        assert!(h.frozen_bytes > 0, "freeze shipped state: {h:?}");
+        assert_eq!(h.buffered, h.replayed, "every parked frame replays: {h:?}");
+    }
+    // The trace rows and their scalar mirrors are summed over
+    // different structures on different nodes; equality means no phase
+    // was double-recorded and no record was dropped in the fold.
+    assert_eq!(
+        merged.handoffs.iter().map(|h| h.frozen_bytes).sum::<u64>(),
+        merged.handoff_frozen_bytes
+    );
+    assert_eq!(
+        merged.handoffs.iter().map(|h| h.replayed).sum::<u64>(),
+        merged.handoff_replayed
+    );
+    assert!(
+        merged.handoffs.iter().map(|h| h.bounced).sum::<u64>() <= merged.handoff_bounced,
+        "per-trace bounces cannot exceed the scalar (strays are loose)"
+    );
+}
+
+/// Property 3, frozen half: the exact mid-Transfer instant, pinned
+/// deterministically. Three registries model the three roles of one
+/// in-flight handoff — the coordinator has stamped Prepare, the source
+/// Freeze, the destination Transfer; nobody has committed. Snapshots
+/// taken *now* (the mid-Transfer merge the live test can only cross
+/// by luck) must fold into exactly one record carrying every stamped
+/// phase once, with the scalar mirrors agreeing.
+#[test]
+fn mid_transfer_merge_assembles_one_record_without_double_counting() {
+    let coord = NodeObs::new(ObsConfig::on(), 0, 4, 1);
+    let src = NodeObs::new(ObsConfig::on(), 0, 4, 1);
+    let dst = NodeObs::new(ObsConfig::on(), 4, 4, 1);
+    coord.set_node(0);
+    src.set_node(1);
+    dst.set_node(2);
+
+    coord.handoff_prepare(7, 3, 1, 2);
+    src.handoff_freeze(7, 3, 4096);
+    dst.handoff_transfer(7, 3, 5, 5);
+    dst.handoff_bounce(3); // fenced frame re-routed mid-handoff
+
+    let merged = Snapshot::sum([coord.snapshot(), src.snapshot(), dst.snapshot()]);
+
+    assert_eq!(merged.handoffs.len(), 1, "one handoff, one record");
+    let h = &merged.handoffs[0];
+    assert_eq!((h.hid, h.shard, h.from, h.to), (7, 3, 1, 2));
+    assert!(h.prepare_ns != 0, "coordinator's Prepare survived");
+    assert!(h.freeze_ns != 0, "source's Freeze survived");
+    assert!(h.transfer_ns != 0, "destination's Transfer survived");
+    assert_eq!(h.commit_ns, 0, "nobody committed yet");
+    assert_eq!(h.frozen_bytes, 4096, "recorded once, not summed twice");
+    assert_eq!((h.buffered, h.replayed, h.bounced), (5, 5, 1));
+    assert_eq!(merged.handoff_commits, 0);
+    assert_eq!(merged.handoff_frozen_bytes, 4096);
+    assert_eq!(merged.handoff_replayed, 5);
+    assert_eq!(merged.handoff_bounced, 1);
+
+    // Commit lands later on the coordinator only; re-merging must
+    // complete the same record rather than open a second one.
+    coord.handoff_commit(7);
+    let merged = Snapshot::sum([coord.snapshot(), src.snapshot(), dst.snapshot()]);
+    assert_eq!(merged.handoffs.len(), 1);
+    assert!(merged.handoffs[0].commit_ns != 0);
+    assert_eq!(merged.handoff_commits, 1);
+    assert_eq!(merged.handoff_frozen_bytes, 4096);
+    assert_eq!(merged.handoff_replayed, 5);
 }
 
 #[test]

@@ -36,6 +36,8 @@
 //!
 //! ## Modules
 //!
+//! * [`attrib`] — the per (scheme-thread, home-shard) cost-attribution
+//!   matrix of the decision-plane telemetry (DESIGN.md §14);
 //! * [`hist`] — log2-bucketed latency histograms with exact mergeable
 //!   quantile *bounds*;
 //! * [`trace`] — fixed-size lifecycle events and the bounded ring;
@@ -53,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod attrib;
 pub mod export;
 pub mod hist;
 pub mod json;
@@ -60,10 +63,11 @@ pub mod metrics;
 pub mod snapshot;
 pub mod trace;
 
+pub use attrib::{AttribCell, AttribTable};
 pub use export::Exporter;
 pub use hist::{HistSnapshot, LogHistogram};
 pub use metrics::{NodeObs, PeerObs, ShardObs, SingleWriterCounter, WorkerObs};
-pub use snapshot::Snapshot;
+pub use snapshot::{AttribEntry, HandoffTrace, Snapshot};
 pub use trace::{Event, EventKind};
 
 use std::path::PathBuf;
@@ -110,15 +114,25 @@ pub struct ObsConfig {
     pub flight_dir: Option<PathBuf>,
     /// Per-shard trace ring capacity, in events.
     pub ring: usize,
+    /// Per-shard cost-attribution matrix capacity, in (thread, home)
+    /// cells (rounded up to a power of two; see DESIGN.md §14).
+    pub attrib_slots: usize,
 }
 
 /// Default per-shard trace ring capacity (see DESIGN.md §12 for the
 /// sizing argument).
 pub const DEFAULT_RING: usize = 256;
 
+/// Default per-shard attribution-matrix capacity. 512 cells cover a
+/// few hundred distinct (thread, home) pairs per shard before per-key
+/// resolution starts spilling to the overflow cell — totals stay exact
+/// regardless (see [`attrib`]).
+pub const DEFAULT_ATTRIB_SLOTS: usize = 512;
+
 impl ObsConfig {
     /// Resolve the plane from `EM2_OBS` / `EM2_OBS_INTERVAL_MS` /
-    /// `EM2_OBS_PATH` / `EM2_OBS_DIR` / `EM2_OBS_RING`.
+    /// `EM2_OBS_PATH` / `EM2_OBS_DIR` / `EM2_OBS_RING` /
+    /// `EM2_OBS_ATTRIB_SLOTS`.
     pub fn from_env() -> Self {
         use em2_model::env;
         let enabled = env_enabled();
@@ -132,6 +146,7 @@ impl ObsConfig {
             export_path: env::raw("EM2_OBS_PATH").map(PathBuf::from),
             flight_dir: env::raw("EM2_OBS_DIR").map(PathBuf::from),
             ring: env::parse("EM2_OBS_RING").unwrap_or(DEFAULT_RING),
+            attrib_slots: env::parse("EM2_OBS_ATTRIB_SLOTS").unwrap_or(DEFAULT_ATTRIB_SLOTS),
         }
     }
 
@@ -146,6 +161,7 @@ impl ObsConfig {
             export_path: None,
             flight_dir: None,
             ring: DEFAULT_RING,
+            attrib_slots: DEFAULT_ATTRIB_SLOTS,
         }
     }
 
@@ -157,6 +173,7 @@ impl ObsConfig {
             export_path: None,
             flight_dir: None,
             ring: DEFAULT_RING,
+            attrib_slots: DEFAULT_ATTRIB_SLOTS,
         }
     }
 

@@ -23,8 +23,9 @@
 //! timestamp, and writes a JSONL post-mortem whose last line names the
 //! failure — turning a chaos-suite typed error into a timeline.
 
+use crate::attrib::{AttribTable, OVERFLOW_KEY};
 use crate::hist::LogHistogram;
-use crate::snapshot::Snapshot;
+use crate::snapshot::{HandoffTrace, Snapshot};
 use crate::trace::{Event, EventKind, Ring};
 use crate::{json::JsonObj, ObsConfig};
 use std::io::Write as _;
@@ -112,11 +113,19 @@ pub struct ShardObs {
     pub task_latency_ns: LogHistogram,
     /// Mailbox drain batch sizes (messages per poll).
     pub mailbox_batch: LogHistogram,
+    /// The (scheme-thread, home-shard) cost-attribution matrix for
+    /// decisions executed on this shard (single writer: the polling
+    /// worker; see DESIGN.md §14).
+    pub attrib: AttribTable,
+    /// Journey hops dumped at task retirement.
+    pub journey_hops: AtomicU64,
+    /// Journey hops lost to the per-envelope cap.
+    pub journey_dropped: AtomicU64,
     ring: Ring,
 }
 
 impl ShardObs {
-    fn new(epoch: Instant, ring: usize) -> Self {
+    fn new(epoch: Instant, ring: usize, attrib_slots: usize) -> Self {
         ShardObs {
             epoch,
             now_ns: AtomicU64::new(0),
@@ -138,6 +147,9 @@ impl ShardObs {
             guest_hwm: AtomicU64::new(0),
             task_latency_ns: LogHistogram::new(),
             mailbox_batch: LogHistogram::new(),
+            attrib: AttribTable::new(attrib_slots),
+            journey_hops: AtomicU64::new(0),
+            journey_dropped: AtomicU64::new(0),
             ring: Ring::new(ring),
         }
     }
@@ -236,6 +248,13 @@ pub struct NodeObs {
     node_ring: Ring,
     seq: AtomicU64,
     flight_taken: AtomicBool,
+    /// Node-level attribution cells for events recorded off the shard
+    /// hot path (e.g. bounce re-routes observed by reader threads).
+    /// Multi-writer: bump with `fetch_add`, not [`SingleWriterCounter`].
+    pub attrib: AttribTable,
+    dir_epoch: AtomicU64,
+    handoffs: Mutex<Vec<HandoffTrace>>,
+    stray_bounces: AtomicU64,
 }
 
 impl NodeObs {
@@ -245,7 +264,7 @@ impl NodeObs {
         let epoch = Instant::now();
         Arc::new(NodeObs {
             shards: (0..shards)
-                .map(|_| Arc::new(ShardObs::new(epoch, cfg.ring)))
+                .map(|_| Arc::new(ShardObs::new(epoch, cfg.ring, cfg.attrib_slots)))
                 .collect(),
             workers: (0..workers.max(1))
                 .map(|_| Arc::new(WorkerObs::default()))
@@ -255,6 +274,10 @@ impl NodeObs {
             seq: AtomicU64::new(0),
             flight_taken: AtomicBool::new(false),
             node: AtomicU64::new(0),
+            attrib: AttribTable::new(cfg.attrib_slots),
+            dir_epoch: AtomicU64::new(0),
+            handoffs: Mutex::new(Vec::new()),
+            stray_bounces: AtomicU64::new(0),
             first_shard,
             epoch,
             cfg,
@@ -314,6 +337,121 @@ impl NodeObs {
         });
     }
 
+    /// Raise the highest directory epoch this node has observed
+    /// (monotone; safe from any thread).
+    pub fn set_dir_epoch(&self, epoch: u64) {
+        self.dir_epoch.fetch_max(epoch, Ordering::Relaxed);
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn with_handoff(&self, hid: u64, f: impl FnOnce(&mut HandoffTrace)) {
+        let mut recs = self.handoffs.lock().expect("handoff ledger");
+        let rec = match recs.iter().position(|r| r.hid == hid) {
+            Some(i) => &mut recs[i],
+            None => {
+                recs.push(HandoffTrace {
+                    hid,
+                    ..HandoffTrace::default()
+                });
+                recs.last_mut().expect("just pushed")
+            }
+        };
+        f(rec);
+    }
+
+    /// The coordinator opened handoff `hid`: re-home `shard` from node
+    /// `from` to node `to`. Stamps the Prepare phase.
+    pub fn handoff_prepare(&self, hid: u64, shard: u64, from: u64, to: u64) {
+        let now = self.now_ns();
+        self.with_handoff(hid, |r| {
+            r.shard = shard;
+            r.from = from;
+            r.to = to;
+            r.prepare_ns = now;
+        });
+    }
+
+    /// The source froze the shard and serialized `frozen_bytes` bytes.
+    /// Stamps the Freeze phase (source node only — the merge rule
+    /// relies on each phase being recorded on exactly one node).
+    pub fn handoff_freeze(&self, hid: u64, shard: u64, frozen_bytes: u64) {
+        let now = self.now_ns();
+        self.with_handoff(hid, |r| {
+            r.shard = shard;
+            r.freeze_ns = now;
+            r.frozen_bytes = frozen_bytes;
+        });
+    }
+
+    /// The destination installed the frozen state after parking
+    /// `buffered` frames and replaying `replayed` of them. Stamps the
+    /// Transfer phase (destination node only).
+    pub fn handoff_transfer(&self, hid: u64, shard: u64, buffered: u64, replayed: u64) {
+        let now = self.now_ns();
+        self.with_handoff(hid, |r| {
+            r.shard = shard;
+            r.transfer_ns = now;
+            r.buffered += buffered;
+            r.replayed += replayed;
+        });
+    }
+
+    /// The coordinator committed the new ownership. Stamps the Commit
+    /// phase.
+    pub fn handoff_commit(&self, hid: u64) {
+        let now = self.now_ns();
+        self.with_handoff(hid, |r| r.commit_ns = now);
+    }
+
+    /// An epoch-fenced frame for `shard` was bounced for re-routing.
+    /// Attributed to the newest uncommitted handoff of that shard;
+    /// counted loose when no ledger entry matches (a bounce can race
+    /// ahead of the coordinator's Prepare on this node).
+    pub fn handoff_bounce(&self, shard: u64) {
+        let mut recs = self.handoffs.lock().expect("handoff ledger");
+        match recs
+            .iter_mut()
+            .rev()
+            .find(|r| r.shard == shard && r.commit_ns == 0)
+        {
+            Some(r) => r.bounced += 1,
+            None => {
+                self.stray_bounces.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The hottest `top` home shards by attributed cost, summed over
+    /// every shard-level matrix plus the node-level table, hottest
+    /// first. Overflow-cell rows are excluded (their home is not a real
+    /// shard).
+    pub fn placement_heat(&self, top: usize) -> Vec<(u32, u64)> {
+        let mut per_home: Vec<(u32, u64)> = Vec::new();
+        let tables = self
+            .shards
+            .iter()
+            .map(|sh| &sh.attrib)
+            .chain(std::iter::once(&self.attrib));
+        for table in tables {
+            for (key, counts) in table.entries() {
+                if key == OVERFLOW_KEY {
+                    continue;
+                }
+                let cost = counts[counts.len() - 1];
+                match per_home.iter_mut().find(|(h, _)| *h == key.1) {
+                    Some((_, c)) => *c += cost,
+                    None => per_home.push((key.1, cost)),
+                }
+            }
+        }
+        per_home.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        per_home.truncate(top);
+        per_home
+    }
+
     /// Flatten the registry into a mergeable [`Snapshot`] (relaxed
     /// reads; advances the exporter sequence number).
     pub fn snapshot(&self) -> Snapshot {
@@ -345,6 +483,28 @@ impl NodeObs {
             s.task_latency_ns.merge(&sh.task_latency_ns.snapshot());
             s.mailbox_batch.merge(&sh.mailbox_batch.snapshot());
             s.trace_dropped += sh.ring.dropped();
+            for ((t, h), counts) in sh.attrib.entries() {
+                s.fold_attrib(t, h, &counts);
+            }
+            s.attrib_dropped += sh.attrib.overflow_routed();
+            s.journey_hops += ld(&sh.journey_hops);
+            s.journey_dropped += ld(&sh.journey_dropped);
+        }
+        for ((t, h), counts) in self.attrib.entries() {
+            s.fold_attrib(t, h, &counts);
+        }
+        s.attrib_dropped += self.attrib.overflow_routed();
+        s.attrib_cost = s.attrib.iter().map(|e| e.cost()).sum();
+        s.dir_epoch = self.dir_epoch.load(Ordering::Relaxed);
+        s.handoff_bounced = self.stray_bounces.load(Ordering::Relaxed);
+        for r in self.handoffs.lock().expect("handoff ledger").iter() {
+            s.fold_handoff(r);
+            if r.commit_ns != 0 {
+                s.handoff_commits += 1;
+            }
+            s.handoff_frozen_bytes += r.frozen_bytes;
+            s.handoff_replayed += r.replayed;
+            s.handoff_bounced += r.bounced;
         }
         for w in &self.workers {
             s.steals += ld(&w.steals);
@@ -410,16 +570,21 @@ impl NodeObs {
     }
 
     /// Dump a post-mortem: a header naming the failure, the full
-    /// metrics snapshot, and the newest [`FLIGHT_EVENTS`] trace events
-    /// merged across every ring — ending with a `fail` event that
-    /// names the failing edge. Only the first call dumps (a cluster
-    /// failure fans out; one timeline per node is enough); later calls
-    /// return `Ok(None)`.
+    /// metrics snapshot, an optional caller-rendered wedge census (one
+    /// pre-built JSON line — the net layer passes its
+    /// runnable/parked/awaiting/expecting/handoff state here so a crash
+    /// dump answers "where is everything stuck" without
+    /// `EM2_NET_DEBUG_WEDGE`), and the newest [`FLIGHT_EVENTS`] trace
+    /// events merged across every ring — ending with a `fail` event
+    /// that names the failing edge. Only the first call dumps (a
+    /// cluster failure fans out; one timeline per node is enough);
+    /// later calls return `Ok(None)`.
     pub fn flight_dump(
         &self,
         error_kind: &str,
         detail: &str,
         peer: Option<u64>,
+        census: Option<&str>,
     ) -> std::io::Result<Option<PathBuf>> {
         if self.flight_taken.swap(true, Ordering::Relaxed) {
             return Ok(None);
@@ -459,6 +624,12 @@ impl NodeObs {
         out.push('\n');
         out.push_str(&self.snapshot_json());
         out.push('\n');
+        if let Some(c) = census {
+            // One line per JSONL discipline; the caller renders it.
+            debug_assert!(!c.contains('\n'));
+            out.push_str(c);
+            out.push('\n');
+        }
         for (shard, ev) in events.iter().skip(skip) {
             out.push_str(&Self::render_event(*shard, ev));
             out.push('\n');
@@ -499,6 +670,15 @@ mod tests {
         }
         obs.worker(0).steals.fetch_add(5, Ordering::Relaxed);
         obs.register_peer(1).record_flush(10, 4_000, 2_500, 3);
+        for (i, _) in obs.shards.iter().enumerate() {
+            let cell = obs.shard(i).attrib.cell(2, 8 + i as u32);
+            cell.migrations.bump(1);
+            cell.cost.bump(30);
+        }
+        obs.attrib
+            .cell(2, 8)
+            .bounces
+            .fetch_add(1, Ordering::Relaxed);
         obs
     }
 
@@ -513,6 +693,49 @@ mod tests {
         assert_eq!(s.steals, 5);
         assert_eq!(s.wire_frames, 10);
         assert_eq!(s.egress_depth_hwm, 3);
+        assert_eq!(s.attrib_cost, 120, "shard matrices fold into one sum");
+        assert_eq!(s.attrib.len(), 4);
+        assert_eq!(
+            s.attrib[0].counts[5], 1,
+            "node-level cells merge with shard cells by key"
+        );
+    }
+
+    #[test]
+    fn handoff_phases_fold_into_the_snapshot() {
+        let obs = NodeObs::new(ObsConfig::on(), 0, 2, 1);
+        obs.handoff_prepare(5, 1, 0, 1);
+        obs.handoff_freeze(5, 1, 640);
+        obs.handoff_bounce(1);
+        obs.handoff_transfer(5, 1, 3, 3);
+        obs.handoff_commit(5);
+        obs.handoff_bounce(9); // no ledger entry → loose count
+        obs.set_dir_epoch(4);
+        obs.set_dir_epoch(2); // monotone
+        let s = obs.snapshot();
+        assert_eq!(s.handoffs.len(), 1);
+        let h = &s.handoffs[0];
+        assert_eq!((h.hid, h.shard, h.from, h.to), (5, 1, 0, 1));
+        assert!(h.prepare_ns <= h.freeze_ns && h.freeze_ns <= h.transfer_ns);
+        assert!(h.transfer_ns <= h.commit_ns);
+        assert_eq!(
+            (h.frozen_bytes, h.buffered, h.replayed, h.bounced),
+            (640, 3, 3, 1)
+        );
+        assert_eq!(s.handoff_commits, 1);
+        assert_eq!(s.handoff_bounced, 2, "ledger bounce + stray bounce");
+        assert_eq!(s.dir_epoch, 4);
+    }
+
+    #[test]
+    fn placement_heat_ranks_homes_by_attributed_cost() {
+        let obs = NodeObs::new(ObsConfig::on(), 0, 2, 1);
+        obs.shard(0).attrib.cell(0, 3).cost.bump(100);
+        obs.shard(1).attrib.cell(1, 3).cost.bump(50);
+        obs.shard(0).attrib.cell(0, 7).cost.bump(80);
+        obs.shard(1).attrib.cell(2, 1).cost.bump(10);
+        let heat = obs.placement_heat(2);
+        assert_eq!(heat, vec![(3, 150), (7, 80)]);
     }
 
     #[test]
@@ -538,11 +761,16 @@ mod tests {
         obs.shard(0).event(EventKind::Retire, 9, 1_234, 0);
         obs.node_event(EventKind::PeerDown, 1, 0);
         let path = obs
-            .flight_dump("peer-lost", "lost peer node 1: read timeout", Some(1))
+            .flight_dump(
+                "peer-lost",
+                "lost peer node 1: read timeout",
+                Some(1),
+                Some(r#"{"kind":"census","runnable":2}"#),
+            )
             .unwrap()
             .expect("first dump");
         assert!(obs
-            .flight_dump("peer-lost", "again", Some(1))
+            .flight_dump("peer-lost", "again", Some(1), None)
             .unwrap()
             .is_none());
         let text = std::fs::read_to_string(&path).unwrap();
@@ -554,6 +782,11 @@ mod tests {
         assert!(last.contains("lost peer node 1"), "names the edge: {last}");
         assert!(text.lines().next().unwrap().contains(r#""kind":"flight""#));
         assert!(text.contains(r#""ev":"peer-down""#));
+        assert_eq!(
+            text.lines().nth(2).unwrap(),
+            r#"{"kind":"census","runnable":2}"#,
+            "census line rides after the snapshot"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

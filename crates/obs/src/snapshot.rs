@@ -14,9 +14,89 @@
 //! Nothing in here participates in any agreement check — merging is
 //! for *aggregation*, never for equality assertions.
 
+use crate::attrib::ATTRIB_COUNTERS;
 use crate::hist::HistSnapshot;
 use crate::json::JsonObj;
 use std::fmt::Write as _;
+
+/// One (thread, home) row of the cost-attribution matrix in its
+/// snapshot form. Rendered as
+/// `attrib.{thread}.{home}=migrations,remote_reads,remote_writes,locals,context_bytes,bounces,parks,cost`
+/// and summed counter-wise by key under merge, so cluster-wide
+/// attribution rides the same text seam as every scalar. The overflow
+/// cell renders under `(u32::MAX, u32::MAX)`
+/// ([`crate::attrib::OVERFLOW_KEY`]) and merges like any other key —
+/// which is what keeps summed totals exact across nodes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttribEntry {
+    /// Scheme-thread id.
+    pub thread: u32,
+    /// Home shard the thread's accesses targeted.
+    pub home: u32,
+    /// The eight counters, in the render order documented on
+    /// [`crate::attrib::ATTRIB_COUNTERS`].
+    pub counts: [u64; ATTRIB_COUNTERS],
+}
+
+impl AttribEntry {
+    /// Attributed network cost (the last counter).
+    pub fn cost(&self) -> u64 {
+        self.counts[ATTRIB_COUNTERS - 1]
+    }
+}
+
+/// Phase timeline of one live shard handoff, keyed by handoff id.
+/// Each node only witnesses the phases it participated in (the
+/// coordinator stamps Prepare/Commit, the source Freeze, the
+/// destination Transfer), so under merge the timestamps take the max
+/// (`0` = not witnessed) while the frame counters sum. Rendered as
+/// `handoff.{hid}=shard,from,to,prepare_ns,freeze_ns,transfer_ns,commit_ns,frozen_bytes,buffered,replayed,bounced`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HandoffTrace {
+    /// Coordinator-assigned handoff id.
+    pub hid: u64,
+    /// The shard being re-homed.
+    pub shard: u64,
+    /// Source node.
+    pub from: u64,
+    /// Destination node.
+    pub to: u64,
+    /// When the coordinator opened the handoff (ns since epoch).
+    pub prepare_ns: u64,
+    /// When the source froze the shard (ns).
+    pub freeze_ns: u64,
+    /// When the destination installed the frozen state (ns).
+    pub transfer_ns: u64,
+    /// When the coordinator committed the new ownership (ns).
+    pub commit_ns: u64,
+    /// Serialized frozen-shard bytes shipped source → destination.
+    pub frozen_bytes: u64,
+    /// Frames buffered at the destination while the shard was frozen.
+    pub buffered: u64,
+    /// Buffered frames replayed into the shard after install.
+    pub replayed: u64,
+    /// Epoch-fenced frames bounced for re-routing during this handoff.
+    pub bounced: u64,
+}
+
+impl HandoffTrace {
+    /// Fold another node's view of the same handoff in (see the
+    /// struct docs for the per-field rule).
+    pub fn merge(&mut self, o: &HandoffTrace) {
+        debug_assert_eq!(self.hid, o.hid);
+        self.shard = self.shard.max(o.shard);
+        self.from = self.from.max(o.from);
+        self.to = self.to.max(o.to);
+        self.prepare_ns = self.prepare_ns.max(o.prepare_ns);
+        self.freeze_ns = self.freeze_ns.max(o.freeze_ns);
+        self.transfer_ns = self.transfer_ns.max(o.transfer_ns);
+        self.commit_ns = self.commit_ns.max(o.commit_ns);
+        self.frozen_bytes = self.frozen_bytes.max(o.frozen_bytes);
+        self.buffered += o.buffered;
+        self.replayed += o.replayed;
+        self.bounced += o.bounced;
+    }
+}
 
 /// One node's obs metrics, flattened and summable.
 ///
@@ -84,16 +164,45 @@ pub struct Snapshot {
     pub egress_depth_hwm: u64,
     /// Current egress queue depth summed over peers (max under merge).
     pub egress_depth: u64,
+    /// Total attributed network cost summed over the attribution
+    /// matrix (the observed side of the placement scorecard).
+    pub attrib_cost: u64,
+    /// Matrix resolutions that spilled to the overflow cell (per-key
+    /// breakdown degraded; totals exact).
+    pub attrib_dropped: u64,
+    /// Journey hops dumped into trace rings at task retirement.
+    pub journey_hops: u64,
+    /// Journey hops dropped by the per-envelope cap
+    /// (`JOURNEY_CAP`-excess hops; counted, not recorded).
+    pub journey_dropped: u64,
+    /// Handoffs this node saw commit.
+    pub handoff_commits: u64,
+    /// Frozen-shard bytes shipped by handoffs (as source).
+    pub handoff_frozen_bytes: u64,
+    /// Frames replayed into re-homed shards (as destination).
+    pub handoff_replayed: u64,
+    /// Epoch-fenced frames bounced during handoffs.
+    pub handoff_bounced: u64,
+    /// Highest directory epoch observed (max under merge).
+    pub dir_epoch: u64,
     /// End-to-end task latency (ns).
     pub task_latency_ns: HistSnapshot,
     /// Mailbox drain batch sizes (messages per poll).
     pub mailbox_batch: HistSnapshot,
     /// Per-flush wire write latency (ns), all peers.
     pub flush_ns: HistSnapshot,
+    /// Cost-attribution rows, sorted by (thread, home); summed by key
+    /// under merge.
+    pub attrib: Vec<AttribEntry>,
+    /// Handoff phase timelines, sorted by handoff id; merged per
+    /// [`HandoffTrace::merge`] under merge.
+    pub handoffs: Vec<HandoffTrace>,
 }
 
-/// Version tag of the `render`/`parse` text form.
-const VERSION_LINE: &str = "em2-obs=1";
+/// Version tag of the `render`/`parse` text form. v2 added the
+/// decision-plane telemetry: nine scalars plus the dynamic `attrib.*`
+/// and `handoff.*` line families.
+const VERSION_LINE: &str = "em2-obs=2";
 
 impl Snapshot {
     /// Fold another node's snapshot in (see the struct docs for the
@@ -128,9 +237,56 @@ impl Snapshot {
         self.guest_hwm = self.guest_hwm.max(o.guest_hwm);
         self.egress_depth_hwm = self.egress_depth_hwm.max(o.egress_depth_hwm);
         self.egress_depth = self.egress_depth.max(o.egress_depth);
+        self.attrib_cost += o.attrib_cost;
+        self.attrib_dropped += o.attrib_dropped;
+        self.journey_hops += o.journey_hops;
+        self.journey_dropped += o.journey_dropped;
+        self.handoff_commits += o.handoff_commits;
+        self.handoff_frozen_bytes += o.handoff_frozen_bytes;
+        self.handoff_replayed += o.handoff_replayed;
+        self.handoff_bounced += o.handoff_bounced;
+        self.dir_epoch = self.dir_epoch.max(o.dir_epoch);
         self.task_latency_ns.merge(&o.task_latency_ns);
         self.mailbox_batch.merge(&o.mailbox_batch);
         self.flush_ns.merge(&o.flush_ns);
+        for e in &o.attrib {
+            self.fold_attrib(e.thread, e.home, &e.counts);
+        }
+        for h in &o.handoffs {
+            self.fold_handoff(h);
+        }
+    }
+
+    /// Sum a (thread, home) row into the sorted attribution vector,
+    /// inserting it if the key is new.
+    pub fn fold_attrib(&mut self, thread: u32, home: u32, counts: &[u64; ATTRIB_COUNTERS]) {
+        match self
+            .attrib
+            .binary_search_by_key(&(thread, home), |e| (e.thread, e.home))
+        {
+            Ok(i) => {
+                for (dst, src) in self.attrib[i].counts.iter_mut().zip(counts) {
+                    *dst += src;
+                }
+            }
+            Err(i) => self.attrib.insert(
+                i,
+                AttribEntry {
+                    thread,
+                    home,
+                    counts: *counts,
+                },
+            ),
+        }
+    }
+
+    /// Merge a handoff record into the sorted handoff vector by id,
+    /// inserting it if the id is new.
+    pub fn fold_handoff(&mut self, h: &HandoffTrace) {
+        match self.handoffs.binary_search_by_key(&h.hid, |r| r.hid) {
+            Ok(i) => self.handoffs[i].merge(h),
+            Err(i) => self.handoffs.insert(i, *h),
+        }
     }
 
     /// Sum a set of node snapshots (cluster totals).
@@ -143,7 +299,7 @@ impl Snapshot {
         acc
     }
 
-    fn fields(&self) -> [(&'static str, u64); 28] {
+    fn fields(&self) -> [(&'static str, u64); 37] {
         [
             ("node", self.node),
             ("nodes", self.nodes),
@@ -173,6 +329,15 @@ impl Snapshot {
             ("guest_occupancy", self.guest_occupancy),
             ("guest_hwm", self.guest_hwm),
             ("egress_depth_hwm", self.egress_depth_hwm),
+            ("attrib_cost", self.attrib_cost),
+            ("attrib_dropped", self.attrib_dropped),
+            ("journey_hops", self.journey_hops),
+            ("journey_dropped", self.journey_dropped),
+            ("handoff_commits", self.handoff_commits),
+            ("handoff_frozen_bytes", self.handoff_frozen_bytes),
+            ("handoff_replayed", self.handoff_replayed),
+            ("handoff_bounced", self.handoff_bounced),
+            ("dir_epoch", self.dir_epoch),
         ]
     }
 
@@ -207,6 +372,15 @@ impl Snapshot {
             "guest_hwm" => &mut self.guest_hwm,
             "egress_depth_hwm" => &mut self.egress_depth_hwm,
             "egress_depth" => &mut self.egress_depth,
+            "attrib_cost" => &mut self.attrib_cost,
+            "attrib_dropped" => &mut self.attrib_dropped,
+            "journey_hops" => &mut self.journey_hops,
+            "journey_dropped" => &mut self.journey_dropped,
+            "handoff_commits" => &mut self.handoff_commits,
+            "handoff_frozen_bytes" => &mut self.handoff_frozen_bytes,
+            "handoff_replayed" => &mut self.handoff_replayed,
+            "handoff_bounced" => &mut self.handoff_bounced,
+            "dir_epoch" => &mut self.dir_epoch,
             _ => return None,
         })
     }
@@ -241,6 +415,34 @@ impl Snapshot {
                 }
             }
             let _ = writeln!(s, "{line}");
+        }
+        for e in &self.attrib {
+            let mut line = format!("attrib.{}.{}=", e.thread, e.home);
+            for (i, c) in e.counts.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                let _ = write!(line, "{c}");
+            }
+            let _ = writeln!(s, "{line}");
+        }
+        for h in &self.handoffs {
+            let _ = writeln!(
+                s,
+                "handoff.{}={},{},{},{},{},{},{},{},{},{},{}",
+                h.hid,
+                h.shard,
+                h.from,
+                h.to,
+                h.prepare_ns,
+                h.freeze_ns,
+                h.transfer_ns,
+                h.commit_ns,
+                h.frozen_bytes,
+                h.buffered,
+                h.replayed,
+                h.bounced
+            );
         }
         s
     }
@@ -288,6 +490,53 @@ impl Snapshot {
                     }
                     h.buckets[b] = n.parse().map_err(|_| format!("bad bucket {bucket:?}"))?;
                 }
+            } else if let Some(key) = k.strip_prefix("attrib.") {
+                let (t, hm) = key
+                    .split_once('.')
+                    .ok_or_else(|| format!("bad attrib key {k:?}"))?;
+                let thread: u32 = t.parse().map_err(|_| format!("bad attrib key {k:?}"))?;
+                let home: u32 = hm.parse().map_err(|_| format!("bad attrib key {k:?}"))?;
+                let mut counts = [0u64; ATTRIB_COUNTERS];
+                let mut parts = v.split(',');
+                for c in counts.iter_mut() {
+                    *c = parts
+                        .next()
+                        .ok_or_else(|| format!("short attrib row {line:?}"))?
+                        .parse()
+                        .map_err(|_| format!("bad attrib count in {line:?}"))?;
+                }
+                if parts.next().is_some() {
+                    return Err(format!("long attrib row {line:?}"));
+                }
+                out.fold_attrib(thread, home, &counts);
+            } else if let Some(key) = k.strip_prefix("handoff.") {
+                let hid: u64 = key.parse().map_err(|_| format!("bad handoff key {k:?}"))?;
+                let mut parts = v.split(',');
+                let mut next_u64 = |what: &str| {
+                    parts
+                        .next()
+                        .ok_or_else(|| format!("missing {what} in {line:?}"))?
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad {what} in {line:?}"))
+                };
+                let rec = HandoffTrace {
+                    hid,
+                    shard: next_u64("shard")?,
+                    from: next_u64("from")?,
+                    to: next_u64("to")?,
+                    prepare_ns: next_u64("prepare_ns")?,
+                    freeze_ns: next_u64("freeze_ns")?,
+                    transfer_ns: next_u64("transfer_ns")?,
+                    commit_ns: next_u64("commit_ns")?,
+                    frozen_bytes: next_u64("frozen_bytes")?,
+                    buffered: next_u64("buffered")?,
+                    replayed: next_u64("replayed")?,
+                    bounced: next_u64("bounced")?,
+                };
+                if parts.next().is_some() {
+                    return Err(format!("long handoff row {line:?}"));
+                }
+                out.fold_handoff(&rec);
             } else {
                 let slot = out
                     .field_mut(k)
@@ -341,6 +590,56 @@ impl Snapshot {
                 .finish();
             obj = obj.raw(k, &hist);
         }
+        // Attribution rows are bounded to the top 16 by cost so a
+        // flight-recorder line stays readable; the full matrix lives in
+        // the render form.
+        let mut top: Vec<&AttribEntry> = self.attrib.iter().collect();
+        top.sort_by(|a, b| {
+            b.cost()
+                .cmp(&a.cost())
+                .then((a.thread, a.home).cmp(&(b.thread, b.home)))
+        });
+        top.truncate(16);
+        let rows: Vec<String> = top
+            .iter()
+            .map(|e| {
+                JsonObj::new()
+                    .u64("thread", e.thread as u64)
+                    .u64("home", e.home as u64)
+                    .u64("migrations", e.counts[0])
+                    .u64("remote_reads", e.counts[1])
+                    .u64("remote_writes", e.counts[2])
+                    .u64("locals", e.counts[3])
+                    .u64("context_bytes", e.counts[4])
+                    .u64("bounces", e.counts[5])
+                    .u64("parks", e.counts[6])
+                    .u64("cost", e.counts[7])
+                    .finish()
+            })
+            .collect();
+        obj = obj.u64("attrib_rows", self.attrib.len() as u64);
+        obj = obj.raw("attrib", &format!("[{}]", rows.join(",")));
+        let hrows: Vec<String> = self
+            .handoffs
+            .iter()
+            .map(|h| {
+                JsonObj::new()
+                    .u64("hid", h.hid)
+                    .u64("shard", h.shard)
+                    .u64("from", h.from)
+                    .u64("to", h.to)
+                    .u64("prepare_ns", h.prepare_ns)
+                    .u64("freeze_ns", h.freeze_ns)
+                    .u64("transfer_ns", h.transfer_ns)
+                    .u64("commit_ns", h.commit_ns)
+                    .u64("frozen_bytes", h.frozen_bytes)
+                    .u64("buffered", h.buffered)
+                    .u64("replayed", h.replayed)
+                    .u64("bounced", h.bounced)
+                    .finish()
+            })
+            .collect();
+        obj = obj.raw("handoffs", &format!("[{}]", hrows.join(",")));
         obj.finish()
     }
 }
@@ -380,6 +679,15 @@ mod tests {
             guest_hwm: 4,
             egress_depth_hwm: 17,
             egress_depth: 2,
+            attrib_cost: 140,
+            attrib_dropped: 1,
+            journey_hops: 20,
+            journey_dropped: 2,
+            handoff_commits: 1,
+            handoff_frozen_bytes: 512,
+            handoff_replayed: 3,
+            handoff_bounced: 1,
+            dir_epoch: node + 1,
             ..Snapshot::default()
         };
         for v in [100u64, 2000, 2000, 65000] {
@@ -387,6 +695,22 @@ mod tests {
         }
         s.mailbox_batch.record(8);
         s.flush_ns.record(1500);
+        s.fold_attrib(1, 2, &[3, 1, 0, 50, 200, 0, 1, 90]);
+        s.fold_attrib(0, 2, &[2, 0, 1, 40, 100, 1, 0, 50]);
+        s.fold_handoff(&HandoffTrace {
+            hid: 7,
+            shard: 2,
+            from: node,
+            to: node + 1,
+            prepare_ns: 10 * (node + 1),
+            freeze_ns: 0,
+            transfer_ns: 30,
+            commit_ns: 0,
+            frozen_bytes: 512,
+            buffered: 2,
+            replayed: 2,
+            bounced: 1,
+        });
         s
     }
 
@@ -419,6 +743,15 @@ mod tests {
         assert_eq!(direct.retired, 32);
         assert_eq!(direct.guest_hwm, 4, "gauge is a max, not a sum");
         assert_eq!(direct.task_latency_ns.count, 8);
+        assert_eq!(direct.attrib_cost, 280);
+        assert_eq!(direct.dir_epoch, 2, "epoch is a max, not a sum");
+        assert_eq!(direct.attrib.len(), 2, "attrib rows sum by key");
+        assert_eq!(direct.attrib[0].counts, [4, 0, 2, 80, 200, 2, 0, 100]);
+        assert_eq!(direct.handoffs.len(), 1, "handoff views merge by id");
+        let h = &direct.handoffs[0];
+        assert_eq!(h.prepare_ns, 20, "timestamps take the max");
+        assert_eq!(h.buffered, 4, "frame counts sum");
+        assert_eq!(h.from, 1);
     }
 
     #[test]

@@ -78,6 +78,12 @@ pub enum EventKind {
     /// shard this node no longer owns and was bounced for re-routing.
     /// `a` = shard, `b` = bounce count so far.
     HandoffBounce,
+    /// One hop of a retired task's migration journey, replayed into
+    /// the ring at retirement (the envelope carries the bounded hop
+    /// log across nodes; see `em2_rt::Journey`). `a` = packed
+    /// `node << 32 | shard` the hop landed on, `b` = packed
+    /// `cause << 32 | epoch` (cause codes per `em2_rt::HopCause`).
+    JourneyHop,
 }
 
 impl EventKind {
@@ -103,6 +109,7 @@ impl EventKind {
             EventKind::HandoffTransfer => "handoff-transfer",
             EventKind::HandoffCommit => "handoff-commit",
             EventKind::HandoffBounce => "handoff-bounce",
+            EventKind::JourneyHop => "journey-hop",
         }
     }
 
@@ -129,6 +136,7 @@ impl EventKind {
             EventKind::HandoffTransfer => 17,
             EventKind::HandoffCommit => 18,
             EventKind::HandoffBounce => 19,
+            EventKind::JourneyHop => 20,
         }
     }
 
@@ -155,6 +163,7 @@ impl EventKind {
             17 => EventKind::HandoffTransfer,
             18 => EventKind::HandoffCommit,
             19 => EventKind::HandoffBounce,
+            20 => EventKind::JourneyHop,
             _ => return None,
         })
     }
@@ -177,6 +186,7 @@ impl EventKind {
             EventKind::HandoffTransfer => ("shard", "replayed"),
             EventKind::HandoffCommit => ("shard", "epoch"),
             EventKind::HandoffBounce => ("shard", "bounces"),
+            EventKind::JourneyHop => ("at", "cause_epoch"),
         }
     }
 }
@@ -244,9 +254,12 @@ pub struct Ring {
 }
 
 impl Ring {
-    /// An empty ring holding at most `cap` events (`cap` ≥ 1).
+    /// An empty ring holding at least `cap` events (`cap` rounded up
+    /// to a power of two, minimum 1): slot selection on the push path
+    /// is then a mask instead of a `%` — an integer division per
+    /// event is real money when the runtime pushes one per verdict.
     pub fn new(cap: usize) -> Self {
-        let cap = cap.max(1);
+        let cap = cap.max(1).next_power_of_two();
         Ring {
             cap,
             cursor: AtomicU64::new(0),
@@ -257,7 +270,7 @@ impl Ring {
     /// Append an event, overwriting the oldest when full. Safe for
     /// concurrent writers: the `fetch_add` reserves distinct slots.
     pub fn push(&self, ev: Event) {
-        let i = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % self.cap;
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed) as usize & (self.cap - 1);
         self.write_slot(i, ev);
     }
 
@@ -268,7 +281,7 @@ impl Ring {
     pub fn push_single_writer(&self, ev: Event) {
         let n = self.cursor.load(Ordering::Relaxed);
         self.cursor.store(n.wrapping_add(1), Ordering::Relaxed);
-        self.write_slot(n as usize % self.cap, ev);
+        self.write_slot(n as usize & (self.cap - 1), ev);
     }
 
     #[inline]
@@ -289,7 +302,7 @@ impl Ring {
         let held = n.min(self.cap as u64);
         let mut out = Vec::with_capacity(held as usize);
         for j in (n - held)..n {
-            let s = &self.slots[j as usize % self.cap];
+            let s = &self.slots[j as usize & (self.cap - 1)];
             let Some(kind) = EventKind::from_code(s.kind.load(Ordering::Relaxed)) else {
                 continue;
             };
@@ -370,6 +383,7 @@ mod tests {
             EventKind::HandoffTransfer,
             EventKind::HandoffCommit,
             EventKind::HandoffBounce,
+            EventKind::JourneyHop,
         ];
         for k in kinds {
             assert_eq!(EventKind::from_code(k.code()), Some(k));
@@ -399,6 +413,7 @@ mod tests {
             EventKind::HandoffTransfer,
             EventKind::HandoffCommit,
             EventKind::HandoffBounce,
+            EventKind::JourneyHop,
         ];
         let names: std::collections::HashSet<_> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());

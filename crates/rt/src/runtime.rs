@@ -253,6 +253,10 @@ pub struct RtReport {
     /// workload with one task per request yields a latency
     /// distribution ([`RtReport::latency_quantile`]).
     pub task_latency_ns: Vec<u64>,
+    /// Final timing-plane snapshot (`None` when obs is off). Strictly
+    /// observational: nothing in the deterministic counters above is
+    /// derived from it, and reports render identically without it.
+    pub obs: Option<em2_obs::Snapshot>,
 }
 
 impl RtReport {
@@ -637,6 +641,7 @@ impl Runtime {
             pending_reply: None,
             parked_at: None,
             run: None,
+            journey: crate::wire::Journey::default(),
         });
         self.submitted += 1;
         if !self.node_mode {
@@ -691,6 +696,18 @@ impl Runtime {
             std::panic::resume_unwind(p);
         }
         let wall = self.t0.elapsed();
+        if self.obs.is_some() {
+            // Fold each core's deferred locals/parks attribution into
+            // the matrix before the snapshot reads it (the hot path
+            // accrues those two columns in plain single-writer memory;
+            // workers have joined, so the locks are uncontended).
+            for core in shared.cores.iter() {
+                core.lock()
+                    .expect("no worker panicked")
+                    .flush_attrib_pending();
+            }
+        }
+        let obs_snapshot = self.obs.as_ref().map(|o| o.snapshot());
         // Workers have joined, so only a transport reader mid-inject
         // through a momentarily upgraded inbox Weak can still hold a
         // handle — post-quiesce there is no such message, so the
@@ -757,6 +774,7 @@ impl Runtime {
                 parks,
             },
             task_latency_ns,
+            obs: obs_snapshot,
         }
     }
 }
@@ -807,6 +825,7 @@ impl RemoteInbox {
             pending_reply: we.pending_reply,
             parked_at: we.parked_at.map(|k| k as usize),
             run: we.run.map(|(c, len)| (CoreId(c), len)),
+            journey: we.journey,
         }))
     }
 

@@ -92,6 +92,11 @@ pub(crate) struct Envelope {
     /// the hot local path extends a run without touching anything
     /// shared; a run *boundary* bins into the shard-local histogram.
     pub run: Option<(CoreId, u64)>,
+    /// The task's migration journey: a bounded hop log carried like
+    /// scheme state. Recorded unconditionally (it is wire payload, and
+    /// the deterministic experiments compare wire bytes bit-for-bit);
+    /// only the retirement dump into the trace ring is obs-gated.
+    pub journey: crate::wire::Journey,
 }
 
 /// Inter-shard messages.
@@ -143,6 +148,7 @@ pub(crate) fn envelope_to_wire(env: &Envelope) -> WireEnvelope {
         pending_reply: env.pending_reply,
         parked_at: env.parked_at.map(|k| k as u32),
         run: env.run.map(|(c, len)| (c.0, len)),
+        journey: env.journey.clone(),
     }
 }
 
@@ -525,6 +531,20 @@ pub(crate) struct ShardCore {
     /// hot path then pays one `Option` branch per hook). Never read by
     /// anything that feeds the deterministic counters.
     obs: Option<std::sync::Arc<ShardObs>>,
+    /// Per-home cost-model latencies `[migration, RA-read, RA-write]`,
+    /// built lazily on the first obs-on verdict (empty otherwise): the
+    /// attribution cost bump must not re-run the model's flit
+    /// arithmetic — two integer divisions per call — on every verdict.
+    attrib_cost: Vec<[u64; 3]>,
+    /// `[locals, parks]` accrued per thread id since the last fold —
+    /// both are always keyed `(thread, me)`, so the hot path can use
+    /// plain single-writer memory (an L1-resident vector, no hash, no
+    /// atomics) and fold into the shared attribution matrix only at
+    /// freeze and quiesce, the same idiom the deterministic
+    /// `FlowCounts` use. A mid-run exporter snapshot may undercount
+    /// these two columns by the unfolded remainder; the final
+    /// snapshot is exact.
+    attrib_pending: Vec<[u64; 2]>,
     /// Poll counter for the coarse event clock: the clock refreshes
     /// every [`OBS_CLOCK_POLLS`] polls, because `clock_gettime` can be
     /// a real syscall (obs module docs on the coarse clock).
@@ -555,8 +575,32 @@ impl ShardCore {
             scratch: Vec::new(),
             remote_replies: Vec::new(),
             obs,
+            attrib_cost: Vec::new(),
+            attrib_pending: Vec::new(),
             obs_clock_tick: 0,
         }
+    }
+
+    /// Build the per-home `[migration, RA-read, RA-write]` latency LUT
+    /// (see `attrib_cost`). Out of line and cold on purpose: `execute`
+    /// calls this at most once per slice behind an `is_empty` check,
+    /// so the verdict arms read the LUT with a plain indexed load
+    /// instead of a `&mut self` call the optimizer won't inline into
+    /// the hot match.
+    #[cold]
+    #[inline(never)]
+    fn build_attrib_cost(&mut self, shared: &Shared) {
+        let me = self.me();
+        self.attrib_cost = (0..shared.total_shards)
+            .map(|h| {
+                let h = CoreId::from(h);
+                [
+                    shared.cost.migration_latency(me, h),
+                    shared.cost.remote_access_latency(me, h, AccessKind::Read),
+                    shared.cost.remote_access_latency(me, h, AccessKind::Write),
+                ]
+            })
+            .collect();
     }
 
     /// Per-poll obs bookkeeping: bump the poll counter and refresh the
@@ -618,6 +662,7 @@ impl ShardCore {
     /// has already flipped the directory owner and waited out the
     /// mailbox's producer count, so nothing lands here afterwards.
     pub(crate) fn export_frozen(&mut self, mailbox: Vec<WireMsg>) -> crate::wire::FrozenShard {
+        self.flush_attrib_pending();
         debug_assert!(self.scratch.is_empty(), "batch in progress during freeze");
         debug_assert!(
             self.remote_replies.is_empty(),
@@ -877,7 +922,28 @@ impl ShardCore {
     /// evict, or stall when every guest slot is pinned. A fresh guest
     /// arrival queues behind earlier stalled ones so admission order
     /// is arrival order.
-    fn admit(&mut self, shared: &Shared, env: Box<Envelope>) {
+    fn admit(&mut self, shared: &Shared, mut env: Box<Envelope>) {
+        // Journey bookkeeping is unconditional (module docs on
+        // `Envelope::journey`): the hop log is wire payload. A
+        // migration lands carrying its arrival access; the very first
+        // arrival of a task is its submission; other arrivals
+        // (eviction returns, handoff replays) are recorded by their own
+        // cause sites or deliberately not at all.
+        if env.pending_op.is_some() {
+            env.journey.push(crate::wire::JourneyHop {
+                shard: self.id as u32,
+                node: shared.node_id,
+                epoch: shared.directory.epoch(),
+                cause: crate::wire::HopCause::Migrate,
+            });
+        } else if env.journey.hops.is_empty() {
+            env.journey.push(crate::wire::JourneyHop {
+                shard: self.id as u32,
+                node: shared.node_id,
+                epoch: shared.directory.epoch(),
+                cause: crate::wire::HopCause::Submit,
+            });
+        }
         if let Some(o) = &self.obs {
             o.arrivals.bump(1);
             if env.pending_op.is_some() {
@@ -1056,10 +1122,60 @@ impl ShardCore {
         env.scheme.observe_run(env.thread, core, len);
     }
 
+    /// Attribute a slice's local accesses to the (thread, here) cell in
+    /// one bump (`execute` counts them in a register; resolving the
+    /// matrix cell once per slice keeps the per-access cost at zero).
+    #[inline]
+    fn attrib_locals(&mut self, thread: ThreadId, n: u64) {
+        if n == 0 || self.obs.is_none() {
+            return;
+        }
+        let t = thread.0 as usize;
+        if t >= self.attrib_pending.len() {
+            self.attrib_pending.resize(t + 1, [0, 0]);
+        }
+        self.attrib_pending[t][0] += n;
+    }
+
+    /// Count a barrier park of `thread` at this shard (same deferred
+    /// single-writer path as [`ShardCore::attrib_locals`]).
+    fn attrib_park(&mut self, thread: ThreadId) {
+        if self.obs.is_none() {
+            return;
+        }
+        let t = thread.0 as usize;
+        if t >= self.attrib_pending.len() {
+            self.attrib_pending.resize(t + 1, [0, 0]);
+        }
+        self.attrib_pending[t][1] += 1;
+    }
+
+    /// Fold the deferred per-thread locals/parks into the attribution
+    /// matrix. Called while the core is quiescent: at freeze (so a
+    /// handoff leaves a settled table behind) and before the final
+    /// snapshot at quiesce.
+    pub(crate) fn flush_attrib_pending(&mut self) {
+        let Some(o) = &self.obs else { return };
+        for (t, p) in self.attrib_pending.iter_mut().enumerate() {
+            let [locals, parks] = std::mem::take(p);
+            if locals > 0 {
+                o.attrib.cell(t as u32, self.id as u32).locals.bump(locals);
+            }
+            if parks > 0 {
+                o.attrib.cell(t as u32, self.id as u32).parks.bump(parks);
+            }
+        }
+    }
+
     /// Run one task until it blocks (migration, remote access,
     /// barrier), completes, or exhausts its local-access quantum.
     fn execute(&mut self, shared: &Shared, mut env: Box<Envelope>) {
         let me = self.me();
+        let thread = env.thread;
+        if self.obs.is_some() && self.attrib_cost.is_empty() {
+            self.build_attrib_cost(shared);
+        }
+        let mut local_hits = 0u64;
         let mut budget = shared.quantum.max(1);
         let mut reply = env.pending_reply.take();
         // A pending op is a migration's arrival access: counted as the
@@ -1072,6 +1188,7 @@ impl ShardCore {
             };
             let (addr, write_value) = match op {
                 Op::Done => {
+                    self.attrib_locals(thread, local_hits);
                     self.retire(shared, env);
                     return;
                 }
@@ -1092,8 +1209,10 @@ impl ShardCore {
                         if let Some(o) = &self.obs {
                             o.event(EventKind::BarrierPark, env.thread.0 as u64, k as u64, 0);
                         }
+                        self.attrib_park(thread);
                         env.parked_at = Some(k);
                         self.parked.push(env);
+                        self.attrib_locals(thread, local_hits);
                         shared
                             .node
                             .as_ref()
@@ -1119,8 +1238,10 @@ impl ShardCore {
                             if let Some(o) = &self.obs {
                                 o.event(EventKind::BarrierPark, env.thread.0 as u64, k as u64, 0);
                             }
+                            self.attrib_park(thread);
                             env.parked_at = Some(k);
                             self.parked.push(env);
+                            self.attrib_locals(thread, local_hits);
                             return;
                         }
                     }
@@ -1136,6 +1257,7 @@ impl ShardCore {
                     arrival_access = false;
                 } else {
                     self.counters.flow.local_accesses += 1;
+                    local_hits += 1;
                 }
                 self.track(&mut env, home);
                 reply = self.serve(addr, write_value);
@@ -1147,6 +1269,7 @@ impl ShardCore {
                     // contexts. The unconsumed reply is register state.
                     env.pending_reply = reply.take();
                     self.runq.push_back(env);
+                    self.attrib_locals(thread, local_hits);
                     return;
                 }
                 continue;
@@ -1180,6 +1303,13 @@ impl ShardCore {
                     }
                     let ctx = env.task.context_len();
                     self.counters.context_bytes_sent += ctx;
+                    // LUT consult outside the handle borrow; gated so
+                    // the obs-off path pays only the branch.
+                    let mig_cost = if self.attrib_cost.is_empty() {
+                        0
+                    } else {
+                        self.attrib_cost[home.index()][0]
+                    };
                     if let Some(o) = &self.obs {
                         o.migrations_out.bump(1);
                         o.context_bytes_out.bump(ctx);
@@ -1189,8 +1319,18 @@ impl ShardCore {
                             home.index() as u64,
                             ctx,
                         );
+                        // Attribution: the migration edge, costed with
+                        // the model's migration latency. Deterministic
+                        // data (program-order counts) held in timing-
+                        // plane storage — never read back by the
+                        // deterministic counters.
+                        let cell = o.attrib.cell(thread.0, home.index() as u32);
+                        cell.migrations.bump(1);
+                        cell.context_bytes.bump(ctx);
+                        cell.cost.bump(mig_cost);
                     }
                     env.pending_op = Some(op);
+                    self.attrib_locals(thread, local_hits);
                     shared.send(home.index(), Msg::Arrive(env));
                     return;
                 }
@@ -1199,19 +1339,37 @@ impl ShardCore {
                     // scheme sees the run-end observation only after
                     // deciding the access that ended the run.
                     self.track(&mut env, home);
+                    env.journey.push(crate::wire::JourneyHop {
+                        shard: home.index() as u32,
+                        node: shared.node_id,
+                        epoch: shared.directory.epoch(),
+                        cause: crate::wire::HopCause::Remote,
+                    });
                     if write_value.is_some() {
                         self.counters.flow.remote_writes += 1;
                     } else {
                         self.counters.flow.remote_reads += 1;
                     }
+                    let ra_cost = if self.attrib_cost.is_empty() {
+                        0
+                    } else {
+                        self.attrib_cost[home.index()][if write_value.is_some() { 2 } else { 1 }]
+                    };
                     if let Some(o) = &self.obs {
-                        let (ctr, kind) = if write_value.is_some() {
+                        let (ctr, ev) = if write_value.is_some() {
                             (&o.remote_writes, EventKind::RemoteWrite)
                         } else {
                             (&o.remote_reads, EventKind::RemoteRead)
                         };
                         ctr.bump(1);
-                        o.event(kind, env.thread.0 as u64, home.index() as u64, addr.0);
+                        o.event(ev, env.thread.0 as u64, home.index() as u64, addr.0);
+                        let cell = o.attrib.cell(thread.0, home.index() as u32);
+                        if write_value.is_some() {
+                            cell.remote_writes.bump(1);
+                        } else {
+                            cell.remote_reads.bump(1);
+                        }
+                        cell.cost.bump(ra_cost);
                     }
                     if me != env.native {
                         self.pool.set_guest_state(env.thread, GuestState::Pinned);
@@ -1221,6 +1379,7 @@ impl ShardCore {
                     let token = self.next_token;
                     self.next_token += 1;
                     self.awaiting.insert(token, env);
+                    self.attrib_locals(thread, local_hits);
                     shared.send(
                         home.index(),
                         Msg::Request {
@@ -1258,6 +1417,19 @@ impl ShardCore {
         if let Some(o) = &self.obs {
             o.retired.bump(1);
             o.task_latency_ns.record(latency_ns);
+            // Dump the journey into the trace ring so the task's
+            // cross-cluster path is reconstructible from this node's
+            // flight recording, then the retire event closes it.
+            for h in &env.journey.hops {
+                o.event(
+                    EventKind::JourneyHop,
+                    env.thread.0 as u64,
+                    (u64::from(h.node) << 32) | u64::from(h.shard),
+                    (u64::from(h.cause.code()) << 32) | (h.epoch & 0xFFFF_FFFF),
+                );
+            }
+            o.journey_hops.bump(env.journey.hops.len() as u64);
+            o.journey_dropped.bump(u64::from(env.journey.dropped));
             o.event(EventKind::Retire, env.thread.0 as u64, latency_ns, 0);
         }
         match &shared.node {

@@ -40,8 +40,9 @@ pub use em2_model::bytes::{put_bytes, put_u16, put_u32, put_u64, Cursor, MAX_CHU
 
 /// Version byte leading every encoded [`WireMsg`]. Bump on any layout
 /// change; the `em2-net` handshake additionally refuses to connect
-/// nodes disagreeing on it.
-pub const WIRE_VERSION: u8 = 1;
+/// nodes disagreeing on it. v2 appended the migration [`Journey`] to
+/// [`WireEnvelope`].
+pub const WIRE_VERSION: u8 = 2;
 
 /// A malformed wire payload. Every decode failure is one of these —
 /// never a panic.
@@ -97,6 +98,147 @@ impl From<CodecError> for WireError {
 impl From<SchemeStateError> for WireError {
     fn from(e: SchemeStateError) -> Self {
         WireError::SchemeState(e.to_string())
+    }
+}
+
+// ------------------------------------------------------------ journey
+
+/// Why a task landed where a [`JourneyHop`] says it did.
+///
+/// The codes are the wire encoding (one byte per hop) and also what a
+/// `journey-hop` trace event packs into its payload, so a flight
+/// recording decodes without this enum in hand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HopCause {
+    /// Initial placement at the task's native shard.
+    Submit,
+    /// The decision scheme migrated the computation here.
+    Migrate,
+    /// A remote access was issued toward this home (the task itself
+    /// stayed put; the hop records the access target).
+    Remote,
+    /// An epoch-fenced frame was re-routed to the shard's new owner.
+    Bounce,
+    /// Replayed out of a frozen shard's buffered backlog after a live
+    /// handoff installed it here.
+    HandoffReplay,
+}
+
+impl HopCause {
+    /// The one-byte wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            HopCause::Submit => 0,
+            HopCause::Migrate => 1,
+            HopCause::Remote => 2,
+            HopCause::Bounce => 3,
+            HopCause::HandoffReplay => 4,
+        }
+    }
+
+    /// Inverse of [`HopCause::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => HopCause::Submit,
+            1 => HopCause::Migrate,
+            2 => HopCause::Remote,
+            3 => HopCause::Bounce,
+            4 => HopCause::HandoffReplay,
+            _ => return None,
+        })
+    }
+}
+
+/// One step of a task's cross-cluster path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JourneyHop {
+    /// Global shard the step targeted.
+    pub shard: u32,
+    /// Node that recorded the step.
+    pub node: u32,
+    /// Directory epoch at the time.
+    pub epoch: u64,
+    /// Why the step happened.
+    pub cause: HopCause,
+}
+
+/// Most hops an envelope carries before further hops are only counted.
+/// Keep-first-N (not a ring): the head of a journey — submission and
+/// the first migrations — is what explains a placement; the tail is
+/// recoverable from the destination shard's own trace ring.
+pub const JOURNEY_CAP: usize = 16;
+
+/// The bounded per-envelope hop log — a task's migration journey,
+/// carried in the [`WireEnvelope`] like scheme state so the path
+/// survives every process boundary, and dumped into the trace ring at
+/// retirement (DESIGN.md §14).
+///
+/// Journeys are recorded **unconditionally**, obs plane or not: the
+/// deterministic experiments compare wire byte counts bit-for-bit, so
+/// the envelope encoding must not depend on an observability toggle.
+/// Only the retirement ring dump is obs-gated. Journey bytes are
+/// excluded from the context-payload accounting
+/// ([`WireMsg::context_payload_len`] stays `task_ctx` only).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Journey {
+    /// The first [`JOURNEY_CAP`] hops, in order.
+    pub hops: Vec<JourneyHop>,
+    /// Hops past the cap (counted, not recorded).
+    pub dropped: u32,
+}
+
+impl Journey {
+    /// Append a hop, counting instead of recording past the cap.
+    pub fn push(&mut self, hop: JourneyHop) {
+        if self.hops.len() < JOURNEY_CAP {
+            self.hops.push(hop);
+        } else {
+            self.dropped = self.dropped.saturating_add(1);
+        }
+    }
+
+    fn encode_into(&self, b: &mut Vec<u8>) {
+        debug_assert!(self.hops.len() <= JOURNEY_CAP);
+        b.push(self.hops.len() as u8);
+        for h in &self.hops {
+            put_u32(b, h.shard);
+            put_u32(b, h.node);
+            put_u64(b, h.epoch);
+            b.push(h.cause.code());
+        }
+        put_u32(b, self.dropped);
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
+        let n = r.u8()?;
+        if n as usize > JOURNEY_CAP {
+            return Err(CodecError::BadTag {
+                what: "journey-len",
+                tag: n,
+            }
+            .into());
+        }
+        let mut hops = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let shard = r.u32()?;
+            let node = r.u32()?;
+            let epoch = r.u64()?;
+            let code = r.u8()?;
+            let cause = HopCause::from_code(code).ok_or(CodecError::BadTag {
+                what: "hop-cause",
+                tag: code,
+            })?;
+            hops.push(JourneyHop {
+                shard,
+                node,
+                epoch,
+                cause,
+            });
+        }
+        Ok(Journey {
+            hops,
+            dropped: r.u32()?,
+        })
     }
 }
 
@@ -193,6 +335,9 @@ pub struct WireEnvelope {
     pub parked_at: Option<u32>,
     /// The in-progress home run `(home, length)`.
     pub run: Option<(u16, u64)>,
+    /// The task's migration journey so far (travels with the task,
+    /// like `scheme_state`).
+    pub journey: Journey,
 }
 
 impl WireEnvelope {
@@ -231,6 +376,7 @@ impl WireEnvelope {
                 put_u64(b, len);
             }
         }
+        self.journey.encode_into(b);
     }
 
     fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
@@ -266,6 +412,7 @@ impl WireEnvelope {
         } else {
             None
         };
+        let journey = Journey::decode(r)?;
         Ok(WireEnvelope {
             thread,
             native,
@@ -276,6 +423,7 @@ impl WireEnvelope {
             pending_reply,
             parked_at,
             run,
+            journey,
         })
     }
 }
@@ -617,6 +765,19 @@ mod tests {
     use super::*;
 
     fn sample_envelope() -> WireEnvelope {
+        let mut journey = Journey::default();
+        journey.push(JourneyHop {
+            shard: 3,
+            node: 0,
+            epoch: 0,
+            cause: HopCause::Submit,
+        });
+        journey.push(JourneyHop {
+            shard: 5,
+            node: 1,
+            epoch: 2,
+            cause: HopCause::Migrate,
+        });
         WireEnvelope {
             thread: 7,
             native: 3,
@@ -627,6 +788,7 @@ mod tests {
             pending_reply: Some(11),
             parked_at: None,
             run: Some((2, 17)),
+            journey,
         }
     }
 
@@ -684,6 +846,80 @@ mod tests {
             });
             assert_eq!(WireMsg::decode(&m.encode()).expect("round trip"), m);
         }
+    }
+
+    #[test]
+    fn journey_caps_at_sixteen_and_counts_the_rest() {
+        let mut j = Journey::default();
+        for i in 0..20u32 {
+            j.push(JourneyHop {
+                shard: i,
+                node: 0,
+                epoch: u64::from(i),
+                cause: HopCause::Bounce,
+            });
+        }
+        assert_eq!(j.hops.len(), JOURNEY_CAP);
+        assert_eq!(j.dropped, 4);
+        assert_eq!(j.hops[0].shard, 0, "keep-first-N: the head survives");
+        let m = WireMsg::Arrive(WireEnvelope {
+            journey: j,
+            ..sample_envelope()
+        });
+        assert_eq!(WireMsg::decode(&m.encode()).expect("round trip"), m);
+    }
+
+    #[test]
+    fn every_hop_cause_round_trips() {
+        for cause in [
+            HopCause::Submit,
+            HopCause::Migrate,
+            HopCause::Remote,
+            HopCause::Bounce,
+            HopCause::HandoffReplay,
+        ] {
+            assert_eq!(HopCause::from_code(cause.code()), Some(cause));
+            let mut j = Journey::default();
+            j.push(JourneyHop {
+                shard: 1,
+                node: 2,
+                epoch: 3,
+                cause,
+            });
+            let m = WireMsg::Arrive(WireEnvelope {
+                journey: j,
+                ..sample_envelope()
+            });
+            assert_eq!(WireMsg::decode(&m.encode()).expect("round trip"), m);
+        }
+        assert_eq!(HopCause::from_code(5), None);
+    }
+
+    #[test]
+    fn journey_bytes_do_not_count_as_context_payload() {
+        let m = WireMsg::Arrive(sample_envelope());
+        assert_eq!(m.context_payload_len(), 5, "task_ctx only");
+    }
+
+    #[test]
+    fn oversized_journey_length_is_typed() {
+        let mut bytes = WireMsg::Arrive(WireEnvelope {
+            journey: Journey::default(),
+            ..sample_envelope()
+        })
+        .encode();
+        // The journey length byte sits 4 (dropped u32) + 1 from the end
+        // of an empty journey.
+        let idx = bytes.len() - 5;
+        assert_eq!(bytes[idx], 0);
+        bytes[idx] = JOURNEY_CAP as u8 + 1;
+        assert!(matches!(
+            WireMsg::decode(&bytes),
+            Err(WireError::Codec(CodecError::BadTag {
+                what: "journey-len",
+                ..
+            }))
+        ));
     }
 
     #[test]

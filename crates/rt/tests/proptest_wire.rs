@@ -5,7 +5,7 @@
 //! shipped task types.
 
 use em2_model::ThreadId;
-use em2_rt::wire::{WireEnvelope, WireMsg, WireOp};
+use em2_rt::wire::{HopCause, Journey, JourneyHop, WireEnvelope, WireMsg, WireOp};
 use em2_rt::{Task, TaskRegistry, TraceTask};
 use em2_trace::gen::micro;
 use proptest::prelude::*;
@@ -39,6 +39,27 @@ fn build_msg(
             pending_reply: flag2.then_some(b),
             parked_at: flag1.then_some(c % 64),
             run: flag2.then_some(((b % 512) as u16, a)),
+            journey: {
+                // 0–20 hops exercises the cap (16) and the dropped
+                // counter; the cause cycles through every variant.
+                let mut j = Journey::default();
+                let causes = [
+                    HopCause::Submit,
+                    HopCause::Migrate,
+                    HopCause::Remote,
+                    HopCause::Bounce,
+                    HopCause::HandoffReplay,
+                ];
+                for i in 0..(a % 21) {
+                    j.push(JourneyHop {
+                        shard: c.wrapping_add(i as u32),
+                        node: (b % 7) as u32,
+                        epoch: b ^ i,
+                        cause: causes[(i % 5) as usize],
+                    });
+                }
+                j
+            },
         }),
         1 => WireMsg::Request {
             addr: a,

@@ -224,8 +224,9 @@ impl Task for KvClient {
 /// samples the obs registry every tick (relaxed atomic reads; it never
 /// locks the runtime) and prints one summary line — requests retired
 /// per second over the window, cumulative task-latency p50/p99 bounds,
-/// current guest-pool occupancy, current egress queue depth. Dropping
-/// the ticker stops the thread.
+/// current guest-pool occupancy, current egress queue depth, the top-3
+/// hot home shards by attributed placement cost, and the current
+/// directory epoch. Dropping the ticker stops the thread.
 struct StatsTicker {
     stop: Arc<AtomicBool>,
     thread: Option<std::thread::JoinHandle<()>>,
@@ -244,13 +245,20 @@ impl StatsTicker {
                 let dt = now.duration_since(last_at).as_secs_f64();
                 let rps = (s.retired.saturating_sub(last_retired)) as f64 / dt.max(1e-9);
                 let h = &s.task_latency_ns;
+                let heat: String = obs
+                    .placement_heat(3)
+                    .iter()
+                    .map(|(shard, cost)| format!(" s{shard}:{cost}"))
+                    .collect();
                 eprintln!(
                     "[obs] {rps:>9.0} req/s | task p50 {:>7.1}us p99 {:>8.1}us | \
-                     guests {:>2} | egress {:>3}",
+                     guests {:>2} | egress {:>3} | heat{} | epoch {}",
                     h.quantile(0.50) as f64 / 1e3,
                     h.quantile(0.99) as f64 / 1e3,
                     s.guest_occupancy,
                     s.egress_depth,
+                    if heat.is_empty() { " -" } else { &heat },
+                    s.dir_epoch,
                 );
                 (last_retired, last_at) = (s.retired, now);
             }
